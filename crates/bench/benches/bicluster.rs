@@ -1,0 +1,45 @@
+//! Cheng & Church kernels: node deletion variants and the full miner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_bicluster::{cheng_church, ChengChurchConfig, MsrState};
+use dc_bicluster::deletion::{multiple_node_deletion_sweep, single_node_deletion};
+use dc_datagen::microarray::{generate, MicroarrayConfig};
+
+fn workload(genes: usize) -> dc_matrix::DataMatrix {
+    let data = generate(&MicroarrayConfig {
+        genes,
+        modules: 6,
+        module_genes: (10, 40),
+        missing_rate: 0.0,
+        ..MicroarrayConfig::default()
+    });
+    data.matrix
+}
+
+fn bench_bicluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bicluster");
+    group.sample_size(10);
+    for &genes in &[200usize, 600] {
+        let m = workload(genes);
+        group.bench_with_input(BenchmarkId::new("single_deletion", genes), &m, |b, m| {
+            b.iter(|| {
+                let mut st = MsrState::full(m);
+                single_node_deletion(m, &mut st, 2000.0, 2, 2)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("multiple_deletion", genes), &m, |b, m| {
+            b.iter(|| {
+                let mut st = MsrState::full(m);
+                while multiple_node_deletion_sweep(m, &mut st, 2000.0, 1.2, 2, 2, 100) {}
+                st.msr(m)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_miner_k5", genes), &m, |b, m| {
+            b.iter(|| cheng_church(m, &ChengChurchConfig::new(5, 2000.0)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bicluster);
+criterion_main!(benches);

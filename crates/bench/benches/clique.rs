@@ -1,0 +1,40 @@
+//! CLIQUE and alternative-algorithm kernels — the Figure 10 blow-up in
+//! microbenchmark form.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_datagen::EmbedConfig;
+use dc_subspace::{alternative, clique, derive, AlternativeConfig, CliqueConfig};
+
+fn workload(attrs: usize) -> dc_matrix::DataMatrix {
+    let cfg = EmbedConfig::new(300, attrs, vec![(20, attrs.min(5)); 5]).with_seed(4);
+    dc_datagen::embed::generate(&cfg).matrix
+}
+
+fn bench_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique");
+    group.sample_size(10);
+    for &attrs in &[8usize, 12] {
+        let m = workload(attrs);
+        group.bench_with_input(BenchmarkId::new("derive", attrs), &m, |b, m| {
+            b.iter(|| derive(m))
+        });
+        let config = CliqueConfig { bins: 8, tau: 0.1, max_level: 2 };
+        group.bench_with_input(BenchmarkId::new("clique", attrs), &m, |b, m| {
+            b.iter(|| clique(m, &config))
+        });
+        let alt = AlternativeConfig {
+            k: 5,
+            clique: CliqueConfig { bins: 8, tau: 0.1, max_level: 2 },
+            min_cols: 3,
+            min_rows: 2,
+            clique_cap: 500,
+        };
+        group.bench_with_input(BenchmarkId::new("alternative", attrs), &m, |b, m| {
+            b.iter(|| alternative(m, &alt))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

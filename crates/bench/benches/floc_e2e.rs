@@ -1,0 +1,47 @@
+//! End-to-end FLOC runs on planted workloads (one per Table 2/3 cell
+//! shape), plus the serial-vs-parallel gain-evaluation ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_datagen::synth::table2_config;
+use dc_floc::{floc, FlocConfig, Seeding};
+
+fn bench_floc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("floc_e2e");
+    group.sample_size(10);
+    for &(rows, cols, k) in &[(100usize, 20usize, 10usize), (500, 50, 10)] {
+        let data = dc_datagen::embed::generate(&table2_config(rows, cols, 42));
+        let config = FlocConfig::builder(k)
+            .seeding(Seeding::TargetSize {
+                rows: (rows / 20).max(2),
+                cols: (cols / 5).max(2),
+            })
+            .max_iterations(8)
+            .seed(7)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("run", format!("{rows}x{cols}_k{k}")),
+            &(&data.matrix, &config),
+            |b, (m, cfg)| b.iter(|| floc(m, cfg).unwrap()),
+        );
+    }
+
+    // Thread-scaling ablation on one mid-size workload.
+    let data = dc_datagen::embed::generate(&table2_config(500, 50, 42));
+    for threads in [1usize, 4] {
+        let config = FlocConfig::builder(10)
+            .seeding(Seeding::TargetSize { rows: 25, cols: 10 })
+            .max_iterations(8)
+            .threads(threads)
+            .seed(7)
+            .build();
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &(&data.matrix, &config),
+            |b, (m, cfg)| b.iter(|| floc(m, cfg).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_floc);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Overhead of the three §5.2 action-ordering strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_floc::action::{Action, EvaluatedAction, Target};
+use dc_floc::ordering::{order_actions, Ordering};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn actions(n: usize) -> Vec<EvaluatedAction> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|i| EvaluatedAction {
+            action: Action { target: Target::Row(i), cluster: i % 7 },
+            gain: rng.gen_range(-5.0..5.0),
+        })
+        .collect()
+}
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(30);
+    for &n in &[100usize, 1000, 5000] {
+        let base = actions(n);
+        for strategy in [Ordering::Fixed, Ordering::Random, Ordering::Weighted] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}").to_lowercase(), n),
+                &base,
+                |b, base| {
+                    let mut rng = StdRng::seed_from_u64(9);
+                    b.iter_batched(
+                        || base.clone(),
+                        |mut a| order_actions(&mut a, strategy, &mut rng),
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

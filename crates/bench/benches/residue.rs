@@ -1,0 +1,40 @@
+//! Residue computation kernels: from-scratch reference vs the
+//! incrementally-maintained ClusterState (the DESIGN.md ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_floc::{cluster_residue, ClusterState, DeltaCluster, ResidueMean, Scratch};
+use dc_matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn matrix(rows: usize, cols: usize) -> DataMatrix {
+    let mut rng = StdRng::seed_from_u64(1);
+    DataMatrix::from_rows(rows, cols, (0..rows * cols).map(|_| rng.gen_range(0.0..100.0)).collect())
+}
+
+fn bench_residue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("residue");
+    group.sample_size(20);
+    for &(rows, cols) in &[(50usize, 10usize), (200, 20), (500, 40)] {
+        let m = matrix(rows, cols);
+        let cluster = DeltaCluster::from_indices(rows, cols, 0..rows / 2, 0..cols / 2);
+        group.bench_with_input(
+            BenchmarkId::new("from_scratch", format!("{rows}x{cols}")),
+            &(&m, &cluster),
+            |b, (m, cl)| b.iter(|| cluster_residue(m, cl, ResidueMean::Arithmetic)),
+        );
+        let state = ClusterState::new(&m, &cluster);
+        group.bench_with_input(
+            BenchmarkId::new("incremental", format!("{rows}x{cols}")),
+            &(&m, &state),
+            |b, (m, st)| {
+                let mut scratch = Scratch::default();
+                b.iter(|| st.residue(m, ResidueMean::Arithmetic, &mut scratch))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_residue);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Runs the implementation-choice ablation studies (DESIGN.md §8).
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::ablations::run(&opts));
+}

@@ -1,0 +1,5 @@
+//! Reproduces the paper's fig10 experiment.
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::fig10::run(&opts));
+}

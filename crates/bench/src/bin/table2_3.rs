@@ -1,0 +1,5 @@
+//! Reproduces Tables 2 and 3 (iterations / response time vs size and k).
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::table2_3::run(&opts));
+}

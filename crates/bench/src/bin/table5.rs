@@ -1,0 +1,5 @@
+//! Reproduces the paper's table5 experiment.
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::table5::run(&opts));
+}

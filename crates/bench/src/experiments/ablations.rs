@@ -1,0 +1,160 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Not a paper experiment — these measure the knobs this implementation
+//! added where the paper was ambiguous or silent:
+//!
+//! 1. **Gain refresh** (`refresh_gains`): re-decide each target's best
+//!    action at perform time (§4.1's prose reading) vs performing the
+//!    iteration-start decisions verbatim (the Figure 5 flowchart reading).
+//! 2. **Termination materiality** (`min_improvement`): how the relative
+//!    improvement threshold trades iterations for final residue.
+//! 3. **Residue mean**: arithmetic `|r|` (the paper) vs squared `r²`
+//!    (Cheng & Church style).
+//! 4. **Restarts**: best-of-R independent runs vs a single run.
+
+use crate::opts::Opts;
+use dc_datagen::synth::erlang_cluster_sizes;
+use dc_datagen::EmbedConfig;
+use dc_eval::metrics::quality;
+use dc_eval::report::{fmt_f, write_json, Table};
+use dc_floc::{floc, floc_restarts, FlocConfig, ResidueMean, Seeding};
+use serde::Serialize;
+
+/// One ablation measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Which ablation this row belongs to.
+    pub study: String,
+    /// The variant measured.
+    pub variant: String,
+    /// Final average residue.
+    pub residue: f64,
+    /// Entry recall against ground truth.
+    pub recall: f64,
+    /// Entry precision.
+    pub precision: f64,
+    /// Iterations (of the single/winning run).
+    pub iterations: usize,
+    /// Wall-clock seconds of the whole variant.
+    pub seconds: f64,
+}
+
+fn workload(scale: usize, seed: u64) -> dc_datagen::EmbeddedData {
+    let k = 20 * scale;
+    let sizes = erlang_cluster_sizes(k, 300.0, 300.0 * 300.0 / 5.0, 10.0, 2, 2, seed);
+    let mut cfg = EmbedConfig::new(800 * scale, 80, sizes).with_seed(seed * 31);
+    cfg.residue = 5.0;
+    cfg.background = dc_datagen::Noise::Uniform { lo: 0.0, hi: 100.0 };
+    cfg.bias_range = (0.0, 50.0);
+    cfg.effect_range = (0.0, 50.0);
+    dc_datagen::embed::generate(&cfg)
+}
+
+fn base_builder(k: usize, threads: usize) -> dc_floc::FlocConfigBuilder {
+    FlocConfig::builder(k)
+        .seeding(Seeding::TargetSize { rows: 40, cols: 6 })
+        .min_dims(3, 3)
+        .constraint(dc_floc::Constraint::MinVolume { cells: 150 })
+        .constraint(dc_floc::Constraint::MaxVolume { cells: 450 })
+        .seed(7)
+        .threads(threads)
+}
+
+/// Runs all four ablations and renders the results.
+pub fn run(opts: &Opts) -> String {
+    let scale = if opts.full { 2 } else { 1 };
+    let data = workload(scale, 1);
+    let k = 20 * scale;
+    let mut rows: Vec<Row> = Vec::new();
+
+    let mut measure = |study: &str, variant: &str, config: &FlocConfig, restarts: usize| {
+        let start = std::time::Instant::now();
+        let (result, _) = if restarts > 1 {
+            floc_restarts(&data.matrix, config, restarts, opts.threads).expect("floc")
+        } else {
+            (floc(&data.matrix, config).expect("floc"), config.seed)
+        };
+        let q = quality(&data.matrix, &data.truth, &result.clusters);
+        eprintln!(
+            "  ablations: {study}/{variant}: residue {:.2} recall {:.2} precision {:.2} ({} iters, {:.1}s)",
+            result.avg_residue,
+            q.recall,
+            q.precision,
+            result.iterations,
+            start.elapsed().as_secs_f64()
+        );
+        rows.push(Row {
+            study: study.to_string(),
+            variant: variant.to_string(),
+            residue: result.avg_residue,
+            recall: q.recall,
+            precision: q.precision,
+            iterations: result.iterations,
+            seconds: start.elapsed().as_secs_f64(),
+        });
+    };
+
+    // 1. Gain refresh.
+    measure("refresh_gains", "on (perform-time)", &base_builder(k, opts.threads).build(), 1);
+    measure(
+        "refresh_gains",
+        "off (flowchart)",
+        &base_builder(k, opts.threads).refresh_gains(false).build(),
+        1,
+    );
+
+    // 2. Termination materiality.
+    for &(label, value) in
+        &[("0 (paper literal)", 0.0), ("1e-3 (default)", 1e-3), ("1e-2", 1e-2)]
+    {
+        measure(
+            "min_improvement",
+            label,
+            &base_builder(k, opts.threads).min_improvement(value).build(),
+            1,
+        );
+    }
+
+    // 3. Residue mean.
+    measure("residue_mean", "arithmetic", &base_builder(k, opts.threads).build(), 1);
+    measure(
+        "residue_mean",
+        "squared",
+        &base_builder(k, opts.threads).mean(ResidueMean::Squared).build(),
+        1,
+    );
+
+    // 4. Restarts.
+    for &r in &[1usize, 4] {
+        measure("restarts", &format!("best of {r}"), &base_builder(k, 1).build(), r);
+    }
+
+    let mut t = Table::new(vec![
+        "study", "variant", "residue", "recall", "precision", "iterations", "time (s)",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.study.clone(),
+            r.variant.clone(),
+            fmt_f(r.residue, 2),
+            fmt_f(r.recall, 2),
+            fmt_f(r.precision, 2),
+            r.iterations.to_string(),
+            fmt_f(r.seconds, 2),
+        ]);
+    }
+    let _ = write_json(&opts.out_dir, "ablations", &rows);
+    format!("Ablations — implementation design choices (see DESIGN.md §8)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_scales() {
+        let small = workload(1, 2);
+        assert_eq!(small.matrix.rows(), 800);
+        assert_eq!(small.truth.len(), 20);
+    }
+}

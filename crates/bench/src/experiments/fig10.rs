@@ -1,0 +1,131 @@
+//! Figure 10: FLOC vs the §4.4 alternative algorithm.
+//!
+//! Paper setup: 3000 objects, 100 clusters, number of attributes swept; the
+//! alternative (derived attributes + CLIQUE + clique extraction) could only
+//! be plotted up to 100 attributes because its response time explodes,
+//! while FLOC grows gently. We reproduce the same crossing shape at a
+//! scaled size: the alternative's derived matrix has `N(N−1)/2` columns, so
+//! its cost visibly blows up within a handful of sweep points.
+
+use crate::opts::Opts;
+use dc_eval::report::{fmt_f, write_json, Table};
+use dc_floc::{floc, FlocConfig, Seeding};
+use dc_subspace::{alternative, AlternativeConfig, CliqueConfig};
+use serde::Serialize;
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Number of attributes (original matrix columns).
+    pub attributes: usize,
+    /// FLOC response time in seconds (`None` when not run at this point).
+    pub floc_seconds: Option<f64>,
+    /// Alternative-algorithm response time in seconds.
+    pub alternative_seconds: Option<f64>,
+}
+
+/// Attribute counts at which FLOC is measured.
+pub fn floc_attrs(full: bool) -> Vec<usize> {
+    if full {
+        vec![10, 16, 24, 50, 100, 200, 300, 400, 500]
+    } else {
+        vec![10, 16, 24, 50, 100, 200]
+    }
+}
+
+/// Attribute counts at which the alternative algorithm is measured (its
+/// derived matrix is quadratic in this, so the sweep is short — exactly the
+/// paper's point).
+pub fn alternative_attrs(full: bool) -> Vec<usize> {
+    if full {
+        vec![10, 16, 24]
+    } else {
+        vec![10, 14, 18]
+    }
+}
+
+/// Runs the comparison sweep.
+pub fn run(opts: &Opts) -> String {
+    let objects = if opts.full { 3000 } else { 600 };
+    let k = if opts.full { 100 } else { 20 };
+
+    let mut points: std::collections::BTreeMap<usize, Point> = std::collections::BTreeMap::new();
+
+    for &n in &floc_attrs(opts.full) {
+        let data = workload(objects, n, k);
+        let fc = FlocConfig::builder(k)
+            .seeding(Seeding::TargetSize {
+                rows: (objects / 25).max(2),
+                cols: (n / 5).max(2),
+            })
+            .seed(1)
+            .threads(opts.threads)
+            .build();
+        let result = floc(&data, &fc).expect("floc failed");
+        eprintln!("  fig10: FLOC at {n} attributes: {:.2}s", result.elapsed.as_secs_f64());
+        points
+            .entry(n)
+            .or_insert(Point { attributes: n, floc_seconds: None, alternative_seconds: None })
+            .floc_seconds = Some(result.elapsed.as_secs_f64());
+    }
+
+    for &n in &alternative_attrs(opts.full) {
+        let data = workload(objects, n, k);
+        let config = AlternativeConfig {
+            k,
+            clique: CliqueConfig { bins: 10, tau: 0.03, max_level: 3 },
+            min_cols: 3,
+            min_rows: 2,
+            clique_cap: 2_000,
+        };
+        let result = alternative(&data, &config);
+        eprintln!(
+            "  fig10: alternative at {n} attributes: {:.2}s ({} subspace clusters)",
+            result.elapsed.as_secs_f64(),
+            result.subspace_clusters
+        );
+        points
+            .entry(n)
+            .or_insert(Point { attributes: n, floc_seconds: None, alternative_seconds: None })
+            .alternative_seconds = Some(result.elapsed.as_secs_f64());
+    }
+
+    let points: Vec<Point> = points.into_values().collect();
+    let mut t = Table::new(vec!["attributes", "FLOC (s)", "alternative (s)"]);
+    for p in &points {
+        t.row(vec![
+            p.attributes.to_string(),
+            p.floc_seconds.map_or("-".to_string(), |s| fmt_f(s, 2)),
+            p.alternative_seconds.map_or("-".to_string(), |s| fmt_f(s, 2)),
+        ]);
+    }
+    let _ = write_json(&opts.out_dir, "fig10", &points);
+    format!(
+        "Figure 10 — response time vs number of attributes ({objects} objects, k={k})\n{}",
+        t.render()
+    )
+}
+
+/// The shared workload: 10 planted clusters in noise.
+fn workload(objects: usize, attrs: usize, _k: usize) -> dc_matrix::DataMatrix {
+    let cluster_rows = (objects / 20).max(3);
+    let cluster_cols = (attrs / 4).clamp(3, 10);
+    let cfg = dc_datagen::EmbedConfig::new(
+        objects,
+        attrs,
+        vec![(cluster_rows, cluster_cols); 10],
+    )
+    .with_seed(99);
+    dc_datagen::embed::generate(&cfg).matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternative_sweep_is_shorter() {
+        assert!(alternative_attrs(true).len() < floc_attrs(true).len());
+        assert!(*alternative_attrs(true).last().unwrap() < *floc_attrs(true).last().unwrap());
+    }
+}

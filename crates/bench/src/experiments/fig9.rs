@@ -1,0 +1,137 @@
+//! Figure 9: tolerance to heterogeneous embedded-cluster volumes.
+//!
+//! Paper setup: clusters of Erlang-distributed volume (mean 300) embedded
+//! in 3000×100; four seed sets, each with its own Erlang volume variance;
+//! iterations and response time plotted against the embedded volume
+//! variance. Finding: performance is best when seed volumes match embedded
+//! volumes, and *divergent* (high-variance) seeds tolerate embedded-volume
+//! disparity best.
+
+use crate::opts::Opts;
+use dc_datagen::synth::{erlang_cluster_sizes, table5_config};
+use dc_eval::report::{fmt_f, write_json, Table};
+use dc_floc::{floc, FlocConfig, Seeding};
+use serde::Serialize;
+
+/// One grid point of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Point {
+    /// Variance level (0–5) of the embedded cluster volumes.
+    pub embedded_variance: f64,
+    /// Variance level of the seed volumes.
+    pub seed_variance: f64,
+    /// Iterations to terminate.
+    pub iterations: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// Embedded-volume variance levels (x axis).
+pub fn embedded_levels(full: bool) -> Vec<f64> {
+    if full {
+        vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+    } else {
+        vec![0.0, 2.0, 4.0]
+    }
+}
+
+/// Seed-volume variance levels (one curve each).
+pub fn seed_levels(full: bool) -> Vec<f64> {
+    if full {
+        vec![0.0, 1.0, 3.0, 5.0]
+    } else {
+        vec![0.0, 3.0]
+    }
+}
+
+fn scale_down(sizes: &[(usize, usize)], factor: usize) -> Vec<(usize, usize)> {
+    sizes.iter().take(sizes.len() / factor).copied().collect()
+}
+
+/// Runs the Figure 9 grid.
+pub fn run(opts: &Opts) -> String {
+    let mean = 300.0;
+    let mut points = Vec::new();
+    for &emb_var in &embedded_levels(opts.full) {
+        // Embedded matrix for this variance level.
+        let mut cfg = table5_config(emb_var, 0.0, 21);
+        let k = if opts.full {
+            100
+        } else {
+            // Scaled default: 1000×100 with 30 clusters.
+            cfg.rows = 1000;
+            cfg.cluster_sizes = scale_down(&cfg.cluster_sizes.clone(), 3);
+            cfg.cluster_sizes.len()
+        };
+        let data = dc_datagen::embed::generate(&cfg);
+
+        for &seed_var in &seed_levels(opts.full) {
+            let variance = seed_var * mean * mean / 5.0;
+            let seed_sizes = erlang_cluster_sizes(k, mean, variance, 30.0, 2, 2, 5 + seed_var as u64);
+            let fc = FlocConfig::builder(k)
+                .seeding(Seeding::ExplicitSizes(seed_sizes))
+                .seed(9)
+                .threads(opts.threads)
+                .build();
+            let result = floc(&data.matrix, &fc).expect("floc failed");
+            eprintln!(
+                "  fig9: emb var {emb_var} seed var {seed_var}: {} iterations, {:.2}s",
+                result.iterations,
+                result.elapsed.as_secs_f64()
+            );
+            points.push(Point {
+                embedded_variance: emb_var,
+                seed_variance: seed_var,
+                iterations: result.iterations,
+                seconds: result.elapsed.as_secs_f64(),
+            });
+        }
+    }
+
+    // Two tables: iterations and time, one column per seed-variance curve.
+    let seed_vars = seed_levels(opts.full);
+    let mut headers = vec!["emb var".to_string()];
+    headers.extend(seed_vars.iter().map(|v| format!("seed var {v}")));
+    let mut t_iter = Table::new(headers.clone());
+    let mut t_time = Table::new(headers);
+    for &emb_var in &embedded_levels(opts.full) {
+        let mut row_i = vec![fmt_f(emb_var, 0)];
+        let mut row_t = vec![fmt_f(emb_var, 0)];
+        for &sv in &seed_vars {
+            let p = points
+                .iter()
+                .find(|p| p.embedded_variance == emb_var && p.seed_variance == sv)
+                .expect("missing grid point");
+            row_i.push(p.iterations.to_string());
+            row_t.push(fmt_f(p.seconds, 2));
+        }
+        t_iter.row(row_i);
+        t_time.row(row_t);
+    }
+
+    let _ = write_json(&opts.out_dir, "fig9", &points);
+    format!(
+        "Figure 9(a) — iterations vs embedded volume variance (one column per seed set)\n{}\n\
+         Figure 9(b) — response time (s)\n{}",
+        t_iter.render(),
+        t_time.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_definitions() {
+        assert_eq!(embedded_levels(true).len(), 6);
+        assert_eq!(seed_levels(true).len(), 4);
+        assert!(embedded_levels(false).len() < 6);
+    }
+
+    #[test]
+    fn scale_down_takes_prefix() {
+        let sizes = vec![(1, 1); 9];
+        assert_eq!(scale_down(&sizes, 3).len(), 3);
+    }
+}

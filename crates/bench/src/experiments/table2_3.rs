@@ -1,0 +1,125 @@
+//! Tables 2 and 3: iterations and response time vs matrix size × k.
+//!
+//! Paper setup (§6.2.1): matrices of 100×20, 500×50, 1000×50 and 3000×100
+//! with 50 embedded clusters of average volume `(0.04·N) × (0.1·M)`; FLOC
+//! run for k ∈ {10, 20, 50, 100} with initial cluster volume
+//! `(0.05·N) × (0.2·M)`. The paper reports 5–11 iterations across the grid
+//! (Table 2) and response times growing roughly linearly in matrix volume
+//! and k (Table 3).
+
+use crate::opts::Opts;
+use dc_datagen::synth::table2_config;
+use dc_eval::report::{fmt_f, write_json, Table};
+use dc_floc::{floc, FlocConfig, Seeding};
+use serde::Serialize;
+
+/// One grid cell's measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Number of clusters requested.
+    pub k: usize,
+    /// Phase-2 iterations until termination.
+    pub iterations: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Final average residue.
+    pub avg_residue: f64,
+}
+
+/// The matrix sizes of the sweep.
+pub fn sizes(full: bool) -> Vec<(usize, usize)> {
+    if full {
+        vec![(100, 20), (500, 50), (1000, 50), (3000, 100)]
+    } else {
+        vec![(100, 20), (500, 50), (1000, 50)]
+    }
+}
+
+/// The cluster counts of the sweep.
+pub fn ks(full: bool) -> Vec<usize> {
+    if full {
+        vec![10, 20, 50, 100]
+    } else {
+        vec![10, 20, 50]
+    }
+}
+
+/// Runs the sweep and returns the rendered Tables 2 and 3.
+pub fn run(opts: &Opts) -> String {
+    let sizes = sizes(opts.full);
+    let ks = ks(opts.full);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for &(rows, cols) in &sizes {
+        let data = dc_datagen::embed::generate(&table2_config(rows, cols, 42));
+        for &k in &ks {
+            let seed_rows = ((rows as f64) * 0.05).round().max(2.0) as usize;
+            let seed_cols = ((cols as f64) * 0.2).round().max(2.0) as usize;
+            let config = FlocConfig::builder(k)
+                .seeding(Seeding::TargetSize { rows: seed_rows, cols: seed_cols })
+                .seed(7)
+                .threads(opts.threads)
+                .build();
+            let result = floc(&data.matrix, &config).expect("floc run failed");
+            cells.push(Cell {
+                rows,
+                cols,
+                k,
+                iterations: result.iterations,
+                seconds: result.elapsed.as_secs_f64(),
+                avg_residue: result.avg_residue,
+            });
+            eprintln!(
+                "  table2/3: {rows}x{cols} k={k}: {} iterations, {:.2}s",
+                result.iterations,
+                result.elapsed.as_secs_f64()
+            );
+        }
+    }
+
+    let size_header = |&(r, c): &(usize, usize)| format!("{r}x{c}");
+    let mut headers = vec!["k".to_string()];
+    headers.extend(sizes.iter().map(size_header));
+
+    let mut t2 = Table::new(headers.clone());
+    let mut t3 = Table::new(headers);
+    for &k in &ks {
+        let mut row2 = vec![k.to_string()];
+        let mut row3 = vec![k.to_string()];
+        for &(rows, cols) in &sizes {
+            let cell = cells
+                .iter()
+                .find(|c| c.rows == rows && c.cols == cols && c.k == k)
+                .expect("grid cell missing");
+            row2.push(cell.iterations.to_string());
+            row3.push(fmt_f(cell.seconds, 2));
+        }
+        t2.row(row2);
+        t3.row(row3);
+    }
+
+    let out = format!(
+        "Table 2 — number of iterations vs matrix size and number of clusters\n{}\n\
+         Table 3 — response time (sec) vs matrix size and number of clusters\n{}",
+        t2.render(),
+        t3.render()
+    );
+    let _ = write_json(&opts.out_dir, "table2_3", &cells);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_definitions() {
+        assert_eq!(sizes(true).len(), 4);
+        assert_eq!(ks(true), vec![10, 20, 50, 100]);
+        assert!(sizes(false).len() < sizes(true).len());
+    }
+}

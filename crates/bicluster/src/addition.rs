@@ -1,0 +1,180 @@
+//! Node addition (Cheng & Church Algorithm 3).
+//!
+//! After deletion converges to `H ≤ δ`, the bicluster is grown back
+//! maximally: every column whose score against the current bases does not
+//! exceed `H` is added, then every row likewise — including *inverted* rows
+//! (mirror images whose pattern is the negation of the cluster's), which
+//! Cheng & Church argue are biologically meaningful co-regulation. Addition
+//! never raises `H` above `δ` because candidates are admitted only when
+//! their score is at most the current `H`.
+
+use crate::msr::MsrState;
+use dc_matrix::DataMatrix;
+
+/// The result of the addition phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdditionOutcome {
+    /// Columns added.
+    pub cols_added: usize,
+    /// Rows added directly.
+    pub rows_added: usize,
+    /// Rows recognized as inverted (mirror-image) patterns. These are
+    /// reported but **not** inserted into the state, since their raw values
+    /// would corrupt the additive sums; callers list them alongside the
+    /// bicluster.
+    pub inverted_rows: Vec<usize>,
+}
+
+/// Runs node addition until a full pass adds nothing.
+pub fn node_addition(
+    matrix: &DataMatrix,
+    state: &mut MsrState,
+    include_inverted: bool,
+) -> AdditionOutcome {
+    // Score comparisons use an absolute tolerance scaled to the data so
+    // that perfect (H = 0) clusters still admit perfectly fitting
+    // candidates despite floating-point rounding in the incremental sums.
+    let scale = dc_matrix::stats::matrix_summary(matrix)
+        .max
+        .abs()
+        .max(dc_matrix::stats::matrix_summary(matrix).min.abs())
+        .max(1.0);
+    let tol = 1e-10 * scale * scale;
+
+    let mut outcome = AdditionOutcome { cols_added: 0, rows_added: 0, inverted_rows: Vec::new() };
+    loop {
+        let mut changed = false;
+
+        // Columns first (Cheng & Church's order).
+        let h = state.msr(matrix);
+        let candidates: Vec<usize> =
+            (0..matrix.cols()).filter(|&c| !state.cols.contains(c)).collect();
+        for c in candidates {
+            if state.candidate_col_score(matrix, c) <= h + tol {
+                state.add_col(matrix, c);
+                outcome.cols_added += 1;
+                changed = true;
+            }
+        }
+
+        // Then rows.
+        let h = state.msr(matrix);
+        let candidates: Vec<usize> =
+            (0..matrix.rows()).filter(|&r| !state.rows.contains(r)).collect();
+        for r in candidates {
+            if state.candidate_row_score(matrix, r, false) <= h + tol {
+                state.add_row(matrix, r);
+                outcome.rows_added += 1;
+                changed = true;
+            } else if include_inverted
+                && !outcome.inverted_rows.contains(&r)
+                && state.candidate_row_score(matrix, r, true) <= h + tol
+            {
+                outcome.inverted_rows.push(r);
+                // Not a structural change; do not set `changed`.
+            }
+        }
+
+        if !changed {
+            return outcome;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_matrix::BitSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Additive block occupying rows 0..br, cols 0..bc of a noise matrix.
+    fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DataMatrix::new(rows, cols);
+        let col_bias: Vec<f64> = (0..bc).map(|_| rng.gen_range(0.0..50.0)).collect();
+        for r in 0..rows {
+            let row_bias: f64 = rng.gen_range(0.0..50.0);
+            for c in 0..cols {
+                if r < br && c < bc {
+                    m.set(r, c, row_bias + col_bias[c]);
+                } else {
+                    m.set(r, c, rng.gen_range(0.0..400.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn addition_grows_back_the_planted_block() {
+        let m = planted(20, 10, 10, 6, 1);
+        // Start from a strict subset of the block.
+        let mut st = MsrState::new(
+            &m,
+            BitSet::from_indices(20, 0..5),
+            BitSet::from_indices(10, 0..4),
+        );
+        assert!(st.msr(&m) < 1e-9);
+        let outcome = node_addition(&m, &mut st, false);
+        // All 10 block rows and 6 block cols should be recovered.
+        assert_eq!(st.rows.len(), 10, "{outcome:?} rows {:?}", st.rows);
+        assert_eq!(st.cols.len(), 6, "{outcome:?} cols {:?}", st.cols);
+        assert_eq!(outcome.rows_added, 5);
+        assert_eq!(outcome.cols_added, 2);
+        assert!(st.msr(&m) < 1e-6, "H stays at δ-level after addition");
+    }
+
+    #[test]
+    fn addition_is_a_noop_when_nothing_fits() {
+        let m = planted(12, 8, 6, 4, 2);
+        let mut st = MsrState::new(
+            &m,
+            BitSet::from_indices(12, 0..6),
+            BitSet::from_indices(8, 0..4),
+        );
+        let outcome = node_addition(&m, &mut st, false);
+        assert_eq!(outcome.rows_added, 0, "noise rows must not join a perfect block");
+        assert_eq!(outcome.cols_added, 0);
+    }
+
+    #[test]
+    fn inverted_rows_are_reported_not_added() {
+        let mut m = planted(12, 6, 6, 6, 3);
+        // Make row 10 a mirror of the block pattern.
+        for c in 0..6 {
+            let v = m.get(0, c).unwrap();
+            m.set(10, c, 100.0 - v);
+        }
+        let mut st = MsrState::new(
+            &m,
+            BitSet::from_indices(12, 0..6),
+            BitSet::from_indices(6, 0..6),
+        );
+        let rows_before = st.rows.len();
+        let outcome = node_addition(&m, &mut st, true);
+        assert!(outcome.inverted_rows.contains(&10), "{outcome:?}");
+        assert_eq!(
+            st.rows.len(),
+            rows_before + outcome.rows_added,
+            "inverted rows must not be inserted"
+        );
+        assert!(!st.rows.contains(10));
+    }
+
+    #[test]
+    fn inverted_detection_can_be_disabled() {
+        let mut m = planted(12, 6, 6, 6, 4);
+        for c in 0..6 {
+            let v = m.get(0, c).unwrap();
+            m.set(10, c, 100.0 - v);
+        }
+        let mut st = MsrState::new(
+            &m,
+            BitSet::from_indices(12, 0..6),
+            BitSet::from_indices(6, 0..6),
+        );
+        let outcome = node_addition(&m, &mut st, false);
+        assert!(outcome.inverted_rows.is_empty());
+    }
+}

@@ -1,0 +1,276 @@
+//! Node deletion (Cheng & Church Algorithms 1 and 2).
+//!
+//! Starting from the full matrix, rows/columns whose mean squared residue
+//! contribution exceeds the current `H` are removed until `H ≤ δ`:
+//!
+//! * **Single node deletion** removes, at each step, the one row or column
+//!   with the largest contribution — the greedy choice with the biggest
+//!   immediate `H` reduction.
+//! * **Multiple node deletion** removes *all* rows with `d(i) > γ·H` in one
+//!   sweep (then likewise columns), which is dramatically faster on large
+//!   matrices; when a sweep removes nothing the caller falls back to single
+//!   deletion. `γ ≥ 1` is Cheng & Church's `α` (renamed here to avoid a
+//!   clash with the δ-cluster occupancy threshold).
+
+use crate::msr::MsrState;
+use dc_matrix::DataMatrix;
+
+/// Runs single node deletion until `msr ≤ delta` or the submatrix shrinks
+/// to `min_rows × min_cols`. Returns the final MSR.
+pub fn single_node_deletion(
+    matrix: &DataMatrix,
+    state: &mut MsrState,
+    delta: f64,
+    min_rows: usize,
+    min_cols: usize,
+) -> f64 {
+    loop {
+        let h = state.msr(matrix);
+        if h <= delta {
+            return h;
+        }
+        let best_row = if state.rows.len() > min_rows {
+            state
+                .row_contributions(matrix)
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+        } else {
+            None
+        };
+        let best_col = if state.cols.len() > min_cols {
+            state
+                .col_contributions(matrix)
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+        } else {
+            None
+        };
+        match (best_row, best_col) {
+            (Some((r, d)), Some((c, e))) => {
+                if d >= e {
+                    state.remove_row(matrix, r);
+                } else {
+                    state.remove_col(matrix, c);
+                }
+            }
+            (Some((r, _)), None) => state.remove_row(matrix, r),
+            (None, Some((c, _))) => state.remove_col(matrix, c),
+            (None, None) => return h, // cannot shrink further
+        }
+    }
+}
+
+/// Runs one sweep of multiple node deletion: removes every row with
+/// `d(i) > gamma·H`, recomputes, then every column with `e(j) > gamma·H`.
+/// Returns `true` if anything was removed.
+///
+/// Cheng & Church skip the column phase when the matrix has fewer than 100
+/// columns; we expose that as the `col_threshold` parameter (sweeps only
+/// dimensions with at least that many members).
+pub fn multiple_node_deletion_sweep(
+    matrix: &DataMatrix,
+    state: &mut MsrState,
+    delta: f64,
+    gamma: f64,
+    min_rows: usize,
+    min_cols: usize,
+    col_threshold: usize,
+) -> bool {
+    assert!(gamma >= 1.0, "gamma must be >= 1 (Cheng & Church's alpha)");
+    let mut removed = false;
+
+    let h = state.msr(matrix);
+    if h <= delta {
+        return false;
+    }
+    if state.rows.len() > min_rows {
+        let mut victims: Vec<usize> = state
+            .row_contributions(matrix)
+            .into_iter()
+            .filter(|&(_, d)| d > gamma * h)
+            .map(|(r, _)| r)
+            .collect();
+        // Keep at least min_rows rows.
+        let excess = state.rows.len() - min_rows;
+        victims.truncate(excess);
+        for r in victims {
+            state.remove_row(matrix, r);
+            removed = true;
+        }
+    }
+
+    let h = state.msr(matrix);
+    if h <= delta {
+        return removed;
+    }
+    if state.cols.len() > min_cols.max(col_threshold) {
+        let mut victims: Vec<usize> = state
+            .col_contributions(matrix)
+            .into_iter()
+            .filter(|&(_, e)| e > gamma * h)
+            .map(|(c, _)| c)
+            .collect();
+        let excess = state.cols.len() - min_cols;
+        victims.truncate(excess);
+        for c in victims {
+            state.remove_col(matrix, c);
+            removed = true;
+        }
+    }
+    removed
+}
+
+/// Full deletion phase: multiple node deletion sweeps until they stall or
+/// reach `δ`, then single node deletion to finish. Returns the final MSR.
+pub fn deletion_phase(
+    matrix: &DataMatrix,
+    state: &mut MsrState,
+    delta: f64,
+    gamma: f64,
+    min_rows: usize,
+    min_cols: usize,
+    col_threshold: usize,
+) -> f64 {
+    while state.msr(matrix) > delta {
+        if !multiple_node_deletion_sweep(
+            matrix,
+            state,
+            delta,
+            gamma,
+            min_rows,
+            min_cols,
+            col_threshold,
+        ) {
+            break;
+        }
+    }
+    single_node_deletion(matrix, state, delta, min_rows, min_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_matrix::BitSet;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Noise matrix with a perfectly additive block in rows 0..br, cols 0..bc.
+    fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DataMatrix::new(rows, cols);
+        let col_bias: Vec<f64> = (0..bc).map(|_| rng.gen_range(0.0..50.0)).collect();
+        for r in 0..rows {
+            let row_bias: f64 = rng.gen_range(0.0..50.0);
+            for c in 0..cols {
+                if r < br && c < bc {
+                    m.set(r, c, row_bias + col_bias[c]);
+                } else {
+                    m.set(r, c, rng.gen_range(0.0..400.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn single_deletion_reaches_delta() {
+        let m = planted(20, 10, 8, 5, 1);
+        let mut st = MsrState::full(&m);
+        let initial = st.msr(&m);
+        let final_h = single_node_deletion(&m, &mut st, 50.0, 2, 2);
+        assert!(final_h <= 50.0, "H {final_h} did not reach delta");
+        assert!(final_h < initial);
+        assert!(st.rows.len() >= 2 && st.cols.len() >= 2);
+    }
+
+    #[test]
+    fn single_deletion_finds_the_planted_block() {
+        let m = planted(20, 10, 8, 5, 2);
+        let mut st = MsrState::full(&m);
+        // The block has H = 0, so a tiny delta forces full convergence onto
+        // (a subset of) the block.
+        let h = single_node_deletion(&m, &mut st, 1e-6, 2, 2);
+        assert!(h <= 1e-6);
+        for r in st.rows.iter() {
+            assert!(r < 8, "non-planted row {r} survived: {:?}", st.rows);
+        }
+        for c in st.cols.iter() {
+            assert!(c < 5, "non-planted col {c} survived: {:?}", st.cols);
+        }
+    }
+
+    #[test]
+    fn single_deletion_respects_minimum_dims() {
+        // Pure noise: delta unreachable, must stop at min dims.
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DataMatrix::from_rows(
+            6,
+            6,
+            (0..36).map(|_| rng.gen_range(0.0..100.0)).collect(),
+        );
+        let mut st = MsrState::full(&m);
+        let _ = single_node_deletion(&m, &mut st, 1e-12, 3, 3);
+        assert_eq!(st.rows.len(), 3);
+        assert_eq!(st.cols.len(), 3);
+    }
+
+    #[test]
+    fn multiple_deletion_removes_outliers_in_bulk() {
+        let m = planted(30, 12, 10, 6, 4);
+        let mut st = MsrState::full(&m);
+        let before_rows = st.rows.len();
+        let removed =
+            multiple_node_deletion_sweep(&m, &mut st, 1.0, 1.2, 2, 2, 0);
+        assert!(removed);
+        assert!(st.rows.len() < before_rows, "bulk sweep should remove rows");
+    }
+
+    #[test]
+    fn multiple_deletion_is_a_noop_below_delta() {
+        let m = planted(10, 6, 10, 6, 5); // whole matrix is the block
+        let mut st = MsrState::full(&m);
+        assert!(st.msr(&m) < 1e-9);
+        let removed = multiple_node_deletion_sweep(&m, &mut st, 0.1, 1.5, 2, 2, 0);
+        assert!(!removed);
+        assert_eq!(st.rows.len(), 10);
+    }
+
+    #[test]
+    fn col_threshold_skips_column_sweep() {
+        let m = planted(30, 12, 10, 6, 6);
+        let mut st = MsrState::full(&m);
+        let cols_before = st.cols.len();
+        let _ = multiple_node_deletion_sweep(&m, &mut st, 1.0, 1.2, 2, 2, 100);
+        assert_eq!(st.cols.len(), cols_before, "column sweep suppressed below threshold");
+    }
+
+    #[test]
+    fn deletion_phase_combines_both() {
+        let m = planted(40, 15, 12, 7, 7);
+        let mut st = MsrState::full(&m);
+        let h = deletion_phase(&m, &mut st, 25.0, 1.2, 2, 2, 0);
+        assert!(h <= 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be >= 1")]
+    fn gamma_below_one_panics() {
+        let m = planted(5, 5, 2, 2, 8);
+        let mut st = MsrState::full(&m);
+        let _ = multiple_node_deletion_sweep(&m, &mut st, 1.0, 0.5, 2, 2, 0);
+    }
+
+    #[test]
+    fn deletion_preserves_state_consistency() {
+        let m = planted(15, 8, 5, 4, 9);
+        let mut st = MsrState::full(&m);
+        let _ = single_node_deletion(&m, &mut st, 10.0, 2, 2);
+        // Rebuild from scratch and compare MSR.
+        let fresh = MsrState::new(
+            &m,
+            BitSet::from_indices(m.rows(), st.rows.iter()),
+            BitSet::from_indices(m.cols(), st.cols.iter()),
+        );
+        assert!((st.msr(&m) - fresh.msr(&m)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,400 @@
+//! Mean squared residue (MSR) — the Cheng & Church (ISMB 2000) score.
+//!
+//! For a fully specified submatrix `(I, J)` of matrix `A`:
+//!
+//! * `H(I,J) = (1/|I||J|) Σ_{i∈I,j∈J} (a_ij − a_iJ − a_Ij + a_IJ)²`
+//! * row contribution `d(i) = (1/|J|) Σ_j (a_ij − a_iJ − a_Ij + a_IJ)²`
+//! * column contribution `e(j) = (1/|I|) Σ_i (…)²`
+//!
+//! A bicluster is a `δ-bicluster` when `H(I,J) ≤ δ`. The δ-cluster paper
+//! treats this model as the fully-specified special case of its own and uses
+//! it as the comparison baseline (§6.1.2).
+//!
+//! Cheng & Church assume a complete matrix (they pre-fill missing values
+//! with random data); [`MsrState::new`] therefore requires every entry of
+//! the working matrix to be specified — use [`crate::mask::fill_missing`]
+//! first.
+
+use dc_matrix::{BitSet, DataMatrix};
+
+/// Sufficient statistics of a candidate bicluster for MSR computation:
+/// row/column sums over the current submatrix, maintained incrementally.
+#[derive(Debug, Clone)]
+pub struct MsrState {
+    /// Participating rows.
+    pub rows: BitSet,
+    /// Participating columns.
+    pub cols: BitSet,
+    row_sum: Vec<f64>,
+    col_sum: Vec<f64>,
+    total: f64,
+}
+
+impl MsrState {
+    /// Builds the state over the given row/column sets.
+    ///
+    /// # Panics
+    /// Panics if the matrix has any missing entry (Cheng & Church operate on
+    /// complete matrices).
+    pub fn new(matrix: &DataMatrix, rows: BitSet, cols: BitSet) -> Self {
+        assert_eq!(
+            matrix.specified_count(),
+            matrix.cells(),
+            "Cheng & Church requires a fully specified matrix; use mask::fill_missing"
+        );
+        let mut s = MsrState {
+            rows: BitSet::new(matrix.rows()),
+            cols,
+            row_sum: vec![0.0; matrix.rows()],
+            col_sum: vec![0.0; matrix.cols()],
+            total: 0.0,
+        };
+        for r in rows.iter() {
+            s.add_row(matrix, r);
+        }
+        s
+    }
+
+    /// State covering the whole matrix.
+    pub fn full(matrix: &DataMatrix) -> Self {
+        MsrState::new(matrix, BitSet::full(matrix.rows()), BitSet::full(matrix.cols()))
+    }
+
+    /// Adds row `r` to the submatrix, updating sums. `O(|J|)`.
+    pub fn add_row(&mut self, matrix: &DataMatrix, r: usize) {
+        debug_assert!(!self.rows.contains(r));
+        let values = matrix.row_values(r);
+        let mut sum = 0.0;
+        for c in self.cols.iter() {
+            sum += values[c];
+            self.col_sum[c] += values[c];
+        }
+        self.row_sum[r] = sum;
+        self.total += sum;
+        self.rows.insert(r);
+    }
+
+    /// Removes row `r`. `O(|J|)`.
+    pub fn remove_row(&mut self, matrix: &DataMatrix, r: usize) {
+        debug_assert!(self.rows.contains(r));
+        let values = matrix.row_values(r);
+        for c in self.cols.iter() {
+            self.col_sum[c] -= values[c];
+        }
+        self.total -= self.row_sum[r];
+        self.row_sum[r] = 0.0;
+        self.rows.remove(r);
+    }
+
+    /// Adds column `c`. `O(|I|)`.
+    pub fn add_col(&mut self, matrix: &DataMatrix, c: usize) {
+        debug_assert!(!self.cols.contains(c));
+        let mut sum = 0.0;
+        for r in self.rows.iter() {
+            let v = matrix.value_unchecked(r, c);
+            sum += v;
+            self.row_sum[r] += v;
+        }
+        self.col_sum[c] = sum;
+        self.total += sum;
+        self.cols.insert(c);
+    }
+
+    /// Removes column `c`. `O(|I|)`.
+    pub fn remove_col(&mut self, matrix: &DataMatrix, c: usize) {
+        debug_assert!(self.cols.contains(c));
+        for r in self.rows.iter() {
+            self.row_sum[r] -= matrix.value_unchecked(r, c);
+        }
+        self.total -= self.col_sum[c];
+        self.col_sum[c] = 0.0;
+        self.cols.remove(c);
+    }
+
+    /// Mean of row `r` over the current columns.
+    #[inline]
+    pub fn row_mean(&self, r: usize) -> f64 {
+        self.row_sum[r] / self.cols.len() as f64
+    }
+
+    /// Mean of column `c` over the current rows.
+    #[inline]
+    pub fn col_mean(&self, c: usize) -> f64 {
+        self.col_sum[c] / self.rows.len() as f64
+    }
+
+    /// Mean of the whole submatrix.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.total / (self.rows.len() * self.cols.len()) as f64
+    }
+
+    /// The mean squared residue `H(I, J)`. Returns 0.0 for degenerate
+    /// (empty) submatrices.
+    pub fn msr(&self, matrix: &DataMatrix) -> f64 {
+        if self.rows.is_empty() || self.cols.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let mut sum = 0.0;
+        for r in self.rows.iter() {
+            let rm = self.row_mean(r);
+            let values = matrix.row_values(r);
+            for c in self.cols.iter() {
+                let res = values[c] - rm - self.col_mean(c) + mean;
+                sum += res * res;
+            }
+        }
+        sum / (self.rows.len() * self.cols.len()) as f64
+    }
+
+    /// Row contribution `d(i)` for every participating row, as
+    /// `(row, d(i))` pairs.
+    pub fn row_contributions(&self, matrix: &DataMatrix) -> Vec<(usize, f64)> {
+        let mean = self.mean();
+        self.rows
+            .iter()
+            .map(|r| {
+                let rm = self.row_mean(r);
+                let values = matrix.row_values(r);
+                let sum: f64 = self
+                    .cols
+                    .iter()
+                    .map(|c| {
+                        let res = values[c] - rm - self.col_mean(c) + mean;
+                        res * res
+                    })
+                    .sum();
+                (r, sum / self.cols.len() as f64)
+            })
+            .collect()
+    }
+
+    /// Column contribution `e(j)` for every participating column.
+    pub fn col_contributions(&self, matrix: &DataMatrix) -> Vec<(usize, f64)> {
+        let mean = self.mean();
+        let col_means: Vec<(usize, f64)> =
+            self.cols.iter().map(|c| (c, self.col_mean(c))).collect();
+        let mut sums = vec![0.0; col_means.len()];
+        for r in self.rows.iter() {
+            let rm = self.row_mean(r);
+            let values = matrix.row_values(r);
+            for (k, &(c, cm)) in col_means.iter().enumerate() {
+                let res = values[c] - rm - cm + mean;
+                sums[k] += res * res;
+            }
+        }
+        col_means
+            .iter()
+            .zip(&sums)
+            .map(|(&(c, _), &s)| (c, s / self.rows.len() as f64))
+            .collect()
+    }
+
+    /// `d(i)` for a row **not** in the submatrix, or the *inverted* variant
+    /// used by Cheng & Church's node addition to capture mirror-image
+    /// (anti-correlated) rows: residues of `−a_ij + a_iJ − a_Ij + a_IJ`.
+    pub fn candidate_row_score(&self, matrix: &DataMatrix, r: usize, inverted: bool) -> f64 {
+        let mean = self.mean();
+        let values = matrix.row_values(r);
+        let rm: f64 =
+            self.cols.iter().map(|c| values[c]).sum::<f64>() / self.cols.len() as f64;
+        let sum: f64 = self
+            .cols
+            .iter()
+            .map(|c| {
+                let res = if inverted {
+                    -values[c] + rm - self.col_mean(c) + mean
+                } else {
+                    values[c] - rm - self.col_mean(c) + mean
+                };
+                res * res
+            })
+            .sum();
+        sum / self.cols.len() as f64
+    }
+
+    /// `e(j)` for a column **not** in the submatrix.
+    pub fn candidate_col_score(&self, matrix: &DataMatrix, c: usize) -> f64 {
+        let mean = self.mean();
+        let cm: f64 = self
+            .rows
+            .iter()
+            .map(|r| matrix.value_unchecked(r, c))
+            .sum::<f64>()
+            / self.rows.len() as f64;
+        let sum: f64 = self
+            .rows
+            .iter()
+            .map(|r| {
+                let res = matrix.value_unchecked(r, c) - self.row_mean(r) - cm + mean;
+                res * res
+            })
+            .sum();
+        sum / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfect() -> DataMatrix {
+        // Perfectly additive 3×3: a_ij = rowbias_i + colbias_j.
+        DataMatrix::from_rows(
+            3,
+            3,
+            vec![
+                1.0, 3.0, 6.0, //
+                2.0, 4.0, 7.0, //
+                5.0, 7.0, 10.0,
+            ],
+        )
+    }
+
+    #[test]
+    fn perfect_matrix_has_zero_msr() {
+        let m = perfect();
+        let st = MsrState::full(&m);
+        assert!(st.msr(&m) < 1e-12);
+        for (_, d) in st.row_contributions(&m) {
+            assert!(d < 1e-12);
+        }
+        for (_, e) in st.col_contributions(&m) {
+            assert!(e < 1e-12);
+        }
+    }
+
+    #[test]
+    fn msr_matches_brute_force() {
+        let m = DataMatrix::from_rows(
+            3,
+            4,
+            vec![1.0, 5.0, 2.0, 9.0, 4.0, 4.0, 4.0, 4.0, 7.0, 1.0, 8.0, 2.0],
+        );
+        let st = MsrState::full(&m);
+        // Brute force.
+        let n = 12.0;
+        let total: f64 = (0..3).flat_map(|r| (0..4).map(move |c| (r, c)))
+            .map(|(r, c)| m.get(r, c).unwrap())
+            .sum();
+        let mean = total / n;
+        let row_mean = |r: usize| (0..4).map(|c| m.get(r, c).unwrap()).sum::<f64>() / 4.0;
+        let col_mean = |c: usize| (0..3).map(|r| m.get(r, c).unwrap()).sum::<f64>() / 3.0;
+        let mut sum = 0.0;
+        for r in 0..3 {
+            for c in 0..4 {
+                let res = m.get(r, c).unwrap() - row_mean(r) - col_mean(c) + mean;
+                sum += res * res;
+            }
+        }
+        assert!((st.msr(&m) - sum / n).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contributions_average_to_msr() {
+        let m = DataMatrix::from_rows(
+            4,
+            3,
+            vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0, 8.0],
+        );
+        let st = MsrState::full(&m);
+        let h = st.msr(&m);
+        let d_avg: f64 = st.row_contributions(&m).iter().map(|(_, d)| d).sum::<f64>() / 4.0;
+        let e_avg: f64 = st.col_contributions(&m).iter().map(|(_, e)| e).sum::<f64>() / 3.0;
+        assert!((d_avg - h).abs() < 1e-12, "row contributions average to H");
+        assert!((e_avg - h).abs() < 1e-12, "col contributions average to H");
+    }
+
+    #[test]
+    fn incremental_updates_match_fresh_state() {
+        let m = DataMatrix::from_rows(
+            4,
+            4,
+            (0..16).map(|i| ((i * 7) % 13) as f64).collect(),
+        );
+        let mut st = MsrState::full(&m);
+        st.remove_row(&m, 1);
+        st.remove_col(&m, 2);
+        st.add_row(&m, 1);
+        st.remove_row(&m, 3);
+        let fresh = MsrState::new(
+            &m,
+            BitSet::from_indices(4, [0, 1, 2]),
+            BitSet::from_indices(4, [0, 1, 3]),
+        );
+        assert!((st.msr(&m) - fresh.msr(&m)).abs() < 1e-12);
+        assert_eq!(st.rows, fresh.rows);
+        assert_eq!(st.cols, fresh.cols);
+    }
+
+    #[test]
+    fn candidate_scores_match_membership_scores() {
+        let m = DataMatrix::from_rows(
+            4,
+            4,
+            (0..16).map(|i| ((i * 5) % 11) as f64).collect(),
+        );
+        // State without row 3 / col 3.
+        let st = MsrState::new(
+            &m,
+            BitSet::from_indices(4, [0, 1, 2]),
+            BitSet::from_indices(4, [0, 1, 2]),
+        );
+        // Candidate score of row 3 should equal d(3) computed after adding
+        // it but with bases held fixed? No — Cheng & Church define addition
+        // scores against the *current* bases, which is what we check: the
+        // score must be finite and non-negative, and the perfect fit row
+        // must score 0.
+        let score = st.candidate_row_score(&m, 3, false);
+        assert!(score >= 0.0);
+        // Build a perfectly fitting candidate: row = col means + constant.
+        let mut m2 = m.clone();
+        for c in 0..3 {
+            m2.set(3, c, st.col_mean(c) + 5.0);
+        }
+        let st2 = MsrState::new(
+            &m2,
+            BitSet::from_indices(4, [0, 1, 2]),
+            BitSet::from_indices(4, [0, 1, 2]),
+        );
+        assert!(st2.candidate_row_score(&m2, 3, false) < 1e-12);
+    }
+
+    #[test]
+    fn inverted_candidate_detects_mirror_rows() {
+        // Row 3 = −(row 0) + constant: a mirror image of row 0's pattern.
+        let mut m = DataMatrix::new(4, 3);
+        let base = [1.0, 4.0, 2.0];
+        for c in 0..3 {
+            m.set(0, c, base[c]);
+            m.set(1, c, base[c] + 2.0);
+            m.set(2, c, base[c] + 5.0);
+            m.set(3, c, 10.0 - base[c]);
+        }
+        let st = MsrState::new(
+            &m,
+            BitSet::from_indices(4, [0, 1, 2]),
+            BitSet::full(3),
+        );
+        let direct = st.candidate_row_score(&m, 3, false);
+        let inverted = st.candidate_row_score(&m, 3, true);
+        assert!(inverted < 1e-12, "inverted score must vanish for a mirror row");
+        assert!(direct > 1.0, "direct score must be large for a mirror row");
+    }
+
+    #[test]
+    #[should_panic(expected = "fully specified")]
+    fn missing_entries_are_rejected() {
+        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.unset(0, 1);
+        let _ = MsrState::full(&m);
+    }
+
+    #[test]
+    fn empty_submatrix_msr_is_zero() {
+        let m = perfect();
+        let st = MsrState::new(&m, BitSet::new(3), BitSet::new(3));
+        assert_eq!(st.msr(&m), 0.0);
+    }
+}

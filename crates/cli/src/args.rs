@@ -1,0 +1,156 @@
+//! Hand-rolled argument parsing for the `delta-clusters` binary.
+//!
+//! Kept dependency-free on purpose: the workspace's external crates are
+//! limited to the algorithmic ones, and the surface is small enough that a
+//! flag map is clearer than a framework.
+
+use std::collections::HashMap;
+
+/// A parsed command line: subcommand, positional arguments, and `--flag
+/// [value]` pairs (a flag without a following value is boolean `"true"`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` / `--switch` pairs.
+    pub flags: HashMap<String, String>,
+}
+
+/// Errors from argument access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required flag is absent.
+    Missing(String),
+    /// A flag's value failed to parse.
+    Invalid {
+        /// Flag name.
+        flag: String,
+        /// Raw value.
+        value: String,
+        /// Expected type description.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::Invalid { flag, value, expected } => {
+                write!(f, "--{flag} {value:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().unwrap(),
+                    _ => "true".to_string(),
+                };
+                out.flags.insert(name.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                out.positional.push(arg);
+            }
+        }
+        out
+    }
+
+    /// The raw string value of a flag, if present.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// True if a boolean switch was given.
+    pub fn switch(&self, flag: &str) -> bool {
+        matches!(self.get(flag), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// A parsed flag value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgError::Invalid {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// A required parsed flag value.
+    pub fn require<T: std::str::FromStr>(&self, flag: &str) -> Result<T, ArgError> {
+        match self.get(flag) {
+            None => Err(ArgError::Missing(flag.to_string())),
+            Some(raw) => raw.parse().map_err(|_| ArgError::Invalid {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let a = parse(&["mine", "input.tsv", "--k", "5", "--alpha", "0.6", "--verbose"]);
+        assert_eq!(a.command.as_deref(), Some("mine"));
+        assert_eq!(a.positional, vec!["input.tsv"]);
+        assert_eq!(a.get("k"), Some("5"));
+        assert_eq!(a.get("alpha"), Some("0.6"));
+        assert!(a.switch("verbose"));
+        assert!(!a.switch("quiet"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["mine", "--fast", "--k", "3"]);
+        assert!(a.switch("fast"));
+        assert_eq!(a.get("k"), Some("3"));
+    }
+
+    #[test]
+    fn get_or_and_require() {
+        let a = parse(&["mine", "--k", "7"]);
+        assert_eq!(a.get_or("k", 1usize).unwrap(), 7);
+        assert_eq!(a.get_or("missing", 9usize).unwrap(), 9);
+        assert_eq!(a.require::<usize>("k").unwrap(), 7);
+        assert!(matches!(a.require::<usize>("absent"), Err(ArgError::Missing(_))));
+    }
+
+    #[test]
+    fn invalid_values_error_cleanly() {
+        let a = parse(&["mine", "--k", "banana"]);
+        let err = a.require::<usize>("k").unwrap_err();
+        assert!(matches!(err, ArgError::Invalid { .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn empty_args() {
+        let a = parse(&[]);
+        assert_eq!(a.command, None);
+        assert!(a.positional.is_empty());
+        assert!(a.flags.is_empty());
+    }
+}

@@ -1,0 +1,430 @@
+//! The `delta-clusters` subcommands.
+//!
+//! * `mine` — run FLOC on a delimited matrix file, print cluster reports,
+//!   optionally write the result as JSON.
+//! * `generate` — produce a synthetic matrix (embedded clusters, a
+//!   MovieLens-shaped rating matrix, or a microarray-shaped expression
+//!   matrix) to a file.
+//! * `evaluate` — score a clustering JSON against a ground-truth JSON.
+//! * `compare` — run FLOC and Cheng & Church on the same matrix.
+//!
+//! Every command takes `--seed` and is fully reproducible.
+
+use crate::args::{ArgError, Args};
+use dc_floc::{floc, Constraint, DeltaCluster, FlocConfig, Ordering, ResidueMean, Seeding};
+use dc_matrix::io::{read_dense_file, read_triples_file, DenseFormat};
+use dc_matrix::DataMatrix;
+use std::path::Path;
+
+/// Top-level command errors.
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad command-line usage; the string is the message shown to the user.
+    Usage(String),
+    /// Argument parsing/validation failed.
+    Arg(ArgError),
+    /// File IO or parsing failed.
+    Io(String),
+    /// The algorithm failed.
+    Algo(String),
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Usage(m) => write!(f, "usage error: {m}"),
+            CmdError::Arg(e) => write!(f, "argument error: {e}"),
+            CmdError::Io(m) => write!(f, "io error: {m}"),
+            CmdError::Algo(m) => write!(f, "algorithm error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError::Arg(e)
+    }
+}
+
+/// The text printed by `delta-clusters help`.
+pub const HELP: &str = "\
+delta-clusters — δ-cluster mining (Yang et al., ICDE 2002)
+
+USAGE:
+  delta-clusters mine <matrix-file> [--k N] [--alpha A] [--ordering fixed|random|weighted]
+                  [--mean arithmetic|squared] [--min-volume CELLS] [--max-overlap FRAC]
+                  [--seed-rows N --seed-cols N] [--triples] [--seed S] [--threads T]
+                  [--json OUT.json]
+  delta-clusters generate <out-file> --kind embedded|movielens|microarray
+                  [--rows N --cols N --clusters K] [--seed S] [--truth OUT.json]
+  delta-clusters evaluate <matrix-file> --found FOUND.json --truth TRUTH.json [--triples]
+  delta-clusters compare <matrix-file> [--k N] [--delta D] [--triples] [--seed S]
+  delta-clusters help
+
+Matrix files are tab-separated with `NA` (or empty) for missing entries;
+pass --triples for `row col value` lines (the MovieLens u.data layout).
+";
+
+/// Dispatches a parsed command line. Returns the text to print.
+pub fn dispatch(args: &Args) -> Result<String, CmdError> {
+    match args.command.as_deref() {
+        Some("mine") => mine(args),
+        Some("generate") => generate(args),
+        Some("evaluate") => evaluate(args),
+        Some("compare") => compare(args),
+        Some("help") | None => Ok(HELP.to_string()),
+        Some(other) => Err(CmdError::Usage(format!("unknown command {other:?}; try `help`"))),
+    }
+}
+
+fn load_matrix(args: &Args, path: &str) -> Result<DataMatrix, CmdError> {
+    if args.switch("triples") {
+        Ok(read_triples_file(path)
+            .map_err(|e| CmdError::Io(format!("{path}: {e}")))?
+            .matrix)
+    } else {
+        read_dense_file(path, &DenseFormat::default())
+            .map_err(|e| CmdError::Io(format!("{path}: {e}")))
+    }
+}
+
+fn input_path<'a>(args: &'a Args, what: &str) -> Result<&'a str, CmdError> {
+    args.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| CmdError::Usage(format!("expected a {what} path")))
+}
+
+/// Builds a [`FlocConfig`] from common mining flags.
+pub fn floc_config(args: &Args, matrix: &DataMatrix) -> Result<FlocConfig, CmdError> {
+    let k: usize = args.get_or("k", 5)?;
+    if k == 0 {
+        return Err(CmdError::Usage("--k must be positive".into()));
+    }
+    let alpha: f64 = args.get_or("alpha", 0.0)?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(CmdError::Usage(format!("--alpha {alpha} not in [0, 1]")));
+    }
+    let ordering = match args.get("ordering").unwrap_or("weighted") {
+        "fixed" => Ordering::Fixed,
+        "random" => Ordering::Random,
+        "weighted" => Ordering::Weighted,
+        other => return Err(CmdError::Usage(format!("unknown ordering {other:?}"))),
+    };
+    let mean = match args.get("mean").unwrap_or("arithmetic") {
+        "arithmetic" => ResidueMean::Arithmetic,
+        "squared" => ResidueMean::Squared,
+        other => return Err(CmdError::Usage(format!("unknown mean {other:?}"))),
+    };
+    let seed_rows: usize = args.get_or("seed-rows", (matrix.rows() / 10).max(2))?;
+    let seed_cols: usize = args.get_or("seed-cols", (matrix.cols() / 5).max(2))?;
+
+    let mut builder = FlocConfig::builder(k)
+        .alpha(alpha)
+        .ordering(ordering)
+        .mean(mean)
+        .seeding(Seeding::TargetSize { rows: seed_rows, cols: seed_cols })
+        .seed(args.get_or("seed", 0u64)?)
+        .threads(args.get_or("threads", 1usize)?);
+    if let Some(cells) = args.get("min-volume") {
+        let cells: usize = cells
+            .parse()
+            .map_err(|_| CmdError::Usage(format!("--min-volume {cells:?} not a number")))?;
+        builder = builder.constraint(Constraint::MinVolume { cells });
+    }
+    if let Some(frac) = args.get("max-overlap") {
+        let fraction: f64 = frac
+            .parse()
+            .map_err(|_| CmdError::Usage(format!("--max-overlap {frac:?} not a number")))?;
+        builder = builder.constraint(Constraint::MaxOverlap { fraction });
+    }
+    Ok(builder.build())
+}
+
+fn mine(args: &Args) -> Result<String, CmdError> {
+    let path = input_path(args, "matrix file")?;
+    let matrix = load_matrix(args, path)?;
+    let config = floc_config(args, &matrix)?;
+    let result = floc(&matrix, &config).map_err(|e| CmdError::Algo(e.to_string()))?;
+
+    let mut out = result.summary(&matrix);
+    if let Some(json_path) = args.get("json") {
+        let json = serde_json::to_string_pretty(&result.clusters)
+            .map_err(|e| CmdError::Io(e.to_string()))?;
+        std::fs::write(json_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("clusters written to {json_path}\n"));
+    }
+    Ok(out)
+}
+
+fn generate(args: &Args) -> Result<String, CmdError> {
+    let path = input_path(args, "output file")?;
+    let kind = args.get("kind").unwrap_or("embedded");
+    let seed: u64 = args.get_or("seed", 0)?;
+    let (matrix, truth): (DataMatrix, Option<Vec<DeltaCluster>>) = match kind {
+        "embedded" => {
+            let rows: usize = args.get_or("rows", 300)?;
+            let cols: usize = args.get_or("cols", 50)?;
+            let k: usize = args.get_or("clusters", 5)?;
+            let size = ((rows / 15).max(2), (cols / 8).max(2));
+            let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![size; k]).with_seed(seed);
+            let data = dc_datagen::embed::generate(&cfg);
+            (data.matrix, Some(data.truth))
+        }
+        "movielens" => {
+            let config = dc_datagen::MovieLensConfig {
+                users: args.get_or("rows", 943)?,
+                movies: args.get_or("cols", 1682)?,
+                seed,
+                ..Default::default()
+            };
+            (dc_datagen::movielens::generate(&config).matrix, None)
+        }
+        "microarray" => {
+            let config = dc_datagen::MicroarrayConfig {
+                genes: args.get_or("rows", 2884)?,
+                conditions: args.get_or("cols", 17)?,
+                seed,
+                ..Default::default()
+            };
+            let data = dc_datagen::microarray::generate(&config);
+            (data.matrix, Some(data.modules))
+        }
+        other => return Err(CmdError::Usage(format!("unknown --kind {other:?}"))),
+    };
+
+    let mut file = std::fs::File::create(path).map_err(|e| CmdError::Io(e.to_string()))?;
+    dc_matrix::io::write_dense(&matrix, &mut file, &DenseFormat::default())
+        .map_err(|e| CmdError::Io(e.to_string()))?;
+    let mut out = format!(
+        "wrote {}x{} matrix ({} specified) to {path}\n",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.specified_count()
+    );
+    if let (Some(truth), Some(truth_path)) = (truth, args.get("truth")) {
+        let json =
+            serde_json::to_string_pretty(&truth).map_err(|e| CmdError::Io(e.to_string()))?;
+        std::fs::write(truth_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("ground truth written to {truth_path}\n"));
+    }
+    Ok(out)
+}
+
+fn read_clusters(path: &str) -> Result<Vec<DeltaCluster>, CmdError> {
+    let text = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| CmdError::Io(format!("{path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| CmdError::Io(format!("{path}: {e}")))
+}
+
+fn evaluate(args: &Args) -> Result<String, CmdError> {
+    let path = input_path(args, "matrix file")?;
+    let matrix = load_matrix(args, path)?;
+    let found = read_clusters(
+        args.get("found").ok_or(ArgError::Missing("found".into()))?,
+    )?;
+    let truth = read_clusters(
+        args.get("truth").ok_or(ArgError::Missing("truth".into()))?,
+    )?;
+    let q = dc_eval::quality(&matrix, &truth, &found);
+    let matches = dc_eval::match_clusters(&matrix, &truth, &found);
+    let mut out = format!(
+        "recall {:.3}  precision {:.3}  f1 {:.3}  ({} truth entries, {} found)\n",
+        q.recall,
+        q.precision,
+        q.f1(),
+        q.truth_entries,
+        q.found_entries
+    );
+    for m in &matches {
+        out.push_str(&format!(
+            "  truth #{:<3} -> {}  jaccard {:.3}\n",
+            m.truth_index,
+            m.found_index.map_or("(unmatched)".to_string(), |i| format!("found #{i}")),
+            m.jaccard
+        ));
+    }
+    Ok(out)
+}
+
+fn compare(args: &Args) -> Result<String, CmdError> {
+    let path = input_path(args, "matrix file")?;
+    let matrix = load_matrix(args, path)?;
+    let config = floc_config(args, &matrix)?;
+    let floc_result = floc(&matrix, &config).map_err(|e| CmdError::Algo(e.to_string()))?;
+
+    let delta: f64 = args.get_or("delta", 300.0)?;
+    let cc = dc_bicluster::cheng_church(
+        &matrix,
+        &dc_bicluster::ChengChurchConfig {
+            seed: args.get_or("seed", 0)?,
+            ..dc_bicluster::ChengChurchConfig::new(config.k, delta)
+        },
+    );
+    let cc_residues: Vec<f64> = cc
+        .biclusters
+        .iter()
+        .map(|b| {
+            let c = DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() };
+            dc_floc::cluster_residue(&matrix, &c, ResidueMean::Arithmetic)
+        })
+        .collect();
+    let cc_avg = cc_residues.iter().sum::<f64>() / cc_residues.len().max(1) as f64;
+
+    Ok(format!(
+        "FLOC:           avg residue {:.3}, aggregate volume {}, {:.2?}\n\
+         Cheng & Church: avg residue {:.3}, aggregate volume {}, {:.2?}\n",
+        floc_result.avg_residue,
+        floc_result.aggregate_volume(&matrix),
+        floc_result.elapsed,
+        cc_avg,
+        cc.aggregate_volume(),
+        cc.elapsed,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(list.iter().map(|s| s.to_string()))
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dc_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn help_is_shown_for_no_command() {
+        let out = dispatch(&args(&[])).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = dispatch(&args(&["help"])).unwrap();
+        assert!(out.contains("delta-clusters mine"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let err = dispatch(&args(&["frobnicate"])).unwrap_err();
+        assert!(matches!(err, CmdError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn generate_then_mine_roundtrip() {
+        let data = tmp("gen.tsv");
+        let truth = tmp("truth.json");
+        let out = dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--kind",
+            "embedded",
+            "--rows",
+            "60",
+            "--cols",
+            "20",
+            "--clusters",
+            "2",
+            "--truth",
+            truth.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("60x20"));
+        assert!(truth.exists());
+
+        let clusters = tmp("found.json");
+        let out = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "3",
+            "--json",
+            clusters.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("FLOC: 2 clusters"));
+        assert!(clusters.exists());
+
+        let out = dispatch(&args(&[
+            "evaluate",
+            data.to_str().unwrap(),
+            "--found",
+            clusters.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("recall"));
+        assert!(out.contains("jaccard"));
+    }
+
+    #[test]
+    fn mine_rejects_bad_flags() {
+        let data = tmp("gen2.tsv");
+        dispatch(&args(&["generate", data.to_str().unwrap(), "--rows", "30", "--cols", "10"]))
+            .unwrap();
+        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--alpha", "2.0"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("alpha"));
+        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--ordering", "bogus"]))
+            .unwrap_err();
+        assert!(err.to_string().contains("ordering"));
+        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--k", "0"])).unwrap_err();
+        assert!(err.to_string().contains("k must be positive"));
+    }
+
+    #[test]
+    fn mine_missing_file_is_io_error() {
+        let err = dispatch(&args(&["mine", "/nonexistent/matrix.tsv"])).unwrap_err();
+        assert!(matches!(err, CmdError::Io(_)));
+    }
+
+    #[test]
+    fn compare_runs_both_algorithms() {
+        let data = tmp("gen3.tsv");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--rows",
+            "50",
+            "--cols",
+            "15",
+            "--clusters",
+            "2",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&["compare", data.to_str().unwrap(), "--k", "2"])).unwrap();
+        assert!(out.contains("FLOC"));
+        assert!(out.contains("Cheng & Church"));
+    }
+
+    #[test]
+    fn generate_movielens_and_microarray_kinds() {
+        for kind in ["movielens", "microarray"] {
+            let data = tmp(&format!("gen_{kind}.tsv"));
+            let out = dispatch(&args(&[
+                "generate",
+                data.to_str().unwrap(),
+                "--kind",
+                kind,
+                "--rows",
+                "50",
+                "--cols",
+                "30",
+            ]))
+            .unwrap();
+            assert!(out.contains("50x30"), "{kind}: {out}");
+        }
+        let err = dispatch(&args(&["generate", "/tmp/x.tsv", "--kind", "bogus"])).unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+}

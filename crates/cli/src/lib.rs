@@ -1,0 +1,15 @@
+//! # dc-cli
+//!
+//! The `delta-clusters` command-line tool: mine δ-clusters from delimited
+//! matrix files, generate the paper's synthetic workloads, evaluate a
+//! clustering against ground truth, and compare FLOC with Cheng & Church —
+//! all reproducible via `--seed`.
+//!
+//! ```sh
+//! delta-clusters generate data.tsv --kind embedded --rows 300 --cols 50 --truth truth.json
+//! delta-clusters mine data.tsv --k 5 --alpha 0.4 --json found.json
+//! delta-clusters evaluate data.tsv --found found.json --truth truth.json
+//! ```
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,16 @@
+//! `delta-clusters` — the command-line front end.
+
+use dc_cli::args::Args;
+use dc_cli::commands::{dispatch, HELP};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    match dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{HELP}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Embedding δ-clusters into synthetic matrices (§6.2 workloads).
+//!
+//! The paper's synthetic experiments embed a set of shifting-coherent
+//! clusters into a noise matrix: inside an embedded cluster every entry is
+//! `row_bias + col_effect (+ bounded noise)` — a perfect (or `r`-residue)
+//! δ-cluster — and everything else is background noise. The generator
+//! records the embedded clusters as ground truth for recall/precision
+//! evaluation (Tables 4 and 5).
+
+use crate::noise::Noise;
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an embedded-cluster matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbedConfig {
+    /// Matrix rows (objects).
+    pub rows: usize,
+    /// Matrix columns (attributes).
+    pub cols: usize,
+    /// `(rows, cols)` of each embedded cluster.
+    pub cluster_sizes: Vec<(usize, usize)>,
+    /// Target arithmetic residue of the embedded clusters (0 = perfect).
+    pub residue: f64,
+    /// Background noise for non-cluster cells.
+    pub background: Noise,
+    /// Range of per-row biases inside clusters.
+    pub bias_range: (f64, f64),
+    /// Range of per-column effects inside clusters.
+    pub effect_range: (f64, f64),
+    /// Fraction of all cells turned missing after generation (`0..1`).
+    pub missing_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl EmbedConfig {
+    /// A reasonable default: background `[0, 600)` (microarray-like scale),
+    /// biases/effects `[0, 300)`, fully specified.
+    pub fn new(rows: usize, cols: usize, cluster_sizes: Vec<(usize, usize)>) -> Self {
+        EmbedConfig {
+            rows,
+            cols,
+            cluster_sizes,
+            residue: 0.0,
+            background: Noise::Uniform { lo: 0.0, hi: 600.0 },
+            bias_range: (0.0, 300.0),
+            effect_range: (0.0, 300.0),
+            missing_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A generated matrix together with its ground-truth clusters.
+#[derive(Debug, Clone)]
+pub struct EmbeddedData {
+    /// The data matrix.
+    pub matrix: DataMatrix,
+    /// The embedded clusters, index-aligned with
+    /// [`EmbedConfig::cluster_sizes`].
+    pub truth: Vec<DeltaCluster>,
+}
+
+/// Generates the matrix and ground truth for `config`.
+///
+/// Cluster row/column subsets are sampled uniformly; clusters may overlap
+/// (later clusters overwrite earlier cells), mirroring the paper's
+/// unconstrained generation.
+///
+/// # Panics
+/// Panics if a cluster size exceeds the matrix dimensions or rates are out
+/// of range.
+pub fn generate(config: &EmbedConfig) -> EmbeddedData {
+    assert!(
+        (0.0..1.0).contains(&config.missing_rate),
+        "missing_rate must be in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut matrix = DataMatrix::new(config.rows, config.cols);
+
+    // Background noise everywhere.
+    for r in 0..config.rows {
+        for c in 0..config.cols {
+            matrix.set(r, c, config.background.sample(&mut rng));
+        }
+    }
+
+    // Embed each cluster.
+    let cluster_noise = Noise::for_target_residue(config.residue);
+    let mut truth = Vec::with_capacity(config.cluster_sizes.len());
+    let all_rows: Vec<usize> = (0..config.rows).collect();
+    let all_cols: Vec<usize> = (0..config.cols).collect();
+    for &(n_rows, n_cols) in &config.cluster_sizes {
+        assert!(
+            n_rows <= config.rows && n_cols <= config.cols,
+            "cluster {n_rows}x{n_cols} exceeds matrix {}x{}",
+            config.rows,
+            config.cols
+        );
+        // partial_shuffle randomizes the slice *tail* and returns it first.
+        let mut rows = all_rows.clone();
+        let rows: Vec<usize> = rows.partial_shuffle(&mut rng, n_rows).0.to_vec();
+        let mut cols = all_cols.clone();
+        let cols: Vec<usize> = cols.partial_shuffle(&mut rng, n_cols).0.to_vec();
+
+        let effects: Vec<f64> = (0..n_cols)
+            .map(|_| rng.gen_range(config.effect_range.0..config.effect_range.1))
+            .collect();
+        for &r in &rows {
+            let bias = rng.gen_range(config.bias_range.0..config.bias_range.1);
+            for (ci, &c) in cols.iter().enumerate() {
+                matrix.set(r, c, bias + effects[ci] + cluster_noise.sample(&mut rng));
+            }
+        }
+        truth.push(DeltaCluster::from_indices(
+            config.rows,
+            config.cols,
+            rows.iter().copied(),
+            cols.iter().copied(),
+        ));
+    }
+
+    // Punch missing values.
+    if config.missing_rate > 0.0 {
+        for r in 0..config.rows {
+            for c in 0..config.cols {
+                if rng.gen_bool(config.missing_rate) {
+                    matrix.unset(r, c);
+                }
+            }
+        }
+    }
+
+    EmbeddedData { matrix, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_floc::{cluster_residue, ResidueMean};
+
+    #[test]
+    fn embedded_clusters_are_perfect_at_zero_residue() {
+        let config = EmbedConfig::new(60, 20, vec![(10, 5), (8, 6)]);
+        let data = generate(&config);
+        assert_eq!(data.truth.len(), 2);
+        for (i, t) in data.truth.iter().enumerate() {
+            // Later clusters may overwrite earlier ones where they overlap;
+            // the *last* cluster is always exactly coherent.
+            if i == data.truth.len() - 1 {
+                let r = cluster_residue(&data.matrix, t, ResidueMean::Arithmetic);
+                assert!(r < 1e-9, "cluster {i} residue {r}");
+            }
+            assert_eq!(t.row_count(), config.cluster_sizes[i].0);
+            assert_eq!(t.col_count(), config.cluster_sizes[i].1);
+        }
+    }
+
+    #[test]
+    fn target_residue_is_approximated() {
+        let mut config = EmbedConfig::new(100, 40, vec![(30, 20)]);
+        config.residue = 5.0;
+        config.seed = 3;
+        let data = generate(&config);
+        let r = cluster_residue(&data.matrix, &data.truth[0], ResidueMean::Arithmetic);
+        assert!(
+            (2.5..10.0).contains(&r),
+            "measured residue {r} too far from target 5"
+        );
+    }
+
+    #[test]
+    fn background_is_incoherent() {
+        let config = EmbedConfig::new(50, 20, vec![]);
+        let data = generate(&config);
+        let all = DeltaCluster::from_indices(50, 20, 0..50, 0..20);
+        let r = cluster_residue(&data.matrix, &all, ResidueMean::Arithmetic);
+        assert!(r > 50.0, "background residue {r} suspiciously low");
+    }
+
+    #[test]
+    fn missing_rate_is_respected() {
+        let mut config = EmbedConfig::new(100, 50, vec![(20, 10)]);
+        config.missing_rate = 0.3;
+        config.seed = 1;
+        let data = generate(&config);
+        let density = data.matrix.density();
+        assert!((density - 0.7).abs() < 0.03, "density {density}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let config = EmbedConfig::new(30, 10, vec![(5, 4)]);
+        let a = generate(&config);
+        let b = generate(&config);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.truth, b.truth);
+        let mut other = config.clone();
+        other.seed = 99;
+        assert_ne!(generate(&other).matrix, a.matrix);
+    }
+
+    #[test]
+    fn fully_specified_without_missing() {
+        let config = EmbedConfig::new(20, 10, vec![(4, 3)]);
+        let data = generate(&config);
+        assert_eq!(data.matrix.specified_count(), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds matrix")]
+    fn oversized_cluster_panics() {
+        let config = EmbedConfig::new(10, 10, vec![(11, 2)]);
+        let _ = generate(&config);
+    }
+}

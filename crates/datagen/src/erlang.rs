@@ -1,0 +1,172 @@
+//! Erlang-distributed sampling.
+//!
+//! The paper's Figure 9 / Table 5 experiments draw embedded-cluster volumes
+//! from an Erlang distribution of fixed mean and varying variance
+//! (referencing Kleinrock's *Queueing Systems*). An Erlang(k, λ) variable is
+//! the sum of `k` independent exponentials of rate `λ`, with mean `k/λ` and
+//! variance `k/λ²`. Given a target `(mean, variance)` we pick
+//! `k = round(mean²/variance)` (at least 1) and `λ = k/mean`; variance 0
+//! degenerates to the constant `mean`.
+
+use rand::Rng;
+
+/// An Erlang distribution parameterized by target mean and variance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    /// Shape (number of exponential stages); 0 encodes the degenerate
+    /// constant distribution.
+    shape: usize,
+    /// Rate of each stage.
+    rate: f64,
+    /// The requested mean (returned exactly in the degenerate case).
+    mean: f64,
+}
+
+impl Erlang {
+    /// Builds the distribution from a target mean and variance.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0` and `variance >= 0`.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Erlang {
+        assert!(mean > 0.0, "mean must be positive, got {mean}");
+        assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+        if variance == 0.0 {
+            return Erlang { shape: 0, rate: 0.0, mean };
+        }
+        let shape = ((mean * mean / variance).round() as usize).max(1);
+        Erlang { shape, rate: shape as f64 / mean, mean }
+    }
+
+    /// The shape `k` (0 for the degenerate constant distribution).
+    pub fn shape(&self) -> usize {
+        self.shape
+    }
+
+    /// The exact mean of the distribution as constructed.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The actual variance of the distribution as constructed (the target
+    /// is matched only approximately because the shape is an integer).
+    pub fn variance(&self) -> f64 {
+        if self.shape == 0 {
+            0.0
+        } else {
+            self.shape as f64 / (self.rate * self.rate)
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        if self.shape == 0 {
+            return self.mean;
+        }
+        // Sum of k exponentials = −ln(∏ Uᵢ)/λ; the product form does one
+        // logarithm instead of k.
+        let mut product = 1.0f64;
+        for _ in 0..self.shape {
+            // gen samples in [0, 1); flip to (0, 1] to keep ln finite.
+            product *= 1.0 - rng.gen::<f64>();
+        }
+        -product.ln() / self.rate
+    }
+
+    /// Draws a sample clamped to `[lo, hi]` and rounded to the nearest
+    /// integer — the form used for cluster volumes.
+    pub fn sample_clamped_int<R: Rng>(&self, rng: &mut R, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "invalid clamp range");
+        (self.sample(rng).round() as i64).clamp(lo as i64, hi as i64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn zero_variance_is_constant() {
+        let e = Erlang::from_mean_variance(300.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(e.sample(&mut rng), 300.0);
+        }
+        assert_eq!(e.variance(), 0.0);
+        assert_eq!(e.shape(), 0);
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let e = Erlang::from_mean_variance(50.0, 200.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| e.sample(&mut rng)).collect();
+        let (mean, var) = stats(&samples);
+        assert!((mean - 50.0).abs() < 1.5, "empirical mean {mean}");
+        assert!(
+            (var - e.variance()).abs() < 0.15 * e.variance(),
+            "empirical var {var} vs constructed {}",
+            e.variance()
+        );
+    }
+
+    #[test]
+    fn constructed_variance_approximates_target() {
+        for target_var in [10.0, 100.0, 900.0] {
+            let e = Erlang::from_mean_variance(300.0, target_var);
+            // Integer shape rounding keeps the achieved variance within a
+            // factor of ~2 of the target for reasonable parameters.
+            assert!(
+                e.variance() > 0.3 * target_var && e.variance() < 3.0 * target_var,
+                "target {target_var}, constructed {}",
+                e.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let e = Erlang::from_mean_variance(10.0, 50.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(e.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn clamped_int_respects_bounds() {
+        let e = Erlang::from_mean_variance(20.0, 400.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = e.sample_clamped_int(&mut rng, 5, 40);
+            assert!((5..=40).contains(&v));
+        }
+    }
+
+    #[test]
+    fn higher_variance_means_lower_shape() {
+        let tight = Erlang::from_mean_variance(100.0, 10.0);
+        let loose = Erlang::from_mean_variance(100.0, 5000.0);
+        assert!(tight.shape() > loose.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn non_positive_mean_panics() {
+        let _ = Erlang::from_mean_variance(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_variance_panics() {
+        let _ = Erlang::from_mean_variance(1.0, -1.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dc-datagen
+//!
+//! Synthetic workload generators for the δ-cluster reproduction — every
+//! data set §6 of the paper evaluates on:
+//!
+//! * [`embed`] — matrices with planted shifting-coherent δ-clusters and
+//!   ground truth, for the recall/precision experiments (Tables 4, 5).
+//! * [`erlang`] — the Erlang volume distribution used by Figure 9/Table 5.
+//! * [`synth`] — builders translating each experiment's parameters
+//!   (Tables 2/3, Figures 8/9) into generator configs.
+//! * [`movielens`] — a MovieLens-100k-shaped rating matrix (943 × 1682,
+//!   100k ratings, ≥ 20 per user) with planted taste groups; stands in for
+//!   the real data set (see DESIGN.md, substitutions).
+//! * [`microarray`] — a yeast-expression-shaped matrix (2884 × 17) with
+//!   co-regulated gene modules; stands in for the Tavazoie data set.
+//! * [`noise`] — uniform/Gaussian noise primitives.
+//!
+//! All generators are deterministic given their seed.
+
+pub mod embed;
+pub mod erlang;
+pub mod microarray;
+pub mod movielens;
+pub mod noise;
+pub mod synth;
+
+pub use embed::{generate as generate_embedded, EmbedConfig, EmbeddedData};
+pub use erlang::Erlang;
+pub use microarray::{generate as generate_microarray, MicroarrayConfig, MicroarrayData};
+pub use movielens::{generate as generate_movielens, MovieLensConfig, MovieLensData};
+pub use noise::Noise;

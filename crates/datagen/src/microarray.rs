@@ -1,0 +1,223 @@
+//! A yeast-microarray-shaped gene-expression generator.
+//!
+//! §6.1.2 of the paper runs FLOC and Cheng & Church on the Tavazoie et al.
+//! yeast data set: 2884 genes × 17 conditions, entries being (scaled)
+//! logarithms of expression ratios — integers roughly in 0..600 after the
+//! ×100 scaling Cheng & Church applied. We generate a matrix with that
+//! shape: a heavy-tailed background plus a configurable number of coherent
+//! gene modules, each a group of co-regulated genes whose expression rises
+//! and falls together (with per-gene additive bias) across a subset of
+//! conditions. A small fraction of entries is missing, as in the real data.
+
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the microarray generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MicroarrayConfig {
+    /// Number of genes (rows).
+    pub genes: usize,
+    /// Number of experimental conditions (columns).
+    pub conditions: usize,
+    /// Number of co-regulated gene modules to embed.
+    pub modules: usize,
+    /// Genes per module (min, max).
+    pub module_genes: (usize, usize),
+    /// Conditions per module (min, max).
+    pub module_conditions: (usize, usize),
+    /// Within-module noise amplitude (uniform half-width, expression
+    /// units).
+    pub module_noise: f64,
+    /// Fraction of missing entries.
+    pub missing_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MicroarrayConfig {
+    /// The Tavazoie yeast shape: 2884 × 17 with 30 modules.
+    fn default() -> Self {
+        MicroarrayConfig {
+            genes: 2884,
+            conditions: 17,
+            modules: 30,
+            module_genes: (20, 120),
+            module_conditions: (5, 12),
+            module_noise: 6.0,
+            missing_rate: 0.02,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated expression matrix with module ground truth.
+#[derive(Debug, Clone)]
+pub struct MicroarrayData {
+    /// The expression matrix (values ~0..600, like the ×100-scaled log
+    /// ratios Cheng & Church used).
+    pub matrix: DataMatrix,
+    /// The embedded co-regulation modules.
+    pub modules: Vec<DeltaCluster>,
+}
+
+/// Generates the expression matrix.
+pub fn generate(config: &MicroarrayConfig) -> MicroarrayData {
+    assert!(config.genes > 0 && config.conditions > 0, "empty matrix");
+    assert!(
+        config.module_genes.0 <= config.module_genes.1
+            && config.module_conditions.0 <= config.module_conditions.1,
+        "invalid module size ranges"
+    );
+    assert!(
+        config.module_conditions.1 <= config.conditions,
+        "modules cannot span more conditions than exist"
+    );
+    assert!((0.0..1.0).contains(&config.missing_rate), "missing_rate in [0,1)");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut matrix = DataMatrix::new(config.genes, config.conditions);
+
+    // Background: per-gene baseline plus wide per-entry jitter, clamped to
+    // the 0..600 scale. The jitter dominates the baseline so that the
+    // background contains no large flat (trivially low-residue) submatrix —
+    // the embedded modules are the only strongly coherent structure, as in
+    // real expression data where co-regulation is the signal.
+    for g in 0..config.genes {
+        let baseline: f64 = {
+            let u: f64 = rng.gen();
+            100.0 + 400.0 * u * u
+        };
+        for c in 0..config.conditions {
+            let jitter = rng.gen_range(-160.0..160.0);
+            matrix.set(g, c, (baseline + jitter).clamp(0.0, 600.0));
+        }
+    }
+
+    // Embed coherent modules: expression = gene bias + condition effect.
+    let mut modules = Vec::with_capacity(config.modules);
+    let all_genes: Vec<usize> = (0..config.genes).collect();
+    let all_conditions: Vec<usize> = (0..config.conditions).collect();
+    for _ in 0..config.modules {
+        let n_genes = rng.gen_range(config.module_genes.0..=config.module_genes.1);
+        let n_conds =
+            rng.gen_range(config.module_conditions.0..=config.module_conditions.1);
+        // partial_shuffle randomizes the slice *tail* and returns it first.
+        let mut genes = all_genes.clone();
+        let genes: Vec<usize> = genes.partial_shuffle(&mut rng, n_genes).0.to_vec();
+        let mut conds = all_conditions.clone();
+        let conds: Vec<usize> = conds.partial_shuffle(&mut rng, n_conds).0.to_vec();
+
+        let effects: Vec<f64> =
+            (0..n_conds).map(|_| rng.gen_range(0.0..350.0)).collect();
+        for &g in &genes {
+            let bias = rng.gen_range(0.0..250.0);
+            for (ci, &c) in conds.iter().enumerate() {
+                let noise = rng.gen_range(-config.module_noise..=config.module_noise);
+                matrix.set(g, c, (bias + effects[ci] + noise).clamp(0.0, 600.0));
+            }
+        }
+        modules.push(DeltaCluster::from_indices(
+            config.genes,
+            config.conditions,
+            genes.iter().copied(),
+            conds.iter().copied(),
+        ));
+    }
+
+    // Missing entries.
+    if config.missing_rate > 0.0 {
+        for g in 0..config.genes {
+            for c in 0..config.conditions {
+                if rng.gen_bool(config.missing_rate) {
+                    matrix.unset(g, c);
+                }
+            }
+        }
+    }
+
+    MicroarrayData { matrix, modules }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_floc::{cluster_residue, ResidueMean};
+
+    fn small() -> MicroarrayConfig {
+        MicroarrayConfig {
+            genes: 200,
+            conditions: 17,
+            modules: 5,
+            module_genes: (10, 25),
+            module_conditions: (4, 8),
+            module_noise: 5.0,
+            missing_rate: 0.02,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn shape_and_range() {
+        let data = generate(&small());
+        assert_eq!(data.matrix.rows(), 200);
+        assert_eq!(data.matrix.cols(), 17);
+        for (_, _, v) in data.matrix.entries() {
+            assert!((0.0..=600.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn modules_are_coherent() {
+        let data = generate(&small());
+        // Modules may partially overwrite each other; the last one is
+        // untouched and must be strongly coherent.
+        let last = data.modules.last().unwrap();
+        let r = cluster_residue(&data.matrix, last, ResidueMean::Arithmetic);
+        // Uniform(−5, 5) noise → expected |residue| ≈ 2.5; clamping and
+        // missing entries nudge it a little.
+        assert!(r < 10.0, "module residue {r} too high");
+    }
+
+    #[test]
+    fn background_is_incoherent() {
+        let mut config = small();
+        config.modules = 0;
+        let data = generate(&config);
+        let all = DeltaCluster::from_indices(200, 17, 0..200, 0..17);
+        let r = cluster_residue(&data.matrix, &all, ResidueMean::Arithmetic);
+        assert!(r > 20.0, "background residue {r} too low");
+        assert!(data.modules.is_empty());
+    }
+
+    #[test]
+    fn missing_rate_applied() {
+        let data = generate(&small());
+        let density = data.matrix.density();
+        assert!((density - 0.98).abs() < 0.01, "density {density}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.matrix, b.matrix);
+    }
+
+    #[test]
+    fn default_matches_yeast_shape() {
+        let c = MicroarrayConfig::default();
+        assert_eq!(c.genes, 2884);
+        assert_eq!(c.conditions, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "more conditions than exist")]
+    fn oversized_module_conditions_panic() {
+        let mut c = small();
+        c.module_conditions = (5, 30);
+        let _ = generate(&c);
+    }
+}

@@ -1,0 +1,284 @@
+//! A MovieLens-100k-shaped collaborative-filtering generator.
+//!
+//! The paper's §6.1.1 experiment runs FLOC on the GroupLens MovieLens data
+//! set: 943 users × 1682 movies, 100 000 ratings in 1–5, every user rating
+//! at least 20 movies, ~6 % density. We cannot ship that data set, so this
+//! module generates a matrix with the same shape and the same *kind* of
+//! structure the paper's discovered clusters exhibit: latent user groups
+//! with per-genre taste, per-user additive bias (the "action movies rated 2
+//! points above family movies" phenomenon), popularity-skewed rating
+//! counts, and integer ratings clamped to 1–5.
+//!
+//! If you have the real `u.data` file, load it instead via
+//! `dc_matrix::io::read_triples_file` — the downstream experiments only
+//! need a sparse rating matrix.
+
+use dc_matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the MovieLens-like generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MovieLensConfig {
+    /// Number of users (objects / rows).
+    pub users: usize,
+    /// Number of movies (attributes / columns).
+    pub movies: usize,
+    /// Total ratings to generate (approximate; each user still gets at
+    /// least `min_ratings_per_user`).
+    pub ratings: usize,
+    /// Minimum ratings per user (MovieLens guarantees 20).
+    pub min_ratings_per_user: usize,
+    /// Number of latent user taste groups.
+    pub user_groups: usize,
+    /// Number of movie genres.
+    pub genres: usize,
+    /// Standard deviation of rating noise before rounding.
+    pub noise_std: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MovieLensConfig {
+    /// The MovieLens-100k shape: 943 users, 1682 movies, 100 000 ratings,
+    /// ≥20 per user.
+    fn default() -> Self {
+        MovieLensConfig {
+            users: 943,
+            movies: 1682,
+            ratings: 100_000,
+            min_ratings_per_user: 20,
+            user_groups: 12,
+            genres: 18,
+            noise_std: 0.35,
+            seed: 0,
+        }
+    }
+}
+
+/// The generated data set.
+#[derive(Debug, Clone)]
+pub struct MovieLensData {
+    /// The sparse rating matrix (missing = not rated), values 1.0–5.0.
+    pub matrix: DataMatrix,
+    /// Latent group of each user.
+    pub user_group: Vec<usize>,
+    /// Genre of each movie.
+    pub movie_genre: Vec<usize>,
+}
+
+/// Generates a MovieLens-shaped rating matrix.
+pub fn generate(config: &MovieLensConfig) -> MovieLensData {
+    assert!(config.users > 0 && config.movies > 0, "empty universe");
+    assert!(config.user_groups > 0 && config.genres > 0, "need groups and genres");
+    assert!(
+        config.min_ratings_per_user <= config.movies,
+        "cannot rate more movies than exist"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Latent structure.
+    let user_group: Vec<usize> =
+        (0..config.users).map(|_| rng.gen_range(0..config.user_groups)).collect();
+    let movie_genre: Vec<usize> =
+        (0..config.movies).map(|_| rng.gen_range(0..config.genres)).collect();
+    // Group × genre affinity: the "shape" every user in a group shares.
+    let affinity: Vec<Vec<f64>> = (0..config.user_groups)
+        .map(|_| (0..config.genres).map(|_| rng.gen_range(1.0..5.0)).collect())
+        .collect();
+    // Per-user additive bias (some viewers rate everything higher).
+    let user_bias: Vec<f64> =
+        (0..config.users).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    // Per-movie quality offset within its genre.
+    let movie_quality: Vec<f64> =
+        (0..config.movies).map(|_| rng.gen_range(-0.6..0.6)).collect();
+    // Popularity weights: roughly Zipfian so a few movies collect many
+    // ratings, like the real data set.
+    let popularity: Vec<f64> =
+        (0..config.movies).map(|m| 1.0 / (1.0 + m as f64).sqrt()).collect();
+
+    let mut matrix = DataMatrix::new(config.users, config.movies);
+
+    let rate = |matrix: &mut DataMatrix, rng: &mut StdRng, u: usize, m: usize| {
+        if matrix.is_specified(u, m) {
+            return false;
+        }
+        let raw = affinity[user_group[u]][movie_genre[m]]
+            + user_bias[u]
+            + movie_quality[m]
+            + crate::noise::Noise::Gaussian { mean: 0.0, std_dev: 1.0 }.sample(rng)
+                * config.noise_std;
+        let rating = raw.round().clamp(1.0, 5.0);
+        matrix.set(u, m, rating);
+        true
+    };
+
+    // Guarantee the per-user minimum with popularity-weighted sampling.
+    for u in 0..config.users {
+        let mut rated = 0;
+        while rated < config.min_ratings_per_user {
+            let m = weighted_pick(&popularity, &mut rng);
+            if rate(&mut matrix, &mut rng, u, m) {
+                rated += 1;
+            } else if matrix.row_specified_count(u) >= config.movies {
+                break;
+            }
+        }
+    }
+
+    // Fill to the target total.
+    let mut guard = 0usize;
+    while matrix.specified_count() < config.ratings && guard < config.ratings * 20 {
+        guard += 1;
+        let u = rng.gen_range(0..config.users);
+        let m = weighted_pick(&popularity, &mut rng);
+        rate(&mut matrix, &mut rng, u, m);
+    }
+
+    MovieLensData { matrix, user_group, movie_genre }
+}
+
+/// Samples an index proportionally to `weights` (linear scan; fine for the
+/// generator's scale).
+fn weighted_pick(weights: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Loads the real MovieLens `u.data` file when present, falling back to the
+/// generator otherwise. The experiments in `dc-bench` use this so that
+/// dropping the genuine data set into `data/u.data` upgrades the
+/// reproduction automatically.
+pub fn load_or_generate(path: &str, config: &MovieLensConfig) -> DataMatrix {
+    match dc_matrix::io::read_triples_file(path) {
+        Ok(t) => t.matrix,
+        Err(_) => generate(config).matrix,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MovieLensConfig {
+        MovieLensConfig {
+            users: 60,
+            movies: 120,
+            ratings: 2_000,
+            min_ratings_per_user: 10,
+            user_groups: 4,
+            genres: 6,
+            noise_std: 0.3,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn shape_and_density_match_config() {
+        let data = generate(&small());
+        assert_eq!(data.matrix.rows(), 60);
+        assert_eq!(data.matrix.cols(), 120);
+        let n = data.matrix.specified_count();
+        assert!(n >= 2_000, "only {n} ratings generated");
+        assert!(n < 2_300, "overshoot: {n}");
+    }
+
+    #[test]
+    fn every_user_meets_the_minimum() {
+        let data = generate(&small());
+        for u in 0..60 {
+            assert!(
+                data.matrix.row_specified_count(u) >= 10,
+                "user {u} has too few ratings"
+            );
+        }
+    }
+
+    #[test]
+    fn ratings_are_integers_one_to_five() {
+        let data = generate(&small());
+        for (_, _, v) in data.matrix.entries() {
+            assert!((1.0..=5.0).contains(&v), "rating {v}");
+            assert_eq!(v, v.round(), "rating {v} not integral");
+        }
+    }
+
+    #[test]
+    fn same_group_users_are_coherent_on_a_genre() {
+        let mut config = small();
+        config.noise_std = 0.0;
+        let data = generate(&config);
+        // Two users of the same group, one genre with movies both rated:
+        // ratings should differ by (approximately) a constant — the user
+        // bias difference, rounded.
+        let mut found = false;
+        'outer: for u1 in 0..60 {
+            for u2 in (u1 + 1)..60 {
+                if data.user_group[u1] != data.user_group[u2] {
+                    continue;
+                }
+                // Common rated movies of one genre.
+                let mut diffs = Vec::new();
+                for m in 0..120 {
+                    if let (Some(a), Some(b)) =
+                        (data.matrix.get(u1, m), data.matrix.get(u2, m))
+                    {
+                        diffs.push(a - b);
+                    }
+                }
+                if diffs.len() >= 4 {
+                    let spread = diffs.iter().cloned().fold(f64::MIN, f64::max)
+                        - diffs.iter().cloned().fold(f64::MAX, f64::min);
+                    // Rounding and clamping allow ±1 wiggle.
+                    assert!(spread <= 2.0, "same-group users not coherent: {diffs:?}");
+                    found = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(found, "no same-group user pair with common ratings found");
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        let data = generate(&small());
+        let first_quartile: usize =
+            (0..30).map(|m| data.matrix.col_specified_count(m)).sum();
+        let last_quartile: usize =
+            (90..120).map(|m| data.matrix.col_specified_count(m)).sum();
+        assert!(
+            first_quartile > last_quartile,
+            "early (popular) movies should collect more ratings: {first_quartile} vs {last_quartile}"
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.matrix, b.matrix);
+    }
+
+    #[test]
+    fn load_or_generate_falls_back() {
+        let m = load_or_generate("/nonexistent/u.data", &small());
+        assert_eq!(m.rows(), 60);
+    }
+
+    #[test]
+    fn default_matches_movielens_100k_shape() {
+        let c = MovieLensConfig::default();
+        assert_eq!(c.users, 943);
+        assert_eq!(c.movies, 1682);
+        assert_eq!(c.ratings, 100_000);
+        assert_eq!(c.min_ratings_per_user, 20);
+    }
+}

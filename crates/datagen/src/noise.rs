@@ -1,0 +1,116 @@
+//! Noise models for synthetic matrices.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional noise distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Noise {
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive, unless equal to `lo`).
+        hi: f64,
+    },
+    /// Gaussian with the given mean and standard deviation (Box–Muller).
+    Gaussian {
+        /// Mean.
+        mean: f64,
+        /// Standard deviation (must be ≥ 0).
+        std_dev: f64,
+    },
+    /// Always exactly this value (useful for perfect planted clusters).
+    None,
+}
+
+impl Noise {
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Noise::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    lo
+                }
+            }
+            Noise::Gaussian { mean, std_dev } => {
+                assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+                if std_dev == 0.0 {
+                    return mean;
+                }
+                // Box–Muller transform.
+                let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                mean + std_dev * z
+            }
+            Noise::None => 0.0,
+        }
+    }
+
+    /// Uniform noise whose mean absolute value is `target` — i.e.
+    /// `Uniform(-2·target, 2·target)`. Used to plant clusters whose measured
+    /// arithmetic residue lands near `target`.
+    pub fn for_target_residue(target: f64) -> Noise {
+        assert!(target >= 0.0, "target residue must be non-negative");
+        if target == 0.0 {
+            Noise::None
+        } else {
+            Noise::Uniform { lo: -2.0 * target, hi: 2.0 * target }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let n = Noise::Uniform { lo: -3.0, hi: 5.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = n.sample(&mut rng);
+            assert!((-3.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let n = Noise::Gaussian { mean: 10.0, std_dev: 2.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..40_000).map(|_| n.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn none_is_zero() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(Noise::None.sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn degenerate_distributions_are_constant() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(Noise::Uniform { lo: 2.0, hi: 2.0 }.sample(&mut rng), 2.0);
+        assert_eq!(Noise::Gaussian { mean: 7.0, std_dev: 0.0 }.sample(&mut rng), 7.0);
+    }
+
+    #[test]
+    fn target_residue_noise_has_matching_mean_abs() {
+        let n = Noise::for_target_residue(5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mean_abs: f64 =
+            (0..40_000).map(|_| n.sample(&mut rng).abs()).sum::<f64>() / 40_000.0;
+        assert!((mean_abs - 5.0).abs() < 0.1, "mean |noise| = {mean_abs}");
+        assert_eq!(Noise::for_target_residue(0.0), Noise::None);
+    }
+}

@@ -1,0 +1,117 @@
+//! Cluster diameter — the Table 1 statistic.
+//!
+//! §6.1.1: "A viewer's rating can be regarded as a point in high dimension
+//! space. A δ-cluster is a set of such points. The diameter of a cluster is
+//! defined as the diameter of the minimum bounding box for the cluster."
+//! We take the bounding box over the cluster's own attributes (each
+//! attribute's specified-value range among the cluster's objects) and
+//! report its diagonal; an L1 variant (sum of ranges) is also provided.
+//! The point of the statistic is that δ-clusters are *physically huge* —
+//! traditional distance-based clustering would never group these points —
+//! while their residue stays small.
+
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+
+/// Per-attribute specified-value ranges of the cluster's objects, aligned
+/// with the cluster's columns in ascending order. Attributes with fewer
+/// than one specified value contribute a zero range.
+pub fn attribute_ranges(matrix: &DataMatrix, cluster: &DeltaCluster) -> Vec<f64> {
+    cluster
+        .cols
+        .iter()
+        .map(|c| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            for r in cluster.rows.iter() {
+                if let Some(v) = matrix.get(r, c) {
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+            }
+            if min.is_finite() {
+                max - min
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Euclidean diameter: the diagonal of the minimum bounding box,
+/// `sqrt(Σ range_j²)`.
+pub fn diameter(matrix: &DataMatrix, cluster: &DeltaCluster) -> f64 {
+    attribute_ranges(matrix, cluster)
+        .iter()
+        .map(|r| r * r)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L1 diameter: the sum of per-attribute ranges.
+pub fn diameter_l1(matrix: &DataMatrix, cluster: &DeltaCluster) -> f64 {
+    attribute_ranges(matrix, cluster).iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_diameter() {
+        let m = DataMatrix::from_rows(3, 2, vec![1.0, 10.0, 4.0, 10.0, 1.0, 16.0]);
+        let c = DeltaCluster::from_indices(3, 2, 0..3, 0..2);
+        assert_eq!(attribute_ranges(&m, &c), vec![3.0, 6.0]);
+        assert!((diameter(&m, &c) - 45.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(diameter_l1(&m, &c), 9.0);
+    }
+
+    #[test]
+    fn diameter_ignores_columns_outside_cluster() {
+        let m = DataMatrix::from_rows(2, 3, vec![0.0, 0.0, 100.0, 5.0, 0.0, -100.0]);
+        let c = DeltaCluster::from_indices(2, 3, 0..2, [0, 1]);
+        assert_eq!(diameter_l1(&m, &c), 5.0, "column 2's huge range excluded");
+    }
+
+    #[test]
+    fn missing_values_skipped() {
+        let mut m = DataMatrix::from_rows(3, 1, vec![1.0, 50.0, 3.0]);
+        m.unset(1, 0);
+        let c = DeltaCluster::from_indices(3, 1, 0..3, [0]);
+        assert_eq!(attribute_ranges(&m, &c), vec![2.0]);
+    }
+
+    #[test]
+    fn single_point_cluster_has_zero_diameter() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let c = DeltaCluster::from_indices(2, 2, [0], [0, 1]);
+        assert_eq!(diameter(&m, &c), 0.0);
+    }
+
+    #[test]
+    fn all_missing_column_contributes_zero() {
+        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 9.0, 4.0]);
+        m.unset(0, 1);
+        m.unset(1, 1);
+        let c = DeltaCluster::from_indices(2, 2, 0..2, 0..2);
+        assert_eq!(attribute_ranges(&m, &c), vec![8.0, 0.0]);
+    }
+
+    #[test]
+    fn coherent_but_distant_points_have_large_diameter_small_residue() {
+        // The Figure 1 vectors: perfectly coherent yet far apart — the
+        // phenomenon Table 1's diameter column demonstrates.
+        let m = DataMatrix::from_rows(
+            3,
+            5,
+            vec![
+                1.0, 5.0, 23.0, 12.0, 20.0, 11.0, 15.0, 33.0, 22.0, 30.0, 111.0, 115.0,
+                133.0, 122.0, 130.0,
+            ],
+        );
+        let c = DeltaCluster::from_indices(3, 5, 0..3, 0..5);
+        assert!(diameter(&m, &c) > 200.0, "diameter {}", diameter(&m, &c));
+        let residue = dc_floc::cluster_residue(&m, &c, dc_floc::ResidueMean::Arithmetic);
+        assert!(residue < 1e-9);
+    }
+}

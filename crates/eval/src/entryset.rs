@@ -1,0 +1,77 @@
+//! Entry sets: clusters as sets of specified matrix cells.
+//!
+//! The paper's quality metrics (§6.2.2) are defined on entries: `U` is the
+//! set of entries in the embedded clusters, `V` the set of entries in the
+//! discovered ones, recall is `|U∩V|/|U|` and precision `|U∩V|/|V|`. An
+//! entry set is represented as a bitset over the matrix's cells, making
+//! intersection/union counting a handful of popcounts.
+
+use dc_floc::DeltaCluster;
+use dc_matrix::{BitSet, DataMatrix};
+
+/// The set of *specified* cells covered by a cluster, as a bitset over
+/// `rows × cols` cell indices (`row * cols + col`).
+pub fn entry_set(matrix: &DataMatrix, cluster: &DeltaCluster) -> BitSet {
+    let mut set = BitSet::new(matrix.cells());
+    let cols: Vec<usize> = cluster.cols.iter().collect();
+    for r in cluster.rows.iter() {
+        for &c in &cols {
+            if matrix.is_specified(r, c) {
+                set.insert(r * matrix.cols() + c);
+            }
+        }
+    }
+    set
+}
+
+/// The union of the entry sets of a clustering.
+pub fn entry_union(matrix: &DataMatrix, clusters: &[DeltaCluster]) -> BitSet {
+    let mut union = BitSet::new(matrix.cells());
+    for c in clusters {
+        union.union_with(&entry_set(matrix, c));
+    }
+    union
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> DataMatrix {
+        let mut m = DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect());
+        m.unset(1, 1);
+        m
+    }
+
+    #[test]
+    fn entry_set_skips_missing() {
+        let m = matrix();
+        let c = DeltaCluster::from_indices(3, 3, [0, 1], [0, 1]);
+        let s = entry_set(&m, &c);
+        // Cells (0,0), (0,1), (1,0); (1,1) is missing.
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(0));
+        assert!(s.contains(1));
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+    }
+
+    #[test]
+    fn union_counts_overlap_once() {
+        let m = matrix();
+        let a = DeltaCluster::from_indices(3, 3, [0, 1], [0, 1]);
+        let b = DeltaCluster::from_indices(3, 3, [0], [0, 1, 2]);
+        let u = entry_union(&m, &[a.clone(), b.clone()]);
+        // a covers 3 cells (one missing), b covers 3; overlap = row 0 cols
+        // {0,1} = 2 cells → union 4.
+        assert_eq!(u.len(), 4);
+        // Union of a single cluster is its own set.
+        assert_eq!(entry_union(&m, &[a.clone()]), entry_set(&m, &a));
+    }
+
+    #[test]
+    fn empty_clustering_has_empty_union() {
+        let m = matrix();
+        assert_eq!(entry_union(&m, &[]).len(), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Residue distributions across a clustering.
+//!
+//! Average residue (the FLOC objective) can hide a long tail of bad
+//! clusters. This module summarizes the per-cluster residue distribution —
+//! percentiles plus a fixed-width histogram — for experiment reports and
+//! regression tracking.
+
+use dc_floc::{cluster_residue, DeltaCluster, ResidueMean};
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of per-cluster residues.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidueDistribution {
+    /// Number of clusters summarized.
+    pub count: usize,
+    /// Minimum residue.
+    pub min: f64,
+    /// Median residue.
+    pub median: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum residue.
+    pub max: f64,
+    /// Mean residue (the FLOC objective).
+    pub mean: f64,
+    /// Histogram bucket counts over `[min, max]` (empty when `count == 0`
+    /// or all residues are equal).
+    pub histogram: Vec<usize>,
+}
+
+/// Linear-interpolation percentile of a sorted slice (`q` in `[0, 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summarizes a set of residue values with `buckets` histogram bins.
+pub fn summarize_residues(residues: &[f64], buckets: usize) -> ResidueDistribution {
+    if residues.is_empty() {
+        return ResidueDistribution {
+            count: 0,
+            min: 0.0,
+            median: 0.0,
+            p90: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            histogram: Vec::new(),
+        };
+    }
+    let mut sorted = residues.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted[0];
+    let max = *sorted.last().unwrap();
+    let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+    let histogram = if buckets == 0 || max <= min {
+        Vec::new()
+    } else {
+        let width = (max - min) / buckets as f64;
+        let mut h = vec![0usize; buckets];
+        for &r in &sorted {
+            let idx = (((r - min) / width) as usize).min(buckets - 1);
+            h[idx] += 1;
+        }
+        h
+    };
+    ResidueDistribution {
+        count: sorted.len(),
+        min,
+        median: percentile(&sorted, 0.5),
+        p90: percentile(&sorted, 0.9),
+        max,
+        mean,
+        histogram,
+    }
+}
+
+/// Computes each cluster's arithmetic residue and summarizes the
+/// distribution.
+pub fn clustering_distribution(
+    matrix: &DataMatrix,
+    clusters: &[DeltaCluster],
+    buckets: usize,
+) -> ResidueDistribution {
+    let residues: Vec<f64> = clusters
+        .iter()
+        .map(|c| cluster_residue(matrix, c, ResidueMean::Arithmetic))
+        .collect();
+    summarize_residues(&residues, buckets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_distribution() {
+        let d = summarize_residues(&[], 10);
+        assert_eq!(d.count, 0);
+        assert!(d.histogram.is_empty());
+    }
+
+    #[test]
+    fn single_value() {
+        let d = summarize_residues(&[3.0], 4);
+        assert_eq!(d.count, 1);
+        assert_eq!(d.min, 3.0);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.p90, 3.0);
+        assert_eq!(d.max, 3.0);
+        assert!(d.histogram.is_empty(), "degenerate range has no histogram");
+    }
+
+    #[test]
+    fn known_percentiles() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let d = summarize_residues(&values, 5);
+        assert_eq!(d.median, 3.0);
+        assert_eq!(d.mean, 3.0);
+        assert!((d.p90 - 4.6).abs() < 1e-12, "p90 {}", d.p90);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.histogram.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = summarize_residues(&values, 10);
+        assert_eq!(d.histogram.len(), 10);
+        assert_eq!(d.histogram.iter().sum::<usize>(), 100);
+        // Uniform data → roughly uniform buckets.
+        for &b in &d.histogram {
+            assert!((5..=15).contains(&b), "bucket {b}");
+        }
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let d = summarize_residues(&[5.0, 1.0, 3.0], 2);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 5.0);
+        assert_eq!(d.median, 3.0);
+    }
+
+    #[test]
+    fn clustering_distribution_uses_real_residues() {
+        // One perfect cluster, one noisy cluster.
+        let m = DataMatrix::from_rows(
+            4,
+            4,
+            vec![
+                1.0, 2.0, 90.0, 7.0, //
+                2.0, 3.0, 4.0, 80.0, //
+                10.0, 11.0, 50.0, 2.0, //
+                0.0, 33.0, 1.0, 9.0,
+            ],
+        );
+        let perfect = DeltaCluster::from_indices(4, 4, [0, 1, 2], [0, 1]);
+        let noisy = DeltaCluster::from_indices(4, 4, 0..4, 0..4);
+        let d = clustering_distribution(&m, &[perfect, noisy], 2);
+        assert_eq!(d.count, 2);
+        assert!(d.min < 1e-9, "perfect cluster min {}", d.min);
+        assert!(d.max > 5.0, "noisy cluster max {}", d.max);
+        assert!((d.mean - (d.min + d.max) / 2.0).abs() < 1e-9);
+    }
+}

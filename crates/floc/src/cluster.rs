@@ -1,0 +1,192 @@
+//! The δ-cluster: a pair (I, J) of object and attribute subsets.
+//!
+//! Definition 3.1 of the paper: a δ-cluster of occupancy `α` is a pair
+//! `(I, J)`, `I ⊆ {1..M}`, `J ⊆ {1..N}`, such that every object `i ∈ I` has
+//! at least `α·|J|` specified attributes inside the cluster and every
+//! attribute `j ∈ J` is specified for at least `α·|I|` of the cluster's
+//! objects. The *volume* (Definition 3.2) is the number of specified entries
+//! of the submatrix.
+
+use dc_matrix::{BitSet, DataMatrix};
+use serde::{Deserialize, Serialize};
+
+/// A δ-cluster descriptor: which objects (rows) and attributes (columns)
+/// participate. Quality metrics live in [`crate::stats::ClusterState`]; this
+/// type is the plain, serializable result representation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaCluster {
+    /// Participating object (row) indices.
+    pub rows: BitSet,
+    /// Participating attribute (column) indices.
+    pub cols: BitSet,
+}
+
+impl DeltaCluster {
+    /// Creates an empty cluster over an `m × n` matrix universe.
+    pub fn empty(m: usize, n: usize) -> Self {
+        DeltaCluster { rows: BitSet::new(m), cols: BitSet::new(n) }
+    }
+
+    /// Creates a cluster from explicit index lists.
+    pub fn from_indices(
+        m: usize,
+        n: usize,
+        rows: impl IntoIterator<Item = usize>,
+        cols: impl IntoIterator<Item = usize>,
+    ) -> Self {
+        DeltaCluster {
+            rows: BitSet::from_indices(m, rows),
+            cols: BitSet::from_indices(n, cols),
+        }
+    }
+
+    /// Number of participating objects.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of participating attributes.
+    pub fn col_count(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Definition 3.2: the number of **specified** entries in the submatrix.
+    pub fn volume(&self, matrix: &DataMatrix) -> usize {
+        let cols: Vec<usize> = self.cols.iter().collect();
+        self.rows
+            .iter()
+            .map(|r| cols.iter().filter(|&&c| matrix.is_specified(r, c)).count())
+            .sum()
+    }
+
+    /// The footprint `|I| × |J|` — what the volume would be with no missing
+    /// entries.
+    pub fn footprint(&self) -> usize {
+        self.rows.len() * self.cols.len()
+    }
+
+    /// Occupancy of object `row` inside the cluster: specified attributes of
+    /// the row within `J`, divided by `|J|`. Returns 1.0 for an empty `J`.
+    pub fn row_occupancy(&self, matrix: &DataMatrix, row: usize) -> f64 {
+        if self.cols.is_empty() {
+            return 1.0;
+        }
+        let specified = self.cols.iter().filter(|&c| matrix.is_specified(row, c)).count();
+        specified as f64 / self.cols.len() as f64
+    }
+
+    /// Occupancy of attribute `col` inside the cluster.
+    pub fn col_occupancy(&self, matrix: &DataMatrix, col: usize) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let specified = self.rows.iter().filter(|&r| matrix.is_specified(r, col)).count();
+        specified as f64 / self.rows.len() as f64
+    }
+
+    /// Definition 3.1: true if every participating row and column meets the
+    /// occupancy threshold `alpha`.
+    pub fn satisfies_occupancy(&self, matrix: &DataMatrix, alpha: f64) -> bool {
+        self.rows.iter().all(|r| self.row_occupancy(matrix, r) >= alpha - 1e-12)
+            && self.cols.iter().all(|c| self.col_occupancy(matrix, c) >= alpha - 1e-12)
+    }
+
+    /// Number of cells shared with another cluster (footprint overlap):
+    /// `|I₁∩I₂| · |J₁∩J₂|`.
+    pub fn overlap_cells(&self, other: &DeltaCluster) -> usize {
+        self.rows.intersection_len(&other.rows) * self.cols.intersection_len(&other.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 3×4 example matrices of Figure 3 in the paper.
+    fn fig3_not_a_cluster() -> DataMatrix {
+        DataMatrix::from_options(
+            3,
+            4,
+            vec![
+                Some(1.0), None,      Some(3.0), None,
+                None,      Some(4.0), None,      Some(5.0),
+                Some(3.0), None,      Some(4.0), None,
+            ],
+        )
+    }
+
+    fn fig3_a_cluster() -> DataMatrix {
+        // Figure 3(b): every row has 3 of 4 attributes specified and every
+        // column is specified for at least 2 of 3 objects.
+        DataMatrix::from_options(
+            3,
+            4,
+            vec![
+                Some(1.0), None,      Some(3.0), Some(3.0),
+                Some(3.0), Some(4.0), None,      Some(5.0),
+                None,      Some(3.0), Some(4.0), Some(4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn figure3_occupancy_check() {
+        // With α = 0.6, (a) is not a δ-cluster but (b) is.
+        let all = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
+        assert!(!all.satisfies_occupancy(&fig3_not_a_cluster(), 0.6));
+        assert!(all.satisfies_occupancy(&fig3_a_cluster(), 0.6));
+    }
+
+    #[test]
+    fn figure3_volumes() {
+        let all = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
+        assert_eq!(all.volume(&fig3_not_a_cluster()), 6);
+        assert_eq!(all.volume(&fig3_a_cluster()), 9);
+        assert_eq!(all.footprint(), 12);
+    }
+
+    #[test]
+    fn occupancy_per_dimension() {
+        let m = fig3_a_cluster();
+        let all = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
+        assert!((all.row_occupancy(&m, 0) - 0.75).abs() < 1e-12);
+        assert!((all.col_occupancy(&m, 1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((all.col_occupancy(&m, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_of_empty_dimensions_is_one() {
+        let m = DataMatrix::new(3, 4);
+        let empty = DeltaCluster::empty(3, 4);
+        assert_eq!(empty.row_occupancy(&m, 0), 1.0);
+        assert_eq!(empty.col_occupancy(&m, 0), 1.0);
+        assert!(empty.satisfies_occupancy(&m, 0.9));
+    }
+
+    #[test]
+    fn fully_specified_cluster_always_satisfies_alpha_one() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let c = DeltaCluster::from_indices(2, 2, 0..2, 0..2);
+        assert!(c.satisfies_occupancy(&m, 1.0));
+        assert_eq!(c.volume(&m), 4);
+    }
+
+    #[test]
+    fn overlap_cells_multiplies_intersections() {
+        let a = DeltaCluster::from_indices(10, 10, [0, 1, 2], [0, 1]);
+        let b = DeltaCluster::from_indices(10, 10, [1, 2, 3], [1, 2]);
+        // rows ∩ = {1,2}, cols ∩ = {1} → 2 cells
+        assert_eq!(a.overlap_cells(&b), 2);
+        assert_eq!(b.overlap_cells(&a), 2);
+        let disjoint = DeltaCluster::from_indices(10, 10, [9], [9]);
+        assert_eq!(a.overlap_cells(&disjoint), 0);
+    }
+
+    #[test]
+    fn from_indices_and_counts() {
+        let c = DeltaCluster::from_indices(5, 6, [0, 4], [1, 2, 5]);
+        assert_eq!(c.row_count(), 2);
+        assert_eq!(c.col_count(), 3);
+        assert_eq!(c.footprint(), 6);
+    }
+}

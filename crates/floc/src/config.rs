@@ -1,0 +1,249 @@
+//! FLOC configuration (builder pattern).
+
+use crate::constraints::Constraint;
+use crate::ordering::Ordering;
+use crate::residue::ResidueMean;
+use crate::seeding::Seeding;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of a FLOC run.
+///
+/// Construct with [`FlocConfig::builder`]; every field has a sensible
+/// default except `k` (the number of clusters), which is mandatory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlocConfig {
+    /// Number of δ-clusters to discover.
+    pub k: usize,
+    /// Occupancy threshold `α` (Definition 3.1). `0.0` disables occupancy
+    /// enforcement (appropriate for fully specified matrices); the paper
+    /// uses `0.6` for MovieLens.
+    pub alpha: f64,
+    /// How per-entry residues aggregate (arithmetic `|r|` by default).
+    pub mean: ResidueMean,
+    /// Action ordering strategy (§5.2); weighted random by default.
+    pub ordering: Ordering,
+    /// Phase-1 seeding strategy.
+    pub seeding: Seeding,
+    /// Optional §4.3 constraints, enforced by action blocking.
+    pub constraints: Vec<Constraint>,
+    /// Hard cap on phase-2 iterations (the paper observes ~O(10) needed).
+    pub max_iterations: usize,
+    /// Minimum *relative* residue improvement an iteration must achieve to
+    /// count as progress (`0.0` = any strict improvement, the paper's
+    /// literal criterion). The default `1e-3` stops the long tail of
+    /// negligible refinements and matches the paper's observed iteration
+    /// counts.
+    pub min_improvement: f64,
+    /// Minimum rows a cluster may shrink to (guards the trivial residue-0
+    /// degenerate clusters; see DESIGN.md).
+    pub min_rows: usize,
+    /// Minimum columns a cluster may shrink to.
+    pub min_cols: usize,
+    /// RNG seed: seeding and action ordering are fully deterministic given
+    /// this value.
+    pub seed: u64,
+    /// Worker threads for gain evaluation (1 = serial). Gains within an
+    /// iteration are independent, so evaluation parallelizes cleanly.
+    pub threads: usize,
+    /// When true (default), the best action of each row/column is
+    /// *re-decided against the current clustering* at perform time — the
+    /// §4.1 "examined sequentially ... decided and performed" reading.
+    /// When false, the actions pre-decided at iteration start are performed
+    /// verbatim (the literal Figure 5 flowchart reading). Refreshing costs
+    /// a second gain evaluation per target but converges in far fewer
+    /// iterations.
+    pub refresh_gains: bool,
+}
+
+impl FlocConfig {
+    /// Starts building a configuration for `k` clusters.
+    pub fn builder(k: usize) -> FlocConfigBuilder {
+        FlocConfigBuilder { config: FlocConfig::with_k(k) }
+    }
+
+    fn with_k(k: usize) -> Self {
+        FlocConfig {
+            k,
+            alpha: 0.0,
+            mean: ResidueMean::Arithmetic,
+            ordering: Ordering::Weighted,
+            seeding: Seeding::Bernoulli { p: 0.1 },
+            constraints: Vec::new(),
+            max_iterations: 60,
+            min_improvement: 1e-3,
+            min_rows: 2,
+            min_cols: 2,
+            seed: 0,
+            threads: 1,
+            refresh_gains: true,
+        }
+    }
+}
+
+/// Builder for [`FlocConfig`].
+#[derive(Debug, Clone)]
+pub struct FlocConfigBuilder {
+    config: FlocConfig,
+}
+
+impl FlocConfigBuilder {
+    /// Sets the occupancy threshold `α ∈ [0, 1]`.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Sets the residue aggregation mean.
+    pub fn mean(mut self, mean: ResidueMean) -> Self {
+        self.config.mean = mean;
+        self
+    }
+
+    /// Sets the action-ordering strategy.
+    pub fn ordering(mut self, ordering: Ordering) -> Self {
+        self.config.ordering = ordering;
+        self
+    }
+
+    /// Sets the seeding strategy.
+    pub fn seeding(mut self, seeding: Seeding) -> Self {
+        self.config.seeding = seeding;
+        self
+    }
+
+    /// Adds a constraint (may be called repeatedly).
+    pub fn constraint(mut self, c: Constraint) -> Self {
+        self.config.constraints.push(c);
+        self
+    }
+
+    /// Caps the number of phase-2 iterations.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.config.max_iterations = n;
+        self
+    }
+
+    /// Sets the minimum relative improvement per iteration (see
+    /// [`FlocConfig::min_improvement`]).
+    pub fn min_improvement(mut self, x: f64) -> Self {
+        self.config.min_improvement = x;
+        self
+    }
+
+    /// Sets the minimum cluster dimensions.
+    pub fn min_dims(mut self, rows: usize, cols: usize) -> Self {
+        self.config.min_rows = rows;
+        self.config.min_cols = cols;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the number of gain-evaluation threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Chooses between perform-time gain refresh (true, default) and
+    /// verbatim performance of the pre-decided actions (false); see
+    /// [`FlocConfig::refresh_gains`].
+    pub fn refresh_gains(mut self, refresh: bool) -> Self {
+        self.config.refresh_gains = refresh;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `alpha ∉ [0, 1]`, `max_iterations == 0`, or a
+    /// minimum dimension is zero — these are programming errors, not data
+    /// errors.
+    pub fn build(self) -> FlocConfig {
+        let c = &self.config;
+        assert!(c.k > 0, "k must be positive");
+        assert!((0.0..=1.0).contains(&c.alpha), "alpha must be in [0, 1], got {}", c.alpha);
+        assert!(c.max_iterations > 0, "max_iterations must be positive");
+        assert!(
+            (0.0..1.0).contains(&c.min_improvement),
+            "min_improvement must be in [0, 1), got {}",
+            c.min_improvement
+        );
+        assert!(c.min_rows > 0 && c.min_cols > 0, "minimum dimensions must be positive");
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sensible() {
+        let c = FlocConfig::builder(5).build();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.alpha, 0.0);
+        assert_eq!(c.mean, ResidueMean::Arithmetic);
+        assert_eq!(c.ordering, Ordering::Weighted);
+        assert_eq!(c.min_rows, 2);
+        assert_eq!(c.min_cols, 2);
+        assert_eq!(c.threads, 1);
+        assert!(c.constraints.is_empty());
+    }
+
+    #[test]
+    fn builder_sets_all_fields() {
+        let c = FlocConfig::builder(3)
+            .alpha(0.6)
+            .mean(ResidueMean::Squared)
+            .ordering(Ordering::Fixed)
+            .seeding(Seeding::TargetSize { rows: 4, cols: 4 })
+            .constraint(Constraint::MinVolume { cells: 10 })
+            .constraint(Constraint::RowCoverage)
+            .max_iterations(9)
+            .min_dims(3, 4)
+            .seed(99)
+            .threads(4)
+            .build();
+        assert_eq!(c.alpha, 0.6);
+        assert_eq!(c.mean, ResidueMean::Squared);
+        assert_eq!(c.ordering, Ordering::Fixed);
+        assert_eq!(c.seeding, Seeding::TargetSize { rows: 4, cols: 4 });
+        assert_eq!(c.constraints.len(), 2);
+        assert_eq!(c.max_iterations, 9);
+        assert_eq!(c.min_rows, 3);
+        assert_eq!(c.min_cols, 4);
+        assert_eq!(c.seed, 99);
+        assert_eq!(c.threads, 4);
+    }
+
+    #[test]
+    fn threads_zero_is_clamped_to_one() {
+        let c = FlocConfig::builder(1).threads(0).build();
+        assert_eq!(c.threads, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = FlocConfig::builder(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn alpha_out_of_range_panics() {
+        let _ = FlocConfig::builder(1).alpha(1.5).build();
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = FlocConfig::builder(2).alpha(0.5).build();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: FlocConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

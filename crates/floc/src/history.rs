@@ -1,0 +1,154 @@
+//! Results and per-iteration traces of a FLOC run.
+
+use crate::cluster::DeltaCluster;
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// What happened during one phase-2 iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IterationTrace {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Average residue of the best prefix clustering found this iteration.
+    pub best_prefix_avg: f64,
+    /// How many actions the best prefix contains.
+    pub best_prefix_len: usize,
+    /// How many actions were actually performed (excludes blocked ones).
+    pub actions_performed: usize,
+    /// Whether the iteration improved on the incumbent best clustering.
+    pub improved: bool,
+}
+
+/// The outcome of a FLOC run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlocResult {
+    /// The k discovered δ-clusters.
+    pub clusters: Vec<DeltaCluster>,
+    /// Residue of each cluster, index-aligned with `clusters`.
+    pub residues: Vec<f64>,
+    /// Average residue across clusters — the objective FLOC minimizes.
+    pub avg_residue: f64,
+    /// Number of phase-2 iterations executed (including the final
+    /// non-improving one that triggered termination).
+    pub iterations: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-iteration statistics.
+    pub trace: Vec<IterationTrace>,
+}
+
+impl FlocResult {
+    /// Volumes (specified entries) of each cluster.
+    pub fn volumes(&self, matrix: &DataMatrix) -> Vec<usize> {
+        self.clusters.iter().map(|c| c.volume(matrix)).collect()
+    }
+
+    /// Total volume across all clusters (overlapping entries counted once
+    /// per cluster, matching the paper's "aggregated volume").
+    pub fn aggregate_volume(&self, matrix: &DataMatrix) -> usize {
+        self.volumes(matrix).iter().sum()
+    }
+
+    /// The cluster with the lowest residue, with its index.
+    /// Returns `None` when the result is empty.
+    pub fn best_cluster(&self) -> Option<(usize, &DeltaCluster)> {
+        self.residues
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| (i, &self.clusters[i]))
+    }
+
+    /// A compact human-readable summary (one line per cluster).
+    pub fn summary(&self, matrix: &DataMatrix) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "FLOC: {} clusters, avg residue {:.4}, {} iterations, {:.2?}",
+            self.clusters.len(),
+            self.avg_residue,
+            self.iterations,
+            self.elapsed
+        );
+        for (i, c) in self.clusters.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  #{i}: {} rows x {} cols, volume {}, residue {:.4}",
+                c.row_count(),
+                c.col_count(),
+                c.volume(matrix),
+                self.residues[i]
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_with(clusters: Vec<DeltaCluster>, residues: Vec<f64>) -> FlocResult {
+        let avg = residues.iter().sum::<f64>() / residues.len() as f64;
+        FlocResult {
+            clusters,
+            residues,
+            avg_residue: avg,
+            iterations: 3,
+            elapsed: Duration::from_millis(5),
+            trace: vec![],
+        }
+    }
+
+    #[test]
+    fn volumes_and_aggregate() {
+        let m = DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect());
+        let r = result_with(
+            vec![
+                DeltaCluster::from_indices(3, 3, [0, 1], [0, 1]),
+                DeltaCluster::from_indices(3, 3, [1, 2], [0, 1, 2]),
+            ],
+            vec![0.5, 0.2],
+        );
+        assert_eq!(r.volumes(&m), vec![4, 6]);
+        assert_eq!(r.aggregate_volume(&m), 10);
+    }
+
+    #[test]
+    fn best_cluster_picks_min_residue() {
+        let r = result_with(
+            vec![
+                DeltaCluster::from_indices(2, 2, [0], [0]),
+                DeltaCluster::from_indices(2, 2, [1], [1]),
+            ],
+            vec![0.5, 0.2],
+        );
+        assert_eq!(r.best_cluster().unwrap().0, 1);
+    }
+
+    #[test]
+    fn best_cluster_of_empty_result_is_none() {
+        let r = result_with(vec![], vec![]);
+        assert!(r.best_cluster().is_none());
+    }
+
+    #[test]
+    fn summary_mentions_each_cluster() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let r = result_with(vec![DeltaCluster::from_indices(2, 2, [0, 1], [0, 1])], vec![0.25]);
+        let s = r.summary(&m);
+        assert!(s.contains("#0"));
+        assert!(s.contains("volume 4"));
+    }
+
+    #[test]
+    fn result_serializes() {
+        let r = result_with(vec![DeltaCluster::from_indices(2, 2, [0], [1])], vec![0.1]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: FlocResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.clusters, r.clusters);
+        assert_eq!(back.avg_residue, r.avg_residue);
+    }
+}

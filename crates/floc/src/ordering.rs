@@ -1,0 +1,208 @@
+//! Action-ordering strategies (§5.2).
+//!
+//! Within an iteration the `N + M` best actions are performed sequentially,
+//! and the order matters: a run of negative-gain actions early in a fixed
+//! order can permanently starve the positive-gain actions behind them. The
+//! paper proposes three strategies:
+//!
+//! * **Fixed** — rows `0..N` then columns `0..M`, identical every iteration.
+//! * **Random** — `g = 2(M+N)` random pair swaps, giving every action the
+//!   same chance at every position (§5.2.1; the paper found `g ≥ 2(M+N)`
+//!   gives satisfactory randomness).
+//! * **Weighted random** — the same swap process, but a swap of `(a_i, a_j)`
+//!   (with `a_i` in front) happens with probability
+//!   `p(i,j) = 0.5 + (g_j − g_i) / (2Γ)` where `Γ` is the spread between the
+//!   maximum and minimum gain (§5.2.2). Larger-gain actions drift to the
+//!   front, but not deterministically — preserving the ability to escape
+//!   local optima.
+
+use crate::action::EvaluatedAction;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which §5.2 strategy orders the actions of an iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Ordering {
+    /// Rows first, then columns, in index order — the §4 baseline.
+    Fixed,
+    /// Uniform random permutation via `2(M+N)` pair swaps.
+    Random,
+    /// Gain-weighted random order — the paper's best performer.
+    #[default]
+    Weighted,
+}
+
+/// Number of swap attempts the random/weighted shuffles perform for a list
+/// of `len` actions (the paper's `g = 2 × (M + N)`).
+pub fn swap_count(len: usize) -> usize {
+    2 * len
+}
+
+/// Orders `actions` in place according to `strategy`.
+///
+/// Blocked actions (gain `−∞`) participate in the shuffle like any other;
+/// the driver skips them at application time.
+pub fn order_actions<R: Rng>(actions: &mut [EvaluatedAction], strategy: Ordering, rng: &mut R) {
+    match strategy {
+        Ordering::Fixed => {}
+        Ordering::Random => {
+            let n = actions.len();
+            if n < 2 {
+                return;
+            }
+            for _ in 0..swap_count(n) {
+                let i = rng.gen_range(0..n);
+                let j = rng.gen_range(0..n);
+                actions.swap(i, j);
+            }
+        }
+        Ordering::Weighted => {
+            let n = actions.len();
+            if n < 2 {
+                return;
+            }
+            // Γ: spread of finite gains. Blocked actions (−∞) are treated as
+            // the minimum finite gain for weighting purposes.
+            let mut min_g = f64::INFINITY;
+            let mut max_g = f64::NEG_INFINITY;
+            for a in actions.iter() {
+                if a.gain.is_finite() {
+                    min_g = min_g.min(a.gain);
+                    max_g = max_g.max(a.gain);
+                }
+            }
+            if !min_g.is_finite() || max_g <= min_g {
+                // All gains equal (or all blocked): degenerate to uniform.
+                return order_actions(actions, Ordering::Random, rng);
+            }
+            let spread = max_g - min_g;
+            let effective = |g: f64| if g.is_finite() { g } else { min_g };
+            for _ in 0..swap_count(n) {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a == b {
+                    continue;
+                }
+                let (front, back) = (a.min(b), a.max(b));
+                let g_front = effective(actions[front].gain);
+                let g_back = effective(actions[back].gain);
+                // Swap probability 0.5 + (g_back − g_front) / (2Γ):
+                // 1.0 when the back action has the maximum gain and the
+                // front the minimum; 0.0 in the opposite case; 0.5 on ties.
+                let p = 0.5 + (g_back - g_front) / (2.0 * spread);
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    actions.swap(front, back);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{Action, Target};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make_actions(gains: &[f64]) -> Vec<EvaluatedAction> {
+        gains
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| EvaluatedAction {
+                action: Action { target: Target::Row(i), cluster: 0 },
+                gain: g,
+            })
+            .collect()
+    }
+
+    fn positions(actions: &[EvaluatedAction]) -> Vec<usize> {
+        actions.iter().map(|a| a.action.target.index()).collect()
+    }
+
+    #[test]
+    fn fixed_order_is_identity() {
+        let mut a = make_actions(&[3.0, 1.0, 2.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        order_actions(&mut a, Ordering::Fixed, &mut rng);
+        assert_eq!(positions(&a), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_order_is_a_permutation() {
+        let gains: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut a = make_actions(&gains);
+        let mut rng = StdRng::seed_from_u64(7);
+        order_actions(&mut a, Ordering::Random, &mut rng);
+        let mut p = positions(&a);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn random_order_actually_shuffles() {
+        let gains: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut a = make_actions(&gains);
+        let mut rng = StdRng::seed_from_u64(42);
+        order_actions(&mut a, Ordering::Random, &mut rng);
+        assert_ne!(positions(&a), (0..100).collect::<Vec<_>>(), "100 elements staying put is ~impossible");
+    }
+
+    #[test]
+    fn weighted_order_moves_high_gains_forward_on_average() {
+        // One action with a much larger gain should, on average over many
+        // seeds, end up earlier than the uniform-random expectation (middle).
+        let n = 60;
+        let mut gains = vec![0.0; n];
+        gains[n - 1] = 100.0; // the big one starts at the very back
+        let trials = 200;
+        let mut pos_sum = 0usize;
+        for seed in 0..trials {
+            let mut a = make_actions(&gains);
+            let mut rng = StdRng::seed_from_u64(seed);
+            order_actions(&mut a, Ordering::Weighted, &mut rng);
+            pos_sum += positions(&a).iter().position(|&p| p == n - 1).unwrap();
+        }
+        let avg = pos_sum as f64 / trials as f64;
+        assert!(
+            avg < n as f64 / 2.0 - 5.0,
+            "high-gain action should drift to the front: average position {avg} of {n}"
+        );
+    }
+
+    #[test]
+    fn weighted_degenerates_gracefully_on_equal_gains() {
+        let mut a = make_actions(&[1.0; 20]);
+        let mut rng = StdRng::seed_from_u64(3);
+        order_actions(&mut a, Ordering::Weighted, &mut rng);
+        let mut p = positions(&a);
+        p.sort_unstable();
+        assert_eq!(p, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_handles_blocked_actions() {
+        let mut a = make_actions(&[1.0, f64::NEG_INFINITY, 5.0, f64::NEG_INFINITY]);
+        let mut rng = StdRng::seed_from_u64(11);
+        order_actions(&mut a, Ordering::Weighted, &mut rng);
+        let mut p = positions(&a);
+        p.sort_unstable();
+        assert_eq!(p, vec![0, 1, 2, 3], "all actions survive the shuffle");
+    }
+
+    #[test]
+    fn empty_and_singleton_lists_are_noops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut empty: Vec<EvaluatedAction> = vec![];
+        order_actions(&mut empty, Ordering::Random, &mut rng);
+        let mut one = make_actions(&[1.0]);
+        order_actions(&mut one, Ordering::Weighted, &mut rng);
+        assert_eq!(positions(&one), vec![0]);
+    }
+
+    #[test]
+    fn swap_count_matches_paper() {
+        assert_eq!(swap_count(10), 20);
+        assert_eq!(swap_count(0), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-restart FLOC.
+//!
+//! FLOC is a randomized local search: the quality of the final clustering
+//! depends on the seeds and the action order. Running several independent
+//! restarts and keeping the clustering with the lowest average residue is a
+//! cheap, embarrassingly parallel way to tighten the approximation — §5.1's
+//! sensitivity analysis is exactly why this helps. Restarts run on scoped
+//! threads and differ only in their RNG seed, so each individual restart
+//! remains reproducible.
+
+use crate::algorithm::{floc, FlocError};
+use crate::config::FlocConfig;
+use crate::history::FlocResult;
+use dc_matrix::DataMatrix;
+use parking_lot::Mutex;
+
+/// Runs `restarts` independent FLOC runs (seeds `config.seed`,
+/// `config.seed + 1`, …) across up to `workers` threads and returns the
+/// result with the lowest average residue, together with the seed that
+/// produced it.
+///
+/// Ties are broken toward the smallest seed so the outcome is deterministic
+/// regardless of thread scheduling.
+///
+/// # Errors
+/// Returns the first error (by seed order) if *every* restart fails;
+/// individual failures are tolerated as long as one restart succeeds.
+pub fn floc_restarts(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    restarts: usize,
+    workers: usize,
+) -> Result<(FlocResult, u64), FlocError> {
+    assert!(restarts > 0, "at least one restart required");
+    let workers = workers.clamp(1, restarts);
+    let results: Mutex<Vec<(u64, Result<FlocResult, FlocError>)>> =
+        Mutex::new(Vec::with_capacity(restarts));
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= restarts {
+                    break;
+                }
+                let seed = config.seed + i as u64;
+                let mut cfg = config.clone();
+                cfg.seed = seed;
+                // Restart-level parallelism replaces within-run parallelism.
+                cfg.threads = 1;
+                let result = floc(matrix, &cfg);
+                results.lock().push((seed, result));
+            });
+        }
+    })
+    .expect("restart worker panicked");
+
+    let mut results = results.into_inner();
+    results.sort_by_key(|(seed, _)| *seed);
+
+    let mut best: Option<(FlocResult, u64)> = None;
+    let mut first_err: Option<FlocError> = None;
+    for (seed, r) in results {
+        match r {
+            Ok(res) => {
+                let better = match &best {
+                    None => true,
+                    Some((b, _)) => res.avg_residue < b.avg_residue,
+                };
+                if better {
+                    best = Some((res, seed));
+                }
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    match best {
+        Some(b) => Ok(b),
+        None => Err(first_err.expect("restarts > 0 implies at least one result")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeding::Seeding;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_matrix(seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DataMatrix::new(25, 12);
+        // A planted coherent block in rows 0..8, cols 0..5.
+        let pattern: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..10.0)).collect();
+        for r in 0..25 {
+            let bias: f64 = rng.gen_range(0.0..20.0);
+            for c in 0..12 {
+                if r < 8 && c < 5 {
+                    m.set(r, c, pattern[c] + bias);
+                } else {
+                    m.set(r, c, rng.gen_range(0.0..100.0));
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn restarts_return_the_best_seed() {
+        let m = noisy_matrix(1);
+        let config = FlocConfig::builder(1)
+            .seeding(Seeding::TargetSize { rows: 6, cols: 4 })
+            .seed(100)
+            .build();
+        let (multi, best_seed) = floc_restarts(&m, &config, 6, 3).unwrap();
+        // The multi-restart result must be at least as good as the single
+        // run with the base seed.
+        let mut single_cfg = config.clone();
+        single_cfg.seed = 100;
+        let single = floc(&m, &single_cfg).unwrap();
+        assert!(multi.avg_residue <= single.avg_residue + 1e-12);
+        assert!((100..106).contains(&best_seed));
+    }
+
+    #[test]
+    fn restarts_are_deterministic() {
+        let m = noisy_matrix(2);
+        let config = FlocConfig::builder(2).seed(7).build();
+        let (a, seed_a) = floc_restarts(&m, &config, 4, 4).unwrap();
+        let (b, seed_b) = floc_restarts(&m, &config, 4, 2).unwrap();
+        assert_eq!(seed_a, seed_b, "winner independent of worker count");
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.avg_residue, b.avg_residue);
+    }
+
+    #[test]
+    fn single_restart_equals_plain_floc() {
+        let m = noisy_matrix(3);
+        let config = FlocConfig::builder(1).seed(42).build();
+        let (multi, seed) = floc_restarts(&m, &config, 1, 1).unwrap();
+        let single = floc(&m, &config).unwrap();
+        assert_eq!(seed, 42);
+        assert_eq!(multi.clusters, single.clusters);
+    }
+
+    #[test]
+    fn all_failures_surface_an_error() {
+        let m = DataMatrix::new(10, 10); // empty: every restart fails
+        let config = FlocConfig::builder(1).build();
+        let err = floc_restarts(&m, &config, 3, 2).unwrap_err();
+        assert!(matches!(err, FlocError::EmptyMatrix));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one restart")]
+    fn zero_restarts_panics() {
+        let m = noisy_matrix(4);
+        let config = FlocConfig::builder(1).build();
+        let _ = floc_restarts(&m, &config, 0, 1);
+    }
+}

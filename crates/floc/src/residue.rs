@@ -1,0 +1,267 @@
+//! The residue metric (Definitions 3.3–3.5) — reference implementation.
+//!
+//! For a δ-cluster `(I, J)` over matrix `D`:
+//!
+//! * the **base** of object `i` is `d_iJ` = mean of the specified entries of
+//!   row `i` within `J`;
+//! * the **base** of attribute `j` is `d_Ij` = mean of the specified entries
+//!   of column `j` within `I`;
+//! * the **base** of the cluster is `d_IJ` = mean over all specified entries;
+//! * the **residue** of a specified entry is
+//!   `r_ij = d_ij − d_iJ − d_Ij + d_IJ` (0 for missing entries);
+//! * the **residue of the cluster** is the mean of `|r_ij|` over the volume
+//!   (arithmetic mean — the paper's default), or optionally the mean of
+//!   `r_ij²` (the Cheng & Church mean-squared residue).
+//!
+//! This module computes everything from scratch in `O(|I|·|J|)`. The FLOC
+//! driver uses the incrementally-maintained [`crate::stats::ClusterState`]
+//! instead; these functions are the oracle the incremental code is tested
+//! against.
+
+use crate::cluster::DeltaCluster;
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+
+/// How per-entry residues are aggregated into the cluster residue
+/// (Definition 3.5 allows arithmetic, geometric, or square means; the paper
+/// uses arithmetic, Cheng & Church use squared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ResidueMean {
+    /// Mean of `|r_ij|` — the paper's choice.
+    #[default]
+    Arithmetic,
+    /// Mean of `r_ij²` — the Cheng & Church mean-squared residue.
+    Squared,
+}
+
+impl ResidueMean {
+    /// The contribution of a single entry residue to the aggregate sum.
+    #[inline]
+    pub fn entry_term(self, r: f64) -> f64 {
+        match self {
+            ResidueMean::Arithmetic => r.abs(),
+            ResidueMean::Squared => r * r,
+        }
+    }
+}
+
+/// The bases of a δ-cluster: row bases, column bases and the cluster base,
+/// each computed over specified entries only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bases {
+    /// `d_iJ` for each participating row, aligned with `rows` below.
+    pub row_bases: Vec<f64>,
+    /// Participating rows in ascending order.
+    pub rows: Vec<usize>,
+    /// `d_Ij` for each participating column, aligned with `cols` below.
+    pub col_bases: Vec<f64>,
+    /// Participating columns in ascending order.
+    pub cols: Vec<usize>,
+    /// `d_IJ`, the cluster base.
+    pub cluster_base: f64,
+    /// Number of specified entries.
+    pub volume: usize,
+}
+
+/// Computes the bases of `cluster` within `matrix` from scratch.
+///
+/// Rows (or columns) with no specified entry inside the cluster get the
+/// cluster base as their base, which makes their (nonexistent) residue
+/// contributions vanish.
+pub fn bases(matrix: &DataMatrix, cluster: &DeltaCluster) -> Bases {
+    let rows: Vec<usize> = cluster.rows.iter().collect();
+    let cols: Vec<usize> = cluster.cols.iter().collect();
+    let mut row_sum = vec![0.0; rows.len()];
+    let mut row_cnt = vec![0usize; rows.len()];
+    let mut col_sum = vec![0.0; cols.len()];
+    let mut col_cnt = vec![0usize; cols.len()];
+    let mut total = 0.0;
+    let mut volume = 0usize;
+
+    for (ri, &r) in rows.iter().enumerate() {
+        for (ci, &c) in cols.iter().enumerate() {
+            if let Some(v) = matrix.get(r, c) {
+                row_sum[ri] += v;
+                row_cnt[ri] += 1;
+                col_sum[ci] += v;
+                col_cnt[ci] += 1;
+                total += v;
+                volume += 1;
+            }
+        }
+    }
+
+    let cluster_base = if volume == 0 { 0.0 } else { total / volume as f64 };
+    let row_bases = row_sum
+        .iter()
+        .zip(&row_cnt)
+        .map(|(&s, &c)| if c == 0 { cluster_base } else { s / c as f64 })
+        .collect();
+    let col_bases = col_sum
+        .iter()
+        .zip(&col_cnt)
+        .map(|(&s, &c)| if c == 0 { cluster_base } else { s / c as f64 })
+        .collect();
+
+    Bases { row_bases, rows, col_bases, cols, cluster_base, volume }
+}
+
+/// Residue of a single entry (Definition 3.4): `d_ij − d_iJ − d_Ij + d_IJ`
+/// for specified entries, 0 otherwise. `row`/`col` must participate in the
+/// cluster that produced `b`.
+pub fn entry_residue(matrix: &DataMatrix, b: &Bases, row: usize, col: usize) -> f64 {
+    match matrix.get(row, col) {
+        None => 0.0,
+        Some(v) => {
+            let ri = b.rows.binary_search(&row).expect("row not in cluster");
+            let ci = b.cols.binary_search(&col).expect("col not in cluster");
+            v - b.row_bases[ri] - b.col_bases[ci] + b.cluster_base
+        }
+    }
+}
+
+/// Residue of a δ-cluster (Definition 3.5), computed from scratch.
+///
+/// Returns 0.0 for clusters with no specified entries (including empty row
+/// or column sets) — the degenerate case the FLOC driver guards against.
+pub fn cluster_residue(matrix: &DataMatrix, cluster: &DeltaCluster, mean: ResidueMean) -> f64 {
+    let b = bases(matrix, cluster);
+    if b.volume == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for (ri, &r) in b.rows.iter().enumerate() {
+        for (ci, &c) in b.cols.iter().enumerate() {
+            if let Some(v) = matrix.get(r, c) {
+                let res = v - b.row_bases[ri] - b.col_bases[ci] + b.cluster_base;
+                sum += mean.entry_term(res);
+            }
+        }
+    }
+    sum / b.volume as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 4(b): the perfect 3×3 δ-cluster drawn from the yeast excerpt.
+    /// Rows: VPS8, EFB1, CYS3; columns: CH1I, CH1D, CH2B.
+    pub(crate) fn figure4b() -> DataMatrix {
+        DataMatrix::from_rows(
+            3,
+            3,
+            vec![
+                401.0, 120.0, 298.0, // VPS8
+                318.0, 37.0, 215.0, // EFB1
+                322.0, 41.0, 219.0, // CYS3
+            ],
+        )
+    }
+
+    #[test]
+    fn figure4b_bases_match_paper() {
+        let m = figure4b();
+        let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let b = bases(&m, &c);
+        // d_VPS8,J = 273, d_EFB1,J = 190, d_CYS3,J = 194
+        assert!((b.row_bases[0] - 273.0).abs() < 1e-9);
+        assert!((b.row_bases[1] - 190.0).abs() < 1e-9);
+        assert!((b.row_bases[2] - 194.0).abs() < 1e-9);
+        // d_I,CH1I = 347, d_I,CH1D = 66, d_I,CH2B = 244
+        assert!((b.col_bases[0] - 347.0).abs() < 1e-9);
+        assert!((b.col_bases[1] - 66.0).abs() < 1e-9);
+        assert!((b.col_bases[2] - 244.0).abs() < 1e-9);
+        // d_IJ = 219
+        assert!((b.cluster_base - 219.0).abs() < 1e-9);
+        assert_eq!(b.volume, 9);
+    }
+
+    #[test]
+    fn figure4b_is_a_perfect_cluster() {
+        let m = figure4b();
+        let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let b = bases(&m, &c);
+        // The paper: d_VPS8,CH1I = 273 − 347 + 219 = 401, residue 0 everywhere.
+        for r in 0..3 {
+            for col in 0..3 {
+                assert!(entry_residue(&m, &b, r, col).abs() < 1e-9);
+            }
+        }
+        assert!(cluster_residue(&m, &c, ResidueMean::Arithmetic).abs() < 1e-9);
+        assert!(cluster_residue(&m, &c, ResidueMean::Squared).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perturbed_entry_raises_residue() {
+        let mut m = figure4b();
+        m.set(0, 0, 401.0 + 9.0);
+        let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let r = cluster_residue(&m, &c, ResidueMean::Arithmetic);
+        assert!(r > 0.0, "perturbation must produce positive residue, got {r}");
+    }
+
+    #[test]
+    fn residue_shift_invariance() {
+        // Adding a constant to a whole row (object bias) must not change the
+        // residue — that is the point of the δ-cluster model.
+        let base = figure4b();
+        let mut shifted = base.clone();
+        for c in 0..3 {
+            shifted.set(1, c, base.get(1, c).unwrap() + 1000.0);
+        }
+        let cl = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let r0 = cluster_residue(&base, &cl, ResidueMean::Arithmetic);
+        let r1 = cluster_residue(&shifted, &cl, ResidueMean::Arithmetic);
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residue_of_empty_cluster_is_zero() {
+        let m = figure4b();
+        let empty = DeltaCluster::empty(3, 3);
+        assert_eq!(cluster_residue(&m, &empty, ResidueMean::Arithmetic), 0.0);
+        let rows_only = DeltaCluster::from_indices(3, 3, 0..2, std::iter::empty());
+        assert_eq!(cluster_residue(&m, &rows_only, ResidueMean::Arithmetic), 0.0);
+    }
+
+    #[test]
+    fn missing_entries_contribute_zero() {
+        let mut m = figure4b();
+        m.unset(1, 1);
+        let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let b = bases(&m, &c);
+        assert_eq!(b.volume, 8);
+        assert_eq!(entry_residue(&m, &b, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn single_cell_cluster_is_perfect() {
+        let m = figure4b();
+        let c = DeltaCluster::from_indices(3, 3, [1], [2]);
+        // One entry: d_ij = d_iJ = d_Ij = d_IJ ⇒ residue 0.
+        assert!(cluster_residue(&m, &c, ResidueMean::Arithmetic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn squared_mean_penalizes_outliers_more() {
+        let mut m = figure4b();
+        m.set(0, 0, 401.0 + 90.0);
+        let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let a = cluster_residue(&m, &c, ResidueMean::Arithmetic);
+        let s = cluster_residue(&m, &c, ResidueMean::Squared);
+        assert!(s > a, "squared mean ({s}) should exceed arithmetic ({a}) for a large outlier");
+    }
+
+    #[test]
+    fn all_missing_row_gets_cluster_base() {
+        let mut m = figure4b();
+        for c in 0..3 {
+            m.unset(2, c);
+        }
+        let cl = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
+        let b = bases(&m, &cl);
+        assert_eq!(b.row_bases[2], b.cluster_base);
+        assert_eq!(b.volume, 6);
+    }
+}

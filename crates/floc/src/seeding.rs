@@ -1,0 +1,330 @@
+//! Phase-1 seeding: constructing the `k` initial clusters.
+//!
+//! §4.1: each row and column joins an initial cluster independently with
+//! probability `p`, so a seed holds `≈ p·M` rows and `≈ p·N` columns. §5.1
+//! observes that convergence is fastest when seed volumes resemble the
+//! (unknown) target volumes and therefore recommends *mixed* seeds of
+//! different sizes; Figure 9 additionally seeds with explicit per-cluster
+//! sizes drawn from an Erlang distribution (the harness computes the sizes
+//! and passes them through [`Seeding::ExplicitSizes`]).
+
+use crate::cluster::DeltaCluster;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How phase 1 builds the initial clusters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Seeding {
+    /// Every row/column joins with probability `p` (§4.1). `0 < p ≤ 1`.
+    Bernoulli {
+        /// Inclusion probability.
+        p: f64,
+    },
+    /// Like `Bernoulli`, but each cluster draws its own `p` uniformly from
+    /// `[p_min, p_max]` — the §5.1 *mixed initial clustering* technique.
+    BernoulliMixed {
+        /// Smallest per-cluster inclusion probability.
+        p_min: f64,
+        /// Largest per-cluster inclusion probability.
+        p_max: f64,
+    },
+    /// Every seed gets exactly `rows × cols` randomly chosen members.
+    TargetSize {
+        /// Rows per seed.
+        rows: usize,
+        /// Columns per seed.
+        cols: usize,
+    },
+    /// Per-cluster `(rows, cols)` sizes, cycled if shorter than `k`. Used by
+    /// the Figure 9 experiment to seed Erlang-distributed volumes.
+    ExplicitSizes(Vec<(usize, usize)>),
+}
+
+/// Errors produced by seeding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeedError {
+    /// A probability parameter was outside `(0, 1]` or the range was empty.
+    BadProbability(String),
+    /// The matrix has fewer rows/cols than the required minimum seed size.
+    MatrixTooSmall {
+        /// Rows in the matrix.
+        rows: usize,
+        /// Columns in the matrix.
+        cols: usize,
+        /// Minimum rows a cluster must keep.
+        min_rows: usize,
+        /// Minimum columns a cluster must keep.
+        min_cols: usize,
+    },
+    /// `ExplicitSizes` was given an empty list.
+    NoSizes,
+}
+
+impl std::fmt::Display for SeedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SeedError::BadProbability(msg) => write!(f, "bad seeding probability: {msg}"),
+            SeedError::MatrixTooSmall { rows, cols, min_rows, min_cols } => write!(
+                f,
+                "matrix {rows}x{cols} too small for clusters of at least {min_rows}x{min_cols}"
+            ),
+            SeedError::NoSizes => write!(f, "ExplicitSizes requires at least one size"),
+        }
+    }
+}
+
+impl std::error::Error for SeedError {}
+
+/// Samples `count` distinct indices from `0..universe`, always at least
+/// `min` of them (capped at the universe size).
+fn sample_indices<R: Rng>(universe: usize, count: usize, min: usize, rng: &mut R) -> Vec<usize> {
+    let want = count.clamp(min, universe);
+    let mut all: Vec<usize> = (0..universe).collect();
+    // partial_shuffle randomizes the *tail* of the slice and returns it
+    // first; taking the front instead would bias samples toward low
+    // indices.
+    let (shuffled, _) = all.partial_shuffle(rng, want);
+    shuffled.to_vec()
+}
+
+/// Builds the `k` initial clusters.
+///
+/// Every seed is guaranteed at least `min_rows` rows and `min_cols` columns
+/// (topped up with random members when the random draw falls short), so the
+/// phase-2 residue machinery never sees a degenerate cluster.
+pub fn seed_clusters<R: Rng>(
+    matrix_rows: usize,
+    matrix_cols: usize,
+    k: usize,
+    seeding: &Seeding,
+    min_rows: usize,
+    min_cols: usize,
+    rng: &mut R,
+) -> Result<Vec<DeltaCluster>, SeedError> {
+    if matrix_rows < min_rows || matrix_cols < min_cols {
+        return Err(SeedError::MatrixTooSmall {
+            rows: matrix_rows,
+            cols: matrix_cols,
+            min_rows,
+            min_cols,
+        });
+    }
+    let validate_p = |p: f64, what: &str| -> Result<(), SeedError> {
+        if !(p > 0.0 && p <= 1.0) {
+            Err(SeedError::BadProbability(format!("{what} = {p} not in (0, 1]")))
+        } else {
+            Ok(())
+        }
+    };
+
+    let mut clusters = Vec::with_capacity(k);
+    match seeding {
+        Seeding::Bernoulli { p } => {
+            validate_p(*p, "p")?;
+            for _ in 0..k {
+                clusters.push(bernoulli_seed(matrix_rows, matrix_cols, *p, min_rows, min_cols, rng));
+            }
+        }
+        Seeding::BernoulliMixed { p_min, p_max } => {
+            validate_p(*p_min, "p_min")?;
+            validate_p(*p_max, "p_max")?;
+            if p_min > p_max {
+                return Err(SeedError::BadProbability(format!("p_min {p_min} > p_max {p_max}")));
+            }
+            for _ in 0..k {
+                let p = rng.gen_range(*p_min..=*p_max);
+                clusters.push(bernoulli_seed(matrix_rows, matrix_cols, p, min_rows, min_cols, rng));
+            }
+        }
+        Seeding::TargetSize { rows, cols } => {
+            for _ in 0..k {
+                let r = sample_indices(matrix_rows, *rows, min_rows, rng);
+                let c = sample_indices(matrix_cols, *cols, min_cols, rng);
+                clusters.push(DeltaCluster::from_indices(matrix_rows, matrix_cols, r, c));
+            }
+        }
+        Seeding::ExplicitSizes(sizes) => {
+            if sizes.is_empty() {
+                return Err(SeedError::NoSizes);
+            }
+            for i in 0..k {
+                let (rows, cols) = sizes[i % sizes.len()];
+                let r = sample_indices(matrix_rows, rows, min_rows, rng);
+                let c = sample_indices(matrix_cols, cols, min_cols, rng);
+                clusters.push(DeltaCluster::from_indices(matrix_rows, matrix_cols, r, c));
+            }
+        }
+    }
+    Ok(clusters)
+}
+
+fn bernoulli_seed<R: Rng>(
+    matrix_rows: usize,
+    matrix_cols: usize,
+    p: f64,
+    min_rows: usize,
+    min_cols: usize,
+    rng: &mut R,
+) -> DeltaCluster {
+    let mut cluster = DeltaCluster::empty(matrix_rows, matrix_cols);
+    for r in 0..matrix_rows {
+        if rng.gen_bool(p) {
+            cluster.rows.insert(r);
+        }
+    }
+    for c in 0..matrix_cols {
+        if rng.gen_bool(p) {
+            cluster.cols.insert(c);
+        }
+    }
+    // Top up below-minimum dimensions with random members.
+    while cluster.rows.len() < min_rows {
+        cluster.rows.insert(rng.gen_range(0..matrix_rows));
+    }
+    while cluster.cols.len() < min_cols {
+        cluster.cols.insert(rng.gen_range(0..matrix_cols));
+    }
+    cluster
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_seed_counts_are_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let k = 40;
+        let clusters =
+            seed_clusters(200, 100, k, &Seeding::Bernoulli { p: 0.3 }, 2, 2, &mut rng).unwrap();
+        assert_eq!(clusters.len(), k);
+        let avg_rows: f64 =
+            clusters.iter().map(|c| c.row_count() as f64).sum::<f64>() / k as f64;
+        let avg_cols: f64 =
+            clusters.iter().map(|c| c.col_count() as f64).sum::<f64>() / k as f64;
+        assert!((avg_rows - 60.0).abs() < 10.0, "expected ≈60 rows, got {avg_rows}");
+        assert!((avg_cols - 30.0).abs() < 8.0, "expected ≈30 cols, got {avg_cols}");
+    }
+
+    #[test]
+    fn seeds_respect_minimum_dimensions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // p so small that raw draws would often be empty.
+        let clusters =
+            seed_clusters(50, 50, 30, &Seeding::Bernoulli { p: 0.01 }, 2, 2, &mut rng).unwrap();
+        for c in &clusters {
+            assert!(c.row_count() >= 2, "cluster with {} rows", c.row_count());
+            assert!(c.col_count() >= 2, "cluster with {} cols", c.col_count());
+        }
+    }
+
+    #[test]
+    fn mixed_seeds_vary_in_size() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let clusters = seed_clusters(
+            300,
+            300,
+            30,
+            &Seeding::BernoulliMixed { p_min: 0.02, p_max: 0.5 },
+            2,
+            2,
+            &mut rng,
+        )
+        .unwrap();
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.footprint()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(
+            *max > *min * 4,
+            "mixed seeding should produce widely varying sizes, got {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn target_size_is_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let clusters =
+            seed_clusters(100, 60, 10, &Seeding::TargetSize { rows: 12, cols: 7 }, 2, 2, &mut rng)
+                .unwrap();
+        for c in &clusters {
+            assert_eq!(c.row_count(), 12);
+            assert_eq!(c.col_count(), 7);
+        }
+    }
+
+    #[test]
+    fn target_size_caps_at_universe() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let clusters =
+            seed_clusters(5, 4, 2, &Seeding::TargetSize { rows: 50, cols: 50 }, 2, 2, &mut rng)
+                .unwrap();
+        for c in &clusters {
+            assert_eq!(c.row_count(), 5);
+            assert_eq!(c.col_count(), 4);
+        }
+    }
+
+    #[test]
+    fn explicit_sizes_cycle() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sizes = vec![(3, 4), (10, 2)];
+        let clusters =
+            seed_clusters(100, 100, 5, &Seeding::ExplicitSizes(sizes), 2, 2, &mut rng).unwrap();
+        assert_eq!(clusters[0].row_count(), 3);
+        assert_eq!(clusters[0].col_count(), 4);
+        assert_eq!(clusters[1].row_count(), 10);
+        assert_eq!(clusters[2].row_count(), 3, "sizes cycle");
+        assert_eq!(clusters[4].row_count(), 3);
+    }
+
+    #[test]
+    fn bad_probability_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for p in [0.0, -0.5, 1.5] {
+            let err = seed_clusters(10, 10, 1, &Seeding::Bernoulli { p }, 2, 2, &mut rng)
+                .unwrap_err();
+            assert!(matches!(err, SeedError::BadProbability(_)), "p = {p}");
+        }
+        let err = seed_clusters(
+            10,
+            10,
+            1,
+            &Seeding::BernoulliMixed { p_min: 0.9, p_max: 0.1 },
+            2,
+            2,
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SeedError::BadProbability(_)));
+    }
+
+    #[test]
+    fn tiny_matrix_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = seed_clusters(1, 10, 1, &Seeding::Bernoulli { p: 0.5 }, 2, 2, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, SeedError::MatrixTooSmall { .. }));
+        assert!(err.to_string().contains("too small"));
+    }
+
+    #[test]
+    fn empty_explicit_sizes_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let err = seed_clusters(10, 10, 1, &Seeding::ExplicitSizes(vec![]), 2, 2, &mut rng)
+            .unwrap_err();
+        assert_eq!(err, SeedError::NoSizes);
+    }
+
+    #[test]
+    fn seeding_is_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            seed_clusters(50, 50, 5, &Seeding::Bernoulli { p: 0.2 }, 2, 2, &mut rng).unwrap()
+        };
+        assert_eq!(mk(42), mk(42));
+        assert_ne!(mk(42), mk(43));
+    }
+}

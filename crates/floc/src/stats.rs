@@ -1,0 +1,671 @@
+//! Incrementally-maintained cluster statistics — FLOC's hot path.
+//!
+//! Evaluating the gain of `Action(x, c)` requires the residue of cluster `c`
+//! with row/column `x` toggled. Recomputing bases from scratch costs
+//! `O(|I|·|J|)` *before* the residue scan even starts. [`ClusterState`] keeps
+//! per-row and per-column sums and specified-entry counts so that:
+//!
+//! * all bases are available in `O(|I| + |J|)`;
+//! * a *virtual toggle* (what-if evaluation) costs one `O(|I|·|J|)` residue
+//!   scan with no allocation (scratch buffers are reused);
+//! * an *actual toggle* updates the sufficient statistics in
+//!   `O(|I| + |J|)`.
+//!
+//! Correctness is pinned to the from-scratch reference in
+//! [`crate::residue`] by unit and property tests.
+
+use crate::cluster::DeltaCluster;
+use crate::residue::ResidueMean;
+use dc_matrix::{BitSet, DataMatrix};
+
+/// Reusable scratch buffers for virtual-toggle residue evaluation.
+///
+/// One instance per FLOC driver; avoids `O(|I| + |J|)` allocations on every
+/// one of the `(N+M)·k` gain evaluations per iteration.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    col_base: Vec<f64>,
+    cols: Vec<usize>,
+}
+
+/// A cluster plus its sufficient statistics over a fixed matrix.
+///
+/// Invariants (checked in tests against the reference implementation):
+/// * `row_sum[i]` / `row_cnt[i]` are the sum/count of specified entries of
+///   row `i` over columns in `cols`, for every `i ∈ rows` (stale otherwise);
+/// * `col_sum[j]` / `col_cnt[j]` likewise for `j ∈ cols`;
+/// * `total` and `volume` aggregate all specified entries of the submatrix.
+#[derive(Debug, Clone)]
+pub struct ClusterState {
+    /// Participating rows.
+    pub rows: BitSet,
+    /// Participating columns.
+    pub cols: BitSet,
+    row_sum: Vec<f64>,
+    row_cnt: Vec<u32>,
+    col_sum: Vec<f64>,
+    col_cnt: Vec<u32>,
+    total: f64,
+    volume: usize,
+}
+
+impl ClusterState {
+    /// Builds the state for `cluster` over `matrix`, computing all sums.
+    pub fn new(matrix: &DataMatrix, cluster: &DeltaCluster) -> Self {
+        let mut s = ClusterState {
+            rows: BitSet::new(matrix.rows()),
+            cols: cluster.cols.clone(),
+            row_sum: vec![0.0; matrix.rows()],
+            row_cnt: vec![0; matrix.rows()],
+            col_sum: vec![0.0; matrix.cols()],
+            col_cnt: vec![0; matrix.cols()],
+            total: 0.0,
+            volume: 0,
+        };
+        // Initialize column stats lazily by inserting rows one at a time.
+        for r in cluster.rows.iter() {
+            s.insert_row(matrix, r);
+        }
+        s
+    }
+
+    /// An empty cluster over the matrix universe.
+    pub fn empty(matrix: &DataMatrix) -> Self {
+        ClusterState::new(matrix, &DeltaCluster::empty(matrix.rows(), matrix.cols()))
+    }
+
+    /// The plain descriptor for this state.
+    pub fn to_cluster(&self) -> DeltaCluster {
+        DeltaCluster { rows: self.rows.clone(), cols: self.cols.clone() }
+    }
+
+    /// Number of specified entries in the cluster submatrix.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.volume
+    }
+
+    /// Specified-entry count of row `row` within the cluster's columns.
+    /// Only meaningful for participating rows.
+    #[inline]
+    pub fn row_specified(&self, row: usize) -> u32 {
+        self.row_cnt[row]
+    }
+
+    /// Specified-entry count of column `col` within the cluster's rows.
+    #[inline]
+    pub fn col_specified(&self, col: usize) -> u32 {
+        self.col_cnt[col]
+    }
+
+    /// The cluster base `d_IJ` (0.0 for an empty cluster).
+    #[inline]
+    pub fn base(&self) -> f64 {
+        if self.volume == 0 { 0.0 } else { self.total / self.volume as f64 }
+    }
+
+    fn insert_row(&mut self, matrix: &DataMatrix, row: usize) {
+        debug_assert!(!self.rows.contains(row));
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        let values = matrix.row_values(row);
+        for c in self.cols.iter() {
+            if matrix.is_specified(row, c) {
+                let v = values[c];
+                sum += v;
+                cnt += 1;
+                self.col_sum[c] += v;
+                self.col_cnt[c] += 1;
+            }
+        }
+        self.row_sum[row] = sum;
+        self.row_cnt[row] = cnt;
+        self.total += sum;
+        self.volume += cnt as usize;
+        self.rows.insert(row);
+    }
+
+    fn remove_row(&mut self, matrix: &DataMatrix, row: usize) {
+        debug_assert!(self.rows.contains(row));
+        let values = matrix.row_values(row);
+        for c in self.cols.iter() {
+            if matrix.is_specified(row, c) {
+                self.col_sum[c] -= values[c];
+                self.col_cnt[c] -= 1;
+            }
+        }
+        self.total -= self.row_sum[row];
+        self.volume -= self.row_cnt[row] as usize;
+        self.row_sum[row] = 0.0;
+        self.row_cnt[row] = 0;
+        self.rows.remove(row);
+    }
+
+    fn insert_col(&mut self, matrix: &DataMatrix, col: usize) {
+        debug_assert!(!self.cols.contains(col));
+        let mut sum = 0.0;
+        let mut cnt = 0u32;
+        for r in self.rows.iter() {
+            if matrix.is_specified(r, col) {
+                let v = matrix.value_unchecked(r, col);
+                sum += v;
+                cnt += 1;
+                self.row_sum[r] += v;
+                self.row_cnt[r] += 1;
+            }
+        }
+        self.col_sum[col] = sum;
+        self.col_cnt[col] = cnt;
+        self.total += sum;
+        self.volume += cnt as usize;
+        self.cols.insert(col);
+    }
+
+    fn remove_col(&mut self, matrix: &DataMatrix, col: usize) {
+        debug_assert!(self.cols.contains(col));
+        for r in self.rows.iter() {
+            if matrix.is_specified(r, col) {
+                let v = matrix.value_unchecked(r, col);
+                self.row_sum[r] -= v;
+                self.row_cnt[r] -= 1;
+            }
+        }
+        self.total -= self.col_sum[col];
+        self.volume -= self.col_cnt[col] as usize;
+        self.col_sum[col] = 0.0;
+        self.col_cnt[col] = 0;
+        self.cols.remove(col);
+    }
+
+    /// Toggles membership of `row`: inserts if absent, removes if present.
+    /// `O(|J|)`.
+    pub fn toggle_row(&mut self, matrix: &DataMatrix, row: usize) {
+        if self.rows.contains(row) {
+            self.remove_row(matrix, row);
+        } else {
+            self.insert_row(matrix, row);
+        }
+    }
+
+    /// Toggles membership of `col`. `O(|I|)`.
+    pub fn toggle_col(&mut self, matrix: &DataMatrix, col: usize) {
+        if self.cols.contains(col) {
+            self.remove_col(matrix, col);
+        } else {
+            self.insert_col(matrix, col);
+        }
+    }
+
+    /// Current cluster residue (Definition 3.5) using the maintained sums.
+    /// One `O(|I|·|J|)` scan; bases come from the cached statistics.
+    pub fn residue(&self, matrix: &DataMatrix, mean: ResidueMean, scratch: &mut Scratch) -> f64 {
+        if self.volume == 0 {
+            return 0.0;
+        }
+        let base = self.base();
+        scratch.cols.clear();
+        scratch.cols.extend(self.cols.iter());
+        scratch.col_base.clear();
+        scratch.col_base.extend(scratch.cols.iter().map(|&c| {
+            if self.col_cnt[c] == 0 { base } else { self.col_sum[c] / self.col_cnt[c] as f64 }
+        }));
+
+        let mut sum = 0.0;
+        for r in self.rows.iter() {
+            let row_base = if self.row_cnt[r] == 0 {
+                base
+            } else {
+                self.row_sum[r] / self.row_cnt[r] as f64
+            };
+            let values = matrix.row_values(r);
+            for (ci, &c) in scratch.cols.iter().enumerate() {
+                if matrix.is_specified(r, c) {
+                    let res = values[c] - row_base - scratch.col_base[ci] + base;
+                    sum += mean.entry_term(res);
+                }
+            }
+        }
+        sum / self.volume as f64
+    }
+
+    /// Residue the cluster *would* have if `row`'s membership were toggled.
+    /// Does not mutate; one `O(|I′|·|J|)` scan plus `O(|I|+|J|)` setup.
+    pub fn residue_if_row_toggled(
+        &self,
+        matrix: &DataMatrix,
+        row: usize,
+        mean: ResidueMean,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let adding = !self.rows.contains(row);
+        let sign = if adding { 1.0 } else { -1.0 };
+        let values = matrix.row_values(row);
+
+        // Row sum/count of the toggled row over J.
+        let (t_sum, t_cnt) = if adding {
+            let mut s = 0.0;
+            let mut c = 0u32;
+            for col in self.cols.iter() {
+                if matrix.is_specified(row, col) {
+                    s += values[col];
+                    c += 1;
+                }
+            }
+            (s, c)
+        } else {
+            (self.row_sum[row], self.row_cnt[row])
+        };
+
+        let new_volume = (self.volume as i64 + sign as i64 * t_cnt as i64) as usize;
+        if new_volume == 0 {
+            return 0.0;
+        }
+        let new_total = self.total + sign * t_sum;
+        let base = new_total / new_volume as f64;
+
+        // Column bases after the toggle.
+        scratch.cols.clear();
+        scratch.cols.extend(self.cols.iter());
+        scratch.col_base.clear();
+        for &c in scratch.cols.iter() {
+            let (mut s, mut n) = (self.col_sum[c], self.col_cnt[c] as i64);
+            if matrix.is_specified(row, c) {
+                s += sign * values[c];
+                n += sign as i64;
+            }
+            scratch.col_base.push(if n <= 0 { base } else { s / n as f64 });
+        }
+
+        // Scan rows of the toggled cluster. Row bases for rows other than
+        // `row` are unchanged; `row`'s base comes from (t_sum, t_cnt).
+        let mut sum = 0.0;
+        let scan_row = |r: usize, row_base: f64, sum: &mut f64| {
+            let vals = matrix.row_values(r);
+            for (ci, &c) in scratch.cols.iter().enumerate() {
+                if matrix.is_specified(r, c) {
+                    let res = vals[c] - row_base - scratch.col_base[ci] + base;
+                    *sum += mean.entry_term(res);
+                }
+            }
+        };
+        for r in self.rows.iter() {
+            if r == row {
+                continue; // removed (or will be handled below when adding)
+            }
+            let row_base = if self.row_cnt[r] == 0 {
+                base
+            } else {
+                self.row_sum[r] / self.row_cnt[r] as f64
+            };
+            scan_row(r, row_base, &mut sum);
+        }
+        if adding {
+            let row_base = if t_cnt == 0 { base } else { t_sum / t_cnt as f64 };
+            scan_row(row, row_base, &mut sum);
+        }
+        sum / new_volume as f64
+    }
+
+    /// Residue the cluster *would* have if `col`'s membership were toggled.
+    pub fn residue_if_col_toggled(
+        &self,
+        matrix: &DataMatrix,
+        col: usize,
+        mean: ResidueMean,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let adding = !self.cols.contains(col);
+        let sign = if adding { 1.0 } else { -1.0 };
+
+        // Column sum/count of the toggled column over I.
+        let (t_sum, t_cnt) = if adding {
+            let mut s = 0.0;
+            let mut c = 0u32;
+            for r in self.rows.iter() {
+                if matrix.is_specified(r, col) {
+                    s += matrix.value_unchecked(r, col);
+                    c += 1;
+                }
+            }
+            (s, c)
+        } else {
+            (self.col_sum[col], self.col_cnt[col])
+        };
+
+        let new_volume = (self.volume as i64 + sign as i64 * t_cnt as i64) as usize;
+        if new_volume == 0 {
+            return 0.0;
+        }
+        let new_total = self.total + sign * t_sum;
+        let base = new_total / new_volume as f64;
+
+        // Columns after the toggle.
+        scratch.cols.clear();
+        scratch.col_base.clear();
+        for c in self.cols.iter() {
+            if c == col {
+                continue;
+            }
+            scratch.cols.push(c);
+            scratch.col_base.push(if self.col_cnt[c] == 0 {
+                base
+            } else {
+                self.col_sum[c] / self.col_cnt[c] as f64
+            });
+        }
+        if adding {
+            scratch.cols.push(col);
+            scratch.col_base.push(if t_cnt == 0 { base } else { t_sum / t_cnt as f64 });
+        }
+
+        let mut sum = 0.0;
+        for r in self.rows.iter() {
+            // Row base after the toggle: adjust by the toggled column's cell.
+            let (mut rs, mut rn) = (self.row_sum[r], self.row_cnt[r] as i64);
+            if matrix.is_specified(r, col) {
+                rs += sign * matrix.value_unchecked(r, col);
+                rn += sign as i64;
+            }
+            let row_base = if rn <= 0 { base } else { rs / rn as f64 };
+            let vals = matrix.row_values(r);
+            for (ci, &c) in scratch.cols.iter().enumerate() {
+                if matrix.is_specified(r, c) {
+                    let res = vals[c] - row_base - scratch.col_base[ci] + base;
+                    sum += mean.entry_term(res);
+                }
+            }
+        }
+        sum / new_volume as f64
+    }
+
+    /// Number of occupancy violations (rows below `alpha·|J|` specified plus
+    /// columns below `alpha·|I|`).
+    pub fn occupancy_violations(&self, alpha: f64) -> usize {
+        let nj = self.cols.len();
+        let ni = self.rows.len();
+        let mut v = 0;
+        if nj > 0 {
+            for r in self.rows.iter() {
+                if (self.row_cnt[r] as f64) < alpha * nj as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        if ni > 0 {
+            for c in self.cols.iter() {
+                if (self.col_cnt[c] as f64) < alpha * ni as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        v
+    }
+
+    /// Occupancy violations the cluster would have after toggling `row`.
+    pub fn occupancy_violations_if_row_toggled(
+        &self,
+        matrix: &DataMatrix,
+        row: usize,
+        alpha: f64,
+    ) -> usize {
+        let adding = !self.rows.contains(row);
+        let ni = if adding { self.rows.len() + 1 } else { self.rows.len() - 1 };
+        let nj = self.cols.len();
+        let mut v = 0;
+        if nj > 0 {
+            // Other rows' occupancy is unchanged (same |J|, same counts).
+            for r in self.rows.iter() {
+                if r != row && (self.row_cnt[r] as f64) < alpha * nj as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+            if adding {
+                let cnt = self.cols.iter().filter(|&c| matrix.is_specified(row, c)).count();
+                if (cnt as f64) < alpha * nj as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        if ni > 0 {
+            for c in self.cols.iter() {
+                let mut cnt = self.col_cnt[c] as i64;
+                if matrix.is_specified(row, c) {
+                    cnt += if adding { 1 } else { -1 };
+                }
+                if (cnt as f64) < alpha * ni as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        v
+    }
+
+    /// Occupancy violations the cluster would have after toggling `col`.
+    pub fn occupancy_violations_if_col_toggled(
+        &self,
+        matrix: &DataMatrix,
+        col: usize,
+        alpha: f64,
+    ) -> usize {
+        let adding = !self.cols.contains(col);
+        let nj = if adding { self.cols.len() + 1 } else { self.cols.len() - 1 };
+        let ni = self.rows.len();
+        let mut v = 0;
+        if ni > 0 {
+            for c in self.cols.iter() {
+                if c != col && (self.col_cnt[c] as f64) < alpha * ni as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+            if adding {
+                let cnt = self.rows.iter().filter(|&r| matrix.is_specified(r, col)).count();
+                if (cnt as f64) < alpha * ni as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        if nj > 0 {
+            for r in self.rows.iter() {
+                let mut cnt = self.row_cnt[r] as i64;
+                if matrix.is_specified(r, col) {
+                    cnt += if adding { 1 } else { -1 };
+                }
+                if (cnt as f64) < alpha * nj as f64 - 1e-9 {
+                    v += 1;
+                }
+            }
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::residue::{cluster_residue, ResidueMean};
+
+    fn figure4b() -> DataMatrix {
+        DataMatrix::from_rows(
+            3,
+            3,
+            vec![401.0, 120.0, 298.0, 318.0, 37.0, 215.0, 322.0, 41.0, 219.0],
+        )
+    }
+
+    /// A 4×5 matrix with some missing entries for cross-checks.
+    fn mixed() -> DataMatrix {
+        DataMatrix::from_options(
+            4,
+            5,
+            vec![
+                Some(1.0), Some(2.0), None,      Some(4.0), Some(5.0),
+                Some(2.0), None,      Some(4.0), Some(5.0), Some(6.0),
+                Some(9.0), Some(3.0), Some(7.0), None,      Some(1.0),
+                None,      Some(8.0), Some(2.0), Some(6.0), Some(4.0),
+            ],
+        )
+    }
+
+    fn assert_matches_reference(m: &DataMatrix, st: &ClusterState) {
+        let c = st.to_cluster();
+        let mut scratch = Scratch::default();
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let incr = st.residue(m, mean, &mut scratch);
+            let refr = cluster_residue(m, &c, mean);
+            assert!(
+                (incr - refr).abs() < 1e-9,
+                "incremental {incr} != reference {refr} ({mean:?}) for {c:?}"
+            );
+        }
+        assert_eq!(st.volume(), c.volume(m), "volume mismatch for {c:?}");
+    }
+
+    #[test]
+    fn fresh_state_matches_reference() {
+        let m = mixed();
+        let c = DeltaCluster::from_indices(4, 5, [0, 2, 3], [1, 2, 4]);
+        let st = ClusterState::new(&m, &c);
+        assert_matches_reference(&m, &st);
+    }
+
+    #[test]
+    fn figure4b_state_has_zero_residue_and_paper_bases() {
+        let m = figure4b();
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(3, 3, 0..3, 0..3));
+        assert!((st.base() - 219.0).abs() < 1e-9);
+        let mut s = Scratch::default();
+        assert!(st.residue(&m, ResidueMean::Arithmetic, &mut s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn toggles_keep_state_consistent() {
+        let m = mixed();
+        let mut st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [0, 1], [0, 1, 2]));
+        // A deterministic walk of toggles, checking invariants at each step.
+        let moves: Vec<(bool, usize)> = vec![
+            (true, 2),  // add row 2
+            (false, 3), // add col 3
+            (true, 0),  // remove row 0
+            (false, 1), // remove col 1
+            (true, 0),  // re-add row 0
+            (false, 4), // add col 4
+            (true, 3),  // add row 3
+            (false, 0), // remove col 0
+        ];
+        for (is_row, idx) in moves {
+            if is_row {
+                st.toggle_row(&m, idx);
+            } else {
+                st.toggle_col(&m, idx);
+            }
+            assert_matches_reference(&m, &st);
+        }
+    }
+
+    #[test]
+    fn virtual_row_toggle_matches_actual() {
+        let m = mixed();
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [0, 2], [0, 2, 4]));
+        let mut scratch = Scratch::default();
+        for row in 0..4 {
+            for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+                let virt = st.residue_if_row_toggled(&m, row, mean, &mut scratch);
+                let mut actual = st.clone();
+                actual.toggle_row(&m, row);
+                let real = actual.residue(&m, mean, &mut scratch);
+                assert!(
+                    (virt - real).abs() < 1e-9,
+                    "row {row} {mean:?}: virtual {virt} != actual {real}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_col_toggle_matches_actual() {
+        let m = mixed();
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [1, 2, 3], [1, 3]));
+        let mut scratch = Scratch::default();
+        for col in 0..5 {
+            for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+                let virt = st.residue_if_col_toggled(&m, col, mean, &mut scratch);
+                let mut actual = st.clone();
+                actual.toggle_col(&m, col);
+                let real = actual.residue(&m, mean, &mut scratch);
+                assert!(
+                    (virt - real).abs() < 1e-9,
+                    "col {col} {mean:?}: virtual {virt} != actual {real}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_cluster_residue_is_zero() {
+        let m = mixed();
+        let st = ClusterState::empty(&m);
+        let mut s = Scratch::default();
+        assert_eq!(st.residue(&m, ResidueMean::Arithmetic, &mut s), 0.0);
+        assert_eq!(st.volume(), 0);
+        assert_eq!(st.base(), 0.0);
+    }
+
+    #[test]
+    fn removing_last_row_yields_zero_volume() {
+        let m = mixed();
+        let mut st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [1], [0, 2]));
+        let mut s = Scratch::default();
+        let virt = st.residue_if_row_toggled(&m, 1, ResidueMean::Arithmetic, &mut s);
+        assert_eq!(virt, 0.0);
+        st.toggle_row(&m, 1);
+        assert_eq!(st.volume(), 0);
+    }
+
+    #[test]
+    fn occupancy_violation_counts() {
+        // Figure 3(a): not a δ-cluster at α = 0.6.
+        let m = DataMatrix::from_options(
+            3,
+            4,
+            vec![
+                Some(1.0), None,      Some(3.0), None,
+                None,      Some(4.0), None,      Some(5.0),
+                Some(3.0), None,      Some(4.0), None,
+            ],
+        );
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(3, 4, 0..3, 0..4));
+        assert!(st.occupancy_violations(0.6) > 0);
+        assert_eq!(st.occupancy_violations(0.0), 0);
+    }
+
+    #[test]
+    fn virtual_occupancy_matches_actual() {
+        let m = mixed();
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [0, 1, 2], [0, 1, 3, 4]));
+        let alpha = 0.7;
+        for row in 0..4 {
+            let virt = st.occupancy_violations_if_row_toggled(&m, row, alpha);
+            let mut actual = st.clone();
+            actual.toggle_row(&m, row);
+            assert_eq!(virt, actual.occupancy_violations(alpha), "row {row}");
+        }
+        for col in 0..5 {
+            let virt = st.occupancy_violations_if_col_toggled(&m, col, alpha);
+            let mut actual = st.clone();
+            actual.toggle_col(&m, col);
+            assert_eq!(virt, actual.occupancy_violations(alpha), "col {col}");
+        }
+    }
+
+    #[test]
+    fn per_dimension_specified_counts() {
+        let m = mixed();
+        let st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [0, 1], [1, 2]));
+        // Row 0 has col1=2.0 specified, col2 missing → 1. Row 1: col1 missing, col2=4.0 → 1.
+        assert_eq!(st.row_specified(0), 1);
+        assert_eq!(st.row_specified(1), 1);
+        assert_eq!(st.col_specified(1), 1);
+        assert_eq!(st.col_specified(2), 1);
+        assert_eq!(st.volume(), 2);
+    }
+}

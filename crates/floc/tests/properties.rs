@@ -1,0 +1,188 @@
+//! Property-based tests for the δ-cluster model and FLOC machinery.
+
+use dc_floc::{
+    cluster_residue, residue, ClusterState, DeltaCluster, ResidueMean, Scratch,
+};
+use dc_matrix::DataMatrix;
+use proptest::prelude::*;
+
+/// Arbitrary small matrix with optional entries.
+fn arb_matrix() -> impl Strategy<Value = DataMatrix> {
+    (2usize..10, 2usize..10).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::option::weighted(0.85, -100.0..100.0f64),
+            rows * cols,
+        )
+        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+    })
+}
+
+/// Arbitrary non-empty cluster over an `m × n` universe.
+fn arb_cluster(m: usize, n: usize) -> impl Strategy<Value = DeltaCluster> {
+    (
+        proptest::collection::hash_set(0..m, 1..=m),
+        proptest::collection::hash_set(0..n, 1..=n),
+    )
+        .prop_map(move |(rows, cols)| DeltaCluster::from_indices(m, n, rows, cols))
+}
+
+fn arb_matrix_and_cluster() -> impl Strategy<Value = (DataMatrix, DeltaCluster)> {
+    arb_matrix().prop_flat_map(|m| {
+        let (rows, cols) = (m.rows(), m.cols());
+        arb_cluster(rows, cols).prop_map(move |c| (m.clone(), c))
+    })
+}
+
+proptest! {
+    // ---- Residue invariants ------------------------------------------
+
+    #[test]
+    fn residue_is_non_negative((m, c) in arb_matrix_and_cluster()) {
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let r = cluster_residue(&m, &c, mean);
+            prop_assert!(r >= 0.0, "{mean:?}: {r}");
+            prop_assert!(r.is_finite());
+        }
+    }
+
+    #[test]
+    fn residue_is_invariant_under_row_shifts(
+        (m, c) in arb_matrix_and_cluster(),
+        shift in -500.0..500.0f64,
+        which in 0usize..10,
+    ) {
+        // Shifting all entries of one participating row by a constant must
+        // not change the residue — the defining property of the model.
+        // Exact invariance requires the cluster submatrix to be fully
+        // specified: with missing entries the bases average over different
+        // supports and the shift no longer cancels, so we restrict to that
+        // case (the arithmetic of Definition 3.4 is only "perfect" there,
+        // which is why Definition 3.1 bounds missing entries via α).
+        let complete = c.rows.iter().all(|r| c.cols.iter().all(|col| m.is_specified(r, col)));
+        prop_assume!(complete);
+        let rows: Vec<usize> = c.rows.iter().collect();
+        let row = rows[which % rows.len()];
+        let mut shifted = m.clone();
+        for col in 0..m.cols() {
+            if let Some(v) = m.get(row, col) {
+                shifted.set(row, col, v + shift);
+            }
+        }
+        let before = cluster_residue(&m, &c, ResidueMean::Arithmetic);
+        let after = cluster_residue(&shifted, &c, ResidueMean::Arithmetic);
+        prop_assert!((before - after).abs() < 1e-6, "{before} vs {after}");
+    }
+
+    #[test]
+    fn residue_is_invariant_under_global_shift((m, c) in arb_matrix_and_cluster(), shift in -500.0..500.0f64) {
+        let mut shifted = m.clone();
+        shifted.map_in_place(|v| v + shift);
+        let before = cluster_residue(&m, &c, ResidueMean::Arithmetic);
+        let after = cluster_residue(&shifted, &c, ResidueMean::Arithmetic);
+        prop_assert!((before - after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_additive_cluster_has_zero_residue(
+        row_biases in proptest::collection::vec(-50.0..50.0f64, 2..8),
+        col_effects in proptest::collection::vec(-50.0..50.0f64, 2..8),
+    ) {
+        let rows = row_biases.len();
+        let cols = col_effects.len();
+        let mut m = DataMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, row_biases[r] + col_effects[c]);
+            }
+        }
+        let cluster = DeltaCluster::from_indices(rows, cols, 0..rows, 0..cols);
+        prop_assert!(cluster_residue(&m, &cluster, ResidueMean::Arithmetic) < 1e-9);
+    }
+
+    // ---- Incremental state vs reference -------------------------------
+
+    #[test]
+    fn incremental_state_tracks_reference(
+        (m, c) in arb_matrix_and_cluster(),
+        toggles in proptest::collection::vec((proptest::bool::ANY, 0usize..10), 0..25),
+    ) {
+        let mut state = ClusterState::new(&m, &c);
+        let mut scratch = Scratch::default();
+        for (is_row, idx) in toggles {
+            if is_row {
+                state.toggle_row(&m, idx % m.rows());
+            } else {
+                state.toggle_col(&m, idx % m.cols());
+            }
+            let incr = state.residue(&m, ResidueMean::Arithmetic, &mut scratch);
+            let oracle = cluster_residue(&m, &state.to_cluster(), ResidueMean::Arithmetic);
+            prop_assert!((incr - oracle).abs() < 1e-7, "incr {incr} vs oracle {oracle}");
+            prop_assert_eq!(state.volume(), state.to_cluster().volume(&m));
+        }
+    }
+
+    #[test]
+    fn virtual_toggles_match_actual((m, c) in arb_matrix_and_cluster(), idx in 0usize..10) {
+        let state = ClusterState::new(&m, &c);
+        let mut scratch = Scratch::default();
+        let row = idx % m.rows();
+        let col = idx % m.cols();
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let virt = state.residue_if_row_toggled(&m, row, mean, &mut scratch);
+            let mut actual = state.clone();
+            actual.toggle_row(&m, row);
+            let real = actual.residue(&m, mean, &mut scratch);
+            prop_assert!((virt - real).abs() < 1e-7, "row {row} {mean:?}: {virt} vs {real}");
+
+            let virt = state.residue_if_col_toggled(&m, col, mean, &mut scratch);
+            let mut actual = state.clone();
+            actual.toggle_col(&m, col);
+            let real = actual.residue(&m, mean, &mut scratch);
+            prop_assert!((virt - real).abs() < 1e-7, "col {col} {mean:?}: {virt} vs {real}");
+        }
+    }
+
+    #[test]
+    fn double_toggle_is_identity((m, c) in arb_matrix_and_cluster(), idx in 0usize..10) {
+        let state = ClusterState::new(&m, &c);
+        let mut scratch = Scratch::default();
+        let before = state.residue(&m, ResidueMean::Arithmetic, &mut scratch);
+        let mut toggled = state.clone();
+        let row = idx % m.rows();
+        toggled.toggle_row(&m, row);
+        toggled.toggle_row(&m, row);
+        let after = toggled.residue(&m, ResidueMean::Arithmetic, &mut scratch);
+        prop_assert!((before - after).abs() < 1e-7);
+        prop_assert_eq!(toggled.volume(), state.volume());
+        prop_assert_eq!(&toggled.rows, &state.rows);
+    }
+
+    // ---- Occupancy -----------------------------------------------------
+
+    #[test]
+    fn occupancy_violations_match_definition((m, c) in arb_matrix_and_cluster(), alpha in 0.0..1.0f64) {
+        let state = ClusterState::new(&m, &c);
+        let violations = state.occupancy_violations(alpha);
+        prop_assert_eq!(violations == 0, c.satisfies_occupancy(&m, alpha));
+    }
+
+    // ---- Bases ----------------------------------------------------------
+
+    #[test]
+    fn bases_average_to_cluster_base((m, c) in arb_matrix_and_cluster()) {
+        let b = residue::bases(&m, &c);
+        if b.volume > 0 {
+            // The volume-weighted mean of row bases equals the cluster base.
+            let mut weighted = 0.0;
+            let mut weight = 0.0;
+            for (i, &row) in b.rows.iter().enumerate() {
+                let cnt = c.cols.iter().filter(|&col| m.is_specified(row, col)).count() as f64;
+                weighted += b.row_bases[i] * cnt;
+                weight += cnt;
+            }
+            if weight > 0.0 {
+                prop_assert!((weighted / weight - b.cluster_base).abs() < 1e-7);
+            }
+        }
+    }
+}

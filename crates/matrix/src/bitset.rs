@@ -1,0 +1,362 @@
+//! A fixed-capacity bitset tuned for δ-cluster membership tracking.
+//!
+//! Clusters are identified by a subset of row indices and a subset of column
+//! indices. Membership toggles, cardinality queries, and intersection counts
+//! are the hot operations during FLOC's gain evaluation, so the
+//! representation is a flat `Vec<u64>` with word-level popcounts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const WORD_BITS: usize = 64;
+
+/// A set of `usize` indices drawn from a fixed universe `0..capacity`.
+///
+/// Unlike `std::collections::HashSet<usize>`, all operations are branch-light
+/// word manipulations and iteration yields indices in ascending order, which
+/// keeps the downstream residue scans cache-friendly.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set over the universe `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
+    }
+
+    /// Creates a set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for w in s.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        // Clear the tail bits beyond `capacity`.
+        let tail = capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = s.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+        s.len = capacity;
+        s
+    }
+
+    /// Builds a set from an iterator of indices. Indices must be `< capacity`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(capacity: usize, indices: I) -> Self {
+        let mut s = Self::new(capacity);
+        for i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The size of the universe this set draws from.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of indices currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set holds no indices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        self.words[index / WORD_BITS] & (1u64 << (index % WORD_BITS)) != 0
+    }
+
+    /// Inserts `index`; returns true if it was not already present.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if *word & mask == 0 {
+            *word |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `index`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        let word = &mut self.words[index / WORD_BITS];
+        let mask = 1u64 << (index % WORD_BITS);
+        if *word & mask != 0 {
+            *word &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flips membership of `index`; returns true if the index is present
+    /// *after* the toggle.
+    #[inline]
+    pub fn toggle(&mut self, index: usize) -> bool {
+        if self.contains(index) {
+            self.remove(index);
+            false
+        } else {
+            self.insert(index);
+            true
+        }
+    }
+
+    /// Removes every index.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.len = 0;
+    }
+
+    /// Number of indices present in both `self` and `other`.
+    ///
+    /// # Panics
+    /// Panics if the capacities differ.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Number of indices present in `self` or `other` (or both).
+    pub fn union_len(&self, other: &BitSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a | b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        let mut len = 0;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+            len += a.count_ones() as usize;
+        }
+        self.len = len;
+    }
+
+    /// True if every index of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "capacity mismatch");
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates indices in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the indices into a `Vec` (ascending).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// Ascending-order iterator over the indices of a [`BitSet`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the maximum index (or 0).
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let indices: Vec<usize> = iter.into_iter().collect();
+        let capacity = indices.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_indices(capacity, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set() {
+        let s = BitSet::new(100);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.to_vec(), vec![0, 63, 64, 129]);
+        assert!(s.remove(63));
+        assert!(!s.remove(63), "double remove reports false");
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.to_vec(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn toggle_flips_membership() {
+        let mut s = BitSet::new(10);
+        assert!(s.toggle(3), "toggle into the set returns true");
+        assert!(s.contains(3));
+        assert!(!s.toggle(3), "toggle out of the set returns false");
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn full_set_has_exact_tail() {
+        for cap in [1, 63, 64, 65, 128, 130] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "capacity {cap}");
+            assert_eq!(s.iter().count(), cap);
+            assert!(s.contains(cap - 1));
+        }
+    }
+
+    #[test]
+    fn full_set_zero_capacity() {
+        let s = BitSet::full(0);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn intersection_and_union_len() {
+        let a = BitSet::from_indices(200, [1, 5, 70, 150]);
+        let b = BitSet::from_indices(200, [5, 70, 199]);
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(b.intersection_len(&a), 2);
+        assert_eq!(a.union_len(&b), 5);
+    }
+
+    #[test]
+    fn union_with_updates_len() {
+        let mut a = BitSet::from_indices(100, [1, 2, 3]);
+        let b = BitSet::from_indices(100, [3, 4]);
+        a.union_with(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.to_vec(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let a = BitSet::from_indices(100, [2, 50]);
+        let b = BitSet::from_indices(100, [2, 50, 99]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_subset(&a));
+        assert!(BitSet::new(100).is_subset(&a), "empty set is subset of anything");
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::from_indices(64, [0, 1, 63]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let s: BitSet = [3usize, 9, 4].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![3, 4, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn contains_out_of_range_panics() {
+        let s = BitSet::new(10);
+        let _ = s.contains(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn intersection_capacity_mismatch_panics() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(11);
+        let _ = a.intersection_len(&b);
+    }
+
+    #[test]
+    fn debug_formatting_lists_indices() {
+        let s = BitSet::from_indices(10, [1, 4]);
+        assert_eq!(format!("{s:?}"), "{1, 4}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Categorical attribute encoding.
+//!
+//! Footnote 2 of the paper: "In general, the attributes can take either
+//! numerical or categorical values. In this paper, we assume numerical
+//! attributes…; the scenario of having categorical attributes or even
+//! hybrid attribute types is left to the full version." This module closes
+//! that gap far enough for practical use: categorical columns are encoded
+//! numerically so the δ-cluster machinery can run over hybrid data.
+//!
+//! Two encodings are provided:
+//!
+//! * **Ordinal** — categories are mapped to their rank in a caller-supplied
+//!   order (e.g. `poor < fair < good`), preserving whatever ordering
+//!   semantics the domain has. Shifting coherence then means "these objects
+//!   agree on *relative* levels".
+//! * **Frequency** — categories are mapped to their relative frequency in
+//!   the column. Objects sharing rare/common categories become coherent;
+//!   useful when categories have no order.
+
+use crate::dense::DataMatrix;
+use std::collections::HashMap;
+
+/// A categorical column: one optional label per object.
+pub type CategoricalColumn = Vec<Option<String>>;
+
+/// Errors from categorical encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A value was not listed in the supplied category order.
+    UnknownCategory {
+        /// Row of the offending value.
+        row: usize,
+        /// The value itself.
+        value: String,
+    },
+    /// Column lengths disagree.
+    LengthMismatch {
+        /// Expected rows.
+        expected: usize,
+        /// Rows found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::UnknownCategory { row, value } => {
+                write!(f, "row {row}: category {value:?} not in the declared order")
+            }
+            EncodeError::LengthMismatch { expected, found } => {
+                write!(f, "column has {found} rows, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Encodes a categorical column as ordinal ranks (`0.0, 1.0, …` following
+/// `order`). Missing labels stay missing.
+pub fn encode_ordinal(
+    column: &CategoricalColumn,
+    order: &[&str],
+) -> Result<Vec<Option<f64>>, EncodeError> {
+    let rank: HashMap<&str, usize> =
+        order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    column
+        .iter()
+        .enumerate()
+        .map(|(row, v)| match v {
+            None => Ok(None),
+            Some(label) => rank
+                .get(label.as_str())
+                .map(|&r| Some(r as f64))
+                .ok_or_else(|| EncodeError::UnknownCategory { row, value: label.clone() }),
+        })
+        .collect()
+}
+
+/// Encodes a categorical column by the relative frequency of each category
+/// among the specified labels. Missing labels stay missing. An all-missing
+/// column encodes to all-missing.
+pub fn encode_frequency(column: &CategoricalColumn) -> Vec<Option<f64>> {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    let mut total = 0usize;
+    for v in column.iter().flatten() {
+        *counts.entry(v.as_str()).or_insert(0) += 1;
+        total += 1;
+    }
+    column
+        .iter()
+        .map(|v| {
+            v.as_ref()
+                .map(|label| counts[label.as_str()] as f64 / total as f64)
+        })
+        .collect()
+}
+
+/// Builds a hybrid matrix from numeric columns plus ordinally-encoded
+/// categorical columns (appended after the numeric ones, in order).
+///
+/// `numeric[c][r]` is column-major numeric data; `categorical` pairs each
+/// column with its category order.
+pub fn hybrid_matrix(
+    rows: usize,
+    numeric: &[Vec<Option<f64>>],
+    categorical: &[(CategoricalColumn, Vec<&str>)],
+) -> Result<DataMatrix, EncodeError> {
+    for col in numeric {
+        if col.len() != rows {
+            return Err(EncodeError::LengthMismatch { expected: rows, found: col.len() });
+        }
+    }
+    let mut encoded: Vec<Vec<Option<f64>>> = Vec::with_capacity(categorical.len());
+    for (col, order) in categorical {
+        if col.len() != rows {
+            return Err(EncodeError::LengthMismatch { expected: rows, found: col.len() });
+        }
+        encoded.push(encode_ordinal(col, order)?);
+    }
+    let cols = numeric.len() + encoded.len();
+    let mut m = DataMatrix::new(rows, cols);
+    for (c, col) in numeric.iter().chain(encoded.iter()).enumerate() {
+        for (r, v) in col.iter().enumerate() {
+            if let Some(x) = v {
+                m.set(r, c, *x);
+            }
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(labels: &[Option<&str>]) -> CategoricalColumn {
+        labels.iter().map(|v| v.map(str::to_string)).collect()
+    }
+
+    #[test]
+    fn ordinal_encoding_follows_order() {
+        let c = col(&[Some("good"), Some("poor"), None, Some("fair")]);
+        let e = encode_ordinal(&c, &["poor", "fair", "good"]).unwrap();
+        assert_eq!(e, vec![Some(2.0), Some(0.0), None, Some(1.0)]);
+    }
+
+    #[test]
+    fn ordinal_rejects_unknown_categories() {
+        let c = col(&[Some("excellent")]);
+        let err = encode_ordinal(&c, &["poor", "fair", "good"]).unwrap_err();
+        assert_eq!(
+            err,
+            EncodeError::UnknownCategory { row: 0, value: "excellent".into() }
+        );
+        assert!(err.to_string().contains("excellent"));
+    }
+
+    #[test]
+    fn frequency_encoding_reflects_counts() {
+        let c = col(&[Some("a"), Some("a"), Some("b"), None]);
+        let e = encode_frequency(&c);
+        assert_eq!(e[0], Some(2.0 / 3.0));
+        assert_eq!(e[1], Some(2.0 / 3.0));
+        assert_eq!(e[2], Some(1.0 / 3.0));
+        assert_eq!(e[3], None);
+    }
+
+    #[test]
+    fn frequency_of_all_missing_is_all_missing() {
+        let c = col(&[None, None]);
+        assert_eq!(encode_frequency(&c), vec![None, None]);
+    }
+
+    #[test]
+    fn hybrid_matrix_appends_encoded_columns() {
+        let numeric = vec![vec![Some(1.0), Some(2.0), None]];
+        let cats = vec![(
+            col(&[Some("lo"), Some("hi"), Some("lo")]),
+            vec!["lo", "hi"],
+        )];
+        let m = hybrid_matrix(3, &numeric, &cats).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 1), Some(0.0));
+        assert_eq!(m.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn hybrid_matrix_validates_lengths() {
+        let numeric = vec![vec![Some(1.0)]];
+        let err = hybrid_matrix(2, &numeric, &[]).unwrap_err();
+        assert!(matches!(err, EncodeError::LengthMismatch { expected: 2, found: 1 }));
+    }
+
+    #[test]
+    fn coherent_ordinal_ratings_form_a_delta_cluster() {
+        // Two respondents answer three ordinal questions one level apart —
+        // exactly the shifting coherence the δ-model captures.
+        let order = ["never", "rarely", "sometimes", "often", "always"];
+        let q1 = col(&[Some("rarely"), Some("sometimes")]);
+        let q2 = col(&[Some("often"), Some("always")]);
+        let q3 = col(&[Some("never"), Some("rarely")]);
+        let m = hybrid_matrix(
+            2,
+            &[],
+            &[(q1, order.to_vec()), (q2, order.to_vec()), (q3, order.to_vec())],
+        )
+        .unwrap();
+        // Row 1 − row 0 is the constant shift 1 on every question.
+        for c in 0..3 {
+            assert_eq!(m.get(1, c).unwrap() - m.get(0, c).unwrap(), 1.0);
+        }
+    }
+}

@@ -1,0 +1,459 @@
+//! The dense data matrix with optional (missing) entries.
+//!
+//! The δ-cluster model (Yang et al., ICDE 2002) operates on an `M × N` matrix
+//! `D` of objects × attributes in which entries may be *unspecified* — e.g. a
+//! viewer who never rated a movie. [`DataMatrix`] stores values row-major in a
+//! flat `Vec<f64>` with a parallel specification bitmap, so sequential row
+//! scans (the hot path of residue computation) touch contiguous memory.
+
+use crate::bitset::BitSet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An `rows × cols` matrix of `f64` values where individual entries may be
+/// missing.
+///
+/// Conventions follow the paper: *objects* are rows, *attributes* are
+/// columns. Missing entries are first-class: they contribute nothing to any
+/// base (mean) or residue, and occupancy constraints bound how many of them a
+/// δ-cluster may absorb.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major values; positions where `mask` is unset hold 0.0 and must
+    /// never be read as data.
+    values: Vec<f64>,
+    /// Bit `i * cols + j` set ⇔ entry `(i, j)` is specified.
+    mask: BitSet,
+    /// Cached count of specified entries.
+    specified: usize,
+    /// Optional row labels (e.g. gene names / user ids).
+    row_labels: Option<Vec<String>>,
+    /// Optional column labels (e.g. condition names / movie titles).
+    col_labels: Option<Vec<String>>,
+}
+
+impl DataMatrix {
+    /// Creates a matrix with every entry missing.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        DataMatrix {
+            rows,
+            cols,
+            values: vec![0.0; rows * cols],
+            mask: BitSet::new(rows * cols),
+            specified: 0,
+            row_labels: None,
+            col_labels: None,
+        }
+    }
+
+    /// Creates a fully-specified matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        DataMatrix {
+            rows,
+            cols,
+            values: data,
+            mask: BitSet::full(rows * cols),
+            specified: rows * cols,
+            row_labels: None,
+            col_labels: None,
+        }
+    }
+
+    /// Creates a matrix from row-major optional data (`None` = missing).
+    pub fn from_options(rows: usize, cols: usize, data: Vec<Option<f64>>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        let mut m = DataMatrix::new(rows, cols);
+        for (idx, v) in data.into_iter().enumerate() {
+            if let Some(x) = v {
+                m.set(idx / cols, idx % cols, x);
+            }
+        }
+        m
+    }
+
+    /// Number of objects (rows).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of attributes (columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of cells, specified or not.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of specified entries in the whole matrix.
+    #[inline]
+    pub fn specified_count(&self) -> usize {
+        self.specified
+    }
+
+    /// Fraction of cells that are specified, in `[0, 1]`. Returns 1.0 for an
+    /// empty matrix.
+    pub fn density(&self) -> f64 {
+        if self.cells() == 0 {
+            1.0
+        } else {
+            self.specified as f64 / self.cells() as f64
+        }
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.rows && col < self.cols);
+        row * self.cols + col
+    }
+
+    /// Returns the value at `(row, col)`, or `None` if missing.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let idx = self.idx(row, col);
+        if self.mask.contains(idx) {
+            Some(self.values[idx])
+        } else {
+            None
+        }
+    }
+
+    /// True if entry `(row, col)` is specified.
+    #[inline]
+    pub fn is_specified(&self, row: usize, col: usize) -> bool {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        self.mask.contains(self.idx(row, col))
+    }
+
+    /// Raw value without a specification check. Reads 0.0 at missing cells.
+    /// Use together with [`Self::is_specified`] in hot loops that have already
+    /// established specification.
+    #[inline]
+    pub fn value_unchecked(&self, row: usize, col: usize) -> f64 {
+        self.values[row * self.cols + col]
+    }
+
+    /// Sets entry `(row, col)` to `value`, marking it specified.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        assert!(value.is_finite(), "matrix values must be finite, got {value}");
+        let idx = self.idx(row, col);
+        if self.mask.insert(idx) {
+            self.specified += 1;
+        }
+        self.values[idx] = value;
+    }
+
+    /// Marks entry `(row, col)` as missing; returns the previous value.
+    pub fn unset(&mut self, row: usize, col: usize) -> Option<f64> {
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        let idx = self.idx(row, col);
+        if self.mask.remove(idx) {
+            self.specified -= 1;
+            let prev = self.values[idx];
+            self.values[idx] = 0.0;
+            Some(prev)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the specified entries of row `row` as `(col, value)`.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows, "row {row} out of bounds");
+        (0..self.cols).filter_map(move |c| self.get(row, c).map(|v| (c, v)))
+    }
+
+    /// Iterates the specified entries of column `col` as `(row, value)`.
+    pub fn col_entries(&self, col: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(col < self.cols, "col {col} out of bounds");
+        (0..self.rows).filter_map(move |r| self.get(r, col).map(|v| (r, v)))
+    }
+
+    /// Iterates every specified entry as `(row, col, value)` in row-major
+    /// order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows).flat_map(move |r| self.row_entries(r).map(move |(c, v)| (r, c, v)))
+    }
+
+    /// Number of specified entries in row `row`.
+    pub fn row_specified_count(&self, row: usize) -> usize {
+        self.row_entries(row).count()
+    }
+
+    /// Number of specified entries in column `col`.
+    pub fn col_specified_count(&self, col: usize) -> usize {
+        self.col_entries(col).count()
+    }
+
+    /// Row slice of raw values (includes zeros at missing positions). Pair
+    /// with [`Self::is_specified`] for masked access.
+    #[inline]
+    pub fn row_values(&self, row: usize) -> &[f64] {
+        &self.values[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Attaches row labels. Length must equal `rows`.
+    pub fn set_row_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.rows, "row label count mismatch");
+        self.row_labels = Some(labels);
+    }
+
+    /// Attaches column labels. Length must equal `cols`.
+    pub fn set_col_labels(&mut self, labels: Vec<String>) {
+        assert_eq!(labels.len(), self.cols, "col label count mismatch");
+        self.col_labels = Some(labels);
+    }
+
+    /// Row label, if labels were attached.
+    pub fn row_label(&self, row: usize) -> Option<&str> {
+        self.row_labels.as_ref().map(|l| l[row].as_str())
+    }
+
+    /// Column label, if labels were attached.
+    pub fn col_label(&self, col: usize) -> Option<&str> {
+        self.col_labels.as_ref().map(|l| l[col].as_str())
+    }
+
+    /// Extracts the submatrix over `rows × cols` index sets as a new dense
+    /// matrix (copies data; missing entries stay missing).
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> DataMatrix {
+        let mut out = DataMatrix::new(rows.len(), cols.len());
+        for (ri, &r) in rows.iter().enumerate() {
+            for (ci, &c) in cols.iter().enumerate() {
+                if let Some(v) = self.get(r, c) {
+                    out.set(ri, ci, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every specified entry in place.
+    pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for idx in 0..self.values.len() {
+            if self.mask.contains(idx) {
+                let v = f(self.values[idx]);
+                assert!(v.is_finite(), "map produced non-finite value {v}");
+                self.values[idx] = v;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for DataMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "DataMatrix {}x{} ({} specified, density {:.3})",
+            self.rows,
+            self.cols,
+            self.specified,
+            self.density()
+        )?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for r in 0..show_rows {
+            write!(f, "  ")?;
+            for c in 0..show_cols {
+                match self.get(r, c) {
+                    Some(v) => write!(f, "{v:>9.3} ")?,
+                    None => write!(f, "{:>9} ", "·")?,
+                }
+            }
+            if self.cols > show_cols {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > show_rows {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataMatrix {
+        // 1  3  ·
+        // ·  4  5
+        DataMatrix::from_options(
+            2,
+            3,
+            vec![Some(1.0), Some(3.0), None, None, Some(4.0), Some(5.0)],
+        )
+    }
+
+    #[test]
+    fn new_matrix_is_all_missing() {
+        let m = DataMatrix::new(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.specified_count(), 0);
+        assert_eq!(m.density(), 0.0);
+        assert_eq!(m.get(2, 3), None);
+    }
+
+    #[test]
+    fn from_rows_is_fully_specified() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.specified_count(), 4);
+        assert_eq!(m.density(), 1.0);
+        assert_eq!(m.get(1, 0), Some(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_rows_length_mismatch_panics() {
+        let _ = DataMatrix::from_rows(2, 2, vec![1.0]);
+    }
+
+    #[test]
+    fn set_get_unset_roundtrip() {
+        let mut m = DataMatrix::new(2, 2);
+        m.set(0, 1, 7.5);
+        assert_eq!(m.get(0, 1), Some(7.5));
+        assert_eq!(m.specified_count(), 1);
+        m.set(0, 1, 8.0); // overwrite keeps count
+        assert_eq!(m.specified_count(), 1);
+        assert_eq!(m.unset(0, 1), Some(8.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.specified_count(), 0);
+        assert_eq!(m.unset(0, 1), None, "unsetting a missing entry is a no-op");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_nan_panics() {
+        let mut m = DataMatrix::new(1, 1);
+        m.set(0, 0, f64::NAN);
+    }
+
+    #[test]
+    fn row_and_col_entries_skip_missing() {
+        let m = sample();
+        assert_eq!(m.row_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (1, 3.0)]);
+        assert_eq!(m.row_entries(1).collect::<Vec<_>>(), vec![(1, 4.0), (2, 5.0)]);
+        assert_eq!(m.col_entries(1).collect::<Vec<_>>(), vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(m.col_entries(2).collect::<Vec<_>>(), vec![(1, 5.0)]);
+    }
+
+    #[test]
+    fn entries_iterates_in_row_major_order() {
+        let m = sample();
+        let all: Vec<_> = m.entries().collect();
+        assert_eq!(
+            all,
+            vec![(0, 0, 1.0), (0, 1, 3.0), (1, 1, 4.0), (1, 2, 5.0)]
+        );
+    }
+
+    #[test]
+    fn specified_counts_per_dimension() {
+        let m = sample();
+        assert_eq!(m.row_specified_count(0), 2);
+        assert_eq!(m.row_specified_count(1), 2);
+        assert_eq!(m.col_specified_count(0), 1);
+        assert_eq!(m.col_specified_count(1), 2);
+        assert_eq!(m.col_specified_count(2), 1);
+    }
+
+    #[test]
+    fn submatrix_copies_values_and_holes() {
+        let m = sample();
+        let s = m.submatrix(&[1, 0], &[2, 1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s.get(0, 0), Some(5.0)); // (1,2)
+        assert_eq!(s.get(0, 1), Some(4.0)); // (1,1)
+        assert_eq!(s.get(1, 0), None); // (0,2)
+        assert_eq!(s.get(1, 1), Some(3.0)); // (0,1)
+    }
+
+    #[test]
+    fn map_in_place_only_touches_specified() {
+        let mut m = sample();
+        m.map_in_place(|v| v * 2.0);
+        assert_eq!(m.get(0, 0), Some(2.0));
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.specified_count(), 4);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut m = DataMatrix::new(2, 2);
+        assert_eq!(m.row_label(0), None);
+        m.set_row_labels(vec!["g1".into(), "g2".into()]);
+        m.set_col_labels(vec!["c1".into(), "c2".into()]);
+        assert_eq!(m.row_label(1), Some("g2"));
+        assert_eq!(m.col_label(0), Some("c1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let m = DataMatrix::new(2, 2);
+        let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn density_of_empty_matrix_is_one() {
+        let m = DataMatrix::new(0, 0);
+        assert_eq!(m.density(), 1.0);
+    }
+
+    #[test]
+    fn debug_renders_missing_as_dot() {
+        let m = sample();
+        let s = format!("{m:?}");
+        assert!(s.contains('·'));
+        assert!(s.contains("2x3"));
+    }
+}

@@ -1,0 +1,356 @@
+//! Plain-text matrix IO.
+//!
+//! Two formats cover the paper's data sources:
+//!
+//! * **Dense delimited text** — one row per line, fields separated by a
+//!   delimiter, with a configurable missing marker. This is the shape of the
+//!   yeast microarray file used by Cheng & Church and by the paper.
+//! * **Sparse triples** — `row <sep> col <sep> value [<sep> ignored...]`
+//!   lines, the shape of the MovieLens `u.data` file (`user item rating
+//!   timestamp`). Row/col ids are remapped to dense 0-based indices.
+
+use crate::dense::DataMatrix;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors from parsing matrix text formats.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A line had a different number of fields than the first line.
+    RaggedRow { line: usize, expected: usize, found: usize },
+    /// A field could not be parsed as a number.
+    BadNumber { line: usize, field: usize, text: String },
+    /// A triples line had fewer than three fields.
+    ShortTripleLine { line: usize },
+    /// The input contained no data lines.
+    Empty,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "io error: {e}"),
+            ParseError::RaggedRow { line, expected, found } => {
+                write!(f, "line {line}: expected {expected} fields, found {found}")
+            }
+            ParseError::BadNumber { line, field, text } => {
+                write!(f, "line {line}, field {field}: cannot parse number from {text:?}")
+            }
+            ParseError::ShortTripleLine { line } => {
+                write!(f, "line {line}: triple lines need at least 3 fields")
+            }
+            ParseError::Empty => write!(f, "input contains no data lines"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Options for reading/writing dense delimited matrices.
+#[derive(Debug, Clone)]
+pub struct DenseFormat {
+    /// Field delimiter; default `'\t'`.
+    pub delimiter: char,
+    /// Marker for missing entries; default `"NA"` (empty fields also count).
+    pub missing: String,
+    /// If true, the first column of each line is a row label.
+    pub row_labels: bool,
+    /// If true, the first line is a header of column labels.
+    pub col_header: bool,
+}
+
+impl Default for DenseFormat {
+    fn default() -> Self {
+        DenseFormat {
+            delimiter: '\t',
+            missing: "NA".to_string(),
+            row_labels: false,
+            col_header: false,
+        }
+    }
+}
+
+/// Reads a dense delimited matrix from any reader.
+pub fn read_dense<R: Read>(reader: R, fmt: &DenseFormat) -> Result<DataMatrix, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut width: Option<usize> = None;
+    let mut data: Vec<Option<f64>> = Vec::new();
+    let mut row_labels: Vec<String> = Vec::new();
+    let mut col_labels: Vec<String> = Vec::new();
+    let mut rows = 0usize;
+    let mut first_line = true;
+
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields: Vec<&str> = trimmed.split(fmt.delimiter).collect();
+        if first_line && fmt.col_header {
+            first_line = false;
+            if fmt.row_labels && !fields.is_empty() {
+                fields.remove(0);
+            }
+            col_labels = fields.iter().map(|s| s.trim().to_string()).collect();
+            continue;
+        }
+        first_line = false;
+        if fmt.row_labels {
+            if fields.is_empty() {
+                return Err(ParseError::RaggedRow { line: line_no + 1, expected: 1, found: 0 });
+            }
+            row_labels.push(fields.remove(0).trim().to_string());
+        }
+        match width {
+            None => width = Some(fields.len()),
+            Some(w) if w != fields.len() => {
+                return Err(ParseError::RaggedRow {
+                    line: line_no + 1,
+                    expected: w,
+                    found: fields.len(),
+                })
+            }
+            _ => {}
+        }
+        for (fi, field) in fields.iter().enumerate() {
+            let t = field.trim();
+            if t.is_empty() || t == fmt.missing {
+                data.push(None);
+            } else {
+                let v: f64 = t.parse().map_err(|_| ParseError::BadNumber {
+                    line: line_no + 1,
+                    field: fi + 1,
+                    text: t.to_string(),
+                })?;
+                data.push(Some(v));
+            }
+        }
+        rows += 1;
+    }
+
+    let cols = width.ok_or(ParseError::Empty)?;
+    let mut m = DataMatrix::from_options(rows, cols, data);
+    if fmt.row_labels {
+        m.set_row_labels(row_labels);
+    }
+    if fmt.col_header && col_labels.len() == cols {
+        m.set_col_labels(col_labels);
+    }
+    Ok(m)
+}
+
+/// Reads a dense delimited matrix from a file path.
+pub fn read_dense_file<P: AsRef<Path>>(path: P, fmt: &DenseFormat) -> Result<DataMatrix, ParseError> {
+    read_dense(std::fs::File::open(path)?, fmt)
+}
+
+/// Writes a matrix in dense delimited form.
+pub fn write_dense<W: Write>(m: &DataMatrix, writer: &mut W, fmt: &DenseFormat) -> io::Result<()> {
+    let mut line = String::new();
+    if fmt.col_header {
+        line.clear();
+        if fmt.row_labels {
+            line.push_str("id");
+        }
+        for c in 0..m.cols() {
+            if fmt.row_labels || c > 0 {
+                line.push(fmt.delimiter);
+            }
+            line.push_str(m.col_label(c).unwrap_or(""));
+        }
+        writeln!(writer, "{line}")?;
+    }
+    for r in 0..m.rows() {
+        line.clear();
+        if fmt.row_labels {
+            line.push_str(m.row_label(r).unwrap_or(""));
+        }
+        for c in 0..m.cols() {
+            if fmt.row_labels || c > 0 {
+                line.push(fmt.delimiter);
+            }
+            match m.get(r, c) {
+                Some(v) => {
+                    let _ = write!(line, "{v}");
+                }
+                None => line.push_str(&fmt.missing),
+            }
+        }
+        writeln!(writer, "{line}")?;
+    }
+    Ok(())
+}
+
+/// Result of reading a sparse triples file: the matrix plus the original
+/// row/col identifiers (index-aligned with matrix rows/cols).
+#[derive(Debug, Clone)]
+pub struct TriplesMatrix {
+    /// The assembled matrix.
+    pub matrix: DataMatrix,
+    /// Original row ids in matrix-row order.
+    pub row_ids: Vec<String>,
+    /// Original column ids in matrix-column order.
+    pub col_ids: Vec<String>,
+}
+
+/// Reads whitespace- or tab-separated `row col value [extra...]` triples
+/// (the MovieLens `u.data` layout). Extra fields (e.g. timestamps) are
+/// ignored. Row/col ids are assigned dense indices in first-seen order.
+pub fn read_triples<R: Read>(reader: R) -> Result<TriplesMatrix, ParseError> {
+    let buf = BufReader::new(reader);
+    let mut row_index: HashMap<String, usize> = HashMap::new();
+    let mut col_index: HashMap<String, usize> = HashMap::new();
+    let mut row_ids: Vec<String> = Vec::new();
+    let mut col_ids: Vec<String> = Vec::new();
+    let mut triples: Vec<(usize, usize, f64)> = Vec::new();
+
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(ParseError::ShortTripleLine { line: line_no + 1 });
+        }
+        let value: f64 = fields[2].parse().map_err(|_| ParseError::BadNumber {
+            line: line_no + 1,
+            field: 3,
+            text: fields[2].to_string(),
+        })?;
+        let r = *row_index.entry(fields[0].to_string()).or_insert_with(|| {
+            row_ids.push(fields[0].to_string());
+            row_ids.len() - 1
+        });
+        let c = *col_index.entry(fields[1].to_string()).or_insert_with(|| {
+            col_ids.push(fields[1].to_string());
+            col_ids.len() - 1
+        });
+        triples.push((r, c, value));
+    }
+
+    if triples.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut matrix = DataMatrix::new(row_ids.len(), col_ids.len());
+    for (r, c, v) in triples {
+        matrix.set(r, c, v);
+    }
+    matrix.set_row_labels(row_ids.clone());
+    matrix.set_col_labels(col_ids.clone());
+    Ok(TriplesMatrix { matrix, row_ids, col_ids })
+}
+
+/// Reads a triples file from a path.
+pub fn read_triples_file<P: AsRef<Path>>(path: P) -> Result<TriplesMatrix, ParseError> {
+    read_triples(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_roundtrip_with_missing() {
+        let m = DataMatrix::from_options(
+            2,
+            3,
+            vec![Some(1.0), None, Some(3.5), Some(-2.0), Some(0.0), None],
+        );
+        let fmt = DenseFormat::default();
+        let mut out = Vec::new();
+        write_dense(&m, &mut out, &fmt).unwrap();
+        let back = read_dense(&out[..], &fmt).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn dense_with_labels_roundtrip() {
+        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        m.set_row_labels(vec!["g1".into(), "g2".into()]);
+        m.set_col_labels(vec!["c1".into(), "c2".into()]);
+        let fmt = DenseFormat { row_labels: true, col_header: true, ..Default::default() };
+        let mut out = Vec::new();
+        write_dense(&m, &mut out, &fmt).unwrap();
+        let back = read_dense(&out[..], &fmt).unwrap();
+        assert_eq!(back.row_label(1), Some("g2"));
+        assert_eq!(back.col_label(0), Some("c1"));
+        assert_eq!(back.get(1, 0), Some(3.0));
+    }
+
+    #[test]
+    fn dense_rejects_ragged_rows() {
+        let text = "1\t2\n3\n";
+        let err = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap_err();
+        assert!(matches!(err, ParseError::RaggedRow { line: 2, expected: 2, found: 1 }));
+    }
+
+    #[test]
+    fn dense_rejects_garbage_numbers() {
+        let text = "1\tx\n";
+        let err = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap_err();
+        assert!(matches!(err, ParseError::BadNumber { line: 1, field: 2, .. }));
+        assert!(err.to_string().contains("field 2"));
+    }
+
+    #[test]
+    fn dense_empty_input_is_error() {
+        let err = read_dense("".as_bytes(), &DenseFormat::default()).unwrap_err();
+        assert!(matches!(err, ParseError::Empty));
+    }
+
+    #[test]
+    fn dense_empty_field_is_missing() {
+        let text = "1,,3\n";
+        let fmt = DenseFormat { delimiter: ',', ..Default::default() };
+        let m = read_dense(text.as_bytes(), &fmt).unwrap();
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(0, 2), Some(3.0));
+    }
+
+    #[test]
+    fn triples_reads_movielens_layout() {
+        let text = "196\t242\t3\t881250949\n186\t302\t3\t891717742\n196\t302\t4\t881250950\n";
+        let t = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(t.matrix.rows(), 2); // users 196, 186
+        assert_eq!(t.matrix.cols(), 2); // movies 242, 302
+        assert_eq!(t.row_ids, vec!["196", "186"]);
+        assert_eq!(t.col_ids, vec!["242", "302"]);
+        assert_eq!(t.matrix.get(0, 0), Some(3.0));
+        assert_eq!(t.matrix.get(0, 1), Some(4.0));
+        assert_eq!(t.matrix.get(1, 0), None);
+        assert_eq!(t.matrix.get(1, 1), Some(3.0));
+    }
+
+    #[test]
+    fn triples_skips_comments_and_blanks() {
+        let text = "# header\n\na b 1\n";
+        let t = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(t.matrix.rows(), 1);
+        assert_eq!(t.matrix.get(0, 0), Some(1.0));
+    }
+
+    #[test]
+    fn triples_short_line_is_error() {
+        let err = read_triples("a b\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::ShortTripleLine { line: 1 }));
+    }
+
+    #[test]
+    fn triples_empty_is_error() {
+        let err = read_triples("# nothing\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseError::Empty));
+    }
+}

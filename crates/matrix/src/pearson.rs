@@ -1,0 +1,145 @@
+//! Pearson R correlation between objects.
+//!
+//! §3 of the paper motivates the δ-cluster model by showing why Pearson R is
+//! insufficient: it measures correlation over *all* attributes, so two
+//! objects that are perfectly coherent on one attribute subset and
+//! anti-coherent on another (the action-movies vs family-movies example) get
+//! a small global correlation even though each subset is a perfect cluster.
+
+use crate::dense::DataMatrix;
+
+/// Pearson R correlation of two equally-long value slices.
+///
+/// Returns `None` if fewer than two points are given or either side has zero
+/// variance (the correlation is undefined).
+pub fn pearson_r(a: &[f64], b: &[f64]) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "pearson_r requires equal-length slices");
+    let n = a.len();
+    if n < 2 {
+        return None;
+    }
+    let mean_a = a.iter().sum::<f64>() / n as f64;
+    let mean_b = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for i in 0..n {
+        let da = a[i] - mean_a;
+        let db = b[i] - mean_b;
+        cov += da * db;
+        var_a += da * da;
+        var_b += db * db;
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return None;
+    }
+    Some(cov / (var_a.sqrt() * var_b.sqrt()))
+}
+
+/// Pearson R between two matrix rows over the attributes where **both** rows
+/// are specified.
+///
+/// Returns `None` when fewer than two common attributes exist or the
+/// correlation is undefined.
+pub fn row_pearson(m: &DataMatrix, row_a: usize, row_b: usize) -> Option<f64> {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for c in 0..m.cols() {
+        if let (Some(x), Some(y)) = (m.get(row_a, c), m.get(row_b, c)) {
+            a.push(x);
+            b.push(y);
+        }
+    }
+    pearson_r(&a, &b)
+}
+
+/// Pearson R between two rows restricted to a given attribute subset (again
+/// requiring both rows specified on each used attribute).
+pub fn row_pearson_on(m: &DataMatrix, row_a: usize, row_b: usize, cols: &[usize]) -> Option<f64> {
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for &c in cols {
+        if let (Some(x), Some(y)) = (m.get(row_a, c), m.get(row_b, c)) {
+            a.push(x);
+            b.push(y);
+        }
+    }
+    pearson_r(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_shifted_rows_have_r_one() {
+        // The paper's Figure 1 vectors: shifted copies correlate perfectly.
+        let d1 = [1.0, 5.0, 23.0, 12.0, 20.0];
+        let d2 = [11.0, 15.0, 33.0, 22.0, 30.0];
+        let r = pearson_r(&d1, &d2).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negated_rows_have_r_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        let r = pearson_r(&a, &b).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_slice_is_undefined() {
+        assert_eq!(pearson_r(&[1.0, 1.0], &[1.0, 2.0]), None);
+        assert_eq!(pearson_r(&[1.0], &[2.0]), None, "single point undefined");
+        assert_eq!(pearson_r(&[], &[]), None);
+    }
+
+    #[test]
+    fn movie_example_global_r_is_weak_but_subsets_are_perfect() {
+        // §3: viewer 1 ranks (8,7,9,2,2,3), viewer 2 ranks (2,1,3,8,8,9).
+        // Globally anti-correlated; on each genre subset perfectly correlated.
+        let m = DataMatrix::from_rows(
+            2,
+            6,
+            vec![8.0, 7.0, 9.0, 2.0, 2.0, 3.0, 2.0, 1.0, 3.0, 8.0, 8.0, 9.0],
+        );
+        let global = row_pearson(&m, 0, 1).unwrap();
+        assert!(global < 0.0, "global Pearson is negative: {global}");
+        let action = row_pearson_on(&m, 0, 1, &[0, 1, 2]).unwrap();
+        let family = row_pearson_on(&m, 0, 1, &[3, 4, 5]).unwrap();
+        assert!((action - 1.0).abs() < 1e-12);
+        assert!((family - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_pearson_uses_only_commonly_specified() {
+        let m = DataMatrix::from_options(
+            2,
+            4,
+            vec![
+                Some(1.0), Some(2.0), Some(3.0), None,
+                Some(2.0), Some(3.0), None, Some(9.0),
+            ],
+        );
+        // Common columns: 0, 1 → perfect correlation.
+        let r = row_pearson(&m, 0, 1).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn too_few_common_entries_is_none() {
+        let m = DataMatrix::from_options(
+            2,
+            2,
+            vec![Some(1.0), None, Some(2.0), Some(5.0)],
+        );
+        assert_eq!(row_pearson(&m, 0, 1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn unequal_slices_panic() {
+        let _ = pearson_r(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Descriptive statistics over matrices with missing entries.
+//!
+//! All statistics are computed over *specified* entries only, matching the
+//! paper's convention that missing values contribute to no base and no
+//! residue.
+
+use crate::dense::DataMatrix;
+
+/// Summary statistics of a collection of specified values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of specified values aggregated.
+    pub count: usize,
+    /// Arithmetic mean; 0.0 when `count == 0`.
+    pub mean: f64,
+    /// Population variance; 0.0 when `count == 0`.
+    pub variance: f64,
+    /// Minimum specified value; `+inf` when `count == 0`.
+    pub min: f64,
+    /// Maximum specified value; `-inf` when `count == 0`.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Aggregates an iterator of values using Welford's online algorithm,
+    /// which stays numerically stable for long streams.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Summary {
+        let mut count = 0usize;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            let delta = v - mean;
+            mean += delta / count as f64;
+            m2 += delta * (v - mean);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Summary {
+            count,
+            mean: if count == 0 { 0.0 } else { mean },
+            variance: if count == 0 { 0.0 } else { m2 / count as f64 },
+            min,
+            max,
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Range `max - min`; 0.0 when empty.
+    pub fn range(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max - self.min
+        }
+    }
+}
+
+/// Mean of the specified entries in row `row` (the paper's row base `d_iJ`
+/// taken over all columns). Returns `None` if the row has no specified entry.
+pub fn row_mean(m: &DataMatrix, row: usize) -> Option<f64> {
+    let s = Summary::from_values(m.row_entries(row).map(|(_, v)| v));
+    (s.count > 0).then_some(s.mean)
+}
+
+/// Mean of the specified entries in column `col`. Returns `None` if the
+/// column has no specified entry.
+pub fn col_mean(m: &DataMatrix, col: usize) -> Option<f64> {
+    let s = Summary::from_values(m.col_entries(col).map(|(_, v)| v));
+    (s.count > 0).then_some(s.mean)
+}
+
+/// Summary over every specified entry of the matrix.
+pub fn matrix_summary(m: &DataMatrix) -> Summary {
+    Summary::from_values(m.entries().map(|(_, _, v)| v))
+}
+
+/// Per-row summaries (index-aligned with matrix rows).
+pub fn row_summaries(m: &DataMatrix) -> Vec<Summary> {
+    (0..m.rows())
+        .map(|r| Summary::from_values(m.row_entries(r).map(|(_, v)| v)))
+        .collect()
+}
+
+/// Per-column summaries (index-aligned with matrix columns).
+pub fn col_summaries(m: &DataMatrix) -> Vec<Summary> {
+    (0..m.cols())
+        .map(|c| Summary::from_values(m.col_entries(c).map(|(_, v)| v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_stream() {
+        let s = Summary::from_values(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.range(), 0.0);
+    }
+
+    #[test]
+    fn summary_of_constant_stream() {
+        let s = Summary::from_values([5.0, 5.0, 5.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 5.0);
+        assert!(s.variance.abs() < 1e-12);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_matches_direct_formulas() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let s = Summary::from_values(vals);
+        assert_eq!(s.mean, 2.5);
+        // population variance of 1..4 = 1.25
+        assert!((s.variance - 1.25).abs() < 1e-12);
+        assert_eq!(s.std_dev(), 1.25f64.sqrt());
+        assert_eq!(s.range(), 3.0);
+    }
+
+    #[test]
+    fn row_and_col_means_skip_missing() {
+        let m = DataMatrix::from_options(
+            2,
+            3,
+            vec![Some(1.0), Some(3.0), None, None, Some(4.0), Some(5.0)],
+        );
+        assert_eq!(row_mean(&m, 0), Some(2.0));
+        assert_eq!(row_mean(&m, 1), Some(4.5));
+        assert_eq!(col_mean(&m, 0), Some(1.0));
+        assert_eq!(col_mean(&m, 1), Some(3.5));
+        assert_eq!(col_mean(&m, 2), Some(5.0));
+    }
+
+    #[test]
+    fn means_of_all_missing_are_none() {
+        let m = DataMatrix::new(2, 2);
+        assert_eq!(row_mean(&m, 0), None);
+        assert_eq!(col_mean(&m, 1), None);
+    }
+
+    #[test]
+    fn matrix_summary_covers_all_specified() {
+        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), None, Some(3.0), None]);
+        let s = matrix_summary(&m);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn per_dimension_summaries_align_with_indices() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let rows = row_summaries(&m);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mean, 1.5);
+        assert_eq!(rows[1].mean, 3.5);
+        let cols = col_summaries(&m);
+        assert_eq!(cols[0].mean, 2.0);
+        assert_eq!(cols[1].mean, 3.0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Matrix transformations discussed in the paper.
+//!
+//! §3 of the paper notes that *amplification* (multiplicative) coherence
+//! reduces to *shifting* (additive) coherence by taking logarithms of every
+//! entry, so only the shifting model needs a mining algorithm. This module
+//! provides that transform plus the global row/column normalizations the
+//! paper contrasts against (they do **not** recover per-cluster biases, which
+//! is the point of the δ-cluster model — see `pearson.rs`).
+
+use crate::dense::DataMatrix;
+use crate::stats;
+
+/// Errors from matrix transformations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransformError {
+    /// `log_transform` met a non-positive entry at `(row, col)`.
+    NonPositiveEntry { row: usize, col: usize, value: f64 },
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::NonPositiveEntry { row, col, value } => write!(
+                f,
+                "cannot take logarithm of non-positive entry {value} at ({row}, {col})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// Converts amplification coherence into shifting coherence by replacing
+/// every specified entry with its natural logarithm.
+///
+/// Fails if any specified entry is `<= 0`, since its logarithm is undefined.
+pub fn log_transform(m: &DataMatrix) -> Result<DataMatrix, TransformError> {
+    if let Some((row, col, value)) = m.entries().find(|&(_, _, v)| v <= 0.0) {
+        return Err(TransformError::NonPositiveEntry { row, col, value });
+    }
+    let mut out = m.clone();
+    out.map_in_place(f64::ln);
+    Ok(out)
+}
+
+/// Inverse of [`log_transform`]: exponentiates every specified entry.
+pub fn exp_transform(m: &DataMatrix) -> DataMatrix {
+    let mut out = m.clone();
+    out.map_in_place(f64::exp);
+    out
+}
+
+/// Subtracts each row's mean from its specified entries (global row
+/// centering). Rows with no specified entries are left untouched.
+///
+/// The paper argues this *global* normalization cannot substitute for
+/// per-cluster bases, because an object's bias is local to each δ-cluster.
+pub fn center_rows(m: &DataMatrix) -> DataMatrix {
+    let mut out = m.clone();
+    for r in 0..m.rows() {
+        if let Some(mean) = stats::row_mean(m, r) {
+            for (c, v) in m.row_entries(r) {
+                out.set(r, c, v - mean);
+            }
+        }
+    }
+    out
+}
+
+/// Subtracts each column's mean from its specified entries (global column
+/// centering).
+pub fn center_cols(m: &DataMatrix) -> DataMatrix {
+    let mut out = m.clone();
+    for c in 0..m.cols() {
+        if let Some(mean) = stats::col_mean(m, c) {
+            for (r, v) in m.col_entries(c) {
+                out.set(r, c, v - mean);
+            }
+        }
+    }
+    out
+}
+
+/// Linearly rescales all specified entries into `[lo, hi]`. A constant matrix
+/// maps every entry to `lo`.
+///
+/// # Panics
+/// Panics if `lo >= hi`.
+pub fn rescale(m: &DataMatrix, lo: f64, hi: f64) -> DataMatrix {
+    assert!(lo < hi, "rescale requires lo < hi");
+    let s = stats::matrix_summary(m);
+    let mut out = m.clone();
+    if s.count == 0 {
+        return out;
+    }
+    let span = s.max - s.min;
+    out.map_in_place(|v| {
+        if span == 0.0 {
+            lo
+        } else {
+            lo + (v - s.min) / span * (hi - lo)
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_turns_amplification_into_shifting() {
+        // Row 2 is 10x row 1 (amplification coherence).
+        let m = DataMatrix::from_rows(2, 3, vec![1.0, 2.0, 4.0, 10.0, 20.0, 40.0]);
+        let t = log_transform(&m).unwrap();
+        // After log, row 2 - row 1 is a constant shift of ln(10).
+        let shift = t.get(1, 0).unwrap() - t.get(0, 0).unwrap();
+        for c in 0..3 {
+            let d = t.get(1, c).unwrap() - t.get(0, c).unwrap();
+            assert!((d - shift).abs() < 1e-12, "column {c} shift {d} != {shift}");
+        }
+        assert!((shift - 10f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_rejects_non_positive() {
+        let m = DataMatrix::from_rows(1, 2, vec![1.0, 0.0]);
+        let err = log_transform(&m).unwrap_err();
+        assert_eq!(
+            err,
+            TransformError::NonPositiveEntry { row: 0, col: 1, value: 0.0 }
+        );
+        assert!(err.to_string().contains("logarithm"));
+    }
+
+    #[test]
+    fn log_exp_roundtrip() {
+        let m = DataMatrix::from_options(2, 2, vec![Some(1.5), None, Some(2.5), Some(0.5)]);
+        let back = exp_transform(&log_transform(&m).unwrap());
+        for (r, c, v) in m.entries() {
+            assert!((back.get(r, c).unwrap() - v).abs() < 1e-12);
+        }
+        assert_eq!(back.get(0, 1), None, "missing entries stay missing");
+    }
+
+    #[test]
+    fn center_rows_zeroes_row_means() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 3.0, 10.0, 20.0]);
+        let c = center_rows(&m);
+        assert_eq!(stats::row_mean(&c, 0), Some(0.0));
+        assert_eq!(stats::row_mean(&c, 1), Some(0.0));
+        assert_eq!(c.get(0, 0), Some(-1.0));
+        assert_eq!(c.get(1, 1), Some(5.0));
+    }
+
+    #[test]
+    fn center_cols_zeroes_col_means() {
+        let m = DataMatrix::from_rows(2, 2, vec![1.0, 3.0, 3.0, 7.0]);
+        let c = center_cols(&m);
+        assert_eq!(stats::col_mean(&c, 0), Some(0.0));
+        assert_eq!(stats::col_mean(&c, 1), Some(0.0));
+    }
+
+    #[test]
+    fn centering_skips_all_missing_rows() {
+        let mut m = DataMatrix::new(2, 2);
+        m.set(0, 0, 4.0);
+        m.set(0, 1, 6.0);
+        let c = center_rows(&m);
+        assert_eq!(c.get(1, 0), None);
+        assert_eq!(c.get(0, 0), Some(-1.0));
+    }
+
+    #[test]
+    fn rescale_maps_to_target_interval() {
+        let m = DataMatrix::from_rows(1, 3, vec![0.0, 5.0, 10.0]);
+        let r = rescale(&m, 1.0, 3.0);
+        assert_eq!(r.get(0, 0), Some(1.0));
+        assert_eq!(r.get(0, 1), Some(2.0));
+        assert_eq!(r.get(0, 2), Some(3.0));
+    }
+
+    #[test]
+    fn rescale_constant_matrix_maps_to_lo() {
+        let m = DataMatrix::from_rows(1, 2, vec![4.0, 4.0]);
+        let r = rescale(&m, 0.0, 1.0);
+        assert_eq!(r.get(0, 0), Some(0.0));
+        assert_eq!(r.get(0, 1), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rescale_invalid_interval_panics() {
+        let m = DataMatrix::new(1, 1);
+        let _ = rescale(&m, 2.0, 1.0);
+    }
+}

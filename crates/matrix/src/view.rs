@@ -1,0 +1,167 @@
+//! Zero-copy submatrix views.
+//!
+//! Inspecting a δ-cluster's submatrix shouldn't require copying it out of
+//! the parent matrix. A [`SubmatrixView`] borrows the matrix plus row and
+//! column index lists and exposes the same read-side API as
+//! [`DataMatrix`], with view-local coordinates.
+
+use crate::dense::DataMatrix;
+use crate::stats::Summary;
+
+/// A read-only view of selected rows × columns of a [`DataMatrix`].
+///
+/// Indices passed to accessors are *view-local*: `get(0, 0)` reads the
+/// parent cell `(rows[0], cols[0])`.
+#[derive(Debug, Clone)]
+pub struct SubmatrixView<'a> {
+    parent: &'a DataMatrix,
+    rows: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl<'a> SubmatrixView<'a> {
+    /// Creates a view over the given parent rows and columns.
+    ///
+    /// # Panics
+    /// Panics if any index is out of the parent's bounds.
+    pub fn new(parent: &'a DataMatrix, rows: Vec<usize>, cols: Vec<usize>) -> Self {
+        for &r in &rows {
+            assert!(r < parent.rows(), "row {r} out of bounds");
+        }
+        for &c in &cols {
+            assert!(c < parent.cols(), "col {c} out of bounds");
+        }
+        SubmatrixView { parent, rows, cols }
+    }
+
+    /// View rows.
+    pub fn rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// View columns.
+    pub fn cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The parent row index behind view row `r`.
+    pub fn parent_row(&self, r: usize) -> usize {
+        self.rows[r]
+    }
+
+    /// The parent column index behind view column `c`.
+    pub fn parent_col(&self, c: usize) -> usize {
+        self.cols[c]
+    }
+
+    /// Value at view-local `(row, col)`, or `None` if missing.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        self.parent.get(self.rows[row], self.cols[col])
+    }
+
+    /// True if the view-local cell is specified.
+    pub fn is_specified(&self, row: usize, col: usize) -> bool {
+        self.parent.is_specified(self.rows[row], self.cols[col])
+    }
+
+    /// Iterates specified entries as `(view_row, view_col, value)`.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.rows()).flat_map(move |r| {
+            (0..self.cols()).filter_map(move |c| self.get(r, c).map(|v| (r, c, v)))
+        })
+    }
+
+    /// Number of specified entries in the view (the δ-cluster *volume*).
+    pub fn specified_count(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// Summary statistics over the view's specified entries.
+    pub fn summary(&self) -> Summary {
+        Summary::from_values(self.entries().map(|(_, _, v)| v))
+    }
+
+    /// Materializes the view as an owned [`DataMatrix`].
+    pub fn to_matrix(&self) -> DataMatrix {
+        self.parent.submatrix(&self.rows, &self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parent() -> DataMatrix {
+        let mut m = DataMatrix::from_rows(4, 4, (0..16).map(|x| x as f64).collect());
+        m.unset(1, 1);
+        m
+    }
+
+    #[test]
+    fn view_maps_coordinates() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![2, 0], vec![3, 1]);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.cols(), 2);
+        assert_eq!(v.get(0, 0), Some(11.0)); // (2,3)
+        assert_eq!(v.get(1, 1), Some(1.0)); // (0,1)
+        assert_eq!(v.parent_row(0), 2);
+        assert_eq!(v.parent_col(0), 3);
+    }
+
+    #[test]
+    fn view_respects_missing() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![1], vec![0, 1]);
+        assert_eq!(v.get(0, 0), Some(4.0));
+        assert_eq!(v.get(0, 1), None);
+        assert!(!v.is_specified(0, 1));
+        assert_eq!(v.specified_count(), 1);
+    }
+
+    #[test]
+    fn entries_and_summary() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![0, 1], vec![0, 1]);
+        let entries: Vec<_> = v.entries().collect();
+        assert_eq!(entries, vec![(0, 0, 0.0), (0, 1, 1.0), (1, 0, 4.0)]);
+        let s = v.summary();
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_matrix_matches_view() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![3, 1], vec![2, 0]);
+        let owned = v.to_matrix();
+        assert_eq!(owned.rows(), 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(owned.get(r, c), v.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_reordered_indices_are_allowed() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![0, 0], vec![2]);
+        assert_eq!(v.get(0, 0), v.get(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_row_panics() {
+        let p = parent();
+        let _ = SubmatrixView::new(&p, vec![4], vec![0]);
+    }
+
+    #[test]
+    fn empty_view() {
+        let p = parent();
+        let v = SubmatrixView::new(&p, vec![], vec![0, 1]);
+        assert_eq!(v.specified_count(), 0);
+        assert_eq!(v.summary().count, 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests for the matrix substrate.
+
+use dc_matrix::{bitset::BitSet, dense::DataMatrix, io, pearson, stats, transform};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// A small arbitrary matrix with optional entries.
+fn arb_matrix() -> impl Strategy<Value = DataMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::option::weighted(0.8, -1000.0..1000.0f64),
+            rows * cols,
+        )
+        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+    })
+}
+
+proptest! {
+    // ---- BitSet vs a HashSet model ----------------------------------
+
+    #[test]
+    fn bitset_behaves_like_hashset(ops in proptest::collection::vec((0usize..64, 0u8..3), 0..200)) {
+        let mut bs = BitSet::new(64);
+        let mut hs: HashSet<usize> = HashSet::new();
+        for (idx, op) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(idx), hs.insert(idx));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(idx), hs.remove(&idx));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(idx), hs.contains(&idx));
+                }
+            }
+            prop_assert_eq!(bs.len(), hs.len());
+        }
+        let mut from_bs: Vec<usize> = bs.iter().collect();
+        let mut from_hs: Vec<usize> = hs.into_iter().collect();
+        from_hs.sort_unstable();
+        from_bs.sort_unstable();
+        prop_assert_eq!(from_bs, from_hs);
+    }
+
+    #[test]
+    fn bitset_set_algebra(a in proptest::collection::hash_set(0usize..128, 0..40),
+                          b in proptest::collection::hash_set(0usize..128, 0..40)) {
+        let sa = BitSet::from_indices(128, a.iter().copied());
+        let sb = BitSet::from_indices(128, b.iter().copied());
+        prop_assert_eq!(sa.intersection_len(&sb), a.intersection(&b).count());
+        prop_assert_eq!(sa.union_len(&sb), a.union(&b).count());
+        let mut u = sa.clone();
+        u.union_with(&sb);
+        prop_assert_eq!(u.len(), a.union(&b).count());
+        prop_assert_eq!(sa.is_subset(&u), true);
+    }
+
+    // ---- DataMatrix invariants --------------------------------------
+
+    #[test]
+    fn specified_count_matches_entries(m in arb_matrix()) {
+        prop_assert_eq!(m.specified_count(), m.entries().count());
+        let per_row: usize = (0..m.rows()).map(|r| m.row_specified_count(r)).sum();
+        let per_col: usize = (0..m.cols()).map(|c| m.col_specified_count(c)).sum();
+        prop_assert_eq!(per_row, m.specified_count());
+        prop_assert_eq!(per_col, m.specified_count());
+    }
+
+    #[test]
+    fn set_then_unset_is_identity(m in arb_matrix(), r in 0usize..12, c in 0usize..12, v in -10.0..10.0f64) {
+        let r = r % m.rows();
+        let c = c % m.cols();
+        let mut m2 = m.clone();
+        let before = m2.get(r, c);
+        m2.set(r, c, v);
+        prop_assert_eq!(m2.get(r, c), Some(v));
+        match before {
+            Some(old) => { m2.set(r, c, old); }
+            None => { m2.unset(r, c); }
+        }
+        prop_assert_eq!(m2, m);
+    }
+
+    // ---- Statistics --------------------------------------------------
+
+    #[test]
+    fn summary_matches_naive(values in proptest::collection::vec(-1e6..1e6f64, 1..100)) {
+        let s = stats::Summary::from_values(values.iter().copied());
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        prop_assert!((s.mean - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count, values.len());
+        prop_assert!(s.min <= s.max);
+    }
+
+    // ---- Transforms ---------------------------------------------------
+
+    #[test]
+    fn centering_is_idempotent(m in arb_matrix()) {
+        let once = transform::center_rows(&m);
+        let twice = transform::center_rows(&once);
+        for (r, c, v) in once.entries() {
+            let w = twice.get(r, c).unwrap();
+            prop_assert!((v - w).abs() < 1e-9, "({r},{c}): {v} vs {w}");
+        }
+    }
+
+    #[test]
+    fn rescale_bounds_hold(m in arb_matrix()) {
+        let r = transform::rescale(&m, 0.0, 1.0);
+        for (_, _, v) in r.entries() {
+            prop_assert!((-1e-12..=1.0 + 1e-12).contains(&v), "value {v}");
+        }
+        prop_assert_eq!(r.specified_count(), m.specified_count());
+    }
+
+    // ---- Pearson ------------------------------------------------------
+
+    #[test]
+    fn pearson_is_bounded_and_symmetric(
+        a in proptest::collection::vec(-100.0..100.0f64, 3..30),
+        b in proptest::collection::vec(-100.0..100.0f64, 3..30),
+    ) {
+        let n = a.len().min(b.len());
+        if let Some(r) = pearson::pearson_r(&a[..n], &b[..n]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            let r2 = pearson::pearson_r(&b[..n], &a[..n]).unwrap();
+            prop_assert!((r - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_shift_and_scale_invariant(
+        a in proptest::collection::vec(-100.0..100.0f64, 3..20),
+        shift in -50.0..50.0f64,
+        scale in 0.1..10.0f64,
+    ) {
+        let b: Vec<f64> = a.iter().map(|&x| x * scale + shift).collect();
+        if let Some(r) = pearson::pearson_r(&a, &b) {
+            prop_assert!((r - 1.0).abs() < 1e-6, "r = {r}");
+        }
+    }
+
+    // ---- IO roundtrip -------------------------------------------------
+
+    #[test]
+    fn dense_io_roundtrip(m in arb_matrix()) {
+        let fmt = io::DenseFormat::default();
+        let mut buf = Vec::new();
+        io::write_dense(&m, &mut buf, &fmt).unwrap();
+        let back = io::read_dense(&buf[..], &fmt).unwrap();
+        prop_assert_eq!(back.rows(), m.rows());
+        prop_assert_eq!(back.cols(), m.cols());
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                match (m.get(r, c), back.get(r, c)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => prop_assert!((a - b).abs() < 1e-9),
+                    (a, b) => prop_assert!(false, "({r},{c}): {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+}

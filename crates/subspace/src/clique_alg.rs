@@ -1,0 +1,119 @@
+//! The CLIQUE driver: grid → dense units → subspace clusters.
+
+use crate::clusters::{merge_level, SubspaceCluster};
+use crate::grid::Grid;
+use crate::units::dense_units;
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+
+/// CLIQUE parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CliqueConfig {
+    /// Number of intervals per dimension (`ξ`).
+    pub bins: usize,
+    /// Density threshold (`τ`): a unit is dense when it holds more than
+    /// `τ · points` points.
+    pub tau: f64,
+    /// Maximum subspace dimensionality to explore. CLIQUE's cost grows
+    /// combinatorially with this; the δ-cluster paper's "alternative
+    /// algorithm" analysis (§4.4) is exactly about this blow-up.
+    pub max_level: usize,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        CliqueConfig { bins: 10, tau: 0.05, max_level: 4 }
+    }
+}
+
+/// Runs CLIQUE on `matrix`, returning all subspace clusters of every
+/// explored dimensionality (1 ..= `max_level`), highest dimensionality
+/// first.
+pub fn clique(matrix: &DataMatrix, config: &CliqueConfig) -> Vec<SubspaceCluster> {
+    let grid = Grid::new(matrix, config.bins);
+    let levels = dense_units(&grid, config.tau, config.max_level);
+    let mut clusters = Vec::new();
+    for level in levels.iter().rev() {
+        clusters.extend(merge_level(&grid, level));
+    }
+    clusters
+}
+
+/// Convenience: only the clusters of the highest dimensionality reached.
+pub fn clique_top_level(matrix: &DataMatrix, config: &CliqueConfig) -> Vec<SubspaceCluster> {
+    let grid = Grid::new(matrix, config.bins);
+    let levels = dense_units(&grid, config.tau, config.max_level);
+    match levels.last() {
+        Some(level) => merge_level(&grid, level),
+        None => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Points forming a tight cluster in dims (0, 1) with dim 2 random.
+    fn embedded(seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = Vec::new();
+        for _ in 0..30 {
+            data.push(rng.gen_range(1.0..1.8));
+            data.push(rng.gen_range(4.0..4.8));
+            data.push(rng.gen_range(0.0..10.0));
+        }
+        for _ in 0..30 {
+            data.push(rng.gen_range(0.0..10.0));
+            data.push(rng.gen_range(0.0..10.0));
+            data.push(rng.gen_range(0.0..10.0));
+        }
+        DataMatrix::from_rows(60, 3, data)
+    }
+
+    #[test]
+    fn clique_finds_the_embedded_subspace_cluster() {
+        let m = embedded(1);
+        let clusters = clique(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        // Expect a 2-d cluster on dims {0, 1} holding (most of) the 30
+        // planted points.
+        let hit = clusters
+            .iter()
+            .find(|c| c.dims == vec![0, 1])
+            .expect("2-d cluster on dims (0,1) not found");
+        assert!(hit.points.len() >= 25, "only {} points captured", hit.points.len());
+    }
+
+    #[test]
+    fn top_level_returns_highest_dimensionality() {
+        let m = embedded(2);
+        let top = clique_top_level(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        assert!(!top.is_empty());
+        let max_dim = top.iter().map(|c| c.dimensionality()).max().unwrap();
+        assert!(top.iter().all(|c| c.dimensionality() == max_dim));
+    }
+
+    #[test]
+    fn empty_result_when_nothing_is_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = DataMatrix::from_rows(
+            50,
+            2,
+            (0..100).map(|_| rng.gen_range(0.0..100.0)).collect(),
+        );
+        let clusters = clique(&m, &CliqueConfig { bins: 50, tau: 0.5, max_level: 2 });
+        assert!(clusters.is_empty());
+        assert!(clique_top_level(&m, &CliqueConfig { bins: 50, tau: 0.5, max_level: 2 }).is_empty());
+    }
+
+    #[test]
+    fn clusters_ordered_highest_dimensionality_first() {
+        let m = embedded(4);
+        let clusters = clique(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        let dims: Vec<usize> = clusters.iter().map(|c| c.dimensionality()).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(dims, sorted);
+    }
+}

@@ -1,0 +1,184 @@
+//! Merging dense units into subspace clusters.
+//!
+//! Within one subspace (a fixed set of dimensions), CLIQUE merges dense
+//! units that share a common face — i.e. their bin vectors differ by exactly
+//! one in exactly one dimension — into connected components. Each component
+//! is a subspace cluster; its points are the union of its units' points.
+
+use crate::grid::Grid;
+use crate::units::{unit_points, Level, Unit};
+use dc_matrix::BitSet;
+use std::collections::HashMap;
+
+/// A cluster discovered in a subspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubspaceCluster {
+    /// The dimensions spanning the subspace, ascending.
+    pub dims: Vec<usize>,
+    /// The dense units forming the cluster.
+    pub units: Vec<Unit>,
+    /// Points covered by any unit of the cluster.
+    pub points: BitSet,
+}
+
+impl SubspaceCluster {
+    /// Number of dimensions of the subspace.
+    pub fn dimensionality(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+/// True when two units of the same subspace share a common face.
+fn adjacent(a: &Unit, b: &Unit) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut diff = 0u32;
+    for (&(da, ba), &(db, bb)) in a.iter().zip(b) {
+        if da != db {
+            return false; // different subspaces
+        }
+        if ba != bb {
+            if ba.abs_diff(bb) != 1 {
+                return false;
+            }
+            diff += 1;
+            if diff > 1 {
+                return false;
+            }
+        }
+    }
+    diff == 1
+}
+
+/// Groups the dense units of a level into subspace clusters.
+pub fn merge_level(grid: &Grid, level: &Level) -> Vec<SubspaceCluster> {
+    // Partition units by subspace (the dimension list).
+    let mut by_subspace: HashMap<Vec<usize>, Vec<&Unit>> = HashMap::new();
+    for unit in level.units.keys() {
+        let dims: Vec<usize> = unit.iter().map(|&(d, _)| d).collect();
+        by_subspace.entry(dims).or_default().push(unit);
+    }
+
+    let mut clusters = Vec::new();
+    let mut subspaces: Vec<_> = by_subspace.into_iter().collect();
+    subspaces.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output order
+    for (dims, mut units) in subspaces {
+        units.sort();
+        // Union-find over the units of this subspace.
+        let n = units.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let root = find(parent, parent[i]);
+                parent[i] = root;
+            }
+            parent[i]
+        }
+        for i in 0..n {
+            for j in i + 1..n {
+                if adjacent(units[i], units[j]) {
+                    let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                    if ri != rj {
+                        parent[ri] = rj;
+                    }
+                }
+            }
+        }
+        let mut components: HashMap<usize, Vec<&Unit>> = HashMap::new();
+        for i in 0..n {
+            let root = find(&mut parent, i);
+            components.entry(root).or_default().push(units[i]);
+        }
+        let mut roots: Vec<_> = components.into_values().collect();
+        roots.sort();
+        for comp in roots {
+            let mut points = BitSet::new(grid.points());
+            for unit in &comp {
+                for p in unit_points(grid, unit) {
+                    points.insert(p);
+                }
+            }
+            clusters.push(SubspaceCluster {
+                dims: dims.clone(),
+                units: comp.into_iter().cloned().collect(),
+                points,
+            });
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::dense_units;
+    use dc_matrix::DataMatrix;
+
+    #[test]
+    fn adjacency_requires_single_step() {
+        let a: Unit = vec![(0, 1), (1, 2)];
+        assert!(adjacent(&a, &vec![(0, 2), (1, 2)]));
+        assert!(adjacent(&a, &vec![(0, 1), (1, 1)]));
+        assert!(!adjacent(&a, &vec![(0, 2), (1, 3)]), "diagonal is not adjacent");
+        assert!(!adjacent(&a, &vec![(0, 3), (1, 2)]), "two steps apart");
+        assert!(!adjacent(&a, &vec![(0, 1), (1, 2)]), "identical unit");
+        assert!(!adjacent(&a, &vec![(0, 1), (2, 2)]), "different subspace");
+    }
+
+    #[test]
+    fn two_separate_1d_clusters() {
+        // Points bunched near 0 and near 10 with a gap between.
+        let mut data = Vec::new();
+        for i in 0..5 {
+            data.push(0.2 * i as f64);
+        }
+        for i in 0..5 {
+            data.push(9.0 + 0.2 * i as f64);
+        }
+        let m = DataMatrix::from_rows(10, 1, data);
+        let g = Grid::new(&m, 5); // bins of width 2
+        let levels = dense_units(&g, 0.2, 1);
+        let clusters = merge_level(&g, &levels[0]);
+        assert_eq!(clusters.len(), 2, "{clusters:?}");
+        let sizes: Vec<usize> = clusters.iter().map(|c| c.points.len()).collect();
+        assert_eq!(sizes, vec![5, 5]);
+    }
+
+    #[test]
+    fn adjacent_units_merge_into_one_cluster() {
+        // A smear of points across two adjacent bins.
+        let mut data = Vec::new();
+        for i in 0..10 {
+            data.push(i as f64); // values 0..9, ξ=2 → bins [0,4.5), [4.5,9]
+        }
+        let m = DataMatrix::from_rows(10, 1, data);
+        let g = Grid::new(&m, 2);
+        let levels = dense_units(&g, 0.2, 1);
+        let clusters = merge_level(&g, &levels[0]);
+        assert_eq!(clusters.len(), 1, "adjacent bins form one cluster");
+        assert_eq!(clusters[0].points.len(), 10);
+        assert_eq!(clusters[0].units.len(), 2);
+    }
+
+    #[test]
+    fn cluster_carries_its_subspace() {
+        // Six points packed near (1, 1) in dims 0-1 with dim 2 spread out;
+        // two far-away anchors stretch the ranges so the pack stays in one
+        // bin of each of dims 0 and 1.
+        let mut data = Vec::new();
+        for i in 0..6 {
+            data.extend_from_slice(&[1.0 + 0.05 * i as f64, 1.0 + 0.05 * i as f64, i as f64]);
+        }
+        data.extend_from_slice(&[0.0, 10.0, 100.0]);
+        data.extend_from_slice(&[10.0, 0.0, -50.0]);
+        let m = DataMatrix::from_rows(8, 3, data);
+        let g = Grid::new(&m, 4);
+        let levels = dense_units(&g, 0.5, 2);
+        // Dims 0 and 1 concentrate in one bin → a 2-d dense unit on (0, 1).
+        let two_d = levels.iter().find(|l| l.k == 2).expect("2-d level");
+        let clusters = merge_level(&g, two_d);
+        assert!(clusters.iter().any(|c| c.dims == vec![0, 1]), "{clusters:?}");
+        for c in &clusters {
+            assert_eq!(c.dimensionality(), 2);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The pairwise-difference transform (§4.4, step 1).
+//!
+//! For every pair of original attributes `(j₁, j₂)`, `j₁ < j₂`, a derived
+//! attribute stores `A_{j₁} − A_{j₂}`. Objects sharing a δ-cluster on a set
+//! of attributes take (near-)constant values on the derived attributes
+//! between those attributes, turning δ-cluster discovery into ordinary
+//! subspace clustering — at the cost of `N(N−1)/2` dimensions, which is the
+//! quadratic blow-up Figure 10 measures.
+
+use dc_matrix::DataMatrix;
+
+/// A derived matrix along with the mapping back to original attribute
+/// pairs.
+#[derive(Debug, Clone)]
+pub struct DerivedMatrix {
+    /// The difference matrix: one column per original attribute pair.
+    pub matrix: DataMatrix,
+    /// `pairs[d] = (j1, j2)` — derived column `d` stores `A_{j1} − A_{j2}`.
+    pub pairs: Vec<(usize, usize)>,
+}
+
+impl DerivedMatrix {
+    /// The derived column index of the pair `(j1, j2)` (order-insensitive),
+    /// or `None` if either index is out of range or they are equal.
+    pub fn column_of(&self, j1: usize, j2: usize) -> Option<usize> {
+        if j1 == j2 {
+            return None;
+        }
+        let (a, b) = (j1.min(j2), j1.max(j2));
+        self.pairs.iter().position(|&p| p == (a, b))
+    }
+}
+
+/// Builds the derived matrix. A derived entry is specified only when both
+/// original entries are.
+pub fn derive(matrix: &DataMatrix) -> DerivedMatrix {
+    let n = matrix.cols();
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+        .collect();
+    let mut out = DataMatrix::new(matrix.rows(), pairs.len());
+    for r in 0..matrix.rows() {
+        for (d, &(a, b)) in pairs.iter().enumerate() {
+            if let (Some(x), Some(y)) = (matrix.get(r, a), matrix.get(r, b)) {
+                out.set(r, d, x - y);
+            }
+        }
+    }
+    DerivedMatrix { matrix: out, pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_dimension_count_is_quadratic() {
+        let m = DataMatrix::from_rows(1, 5, vec![0.0; 5]);
+        let d = derive(&m);
+        assert_eq!(d.matrix.cols(), 10); // 5·4/2
+        assert_eq!(d.pairs.len(), 10);
+    }
+
+    #[test]
+    fn derived_values_are_differences() {
+        let m = DataMatrix::from_rows(2, 3, vec![5.0, 3.0, 1.0, 10.0, 6.0, 2.0]);
+        let d = derive(&m);
+        // pairs: (0,1), (0,2), (1,2)
+        assert_eq!(d.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(d.matrix.get(0, 0), Some(2.0)); // 5-3
+        assert_eq!(d.matrix.get(0, 1), Some(4.0)); // 5-1
+        assert_eq!(d.matrix.get(0, 2), Some(2.0)); // 3-1
+        assert_eq!(d.matrix.get(1, 0), Some(4.0)); // 10-6
+    }
+
+    #[test]
+    fn coherent_rows_agree_on_derived_attributes() {
+        // Rows shifted by constants: derived values identical across rows.
+        let m = DataMatrix::from_rows(
+            3,
+            4,
+            vec![
+                1.0, 5.0, 2.0, 7.0, //
+                11.0, 15.0, 12.0, 17.0, //
+                4.0, 8.0, 5.0, 10.0,
+            ],
+        );
+        let d = derive(&m);
+        for col in 0..d.matrix.cols() {
+            let v0 = d.matrix.get(0, col).unwrap();
+            for r in 1..3 {
+                assert_eq!(d.matrix.get(r, col), Some(v0), "derived col {col} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn missing_propagates_to_derived() {
+        let m = DataMatrix::from_options(
+            1,
+            3,
+            vec![Some(1.0), None, Some(4.0)],
+        );
+        let d = derive(&m);
+        assert_eq!(d.matrix.get(0, 0), None); // (0,1): 1 missing
+        assert_eq!(d.matrix.get(0, 1), Some(-3.0)); // (0,2)
+        assert_eq!(d.matrix.get(0, 2), None); // (1,2)
+    }
+
+    #[test]
+    fn column_of_maps_both_orders() {
+        let m = DataMatrix::from_rows(1, 4, vec![0.0; 4]);
+        let d = derive(&m);
+        assert_eq!(d.column_of(1, 3), d.column_of(3, 1));
+        assert_eq!(d.pairs[d.column_of(1, 3).unwrap()], (1, 3));
+        assert_eq!(d.column_of(2, 2), None);
+        assert_eq!(d.column_of(0, 9), None);
+    }
+
+    #[test]
+    fn figure7_spot_check() {
+        // The paper derives attributes from the Figure 4(a) yeast excerpt;
+        // spot-check VPS8: CH1I=401, CH1B=281, CH1D=120 → 1I1B = 120,
+        // 1B1D = 161, 1I1D = 281.
+        let m = DataMatrix::from_rows(1, 3, vec![401.0, 281.0, 120.0]);
+        let d = derive(&m);
+        assert_eq!(d.matrix.get(0, d.column_of(0, 1).unwrap()), Some(120.0));
+        assert_eq!(d.matrix.get(0, d.column_of(1, 2).unwrap()), Some(161.0));
+        assert_eq!(d.matrix.get(0, d.column_of(0, 2).unwrap()), Some(281.0));
+    }
+}

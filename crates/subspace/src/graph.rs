@@ -1,0 +1,214 @@
+//! Attribute graphs and maximal-clique enumeration (§4.4, step 3).
+//!
+//! A subspace cluster over *derived* attributes induces a graph on the
+//! *original* attributes: each derived attribute `A_{j₁,j₂}` in the cluster
+//! is an edge `(j₁, j₂)`. Every clique of that graph corresponds to an
+//! attribute set on which the cluster's objects are mutually coherent —
+//! i.e. a candidate δ-cluster. Maximal cliques are enumerated with
+//! Bron–Kerbosch (with pivoting), capped to guard against pathological
+//! graphs.
+
+use dc_matrix::BitSet;
+
+/// An undirected graph over `n` vertices with adjacency bitsets.
+#[derive(Debug, Clone)]
+pub struct AttributeGraph {
+    adj: Vec<BitSet>,
+}
+
+impl AttributeGraph {
+    /// An edgeless graph over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        AttributeGraph { adj: (0..n).map(|_| BitSet::new(n)).collect() }
+    }
+
+    /// Builds the graph from edges.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut g = AttributeGraph::new(n);
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Inserts the undirected edge `(a, b)`. Self-loops are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+    }
+
+    /// True if `a` and `b` are adjacent.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].contains(b)
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Enumerates maximal cliques with at least `min_size` vertices using
+    /// Bron–Kerbosch with pivoting. Stops after `cap` cliques (guarding
+    /// against the worst-case 3^(n/3) explosion) and returns whether the
+    /// enumeration was truncated.
+    pub fn maximal_cliques(&self, min_size: usize, cap: usize) -> (Vec<Vec<usize>>, bool) {
+        let n = self.len();
+        let mut out = Vec::new();
+        let mut truncated = false;
+        let mut r: Vec<usize> = Vec::new();
+        let p: Vec<usize> = (0..n).collect();
+        let x: Vec<usize> = Vec::new();
+        self.bron_kerbosch(&mut r, p, x, min_size, cap, &mut out, &mut truncated);
+        // Deterministic order.
+        out.sort();
+        (out, truncated)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn bron_kerbosch(
+        &self,
+        r: &mut Vec<usize>,
+        p: Vec<usize>,
+        x: Vec<usize>,
+        min_size: usize,
+        cap: usize,
+        out: &mut Vec<Vec<usize>>,
+        truncated: &mut bool,
+    ) {
+        if out.len() >= cap {
+            *truncated = true;
+            return;
+        }
+        if p.is_empty() && x.is_empty() {
+            if r.len() >= min_size {
+                let mut clique = r.clone();
+                clique.sort_unstable();
+                out.push(clique);
+            }
+            return;
+        }
+        // Pivot: vertex of P ∪ X with the most neighbours in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|&u| p.iter().filter(|&&v| self.has_edge(u, v)).count());
+        let candidates: Vec<usize> = match pivot {
+            Some(u) => p.iter().copied().filter(|&v| !self.has_edge(u, v)).collect(),
+            None => p.clone(),
+        };
+        let mut p = p;
+        let mut x = x;
+        for v in candidates {
+            r.push(v);
+            let p_next: Vec<usize> = p.iter().copied().filter(|&w| self.has_edge(v, w)).collect();
+            let x_next: Vec<usize> = x.iter().copied().filter(|&w| self.has_edge(v, w)).collect();
+            self.bron_kerbosch(r, p_next, x_next, min_size, cap, out, truncated);
+            r.pop();
+            p.retain(|&w| w != v);
+            x.push(v);
+            if *truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_one_clique() {
+        let g = AttributeGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+        let (cliques, truncated) = g.maximal_cliques(2, 100);
+        assert!(!truncated);
+        assert_eq!(cliques, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn paper_figure7_clique() {
+        // §4.4: conditions {1I, 1D, 2B} form a clique in the derived-
+        // attribute graph (vertices 0=1I, 1=1B, 2=1D, 3=2I, 4=2B).
+        let g = AttributeGraph::from_edges(5, [(0, 2), (0, 4), (2, 4)]);
+        let (cliques, _) = g.maximal_cliques(3, 100);
+        assert_eq!(cliques, vec![vec![0, 2, 4]]);
+    }
+
+    #[test]
+    fn disconnected_cliques_both_found() {
+        let g = AttributeGraph::from_edges(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let (cliques, _) = g.maximal_cliques(3, 100);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn min_size_filters_small_cliques() {
+        let g = AttributeGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let (cliques, _) = g.maximal_cliques(3, 100);
+        assert!(cliques.is_empty());
+        let (pairs, _) = g.maximal_cliques(2, 100);
+        assert_eq!(pairs.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_cliques_enumerated() {
+        // K4 minus one edge: two triangles sharing an edge.
+        let g = AttributeGraph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        let (cliques, _) = g.maximal_cliques(3, 100);
+        assert_eq!(cliques, vec![vec![0, 1, 2], vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn cap_truncates_enumeration() {
+        // A moderately dense graph with many maximal cliques.
+        let n = 12;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if (a + b) % 3 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = AttributeGraph::from_edges(n, edges);
+        let (all, full_trunc) = g.maximal_cliques(1, 10_000);
+        assert!(!full_trunc);
+        let cap = all.len().saturating_sub(1).max(1);
+        let (some, truncated) = g.maximal_cliques(1, cap);
+        assert!(truncated);
+        assert!(some.len() <= cap);
+    }
+
+    #[test]
+    fn degree_and_edge_queries() {
+        let mut g = AttributeGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 1); // self loop ignored
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 1);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_are_singleton_cliques() {
+        let g = AttributeGraph::new(2);
+        let (cliques, _) = g.maximal_cliques(1, 10);
+        assert_eq!(cliques, vec![vec![0], vec![1]]);
+    }
+}

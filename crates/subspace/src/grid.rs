@@ -1,0 +1,136 @@
+//! Grid discretization for CLIQUE (Agrawal et al., SIGMOD 1998).
+//!
+//! CLIQUE partitions every dimension into `ξ` equal-length intervals. A
+//! *unit* is a cell of the induced grid in some subspace; it is *dense* when
+//! the fraction of points falling in it exceeds the threshold `τ`.
+
+use dc_matrix::DataMatrix;
+
+/// Per-dimension binning of a data matrix.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Number of intervals per dimension (`ξ`).
+    pub bins: usize,
+    /// Per-dimension `(min, width)`; width is 0 for constant dimensions.
+    ranges: Vec<(f64, f64)>,
+    /// `bin_of[dim][point]`: the bin index of each point in each dimension,
+    /// or `None` when the value is missing.
+    bin_of: Vec<Vec<Option<u32>>>,
+}
+
+impl Grid {
+    /// Builds the grid over all dimensions of `matrix` with `bins`
+    /// intervals each.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0`.
+    pub fn new(matrix: &DataMatrix, bins: usize) -> Self {
+        assert!(bins > 0, "grid needs at least one bin");
+        let mut ranges = Vec::with_capacity(matrix.cols());
+        let mut bin_of = Vec::with_capacity(matrix.cols());
+        for d in 0..matrix.cols() {
+            let summary = dc_matrix::stats::Summary::from_values(
+                matrix.col_entries(d).map(|(_, v)| v),
+            );
+            let (min, width) = if summary.count == 0 {
+                (0.0, 0.0)
+            } else {
+                (summary.min, (summary.max - summary.min) / bins as f64)
+            };
+            ranges.push((min, width));
+            let col: Vec<Option<u32>> = (0..matrix.rows())
+                .map(|r| {
+                    matrix.get(r, d).map(|v| {
+                        if width == 0.0 {
+                            0
+                        } else {
+                            // Clamp the max value into the last bin.
+                            (((v - min) / width) as u32).min(bins as u32 - 1)
+                        }
+                    })
+                })
+                .collect();
+            bin_of.push(col);
+        }
+        Grid { bins, ranges, bin_of }
+    }
+
+    /// Number of dimensions the grid covers.
+    pub fn dims(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Number of points (rows).
+    pub fn points(&self) -> usize {
+        self.bin_of.first().map_or(0, |c| c.len())
+    }
+
+    /// The bin of point `point` in dimension `dim` (`None` if missing).
+    #[inline]
+    pub fn bin(&self, dim: usize, point: usize) -> Option<u32> {
+        self.bin_of[dim][point]
+    }
+
+    /// The value interval `[lo, hi)` of bin `b` in dimension `dim`.
+    pub fn interval(&self, dim: usize, b: u32) -> (f64, f64) {
+        let (min, width) = self.ranges[dim];
+        (min + width * b as f64, min + width * (b + 1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_the_range() {
+        let m = DataMatrix::from_rows(5, 1, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        let g = Grid::new(&m, 4);
+        assert_eq!(g.bin(0, 0), Some(0));
+        assert_eq!(g.bin(0, 1), Some(1));
+        assert_eq!(g.bin(0, 2), Some(2));
+        assert_eq!(g.bin(0, 3), Some(3));
+        // Max value clamps into the last bin.
+        assert_eq!(g.bin(0, 4), Some(3));
+    }
+
+    #[test]
+    fn interval_reconstruction() {
+        let m = DataMatrix::from_rows(3, 1, vec![0.0, 5.0, 10.0]);
+        let g = Grid::new(&m, 2);
+        assert_eq!(g.interval(0, 0), (0.0, 5.0));
+        assert_eq!(g.interval(0, 1), (5.0, 10.0));
+    }
+
+    #[test]
+    fn constant_dimension_goes_to_bin_zero() {
+        let m = DataMatrix::from_rows(3, 1, vec![4.0, 4.0, 4.0]);
+        let g = Grid::new(&m, 5);
+        for p in 0..3 {
+            assert_eq!(g.bin(0, p), Some(0));
+        }
+    }
+
+    #[test]
+    fn missing_values_have_no_bin() {
+        let m = DataMatrix::from_options(2, 1, vec![Some(1.0), None]);
+        let g = Grid::new(&m, 3);
+        assert_eq!(g.bin(0, 0), Some(0));
+        assert_eq!(g.bin(0, 1), None);
+    }
+
+    #[test]
+    fn dims_and_points() {
+        let m = DataMatrix::from_rows(4, 3, (0..12).map(|x| x as f64).collect());
+        let g = Grid::new(&m, 2);
+        assert_eq!(g.dims(), 3);
+        assert_eq!(g.points(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let m = DataMatrix::from_rows(1, 1, vec![1.0]);
+        let _ = Grid::new(&m, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! A tour of the §3/§4.3 constraint system.
+//!
+//! The δ-cluster model supports optional constraints enforced by action
+//! blocking: overlap bounds between clusters (`Cons_o`), coverage
+//! requirements (`Cons_c`), and volume bounds (`Cons_v`). This example runs
+//! FLOC on the same planted workload under different constraint sets and
+//! verifies each promise holds in the result.
+//!
+//! Run with: `cargo run --release --example constraints_tour`
+
+use delta_clusters::prelude::*;
+use delta_clusters::datagen;
+
+fn workload() -> dc_datagen::EmbeddedData {
+    let mut cfg = EmbedConfig::new(200, 40, vec![(25, 8), (25, 8), (25, 8)]);
+    cfg.background = dc_datagen::Noise::Uniform { lo: 0.0, hi: 100.0 };
+    cfg.bias_range = (0.0, 50.0);
+    cfg.effect_range = (0.0, 50.0);
+    cfg.residue = 2.0;
+    cfg.seed = 5;
+    datagen::embed::generate(&cfg)
+}
+
+fn base_config(k: usize) -> dc_floc::FlocConfigBuilder {
+    FlocConfig::builder(k)
+        .seeding(Seeding::TargetSize { rows: 20, cols: 7 })
+        .seed(17)
+        .threads(4)
+}
+
+fn main() {
+    let data = workload();
+    let m = &data.matrix;
+    println!("workload: {}x{} with 3 planted 25x8 clusters\n", m.rows(), m.cols());
+
+    // --- Unconstrained baseline.
+    let r = floc(m, &base_config(3).build()).unwrap();
+    println!("unconstrained:   avg residue {:.2}", r.avg_residue);
+    report(m, &r);
+
+    // --- Cons_v: volume floor keeps clusters statistically meaningful.
+    let r = floc(
+        m,
+        &base_config(3).constraint(Constraint::MinVolume { cells: 120 }).build(),
+    )
+    .unwrap();
+    println!("\nCons_v MinVolume(120):");
+    report(m, &r);
+    for c in &r.clusters {
+        assert!(c.volume(m) >= 120, "volume constraint violated");
+    }
+    println!("  ✓ every cluster has at least 120 specified entries");
+
+    // --- Cons_o: overlap bound spreads clusters apart.
+    let r = floc(
+        m,
+        &base_config(3)
+            .constraint(Constraint::MinVolume { cells: 120 })
+            .constraint(Constraint::MaxOverlap { fraction: 0.1 })
+            .build(),
+    )
+    .unwrap();
+    println!("\nCons_o MaxOverlap(0.1) + Cons_v:");
+    report(m, &r);
+    for (i, a) in r.clusters.iter().enumerate() {
+        for b in r.clusters.iter().skip(i + 1) {
+            let shared = a.overlap_cells(b);
+            let denom = a.footprint().min(b.footprint());
+            assert!(
+                shared as f64 <= 0.1 * denom as f64 + 1e-9,
+                "overlap constraint violated: {shared}/{denom}"
+            );
+        }
+    }
+    println!("  ✓ no pair of clusters shares more than 10% of the smaller footprint");
+
+    // --- Cons_c: attribute coverage. Seed clusters jointly covering every
+    //     column; the constraint forbids orphaning any column.
+    let k = 8;
+    let r = floc(
+        m,
+        &base_config(k)
+            .seeding(Seeding::Bernoulli { p: 0.5 })
+            .constraint(Constraint::ColCoverage)
+            .build(),
+    )
+    .unwrap();
+    println!("\nCons_c ColCoverage (k = {k}, dense seeds):");
+    let covered = (0..m.cols())
+        .filter(|&c| r.clusters.iter().any(|cl| cl.cols.contains(c)))
+        .count();
+    println!("  columns covered by some cluster: {covered}/{}", m.cols());
+    assert_eq!(covered, m.cols(), "coverage constraint violated");
+    println!("  ✓ every attribute remains covered by at least one cluster");
+}
+
+fn report(m: &DataMatrix, r: &FlocResult) {
+    for (i, c) in r.clusters.iter().enumerate() {
+        println!(
+            "  cluster {i}: {:>3} rows x {:>2} cols, volume {:>4}, residue {:>6.2}",
+            c.row_count(),
+            c.col_count(),
+            c.volume(m),
+            r.residues[i]
+        );
+    }
+}

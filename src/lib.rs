@@ -1,0 +1,66 @@
+//! # delta-clusters
+//!
+//! A full Rust reproduction of *δ-Clusters: Capturing Subspace Correlation
+//! in a Large Data Set* (Yang, Wang, Wang & Yu, ICDE 2002) — the δ-cluster
+//! model, the FLOC algorithm, the baselines the paper compares against, the
+//! synthetic workloads it evaluates on, and the harness that regenerates
+//! every table and figure of its evaluation section.
+//!
+//! This crate is an umbrella facade re-exporting the workspace members:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`matrix`] | `dc-matrix` | data matrices with missing values, bitsets, IO, Pearson R |
+//! | [`floc`] | `dc-floc` | the δ-cluster model, residue, and the FLOC algorithm |
+//! | [`bicluster`] | `dc-bicluster` | the Cheng & Church baseline (ISMB 2000) |
+//! | [`subspace`] | `dc-subspace` | CLIQUE and the §4.4 "alternative algorithm" |
+//! | [`datagen`] | `dc-datagen` | synthetic workloads: embedded clusters, MovieLens-like, microarray-like |
+//! | [`eval`] | `dc-eval` | recall/precision, diameter, matching, reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use delta_clusters::prelude::*;
+//!
+//! // Figure 1 of the paper: three mutually shifted vectors form a perfect
+//! // δ-cluster even though they are far apart in Euclidean space.
+//! let m = DataMatrix::from_rows(3, 5, vec![
+//!     1.0,   5.0,   23.0,  12.0,  20.0,
+//!     11.0,  15.0,  33.0,  22.0,  30.0,
+//!     111.0, 115.0, 133.0, 122.0, 130.0,
+//! ]);
+//! let cluster = DeltaCluster::from_indices(3, 5, 0..3, 0..5);
+//! assert!(cluster_residue(&m, &cluster, ResidueMean::Arithmetic) < 1e-9);
+//!
+//! // FLOC discovers such clusters from data.
+//! let config = FlocConfig::builder(1)
+//!     .seeding(Seeding::TargetSize { rows: 2, cols: 3 })
+//!     .seed(42)
+//!     .build();
+//! let result = floc(&m, &config).unwrap();
+//! assert!(result.avg_residue < 1e-6);
+//! ```
+//!
+//! See `examples/` for runnable scenarios (collaborative filtering, gene
+//! expression, constraint handling) and `crates/bench` for the experiment
+//! harness.
+
+pub use dc_bicluster as bicluster;
+pub use dc_datagen as datagen;
+pub use dc_eval as eval;
+pub use dc_floc as floc;
+pub use dc_matrix as matrix;
+pub use dc_subspace as subspace;
+
+/// The names most programs need, importable with one `use`.
+pub mod prelude {
+    pub use dc_bicluster::{cheng_church, Bicluster, ChengChurchConfig};
+    pub use dc_datagen::{EmbedConfig, MicroarrayConfig, MovieLensConfig};
+    pub use dc_eval::{diameter, match_clusters, quality};
+    pub use dc_floc::{
+        cluster_residue, floc, floc_restarts, Constraint, DeltaCluster, FlocConfig, FlocResult,
+        Ordering, ResidueMean, Seeding,
+    };
+    pub use dc_matrix::{BitSet, DataMatrix};
+    pub use dc_subspace::{alternative, clique, AlternativeConfig, CliqueConfig};
+}

@@ -1,0 +1,258 @@
+//! Cross-crate integration tests: generator → miner → evaluator pipelines.
+
+use delta_clusters::prelude::*;
+use delta_clusters::{datagen, eval, floc as floc_crate, matrix, subspace};
+
+/// A planted workload every pipeline test shares: 3 coherent blocks in a
+/// 120×30 noise matrix with a narrow value range.
+fn workload(seed: u64) -> dc_datagen::EmbeddedData {
+    let mut cfg = EmbedConfig::new(120, 30, vec![(20, 8), (18, 7), (15, 6)]);
+    cfg.background = datagen::Noise::Uniform { lo: 0.0, hi: 100.0 };
+    cfg.bias_range = (0.0, 50.0);
+    cfg.effect_range = (0.0, 50.0);
+    cfg.residue = 0.0;
+    cfg.seed = seed;
+    datagen::embed::generate(&cfg)
+}
+
+#[test]
+fn floc_pipeline_recovers_planted_structure() {
+    // Larger planted blocks than the shared workload: random seeds always
+    // overlap them partially, so the local search can lock on.
+    let mut cfg = EmbedConfig::new(120, 30, vec![(30, 10), (25, 9), (20, 8)]);
+    cfg.background = datagen::Noise::Uniform { lo: 0.0, hi: 100.0 };
+    cfg.bias_range = (0.0, 50.0);
+    cfg.effect_range = (0.0, 50.0);
+    cfg.seed = 1;
+    let data = datagen::embed::generate(&cfg);
+    let fc = FlocConfig::builder(3)
+        .seeding(Seeding::TargetSize { rows: 16, cols: 6 })
+        .min_dims(3, 3)
+        .constraint(Constraint::MinVolume { cells: 80 })
+        .constraint(Constraint::MaxVolume { cells: 400 })
+        .seed(5)
+        .threads(2)
+        .build();
+    // A randomized local search: take the best of a few restarts. With
+    // k = 3 independent clusters not every block is found every time (the
+    // quality benchmarks are Tables 4/5 in dc-bench); the pipeline promise
+    // asserted here is that at least one planted block is solidly
+    // recovered and the clustering is clearly better than noise.
+    let (result, _) = floc_restarts(&data.matrix, &fc, 8, 4).expect("floc");
+    let q = quality(&data.matrix, &data.truth, &result.clusters);
+    assert!(q.recall > 0.15, "recall {:.2} too low", q.recall);
+    assert!(q.precision > 0.3, "precision {:.2} too low", q.precision);
+    let matches = match_clusters(&data.matrix, &data.truth, &result.clusters);
+    assert!(
+        matches.iter().any(|m| m.jaccard > 0.3),
+        "no planted block was solidly recovered: {matches:?}"
+    );
+    assert!(
+        result.avg_residue < 15.0,
+        "avg residue {:.2} too high",
+        result.avg_residue
+    );
+}
+
+#[test]
+fn floc_beats_background_noise_levels() {
+    let data = workload(2);
+    // Residue of random clusters ~ background scale; FLOC must do clearly
+    // better than a random clustering of the same shape.
+    let fc = FlocConfig::builder(3)
+        .seeding(Seeding::TargetSize { rows: 16, cols: 6 })
+        .seed(9)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc");
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(4);
+    let random_seeds = dc_floc::seeding::seed_clusters(
+        120,
+        30,
+        3,
+        &Seeding::TargetSize { rows: 16, cols: 6 },
+        2,
+        2,
+        &mut rng,
+    )
+    .unwrap();
+    let random_avg: f64 = random_seeds
+        .iter()
+        .map(|c| cluster_residue(&data.matrix, c, ResidueMean::Arithmetic))
+        .sum::<f64>()
+        / 3.0;
+    assert!(
+        result.avg_residue < random_avg * 0.75,
+        "FLOC {:.2} vs random {:.2}",
+        result.avg_residue,
+        random_avg
+    );
+}
+
+#[test]
+fn cheng_church_and_floc_agree_on_an_obvious_block() {
+    // One dominant perfect block: both algorithms should land on it.
+    let mut cfg = EmbedConfig::new(80, 20, vec![(30, 10)]);
+    cfg.background = datagen::Noise::Uniform { lo: 0.0, hi: 600.0 };
+    cfg.seed = 3;
+    let data = datagen::embed::generate(&cfg);
+
+    let fc = FlocConfig::builder(1)
+        .seeding(Seeding::TargetSize { rows: 25, cols: 8 })
+        .constraint(Constraint::MinVolume { cells: 150 })
+        .seed(2)
+        .build();
+    let (floc_result, _) = floc_restarts(&data.matrix, &fc, 6, 3).expect("floc");
+    let cc = cheng_church(&data.matrix, &ChengChurchConfig::new(1, 100.0));
+
+    let truth = &data.truth;
+    let floc_q = quality(&data.matrix, truth, &floc_result.clusters);
+    let cc_clusters: Vec<DeltaCluster> = cc
+        .biclusters
+        .iter()
+        .map(|b| DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() })
+        .collect();
+    let cc_q = quality(&data.matrix, truth, &cc_clusters);
+    assert!(floc_q.recall > 0.3, "FLOC recall {:.2}", floc_q.recall);
+    assert!(cc_q.recall > 0.3, "C&C recall {:.2}", cc_q.recall);
+}
+
+#[test]
+fn alternative_algorithm_agrees_with_direct_residue_scoring() {
+    let mut cfg = EmbedConfig::new(60, 8, vec![(20, 4)]);
+    cfg.background = datagen::Noise::Uniform { lo: 0.0, hi: 200.0 };
+    cfg.seed = 8;
+    let data = datagen::embed::generate(&cfg);
+    let result = alternative(
+        &data.matrix,
+        &AlternativeConfig {
+            k: 3,
+            clique: CliqueConfig { bins: 10, tau: 0.15, max_level: 3 },
+            min_cols: 3,
+            min_rows: 3,
+            clique_cap: 500,
+        },
+    );
+    // Every reported residue must match an independent recomputation.
+    for (c, &r) in result.clusters.iter().zip(&result.residues) {
+        let oracle = cluster_residue(&data.matrix, c, ResidueMean::Arithmetic);
+        assert!((r - oracle).abs() < 1e-9);
+    }
+    // And the best candidate should be clearly coherent.
+    if let Some(&best) = result.residues.first() {
+        assert!(best < 10.0, "best alternative residue {best}");
+    }
+}
+
+#[test]
+fn subspace_clique_feeds_delta_cluster_extraction() {
+    // The derived matrix of a planted shifted block concentrates on the
+    // difference dimensions between its columns.
+    let data = workload(11);
+    let derived = subspace::derive(&data.matrix);
+    assert_eq!(derived.matrix.cols(), 30 * 29 / 2);
+    // Rows of the *last* planted cluster (never overwritten by a later
+    // overlapping cluster) agree on the derived columns between the
+    // cluster's attributes.
+    let truth = data.truth.last().unwrap();
+    let cols: Vec<usize> = truth.cols.iter().collect();
+    let rows: Vec<usize> = truth.rows.iter().collect();
+    let d = derived.column_of(cols[0], cols[1]).unwrap();
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter_map(|&r| derived.matrix.get(r, d))
+        .collect();
+    let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
+        - vals.iter().cloned().fold(f64::MAX, f64::min);
+    // Entry noise is ±2 (target residue 1), so diffs spread at most ~8.
+    assert!(spread < 8.5, "derived spread {spread} too wide for coherent rows");
+}
+
+#[test]
+fn prediction_pipeline_on_generated_ratings() {
+    let config = MovieLensConfig {
+        users: 80,
+        movies: 120,
+        ratings: 4_000,
+        min_ratings_per_user: 15,
+        user_groups: 4,
+        genres: 6,
+        noise_std: 0.0,
+        seed: 21,
+    };
+    let data = datagen::movielens::generate(&config);
+    let fc = FlocConfig::builder(4)
+        .alpha(0.5)
+        .seeding(Seeding::TargetSize { rows: 15, cols: 10 })
+        .seed(6)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc");
+    // Predict the specified entries covered by clusters and check the MAE
+    // is within a rating point.
+    let mut n = 0usize;
+    let mut err = 0.0;
+    for (u, m, actual) in data.matrix.entries() {
+        if let Some(p) = floc_crate::prediction::predict(&data.matrix, &result.clusters, u, m) {
+            n += 1;
+            err += (p - actual).abs();
+        }
+    }
+    assert!(n > 50, "too few covered entries: {n}");
+    let mae = err / n as f64;
+    assert!(mae < 1.0, "MAE {mae:.2} too high");
+}
+
+#[test]
+fn io_roundtrip_preserves_clustering_results() {
+    let data = workload(31);
+    let fmt = matrix::io::DenseFormat::default();
+    let mut buf = Vec::new();
+    matrix::io::write_dense(&data.matrix, &mut buf, &fmt).unwrap();
+    let reloaded = matrix::io::read_dense(&buf[..], &fmt).unwrap();
+
+    let fc = FlocConfig::builder(2)
+        .seeding(Seeding::TargetSize { rows: 12, cols: 5 })
+        .seed(77)
+        .build();
+    let a = floc(&data.matrix, &fc).expect("original");
+    let b = floc(&reloaded, &fc).expect("reloaded");
+    assert_eq!(a.clusters, b.clusters, "clustering must be identical after IO roundtrip");
+    assert!((a.avg_residue - b.avg_residue).abs() < 1e-9);
+}
+
+#[test]
+fn eval_metrics_are_consistent_with_matching() {
+    let data = workload(41);
+    let fc = FlocConfig::builder(3)
+        .seeding(Seeding::TargetSize { rows: 16, cols: 6 })
+        .seed(3)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc");
+    let q = quality(&data.matrix, &data.truth, &result.clusters);
+    let matches = match_clusters(&data.matrix, &data.truth, &result.clusters);
+    assert_eq!(matches.len(), data.truth.len());
+    // Matched shared entries can never exceed the global intersection.
+    let matched_shared: usize = matches.iter().map(|m| m.shared_entries).sum();
+    assert!(matched_shared <= q.intersection);
+    for m in &matches {
+        assert!((0.0..=1.0).contains(&m.jaccard));
+    }
+}
+
+#[test]
+fn diameter_large_residue_small_for_discovered_clusters() {
+    // The Table 1 phenomenon on synthetic data: discovered δ-clusters are
+    // physically large yet coherent.
+    let data = workload(51);
+    let fc = FlocConfig::builder(2)
+        .seeding(Seeding::TargetSize { rows: 14, cols: 6 })
+        .min_dims(3, 3)
+        .constraint(Constraint::MinVolume { cells: 50 })
+        .seed(12)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc");
+    for (i, c) in result.clusters.iter().enumerate() {
+        let d = eval::diameter(&data.matrix, c);
+        assert!(d > 10.0, "cluster {i} diameter {d} suspiciously small");
+        assert!(result.residues[i] < d, "residue should be far below diameter");
+    }
+}
