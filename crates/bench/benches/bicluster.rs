@@ -1,8 +1,8 @@
 //! Cheng & Church kernels: node deletion variants and the full miner.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dc_bicluster::{cheng_church, ChengChurchConfig, MsrState};
 use dc_bicluster::deletion::{multiple_node_deletion_sweep, single_node_deletion};
+use dc_bicluster::{cheng_church, ChengChurchConfig, MsrState};
 use dc_datagen::microarray::{generate, MicroarrayConfig};
 
 fn workload(genes: usize) -> dc_matrix::DataMatrix {

@@ -18,13 +18,21 @@ fn bench_clique(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("derive", attrs), &m, |b, m| {
             b.iter(|| derive(m))
         });
-        let config = CliqueConfig { bins: 8, tau: 0.1, max_level: 2 };
+        let config = CliqueConfig {
+            bins: 8,
+            tau: 0.1,
+            max_level: 2,
+        };
         group.bench_with_input(BenchmarkId::new("clique", attrs), &m, |b, m| {
             b.iter(|| clique(m, &config))
         });
         let alt = AlternativeConfig {
             k: 5,
-            clique: CliqueConfig { bins: 8, tau: 0.1, max_level: 2 },
+            clique: CliqueConfig {
+                bins: 8,
+                tau: 0.1,
+                max_level: 2,
+            },
             min_cols: 3,
             min_rows: 2,
             clique_cap: 500,

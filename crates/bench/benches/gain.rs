@@ -12,7 +12,9 @@ fn setup(rows: usize, cols: usize) -> (DataMatrix, ClusterState) {
     let m = DataMatrix::from_rows(
         rows,
         cols,
-        (0..rows * cols).map(|_| rng.gen_range(0.0..100.0)).collect(),
+        (0..rows * cols)
+            .map(|_| rng.gen_range(0.0..100.0))
+            .collect(),
     );
     let cluster = DeltaCluster::from_indices(rows, cols, 0..rows / 3, 0..cols / 2);
     let state = ClusterState::new(&m, &cluster);

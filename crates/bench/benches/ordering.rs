@@ -10,7 +10,10 @@ fn actions(n: usize) -> Vec<EvaluatedAction> {
     let mut rng = StdRng::seed_from_u64(3);
     (0..n)
         .map(|i| EvaluatedAction {
-            action: Action { target: Target::Row(i), cluster: i % 7 },
+            action: Action {
+                target: Target::Row(i),
+                cluster: i % 7,
+            },
             gain: rng.gen_range(-5.0..5.0),
         })
         .collect()

@@ -9,7 +9,13 @@ use rand::{Rng, SeedableRng};
 
 fn matrix(rows: usize, cols: usize) -> DataMatrix {
     let mut rng = StdRng::seed_from_u64(1);
-    DataMatrix::from_rows(rows, cols, (0..rows * cols).map(|_| rng.gen_range(0.0..100.0)).collect())
+    DataMatrix::from_rows(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(0.0..100.0))
+            .collect(),
+    )
 }
 
 fn bench_residue(c: &mut Criterion) {

@@ -1,0 +1,75 @@
+//! Query-serving kernels: the inverted-index + precomputed-bases fast path
+//! of `dc-serve` against the naive all-k scan that recomputes bases per
+//! query (what `dc_floc::prediction::try_predict` does).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+use dc_serve::{QueryEngine, ServeModel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A rating-matrix-shaped model: sparse 400×150 matrix with `k` random
+/// overlapping clusters of roughly 40×15.
+fn model(k: usize) -> ServeModel {
+    let (rows, cols) = (400usize, 150usize);
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut m = DataMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(0.3) {
+                m.set(r, c, rng.gen_range(1.0..5.0));
+            }
+        }
+    }
+    let clusters: Vec<DeltaCluster> = (0..k)
+        .map(|_| {
+            let r0 = rng.gen_range(0..rows - 40);
+            let c0 = rng.gen_range(0..cols - 15);
+            DeltaCluster::from_indices(rows, cols, r0..r0 + 40, c0..c0 + 15)
+        })
+        .collect();
+    let residues = vec![0.0; k];
+    ServeModel::new(m, clusters, residues, 0.0).unwrap()
+}
+
+fn queries(rows: usize, cols: usize, n: usize) -> Vec<(usize, usize)> {
+    let mut rng = StdRng::seed_from_u64(23);
+    (0..n)
+        .map(|_| (rng.gen_range(0..rows), rng.gen_range(0..cols)))
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    for &k in &[5usize, 25, 100] {
+        let m = model(k);
+        let qs = queries(m.matrix().rows(), m.matrix().cols(), 256);
+        group.bench_with_input(BenchmarkId::new("indexed", k), &(&m, &qs), |b, (m, qs)| {
+            b.iter(|| qs.iter().filter(|&&(r, c)| m.predict(r, c).is_ok()).count())
+        });
+        group.bench_with_input(BenchmarkId::new("naive", k), &(&m, &qs), |b, (m, qs)| {
+            b.iter(|| {
+                qs.iter()
+                    .filter(|&&(r, c)| m.naive_predict(r, c).is_ok())
+                    .count()
+            })
+        });
+    }
+
+    let engine = QueryEngine::new(model(25));
+    let qs = queries(400, 150, 40_000);
+    for &threads in &[1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch_40k", threads),
+            &threads,
+            |b, &threads| b.iter(|| engine.predict_batch(&qs, threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

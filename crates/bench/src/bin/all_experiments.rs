@@ -2,9 +2,11 @@
 //! report (also written to target/experiments/report.txt).
 use std::fmt::Write as _;
 
+type Experiment = (&'static str, fn(&dc_bench::Opts) -> String);
+
 fn main() {
     let opts = dc_bench::Opts::from_args();
-    let experiments: Vec<(&str, fn(&dc_bench::Opts) -> String)> = vec![
+    let experiments: Vec<Experiment> = vec![
         ("table1", dc_bench::experiments::table1::run),
         ("table2_3", dc_bench::experiments::table2_3::run),
         ("table4", dc_bench::experiments::table4::run),
@@ -21,7 +23,10 @@ fn main() {
         let start = std::time::Instant::now();
         let out = run(&opts);
         let _ = writeln!(report, "{out}");
-        eprintln!("== {name} done in {:.1}s ==\n", start.elapsed().as_secs_f64());
+        eprintln!(
+            "== {name} done in {:.1}s ==\n",
+            start.elapsed().as_secs_f64()
+        );
     }
     println!("{report}");
     let _ = std::fs::create_dir_all(&opts.out_dir);

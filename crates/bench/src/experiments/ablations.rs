@@ -95,7 +95,12 @@ pub fn run(opts: &Opts) -> String {
     };
 
     // 1. Gain refresh.
-    measure("refresh_gains", "on (perform-time)", &base_builder(k, opts.threads).build(), 1);
+    measure(
+        "refresh_gains",
+        "on (perform-time)",
+        &base_builder(k, opts.threads).build(),
+        1,
+    );
     measure(
         "refresh_gains",
         "off (flowchart)",
@@ -104,9 +109,11 @@ pub fn run(opts: &Opts) -> String {
     );
 
     // 2. Termination materiality.
-    for &(label, value) in
-        &[("0 (paper literal)", 0.0), ("1e-3 (default)", 1e-3), ("1e-2", 1e-2)]
-    {
+    for &(label, value) in &[
+        ("0 (paper literal)", 0.0),
+        ("1e-3 (default)", 1e-3),
+        ("1e-2", 1e-2),
+    ] {
         measure(
             "min_improvement",
             label,
@@ -116,21 +123,39 @@ pub fn run(opts: &Opts) -> String {
     }
 
     // 3. Residue mean.
-    measure("residue_mean", "arithmetic", &base_builder(k, opts.threads).build(), 1);
+    measure(
+        "residue_mean",
+        "arithmetic",
+        &base_builder(k, opts.threads).build(),
+        1,
+    );
     measure(
         "residue_mean",
         "squared",
-        &base_builder(k, opts.threads).mean(ResidueMean::Squared).build(),
+        &base_builder(k, opts.threads)
+            .mean(ResidueMean::Squared)
+            .build(),
         1,
     );
 
     // 4. Restarts.
     for &r in &[1usize, 4] {
-        measure("restarts", &format!("best of {r}"), &base_builder(k, 1).build(), r);
+        measure(
+            "restarts",
+            &format!("best of {r}"),
+            &base_builder(k, 1).build(),
+            r,
+        );
     }
 
     let mut t = Table::new(vec![
-        "study", "variant", "residue", "recall", "precision", "iterations", "time (s)",
+        "study",
+        "variant",
+        "residue",
+        "recall",
+        "precision",
+        "iterations",
+        "time (s)",
     ]);
     for r in &rows {
         t.row(vec![
@@ -144,7 +169,10 @@ pub fn run(opts: &Opts) -> String {
         ]);
     }
     let _ = write_json(&opts.out_dir, "ablations", &rows);
-    format!("Ablations — implementation design choices (see DESIGN.md §8)\n{}", t.render())
+    format!(
+        "Ablations — implementation design choices (see DESIGN.md §8)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -62,10 +62,17 @@ pub fn run(opts: &Opts) -> String {
             .threads(opts.threads)
             .build();
         let result = floc(&data, &fc).expect("floc failed");
-        eprintln!("  fig10: FLOC at {n} attributes: {:.2}s", result.elapsed.as_secs_f64());
+        eprintln!(
+            "  fig10: FLOC at {n} attributes: {:.2}s",
+            result.elapsed.as_secs_f64()
+        );
         points
             .entry(n)
-            .or_insert(Point { attributes: n, floc_seconds: None, alternative_seconds: None })
+            .or_insert(Point {
+                attributes: n,
+                floc_seconds: None,
+                alternative_seconds: None,
+            })
             .floc_seconds = Some(result.elapsed.as_secs_f64());
     }
 
@@ -73,7 +80,11 @@ pub fn run(opts: &Opts) -> String {
         let data = workload(objects, n, k);
         let config = AlternativeConfig {
             k,
-            clique: CliqueConfig { bins: 10, tau: 0.03, max_level: 3 },
+            clique: CliqueConfig {
+                bins: 10,
+                tau: 0.03,
+                max_level: 3,
+            },
             min_cols: 3,
             min_rows: 2,
             clique_cap: 2_000,
@@ -86,7 +97,11 @@ pub fn run(opts: &Opts) -> String {
         );
         points
             .entry(n)
-            .or_insert(Point { attributes: n, floc_seconds: None, alternative_seconds: None })
+            .or_insert(Point {
+                attributes: n,
+                floc_seconds: None,
+                alternative_seconds: None,
+            })
             .alternative_seconds = Some(result.elapsed.as_secs_f64());
     }
 
@@ -96,7 +111,8 @@ pub fn run(opts: &Opts) -> String {
         t.row(vec![
             p.attributes.to_string(),
             p.floc_seconds.map_or("-".to_string(), |s| fmt_f(s, 2)),
-            p.alternative_seconds.map_or("-".to_string(), |s| fmt_f(s, 2)),
+            p.alternative_seconds
+                .map_or("-".to_string(), |s| fmt_f(s, 2)),
         ]);
     }
     let _ = write_json(&opts.out_dir, "fig10", &points);
@@ -110,12 +126,8 @@ pub fn run(opts: &Opts) -> String {
 fn workload(objects: usize, attrs: usize, _k: usize) -> dc_matrix::DataMatrix {
     let cluster_rows = (objects / 20).max(3);
     let cluster_cols = (attrs / 4).clamp(3, 10);
-    let cfg = dc_datagen::EmbedConfig::new(
-        objects,
-        attrs,
-        vec![(cluster_rows, cluster_cols); 10],
-    )
-    .with_seed(99);
+    let cfg = dc_datagen::EmbedConfig::new(objects, attrs, vec![(cluster_rows, cluster_cols); 10])
+        .with_seed(99);
     dc_datagen::embed::generate(&cfg).matrix
 }
 

@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn sweep_covers_zero() {
-        assert!(ratios().contains(&0.0), "the minimum point must be measured");
+        assert!(
+            ratios().contains(&0.0),
+            "the minimum point must be measured"
+        );
         assert!(ratios().iter().any(|&r| r < 0.0));
         assert!(ratios().iter().any(|&r| r > 1.0));
     }

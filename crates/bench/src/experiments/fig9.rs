@@ -67,7 +67,8 @@ pub fn run(opts: &Opts) -> String {
 
         for &seed_var in &seed_levels(opts.full) {
             let variance = seed_var * mean * mean / 5.0;
-            let seed_sizes = erlang_cluster_sizes(k, mean, variance, 30.0, 2, 2, 5 + seed_var as u64);
+            let seed_sizes =
+                erlang_cluster_sizes(k, mean, variance, 30.0, 2, 2, 5 + seed_var as u64);
             let fc = FlocConfig::builder(k)
                 .seeding(Seeding::ExplicitSizes(seed_sizes))
                 .seed(9)

@@ -62,7 +62,11 @@ pub fn run(opts: &Opts) -> String {
         matrix.density()
     );
 
-    let ks = if opts.full { vec![5, 10, 20] } else { vec![5, 10] };
+    let ks = if opts.full {
+        vec![5, 10, 20]
+    } else {
+        vec![5, 10]
+    };
     let mut stats = Vec::new();
     for &k in &ks {
         let fc = FlocConfig::builder(k)
@@ -101,7 +105,12 @@ pub fn run(opts: &Opts) -> String {
     }
 
     let mut t = Table::new(vec![
-        "k", "cluster volume", "number of movies", "number of viewers", "residue", "diameter",
+        "k",
+        "cluster volume",
+        "number of movies",
+        "number of viewers",
+        "residue",
+        "diameter",
     ]);
     for s in &stats {
         t.row(vec![
@@ -114,5 +123,8 @@ pub fn run(opts: &Opts) -> String {
         ]);
     }
     let _ = write_json(&opts.out_dir, "table1", &stats);
-    format!("Table 1 — statistics of discovered clusters (MovieLens-shaped, α = 0.6)\n{}", t.render())
+    format!(
+        "Table 1 — statistics of discovered clusters (MovieLens-shaped, α = 0.6)\n{}",
+        t.render()
+    )
 }

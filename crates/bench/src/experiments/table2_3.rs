@@ -60,7 +60,10 @@ pub fn run(opts: &Opts) -> String {
             let seed_rows = ((rows as f64) * 0.05).round().max(2.0) as usize;
             let seed_cols = ((cols as f64) * 0.2).round().max(2.0) as usize;
             let config = FlocConfig::builder(k)
-                .seeding(Seeding::TargetSize { rows: seed_rows, cols: seed_cols })
+                .seeding(Seeding::TargetSize {
+                    rows: seed_rows,
+                    cols: seed_cols,
+                })
                 .seed(7)
                 .threads(opts.threads)
                 .build();

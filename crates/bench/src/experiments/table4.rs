@@ -46,8 +46,7 @@ fn workloads(full: bool) -> Vec<(usize, usize, usize, u64)> {
 
 /// Runs the ordering-quality comparison.
 pub fn run(opts: &Opts) -> String {
-    let orderings =
-        [Ordering::Fixed, Ordering::Random, Ordering::Weighted];
+    let orderings = [Ordering::Fixed, Ordering::Random, Ordering::Weighted];
     let mut rows: Vec<Row> = orderings
         .iter()
         .map(|o| Row {
@@ -127,7 +126,10 @@ pub fn run(opts: &Opts) -> String {
         fmt_f(rows[2].precision, 2),
     ]);
     let _ = write_json(&opts.out_dir, "table4", &rows);
-    format!("Table 4 — quality of the FLOC algorithm with respect to action orders\n{}", t.render())
+    format!(
+        "Table 4 — quality of the FLOC algorithm with respect to action orders\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

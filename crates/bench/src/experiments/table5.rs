@@ -39,7 +39,7 @@ pub fn levels(full: bool) -> Vec<f64> {
 /// Runs the Table 5 sweep. Each level is averaged over `reps` generator
 /// seeds to smooth the randomized search's run-to-run variance.
 pub fn run(opts: &Opts) -> String {
-    let reps: u64 = if opts.full { 3 } else { 3 };
+    let reps: u64 = 3;
     let mut rows = Vec::new();
     for &level in &levels(opts.full) {
         let (mut residue, mut recall, mut precision) = (0.0, 0.0, 0.0);

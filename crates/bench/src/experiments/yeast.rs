@@ -73,7 +73,10 @@ pub fn run(opts: &Opts) -> String {
     let seed_cols = 7;
     let fc = FlocConfig::builder(k)
         .alpha(0.5)
-        .seeding(Seeding::TargetSize { rows: seed_rows, cols: seed_cols })
+        .seeding(Seeding::TargetSize {
+            rows: seed_rows,
+            cols: seed_cols,
+        })
         .constraint(dc_floc::Constraint::MinVolume {
             cells: seed_rows * seed_cols,
         })
@@ -103,7 +106,10 @@ pub fn run(opts: &Opts) -> String {
         .biclusters
         .iter()
         .map(|b| {
-            let cluster = dc_floc::DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() };
+            let cluster = dc_floc::DeltaCluster {
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+            };
             dc_floc::cluster_residue(&data.matrix, &cluster, ResidueMean::Arithmetic)
         })
         .collect();
@@ -128,12 +134,14 @@ pub fn run(opts: &Opts) -> String {
         .biclusters
         .iter()
         .map(|b| {
-            let cluster = dc_floc::DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() };
+            let cluster = dc_floc::DeltaCluster {
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+            };
             dc_floc::cluster_residue(&data.matrix, &cluster, ResidueMean::Arithmetic)
         })
         .collect();
-    let cc_single_residue =
-        cc_single_arith.iter().sum::<f64>() / cc_single_arith.len() as f64;
+    let cc_single_residue = cc_single_arith.iter().sum::<f64>() / cc_single_arith.len() as f64;
     eprintln!(
         "  yeast: C&C (single deletion) avg residue {:.2}, {:.1}s",
         cc_single_residue,

@@ -18,7 +18,9 @@ impl Default for Opts {
         Opts {
             full: false,
             out_dir: PathBuf::from("target/experiments"),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()).min(8),
+            threads: std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(8),
         }
     }
 }

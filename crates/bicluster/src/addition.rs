@@ -41,14 +41,19 @@ pub fn node_addition(
         .max(1.0);
     let tol = 1e-10 * scale * scale;
 
-    let mut outcome = AdditionOutcome { cols_added: 0, rows_added: 0, inverted_rows: Vec::new() };
+    let mut outcome = AdditionOutcome {
+        cols_added: 0,
+        rows_added: 0,
+        inverted_rows: Vec::new(),
+    };
     loop {
         let mut changed = false;
 
         // Columns first (Cheng & Church's order).
         let h = state.msr(matrix);
-        let candidates: Vec<usize> =
-            (0..matrix.cols()).filter(|&c| !state.cols.contains(c)).collect();
+        let candidates: Vec<usize> = (0..matrix.cols())
+            .filter(|&c| !state.cols.contains(c))
+            .collect();
         for c in candidates {
             if state.candidate_col_score(matrix, c) <= h + tol {
                 state.add_col(matrix, c);
@@ -59,8 +64,9 @@ pub fn node_addition(
 
         // Then rows.
         let h = state.msr(matrix);
-        let candidates: Vec<usize> =
-            (0..matrix.rows()).filter(|&r| !state.rows.contains(r)).collect();
+        let candidates: Vec<usize> = (0..matrix.rows())
+            .filter(|&r| !state.rows.contains(r))
+            .collect();
         for r in candidates {
             if state.candidate_row_score(matrix, r, false) <= h + tol {
                 state.add_row(matrix, r);
@@ -89,6 +95,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Additive block occupying rows 0..br, cols 0..bc of a noise matrix.
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the bias lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = DataMatrix::new(rows, cols);
@@ -134,7 +141,10 @@ mod tests {
             BitSet::from_indices(8, 0..4),
         );
         let outcome = node_addition(&m, &mut st, false);
-        assert_eq!(outcome.rows_added, 0, "noise rows must not join a perfect block");
+        assert_eq!(
+            outcome.rows_added, 0,
+            "noise rows must not join a perfect block"
+        );
         assert_eq!(outcome.cols_added, 0);
     }
 

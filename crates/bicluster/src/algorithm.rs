@@ -135,11 +135,20 @@ pub fn cheng_church(matrix: &DataMatrix, config: &ChengChurchConfig) -> ChengChu
             msr,
             inverted_rows: outcome.inverted_rows,
         };
-        mask_submatrix(&mut working, &bicluster.rows, &bicluster.cols, range, &mut rng);
+        mask_submatrix(
+            &mut working,
+            &bicluster.rows,
+            &bicluster.cols,
+            range,
+            &mut rng,
+        );
         biclusters.push(bicluster);
     }
 
-    ChengChurchResult { biclusters, elapsed: start.elapsed() }
+    ChengChurchResult {
+        biclusters,
+        elapsed: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +243,10 @@ mod tests {
     #[test]
     fn run_is_deterministic_per_seed() {
         let m = two_blocks(5);
-        let config = ChengChurchConfig { seed: 7, ..ChengChurchConfig::new(2, 10.0) };
+        let config = ChengChurchConfig {
+            seed: 7,
+            ..ChengChurchConfig::new(2, 10.0)
+        };
         let a = cheng_church(&m, &config);
         let b = cheng_church(&m, &config);
         assert_eq!(a.biclusters, b.biclusters);

@@ -155,6 +155,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     /// Noise matrix with a perfectly additive block in rows 0..br, cols 0..bc.
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the bias lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = DataMatrix::new(rows, cols);
@@ -203,11 +204,7 @@ mod tests {
     fn single_deletion_respects_minimum_dims() {
         // Pure noise: delta unreachable, must stop at min dims.
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(
-            6,
-            6,
-            (0..36).map(|_| rng.gen_range(0.0..100.0)).collect(),
-        );
+        let m = DataMatrix::from_rows(6, 6, (0..36).map(|_| rng.gen_range(0.0..100.0)).collect());
         let mut st = MsrState::full(&m);
         let _ = single_node_deletion(&m, &mut st, 1e-12, 3, 3);
         assert_eq!(st.rows.len(), 3);
@@ -219,8 +216,7 @@ mod tests {
         let m = planted(30, 12, 10, 6, 4);
         let mut st = MsrState::full(&m);
         let before_rows = st.rows.len();
-        let removed =
-            multiple_node_deletion_sweep(&m, &mut st, 1.0, 1.2, 2, 2, 0);
+        let removed = multiple_node_deletion_sweep(&m, &mut st, 1.0, 1.2, 2, 2, 0);
         assert!(removed);
         assert!(st.rows.len() < before_rows, "bulk sweep should remove rows");
     }
@@ -241,7 +237,11 @@ mod tests {
         let mut st = MsrState::full(&m);
         let cols_before = st.cols.len();
         let _ = multiple_node_deletion_sweep(&m, &mut st, 1.0, 1.2, 2, 2, 100);
-        assert_eq!(st.cols.len(), cols_before, "column sweep suppressed below threshold");
+        assert_eq!(
+            st.cols.len(),
+            cols_before,
+            "column sweep suppressed below threshold"
+        );
     }
 
     #[test]

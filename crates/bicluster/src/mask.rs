@@ -29,7 +29,10 @@ impl FillRange {
         if s.count == 0 {
             FillRange { lo: 0.0, hi: 1.0 }
         } else {
-            FillRange { lo: s.min, hi: s.max }
+            FillRange {
+                lo: s.min,
+                hi: s.max,
+            }
         }
     }
 
@@ -113,7 +116,13 @@ mod tests {
         let rows = BitSet::from_indices(3, [0, 1]);
         let cols = BitSet::from_indices(3, [2]);
         let mut rng = StdRng::seed_from_u64(2);
-        mask_submatrix(&mut m, &rows, &cols, FillRange { lo: 0.0, hi: 1.0 }, &mut rng);
+        mask_submatrix(
+            &mut m,
+            &rows,
+            &cols,
+            FillRange { lo: 0.0, hi: 1.0 },
+            &mut rng,
+        );
         assert!(m.get(0, 2).unwrap() < 1.0);
         assert!(m.get(1, 2).unwrap() < 1.0);
         assert_eq!(m.get(2, 2), Some(10.0));

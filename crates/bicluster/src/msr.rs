@@ -57,7 +57,11 @@ impl MsrState {
 
     /// State covering the whole matrix.
     pub fn full(matrix: &DataMatrix) -> Self {
-        MsrState::new(matrix, BitSet::full(matrix.rows()), BitSet::full(matrix.cols()))
+        MsrState::new(
+            matrix,
+            BitSet::full(matrix.rows()),
+            BitSet::full(matrix.cols()),
+        )
     }
 
     /// Adds row `r` to the submatrix, updating sums. `O(|J|)`.
@@ -197,8 +201,7 @@ impl MsrState {
     pub fn candidate_row_score(&self, matrix: &DataMatrix, r: usize, inverted: bool) -> f64 {
         let mean = self.mean();
         let values = matrix.row_values(r);
-        let rm: f64 =
-            self.cols.iter().map(|c| values[c]).sum::<f64>() / self.cols.len() as f64;
+        let rm: f64 = self.cols.iter().map(|c| values[c]).sum::<f64>() / self.cols.len() as f64;
         let sum: f64 = self
             .cols
             .iter()
@@ -275,7 +278,8 @@ mod tests {
         let st = MsrState::full(&m);
         // Brute force.
         let n = 12.0;
-        let total: f64 = (0..3).flat_map(|r| (0..4).map(move |c| (r, c)))
+        let total: f64 = (0..3)
+            .flat_map(|r| (0..4).map(move |c| (r, c)))
             .map(|(r, c)| m.get(r, c).unwrap())
             .sum();
         let mean = total / n;
@@ -308,11 +312,7 @@ mod tests {
 
     #[test]
     fn incremental_updates_match_fresh_state() {
-        let m = DataMatrix::from_rows(
-            4,
-            4,
-            (0..16).map(|i| ((i * 7) % 13) as f64).collect(),
-        );
+        let m = DataMatrix::from_rows(4, 4, (0..16).map(|i| ((i * 7) % 13) as f64).collect());
         let mut st = MsrState::full(&m);
         st.remove_row(&m, 1);
         st.remove_col(&m, 2);
@@ -330,11 +330,7 @@ mod tests {
 
     #[test]
     fn candidate_scores_match_membership_scores() {
-        let m = DataMatrix::from_rows(
-            4,
-            4,
-            (0..16).map(|i| ((i * 5) % 11) as f64).collect(),
-        );
+        let m = DataMatrix::from_rows(4, 4, (0..16).map(|i| ((i * 5) % 11) as f64).collect());
         // State without row 3 / col 3.
         let st = MsrState::new(
             &m,
@@ -366,20 +362,19 @@ mod tests {
         // Row 3 = −(row 0) + constant: a mirror image of row 0's pattern.
         let mut m = DataMatrix::new(4, 3);
         let base = [1.0, 4.0, 2.0];
-        for c in 0..3 {
-            m.set(0, c, base[c]);
-            m.set(1, c, base[c] + 2.0);
-            m.set(2, c, base[c] + 5.0);
-            m.set(3, c, 10.0 - base[c]);
+        for (c, &b) in base.iter().enumerate() {
+            m.set(0, c, b);
+            m.set(1, c, b + 2.0);
+            m.set(2, c, b + 5.0);
+            m.set(3, c, 10.0 - b);
         }
-        let st = MsrState::new(
-            &m,
-            BitSet::from_indices(4, [0, 1, 2]),
-            BitSet::full(3),
-        );
+        let st = MsrState::new(&m, BitSet::from_indices(4, [0, 1, 2]), BitSet::full(3));
         let direct = st.candidate_row_score(&m, 3, false);
         let inverted = st.candidate_row_score(&m, 3, true);
-        assert!(inverted < 1e-12, "inverted score must vanish for a mirror row");
+        assert!(
+            inverted < 1e-12,
+            "inverted score must vanish for a mirror row"
+        );
         assert!(direct > 1.0, "direct score must be large for a mirror row");
     }
 

@@ -38,7 +38,11 @@ impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
-            ArgError::Invalid { flag, value, expected } => {
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value:?}: expected {expected}")
             }
         }
@@ -113,7 +117,15 @@ mod tests {
 
     #[test]
     fn parses_command_positionals_and_flags() {
-        let a = parse(&["mine", "input.tsv", "--k", "5", "--alpha", "0.6", "--verbose"]);
+        let a = parse(&[
+            "mine",
+            "input.tsv",
+            "--k",
+            "5",
+            "--alpha",
+            "0.6",
+            "--verbose",
+        ]);
         assert_eq!(a.command.as_deref(), Some("mine"));
         assert_eq!(a.positional, vec!["input.tsv"]);
         assert_eq!(a.get("k"), Some("5"));
@@ -135,7 +147,10 @@ mod tests {
         assert_eq!(a.get_or("k", 1usize).unwrap(), 7);
         assert_eq!(a.get_or("missing", 9usize).unwrap(), 9);
         assert_eq!(a.require::<usize>("k").unwrap(), 7);
-        assert!(matches!(a.require::<usize>("absent"), Err(ArgError::Missing(_))));
+        assert!(matches!(
+            a.require::<usize>("absent"),
+            Err(ArgError::Missing(_))
+        ));
     }
 
     #[test]

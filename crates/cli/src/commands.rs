@@ -7,6 +7,9 @@
 //!   matrix) to a file.
 //! * `evaluate` — score a clustering JSON against a ground-truth JSON.
 //! * `compare` — run FLOC and Cheng & Church on the same matrix.
+//! * `predict` — answer point queries / top-N recommendations from a saved
+//!   model snapshot (see `mine --save-model`).
+//! * `serve-bench` — measure concurrent query throughput of a saved model.
 //!
 //! Every command takes `--seed` and is fully reproducible.
 
@@ -14,7 +17,10 @@ use crate::args::{ArgError, Args};
 use dc_floc::{floc, Constraint, DeltaCluster, FlocConfig, Ordering, ResidueMean, Seeding};
 use dc_matrix::io::{read_dense_file, read_triples_file, DenseFormat};
 use dc_matrix::DataMatrix;
+use dc_serve::{PredictError, QueryEngine, ServeModel};
+use serde::Serialize;
 use std::path::Path;
+use std::time::Instant;
 
 /// Top-level command errors.
 #[derive(Debug)]
@@ -56,15 +62,25 @@ USAGE:
   delta-clusters mine <matrix-file> [--k N] [--alpha A] [--ordering fixed|random|weighted]
                   [--mean arithmetic|squared] [--min-volume CELLS] [--max-overlap FRAC]
                   [--seed-rows N --seed-cols N] [--triples] [--seed S] [--threads T]
-                  [--json OUT.json]
+                  [--json OUT.json] [--save-model OUT.dcm]
   delta-clusters generate <out-file> --kind embedded|movielens|microarray
                   [--rows N --cols N --clusters K] [--seed S] [--truth OUT.json]
   delta-clusters evaluate <matrix-file> --found FOUND.json --truth TRUTH.json [--triples]
   delta-clusters compare <matrix-file> [--k N] [--delta D] [--triples] [--seed S]
+  delta-clusters predict <model-file> <row> [<col>] [--top N]
+  delta-clusters serve-bench <model-file> [--queries N] [--threads T1,T2,...]
+                  [--out DIR] [--json]
   delta-clusters help
 
 Matrix files are tab-separated with `NA` (or empty) for missing entries;
 pass --triples for `row col value` lines (the MovieLens u.data layout).
+
+Model files (`mine --save-model`) are binary `.dcm` snapshots — matrix,
+clusters, and precomputed bases behind a checksum — or JSON when the path
+ends in `.json`. `predict` answers point queries or, with --top, ranks a
+row's unrated columns. `serve-bench` replays a synthetic query stream at
+each thread count and writes BENCH_serve.json under --out
+(default target/experiments).
 ";
 
 /// Dispatches a parsed command line. Returns the text to print.
@@ -74,8 +90,12 @@ pub fn dispatch(args: &Args) -> Result<String, CmdError> {
         Some("generate") => generate(args),
         Some("evaluate") => evaluate(args),
         Some("compare") => compare(args),
+        Some("predict") => predict(args),
+        Some("serve-bench") => serve_bench(args),
         Some("help") | None => Ok(HELP.to_string()),
-        Some(other) => Err(CmdError::Usage(format!("unknown command {other:?}; try `help`"))),
+        Some(other) => Err(CmdError::Usage(format!(
+            "unknown command {other:?}; try `help`"
+        ))),
     }
 }
 
@@ -125,7 +145,10 @@ pub fn floc_config(args: &Args, matrix: &DataMatrix) -> Result<FlocConfig, CmdEr
         .alpha(alpha)
         .ordering(ordering)
         .mean(mean)
-        .seeding(Seeding::TargetSize { rows: seed_rows, cols: seed_cols })
+        .seeding(Seeding::TargetSize {
+            rows: seed_rows,
+            cols: seed_cols,
+        })
         .seed(args.get_or("seed", 0u64)?)
         .threads(args.get_or("threads", 1usize)?);
     if let Some(cells) = args.get("min-volume") {
@@ -156,6 +179,188 @@ fn mine(args: &Args) -> Result<String, CmdError> {
         std::fs::write(json_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("clusters written to {json_path}\n"));
     }
+    if let Some(model_path) = args.get("save-model") {
+        let model = ServeModel::from_result(matrix.clone(), &result)
+            .map_err(|e| CmdError::Algo(e.to_string()))?;
+        dc_serve::save(&model, model_path).map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("model snapshot written to {model_path}\n"));
+    }
+    Ok(out)
+}
+
+fn load_model(path: &str) -> Result<ServeModel, CmdError> {
+    dc_serve::load(path).map_err(|e| CmdError::Io(format!("{path}: {e}")))
+}
+
+fn positional_index(args: &Args, pos: usize, what: &str) -> Result<usize, CmdError> {
+    let raw = args
+        .positional
+        .get(pos)
+        .ok_or_else(|| CmdError::Usage(format!("expected a {what}")))?;
+    raw.parse()
+        .map_err(|_| CmdError::Usage(format!("{what} {raw:?} is not a non-negative integer")))
+}
+
+fn predict(args: &Args) -> Result<String, CmdError> {
+    let model = load_model(input_path(args, "model file")?)?;
+    let row = positional_index(args, 1, "row index")?;
+
+    if let Some(top) = args.get("top") {
+        let n: usize = top
+            .parse()
+            .map_err(|_| CmdError::Usage(format!("--top {top:?} is not a number")))?;
+        let recs = model.top_n(row, n);
+        if recs.is_empty() {
+            return Ok(format!("no predictable unrated columns for row {row}\n"));
+        }
+        let mut out = format!("top {} prediction(s) for row {row}:\n", recs.len());
+        for (col, score) in recs {
+            let label = model
+                .matrix()
+                .col_label(col)
+                .map_or(String::new(), |l| format!("  ({l})"));
+            out.push_str(&format!("  col {col:<6} {score:>10.3}{label}\n"));
+        }
+        return Ok(out);
+    }
+
+    let col = positional_index(args, 2, "column index")?;
+    match model.predict(row, col) {
+        Ok(value) => {
+            let clusters = model.covering(row, col).count();
+            Ok(format!(
+                "predicted ({row}, {col}) = {value:.4}  [{clusters} covering cluster(s)]\n"
+            ))
+        }
+        Err(PredictError::NotCovered) => Ok(format!(
+            "cell ({row}, {col}) is not covered by any cluster in the model\n"
+        )),
+        Err(e @ PredictError::DegenerateCluster) => Err(CmdError::Algo(e.to_string())),
+    }
+}
+
+/// One thread-count measurement in the serve-bench report.
+#[derive(Serialize)]
+struct ServeBenchRun {
+    threads: usize,
+    elapsed_secs: f64,
+    queries_per_sec: f64,
+    hit_rate: f64,
+    p50_latency_nanos: u64,
+    p99_latency_nanos: u64,
+}
+
+/// The machine-readable BENCH_serve.json payload.
+#[derive(Serialize)]
+struct ServeBenchReport {
+    model: String,
+    rows: usize,
+    cols: usize,
+    clusters: usize,
+    queries: usize,
+    /// CPUs the host exposes — thread counts beyond this cannot speed up.
+    available_parallelism: usize,
+    runs: Vec<ServeBenchRun>,
+    /// Throughput at the highest measured thread count over single-thread.
+    max_speedup: f64,
+}
+
+/// Deterministic query stream over the matrix shape: coprime strides walk
+/// every cell eventually, mixing hits and misses without needing an RNG.
+fn bench_queries(rows: usize, cols: usize, n: usize) -> Vec<(usize, usize)> {
+    (0..n)
+        .map(|i| {
+            (
+                (i.wrapping_mul(7919)) % rows.max(1),
+                (i.wrapping_mul(104_729)) % cols.max(1),
+            )
+        })
+        .collect()
+}
+
+fn serve_bench(args: &Args) -> Result<String, CmdError> {
+    let model_path = input_path(args, "model file")?;
+    let model = load_model(model_path)?;
+    let queries: usize = args.get_or("queries", 200_000)?;
+    let thread_counts: Vec<usize> = args
+        .get("threads")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .map(|t| {
+            t.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t > 0)
+                .ok_or_else(|| CmdError::Usage(format!("--threads entry {t:?} invalid")))
+        })
+        .collect::<Result<_, _>>()?;
+    if thread_counts.is_empty() {
+        return Err(CmdError::Usage("--threads list is empty".into()));
+    }
+
+    let (rows, cols, k) = (model.matrix().rows(), model.matrix().cols(), model.k());
+    let workload = bench_queries(rows, cols, queries);
+    let engine = QueryEngine::new(model);
+
+    let mut out =
+        format!("serve-bench: {model_path} ({rows}x{cols}, {k} clusters), {queries} queries\n");
+    let mut runs = Vec::with_capacity(thread_counts.len());
+    for &threads in &thread_counts {
+        // Warm-up pass so page faults and lazy allocation don't bill the
+        // first thread count.
+        engine.predict_batch(&workload[..workload.len().min(1000)], threads);
+        engine.reset_stats();
+        let start = Instant::now();
+        engine.predict_batch(&workload, threads);
+        let elapsed = start.elapsed();
+        let stats = engine.stats();
+        let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
+        let run = ServeBenchRun {
+            threads,
+            elapsed_secs: elapsed.as_secs_f64(),
+            queries_per_sec: qps,
+            hit_rate: stats.hit_rate(),
+            p50_latency_nanos: stats.latency_quantile(0.50).as_nanos() as u64,
+            p99_latency_nanos: stats.latency_quantile(0.99).as_nanos() as u64,
+        };
+        out.push_str(&format!(
+            "  threads {threads:>2}: {qps:>12.0} q/s  p50 ≤ {} ns  p99 ≤ {} ns  hit rate {:.3}\n",
+            run.p50_latency_nanos, run.p99_latency_nanos, run.hit_rate
+        ));
+        runs.push(run);
+    }
+
+    let base = runs
+        .iter()
+        .find(|r| r.threads == 1)
+        .map_or(runs[0].queries_per_sec, |r| r.queries_per_sec);
+    let peak = runs.iter().map(|r| r.queries_per_sec).fold(0.0, f64::max);
+    let max_speedup = if base > 0.0 { peak / base } else { 0.0 };
+    let available_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  max speedup over 1 thread: {max_speedup:.2}x\n"));
+    if available_parallelism < thread_counts.iter().copied().max().unwrap_or(1) {
+        out.push_str(&format!(
+            "  note: host exposes {available_parallelism} CPU(s); \
+             thread counts beyond that cannot improve throughput\n"
+        ));
+    }
+
+    let report = ServeBenchReport {
+        model: model_path.to_string(),
+        rows,
+        cols,
+        clusters: k,
+        queries,
+        available_parallelism,
+        runs,
+        max_speedup,
+    };
+    let dir = Path::new(args.get("out").unwrap_or("target/experiments"));
+    std::fs::create_dir_all(dir).map_err(|e| CmdError::Io(e.to_string()))?;
+    let json_path = dir.join("BENCH_serve.json");
+    let json = serde_json::to_string_pretty(&report).map_err(|e| CmdError::Io(e.to_string()))?;
+    std::fs::write(&json_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+    out.push_str(&format!("report written to {}\n", json_path.display()));
     Ok(out)
 }
 
@@ -205,8 +410,7 @@ fn generate(args: &Args) -> Result<String, CmdError> {
         matrix.specified_count()
     );
     if let (Some(truth), Some(truth_path)) = (truth, args.get("truth")) {
-        let json =
-            serde_json::to_string_pretty(&truth).map_err(|e| CmdError::Io(e.to_string()))?;
+        let json = serde_json::to_string_pretty(&truth).map_err(|e| CmdError::Io(e.to_string()))?;
         std::fs::write(truth_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("ground truth written to {truth_path}\n"));
     }
@@ -222,12 +426,8 @@ fn read_clusters(path: &str) -> Result<Vec<DeltaCluster>, CmdError> {
 fn evaluate(args: &Args) -> Result<String, CmdError> {
     let path = input_path(args, "matrix file")?;
     let matrix = load_matrix(args, path)?;
-    let found = read_clusters(
-        args.get("found").ok_or(ArgError::Missing("found".into()))?,
-    )?;
-    let truth = read_clusters(
-        args.get("truth").ok_or(ArgError::Missing("truth".into()))?,
-    )?;
+    let found = read_clusters(args.get("found").ok_or(ArgError::Missing("found".into()))?)?;
+    let truth = read_clusters(args.get("truth").ok_or(ArgError::Missing("truth".into()))?)?;
     let q = dc_eval::quality(&matrix, &truth, &found);
     let matches = dc_eval::match_clusters(&matrix, &truth, &found);
     let mut out = format!(
@@ -242,7 +442,8 @@ fn evaluate(args: &Args) -> Result<String, CmdError> {
         out.push_str(&format!(
             "  truth #{:<3} -> {}  jaccard {:.3}\n",
             m.truth_index,
-            m.found_index.map_or("(unmatched)".to_string(), |i| format!("found #{i}")),
+            m.found_index
+                .map_or("(unmatched)".to_string(), |i| format!("found #{i}")),
             m.jaccard
         ));
     }
@@ -267,7 +468,10 @@ fn compare(args: &Args) -> Result<String, CmdError> {
         .biclusters
         .iter()
         .map(|b| {
-            let c = DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() };
+            let c = DeltaCluster {
+                rows: b.rows.clone(),
+                cols: b.cols.clone(),
+            };
             dc_floc::cluster_residue(&matrix, &c, ResidueMean::Arithmetic)
         })
         .collect();
@@ -368,13 +572,24 @@ mod tests {
     #[test]
     fn mine_rejects_bad_flags() {
         let data = tmp("gen2.tsv");
-        dispatch(&args(&["generate", data.to_str().unwrap(), "--rows", "30", "--cols", "10"]))
-            .unwrap();
-        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--alpha", "2.0"]))
-            .unwrap_err();
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--rows",
+            "30",
+            "--cols",
+            "10",
+        ]))
+        .unwrap();
+        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--alpha", "2.0"])).unwrap_err();
         assert!(err.to_string().contains("alpha"));
-        let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--ordering", "bogus"]))
-            .unwrap_err();
+        let err = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--ordering",
+            "bogus",
+        ]))
+        .unwrap_err();
         assert!(err.to_string().contains("ordering"));
         let err = dispatch(&args(&["mine", data.to_str().unwrap(), "--k", "0"])).unwrap_err();
         assert!(err.to_string().contains("k must be positive"));
@@ -405,6 +620,151 @@ mod tests {
         let out = dispatch(&args(&["compare", data.to_str().unwrap(), "--k", "2"])).unwrap();
         assert!(out.contains("FLOC"));
         assert!(out.contains("Cheng & Church"));
+    }
+
+    #[test]
+    fn mine_saves_model_and_predict_serves_it() {
+        let data = tmp("serve_gen.tsv");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--kind",
+            "embedded",
+            "--rows",
+            "40",
+            "--cols",
+            "16",
+            "--clusters",
+            "2",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+
+        for model_name in ["serve_model.dcm", "serve_model.json"] {
+            let model = tmp(model_name);
+            let out = dispatch(&args(&[
+                "mine",
+                data.to_str().unwrap(),
+                "--k",
+                "2",
+                "--seed",
+                "4",
+                "--save-model",
+                model.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(
+                out.contains("model snapshot written"),
+                "{model_name}: {out}"
+            );
+            assert!(model.exists());
+
+            let out = dispatch(&args(&["predict", model.to_str().unwrap(), "1", "1"])).unwrap();
+            assert!(
+                out.contains("predicted (1, 1)") || out.contains("not covered"),
+                "{model_name}: {out}"
+            );
+
+            let out = dispatch(&args(&[
+                "predict",
+                model.to_str().unwrap(),
+                "1",
+                "--top",
+                "3",
+            ]))
+            .unwrap();
+            assert!(
+                out.contains("prediction(s) for row 1") || out.contains("no predictable"),
+                "{model_name}: {out}"
+            );
+        }
+    }
+
+    #[test]
+    fn predict_rejects_bad_arguments() {
+        let err = dispatch(&args(&["predict", "/nonexistent/model.dcm", "0", "0"])).unwrap_err();
+        assert!(matches!(err, CmdError::Io(_)));
+
+        let data = tmp("serve_gen2.tsv");
+        let model = tmp("serve_model2.dcm");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--rows",
+            "30",
+            "--cols",
+            "10",
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "1",
+            "--save-model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = dispatch(&args(&["predict", model.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("row"));
+        let err = dispatch(&args(&["predict", model.to_str().unwrap(), "x", "0"])).unwrap_err();
+        assert!(err.to_string().contains("row"));
+        // An out-of-range query is a miss, not an error.
+        let out = dispatch(&args(&["predict", model.to_str().unwrap(), "9999", "0"])).unwrap();
+        assert!(out.contains("not covered"));
+    }
+
+    #[test]
+    fn serve_bench_writes_machine_readable_report() {
+        let data = tmp("serve_gen3.tsv");
+        let model = tmp("serve_model3.dcm");
+        let out_dir = tmp("serve_bench_out");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--rows",
+            "40",
+            "--cols",
+            "12",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--save-model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = dispatch(&args(&[
+            "serve-bench",
+            model.to_str().unwrap(),
+            "--queries",
+            "2000",
+            "--threads",
+            "1,2",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("threads  1"), "{out}");
+        assert!(out.contains("report written"), "{out}");
+        let report = std::fs::read_to_string(out_dir.join("BENCH_serve.json")).unwrap();
+        assert!(report.contains("\"queries_per_sec\""), "{report}");
+        assert!(report.contains("\"max_speedup\""), "{report}");
+
+        let err = dispatch(&args(&[
+            "serve-bench",
+            model.to_str().unwrap(),
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("threads"));
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Workspace-local stand-in for `crossbeam`.
+//!
+//! Only [`thread::scope`] is provided — implemented on top of
+//! `std::thread::scope` (stable since 1.63), with crossbeam's signature:
+//! the closure receives a [`thread::Scope`] handle, spawned closures take
+//! the scope as an argument (enabling nested spawns), and the call returns
+//! `Err` with the panic payload if any spawned thread panicked instead of
+//! propagating the panic.
+
+pub mod thread {
+    //! Scoped threads.
+
+    use std::any::Any;
+
+    /// Handle for spawning threads inside a [`scope`] block.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle so
+        /// it can spawn further threads, mirroring crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            self.inner.spawn(move || f(&scope))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing from the enclosing stack
+    /// frame is allowed; joins all spawned threads before returning.
+    ///
+    /// Returns `Err(payload)` if any spawned (and not explicitly joined)
+    /// thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resumes child panics in the parent at the end
+        // of the scope; catching that panic reproduces crossbeam's
+        // Result-returning contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_from_stack() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let counter = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_child_yields_err() {
+        let r = thread::scope(|scope| {
+            scope.spawn(|_| panic!("child died"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,415 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! Derives the vendored value-tree `Serialize`/`Deserialize` traits (see
+//! the sibling `serde` crate) for the item shapes this workspace uses:
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, named, or tuple. Parsing is done directly on
+//! `proc_macro::TokenStream` — no `syn`/`quote`, since the build
+//! environment is offline. Generics and `#[serde(...)]` attributes are not
+//! supported and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    /// No payload (`Unit` variant / unit struct).
+    Unit,
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+    /// Tuple payload with this many fields.
+    Tuple(usize),
+}
+
+/// The parsed item a derive applies to.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips leading attributes (`#[...]`) starting at `i`; returns the next
+/// index.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, …) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Splits a token list on top-level commas, tracking `<`/`>` depth so
+/// commas inside generic arguments don't split.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts the field names of a named-fields body (`{ a: T, b: U }`).
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level_commas(body) {
+        let i = skip_vis(&chunk, skip_attrs(&chunk, 0));
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            other => return Err(format!("expected field name, found {other:?}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Parses the struct/enum the derive was applied to.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                None => Fields::Unit, // `struct S;` — the `;` may be absent in the stream
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&body)?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(split_top_level_commas(&body).len())
+                }
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<TokenTree>>()
+                }
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for chunk in split_top_level_commas(&body) {
+                let j = skip_attrs(&chunk, 0);
+                let vname = match chunk.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected variant name, found {other:?}")),
+                };
+                let fields = match chunk.get(j + 1) {
+                    None => Fields::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Named(parse_named_fields(&b)?)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Fields::Tuple(split_top_level_commas(&b).len())
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                        return Err(format!(
+                            "explicit discriminant on `{name}::{vname}` is not supported"
+                        ))
+                    }
+                    other => return Err(format!("unexpected variant body: {other:?}")),
+                };
+                variants.push((vname, fields));
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// `#[derive(Serialize)]` — structs become objects, unit variants strings,
+/// data variants externally-tagged single-key objects (serde's default
+/// representation).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                        })
+                        .collect();
+                    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(n) => {
+                    if n == 1 {
+                        "::serde::Serialize::to_value(&self.0)".to_string()
+                    } else {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                    ),
+                    Fields::Named(fnames) => {
+                        let binds = fnames.join(", ");
+                        let entries: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![({vname:?}.to_string(), ::serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(vec![({vname:?}.to_string(), {payload})]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse().unwrap()
+}
+
+/// `#[derive(Deserialize)]` — inverse of the derived `Serialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let src = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!("let _ = value; Ok({name})"),
+                Fields::Named(names) => {
+                    let fields_src: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::get_field(__fields, {f:?})?)?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __fields = value.as_object().ok_or_else(|| ::serde::Error::custom(\
+                             format!(\"expected object for {name}, found {{}}\", value.type_name())))?;\n\
+                         Ok({name} {{ {} }})",
+                        fields_src.join(" ")
+                    )
+                }
+                Fields::Tuple(n) => {
+                    if n == 1 {
+                        format!("Ok({name}(::serde::Deserialize::from_value(value)?))")
+                    } else {
+                        let items: Vec<String> = (0..n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        format!(
+                            "let __items = value.as_array().ok_or_else(|| ::serde::Error::custom(\
+                                 format!(\"expected array for {name}, found {{}}\", value.type_name())))?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return Err(::serde::Error::custom(format!(\
+                                     \"expected {n} elements for {name}, found {{}}\", __items.len())));\n\
+                             }}\n\
+                             Ok({name}({}))",
+                            items.join(", ")
+                        )
+                    }
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| format!("{vname:?} => Ok({name}::{vname}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fnames) => {
+                        let fields_src: Vec<String> = fnames
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::get_field(__vf, {f:?})?)?,"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{vname:?} => {{\n\
+                                 let __vf = __body.as_object().ok_or_else(|| ::serde::Error::custom(\
+                                     format!(\"expected object body for {name}::{vname}\")))?;\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}",
+                            fields_src.join(" ")
+                        ))
+                    }
+                    Fields::Tuple(n) => {
+                        if *n == 1 {
+                            Some(format!(
+                                "{vname:?} => Ok({name}::{vname}(::serde::Deserialize::from_value(__body)?)),"
+                            ))
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let __items = __body.as_array().ok_or_else(|| ::serde::Error::custom(\
+                                         format!(\"expected array body for {name}::{vname}\")))?;\n\
+                                     if __items.len() != {n} {{\n\
+                                         return Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vname}\"));\n\
+                                     }}\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => Err(::serde::Error::custom(format!(\
+                                     \"unknown {name} variant {{__other:?}}\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __body) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {}\n\
+                                     __other => Err(::serde::Error::custom(format!(\
+                                         \"unknown {name} variant {{__other:?}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => Err(::serde::Error::custom(format!(\
+                                 \"expected {name} variant, found {{}}\", __other.type_name()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                tagged_arms.join("\n")
+            )
+        }
+    };
+    src.parse().unwrap()
+}

@@ -29,12 +29,23 @@ impl Erlang {
     /// Panics unless `mean > 0` and `variance >= 0`.
     pub fn from_mean_variance(mean: f64, variance: f64) -> Erlang {
         assert!(mean > 0.0, "mean must be positive, got {mean}");
-        assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+        assert!(
+            variance >= 0.0,
+            "variance must be non-negative, got {variance}"
+        );
         if variance == 0.0 {
-            return Erlang { shape: 0, rate: 0.0, mean };
+            return Erlang {
+                shape: 0,
+                rate: 0.0,
+                mean,
+            };
         }
         let shape = ((mean * mean / variance).round() as usize).max(1);
-        Erlang { shape, rate: shape as f64 / mean, mean }
+        Erlang {
+            shape,
+            rate: shape as f64 / mean,
+            mean,
+        }
     }
 
     /// The shape `k` (0 for the degenerate constant distribution).

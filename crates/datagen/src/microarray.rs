@@ -76,7 +76,10 @@ pub fn generate(config: &MicroarrayConfig) -> MicroarrayData {
         config.module_conditions.1 <= config.conditions,
         "modules cannot span more conditions than exist"
     );
-    assert!((0.0..1.0).contains(&config.missing_rate), "missing_rate in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&config.missing_rate),
+        "missing_rate in [0,1)"
+    );
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut matrix = DataMatrix::new(config.genes, config.conditions);
 
@@ -102,16 +105,14 @@ pub fn generate(config: &MicroarrayConfig) -> MicroarrayData {
     let all_conditions: Vec<usize> = (0..config.conditions).collect();
     for _ in 0..config.modules {
         let n_genes = rng.gen_range(config.module_genes.0..=config.module_genes.1);
-        let n_conds =
-            rng.gen_range(config.module_conditions.0..=config.module_conditions.1);
+        let n_conds = rng.gen_range(config.module_conditions.0..=config.module_conditions.1);
         // partial_shuffle randomizes the slice *tail* and returns it first.
         let mut genes = all_genes.clone();
         let genes: Vec<usize> = genes.partial_shuffle(&mut rng, n_genes).0.to_vec();
         let mut conds = all_conditions.clone();
         let conds: Vec<usize> = conds.partial_shuffle(&mut rng, n_conds).0.to_vec();
 
-        let effects: Vec<f64> =
-            (0..n_conds).map(|_| rng.gen_range(0.0..350.0)).collect();
+        let effects: Vec<f64> = (0..n_conds).map(|_| rng.gen_range(0.0..350.0)).collect();
         for &g in &genes {
             let bias = rng.gen_range(0.0..250.0);
             for (ci, &c) in conds.iter().enumerate() {

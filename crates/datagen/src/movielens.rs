@@ -71,7 +71,10 @@ pub struct MovieLensData {
 /// Generates a MovieLens-shaped rating matrix.
 pub fn generate(config: &MovieLensConfig) -> MovieLensData {
     assert!(config.users > 0 && config.movies > 0, "empty universe");
-    assert!(config.user_groups > 0 && config.genres > 0, "need groups and genres");
+    assert!(
+        config.user_groups > 0 && config.genres > 0,
+        "need groups and genres"
+    );
     assert!(
         config.min_ratings_per_user <= config.movies,
         "cannot rate more movies than exist"
@@ -79,24 +82,33 @@ pub fn generate(config: &MovieLensConfig) -> MovieLensData {
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     // Latent structure.
-    let user_group: Vec<usize> =
-        (0..config.users).map(|_| rng.gen_range(0..config.user_groups)).collect();
-    let movie_genre: Vec<usize> =
-        (0..config.movies).map(|_| rng.gen_range(0..config.genres)).collect();
+    let user_group: Vec<usize> = (0..config.users)
+        .map(|_| rng.gen_range(0..config.user_groups))
+        .collect();
+    let movie_genre: Vec<usize> = (0..config.movies)
+        .map(|_| rng.gen_range(0..config.genres))
+        .collect();
     // Group × genre affinity: the "shape" every user in a group shares.
     let affinity: Vec<Vec<f64>> = (0..config.user_groups)
-        .map(|_| (0..config.genres).map(|_| rng.gen_range(1.0..5.0)).collect())
+        .map(|_| {
+            (0..config.genres)
+                .map(|_| rng.gen_range(1.0..5.0))
+                .collect()
+        })
         .collect();
     // Per-user additive bias (some viewers rate everything higher).
-    let user_bias: Vec<f64> =
-        (0..config.users).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let user_bias: Vec<f64> = (0..config.users)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
     // Per-movie quality offset within its genre.
-    let movie_quality: Vec<f64> =
-        (0..config.movies).map(|_| rng.gen_range(-0.6..0.6)).collect();
+    let movie_quality: Vec<f64> = (0..config.movies)
+        .map(|_| rng.gen_range(-0.6..0.6))
+        .collect();
     // Popularity weights: roughly Zipfian so a few movies collect many
     // ratings, like the real data set.
-    let popularity: Vec<f64> =
-        (0..config.movies).map(|m| 1.0 / (1.0 + m as f64).sqrt()).collect();
+    let popularity: Vec<f64> = (0..config.movies)
+        .map(|m| 1.0 / (1.0 + m as f64).sqrt())
+        .collect();
 
     let mut matrix = DataMatrix::new(config.users, config.movies);
 
@@ -107,7 +119,11 @@ pub fn generate(config: &MovieLensConfig) -> MovieLensData {
         let raw = affinity[user_group[u]][movie_genre[m]]
             + user_bias[u]
             + movie_quality[m]
-            + crate::noise::Noise::Gaussian { mean: 0.0, std_dev: 1.0 }.sample(rng)
+            + crate::noise::Noise::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            }
+            .sample(rng)
                 * config.noise_std;
         let rating = raw.round().clamp(1.0, 5.0);
         matrix.set(u, m, rating);
@@ -136,7 +152,11 @@ pub fn generate(config: &MovieLensConfig) -> MovieLensData {
         rate(&mut matrix, &mut rng, u, m);
     }
 
-    MovieLensData { matrix, user_group, movie_genre }
+    MovieLensData {
+        matrix,
+        user_group,
+        movie_genre,
+    }
 }
 
 /// Samples an index proportionally to `weights` (linear scan; fine for the
@@ -228,9 +248,7 @@ mod tests {
                 // Common rated movies of one genre.
                 let mut diffs = Vec::new();
                 for m in 0..120 {
-                    if let (Some(a), Some(b)) =
-                        (data.matrix.get(u1, m), data.matrix.get(u2, m))
-                    {
+                    if let (Some(a), Some(b)) = (data.matrix.get(u1, m), data.matrix.get(u2, m)) {
                         diffs.push(a - b);
                     }
                 }
@@ -250,10 +268,8 @@ mod tests {
     #[test]
     fn popularity_is_skewed() {
         let data = generate(&small());
-        let first_quartile: usize =
-            (0..30).map(|m| data.matrix.col_specified_count(m)).sum();
-        let last_quartile: usize =
-            (90..120).map(|m| data.matrix.col_specified_count(m)).sum();
+        let first_quartile: usize = (0..30).map(|m| data.matrix.col_specified_count(m)).sum();
+        let last_quartile: usize = (90..120).map(|m| data.matrix.col_specified_count(m)).sum();
         assert!(
             first_quartile > last_quartile,
             "early (popular) movies should collect more ratings: {first_quartile} vs {last_quartile}"

@@ -58,7 +58,10 @@ impl Noise {
         if target == 0.0 {
             Noise::None
         } else {
-            Noise::Uniform { lo: -2.0 * target, hi: 2.0 * target }
+            Noise::Uniform {
+                lo: -2.0 * target,
+                hi: 2.0 * target,
+            }
         }
     }
 }
@@ -81,12 +84,15 @@ mod tests {
 
     #[test]
     fn gaussian_moments() {
-        let n = Noise::Gaussian { mean: 10.0, std_dev: 2.0 };
+        let n = Noise::Gaussian {
+            mean: 10.0,
+            std_dev: 2.0,
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let samples: Vec<f64> = (0..40_000).map(|_| n.sample(&mut rng)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
         assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
     }
@@ -101,15 +107,21 @@ mod tests {
     fn degenerate_distributions_are_constant() {
         let mut rng = StdRng::seed_from_u64(4);
         assert_eq!(Noise::Uniform { lo: 2.0, hi: 2.0 }.sample(&mut rng), 2.0);
-        assert_eq!(Noise::Gaussian { mean: 7.0, std_dev: 0.0 }.sample(&mut rng), 7.0);
+        assert_eq!(
+            Noise::Gaussian {
+                mean: 7.0,
+                std_dev: 0.0
+            }
+            .sample(&mut rng),
+            7.0
+        );
     }
 
     #[test]
     fn target_residue_noise_has_matching_mean_abs() {
         let n = Noise::for_target_residue(5.0);
         let mut rng = StdRng::seed_from_u64(5);
-        let mean_abs: f64 =
-            (0..40_000).map(|_| n.sample(&mut rng).abs()).sum::<f64>() / 40_000.0;
+        let mean_abs: f64 = (0..40_000).map(|_| n.sample(&mut rng).abs()).sum::<f64>() / 40_000.0;
         assert!((mean_abs - 5.0).abs() < 0.1, "mean |noise| = {mean_abs}");
         assert_eq!(Noise::for_target_residue(0.0), Noise::None);
     }

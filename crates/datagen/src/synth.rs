@@ -21,7 +21,12 @@ use rand::SeedableRng;
 /// `aspect` is the desired `rows / cols`; e.g. the paper's Figure 8
 /// clusters of volume 100 in a 3000×100 matrix are tall (many objects, few
 /// attributes).
-pub fn split_volume(volume: usize, aspect: f64, min_rows: usize, min_cols: usize) -> (usize, usize) {
+pub fn split_volume(
+    volume: usize,
+    aspect: f64,
+    min_rows: usize,
+    min_cols: usize,
+) -> (usize, usize) {
     assert!(aspect > 0.0, "aspect must be positive");
     let v = volume.max(min_rows * min_cols) as f64;
     let rows = ((v * aspect).sqrt().round() as usize).max(min_rows);
@@ -62,8 +67,7 @@ pub fn erlang_cluster_sizes(
 pub fn table2_config(rows: usize, cols: usize, seed: u64) -> EmbedConfig {
     let cluster_rows = ((rows as f64) * 0.04).round().max(2.0) as usize;
     let cluster_cols = ((cols as f64) * 0.1).round().max(2.0) as usize;
-    EmbedConfig::new(rows, cols, vec![(cluster_rows, cluster_cols); 50])
-        .with_seed(seed)
+    EmbedConfig::new(rows, cols, vec![(cluster_rows, cluster_cols); 50]).with_seed(seed)
 }
 
 /// The Figure 8 workload: 100 clusters of volume 100 in `3000 × 100`.

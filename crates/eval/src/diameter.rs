@@ -105,8 +105,8 @@ mod tests {
             3,
             5,
             vec![
-                1.0, 5.0, 23.0, 12.0, 20.0, 11.0, 15.0, 33.0, 22.0, 30.0, 111.0, 115.0,
-                133.0, 122.0, 130.0,
+                1.0, 5.0, 23.0, 12.0, 20.0, 11.0, 15.0, 33.0, 22.0, 30.0, 111.0, 115.0, 133.0,
+                122.0, 130.0,
             ],
         );
         let c = DeltaCluster::from_indices(3, 5, 0..3, 0..5);

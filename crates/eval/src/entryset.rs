@@ -66,7 +66,7 @@ mod tests {
         // {0,1} = 2 cells → union 4.
         assert_eq!(u.len(), 4);
         // Union of a single cluster is its own set.
-        assert_eq!(entry_union(&m, &[a.clone()]), entry_set(&m, &a));
+        assert_eq!(entry_union(&m, std::slice::from_ref(&a)), entry_set(&m, &a));
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn match_clusters(
             truth_index: t,
             found_index: Some(f),
             shared_entries: shared,
-            jaccard: if union == 0 { 0.0 } else { shared as f64 / union as f64 },
+            jaccard: if union == 0 {
+                0.0
+            } else {
+                shared as f64 / union as f64
+            },
         };
     }
     matches
@@ -113,8 +117,8 @@ mod tests {
         let m = matrix();
         let truth = vec![DeltaCluster::from_indices(6, 6, [0, 1, 2], [0, 1, 2])]; // 9 cells
         let found = vec![
-            DeltaCluster::from_indices(6, 6, [0], [0]),             // 1 shared
-            DeltaCluster::from_indices(6, 6, [0, 1], [0, 1, 2]),    // 6 shared
+            DeltaCluster::from_indices(6, 6, [0], [0]), // 1 shared
+            DeltaCluster::from_indices(6, 6, [0, 1], [0, 1, 2]), // 6 shared
         ];
         let matches = match_clusters(&m, &truth, &found);
         assert_eq!(matches[0].found_index, Some(1));
@@ -133,7 +137,11 @@ mod tests {
         let found = vec![DeltaCluster::from_indices(6, 6, [0, 1, 2], [0, 1])];
         let matches = match_clusters(&m, &truth, &found);
         let matched: Vec<_> = matches.iter().filter(|m| m.found_index.is_some()).collect();
-        assert_eq!(matched.len(), 1, "one found cluster can match only one truth");
+        assert_eq!(
+            matched.len(),
+            1,
+            "one found cluster can match only one truth"
+        );
     }
 
     #[test]
@@ -150,8 +158,18 @@ mod tests {
     #[test]
     fn recovery_rate_thresholds() {
         let matches = vec![
-            ClusterMatch { truth_index: 0, found_index: Some(0), shared_entries: 5, jaccard: 0.9 },
-            ClusterMatch { truth_index: 1, found_index: Some(1), shared_entries: 2, jaccard: 0.3 },
+            ClusterMatch {
+                truth_index: 0,
+                found_index: Some(0),
+                shared_entries: 5,
+                jaccard: 0.9,
+            },
+            ClusterMatch {
+                truth_index: 1,
+                found_index: Some(1),
+                shared_entries: 2,
+                jaccard: 0.3,
+            },
         ];
         assert_eq!(recovery_rate(&matches, 0.5), 0.5);
         assert_eq!(recovery_rate(&matches, 0.2), 1.0);

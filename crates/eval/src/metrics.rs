@@ -43,8 +43,16 @@ pub fn quality(matrix: &DataMatrix, truth: &[DeltaCluster], found: &[DeltaCluste
     let v = entry_union(matrix, found);
     let intersection = u.intersection_len(&v);
     Quality {
-        recall: if u.is_empty() { 1.0 } else { intersection as f64 / u.len() as f64 },
-        precision: if v.is_empty() { 1.0 } else { intersection as f64 / v.len() as f64 },
+        recall: if u.is_empty() {
+            1.0
+        } else {
+            intersection as f64 / u.len() as f64
+        },
+        precision: if v.is_empty() {
+            1.0
+        } else {
+            intersection as f64 / v.len() as f64
+        },
         intersection,
         truth_entries: u.len(),
         found_entries: v.len(),

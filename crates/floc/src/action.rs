@@ -129,7 +129,14 @@ mod tests {
         let (m, states) = example();
         let mut s = Scratch::default();
         let cur = states[0].residue(&m, ResidueMean::Arithmetic, &mut s);
-        let g = gain(&m, &states[0], cur, Target::Col(2), ResidueMean::Arithmetic, &mut s);
+        let g = gain(
+            &m,
+            &states[0],
+            cur,
+            Target::Col(2),
+            ResidueMean::Arithmetic,
+            &mut s,
+        );
         // Oracle: residue of the cluster with column 2 inserted.
         let mut grown = states[0].to_cluster();
         grown.cols.insert(2);
@@ -147,8 +154,18 @@ mod tests {
         let mut s = Scratch::default();
         let cur = st.residue(&m, ResidueMean::Arithmetic, &mut s);
         assert!(cur.abs() < 1e-12, "2x2 shifted cluster is perfect");
-        let g = gain(&m, &st, cur, Target::Col(2), ResidueMean::Arithmetic, &mut s);
-        assert!(g < 0.0, "inserting the incoherent column must have negative gain, got {g}");
+        let g = gain(
+            &m,
+            &st,
+            cur,
+            Target::Col(2),
+            ResidueMean::Arithmetic,
+            &mut s,
+        );
+        assert!(
+            g < 0.0,
+            "inserting the incoherent column must have negative gain, got {g}"
+        );
     }
 
     #[test]
@@ -158,10 +175,31 @@ mod tests {
         let (m, mut states) = example();
         let mut s = Scratch::default();
         let cur = states[1].residue(&m, ResidueMean::Arithmetic, &mut s);
-        let g_remove = gain(&m, &states[1], cur, Target::Row(2), ResidueMean::Arithmetic, &mut s);
-        apply(&m, &mut states, Action { target: Target::Row(2), cluster: 1 });
+        let g_remove = gain(
+            &m,
+            &states[1],
+            cur,
+            Target::Row(2),
+            ResidueMean::Arithmetic,
+            &mut s,
+        );
+        apply(
+            &m,
+            &mut states,
+            Action {
+                target: Target::Row(2),
+                cluster: 1,
+            },
+        );
         let new = states[1].residue(&m, ResidueMean::Arithmetic, &mut s);
-        let g_insert = gain(&m, &states[1], new, Target::Row(2), ResidueMean::Arithmetic, &mut s);
+        let g_insert = gain(
+            &m,
+            &states[1],
+            new,
+            Target::Row(2),
+            ResidueMean::Arithmetic,
+            &mut s,
+        );
         assert!((g_remove + g_insert).abs() < 1e-12);
     }
 
@@ -170,10 +208,24 @@ mod tests {
         let (m, mut states) = example();
         assert!(states[0].rows.contains(0));
         assert!(!states[1].rows.contains(0));
-        apply(&m, &mut states, Action { target: Target::Row(0), cluster: 1 });
+        apply(
+            &m,
+            &mut states,
+            Action {
+                target: Target::Row(0),
+                cluster: 1,
+            },
+        );
         assert!(states[1].rows.contains(0), "row 0 inserted into cluster 2");
         assert!(states[0].rows.contains(0), "cluster 1 untouched");
-        apply(&m, &mut states, Action { target: Target::Col(1), cluster: 0 });
+        apply(
+            &m,
+            &mut states,
+            Action {
+                target: Target::Col(1),
+                cluster: 0,
+            },
+        );
         assert!(!states[0].cols.contains(1), "col 1 removed from cluster 1");
     }
 

@@ -97,18 +97,17 @@ fn blocked(
     if config.alpha > 0.0 {
         let before = state.occupancy_violations(config.alpha);
         let after = match action.target {
-            Target::Row(r) => {
-                state.occupancy_violations_if_row_toggled(matrix, r, config.alpha)
-            }
-            Target::Col(c) => {
-                state.occupancy_violations_if_col_toggled(matrix, c, config.alpha)
-            }
+            Target::Row(r) => state.occupancy_violations_if_row_toggled(matrix, r, config.alpha),
+            Target::Col(c) => state.occupancy_violations_if_col_toggled(matrix, c, config.alpha),
         };
         if after > before {
             return true;
         }
     }
-    config.constraints.iter().any(|c| !c.allows(matrix, states, action))
+    config
+        .constraints
+        .iter()
+        .any(|c| !c.allows(matrix, states, action))
 }
 
 /// Evaluates the best action for every row and column against `states`.
@@ -149,13 +148,19 @@ fn evaluate_best_actions(
 
     if config.threads <= 1 || targets.len() < 2 * config.threads {
         let mut scratch = Scratch::default();
-        return targets.iter().map(|&t| eval_target(t, &mut scratch)).collect();
+        return targets
+            .iter()
+            .map(|&t| eval_target(t, &mut scratch))
+            .collect();
     }
 
     // Parallel evaluation: targets are independent, states are read-only.
     let mut results = vec![
         EvaluatedAction {
-            action: Action { target: Target::Row(0), cluster: 0 },
+            action: Action {
+                target: Target::Row(0),
+                cluster: 0
+            },
             gain: f64::NEG_INFINITY
         };
         targets.len()
@@ -198,8 +203,7 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
     )?;
 
     let mut scratch = Scratch::default();
-    let mut best: Vec<ClusterState> =
-        seeds.iter().map(|c| ClusterState::new(matrix, c)).collect();
+    let mut best: Vec<ClusterState> = seeds.iter().map(|c| ClusterState::new(matrix, c)).collect();
     let mut best_residues: Vec<f64> = best
         .iter()
         .map(|s| s.residue(matrix, config.mean, &mut scratch))
@@ -254,9 +258,7 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
                     }
                 }
                 best
-            } else if ea.gain == f64::NEG_INFINITY
-                || blocked(matrix, &states, ea.action, config)
-            {
+            } else if ea.gain == f64::NEG_INFINITY || blocked(matrix, &states, ea.action, config) {
                 // Every candidate was blocked at evaluation time, or the
                 // pre-decided action became illegal mid-sequence.
                 None
@@ -277,8 +279,8 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
             }
         }
 
-        let improved = best_prefix_avg
-            < best_avg - IMPROVEMENT_EPS - config.min_improvement * best_avg.abs();
+        let improved =
+            best_prefix_avg < best_avg - IMPROVEMENT_EPS - config.min_improvement * best_avg.abs();
         trace.push(IterationTrace {
             iteration: iterations,
             best_prefix_avg,
@@ -330,7 +332,14 @@ mod tests {
     /// Builds a matrix with one perfect shifted block planted in noise.
     /// Rows 0..block_rows, cols 0..block_cols hold base pattern + row bias;
     /// the rest is uniform noise in [0, 100).
-    fn planted(rows: usize, cols: usize, block_rows: usize, block_cols: usize, seed: u64) -> DataMatrix {
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the pattern lookup
+    fn planted(
+        rows: usize,
+        cols: usize,
+        block_rows: usize,
+        block_cols: usize,
+        seed: u64,
+    ) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = DataMatrix::new(rows, cols);
         let pattern: Vec<f64> = (0..block_cols).map(|_| rng.gen_range(0.0..20.0)).collect();
@@ -360,7 +369,7 @@ mod tests {
             .constraint(crate::constraints::Constraint::MinVolume { cells: 30 })
             .seed(0)
             .build();
-        let (result, _) = crate::parallel::floc_restarts(&m, &config, 8, 4).unwrap();
+        let (result, _) = crate::parallel::floc_restarts(&m, &config, 16, 4).unwrap();
         // The planted block is perfectly coherent (residue 0); background
         // noise clusters sit around residue 14–20. The best restart must
         // land clearly on the coherent side and be dominated by planted
@@ -413,7 +422,10 @@ mod tests {
         let r = floc(&m, &config).unwrap();
         for (c, &res) in r.clusters.iter().zip(&r.residues) {
             let oracle = cluster_residue(&m, c, ResidueMean::Arithmetic);
-            assert!((res - oracle).abs() < 1e-9, "residue {res} != oracle {oracle}");
+            assert!(
+                (res - oracle).abs() < 1e-9,
+                "residue {res} != oracle {oracle}"
+            );
         }
         let avg = r.residues.iter().sum::<f64>() / r.residues.len() as f64;
         assert!((avg - r.avg_residue).abs() < 1e-9);
@@ -507,7 +519,11 @@ mod tests {
     #[test]
     fn max_iterations_caps_the_run() {
         let m = planted(30, 15, 10, 6, 5);
-        let r = floc(&m, &FlocConfig::builder(3).max_iterations(2).seed(6).build()).unwrap();
+        let r = floc(
+            &m,
+            &FlocConfig::builder(3).max_iterations(2).seed(6).build(),
+        )
+        .unwrap();
         assert!(r.iterations <= 2);
     }
 

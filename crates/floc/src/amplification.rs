@@ -59,7 +59,10 @@ pub fn floc_amplification(
     let logged = log_transform(matrix).map_err(AmplificationError::Transform)?;
     let log_result = floc(&logged, config).map_err(AmplificationError::Floc)?;
     let ratio_spreads = log_result.residues.iter().map(|r| r.exp()).collect();
-    Ok(AmplificationResult { log_result, ratio_spreads })
+    Ok(AmplificationResult {
+        log_result,
+        ratio_spreads,
+    })
 }
 
 /// The amplification residue of a cluster: arithmetic residue of the
@@ -72,7 +75,11 @@ pub fn amplification_residue(
     cluster: &DeltaCluster,
 ) -> Result<f64, AmplificationError> {
     let logged = log_transform(matrix).map_err(AmplificationError::Transform)?;
-    Ok(crate::residue::cluster_residue(&logged, cluster, ResidueMean::Arithmetic))
+    Ok(crate::residue::cluster_residue(
+        &logged,
+        cluster,
+        ResidueMean::Arithmetic,
+    ))
 }
 
 #[cfg(test)]
@@ -99,13 +106,17 @@ mod tests {
         let cluster = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
         // In the *original* space the additive residue is large…
         let additive = crate::residue::cluster_residue(&m, &cluster, ResidueMean::Arithmetic);
-        assert!(additive > 1.0, "additive residue {additive} unexpectedly small");
+        assert!(
+            additive > 1.0,
+            "additive residue {additive} unexpectedly small"
+        );
         // …but the amplification residue vanishes.
         let amp = amplification_residue(&m, &cluster).unwrap();
         assert!(amp < 1e-9, "amplification residue {amp}");
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the factor lookup
     fn floc_amplification_finds_the_multiplicative_block() {
         // Embed a multiplicative 4×4 block in positive noise.
         let mut m = DataMatrix::new(12, 8);

@@ -24,7 +24,10 @@ pub struct DeltaCluster {
 impl DeltaCluster {
     /// Creates an empty cluster over an `m × n` matrix universe.
     pub fn empty(m: usize, n: usize) -> Self {
-        DeltaCluster { rows: BitSet::new(m), cols: BitSet::new(n) }
+        DeltaCluster {
+            rows: BitSet::new(m),
+            cols: BitSet::new(n),
+        }
     }
 
     /// Creates a cluster from explicit index lists.
@@ -71,7 +74,11 @@ impl DeltaCluster {
         if self.cols.is_empty() {
             return 1.0;
         }
-        let specified = self.cols.iter().filter(|&c| matrix.is_specified(row, c)).count();
+        let specified = self
+            .cols
+            .iter()
+            .filter(|&c| matrix.is_specified(row, c))
+            .count();
         specified as f64 / self.cols.len() as f64
     }
 
@@ -80,15 +87,24 @@ impl DeltaCluster {
         if self.rows.is_empty() {
             return 1.0;
         }
-        let specified = self.rows.iter().filter(|&r| matrix.is_specified(r, col)).count();
+        let specified = self
+            .rows
+            .iter()
+            .filter(|&r| matrix.is_specified(r, col))
+            .count();
         specified as f64 / self.rows.len() as f64
     }
 
     /// Definition 3.1: true if every participating row and column meets the
     /// occupancy threshold `alpha`.
     pub fn satisfies_occupancy(&self, matrix: &DataMatrix, alpha: f64) -> bool {
-        self.rows.iter().all(|r| self.row_occupancy(matrix, r) >= alpha - 1e-12)
-            && self.cols.iter().all(|c| self.col_occupancy(matrix, c) >= alpha - 1e-12)
+        self.rows
+            .iter()
+            .all(|r| self.row_occupancy(matrix, r) >= alpha - 1e-12)
+            && self
+                .cols
+                .iter()
+                .all(|c| self.col_occupancy(matrix, c) >= alpha - 1e-12)
     }
 
     /// Number of cells shared with another cluster (footprint overlap):
@@ -108,9 +124,18 @@ mod tests {
             3,
             4,
             vec![
-                Some(1.0), None,      Some(3.0), None,
-                None,      Some(4.0), None,      Some(5.0),
-                Some(3.0), None,      Some(4.0), None,
+                Some(1.0),
+                None,
+                Some(3.0),
+                None,
+                None,
+                Some(4.0),
+                None,
+                Some(5.0),
+                Some(3.0),
+                None,
+                Some(4.0),
+                None,
             ],
         )
     }
@@ -122,9 +147,18 @@ mod tests {
             3,
             4,
             vec![
-                Some(1.0), None,      Some(3.0), Some(3.0),
-                Some(3.0), Some(4.0), None,      Some(5.0),
-                None,      Some(3.0), Some(4.0), Some(4.0),
+                Some(1.0),
+                None,
+                Some(3.0),
+                Some(3.0),
+                Some(3.0),
+                Some(4.0),
+                None,
+                Some(5.0),
+                None,
+                Some(3.0),
+                Some(4.0),
+                Some(4.0),
             ],
         )
     }

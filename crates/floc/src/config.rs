@@ -58,7 +58,9 @@ pub struct FlocConfig {
 impl FlocConfig {
     /// Starts building a configuration for `k` clusters.
     pub fn builder(k: usize) -> FlocConfigBuilder {
-        FlocConfigBuilder { config: FlocConfig::with_k(k) }
+        FlocConfigBuilder {
+            config: FlocConfig::with_k(k),
+        }
     }
 
     fn with_k(k: usize) -> Self {
@@ -166,14 +168,21 @@ impl FlocConfigBuilder {
     pub fn build(self) -> FlocConfig {
         let c = &self.config;
         assert!(c.k > 0, "k must be positive");
-        assert!((0.0..=1.0).contains(&c.alpha), "alpha must be in [0, 1], got {}", c.alpha);
+        assert!(
+            (0.0..=1.0).contains(&c.alpha),
+            "alpha must be in [0, 1], got {}",
+            c.alpha
+        );
         assert!(c.max_iterations > 0, "max_iterations must be positive");
         assert!(
             (0.0..1.0).contains(&c.min_improvement),
             "min_improvement must be in [0, 1), got {}",
             c.min_improvement
         );
-        assert!(c.min_rows > 0 && c.min_cols > 0, "minimum dimensions must be positive");
+        assert!(
+            c.min_rows > 0 && c.min_cols > 0,
+            "minimum dimensions must be positive"
+        );
         self.config
     }
 }

@@ -58,8 +58,16 @@ fn target_specified(matrix: &DataMatrix, state: &ClusterState, target: Target) -
         }
     } else {
         match target {
-            Target::Row(r) => state.cols.iter().filter(|&c| matrix.is_specified(r, c)).count(),
-            Target::Col(c) => state.rows.iter().filter(|&r| matrix.is_specified(r, c)).count(),
+            Target::Row(r) => state
+                .cols
+                .iter()
+                .filter(|&c| matrix.is_specified(r, c))
+                .count(),
+            Target::Col(c) => state
+                .rows
+                .iter()
+                .filter(|&r| matrix.is_specified(r, c))
+                .count(),
         }
     }
 }
@@ -105,8 +113,7 @@ impl Constraint {
                         }
                     }
                     let shared = (shared_rows * shared_cols).max(0);
-                    let denom = my_footprint
-                        .min((other.rows.len() * other.cols.len()) as i64);
+                    let denom = my_footprint.min((other.rows.len() * other.cols.len()) as i64);
                     if denom > 0 && shared as f64 > fraction * denom as f64 + 1e-9 {
                         return false;
                     }
@@ -161,10 +168,9 @@ impl Constraint {
             Constraint::MaxOverlap { fraction } => {
                 for (i, a) in states.iter().enumerate() {
                     for b in states.iter().skip(i + 1) {
-                        let shared = a.rows.intersection_len(&b.rows)
-                            * a.cols.intersection_len(&b.cols);
-                        let denom = (a.rows.len() * a.cols.len())
-                            .min(b.rows.len() * b.cols.len());
+                        let shared =
+                            a.rows.intersection_len(&b.rows) * a.cols.intersection_len(&b.cols);
+                        let denom = (a.rows.len() * a.cols.len()).min(b.rows.len() * b.cols.len());
                         if denom > 0 && shared as f64 > fraction * denom as f64 + 1e-9 {
                             return false;
                         }
@@ -222,13 +228,22 @@ mod tests {
         assert!(c.satisfied(&m, &st));
         // Adding row 2 to cluster 0 would make shared rows {1,2}, shared
         // cols {1} → 2 cells over min footprint 4 → 0.5 > 0.25: blocked.
-        let act = Action { target: Target::Row(2), cluster: 0 };
+        let act = Action {
+            target: Target::Row(2),
+            cluster: 0,
+        };
         assert!(!c.allows(&m, &st, act));
         // A removal is always allowed.
-        let rm = Action { target: Target::Row(1), cluster: 0 };
+        let rm = Action {
+            target: Target::Row(1),
+            cluster: 0,
+        };
         assert!(c.allows(&m, &st, rm));
         // Adding a non-shared row is fine.
-        let ok = Action { target: Target::Row(3), cluster: 0 };
+        let ok = Action {
+            target: Target::Row(3),
+            cluster: 0,
+        };
         assert!(c.allows(&m, &st, ok));
     }
 
@@ -239,7 +254,14 @@ mod tests {
         let c = Constraint::MaxOverlap { fraction: 0.0 };
         assert!(c.satisfied(&m, &st), "disjoint rows → zero shared cells");
         // Adding row 1 to cluster 0 creates overlap.
-        assert!(!c.allows(&m, &st, Action { target: Target::Row(1), cluster: 0 }));
+        assert!(!c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(1),
+                cluster: 0
+            }
+        ));
     }
 
     #[test]
@@ -248,13 +270,41 @@ mod tests {
         let st = states(&m, &[(&[0, 1], &[0, 1]), (&[1, 2], &[2, 3])]);
         let c = Constraint::RowCoverage;
         // Row 0 is only in cluster 0: removal blocked.
-        assert!(!c.allows(&m, &st, Action { target: Target::Row(0), cluster: 0 }));
+        assert!(!c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(0),
+                cluster: 0
+            }
+        ));
         // Row 1 is in both: removal from either is allowed.
-        assert!(c.allows(&m, &st, Action { target: Target::Row(1), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(1),
+                cluster: 0
+            }
+        ));
         // Column actions are unconstrained by RowCoverage.
-        assert!(c.allows(&m, &st, Action { target: Target::Col(0), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Col(0),
+                cluster: 0
+            }
+        ));
         // Additions always allowed.
-        assert!(c.allows(&m, &st, Action { target: Target::Row(3), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(3),
+                cluster: 0
+            }
+        ));
     }
 
     #[test]
@@ -262,8 +312,22 @@ mod tests {
         let m = matrix();
         let st = states(&m, &[(&[0, 1], &[0, 1]), (&[1, 2], &[1, 2])]);
         let c = Constraint::ColCoverage;
-        assert!(!c.allows(&m, &st, Action { target: Target::Col(0), cluster: 0 }));
-        assert!(c.allows(&m, &st, Action { target: Target::Col(1), cluster: 0 }));
+        assert!(!c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Col(0),
+                cluster: 0
+            }
+        ));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Col(1),
+                cluster: 0
+            }
+        ));
     }
 
     #[test]
@@ -283,9 +347,23 @@ mod tests {
         let st = states(&m, &[(&[0, 1], &[0, 1])]); // volume 4
         let c = Constraint::MinVolume { cells: 3 };
         // Removing a row drops volume to 2: blocked.
-        assert!(!c.allows(&m, &st, Action { target: Target::Row(0), cluster: 0 }));
+        assert!(!c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(0),
+                cluster: 0
+            }
+        ));
         // Additions always allowed.
-        assert!(c.allows(&m, &st, Action { target: Target::Row(2), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(2),
+                cluster: 0
+            }
+        ));
         assert!(c.satisfied(&m, &st));
         assert!(!Constraint::MinVolume { cells: 5 }.satisfied(&m, &st));
     }
@@ -296,9 +374,23 @@ mod tests {
         let st = states(&m, &[(&[0, 1], &[0, 1])]); // volume 4
         let c = Constraint::MaxVolume { cells: 5 };
         // Adding a row adds 2 specified cells → 6 > 5: blocked.
-        assert!(!c.allows(&m, &st, Action { target: Target::Row(2), cluster: 0 }));
+        assert!(!c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(2),
+                cluster: 0
+            }
+        ));
         // Removal allowed.
-        assert!(c.allows(&m, &st, Action { target: Target::Row(0), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(0),
+                cluster: 0
+            }
+        ));
         assert!(c.satisfied(&m, &st));
     }
 
@@ -308,9 +400,16 @@ mod tests {
         m.unset(2, 0);
         m.unset(2, 1);
         let st = states(&m, &[(&[0, 1], &[0, 1])]); // volume 4
-        // Row 2 has no specified cells in cols {0,1}: adding it changes
-        // volume by 0, so MaxVolume{4} still allows it.
+                                                    // Row 2 has no specified cells in cols {0,1}: adding it changes
+                                                    // volume by 0, so MaxVolume{4} still allows it.
         let c = Constraint::MaxVolume { cells: 4 };
-        assert!(c.allows(&m, &st, Action { target: Target::Row(2), cluster: 0 }));
+        assert!(c.allows(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(2),
+                cluster: 0
+            }
+        ));
     }
 }

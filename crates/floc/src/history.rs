@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn summary_mentions_each_cluster() {
         let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
-        let r = result_with(vec![DeltaCluster::from_indices(2, 2, [0, 1], [0, 1])], vec![0.25]);
+        let r = result_with(
+            vec![DeltaCluster::from_indices(2, 2, [0, 1], [0, 1])],
+            vec![0.25],
+        );
         let s = r.summary(&m);
         assert!(s.contains("#0"));
         assert!(s.contains("volume 4"));

@@ -51,8 +51,8 @@
 //! * [`parallel`] — multi-restart search.
 
 pub mod action;
-pub mod amplification;
 pub mod algorithm;
+pub mod amplification;
 pub mod cluster;
 pub mod config;
 pub mod constraints;
@@ -65,8 +65,8 @@ pub mod seeding;
 pub mod stats;
 
 pub use action::{Action, Target};
-pub use amplification::{amplification_residue, floc_amplification, AmplificationResult};
 pub use algorithm::{floc, FlocError};
+pub use amplification::{amplification_residue, floc_amplification, AmplificationResult};
 pub use cluster::DeltaCluster;
 pub use config::{FlocConfig, FlocConfigBuilder};
 pub use constraints::Constraint;

@@ -110,7 +110,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &g)| EvaluatedAction {
-                action: Action { target: Target::Row(i), cluster: 0 },
+                action: Action {
+                    target: Target::Row(i),
+                    cluster: 0,
+                },
                 gain: g,
             })
             .collect()
@@ -145,7 +148,11 @@ mod tests {
         let mut a = make_actions(&gains);
         let mut rng = StdRng::seed_from_u64(42);
         order_actions(&mut a, Ordering::Random, &mut rng);
-        assert_ne!(positions(&a), (0..100).collect::<Vec<_>>(), "100 elements staying put is ~impossible");
+        assert_ne!(
+            positions(&a),
+            (0..100).collect::<Vec<_>>(),
+            "100 elements staying put is ~impossible"
+        );
     }
 
     #[test]

@@ -92,6 +92,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the pattern lookup
     fn noisy_matrix(seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = DataMatrix::new(25, 12);

@@ -8,50 +8,127 @@
 
 use crate::cluster::DeltaCluster;
 use crate::residue;
+use crate::residue::Bases;
 use dc_matrix::DataMatrix;
+
+/// Why a prediction could not be made. Distinguishes "the model simply does
+/// not cover this cell" (expected at query time — callers fall back to a
+/// global baseline) from "the covering cluster is unusable" (a modelling
+/// defect worth surfacing: FLOC emitted a cluster with no specified entries
+/// to derive bases from).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// No cluster in the model contains both the row and the column.
+    NotCovered,
+    /// Every covering cluster is degenerate: its submatrix holds no
+    /// specified entries, so the bases `d_iJ`, `d_Ij`, `d_IJ` are undefined.
+    DegenerateCluster,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NotCovered => {
+                write!(f, "no cluster covers the requested cell")
+            }
+            PredictError::DegenerateCluster => {
+                write!(
+                    f,
+                    "covering cluster has no specified entries to derive bases from"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+/// Prediction `d_iJ + d_Ij − d_IJ` evaluated from precomputed [`Bases`],
+/// without touching the data matrix. This is the O(log |I| + log |J|) fast
+/// path used by query serving, where bases are computed once per cluster at
+/// model-load time.
+pub fn predict_from_bases(b: &Bases, row: usize, col: usize) -> Result<f64, PredictError> {
+    let ri = b
+        .rows
+        .binary_search(&row)
+        .map_err(|_| PredictError::NotCovered)?;
+    let ci = b
+        .cols
+        .binary_search(&col)
+        .map_err(|_| PredictError::NotCovered)?;
+    if b.volume == 0 {
+        return Err(PredictError::DegenerateCluster);
+    }
+    Ok(b.row_bases[ri] + b.col_bases[ci] - b.cluster_base)
+}
 
 /// Predicts the value of cell `(row, col)` from a single cluster containing
 /// both indices: `d_iJ + d_Ij − d_IJ`.
-///
-/// Returns `None` if the cluster does not contain the row and column, or if
-/// the cluster has no specified entries to derive bases from.
+pub fn try_predict_from_cluster(
+    matrix: &DataMatrix,
+    cluster: &DeltaCluster,
+    row: usize,
+    col: usize,
+) -> Result<f64, PredictError> {
+    if !cluster.rows.contains(row) || !cluster.cols.contains(col) {
+        return Err(PredictError::NotCovered);
+    }
+    predict_from_bases(&residue::bases(matrix, cluster), row, col)
+}
+
+/// Option-returning convenience wrapper around [`try_predict_from_cluster`]
+/// (the original API; loses the reason for failure).
 pub fn predict_from_cluster(
     matrix: &DataMatrix,
     cluster: &DeltaCluster,
     row: usize,
     col: usize,
 ) -> Option<f64> {
-    if !cluster.rows.contains(row) || !cluster.cols.contains(col) {
-        return None;
-    }
-    let b = residue::bases(matrix, cluster);
-    if b.volume == 0 {
-        return None;
-    }
-    let ri = b.rows.binary_search(&row).ok()?;
-    let ci = b.cols.binary_search(&col).ok()?;
-    Some(b.row_bases[ri] + b.col_bases[ci] - b.cluster_base)
+    try_predict_from_cluster(matrix, cluster, row, col).ok()
 }
 
 /// Predicts `(row, col)` from a set of clusters: the mean of the
-/// predictions of every cluster containing the cell.
+/// predictions of every usable cluster containing the cell.
 ///
-/// Returns `None` when no cluster covers the cell.
+/// Degenerate covering clusters are skipped as long as at least one usable
+/// cluster covers the cell; [`PredictError::DegenerateCluster`] is returned
+/// only when the cell is covered *exclusively* by degenerate clusters.
+pub fn try_predict(
+    matrix: &DataMatrix,
+    clusters: &[DeltaCluster],
+    row: usize,
+    col: usize,
+) -> Result<f64, PredictError> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    let mut saw_degenerate = false;
+    for c in clusters {
+        match try_predict_from_cluster(matrix, c, row, col) {
+            Ok(p) => {
+                sum += p;
+                n += 1;
+            }
+            Err(PredictError::DegenerateCluster) => saw_degenerate = true,
+            Err(PredictError::NotCovered) => {}
+        }
+    }
+    if n > 0 {
+        Ok(sum / n as f64)
+    } else if saw_degenerate {
+        Err(PredictError::DegenerateCluster)
+    } else {
+        Err(PredictError::NotCovered)
+    }
+}
+
+/// Option-returning convenience wrapper around [`try_predict`].
 pub fn predict(
     matrix: &DataMatrix,
     clusters: &[DeltaCluster],
     row: usize,
     col: usize,
 ) -> Option<f64> {
-    let preds: Vec<f64> = clusters
-        .iter()
-        .filter_map(|c| predict_from_cluster(matrix, c, row, col))
-        .collect();
-    if preds.is_empty() {
-        None
-    } else {
-        Some(preds.iter().sum::<f64>() / preds.len() as f64)
-    }
+    try_predict(matrix, clusters, row, col).ok()
 }
 
 /// Mean absolute error of predictions over the *specified* entries of the
@@ -150,5 +227,67 @@ mod tests {
         m.set(0, 0, 1.0);
         let c = DeltaCluster::from_indices(2, 2, [1], [1]); // covers only missing cells
         assert_eq!(predict_from_cluster(&m, &c, 1, 1), None);
+    }
+
+    #[test]
+    fn errors_distinguish_coverage_from_degeneracy() {
+        let mut m = DataMatrix::new(3, 3);
+        m.set(0, 0, 1.0);
+        let degenerate = DeltaCluster::from_indices(3, 3, [1, 2], [1, 2]);
+        // Cell outside the cluster: a coverage miss, not a model defect.
+        assert_eq!(
+            try_predict_from_cluster(&m, &degenerate, 0, 0),
+            Err(PredictError::NotCovered)
+        );
+        // Cell inside, but the cluster holds no specified entries.
+        assert_eq!(
+            try_predict_from_cluster(&m, &degenerate, 1, 1),
+            Err(PredictError::DegenerateCluster)
+        );
+    }
+
+    #[test]
+    fn multi_cluster_errors_prefer_degenerate_over_not_covered() {
+        let mut m = DataMatrix::new(3, 3);
+        m.set(0, 0, 1.0);
+        let unrelated = DeltaCluster::from_indices(3, 3, [0], [0]);
+        let degenerate = DeltaCluster::from_indices(3, 3, [1, 2], [1, 2]);
+        let clusters = vec![unrelated, degenerate];
+        assert_eq!(
+            try_predict(&m, &clusters, 1, 1),
+            Err(PredictError::DegenerateCluster)
+        );
+        assert_eq!(try_predict(&m, &[], 1, 1), Err(PredictError::NotCovered));
+    }
+
+    #[test]
+    fn degenerate_clusters_are_skipped_when_a_usable_one_covers() {
+        let m = viewers();
+        let good = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
+        let mut holed = m.clone();
+        holed.unset(0, 0);
+        holed.unset(0, 1);
+        holed.unset(1, 0);
+        holed.unset(1, 1);
+        let degenerate = DeltaCluster::from_indices(3, 4, [0, 1], [0, 1]);
+        // In `holed`, `degenerate` covers (0,0) but has volume 0; `good`
+        // still covers it, so the average uses only the usable cluster.
+        let p = try_predict(&holed, &[degenerate, good], 0, 0).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn predict_from_bases_matches_matrix_path() {
+        let m = viewers();
+        let cluster = DeltaCluster::from_indices(3, 4, 0..3, 0..4);
+        let b = crate::residue::bases(&m, &cluster);
+        for r in 0..3 {
+            for c in 0..4 {
+                let fast = predict_from_bases(&b, r, c).unwrap();
+                let slow = try_predict_from_cluster(&m, &cluster, r, c).unwrap();
+                assert!((fast - slow).abs() < 1e-12);
+            }
+        }
+        assert_eq!(predict_from_bases(&b, 0, 9), Err(PredictError::NotCovered));
     }
 }

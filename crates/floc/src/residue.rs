@@ -91,7 +91,11 @@ pub fn bases(matrix: &DataMatrix, cluster: &DeltaCluster) -> Bases {
         }
     }
 
-    let cluster_base = if volume == 0 { 0.0 } else { total / volume as f64 };
+    let cluster_base = if volume == 0 {
+        0.0
+    } else {
+        total / volume as f64
+    };
     let row_bases = row_sum
         .iter()
         .zip(&row_cnt)
@@ -103,7 +107,14 @@ pub fn bases(matrix: &DataMatrix, cluster: &DeltaCluster) -> Bases {
         .map(|(&s, &c)| if c == 0 { cluster_base } else { s / c as f64 })
         .collect();
 
-    Bases { row_bases, rows, col_bases, cols, cluster_base, volume }
+    Bases {
+        row_bases,
+        rows,
+        col_bases,
+        cols,
+        cluster_base,
+        volume,
+    }
 }
 
 /// Residue of a single entry (Definition 3.4): `d_ij − d_iJ − d_Ij + d_IJ`
@@ -198,7 +209,10 @@ mod tests {
         m.set(0, 0, 401.0 + 9.0);
         let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
         let r = cluster_residue(&m, &c, ResidueMean::Arithmetic);
-        assert!(r > 0.0, "perturbation must produce positive residue, got {r}");
+        assert!(
+            r > 0.0,
+            "perturbation must produce positive residue, got {r}"
+        );
     }
 
     #[test]
@@ -222,7 +236,10 @@ mod tests {
         let empty = DeltaCluster::empty(3, 3);
         assert_eq!(cluster_residue(&m, &empty, ResidueMean::Arithmetic), 0.0);
         let rows_only = DeltaCluster::from_indices(3, 3, 0..2, std::iter::empty());
-        assert_eq!(cluster_residue(&m, &rows_only, ResidueMean::Arithmetic), 0.0);
+        assert_eq!(
+            cluster_residue(&m, &rows_only, ResidueMean::Arithmetic),
+            0.0
+        );
     }
 
     #[test]
@@ -250,7 +267,10 @@ mod tests {
         let c = DeltaCluster::from_indices(3, 3, 0..3, 0..3);
         let a = cluster_residue(&m, &c, ResidueMean::Arithmetic);
         let s = cluster_residue(&m, &c, ResidueMean::Squared);
-        assert!(s > a, "squared mean ({s}) should exceed arithmetic ({a}) for a large outlier");
+        assert!(
+            s > a,
+            "squared mean ({s}) should exceed arithmetic ({a}) for a large outlier"
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl std::fmt::Display for SeedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SeedError::BadProbability(msg) => write!(f, "bad seeding probability: {msg}"),
-            SeedError::MatrixTooSmall { rows, cols, min_rows, min_cols } => write!(
+            SeedError::MatrixTooSmall {
+                rows,
+                cols,
+                min_rows,
+                min_cols,
+            } => write!(
                 f,
                 "matrix {rows}x{cols} too small for clusters of at least {min_rows}x{min_cols}"
             ),
@@ -112,7 +117,9 @@ pub fn seed_clusters<R: Rng>(
     }
     let validate_p = |p: f64, what: &str| -> Result<(), SeedError> {
         if !(p > 0.0 && p <= 1.0) {
-            Err(SeedError::BadProbability(format!("{what} = {p} not in (0, 1]")))
+            Err(SeedError::BadProbability(format!(
+                "{what} = {p} not in (0, 1]"
+            )))
         } else {
             Ok(())
         }
@@ -123,18 +130,34 @@ pub fn seed_clusters<R: Rng>(
         Seeding::Bernoulli { p } => {
             validate_p(*p, "p")?;
             for _ in 0..k {
-                clusters.push(bernoulli_seed(matrix_rows, matrix_cols, *p, min_rows, min_cols, rng));
+                clusters.push(bernoulli_seed(
+                    matrix_rows,
+                    matrix_cols,
+                    *p,
+                    min_rows,
+                    min_cols,
+                    rng,
+                ));
             }
         }
         Seeding::BernoulliMixed { p_min, p_max } => {
             validate_p(*p_min, "p_min")?;
             validate_p(*p_max, "p_max")?;
             if p_min > p_max {
-                return Err(SeedError::BadProbability(format!("p_min {p_min} > p_max {p_max}")));
+                return Err(SeedError::BadProbability(format!(
+                    "p_min {p_min} > p_max {p_max}"
+                )));
             }
             for _ in 0..k {
                 let p = rng.gen_range(*p_min..=*p_max);
-                clusters.push(bernoulli_seed(matrix_rows, matrix_cols, p, min_rows, min_cols, rng));
+                clusters.push(bernoulli_seed(
+                    matrix_rows,
+                    matrix_cols,
+                    p,
+                    min_rows,
+                    min_cols,
+                    rng,
+                ));
             }
         }
         Seeding::TargetSize { rows, cols } => {
@@ -201,12 +224,16 @@ mod tests {
         let clusters =
             seed_clusters(200, 100, k, &Seeding::Bernoulli { p: 0.3 }, 2, 2, &mut rng).unwrap();
         assert_eq!(clusters.len(), k);
-        let avg_rows: f64 =
-            clusters.iter().map(|c| c.row_count() as f64).sum::<f64>() / k as f64;
-        let avg_cols: f64 =
-            clusters.iter().map(|c| c.col_count() as f64).sum::<f64>() / k as f64;
-        assert!((avg_rows - 60.0).abs() < 10.0, "expected ≈60 rows, got {avg_rows}");
-        assert!((avg_cols - 30.0).abs() < 8.0, "expected ≈30 cols, got {avg_cols}");
+        let avg_rows: f64 = clusters.iter().map(|c| c.row_count() as f64).sum::<f64>() / k as f64;
+        let avg_cols: f64 = clusters.iter().map(|c| c.col_count() as f64).sum::<f64>() / k as f64;
+        assert!(
+            (avg_rows - 60.0).abs() < 10.0,
+            "expected ≈60 rows, got {avg_rows}"
+        );
+        assert!(
+            (avg_cols - 30.0).abs() < 8.0,
+            "expected ≈30 cols, got {avg_cols}"
+        );
     }
 
     #[test]
@@ -228,7 +255,10 @@ mod tests {
             300,
             300,
             30,
-            &Seeding::BernoulliMixed { p_min: 0.02, p_max: 0.5 },
+            &Seeding::BernoulliMixed {
+                p_min: 0.02,
+                p_max: 0.5,
+            },
             2,
             2,
             &mut rng,
@@ -246,9 +276,16 @@ mod tests {
     #[test]
     fn target_size_is_exact() {
         let mut rng = StdRng::seed_from_u64(4);
-        let clusters =
-            seed_clusters(100, 60, 10, &Seeding::TargetSize { rows: 12, cols: 7 }, 2, 2, &mut rng)
-                .unwrap();
+        let clusters = seed_clusters(
+            100,
+            60,
+            10,
+            &Seeding::TargetSize { rows: 12, cols: 7 },
+            2,
+            2,
+            &mut rng,
+        )
+        .unwrap();
         for c in &clusters {
             assert_eq!(c.row_count(), 12);
             assert_eq!(c.col_count(), 7);
@@ -258,9 +295,16 @@ mod tests {
     #[test]
     fn target_size_caps_at_universe() {
         let mut rng = StdRng::seed_from_u64(5);
-        let clusters =
-            seed_clusters(5, 4, 2, &Seeding::TargetSize { rows: 50, cols: 50 }, 2, 2, &mut rng)
-                .unwrap();
+        let clusters = seed_clusters(
+            5,
+            4,
+            2,
+            &Seeding::TargetSize { rows: 50, cols: 50 },
+            2,
+            2,
+            &mut rng,
+        )
+        .unwrap();
         for c in &clusters {
             assert_eq!(c.row_count(), 5);
             assert_eq!(c.col_count(), 4);
@@ -284,15 +328,18 @@ mod tests {
     fn bad_probability_is_rejected() {
         let mut rng = StdRng::seed_from_u64(7);
         for p in [0.0, -0.5, 1.5] {
-            let err = seed_clusters(10, 10, 1, &Seeding::Bernoulli { p }, 2, 2, &mut rng)
-                .unwrap_err();
+            let err =
+                seed_clusters(10, 10, 1, &Seeding::Bernoulli { p }, 2, 2, &mut rng).unwrap_err();
             assert!(matches!(err, SeedError::BadProbability(_)), "p = {p}");
         }
         let err = seed_clusters(
             10,
             10,
             1,
-            &Seeding::BernoulliMixed { p_min: 0.9, p_max: 0.1 },
+            &Seeding::BernoulliMixed {
+                p_min: 0.9,
+                p_max: 0.1,
+            },
             2,
             2,
             &mut rng,
@@ -304,8 +351,8 @@ mod tests {
     #[test]
     fn tiny_matrix_is_rejected() {
         let mut rng = StdRng::seed_from_u64(8);
-        let err = seed_clusters(1, 10, 1, &Seeding::Bernoulli { p: 0.5 }, 2, 2, &mut rng)
-            .unwrap_err();
+        let err =
+            seed_clusters(1, 10, 1, &Seeding::Bernoulli { p: 0.5 }, 2, 2, &mut rng).unwrap_err();
         assert!(matches!(err, SeedError::MatrixTooSmall { .. }));
         assert!(err.to_string().contains("too small"));
     }
@@ -313,8 +360,8 @@ mod tests {
     #[test]
     fn empty_explicit_sizes_is_rejected() {
         let mut rng = StdRng::seed_from_u64(9);
-        let err = seed_clusters(10, 10, 1, &Seeding::ExplicitSizes(vec![]), 2, 2, &mut rng)
-            .unwrap_err();
+        let err =
+            seed_clusters(10, 10, 1, &Seeding::ExplicitSizes(vec![]), 2, 2, &mut rng).unwrap_err();
         assert_eq!(err, SeedError::NoSizes);
     }
 

@@ -76,7 +76,10 @@ impl ClusterState {
 
     /// The plain descriptor for this state.
     pub fn to_cluster(&self) -> DeltaCluster {
-        DeltaCluster { rows: self.rows.clone(), cols: self.cols.clone() }
+        DeltaCluster {
+            rows: self.rows.clone(),
+            cols: self.cols.clone(),
+        }
     }
 
     /// Number of specified entries in the cluster submatrix.
@@ -101,7 +104,11 @@ impl ClusterState {
     /// The cluster base `d_IJ` (0.0 for an empty cluster).
     #[inline]
     pub fn base(&self) -> f64 {
-        if self.volume == 0 { 0.0 } else { self.total / self.volume as f64 }
+        if self.volume == 0 {
+            0.0
+        } else {
+            self.total / self.volume as f64
+        }
     }
 
     fn insert_row(&mut self, matrix: &DataMatrix, row: usize) {
@@ -207,7 +214,11 @@ impl ClusterState {
         scratch.cols.extend(self.cols.iter());
         scratch.col_base.clear();
         scratch.col_base.extend(scratch.cols.iter().map(|&c| {
-            if self.col_cnt[c] == 0 { base } else { self.col_sum[c] / self.col_cnt[c] as f64 }
+            if self.col_cnt[c] == 0 {
+                base
+            } else {
+                self.col_sum[c] / self.col_cnt[c] as f64
+            }
         }));
 
         let mut sum = 0.0;
@@ -273,7 +284,9 @@ impl ClusterState {
                 s += sign * values[c];
                 n += sign as i64;
             }
-            scratch.col_base.push(if n <= 0 { base } else { s / n as f64 });
+            scratch
+                .col_base
+                .push(if n <= 0 { base } else { s / n as f64 });
         }
 
         // Scan rows of the toggled cluster. Row bases for rows other than
@@ -300,7 +313,11 @@ impl ClusterState {
             scan_row(r, row_base, &mut sum);
         }
         if adding {
-            let row_base = if t_cnt == 0 { base } else { t_sum / t_cnt as f64 };
+            let row_base = if t_cnt == 0 {
+                base
+            } else {
+                t_sum / t_cnt as f64
+            };
             scan_row(row, row_base, &mut sum);
         }
         sum / new_volume as f64
@@ -355,7 +372,11 @@ impl ClusterState {
         }
         if adding {
             scratch.cols.push(col);
-            scratch.col_base.push(if t_cnt == 0 { base } else { t_sum / t_cnt as f64 });
+            scratch.col_base.push(if t_cnt == 0 {
+                base
+            } else {
+                t_sum / t_cnt as f64
+            });
         }
 
         let mut sum = 0.0;
@@ -409,7 +430,11 @@ impl ClusterState {
         alpha: f64,
     ) -> usize {
         let adding = !self.rows.contains(row);
-        let ni = if adding { self.rows.len() + 1 } else { self.rows.len() - 1 };
+        let ni = if adding {
+            self.rows.len() + 1
+        } else {
+            self.rows.len() - 1
+        };
         let nj = self.cols.len();
         let mut v = 0;
         if nj > 0 {
@@ -420,7 +445,11 @@ impl ClusterState {
                 }
             }
             if adding {
-                let cnt = self.cols.iter().filter(|&c| matrix.is_specified(row, c)).count();
+                let cnt = self
+                    .cols
+                    .iter()
+                    .filter(|&c| matrix.is_specified(row, c))
+                    .count();
                 if (cnt as f64) < alpha * nj as f64 - 1e-9 {
                     v += 1;
                 }
@@ -448,7 +477,11 @@ impl ClusterState {
         alpha: f64,
     ) -> usize {
         let adding = !self.cols.contains(col);
-        let nj = if adding { self.cols.len() + 1 } else { self.cols.len() - 1 };
+        let nj = if adding {
+            self.cols.len() + 1
+        } else {
+            self.cols.len() - 1
+        };
         let ni = self.rows.len();
         let mut v = 0;
         if ni > 0 {
@@ -458,7 +491,11 @@ impl ClusterState {
                 }
             }
             if adding {
-                let cnt = self.rows.iter().filter(|&r| matrix.is_specified(r, col)).count();
+                let cnt = self
+                    .rows
+                    .iter()
+                    .filter(|&r| matrix.is_specified(r, col))
+                    .count();
                 if (cnt as f64) < alpha * ni as f64 - 1e-9 {
                     v += 1;
                 }
@@ -498,10 +535,26 @@ mod tests {
             4,
             5,
             vec![
-                Some(1.0), Some(2.0), None,      Some(4.0), Some(5.0),
-                Some(2.0), None,      Some(4.0), Some(5.0), Some(6.0),
-                Some(9.0), Some(3.0), Some(7.0), None,      Some(1.0),
-                None,      Some(8.0), Some(2.0), Some(6.0), Some(4.0),
+                Some(1.0),
+                Some(2.0),
+                None,
+                Some(4.0),
+                Some(5.0),
+                Some(2.0),
+                None,
+                Some(4.0),
+                Some(5.0),
+                Some(6.0),
+                Some(9.0),
+                Some(3.0),
+                Some(7.0),
+                None,
+                Some(1.0),
+                None,
+                Some(8.0),
+                Some(2.0),
+                Some(6.0),
+                Some(4.0),
             ],
         )
     }
@@ -628,9 +681,18 @@ mod tests {
             3,
             4,
             vec![
-                Some(1.0), None,      Some(3.0), None,
-                None,      Some(4.0), None,      Some(5.0),
-                Some(3.0), None,      Some(4.0), None,
+                Some(1.0),
+                None,
+                Some(3.0),
+                None,
+                None,
+                Some(4.0),
+                None,
+                Some(5.0),
+                Some(3.0),
+                None,
+                Some(4.0),
+                None,
             ],
         );
         let st = ClusterState::new(&m, &DeltaCluster::from_indices(3, 4, 0..3, 0..4));
@@ -641,7 +703,10 @@ mod tests {
     #[test]
     fn virtual_occupancy_matches_actual() {
         let m = mixed();
-        let st = ClusterState::new(&m, &DeltaCluster::from_indices(4, 5, [0, 1, 2], [0, 1, 3, 4]));
+        let st = ClusterState::new(
+            &m,
+            &DeltaCluster::from_indices(4, 5, [0, 1, 2], [0, 1, 3, 4]),
+        );
         let alpha = 0.7;
         for row in 0..4 {
             let virt = st.occupancy_violations_if_row_toggled(&m, row, alpha);

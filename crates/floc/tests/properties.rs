@@ -1,8 +1,6 @@
 //! Property-based tests for the δ-cluster model and FLOC machinery.
 
-use dc_floc::{
-    cluster_residue, residue, ClusterState, DeltaCluster, ResidueMean, Scratch,
-};
+use dc_floc::{cluster_residue, residue, ClusterState, DeltaCluster, ResidueMean, Scratch};
 use dc_matrix::DataMatrix;
 use proptest::prelude::*;
 
@@ -90,9 +88,9 @@ proptest! {
         let rows = row_biases.len();
         let cols = col_effects.len();
         let mut m = DataMatrix::new(rows, cols);
-        for r in 0..rows {
-            for c in 0..cols {
-                m.set(r, c, row_biases[r] + col_effects[c]);
+        for (r, rb) in row_biases.iter().enumerate() {
+            for (c, ce) in col_effects.iter().enumerate() {
+                m.set(r, c, rb + ce);
             }
         }
         let cluster = DeltaCluster::from_indices(rows, cols, 0..rows, 0..cols);

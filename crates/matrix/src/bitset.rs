@@ -82,14 +82,22 @@ impl BitSet {
     /// Panics if `index >= capacity`.
     #[inline]
     pub fn contains(&self, index: usize) -> bool {
-        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "index {index} out of capacity {}",
+            self.capacity
+        );
         self.words[index / WORD_BITS] & (1u64 << (index % WORD_BITS)) != 0
     }
 
     /// Inserts `index`; returns true if it was not already present.
     #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "index {index} out of capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if *word & mask == 0 {
@@ -104,7 +112,11 @@ impl BitSet {
     /// Removes `index`; returns true if it was present.
     #[inline]
     pub fn remove(&mut self, index: usize) -> bool {
-        assert!(index < self.capacity, "index {index} out of capacity {}", self.capacity);
+        assert!(
+            index < self.capacity,
+            "index {index} out of capacity {}",
+            self.capacity
+        );
         let word = &mut self.words[index / WORD_BITS];
         let mask = 1u64 << (index % WORD_BITS);
         if *word & mask != 0 {
@@ -172,7 +184,10 @@ impl BitSet {
     /// True if every index of `self` is also in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "capacity mismatch");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Iterates indices in ascending order.
@@ -321,7 +336,10 @@ mod tests {
         assert!(a.is_subset(&b));
         assert!(!b.is_subset(&a));
         assert!(a.is_subset(&a));
-        assert!(BitSet::new(100).is_subset(&a), "empty set is subset of anything");
+        assert!(
+            BitSet::new(100).is_subset(&a),
+            "empty set is subset of anything"
+        );
     }
 
     #[test]

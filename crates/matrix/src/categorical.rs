@@ -63,8 +63,7 @@ pub fn encode_ordinal(
     column: &CategoricalColumn,
     order: &[&str],
 ) -> Result<Vec<Option<f64>>, EncodeError> {
-    let rank: HashMap<&str, usize> =
-        order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let rank: HashMap<&str, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     column
         .iter()
         .enumerate()
@@ -73,7 +72,10 @@ pub fn encode_ordinal(
             Some(label) => rank
                 .get(label.as_str())
                 .map(|&r| Some(r as f64))
-                .ok_or_else(|| EncodeError::UnknownCategory { row, value: label.clone() }),
+                .ok_or_else(|| EncodeError::UnknownCategory {
+                    row,
+                    value: label.clone(),
+                }),
         })
         .collect()
 }
@@ -109,13 +111,19 @@ pub fn hybrid_matrix(
 ) -> Result<DataMatrix, EncodeError> {
     for col in numeric {
         if col.len() != rows {
-            return Err(EncodeError::LengthMismatch { expected: rows, found: col.len() });
+            return Err(EncodeError::LengthMismatch {
+                expected: rows,
+                found: col.len(),
+            });
         }
     }
     let mut encoded: Vec<Vec<Option<f64>>> = Vec::with_capacity(categorical.len());
     for (col, order) in categorical {
         if col.len() != rows {
-            return Err(EncodeError::LengthMismatch { expected: rows, found: col.len() });
+            return Err(EncodeError::LengthMismatch {
+                expected: rows,
+                found: col.len(),
+            });
         }
         encoded.push(encode_ordinal(col, order)?);
     }
@@ -152,7 +160,10 @@ mod tests {
         let err = encode_ordinal(&c, &["poor", "fair", "good"]).unwrap_err();
         assert_eq!(
             err,
-            EncodeError::UnknownCategory { row: 0, value: "excellent".into() }
+            EncodeError::UnknownCategory {
+                row: 0,
+                value: "excellent".into()
+            }
         );
         assert!(err.to_string().contains("excellent"));
     }
@@ -176,10 +187,7 @@ mod tests {
     #[test]
     fn hybrid_matrix_appends_encoded_columns() {
         let numeric = vec![vec![Some(1.0), Some(2.0), None]];
-        let cats = vec![(
-            col(&[Some("lo"), Some("hi"), Some("lo")]),
-            vec!["lo", "hi"],
-        )];
+        let cats = vec![(col(&[Some("lo"), Some("hi"), Some("lo")]), vec!["lo", "hi"])];
         let m = hybrid_matrix(3, &numeric, &cats).unwrap();
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), 2);
@@ -193,7 +201,13 @@ mod tests {
     fn hybrid_matrix_validates_lengths() {
         let numeric = vec![vec![Some(1.0)]];
         let err = hybrid_matrix(2, &numeric, &[]).unwrap_err();
-        assert!(matches!(err, EncodeError::LengthMismatch { expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            EncodeError::LengthMismatch {
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]
@@ -207,7 +221,11 @@ mod tests {
         let m = hybrid_matrix(
             2,
             &[],
-            &[(q1, order.to_vec()), (q2, order.to_vec()), (q3, order.to_vec())],
+            &[
+                (q1, order.to_vec()),
+                (q2, order.to_vec()),
+                (q3, order.to_vec()),
+            ],
         )
         .unwrap();
         // Row 1 − row 0 is the constant shift 1 on every question.

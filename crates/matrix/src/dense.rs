@@ -175,7 +175,10 @@ impl DataMatrix {
             self.rows,
             self.cols
         );
-        assert!(value.is_finite(), "matrix values must be finite, got {value}");
+        assert!(
+            value.is_finite(),
+            "matrix values must be finite, got {value}"
+        );
         let idx = self.idx(row, col);
         if self.mask.insert(idx) {
             self.specified += 1;
@@ -379,9 +382,18 @@ mod tests {
     #[test]
     fn row_and_col_entries_skip_missing() {
         let m = sample();
-        assert_eq!(m.row_entries(0).collect::<Vec<_>>(), vec![(0, 1.0), (1, 3.0)]);
-        assert_eq!(m.row_entries(1).collect::<Vec<_>>(), vec![(1, 4.0), (2, 5.0)]);
-        assert_eq!(m.col_entries(1).collect::<Vec<_>>(), vec![(0, 3.0), (1, 4.0)]);
+        assert_eq!(
+            m.row_entries(0).collect::<Vec<_>>(),
+            vec![(0, 1.0), (1, 3.0)]
+        );
+        assert_eq!(
+            m.row_entries(1).collect::<Vec<_>>(),
+            vec![(1, 4.0), (2, 5.0)]
+        );
+        assert_eq!(
+            m.col_entries(1).collect::<Vec<_>>(),
+            vec![(0, 3.0), (1, 4.0)]
+        );
         assert_eq!(m.col_entries(2).collect::<Vec<_>>(), vec![(1, 5.0)]);
     }
 

@@ -21,9 +21,17 @@ pub enum ParseError {
     /// Underlying IO failure.
     Io(io::Error),
     /// A line had a different number of fields than the first line.
-    RaggedRow { line: usize, expected: usize, found: usize },
+    RaggedRow {
+        line: usize,
+        expected: usize,
+        found: usize,
+    },
     /// A field could not be parsed as a number.
-    BadNumber { line: usize, field: usize, text: String },
+    BadNumber {
+        line: usize,
+        field: usize,
+        text: String,
+    },
     /// A triples line had fewer than three fields.
     ShortTripleLine { line: usize },
     /// The input contained no data lines.
@@ -34,11 +42,18 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Io(e) => write!(f, "io error: {e}"),
-            ParseError::RaggedRow { line, expected, found } => {
+            ParseError::RaggedRow {
+                line,
+                expected,
+                found,
+            } => {
                 write!(f, "line {line}: expected {expected} fields, found {found}")
             }
             ParseError::BadNumber { line, field, text } => {
-                write!(f, "line {line}, field {field}: cannot parse number from {text:?}")
+                write!(
+                    f,
+                    "line {line}, field {field}: cannot parse number from {text:?}"
+                )
             }
             ParseError::ShortTripleLine { line } => {
                 write!(f, "line {line}: triple lines need at least 3 fields")
@@ -108,7 +123,11 @@ pub fn read_dense<R: Read>(reader: R, fmt: &DenseFormat) -> Result<DataMatrix, P
         first_line = false;
         if fmt.row_labels {
             if fields.is_empty() {
-                return Err(ParseError::RaggedRow { line: line_no + 1, expected: 1, found: 0 });
+                return Err(ParseError::RaggedRow {
+                    line: line_no + 1,
+                    expected: 1,
+                    found: 0,
+                });
             }
             row_labels.push(fields.remove(0).trim().to_string());
         }
@@ -151,7 +170,10 @@ pub fn read_dense<R: Read>(reader: R, fmt: &DenseFormat) -> Result<DataMatrix, P
 }
 
 /// Reads a dense delimited matrix from a file path.
-pub fn read_dense_file<P: AsRef<Path>>(path: P, fmt: &DenseFormat) -> Result<DataMatrix, ParseError> {
+pub fn read_dense_file<P: AsRef<Path>>(
+    path: P,
+    fmt: &DenseFormat,
+) -> Result<DataMatrix, ParseError> {
     read_dense(std::fs::File::open(path)?, fmt)
 }
 
@@ -250,7 +272,11 @@ pub fn read_triples<R: Read>(reader: R) -> Result<TriplesMatrix, ParseError> {
     }
     matrix.set_row_labels(row_ids.clone());
     matrix.set_col_labels(col_ids.clone());
-    Ok(TriplesMatrix { matrix, row_ids, col_ids })
+    Ok(TriplesMatrix {
+        matrix,
+        row_ids,
+        col_ids,
+    })
 }
 
 /// Reads a triples file from a path.
@@ -281,7 +307,11 @@ mod tests {
         let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
         m.set_row_labels(vec!["g1".into(), "g2".into()]);
         m.set_col_labels(vec!["c1".into(), "c2".into()]);
-        let fmt = DenseFormat { row_labels: true, col_header: true, ..Default::default() };
+        let fmt = DenseFormat {
+            row_labels: true,
+            col_header: true,
+            ..Default::default()
+        };
         let mut out = Vec::new();
         write_dense(&m, &mut out, &fmt).unwrap();
         let back = read_dense(&out[..], &fmt).unwrap();
@@ -294,14 +324,28 @@ mod tests {
     fn dense_rejects_ragged_rows() {
         let text = "1\t2\n3\n";
         let err = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap_err();
-        assert!(matches!(err, ParseError::RaggedRow { line: 2, expected: 2, found: 1 }));
+        assert!(matches!(
+            err,
+            ParseError::RaggedRow {
+                line: 2,
+                expected: 2,
+                found: 1
+            }
+        ));
     }
 
     #[test]
     fn dense_rejects_garbage_numbers() {
         let text = "1\tx\n";
         let err = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap_err();
-        assert!(matches!(err, ParseError::BadNumber { line: 1, field: 2, .. }));
+        assert!(matches!(
+            err,
+            ParseError::BadNumber {
+                line: 1,
+                field: 2,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("field 2"));
     }
 
@@ -314,7 +358,10 @@ mod tests {
     #[test]
     fn dense_empty_field_is_missing() {
         let text = "1,,3\n";
-        let fmt = DenseFormat { delimiter: ',', ..Default::default() };
+        let fmt = DenseFormat {
+            delimiter: ',',
+            ..Default::default()
+        };
         let m = read_dense(text.as_bytes(), &fmt).unwrap();
         assert_eq!(m.get(0, 1), None);
         assert_eq!(m.get(0, 2), Some(3.0));

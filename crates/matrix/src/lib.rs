@@ -45,10 +45,10 @@ pub mod bitset;
 pub mod categorical;
 pub mod dense;
 pub mod io;
-pub mod view;
 pub mod pearson;
 pub mod stats;
 pub mod transform;
+pub mod view;
 
 pub use bitset::BitSet;
 pub use dense::DataMatrix;

@@ -118,8 +118,14 @@ mod tests {
             2,
             4,
             vec![
-                Some(1.0), Some(2.0), Some(3.0), None,
-                Some(2.0), Some(3.0), None, Some(9.0),
+                Some(1.0),
+                Some(2.0),
+                Some(3.0),
+                None,
+                Some(2.0),
+                Some(3.0),
+                None,
+                Some(9.0),
             ],
         );
         // Common columns: 0, 1 → perfect correlation.
@@ -129,11 +135,7 @@ mod tests {
 
     #[test]
     fn too_few_common_entries_is_none() {
-        let m = DataMatrix::from_options(
-            2,
-            2,
-            vec![Some(1.0), None, Some(2.0), Some(5.0)],
-        );
+        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), None, Some(2.0), Some(5.0)]);
         assert_eq!(row_pearson(&m, 0, 1), None);
     }
 

@@ -128,7 +128,11 @@ mod tests {
         let err = log_transform(&m).unwrap_err();
         assert_eq!(
             err,
-            TransformError::NonPositiveEntry { row: 0, col: 1, value: 0.0 }
+            TransformError::NonPositiveEntry {
+                row: 0,
+                col: 1,
+                value: 0.0
+            }
         );
         assert!(err.to_string().contains("logarithm"));
     }

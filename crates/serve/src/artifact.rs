@@ -1,0 +1,613 @@
+//! The `.dcm` model artifact: a versioned, checksummed binary snapshot of a
+//! trained δ-clustering, plus a JSON fallback for interoperability.
+//!
+//! ## Binary layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! offset 0   magic  b"DCM1"
+//!        4   u16    format version (currently 1)
+//!        6   u16    reserved flags (must be 0)
+//!        8   payload (below)
+//!        end-4  u32 CRC-32 (IEEE) of every preceding byte
+//! ```
+//!
+//! Payload sections, in order:
+//!
+//! 1. **Matrix** — `u64 rows`, `u64 cols`, a row-major specification bitmap
+//!    (`ceil(rows·cols / 8)` bytes), `u64 n_specified`, then `n_specified`
+//!    `f64` values for the specified cells in row-major order.
+//! 2. **Labels** — `u8` flags (bit 0: row labels present, bit 1: column
+//!    labels); each present label list is `len`-prefixed UTF-8 strings.
+//! 3. **Clusters** — `u64 k`, then per cluster the ascending row indices
+//!    (`u64 n` + `n × u64`) and column indices likewise.
+//! 4. **Quality** — `k × f64` residues, `f64` average residue.
+//! 5. **Bases** — per cluster: `u64 volume`, `f64` cluster base, row bases
+//!    (`f64` each, aligned with the cluster's rows), column bases likewise.
+//!    Stored rather than recomputed so that loading is pure deserialization
+//!    and a loaded model predicts bit-identically to the saved one.
+//!
+//! A flipped byte anywhere surfaces as [`ArtifactError::ChecksumMismatch`]
+//! before any parsing happens — corruption can not panic the loader.
+
+use crate::model::{ModelError, ServeModel};
+use dc_floc::residue::Bases;
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// File magic: "delta-cluster model", format generation 1.
+pub const MAGIC: [u8; 4] = *b"DCM1";
+/// Current binary format version.
+pub const VERSION: u16 = 1;
+
+/// Everything that can go wrong saving or loading a model artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Io(std::io::Error),
+    /// The file does not start with the `DCM1` magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The CRC-32 over the file body does not match the stored checksum.
+    ChecksumMismatch {
+        stored: u32,
+        computed: u32,
+    },
+    /// The file ended before a section was complete.
+    Truncated,
+    /// A structurally invalid value (negative count, index out of range…).
+    Malformed(String),
+    /// The parts deserialized cleanly but do not form a coherent model.
+    Model(ModelError),
+    /// JSON fallback parse error.
+    Json(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "i/o error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not a δ-cluster model file (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported model format version {v} (this build reads ≤ {VERSION})"
+                )
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model file is corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            ArtifactError::Truncated => write!(f, "model file is truncated"),
+            ArtifactError::Malformed(why) => write!(f, "malformed model file: {why}"),
+            ArtifactError::Model(e) => write!(f, "inconsistent model: {e}"),
+            ArtifactError::Json(e) => write!(f, "json model parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<ModelError> for ArtifactError {
+    fn from(e: ModelError) -> Self {
+        ArtifactError::Model(e)
+    }
+}
+
+// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---- encoding ------------------------------------------------------------
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn indices(&mut self, ix: &[usize]) {
+        self.u64(ix.len() as u64);
+        for &i in ix {
+            self.u64(i as u64);
+        }
+    }
+}
+
+/// Serializes a model to the version-1 binary artifact bytes.
+pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
+    let matrix = model.matrix();
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let mut w = Writer { buf: Vec::new() };
+    w.buf.extend_from_slice(&MAGIC);
+    w.u16(VERSION);
+    w.u16(0); // reserved flags
+
+    // Matrix.
+    w.u64(rows as u64);
+    w.u64(cols as u64);
+    let mut bitmap = vec![0u8; rows.saturating_mul(cols).div_ceil(8)];
+    let mut values = Vec::with_capacity(matrix.specified_count());
+    for r in 0..rows {
+        for c in 0..cols {
+            if let Some(v) = matrix.get(r, c) {
+                let cell = r * cols + c;
+                bitmap[cell / 8] |= 1 << (cell % 8);
+                values.push(v);
+            }
+        }
+    }
+    w.buf.extend_from_slice(&bitmap);
+    w.u64(values.len() as u64);
+    for v in values {
+        w.f64(v);
+    }
+
+    // Labels.
+    let row_labels: Vec<&str> = (0..rows).filter_map(|r| matrix.row_label(r)).collect();
+    let col_labels: Vec<&str> = (0..cols).filter_map(|c| matrix.col_label(c)).collect();
+    let has_row = row_labels.len() == rows && rows > 0;
+    let has_col = col_labels.len() == cols && cols > 0;
+    w.u8((has_row as u8) | ((has_col as u8) << 1));
+    if has_row {
+        for label in row_labels {
+            w.str(label);
+        }
+    }
+    if has_col {
+        for label in col_labels {
+            w.str(label);
+        }
+    }
+
+    // Clusters.
+    w.u64(model.k() as u64);
+    for cluster in model.clusters() {
+        w.indices(&cluster.rows.to_vec());
+        w.indices(&cluster.cols.to_vec());
+    }
+
+    // Quality.
+    for &r in model.residues() {
+        w.f64(r);
+    }
+    w.f64(model.avg_residue());
+
+    // Bases.
+    for b in model.bases() {
+        w.u64(b.volume as u64);
+        w.f64(b.cluster_base);
+        for &v in &b.row_bases {
+            w.f64(v);
+        }
+        for &v in &b.col_bases {
+            w.f64(v);
+        }
+    }
+
+    let crc = crc32(&w.buf);
+    w.u32(crc);
+    w.buf
+}
+
+// ---- decoding ------------------------------------------------------------
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ArtifactError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A `u64` count that must also be a sane in-memory size.
+    fn count(&mut self, what: &str, limit: usize) -> Result<usize, ArtifactError> {
+        let n = self.u64()?;
+        if n > limit as u64 {
+            return Err(ArtifactError::Malformed(format!(
+                "{what} count {n} exceeds limit {limit}"
+            )));
+        }
+        Ok(n as usize)
+    }
+    fn str(&mut self) -> Result<String, ArtifactError> {
+        let len = self.count("string length", self.bytes.len())?;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ArtifactError::Malformed("label is not UTF-8".into()))
+    }
+    fn indices(&mut self, bound: usize, what: &str) -> Result<Vec<usize>, ArtifactError> {
+        let n = self.count(what, bound)?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let i = self.u64()? as usize;
+            if i >= bound {
+                return Err(ArtifactError::Malformed(format!(
+                    "{what} index {i} out of range 0..{bound}"
+                )));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(ArtifactError::Malformed(format!(
+                    "{what} indices not strictly ascending"
+                )));
+            }
+            prev = Some(i);
+            out.push(i);
+        }
+        Ok(out)
+    }
+}
+
+/// Deserializes a version-1 binary artifact. Checks magic, version, and
+/// checksum before touching the payload.
+pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
+    if bytes.len() < MAGIC.len() + 4 + 4 {
+        return Err(ArtifactError::Truncated);
+    }
+    if bytes[..4] != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+    if version == 0 || version > VERSION {
+        return Err(ArtifactError::UnsupportedVersion(version));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ArtifactError::ChecksumMismatch { stored, computed });
+    }
+
+    let mut r = Reader {
+        bytes: body,
+        pos: 8,
+    };
+
+    // Matrix. The bitmap must fit in the file, which bounds rows·cols.
+    let rows = r.count("row", u32::MAX as usize)?;
+    let cols = r.count("column", u32::MAX as usize)?;
+    let cells = rows
+        .checked_mul(cols)
+        .filter(|&n| n.div_ceil(8) <= body.len())
+        .ok_or_else(|| ArtifactError::Malformed("matrix shape overflows the file".into()))?;
+    let bitmap = r.take(cells.div_ceil(8))?;
+    let n_specified = r.count("specified entry", cells)?;
+    let popcount: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+    if popcount != n_specified {
+        return Err(ArtifactError::Malformed(format!(
+            "bitmap population {popcount} disagrees with stored count {n_specified}"
+        )));
+    }
+    let mut data = vec![None; cells];
+    for (cell, slot) in data.iter_mut().enumerate() {
+        if bitmap[cell / 8] & (1 << (cell % 8)) != 0 {
+            *slot = Some(r.f64()?);
+        }
+    }
+    let mut matrix = DataMatrix::from_options(rows, cols, data);
+
+    // Labels.
+    let flags = r.u8()?;
+    if flags & !0b11 != 0 {
+        return Err(ArtifactError::Malformed(format!(
+            "unknown label flags {flags:#04x}"
+        )));
+    }
+    if flags & 0b01 != 0 {
+        let labels = (0..rows).map(|_| r.str()).collect::<Result<Vec<_>, _>>()?;
+        matrix.set_row_labels(labels);
+    }
+    if flags & 0b10 != 0 {
+        let labels = (0..cols).map(|_| r.str()).collect::<Result<Vec<_>, _>>()?;
+        matrix.set_col_labels(labels);
+    }
+
+    // Clusters.
+    let k = r.count("cluster", body.len())?;
+    let mut clusters = Vec::with_capacity(k);
+    for _ in 0..k {
+        let cluster_rows = r.indices(rows, "cluster row")?;
+        let cluster_cols = r.indices(cols, "cluster column")?;
+        clusters.push(DeltaCluster::from_indices(
+            rows,
+            cols,
+            cluster_rows,
+            cluster_cols,
+        ));
+    }
+
+    // Quality.
+    let mut residues = Vec::with_capacity(k);
+    for _ in 0..k {
+        residues.push(r.f64()?);
+    }
+    let avg_residue = r.f64()?;
+
+    // Bases.
+    let mut all_bases = Vec::with_capacity(k);
+    for cluster in &clusters {
+        let volume = r.count("base volume", cells)?;
+        let cluster_base = r.f64()?;
+        let rows_vec = cluster.rows.to_vec();
+        let cols_vec = cluster.cols.to_vec();
+        let mut row_bases = Vec::with_capacity(rows_vec.len());
+        for _ in 0..rows_vec.len() {
+            row_bases.push(r.f64()?);
+        }
+        let mut col_bases = Vec::with_capacity(cols_vec.len());
+        for _ in 0..cols_vec.len() {
+            col_bases.push(r.f64()?);
+        }
+        all_bases.push(Bases {
+            row_bases,
+            rows: rows_vec,
+            col_bases,
+            cols: cols_vec,
+            cluster_base,
+            volume,
+        });
+    }
+
+    if r.pos != body.len() {
+        return Err(ArtifactError::Malformed(format!(
+            "{} trailing bytes after model payload",
+            body.len() - r.pos
+        )));
+    }
+
+    ServeModel::with_bases(matrix, clusters, residues, avg_residue, all_bases)
+        .map_err(ArtifactError::from)
+}
+
+// ---- JSON fallback -------------------------------------------------------
+
+/// JSON representation of a model snapshot, reusing the serde derives the
+/// mining crates already ship. Bases are recomputed on load — the JSON form
+/// trades load time for a diffable, tool-friendly artifact.
+#[derive(Serialize, Deserialize)]
+struct JsonModel {
+    format: String,
+    version: u16,
+    matrix: DataMatrix,
+    clusters: Vec<DeltaCluster>,
+    residues: Vec<f64>,
+    avg_residue: f64,
+}
+
+/// Serializes a model as pretty-printed JSON.
+pub fn to_json(model: &ServeModel) -> String {
+    let doc = JsonModel {
+        format: "delta-clusters-model".to_string(),
+        version: VERSION,
+        matrix: model.matrix().clone(),
+        clusters: model.clusters().to_vec(),
+        residues: model.residues().to_vec(),
+        avg_residue: model.avg_residue(),
+    };
+    serde_json::to_string_pretty(&doc).expect("model serialization cannot fail")
+}
+
+/// Deserializes a model from the JSON fallback format.
+pub fn from_json(text: &str) -> Result<ServeModel, ArtifactError> {
+    let doc: JsonModel =
+        serde_json::from_str(text).map_err(|e| ArtifactError::Json(e.to_string()))?;
+    if doc.format != "delta-clusters-model" {
+        return Err(ArtifactError::Json(format!(
+            "unknown format `{}`",
+            doc.format
+        )));
+    }
+    if doc.version == 0 || doc.version > VERSION {
+        return Err(ArtifactError::UnsupportedVersion(doc.version));
+    }
+    ServeModel::new(doc.matrix, doc.clusters, doc.residues, doc.avg_residue)
+        .map_err(ArtifactError::from)
+}
+
+/// Whether `path` selects the JSON fallback rather than the binary format.
+fn is_json_path(path: &Path) -> bool {
+    path.extension()
+        .is_some_and(|e| e.eq_ignore_ascii_case("json"))
+}
+
+/// Saves `model` to `path` — binary `.dcm` by default, JSON when the
+/// extension is `.json`.
+pub fn save(model: &ServeModel, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+    let path = path.as_ref();
+    if is_json_path(path) {
+        std::fs::write(path, to_json(model))?;
+    } else {
+        std::fs::write(path, to_bytes(model))?;
+    }
+    Ok(())
+}
+
+/// Loads a model from `path`, dispatching on the extension like [`save`].
+pub fn load(path: impl AsRef<Path>) -> Result<ServeModel, ArtifactError> {
+    let path = path.as_ref();
+    if is_json_path(path) {
+        from_json(&std::fs::read_to_string(path)?)
+    } else {
+        from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model(with_labels: bool) -> ServeModel {
+        let mut m = DataMatrix::new(4, 3);
+        for r in 0..4 {
+            for c in 0..3 {
+                if (r + c) % 5 != 4 {
+                    m.set(r, c, (r * 3 + c) as f64 * 1.5 - 2.0);
+                }
+            }
+        }
+        if with_labels {
+            m.set_row_labels((0..4).map(|r| format!("row{r}")).collect());
+            m.set_col_labels((0..3).map(|c| format!("col{c}")).collect());
+        }
+        let a = DeltaCluster::from_indices(4, 3, 0..3, 0..2);
+        let b = DeltaCluster::from_indices(4, 3, [1, 3], [0, 2]);
+        ServeModel::new(m, vec![a, b], vec![0.25, 0.5], 0.375).unwrap()
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_model() {
+        for with_labels in [false, true] {
+            let model = sample_model(with_labels);
+            let bytes = to_bytes(&model);
+            let loaded = from_bytes(&bytes).unwrap();
+            assert!(loaded == model, "with_labels={with_labels}");
+            // Re-encoding the loaded model is byte-identical.
+            assert_eq!(to_bytes(&loaded), bytes);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_model() {
+        let model = sample_model(true);
+        let text = to_json(&model);
+        let loaded = from_json(&text).unwrap();
+        assert!(loaded == model);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let model = sample_model(false);
+        let mut bytes = to_bytes(&model);
+        bytes[0] = b'X';
+        assert!(matches!(from_bytes(&bytes), Err(ArtifactError::BadMagic)));
+
+        let mut bytes = to_bytes(&model);
+        bytes[4] = 0xFF; // version 0x00FF = 255
+                         // Version bytes are covered by the checksum too, so either error is
+                         // acceptable — but with a recomputed CRC it must be the version.
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert!(matches!(
+            from_bytes(&bytes),
+            Err(ArtifactError::UnsupportedVersion(255))
+        ));
+    }
+
+    #[test]
+    fn every_flipped_byte_is_a_checksum_error_not_a_panic() {
+        let model = sample_model(true);
+        let clean = to_bytes(&model);
+        // Flip one byte at a time across the whole file (step keeps the
+        // test fast on big artifacts; this one is small so step=1).
+        for i in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x40;
+            match from_bytes(&corrupt) {
+                Err(_) => {}
+                Ok(_) => panic!("flip at byte {i} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = to_bytes(&sample_model(false));
+        for keep in [0, 3, 8, 20, bytes.len() - 5] {
+            assert!(from_bytes(&bytes[..keep]).is_err(), "kept {keep} bytes");
+        }
+    }
+
+    #[test]
+    fn save_load_dispatches_on_extension() {
+        let dir = std::env::temp_dir().join("dc-serve-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = sample_model(true);
+
+        let bin = dir.join("model.dcm");
+        save(&model, &bin).unwrap();
+        assert_eq!(std::fs::read(&bin).unwrap()[..4], MAGIC);
+        assert!(load(&bin).unwrap() == model);
+
+        let json = dir.join("model.json");
+        save(&model, &json).unwrap();
+        assert!(std::fs::read_to_string(&json).unwrap().starts_with('{'));
+        assert!(load(&json).unwrap() == model);
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

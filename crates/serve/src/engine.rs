@@ -1,0 +1,171 @@
+//! Concurrent query serving over an immutable [`ServeModel`].
+//!
+//! The model is shared read-only behind an `Arc`, so any number of worker
+//! threads can answer point queries without synchronization; the only
+//! shared mutable state is the [`QueryStats`] aggregator behind a
+//! `parking_lot::Mutex`, which workers touch once per batch (thread-local
+//! tallies are merged, not per-query locking).
+
+use crate::model::ServeModel;
+use crate::stats::{QueryOutcome, QueryStats};
+use dc_floc::prediction::PredictError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A cheaply-cloneable handle serving predictions from a frozen model.
+/// Clones share the model and the stats aggregator.
+#[derive(Clone)]
+pub struct QueryEngine {
+    model: Arc<ServeModel>,
+    stats: Arc<Mutex<QueryStats>>,
+}
+
+fn outcome_of(result: &Result<f64, PredictError>) -> QueryOutcome {
+    match result {
+        Ok(_) => QueryOutcome::Hit,
+        Err(PredictError::NotCovered) => QueryOutcome::Miss,
+        Err(PredictError::DegenerateCluster) => QueryOutcome::Degenerate,
+    }
+}
+
+impl QueryEngine {
+    pub fn new(model: ServeModel) -> Self {
+        QueryEngine {
+            model: Arc::new(model),
+            stats: Arc::new(Mutex::new(QueryStats::new())),
+        }
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &ServeModel {
+        &self.model
+    }
+
+    /// Answers one point query, recording latency and outcome.
+    pub fn predict(&self, row: usize, col: usize) -> Result<f64, PredictError> {
+        let start = Instant::now();
+        let result = self.model.predict(row, col);
+        self.stats
+            .lock()
+            .record(outcome_of(&result), start.elapsed());
+        result
+    }
+
+    /// Top-`n` recommendations for a row (not counted in point-query stats).
+    pub fn top_n(&self, row: usize, n: usize) -> Vec<(usize, f64)> {
+        self.model.top_n(row, n)
+    }
+
+    /// Answers a batch of queries on `threads` scoped worker threads,
+    /// returning results in query order.
+    ///
+    /// Each worker owns a contiguous slice of the output and a thread-local
+    /// [`QueryStats`]; tallies are merged into the shared aggregator once
+    /// per worker, so throughput scales with cores instead of serializing
+    /// on a stats lock.
+    pub fn predict_batch(
+        &self,
+        queries: &[(usize, usize)],
+        threads: usize,
+    ) -> Vec<Result<f64, PredictError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.clamp(1, queries.len());
+        let mut results: Vec<Result<f64, PredictError>> =
+            vec![Err(PredictError::NotCovered); queries.len()];
+        let chunk = queries.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (qchunk, rchunk) in queries.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move |_| {
+                    let mut local = QueryStats::new();
+                    for (&(row, col), slot) in qchunk.iter().zip(rchunk.iter_mut()) {
+                        let start = Instant::now();
+                        let result = self.model.predict(row, col);
+                        local.record(outcome_of(&result), start.elapsed());
+                        *slot = result;
+                    }
+                    self.stats.lock().merge(&local);
+                });
+            }
+        })
+        .expect("prediction worker panicked");
+        results
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> QueryStats {
+        self.stats.lock().clone()
+    }
+
+    /// Resets the accumulated statistics (e.g. between bench phases).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = QueryStats::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_floc::DeltaCluster;
+    use dc_matrix::DataMatrix;
+
+    fn engine() -> QueryEngine {
+        let mut m = DataMatrix::new(6, 6);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.set(r, c, (r + 2 * c) as f64);
+            }
+        }
+        let cluster = DeltaCluster::from_indices(6, 6, 0..4, 0..4);
+        QueryEngine::new(ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap())
+    }
+
+    #[test]
+    fn predict_records_stats() {
+        let e = engine();
+        assert!(e.predict(1, 2).is_ok());
+        assert!(e.predict(5, 5).is_err());
+        let s = e.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        e.reset_stats();
+        assert_eq!(e.stats().queries, 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_preserves_order() {
+        let e = engine();
+        let queries: Vec<(usize, usize)> =
+            (0..6).flat_map(|r| (0..6).map(move |c| (r, c))).collect();
+        let sequential: Vec<_> = queries
+            .iter()
+            .map(|&(r, c)| e.model().predict(r, c))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = e.predict_batch(&queries, threads);
+            assert_eq!(batch, sequential, "threads={threads}");
+        }
+        // 36 queries × 4 thread-counts, all recorded.
+        assert_eq!(e.stats().queries as usize, queries.len() * 4);
+    }
+
+    #[test]
+    fn batch_handles_empty_and_oversized_thread_counts() {
+        let e = engine();
+        assert!(e.predict_batch(&[], 4).is_empty());
+        let one = e.predict_batch(&[(0, 0)], 64);
+        assert_eq!(one.len(), 1);
+        assert!(one[0].is_ok());
+    }
+
+    #[test]
+    fn clones_share_model_and_stats() {
+        let e = engine();
+        let f = e.clone();
+        assert!(f.predict(0, 0).is_ok());
+        assert_eq!(e.stats().queries, 1);
+    }
+}

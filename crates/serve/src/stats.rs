@@ -1,0 +1,186 @@
+//! Query-serving statistics: counts, hit/miss accounting, and a
+//! log-scaled latency histogram cheap enough to update on every query.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets. Bucket `i` holds latencies in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds 0–1 ns); the last bucket
+/// absorbs everything ≥ 2^(BUCKETS-2) ns (≈ 34 s).
+pub const BUCKETS: usize = 36;
+
+/// Aggregate statistics for a stream of point queries.
+///
+/// Latencies go into power-of-two buckets, so quantile estimates are upper
+/// bounds with at most 2× resolution error — plenty to distinguish an
+/// indexed lookup from a full model scan, which differ by orders of
+/// magnitude.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryStats {
+    /// Total queries answered (hits + misses + degenerate).
+    pub queries: u64,
+    /// Queries answered with a prediction.
+    pub hits: u64,
+    /// Queries no cluster covered.
+    pub misses: u64,
+    /// Queries covered only by degenerate (zero-volume) clusters.
+    pub degenerate: u64,
+    /// Latency histogram; see [`BUCKETS`].
+    pub latency_buckets: Vec<u64>,
+    /// Sum of all recorded latencies in nanoseconds.
+    pub total_latency_nanos: u64,
+}
+
+impl Default for QueryStats {
+    fn default() -> Self {
+        QueryStats {
+            queries: 0,
+            hits: 0,
+            misses: 0,
+            degenerate: 0,
+            latency_buckets: vec![0; BUCKETS],
+            total_latency_nanos: 0,
+        }
+    }
+}
+
+/// How a single query resolved, for stats accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    Hit,
+    Miss,
+    Degenerate,
+}
+
+fn bucket_of(nanos: u64) -> usize {
+    ((u64::BITS - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Upper bound of bucket `i` in nanoseconds.
+fn bucket_upper(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl QueryStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query.
+    pub fn record(&mut self, outcome: QueryOutcome, latency: Duration) {
+        self.queries += 1;
+        match outcome {
+            QueryOutcome::Hit => self.hits += 1,
+            QueryOutcome::Miss => self.misses += 1,
+            QueryOutcome::Degenerate => self.degenerate += 1,
+        }
+        let nanos = latency.as_nanos().min(u64::MAX as u128) as u64;
+        self.latency_buckets[bucket_of(nanos)] += 1;
+        self.total_latency_nanos = self.total_latency_nanos.saturating_add(nanos);
+    }
+
+    /// Folds another stats block into this one (used by worker threads to
+    /// publish thread-local tallies once per batch).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.queries += other.queries;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.degenerate += other.degenerate;
+        for (a, b) in self.latency_buckets.iter_mut().zip(&other.latency_buckets) {
+            *a += b;
+        }
+        self.total_latency_nanos = self
+            .total_latency_nanos
+            .saturating_add(other.total_latency_nanos);
+    }
+
+    /// Fraction of queries answered with a prediction.
+    pub fn hit_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean latency over all recorded queries.
+    pub fn mean_latency(&self) -> Duration {
+        Duration::from_nanos(
+            self.total_latency_nanos
+                .checked_div(self.queries)
+                .unwrap_or(0),
+        )
+    }
+
+    /// Histogram-estimated latency quantile (`q` in `[0, 1]`): the upper
+    /// bound of the bucket containing the q-th ordered query.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        if self.queries == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.queries as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Duration::from_nanos(bucket_upper(i));
+            }
+        }
+        Duration::from_nanos(bucket_upper(BUCKETS - 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log_scaled() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let mut s = QueryStats::new();
+        for _ in 0..99 {
+            s.record(QueryOutcome::Hit, Duration::from_nanos(100));
+        }
+        s.record(QueryOutcome::Miss, Duration::from_micros(100));
+        assert_eq!(s.queries, 100);
+        assert_eq!(s.hits, 99);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.99).abs() < 1e-12);
+        // p50 falls in the 100 ns bucket (upper bound 128 ns); p995 must
+        // land in the slow bucket.
+        assert!(s.latency_quantile(0.5) <= Duration::from_nanos(128));
+        assert!(s.latency_quantile(0.995) >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let mut a = QueryStats::new();
+        let mut b = QueryStats::new();
+        a.record(QueryOutcome::Hit, Duration::from_nanos(10));
+        b.record(QueryOutcome::Degenerate, Duration::from_nanos(20));
+        b.record(QueryOutcome::Miss, Duration::from_nanos(40));
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.degenerate, 1);
+        assert_eq!(a.total_latency_nanos, 70);
+        assert_eq!(a.latency_buckets.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let mut s = QueryStats::new();
+        s.record(QueryOutcome::Hit, Duration::from_nanos(5));
+        let text = serde_json::to_string(&s).unwrap();
+        let back: QueryStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -137,6 +137,7 @@ mod tests {
 
     /// Matrix with a planted shifting-coherent block (rows 0..br, cols
     /// 0..bc) in noise.
+    #[allow(clippy::needless_range_loop)] // index drives both the block test and the pattern lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut m = DataMatrix::new(rows, cols);
@@ -157,7 +158,11 @@ mod tests {
     fn config() -> AlternativeConfig {
         AlternativeConfig {
             k: 5,
-            clique: CliqueConfig { bins: 12, tau: 0.15, max_level: 3 },
+            clique: CliqueConfig {
+                bins: 12,
+                tau: 0.15,
+                max_level: 3,
+            },
             min_cols: 3,
             min_rows: 3,
             clique_cap: 500,
@@ -183,7 +188,10 @@ mod tests {
             "candidate dominated by noise rows: {best:?}"
         );
         let planted_cols = best.cols.iter().filter(|&c| c < 4).count();
-        assert!(planted_cols >= 3, "planted attributes not recovered: {best:?}");
+        assert!(
+            planted_cols >= 3,
+            "planted attributes not recovered: {best:?}"
+        );
     }
 
     #[test]
@@ -199,11 +207,7 @@ mod tests {
     #[test]
     fn pure_noise_yields_few_or_no_clusters() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(
-            40,
-            6,
-            (0..240).map(|_| rng.gen_range(0.0..200.0)).collect(),
-        );
+        let m = DataMatrix::from_rows(40, 6, (0..240).map(|_| rng.gen_range(0.0..200.0)).collect());
         let result = alternative(&m, &config());
         // Any surviving candidates must not look strongly coherent.
         for &r in &result.residues {

@@ -22,7 +22,11 @@ pub struct CliqueConfig {
 
 impl Default for CliqueConfig {
     fn default() -> Self {
-        CliqueConfig { bins: 10, tau: 0.05, max_level: 4 }
+        CliqueConfig {
+            bins: 10,
+            tau: 0.05,
+            max_level: 4,
+        }
     }
 }
 
@@ -75,20 +79,38 @@ mod tests {
     #[test]
     fn clique_finds_the_embedded_subspace_cluster() {
         let m = embedded(1);
-        let clusters = clique(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        let clusters = clique(
+            &m,
+            &CliqueConfig {
+                bins: 5,
+                tau: 0.2,
+                max_level: 3,
+            },
+        );
         // Expect a 2-d cluster on dims {0, 1} holding (most of) the 30
         // planted points.
         let hit = clusters
             .iter()
             .find(|c| c.dims == vec![0, 1])
             .expect("2-d cluster on dims (0,1) not found");
-        assert!(hit.points.len() >= 25, "only {} points captured", hit.points.len());
+        assert!(
+            hit.points.len() >= 25,
+            "only {} points captured",
+            hit.points.len()
+        );
     }
 
     #[test]
     fn top_level_returns_highest_dimensionality() {
         let m = embedded(2);
-        let top = clique_top_level(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        let top = clique_top_level(
+            &m,
+            &CliqueConfig {
+                bins: 5,
+                tau: 0.2,
+                max_level: 3,
+            },
+        );
         assert!(!top.is_empty());
         let max_dim = top.iter().map(|c| c.dimensionality()).max().unwrap();
         assert!(top.iter().all(|c| c.dimensionality() == max_dim));
@@ -97,20 +119,38 @@ mod tests {
     #[test]
     fn empty_result_when_nothing_is_dense() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(
-            50,
-            2,
-            (0..100).map(|_| rng.gen_range(0.0..100.0)).collect(),
+        let m = DataMatrix::from_rows(50, 2, (0..100).map(|_| rng.gen_range(0.0..100.0)).collect());
+        let clusters = clique(
+            &m,
+            &CliqueConfig {
+                bins: 50,
+                tau: 0.5,
+                max_level: 2,
+            },
         );
-        let clusters = clique(&m, &CliqueConfig { bins: 50, tau: 0.5, max_level: 2 });
         assert!(clusters.is_empty());
-        assert!(clique_top_level(&m, &CliqueConfig { bins: 50, tau: 0.5, max_level: 2 }).is_empty());
+        assert!(clique_top_level(
+            &m,
+            &CliqueConfig {
+                bins: 50,
+                tau: 0.5,
+                max_level: 2
+            }
+        )
+        .is_empty());
     }
 
     #[test]
     fn clusters_ordered_highest_dimensionality_first() {
         let m = embedded(4);
-        let clusters = clique(&m, &CliqueConfig { bins: 5, tau: 0.2, max_level: 3 });
+        let clusters = clique(
+            &m,
+            &CliqueConfig {
+                bins: 5,
+                tau: 0.2,
+                max_level: 3,
+            },
+        );
         let dims: Vec<usize> = clusters.iter().map(|c| c.dimensionality()).collect();
         let mut sorted = dims.clone();
         sorted.sort_by(|a, b| b.cmp(a));

@@ -73,9 +73,9 @@ pub fn merge_level(grid: &Grid, level: &Level) -> Vec<SubspaceCluster> {
             }
             parent[i]
         }
-        for i in 0..n {
-            for j in i + 1..n {
-                if adjacent(units[i], units[j]) {
+        for (i, &ui) in units.iter().enumerate() {
+            for (j, &uj) in units.iter().enumerate().skip(i + 1) {
+                if adjacent(ui, uj) {
                     let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
                     if ri != rj {
                         parent[ri] = rj;
@@ -84,9 +84,9 @@ pub fn merge_level(grid: &Grid, level: &Level) -> Vec<SubspaceCluster> {
             }
         }
         let mut components: HashMap<usize, Vec<&Unit>> = HashMap::new();
-        for i in 0..n {
+        for (i, &unit) in units.iter().enumerate() {
             let root = find(&mut parent, i);
-            components.entry(root).or_default().push(units[i]);
+            components.entry(root).or_default().push(unit);
         }
         let mut roots: Vec<_> = components.into_values().collect();
         roots.sort();
@@ -118,7 +118,10 @@ mod tests {
         let a: Unit = vec![(0, 1), (1, 2)];
         assert!(adjacent(&a, &vec![(0, 2), (1, 2)]));
         assert!(adjacent(&a, &vec![(0, 1), (1, 1)]));
-        assert!(!adjacent(&a, &vec![(0, 2), (1, 3)]), "diagonal is not adjacent");
+        assert!(
+            !adjacent(&a, &vec![(0, 2), (1, 3)]),
+            "diagonal is not adjacent"
+        );
         assert!(!adjacent(&a, &vec![(0, 3), (1, 2)]), "two steps apart");
         assert!(!adjacent(&a, &vec![(0, 1), (1, 2)]), "identical unit");
         assert!(!adjacent(&a, &vec![(0, 1), (2, 2)]), "different subspace");
@@ -176,7 +179,10 @@ mod tests {
         // Dims 0 and 1 concentrate in one bin → a 2-d dense unit on (0, 1).
         let two_d = levels.iter().find(|l| l.k == 2).expect("2-d level");
         let clusters = merge_level(&g, two_d);
-        assert!(clusters.iter().any(|c| c.dims == vec![0, 1]), "{clusters:?}");
+        assert!(
+            clusters.iter().any(|c| c.dims == vec![0, 1]),
+            "{clusters:?}"
+        );
         for c in &clusters {
             assert_eq!(c.dimensionality(), 2);
         }

@@ -96,11 +96,7 @@ mod tests {
 
     #[test]
     fn missing_propagates_to_derived() {
-        let m = DataMatrix::from_options(
-            1,
-            3,
-            vec![Some(1.0), None, Some(4.0)],
-        );
+        let m = DataMatrix::from_options(1, 3, vec![Some(1.0), None, Some(4.0)]);
         let d = derive(&m);
         assert_eq!(d.matrix.get(0, 0), None); // (0,1): 1 missing
         assert_eq!(d.matrix.get(0, 1), Some(-3.0)); // (0,2)

@@ -19,7 +19,9 @@ pub struct AttributeGraph {
 impl AttributeGraph {
     /// An edgeless graph over `n` vertices.
     pub fn new(n: usize) -> Self {
-        AttributeGraph { adj: (0..n).map(|_| BitSet::new(n)).collect() }
+        AttributeGraph {
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+        }
     }
 
     /// Builds the graph from edges.
@@ -107,7 +109,11 @@ impl AttributeGraph {
             .copied()
             .max_by_key(|&u| p.iter().filter(|&&v| self.has_edge(u, v)).count());
         let candidates: Vec<usize> = match pivot {
-            Some(u) => p.iter().copied().filter(|&v| !self.has_edge(u, v)).collect(),
+            Some(u) => p
+                .iter()
+                .copied()
+                .filter(|&v| !self.has_edge(u, v))
+                .collect(),
             None => p.clone(),
         };
         let mut p = p;

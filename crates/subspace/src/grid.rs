@@ -29,9 +29,8 @@ impl Grid {
         let mut ranges = Vec::with_capacity(matrix.cols());
         let mut bin_of = Vec::with_capacity(matrix.cols());
         for d in 0..matrix.cols() {
-            let summary = dc_matrix::stats::Summary::from_values(
-                matrix.col_entries(d).map(|(_, v)| v),
-            );
+            let summary =
+                dc_matrix::stats::Summary::from_values(matrix.col_entries(d).map(|(_, v)| v));
             let (min, width) = if summary.count == 0 {
                 (0.0, 0.0)
             } else {
@@ -52,7 +51,11 @@ impl Grid {
                 .collect();
             bin_of.push(col);
         }
-        Grid { bins, ranges, bin_of }
+        Grid {
+            bins,
+            ranges,
+            bin_of,
+        }
     }
 
     /// Number of dimensions the grid covers.

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example constraints_tour`
 
-use delta_clusters::prelude::*;
 use delta_clusters::datagen;
+use delta_clusters::prelude::*;
 
 fn workload() -> dc_datagen::EmbeddedData {
     let mut cfg = EmbedConfig::new(200, 40, vec![(25, 8), (25, 8), (25, 8)]);
@@ -31,7 +31,11 @@ fn base_config(k: usize) -> dc_floc::FlocConfigBuilder {
 fn main() {
     let data = workload();
     let m = &data.matrix;
-    println!("workload: {}x{} with 3 planted 25x8 clusters\n", m.rows(), m.cols());
+    println!(
+        "workload: {}x{} with 3 planted 25x8 clusters\n",
+        m.rows(),
+        m.cols()
+    );
 
     // --- Unconstrained baseline.
     let r = floc(m, &base_config(3).build()).unwrap();
@@ -41,7 +45,9 @@ fn main() {
     // --- Cons_v: volume floor keeps clusters statistically meaningful.
     let r = floc(
         m,
-        &base_config(3).constraint(Constraint::MinVolume { cells: 120 }).build(),
+        &base_config(3)
+            .constraint(Constraint::MinVolume { cells: 120 })
+            .build(),
     )
     .unwrap();
     println!("\nCons_v MinVolume(120):");

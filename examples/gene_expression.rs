@@ -48,11 +48,20 @@ fn main() {
     );
 
     // --- Cheng & Church: one bicluster at a time with masking.
-    let cc = cheng_church(&data.matrix, &ChengChurchConfig { seed: 3, ..ChengChurchConfig::new(8, 2000.0) });
+    let cc = cheng_church(
+        &data.matrix,
+        &ChengChurchConfig {
+            seed: 3,
+            ..ChengChurchConfig::new(8, 2000.0)
+        },
+    );
     let cc_clusters: Vec<DeltaCluster> = cc
         .biclusters
         .iter()
-        .map(|b| DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() })
+        .map(|b| DeltaCluster {
+            rows: b.rows.clone(),
+            cols: b.cols.clone(),
+        })
         .collect();
     let cc_residue: f64 = cc_clusters
         .iter()

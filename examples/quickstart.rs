@@ -91,7 +91,11 @@ fn genre_clusters() {
         .seed(1)
         .build();
     let result = floc(&m, &config).expect("floc run");
-    println!("  FLOC found {} clusters, average residue {:.4}:", result.clusters.len(), result.avg_residue);
+    println!(
+        "  FLOC found {} clusters, average residue {:.4}:",
+        result.clusters.len(),
+        result.avg_residue
+    );
     for (i, c) in result.clusters.iter().enumerate() {
         println!(
             "    cluster {i}: viewers {:?} on movies {:?} (residue {:.4})",

@@ -1,0 +1,89 @@
+//! Serving a trained δ-clustering: mine → snapshot → concurrent queries.
+//!
+//! Mines a MovieLens-shaped rating matrix with FLOC, saves the trained
+//! model to a checksummed binary artifact, loads it back (byte-identical
+//! round trip), and serves point predictions and top-N recommendations
+//! through the concurrent [`QueryEngine`], reporting throughput scaling
+//! across worker-thread counts.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use delta_clusters::datagen;
+use delta_clusters::prelude::*;
+use delta_clusters::serve;
+use std::time::Instant;
+
+fn main() {
+    // 1. Train: mine δ-clusters from a synthetic rating matrix.
+    let config = MovieLensConfig {
+        users: 200,
+        movies: 300,
+        ratings: 12_000,
+        min_ratings_per_user: 15,
+        user_groups: 6,
+        genres: 8,
+        noise_std: 0.3,
+        seed: 7,
+    };
+    let matrix = datagen::movielens::generate(&config).matrix;
+    let fc = FlocConfig::builder(8)
+        .alpha(0.6)
+        .seeding(Seeding::TargetSize { rows: 25, cols: 20 })
+        .seed(3)
+        .build();
+    let result = floc(&matrix, &fc).expect("floc run");
+    println!(
+        "mined {} clusters (avg residue {:.3}) from {}x{} matrix",
+        result.clusters.len(),
+        result.avg_residue,
+        matrix.rows(),
+        matrix.cols()
+    );
+
+    // 2. Snapshot: save the model, then load it back from disk.
+    let model = ServeModel::from_result(matrix, &result).expect("model");
+    let path = std::env::temp_dir().join("serving_example.dcm");
+    serve::save(&model, &path).expect("save");
+    let loaded = serve::load(&path).expect("load");
+    assert!(model == loaded, "round trip must be lossless");
+    println!(
+        "saved + reloaded model artifact: {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // 3. Serve: point queries, top-N, and batched concurrent prediction.
+    let engine = QueryEngine::new(loaded);
+    match engine.predict(0, 0) {
+        Ok(p) => println!("predict(user 0, movie 0) = {p:.2}"),
+        Err(PredictError::NotCovered) => {
+            println!("predict(user 0, movie 0): cell not covered by any cluster")
+        }
+        Err(e) => println!("predict(user 0, movie 0): {e}"),
+    }
+    let recs = engine.top_n(0, 5);
+    println!("top-5 unseen movies for user 0:");
+    for (movie, score) in &recs {
+        println!("  movie {movie:>4}  predicted rating {score:.2}");
+    }
+
+    let rows = engine.model().matrix().rows();
+    let cols = engine.model().matrix().cols();
+    let queries: Vec<(usize, usize)> = (0..100_000)
+        .map(|i| (i * 7919 % rows, i * 104_729 % cols))
+        .collect();
+    println!("\nbatch of {} queries:", queries.len());
+    for threads in [1usize, 2, 4] {
+        engine.reset_stats();
+        let start = Instant::now();
+        engine.predict_batch(&queries, threads);
+        let elapsed = start.elapsed();
+        let stats = engine.stats();
+        println!(
+            "  {threads} thread(s): {:>9.0} q/s, hit rate {:.2}, p99 {:?}",
+            queries.len() as f64 / elapsed.as_secs_f64(),
+            stats.hit_rate(),
+            stats.latency_quantile(0.99)
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`subspace`] | `dc-subspace` | CLIQUE and the §4.4 "alternative algorithm" |
 //! | [`datagen`] | `dc-datagen` | synthetic workloads: embedded clusters, MovieLens-like, microarray-like |
 //! | [`eval`] | `dc-eval` | recall/precision, diameter, matching, reports |
+//! | [`serve`] | `dc-serve` | model snapshots (binary + JSON), indexed prediction, concurrent query engine |
 //!
 //! ## Quickstart
 //!
@@ -50,6 +51,7 @@ pub use dc_datagen as datagen;
 pub use dc_eval as eval;
 pub use dc_floc as floc;
 pub use dc_matrix as matrix;
+pub use dc_serve as serve;
 pub use dc_subspace as subspace;
 
 /// The names most programs need, importable with one `use`.
@@ -62,5 +64,6 @@ pub mod prelude {
         Ordering, ResidueMean, Seeding,
     };
     pub use dc_matrix::{BitSet, DataMatrix};
+    pub use dc_serve::{PredictError, QueryEngine, ServeModel};
     pub use dc_subspace::{alternative, clique, AlternativeConfig, CliqueConfig};
 }

@@ -101,7 +101,7 @@ fn cheng_church_and_floc_agree_on_an_obvious_block() {
         .constraint(Constraint::MinVolume { cells: 150 })
         .seed(2)
         .build();
-    let (floc_result, _) = floc_restarts(&data.matrix, &fc, 6, 3).expect("floc");
+    let (floc_result, _) = floc_restarts(&data.matrix, &fc, 12, 3).expect("floc");
     let cc = cheng_church(&data.matrix, &ChengChurchConfig::new(1, 100.0));
 
     let truth = &data.truth;
@@ -109,7 +109,10 @@ fn cheng_church_and_floc_agree_on_an_obvious_block() {
     let cc_clusters: Vec<DeltaCluster> = cc
         .biclusters
         .iter()
-        .map(|b| DeltaCluster { rows: b.rows.clone(), cols: b.cols.clone() })
+        .map(|b| DeltaCluster {
+            rows: b.rows.clone(),
+            cols: b.cols.clone(),
+        })
         .collect();
     let cc_q = quality(&data.matrix, truth, &cc_clusters);
     assert!(floc_q.recall > 0.3, "FLOC recall {:.2}", floc_q.recall);
@@ -126,7 +129,11 @@ fn alternative_algorithm_agrees_with_direct_residue_scoring() {
         &data.matrix,
         &AlternativeConfig {
             k: 3,
-            clique: CliqueConfig { bins: 10, tau: 0.15, max_level: 3 },
+            clique: CliqueConfig {
+                bins: 10,
+                tau: 0.15,
+                max_level: 3,
+            },
             min_cols: 3,
             min_rows: 3,
             clique_cap: 500,
@@ -164,7 +171,10 @@ fn subspace_clique_feeds_delta_cluster_extraction() {
     let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
         - vals.iter().cloned().fold(f64::MAX, f64::min);
     // Entry noise is ±2 (target residue 1), so diffs spread at most ~8.
-    assert!(spread < 8.5, "derived spread {spread} too wide for coherent rows");
+    assert!(
+        spread < 8.5,
+        "derived spread {spread} too wide for coherent rows"
+    );
 }
 
 #[test]
@@ -215,7 +225,10 @@ fn io_roundtrip_preserves_clustering_results() {
         .build();
     let a = floc(&data.matrix, &fc).expect("original");
     let b = floc(&reloaded, &fc).expect("reloaded");
-    assert_eq!(a.clusters, b.clusters, "clustering must be identical after IO roundtrip");
+    assert_eq!(
+        a.clusters, b.clusters,
+        "clustering must be identical after IO roundtrip"
+    );
     assert!((a.avg_residue - b.avg_residue).abs() < 1e-9);
 }
 
@@ -253,6 +266,61 @@ fn diameter_large_residue_small_for_discovered_clusters() {
     for (i, c) in result.clusters.iter().enumerate() {
         let d = eval::diameter(&data.matrix, c);
         assert!(d > 10.0, "cluster {i} diameter {d} suspiciously small");
-        assert!(result.residues[i] < d, "residue should be far below diameter");
+        assert!(
+            result.residues[i] < d,
+            "residue should be far below diameter"
+        );
     }
+}
+
+#[test]
+fn mine_snapshot_serve_pipeline() {
+    // The full serving story: mine a planted workload, snapshot the trained
+    // model to the binary artifact format, reload it, and answer queries
+    // through the concurrent engine — identically to the in-memory model.
+    use delta_clusters::serve;
+
+    let data = workload(77);
+    let fc = FlocConfig::builder(3)
+        .seeding(Seeding::TargetSize { rows: 14, cols: 6 })
+        .min_dims(3, 3)
+        .seed(5)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc");
+
+    let model = ServeModel::from_result(data.matrix.clone(), &result).expect("model");
+    let dir = std::env::temp_dir().join("dc_e2e_serving");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("model.dcm");
+    serve::save(&model, &path).expect("save");
+    let loaded = serve::load(&path).expect("load");
+    assert!(loaded == model, "artifact round trip must be lossless");
+
+    // Indexed serving agrees with the naive all-cluster scan everywhere.
+    let engine = QueryEngine::new(loaded);
+    for r in 0..data.matrix.rows() {
+        for c in 0..data.matrix.cols() {
+            assert_eq!(
+                engine.model().predict(r, c).ok(),
+                engine.model().naive_predict(r, c).ok(),
+                "indexed vs naive disagree at ({r},{c})"
+            );
+        }
+    }
+
+    // Batched concurrent prediction returns the same answers in order.
+    let queries: Vec<(usize, usize)> = (0..data.matrix.rows())
+        .map(|r| (r, r % data.matrix.cols()))
+        .collect();
+    let sequential: Vec<_> = queries
+        .iter()
+        .map(|&(r, c)| engine.predict(r, c).ok())
+        .collect();
+    let batched: Vec<_> = engine
+        .predict_batch(&queries, 4)
+        .into_iter()
+        .map(|r| r.ok())
+        .collect();
+    assert_eq!(sequential, batched);
+    std::fs::remove_file(&path).ok();
 }
