@@ -30,5 +30,5 @@ fn main() {
     }
     println!("{report}");
     let _ = std::fs::create_dir_all(&opts.out_dir);
-    let _ = std::fs::write(opts.out_dir.join("report.txt"), &report);
+    let _ = dc_serve::atomic_write(opts.out_dir.join("report.txt"), report.as_bytes());
 }

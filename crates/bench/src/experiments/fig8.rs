@@ -24,6 +24,8 @@ pub struct Point {
     pub seconds: f64,
     /// Final average residue (diagnostic: a stalled run shows up here).
     pub avg_residue: f64,
+    /// Why the run stopped (`converged` unless a budget/interrupt fired).
+    pub stop_reason: String,
 }
 
 /// The sweep of `(V_init − V_emb)/V_emb` ratios.
@@ -65,6 +67,7 @@ pub fn run(opts: &Opts) -> String {
             iterations: result.iterations,
             seconds: result.elapsed.as_secs_f64(),
             avg_residue: result.avg_residue,
+            stop_reason: result.stop_reason.to_string(),
         });
     }
 

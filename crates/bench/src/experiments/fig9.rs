@@ -24,6 +24,8 @@ pub struct Point {
     pub iterations: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Why the run stopped (`converged` unless a budget/interrupt fired).
+    pub stop_reason: String,
 }
 
 /// Embedded-volume variance levels (x axis).
@@ -85,6 +87,7 @@ pub fn run(opts: &Opts) -> String {
                 seed_variance: seed_var,
                 iterations: result.iterations,
                 seconds: result.elapsed.as_secs_f64(),
+                stop_reason: result.stop_reason.to_string(),
             });
         }
     }

@@ -14,13 +14,16 @@
 //! Every command takes `--seed` and is fully reproducible.
 
 use crate::args::{ArgError, Args};
-use dc_floc::{floc, Constraint, DeltaCluster, FlocConfig, Ordering, ResidueMean, Seeding};
+use dc_floc::{
+    floc, floc_observed, floc_resume, Constraint, DeltaCluster, FlocCheckpoint, FlocConfig,
+    InterruptFlag, Ordering, ResidueMean, Seeding, StopReason,
+};
 use dc_matrix::io::{read_dense_file, read_triples_file, DenseFormat};
 use dc_matrix::DataMatrix;
-use dc_serve::{PredictError, QueryEngine, ServeModel};
+use dc_serve::{atomic_write, PredictError, QueryEngine, ServeModel};
 use serde::Serialize;
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Top-level command errors.
 #[derive(Debug)]
@@ -54,6 +57,68 @@ impl From<ArgError> for CmdError {
     }
 }
 
+impl CmdError {
+    /// The process exit code this error maps to: 1 for usage/argument
+    /// problems, 2 for data/IO/algorithm failures.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CmdError::Usage(_) | CmdError::Arg(_) => 1,
+            CmdError::Io(_) | CmdError::Algo(_) => 2,
+        }
+    }
+
+    /// True when the user should be shown the usage text (their command
+    /// line was wrong, as opposed to their data or environment).
+    pub fn is_usage(&self) -> bool {
+        matches!(self, CmdError::Usage(_) | CmdError::Arg(_))
+    }
+}
+
+/// A successful command's output: the text to print plus the process exit
+/// code. Code 0 is a clean run; code 3 means mining was interrupted but a
+/// resumable best-so-far result (and checkpoint, if requested) was still
+/// produced — distinct from the error codes so scripts can retry `--resume`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Human-readable output for stdout.
+    pub text: String,
+    /// Process exit code (0, or 3 for interrupted-with-checkpoint).
+    pub exit_code: i32,
+}
+
+impl CmdOutput {
+    /// A clean (exit 0) output.
+    pub fn ok(text: impl Into<String>) -> Self {
+        CmdOutput {
+            text: text.into(),
+            exit_code: 0,
+        }
+    }
+
+    /// An interrupted-but-resumable (exit 3) output.
+    pub fn interrupted(text: impl Into<String>) -> Self {
+        CmdOutput {
+            text: text.into(),
+            exit_code: 3,
+        }
+    }
+}
+
+// A command's output is, first of all, its text: deref and Display let
+// callers (and the existing tests) treat it as the string it prints.
+impl std::ops::Deref for CmdOutput {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl std::fmt::Display for CmdOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 /// The text printed by `delta-clusters help`.
 pub const HELP: &str = "\
 delta-clusters — δ-cluster mining (Yang et al., ICDE 2002)
@@ -62,7 +127,9 @@ USAGE:
   delta-clusters mine <matrix-file> [--k N] [--alpha A] [--ordering fixed|random|weighted]
                   [--mean arithmetic|squared] [--min-volume CELLS] [--max-overlap FRAC]
                   [--seed-rows N --seed-cols N] [--triples] [--seed S] [--threads T]
-                  [--json OUT.json] [--save-model OUT.dcm]
+                  [--json OUT.json] [--save-model OUT.dcm] [--time-budget SECS]
+                  [--checkpoint OUT.dck] [--checkpoint-every N] [--resume IN.dck]
+  delta-clusters validate <matrix-file> [--alpha A] [--triples] [--strict]
   delta-clusters generate <out-file> --kind embedded|movielens|microarray
                   [--rows N --cols N --clusters K] [--seed S] [--truth OUT.json]
   delta-clusters evaluate <matrix-file> --found FOUND.json --truth TRUTH.json [--triples]
@@ -74,6 +141,8 @@ USAGE:
 
 Matrix files are tab-separated with `NA` (or empty) for missing entries;
 pass --triples for `row col value` lines (the MovieLens u.data layout).
+NaN/Inf cells are treated as missing. `validate` reports shape, missing
+rate, and per-row/column occupancy against --alpha before you mine.
 
 Model files (`mine --save-model`) are binary `.dcm` snapshots — matrix,
 clusters, and precomputed bases behind a checksum — or JSON when the path
@@ -81,18 +150,31 @@ ends in `.json`. `predict` answers point queries or, with --top, ranks a
 row's unrated columns. `serve-bench` replays a synthetic query stream at
 each thread count and writes BENCH_serve.json under --out
 (default target/experiments).
+
+Robustness: `mine --checkpoint` writes a CRC-checked `.dck` snapshot after
+each improving iteration (or every N with --checkpoint-every); SIGINT or an
+exceeded --time-budget stops at a safe boundary, keeps the best-so-far
+result, and exits with code 3 when interrupted. `mine --resume IN.dck`
+continues a run bit-identically to one that was never stopped. All files
+are written atomically (temp + fsync + rename).
+
+EXIT CODES:
+  0  success        1  usage error      2  data/IO/algorithm error
+  3  interrupted (best-so-far result and checkpoint were still written)
 ";
 
-/// Dispatches a parsed command line. Returns the text to print.
-pub fn dispatch(args: &Args) -> Result<String, CmdError> {
+/// Dispatches a parsed command line. Returns the text to print plus the
+/// exit code the process should report.
+pub fn dispatch(args: &Args) -> Result<CmdOutput, CmdError> {
     match args.command.as_deref() {
         Some("mine") => mine(args),
+        Some("validate") => validate(args),
         Some("generate") => generate(args),
         Some("evaluate") => evaluate(args),
         Some("compare") => compare(args),
         Some("predict") => predict(args),
         Some("serve-bench") => serve_bench(args),
-        Some("help") | None => Ok(HELP.to_string()),
+        Some("help") | None => Ok(CmdOutput::ok(HELP)),
         Some(other) => Err(CmdError::Usage(format!(
             "unknown command {other:?}; try `help`"
         ))),
@@ -163,20 +245,100 @@ pub fn floc_config(args: &Args, matrix: &DataMatrix) -> Result<FlocConfig, CmdEr
             .map_err(|_| CmdError::Usage(format!("--max-overlap {frac:?} not a number")))?;
         builder = builder.constraint(Constraint::MaxOverlap { fraction });
     }
+    if let Some(budget) = time_budget(args)? {
+        builder = builder.time_budget(budget);
+    }
     Ok(builder.build())
 }
 
-fn mine(args: &Args) -> Result<String, CmdError> {
+/// Parses `--time-budget SECS` (fractional seconds allowed).
+fn time_budget(args: &Args) -> Result<Option<Duration>, CmdError> {
+    match args.get("time-budget") {
+        None => Ok(None),
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| CmdError::Usage(format!("--time-budget {raw:?} not a number")))?;
+            if !secs.is_finite() || secs < 0.0 {
+                return Err(CmdError::Usage(format!(
+                    "--time-budget {raw:?} must be a non-negative number of seconds"
+                )));
+            }
+            Ok(Some(Duration::from_secs_f64(secs)))
+        }
+    }
+}
+
+fn mine(args: &Args) -> Result<CmdOutput, CmdError> {
     let path = input_path(args, "matrix file")?;
     let matrix = load_matrix(args, path)?;
-    let config = floc_config(args, &matrix)?;
-    let result = floc(&matrix, &config).map_err(|e| CmdError::Algo(e.to_string()))?;
+
+    let ckpt_out = args.get("checkpoint").map(str::to_string);
+    let every: usize = args.get_or("checkpoint-every", 1usize)?;
+    if every == 0 {
+        return Err(CmdError::Usage(
+            "--checkpoint-every must be positive".into(),
+        ));
+    }
+    // Test/demo aid: stretch each iteration so interrupts and budgets can
+    // land mid-run deterministically on small inputs.
+    let delay_ms: u64 = args.get_or("iteration-delay-ms", 0u64)?;
+
+    let interrupt = crate::interrupt::flag();
+    let mut ckpt_warnings: Vec<String> = Vec::new();
+    let mut last_snapshot: Option<FlocCheckpoint> = None;
+    let mut observer = |c: &FlocCheckpoint| {
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if let Some(p) = ckpt_out.as_deref() {
+            if c.iterations.is_multiple_of(every) {
+                if let Err(e) = dc_serve::save_checkpoint(c, p) {
+                    ckpt_warnings.push(format!("warning: checkpoint write failed: {p}: {e}"));
+                }
+            }
+        }
+        last_snapshot = Some(c.clone());
+    };
+    let want_observer = ckpt_out.is_some() || delay_ms > 0;
+
+    let result = {
+        let obs = want_observer.then_some(&mut observer as &mut dyn FnMut(&FlocCheckpoint));
+        if let Some(resume_path) = args.get("resume") {
+            let ckpt = dc_serve::load_checkpoint(resume_path)
+                .map_err(|e| CmdError::Io(format!("{resume_path}: {e}")))?;
+            // The search parameters come from the checkpoint (they must
+            // match bit-for-bit); only runtime plumbing is overridable.
+            let mut config = ckpt.config.clone();
+            config.threads = args.get_or("threads", config.threads)?;
+            // The wall-clock budget is per-invocation plumbing: the budget
+            // that stopped the original run must not re-stop the resume.
+            config.time_budget = time_budget(args)?;
+            config.interrupt = InterruptFlag::new(interrupt.clone());
+            floc_resume(&matrix, &ckpt, &config, obs)
+        } else {
+            let mut config = floc_config(args, &matrix)?;
+            config.interrupt = InterruptFlag::new(interrupt.clone());
+            floc_observed(&matrix, &config, obs)
+        }
+        .map_err(|e| CmdError::Algo(e.to_string()))?
+    };
 
     let mut out = result.summary(&matrix);
+    for w in &ckpt_warnings {
+        out.push_str(w);
+        out.push('\n');
+    }
+    // The final state always lands in the checkpoint file, even when the
+    // last improving iteration fell between --checkpoint-every marks.
+    if let (Some(p), Some(snap)) = (ckpt_out.as_deref(), last_snapshot.as_ref()) {
+        dc_serve::save_checkpoint(snap, p).map_err(|e| CmdError::Io(format!("{p}: {e}")))?;
+        out.push_str(&format!("checkpoint written to {p}\n"));
+    }
     if let Some(json_path) = args.get("json") {
         let json = serde_json::to_string_pretty(&result.clusters)
             .map_err(|e| CmdError::Io(e.to_string()))?;
-        std::fs::write(json_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+        atomic_write(json_path, json.as_bytes()).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("clusters written to {json_path}\n"));
     }
     if let Some(model_path) = args.get("save-model") {
@@ -185,7 +347,28 @@ fn mine(args: &Args) -> Result<String, CmdError> {
         dc_serve::save(&model, model_path).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("model snapshot written to {model_path}\n"));
     }
-    Ok(out)
+    if result.stop_reason == StopReason::Interrupted {
+        out.push_str("interrupted; result above is the best found so far\n");
+        return Ok(CmdOutput::interrupted(out));
+    }
+    Ok(CmdOutput::ok(out))
+}
+
+fn validate(args: &Args) -> Result<CmdOutput, CmdError> {
+    let path = input_path(args, "matrix file")?;
+    let matrix = load_matrix(args, path)?;
+    let alpha: f64 = args.get_or("alpha", 0.8)?;
+    if !(0.0..=1.0).contains(&alpha) {
+        return Err(CmdError::Usage(format!("--alpha {alpha} not in [0, 1]")));
+    }
+    let report = dc_matrix::validate(&matrix, alpha);
+    if args.switch("strict") && !report.fully_occupied() {
+        return Err(CmdError::Io(format!(
+            "{path}: {} row(s) and {} column(s) fall below alpha = {alpha}",
+            report.rows_below_alpha, report.cols_below_alpha
+        )));
+    }
+    Ok(CmdOutput::ok(format!("{path}:\n{report}\n")))
 }
 
 fn load_model(path: &str) -> Result<ServeModel, CmdError> {
@@ -201,7 +384,7 @@ fn positional_index(args: &Args, pos: usize, what: &str) -> Result<usize, CmdErr
         .map_err(|_| CmdError::Usage(format!("{what} {raw:?} is not a non-negative integer")))
 }
 
-fn predict(args: &Args) -> Result<String, CmdError> {
+fn predict(args: &Args) -> Result<CmdOutput, CmdError> {
     let model = load_model(input_path(args, "model file")?)?;
     let row = positional_index(args, 1, "row index")?;
 
@@ -211,7 +394,9 @@ fn predict(args: &Args) -> Result<String, CmdError> {
             .map_err(|_| CmdError::Usage(format!("--top {top:?} is not a number")))?;
         let recs = model.top_n(row, n);
         if recs.is_empty() {
-            return Ok(format!("no predictable unrated columns for row {row}\n"));
+            return Ok(CmdOutput::ok(format!(
+                "no predictable unrated columns for row {row}\n"
+            )));
         }
         let mut out = format!("top {} prediction(s) for row {row}:\n", recs.len());
         for (col, score) in recs {
@@ -221,20 +406,20 @@ fn predict(args: &Args) -> Result<String, CmdError> {
                 .map_or(String::new(), |l| format!("  ({l})"));
             out.push_str(&format!("  col {col:<6} {score:>10.3}{label}\n"));
         }
-        return Ok(out);
+        return Ok(CmdOutput::ok(out));
     }
 
     let col = positional_index(args, 2, "column index")?;
     match model.predict(row, col) {
         Ok(value) => {
             let clusters = model.covering(row, col).count();
-            Ok(format!(
+            Ok(CmdOutput::ok(format!(
                 "predicted ({row}, {col}) = {value:.4}  [{clusters} covering cluster(s)]\n"
-            ))
+            )))
         }
-        Err(PredictError::NotCovered) => Ok(format!(
+        Err(PredictError::NotCovered) => Ok(CmdOutput::ok(format!(
             "cell ({row}, {col}) is not covered by any cluster in the model\n"
-        )),
+        ))),
         Err(e @ PredictError::DegenerateCluster) => Err(CmdError::Algo(e.to_string())),
     }
 }
@@ -278,7 +463,7 @@ fn bench_queries(rows: usize, cols: usize, n: usize) -> Vec<(usize, usize)> {
         .collect()
 }
 
-fn serve_bench(args: &Args) -> Result<String, CmdError> {
+fn serve_bench(args: &Args) -> Result<CmdOutput, CmdError> {
     let model_path = input_path(args, "model file")?;
     let model = load_model(model_path)?;
     let queries: usize = args.get_or("queries", 200_000)?;
@@ -359,12 +544,12 @@ fn serve_bench(args: &Args) -> Result<String, CmdError> {
     std::fs::create_dir_all(dir).map_err(|e| CmdError::Io(e.to_string()))?;
     let json_path = dir.join("BENCH_serve.json");
     let json = serde_json::to_string_pretty(&report).map_err(|e| CmdError::Io(e.to_string()))?;
-    std::fs::write(&json_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+    atomic_write(&json_path, json.as_bytes()).map_err(|e| CmdError::Io(e.to_string()))?;
     out.push_str(&format!("report written to {}\n", json_path.display()));
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
-fn generate(args: &Args) -> Result<String, CmdError> {
+fn generate(args: &Args) -> Result<CmdOutput, CmdError> {
     let path = input_path(args, "output file")?;
     let kind = args.get("kind").unwrap_or("embedded");
     let seed: u64 = args.get_or("seed", 0)?;
@@ -400,9 +585,10 @@ fn generate(args: &Args) -> Result<String, CmdError> {
         other => return Err(CmdError::Usage(format!("unknown --kind {other:?}"))),
     };
 
-    let mut file = std::fs::File::create(path).map_err(|e| CmdError::Io(e.to_string()))?;
-    dc_matrix::io::write_dense(&matrix, &mut file, &DenseFormat::default())
-        .map_err(|e| CmdError::Io(e.to_string()))?;
+    dc_serve::atomic_write_with(Path::new(path), |mut w| {
+        dc_matrix::io::write_dense(&matrix, &mut w, &DenseFormat::default())
+    })
+    .map_err(|e| CmdError::Io(e.to_string()))?;
     let mut out = format!(
         "wrote {}x{} matrix ({} specified) to {path}\n",
         matrix.rows(),
@@ -411,10 +597,10 @@ fn generate(args: &Args) -> Result<String, CmdError> {
     );
     if let (Some(truth), Some(truth_path)) = (truth, args.get("truth")) {
         let json = serde_json::to_string_pretty(&truth).map_err(|e| CmdError::Io(e.to_string()))?;
-        std::fs::write(truth_path, json).map_err(|e| CmdError::Io(e.to_string()))?;
+        atomic_write(truth_path, json.as_bytes()).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("ground truth written to {truth_path}\n"));
     }
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
 fn read_clusters(path: &str) -> Result<Vec<DeltaCluster>, CmdError> {
@@ -423,7 +609,7 @@ fn read_clusters(path: &str) -> Result<Vec<DeltaCluster>, CmdError> {
     serde_json::from_str(&text).map_err(|e| CmdError::Io(format!("{path}: {e}")))
 }
 
-fn evaluate(args: &Args) -> Result<String, CmdError> {
+fn evaluate(args: &Args) -> Result<CmdOutput, CmdError> {
     let path = input_path(args, "matrix file")?;
     let matrix = load_matrix(args, path)?;
     let found = read_clusters(args.get("found").ok_or(ArgError::Missing("found".into()))?)?;
@@ -447,10 +633,10 @@ fn evaluate(args: &Args) -> Result<String, CmdError> {
             m.jaccard
         ));
     }
-    Ok(out)
+    Ok(CmdOutput::ok(out))
 }
 
-fn compare(args: &Args) -> Result<String, CmdError> {
+fn compare(args: &Args) -> Result<CmdOutput, CmdError> {
     let path = input_path(args, "matrix file")?;
     let matrix = load_matrix(args, path)?;
     let config = floc_config(args, &matrix)?;
@@ -477,7 +663,7 @@ fn compare(args: &Args) -> Result<String, CmdError> {
         .collect();
     let cc_avg = cc_residues.iter().sum::<f64>() / cc_residues.len().max(1) as f64;
 
-    Ok(format!(
+    Ok(CmdOutput::ok(format!(
         "FLOC:           avg residue {:.3}, aggregate volume {}, {:.2?}\n\
          Cheng & Church: avg residue {:.3}, aggregate volume {}, {:.2?}\n",
         floc_result.avg_residue,
@@ -486,7 +672,7 @@ fn compare(args: &Args) -> Result<String, CmdError> {
         cc_avg,
         cc.aggregate_volume(),
         cc.elapsed,
-    ))
+    )))
 }
 
 #[cfg(test)]
@@ -765,6 +951,199 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("threads"));
+    }
+
+    #[test]
+    fn exit_codes_follow_the_policy() {
+        assert_eq!(CmdError::Usage("x".into()).exit_code(), 1);
+        assert_eq!(CmdError::Arg(ArgError::Missing("k".into())).exit_code(), 1);
+        assert_eq!(CmdError::Io("x".into()).exit_code(), 2);
+        assert_eq!(CmdError::Algo("x".into()).exit_code(), 2);
+        assert_eq!(CmdOutput::ok("t").exit_code, 0);
+        assert_eq!(CmdOutput::interrupted("t").exit_code, 3);
+    }
+
+    #[test]
+    fn validate_reports_occupancy_and_strict_mode_fails_sparse_data() {
+        let data = tmp("validate_gen.tsv");
+        // Row 2 is half-missing; NaN counts as missing too.
+        std::fs::write(&data, "1\t2\t3\t4\n5\t6\t7\t8\nNA\t9\tNaN\t10\n").unwrap();
+        let out = dispatch(&args(&[
+            "validate",
+            data.to_str().unwrap(),
+            "--alpha",
+            "0.5",
+        ]))
+        .unwrap();
+        assert!(out.contains("3 x 4 matrix"), "{out}");
+        assert!(out.contains("row occupancy"), "{out}");
+        assert!(out.contains("below alpha"), "{out}");
+        assert_eq!(out.exit_code, 0);
+
+        // The synthetic rating matrix is sparse, so strict mode rejects it.
+        let err = dispatch(&args(&[
+            "validate",
+            data.to_str().unwrap(),
+            "--alpha",
+            "0.9",
+            "--strict",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("below alpha"));
+
+        let err =
+            dispatch(&args(&["validate", data.to_str().unwrap(), "--alpha", "7"])).unwrap_err();
+        assert_eq!(err.exit_code(), 1);
+    }
+
+    #[test]
+    fn zero_budget_checkpoint_resumes_to_the_full_run_result() {
+        let data = tmp("ckpt_gen.tsv");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--kind",
+            "embedded",
+            "--rows",
+            "60",
+            "--cols",
+            "20",
+            "--clusters",
+            "2",
+            "--seed",
+            "13",
+        ]))
+        .unwrap();
+
+        // Reference: one uninterrupted run.
+        let full_json = tmp("ckpt_full.json");
+        dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "13",
+            "--json",
+            full_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // A zero budget stops before the first iteration but still writes a
+        // resumable checkpoint of the seeded state.
+        let ckpt = tmp("ckpt_state.dck");
+        let out = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "13",
+            "--time-budget",
+            "0",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("stopped: budget"), "{out}");
+        assert!(out.contains("checkpoint written"), "{out}");
+        assert!(ckpt.exists());
+
+        // Resuming (search params come from the checkpoint itself) must
+        // land bit-identically on the uninterrupted run's clustering.
+        let resumed_json = tmp("ckpt_resumed.json");
+        let out = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--json",
+            resumed_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("stopped: converged"), "{out}");
+        assert_eq!(
+            std::fs::read_to_string(&full_json).unwrap(),
+            std::fs::read_to_string(&resumed_json).unwrap(),
+            "resumed clustering differs from the uninterrupted one"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_a_mismatched_matrix() {
+        let data = tmp("resume_gen.tsv");
+        let other = tmp("resume_other.tsv");
+        for (path, seed) in [(&data, "21"), (&other, "22")] {
+            dispatch(&args(&[
+                "generate",
+                path.to_str().unwrap(),
+                "--rows",
+                "40",
+                "--cols",
+                "15",
+                "--seed",
+                seed,
+            ]))
+            .unwrap();
+        }
+        let ckpt = tmp("resume_state.dck");
+        dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = dispatch(&args(&[
+            "mine",
+            other.to_str().unwrap(),
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("checkpoint"), "{err}");
+    }
+
+    #[test]
+    fn mine_rejects_bad_robustness_flags() {
+        let data = tmp("robust_gen.tsv");
+        dispatch(&args(&[
+            "generate",
+            data.to_str().unwrap(),
+            "--rows",
+            "30",
+            "--cols",
+            "10",
+        ]))
+        .unwrap();
+        let err = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--time-budget",
+            "-1",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("time-budget"));
+        let err = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--checkpoint-every",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("checkpoint-every"));
+        let err = dispatch(&args(&[
+            "mine",
+            data.to_str().unwrap(),
+            "--resume",
+            "/nonexistent/state.dck",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -1,16 +1,27 @@
 //! `delta-clusters` — the command-line front end.
+//!
+//! Exit codes: 0 success, 1 usage error, 2 data/IO/algorithm error,
+//! 3 interrupted (a best-so-far result and checkpoint were still written).
 
 use dc_cli::args::Args;
 use dc_cli::commands::{dispatch, HELP};
+use dc_cli::interrupt;
 
 fn main() {
+    interrupt::install();
     let args = Args::parse(std::env::args().skip(1));
     match dispatch(&args) {
-        Ok(output) => print!("{output}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            std::process::exit(out.exit_code);
+        }
         Err(e) => {
-            eprintln!("error: {e}\n");
-            eprint!("{HELP}");
-            std::process::exit(1);
+            eprintln!("error: {e}");
+            if e.is_usage() {
+                eprintln!();
+                eprint!("{HELP}");
+            }
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,0 +1,169 @@
+//! End-to-end interrupt/resume: SIGINT a mining process mid-run, observe
+//! exit code 3 plus a resumable checkpoint, and verify that resuming lands
+//! on exactly the clustering an uninterrupted run produces.
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_delta-clusters");
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("dc-cli-interrupt-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(BIN)
+        .args(args)
+        .output()
+        .expect("failed to launch delta-clusters")
+}
+
+#[test]
+fn sigint_mid_mining_yields_exit_3_and_a_resumable_checkpoint() {
+    let dir = scratch_dir();
+    let data = dir.join("data.tsv");
+    let ckpt = dir.join("state.dck");
+    let full_json = dir.join("full.json");
+    let resumed_json = dir.join("resumed.json");
+
+    let out = run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--kind",
+        "embedded",
+        "--rows",
+        "80",
+        "--cols",
+        "24",
+        "--clusters",
+        "3",
+        "--seed",
+        "17",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Reference: the uninterrupted clustering.
+    let out = run(&[
+        "mine",
+        data.to_str().unwrap(),
+        "--k",
+        "3",
+        "--seed",
+        "17",
+        "--json",
+        full_json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Interrupted run: each improving iteration is stretched by 300 ms so
+    // the SIGINT we send ~150 ms in reliably lands mid-run.
+    let mut child = Command::new(BIN)
+        .args([
+            "mine",
+            data.to_str().unwrap(),
+            "--k",
+            "3",
+            "--seed",
+            "17",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--iteration-delay-ms",
+            "300",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("failed to spawn mining child");
+    std::thread::sleep(Duration::from_millis(150));
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("failed to run kill");
+    assert!(kill.success());
+
+    // The child must notice the signal at a safe boundary and exit 3
+    // promptly (well under the time its remaining iterations would take).
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(Instant::now() < deadline, "interrupted miner did not exit");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(status.code(), Some(3), "expected interrupted exit code");
+    assert!(ckpt.exists(), "checkpoint missing after interrupt");
+
+    // Resume from the checkpoint; search parameters come from the file.
+    let out = run(&[
+        "mine",
+        data.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+        "--json",
+        resumed_json.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stopped: converged"), "{stdout}");
+
+    let full = std::fs::read_to_string(&full_json).unwrap();
+    let resumed = std::fs::read_to_string(&resumed_json).unwrap();
+    assert_eq!(
+        full, resumed,
+        "resumed clustering differs from the uninterrupted run"
+    );
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_data_error_not_a_crash() {
+    let dir = std::env::temp_dir().join("dc-cli-bad-ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let data = dir.join("data.tsv");
+    let ckpt = dir.join("state.dck");
+
+    let out = run(&[
+        "generate",
+        data.to_str().unwrap(),
+        "--rows",
+        "40",
+        "--cols",
+        "12",
+        "--seed",
+        "3",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&[
+        "mine",
+        data.to_str().unwrap(),
+        "--k",
+        "2",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // Flip one byte in the middle of the checkpoint: the CRC must catch it
+    // and the CLI must fail with the data-error exit code, not a panic.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let out = run(&[
+        "mine",
+        data.to_str().unwrap(),
+        "--resume",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

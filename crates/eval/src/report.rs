@@ -87,7 +87,9 @@ pub fn fmt_f(v: f64, decimals: usize) -> String {
 }
 
 /// Serializes `value` as pretty JSON into `dir/name.json`, creating the
-/// directory if needed. Returns the written path.
+/// directory if needed. The write is atomic (temp + fsync + rename), so a
+/// crash mid-experiment never leaves a truncated report behind a previous
+/// good one. Returns the written path.
 pub fn write_json<T: Serialize>(
     dir: &Path,
     name: &str,
@@ -97,7 +99,7 @@ pub fn write_json<T: Serialize>(
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    dc_serve::atomic_write(&path, json.as_bytes())?;
     Ok(path)
 }
 

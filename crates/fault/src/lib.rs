@@ -1,0 +1,350 @@
+//! # dc-fault — IO fault injection for robustness testing
+//!
+//! Thin `Read`/`Write` wrappers that inject the failure modes a mining or
+//! serving process actually meets in the field: short reads, injected
+//! `io::Error`s at byte offsets, silent bit flips, and mid-write truncation
+//! (the torn write a crash or full disk leaves behind).
+//!
+//! The crate deliberately has **no dependencies**; the interesting assertions
+//! live in `tests/chaos.rs`, which drives the rest of the workspace
+//! (`dc-matrix` ingestion, `dc-serve` artifacts and checkpoints, the atomic
+//! write protocol) through these wrappers and proves the contract the
+//! robustness PR promises: *typed errors, never a panic, never a silently
+//! corrupted visible artifact*.
+//!
+//! ```
+//! use dc_fault::FaultyReader;
+//! use std::io::Read;
+//!
+//! // A reader that flips bit 0 of byte 2 and fails at offset 5.
+//! let data = b"hello world".to_vec();
+//! let mut r = FaultyReader::new(&data[..]).flip_bit(2, 0).error_at(5);
+//! let mut buf = Vec::new();
+//! let err = r.read_to_end(&mut buf).unwrap_err();
+//! assert_eq!(err.to_string(), "injected read fault at offset 5");
+//! assert_eq!(&buf, b"hemlo"); // 'l' ^ 0x01 == 'm', stopped at 5
+//! ```
+
+use std::io::{self, Read, Write};
+
+/// Applies any configured bit flips to `chunk`, whose first byte sits at
+/// stream offset `base`.
+fn apply_flips(flips: &[(u64, u8)], base: u64, chunk: &mut [u8]) {
+    for &(offset, bit) in flips {
+        if offset >= base && offset < base + chunk.len() as u64 {
+            chunk[(offset - base) as usize] ^= 1 << (bit & 7);
+        }
+    }
+}
+
+/// A `Read` wrapper that injects faults at configured byte offsets.
+///
+/// Faults compose: a reader can serve short reads *and* flip bits *and*
+/// fail at an offset. Offsets count bytes of the logical stream (what the
+/// consumer sees), starting at 0.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    pos: u64,
+    /// Serve at most this many bytes per `read` call (short reads).
+    max_chunk: Option<usize>,
+    /// Return an injected `io::Error` once the cursor reaches this offset.
+    /// Sticky: every call at or past the offset fails.
+    error_at: Option<u64>,
+    /// Report clean EOF at this offset (truncated input).
+    eof_at: Option<u64>,
+    /// `(offset, bit)` pairs to flip in the data passing through.
+    flips: Vec<(u64, u8)>,
+}
+
+impl<R: Read> FaultyReader<R> {
+    /// Wraps `inner` with no faults configured; builder methods add them.
+    pub fn new(inner: R) -> Self {
+        FaultyReader {
+            inner,
+            pos: 0,
+            max_chunk: None,
+            error_at: None,
+            eof_at: None,
+            flips: Vec::new(),
+        }
+    }
+
+    /// Serve at most `n` bytes per `read` call. `n` is clamped to ≥ 1 so
+    /// the reader still makes progress.
+    pub fn short_reads(mut self, n: usize) -> Self {
+        self.max_chunk = Some(n.max(1));
+        self
+    }
+
+    /// Fail with an injected [`io::ErrorKind::Other`] error once `offset`
+    /// bytes have been served.
+    pub fn error_at(mut self, offset: u64) -> Self {
+        self.error_at = Some(offset);
+        self
+    }
+
+    /// Report EOF after `offset` bytes, regardless of how much data the
+    /// inner reader holds.
+    pub fn truncate_at(mut self, offset: u64) -> Self {
+        self.eof_at = Some(offset);
+        self
+    }
+
+    /// Flip `bit` (0–7) of the byte at stream `offset` as it passes through.
+    pub fn flip_bit(mut self, offset: u64, bit: u8) -> Self {
+        self.flips.push((offset, bit));
+        self
+    }
+
+    /// Bytes served so far.
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+impl<R: Read> Read for FaultyReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(at) = self.error_at {
+            if self.pos >= at {
+                return Err(io::Error::other(format!(
+                    "injected read fault at offset {at}"
+                )));
+            }
+        }
+        if let Some(at) = self.eof_at {
+            if self.pos >= at {
+                return Ok(0);
+            }
+        }
+        let mut allowed = buf.len();
+        if let Some(n) = self.max_chunk {
+            allowed = allowed.min(n);
+        }
+        if let Some(at) = self.error_at {
+            allowed = allowed.min((at - self.pos) as usize);
+        }
+        if let Some(at) = self.eof_at {
+            allowed = allowed.min((at - self.pos) as usize);
+        }
+        if allowed == 0 && !buf.is_empty() {
+            // Both limits sit exactly at the cursor; the guards above
+            // already handled that, so this is unreachable in practice —
+            // but returning Ok(0) is the safe contract either way.
+            return Ok(0);
+        }
+        let n = self.inner.read(&mut buf[..allowed])?;
+        apply_flips(&self.flips, self.pos, &mut buf[..n]);
+        self.pos += n as u64;
+        Ok(n)
+    }
+}
+
+/// A `Write` wrapper that injects faults at configured byte offsets.
+///
+/// Offsets count bytes the caller has written (the logical stream). Two
+/// distinct failure modes matter for crash-safety testing:
+///
+/// * [`error_at`](FaultyWriter::error_at) — the write *reports* failure,
+///   as a full disk or revoked handle would. Callers see the error and can
+///   abort cleanly.
+/// * [`truncate_at`](FaultyWriter::truncate_at) — the write *claims*
+///   success but bytes past the offset never reach the inner writer: the
+///   torn tail a power cut leaves. Callers cannot detect this at write
+///   time, which is exactly why artifacts carry checksums.
+#[derive(Debug)]
+pub struct FaultyWriter<W> {
+    inner: W,
+    pos: u64,
+    max_chunk: Option<usize>,
+    error_at: Option<u64>,
+    truncate_at: Option<u64>,
+    flips: Vec<(u64, u8)>,
+}
+
+impl<W: Write> FaultyWriter<W> {
+    /// Wraps `inner` with no faults configured; builder methods add them.
+    pub fn new(inner: W) -> Self {
+        FaultyWriter {
+            inner,
+            pos: 0,
+            max_chunk: None,
+            error_at: None,
+            truncate_at: None,
+            flips: Vec::new(),
+        }
+    }
+
+    /// Accept at most `n` bytes per `write` call (short writes; callers
+    /// using `write_all` will loop). Clamped to ≥ 1.
+    pub fn short_writes(mut self, n: usize) -> Self {
+        self.max_chunk = Some(n.max(1));
+        self
+    }
+
+    /// Fail with an injected [`io::ErrorKind::Other`] error once `offset`
+    /// bytes have been accepted. Bytes before the offset are written
+    /// normally; the failing call itself writes nothing. Sticky.
+    pub fn error_at(mut self, offset: u64) -> Self {
+        self.error_at = Some(offset);
+        self
+    }
+
+    /// Silently drop every byte past `offset` while still reporting
+    /// success — a torn write. `flush` keeps succeeding too.
+    pub fn truncate_at(mut self, offset: u64) -> Self {
+        self.truncate_at = Some(offset);
+        self
+    }
+
+    /// Flip `bit` (0–7) of the byte at stream `offset` on its way to the
+    /// inner writer.
+    pub fn flip_bit(mut self, offset: u64, bit: u8) -> Self {
+        self.flips.push((offset, bit));
+        self
+    }
+
+    /// Bytes accepted so far (including silently dropped ones).
+    pub fn position(&self) -> u64 {
+        self.pos
+    }
+
+    /// Unwraps the inner writer, e.g. to inspect what actually landed.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(at) = self.error_at {
+            if self.pos >= at {
+                return Err(io::Error::other(format!(
+                    "injected write fault at offset {at}"
+                )));
+            }
+        }
+        let mut allowed = buf.len();
+        if let Some(n) = self.max_chunk {
+            allowed = allowed.min(n);
+        }
+        if let Some(at) = self.error_at {
+            // Accept only up to the fault line; the next call errors.
+            allowed = allowed.min((at - self.pos) as usize);
+        }
+        if allowed == 0 && !buf.is_empty() {
+            return Ok(0);
+        }
+        // Bytes past a truncation point are acknowledged but never land.
+        let persist = match self.truncate_at {
+            Some(at) if self.pos >= at => 0,
+            Some(at) => allowed.min((at - self.pos) as usize),
+            None => allowed,
+        };
+        if persist > 0 {
+            let mut chunk = buf[..persist].to_vec();
+            apply_flips(&self.flips, self.pos, &mut chunk);
+            self.inner.write_all(&chunk)?;
+        }
+        self.pos += allowed as u64;
+        Ok(allowed)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_wrappers_are_transparent() {
+        let data = b"transparent".to_vec();
+        let mut out = Vec::new();
+        let mut r = FaultyReader::new(&data[..]);
+        let mut w = FaultyWriter::new(&mut out);
+        io::copy(&mut r, &mut w).unwrap();
+        assert_eq!(w.into_inner(), &data);
+    }
+
+    #[test]
+    fn short_reads_still_deliver_everything() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut r = FaultyReader::new(&data[..]).short_reads(3);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, data);
+        assert_eq!(r.position(), 256);
+    }
+
+    #[test]
+    fn reader_error_fires_exactly_at_the_offset() {
+        let data = [7u8; 32];
+        let mut r = FaultyReader::new(&data[..]).error_at(10);
+        let mut buf = Vec::new();
+        let err = r.read_to_end(&mut buf).unwrap_err();
+        assert_eq!(buf.len(), 10);
+        assert!(err.to_string().contains("offset 10"));
+        // Sticky: retrying fails again rather than resuming.
+        assert!(r.read(&mut [0u8; 4]).is_err());
+    }
+
+    #[test]
+    fn reader_truncation_is_a_clean_eof() {
+        let data = [1u8; 100];
+        let mut r = FaultyReader::new(&data[..]).truncate_at(42);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf.len(), 42);
+    }
+
+    #[test]
+    fn reader_bit_flips_corrupt_exactly_one_bit() {
+        let data = [0u8; 8];
+        let mut r = FaultyReader::new(&data[..]).flip_bit(3, 5).short_reads(2);
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        let expected: Vec<u8> = (0..8).map(|i| if i == 3 { 1 << 5 } else { 0 }).collect();
+        assert_eq!(buf, expected);
+    }
+
+    #[test]
+    fn writer_error_preserves_the_prefix() {
+        let mut out = Vec::new();
+        let mut w = FaultyWriter::new(&mut out).error_at(5);
+        let err = w.write_all(b"0123456789").unwrap_err();
+        assert!(err.to_string().contains("offset 5"));
+        assert_eq!(out, b"01234");
+    }
+
+    #[test]
+    fn writer_truncation_claims_success_but_drops_the_tail() {
+        let mut out = Vec::new();
+        let mut w = FaultyWriter::new(&mut out).truncate_at(4).short_writes(3);
+        w.write_all(b"0123456789").unwrap();
+        w.flush().unwrap();
+        assert_eq!(w.position(), 10);
+        assert_eq!(out, b"0123");
+    }
+
+    #[test]
+    fn writer_bit_flips_land_in_the_output() {
+        let mut out = Vec::new();
+        let mut w = FaultyWriter::new(&mut out).flip_bit(1, 0);
+        w.write_all(&[0u8, 0u8, 0u8]).unwrap();
+        assert_eq!(out, vec![0u8, 1u8, 0u8]);
+    }
+
+    #[test]
+    fn error_at_zero_rejects_the_first_byte() {
+        let mut out = Vec::new();
+        let mut w = FaultyWriter::new(&mut out).error_at(0);
+        assert!(w.write_all(b"x").is_err());
+        assert!(out.is_empty());
+        let data = b"x".to_vec();
+        let mut r = FaultyReader::new(&data[..]).error_at(0);
+        assert!(r.read(&mut [0u8; 1]).is_err());
+    }
+}

@@ -20,9 +20,10 @@
 //! from cached sufficient statistics rather than recomputed from scratch.
 
 use crate::action::{self, Action, EvaluatedAction, Target};
+use crate::checkpoint::{FlocCheckpoint, ResumeError};
 use crate::cluster::DeltaCluster;
 use crate::config::FlocConfig;
-use crate::history::{FlocResult, IterationTrace};
+use crate::history::{FlocResult, IterationTrace, StopReason};
 use crate::ordering;
 use crate::seeding::{self, SeedError};
 use crate::stats::{ClusterState, Scratch};
@@ -30,6 +31,10 @@ use dc_matrix::DataMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
+
+/// Callback invoked with a snapshot after every completed iteration and at
+/// termination; used by callers to persist checkpoints.
+pub type CheckpointObserver<'a> = &'a mut dyn FnMut(&FlocCheckpoint);
 
 /// Minimum improvement of the average residue for an iteration to count as
 /// progress. Guards against infinite loops driven by floating-point noise.
@@ -42,6 +47,9 @@ pub enum FlocError {
     Seed(SeedError),
     /// The matrix has no specified entries to cluster.
     EmptyMatrix,
+    /// A checkpoint could not be resumed (wrong matrix, changed config, or
+    /// internally inconsistent state).
+    Resume(ResumeError),
 }
 
 impl std::fmt::Display for FlocError {
@@ -49,6 +57,7 @@ impl std::fmt::Display for FlocError {
         match self {
             FlocError::Seed(e) => write!(f, "seeding failed: {e}"),
             FlocError::EmptyMatrix => write!(f, "matrix contains no specified entries"),
+            FlocError::Resume(e) => write!(f, "cannot resume checkpoint: {e}"),
         }
     }
 }
@@ -58,6 +67,7 @@ impl std::error::Error for FlocError {
         match self {
             FlocError::Seed(e) => Some(e),
             FlocError::EmptyMatrix => None,
+            FlocError::Resume(e) => Some(e),
         }
     }
 }
@@ -65,6 +75,12 @@ impl std::error::Error for FlocError {
 impl From<SeedError> for FlocError {
     fn from(e: SeedError) -> Self {
         FlocError::Seed(e)
+    }
+}
+
+impl From<ResumeError> for FlocError {
+    fn from(e: ResumeError) -> Self {
+        FlocError::Resume(e)
     }
 }
 
@@ -187,7 +203,25 @@ fn evaluate_best_actions(
 /// # Errors
 /// Fails if seeding is infeasible or the matrix has no specified entries.
 pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, FlocError> {
-    let start = Instant::now();
+    floc_observed(matrix, config, None)
+}
+
+/// Like [`floc`], additionally invoking `observer` with a resumable
+/// [`FlocCheckpoint`] after every completed iteration and a final snapshot
+/// at termination (tagged terminal when the run converged or exhausted its
+/// iteration cap).
+///
+/// The observer decides what to do with snapshots — typically persist every
+/// Nth one. Observation never changes the search: with or without an
+/// observer, the same seed yields the same clustering.
+///
+/// # Errors
+/// Fails if seeding is infeasible or the matrix has no specified entries.
+pub fn floc_observed(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    observer: Option<CheckpointObserver<'_>>,
+) -> Result<FlocResult, FlocError> {
     if matrix.specified_count() == 0 {
         return Err(FlocError::EmptyMatrix);
     }
@@ -201,19 +235,132 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
         config.min_cols,
         &mut rng,
     )?;
+    let best: Vec<ClusterState> = seeds.iter().map(|c| ClusterState::new(matrix, c)).collect();
+    Ok(run_loop(matrix, config, rng, best, 0, Vec::new(), observer))
+}
 
+/// Continues a checkpointed run on the same matrix, bit-identically: the
+/// final clustering equals what the uninterrupted run would have produced.
+///
+/// `config` must match the checkpoint's on every search-relevant field;
+/// runtime plumbing (threads, time budget, interrupt wiring) may differ —
+/// that is how a resumed run gets a fresh budget and a live ctrl-c handler.
+/// Resuming a terminal checkpoint (converged / iteration cap) returns its
+/// result immediately without further work.
+///
+/// # Errors
+/// Fails with [`FlocError::Resume`] when the checkpoint does not belong to
+/// `matrix`/`config` or is internally inconsistent.
+pub fn floc_resume(
+    matrix: &DataMatrix,
+    checkpoint: &FlocCheckpoint,
+    config: &FlocConfig,
+    observer: Option<CheckpointObserver<'_>>,
+) -> Result<FlocResult, FlocError> {
+    checkpoint.validate(matrix, config)?;
+    if let Some(reason) = checkpoint.stop {
+        return Ok(FlocResult {
+            clusters: checkpoint.clusters.clone(),
+            residues: checkpoint.residues.clone(),
+            avg_residue: checkpoint.avg_residue,
+            iterations: checkpoint.iterations,
+            elapsed: std::time::Duration::ZERO,
+            trace: checkpoint.trace.clone(),
+            stop_reason: reason,
+        });
+    }
+    let rng = StdRng::from_state(checkpoint.rng_words());
+    // Rebuild the incumbent states from their descriptors — the exact
+    // construction the driver uses at every safe boundary, so the restored
+    // sums are bit-identical to the in-memory ones at checkpoint time.
+    let best: Vec<ClusterState> = checkpoint
+        .clusters
+        .iter()
+        .map(|c| ClusterState::new(matrix, c))
+        .collect();
+    Ok(run_loop(
+        matrix,
+        config,
+        rng,
+        best,
+        checkpoint.iterations,
+        checkpoint.trace.clone(),
+        observer,
+    ))
+}
+
+/// Builds the snapshot handed to observers and embedded in results.
+#[allow(clippy::too_many_arguments)]
+fn snapshot(
+    matrix: &DataMatrix,
+    fingerprint: u64,
+    config: &FlocConfig,
+    iterations: usize,
+    rng_state: [u64; 4],
+    best: &[ClusterState],
+    residues: &[f64],
+    avg: f64,
+    trace: &[IterationTrace],
+    stop: Option<StopReason>,
+) -> FlocCheckpoint {
+    FlocCheckpoint {
+        config: config.clone(),
+        matrix_rows: matrix.rows(),
+        matrix_cols: matrix.cols(),
+        matrix_specified: matrix.specified_count(),
+        matrix_fingerprint: fingerprint,
+        iterations,
+        rng_state: rng_state.to_vec(),
+        clusters: best.iter().map(|s| s.to_cluster()).collect(),
+        residues: residues.to_vec(),
+        avg_residue: avg,
+        trace: trace.to_vec(),
+        stop,
+    }
+}
+
+/// The phase-2 improvement loop, shared by fresh and resumed runs.
+///
+/// `best` must be *canonical*: every state freshly built via
+/// [`ClusterState::new`] from its descriptor. The loop re-canonicalizes
+/// after each improving iteration so that the state a checkpoint observer
+/// sees — and the state a resume rebuilds — is bit-identical to the state
+/// the loop itself continues from. Residues and the incumbent average are
+/// recomputed from the canonical states for the same reason.
+fn run_loop(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    mut rng: StdRng,
+    mut best: Vec<ClusterState>,
+    start_iterations: usize,
+    mut trace: Vec<IterationTrace>,
+    mut observer: Option<CheckpointObserver<'_>>,
+) -> FlocResult {
+    let start = Instant::now();
+    let fingerprint = matrix.fingerprint();
     let mut scratch = Scratch::default();
-    let mut best: Vec<ClusterState> = seeds.iter().map(|c| ClusterState::new(matrix, c)).collect();
     let mut best_residues: Vec<f64> = best
         .iter()
         .map(|s| s.residue(matrix, config.mean, &mut scratch))
         .collect();
     let mut best_avg = best_residues.iter().sum::<f64>() / config.k as f64;
 
-    let mut trace = Vec::new();
-    let mut iterations = 0usize;
+    let mut iterations = start_iterations;
+    let mut stop_reason = StopReason::MaxIterations;
+    let out_of_time = |now: Instant| config.time_budget.is_some_and(|b| now - start >= b);
 
-    while iterations < config.max_iterations {
+    'outer: while iterations < config.max_iterations {
+        // Safe boundary: the incumbent state is canonical and no RNG has
+        // been consumed for the next iteration yet.
+        if config.interrupt.is_raised() {
+            stop_reason = StopReason::Interrupted;
+            break;
+        }
+        if out_of_time(Instant::now()) {
+            stop_reason = StopReason::Budget;
+            break;
+        }
+        let rng_at_start = rng.state();
         iterations += 1;
 
         // 1. Choose the best action per target against the starting state.
@@ -232,6 +379,20 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
         let mut best_prefix_len = 0usize;
 
         for ea in &actions {
+            if config.interrupt.is_raised() || out_of_time(Instant::now()) {
+                // Abort mid-iteration: discard the partial work and roll
+                // the RNG back to the iteration's start, so the emitted
+                // checkpoint replays this whole iteration on resume —
+                // exactly what the uninterrupted run computed.
+                stop_reason = if config.interrupt.is_raised() {
+                    StopReason::Interrupted
+                } else {
+                    StopReason::Budget
+                };
+                iterations -= 1;
+                rng = StdRng::from_state(rng_at_start);
+                break 'outer;
+            }
             let chosen = if config.refresh_gains {
                 // Re-decide this target's best action against the *current*
                 // clustering (§4.1: "examined sequentially … decided and
@@ -289,6 +450,7 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
             improved,
         });
         if !improved {
+            stop_reason = StopReason::Converged;
             break;
         }
 
@@ -297,27 +459,71 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
         //    O(|I|+|J|) and the prefix is at most N+M actions.)
         if best_prefix_len == performed.len() {
             best = states; // the full sequence was the best prefix
-            best_residues = residues;
         } else {
             for &a in &performed[..best_prefix_len] {
                 action::apply(matrix, &mut best, a);
             }
-            for (c, state) in best.iter().enumerate() {
-                best_residues[c] = state.residue(matrix, config.mean, &mut scratch);
-            }
         }
-        best_avg = best_prefix_avg;
+        // Canonicalize: rebuild the incumbent states from their
+        // descriptors so the sums have the same accumulation order a
+        // resume would reconstruct. O(k · cluster volume), negligible next
+        // to the O((N+M)·k·n·m) evaluation above.
+        best = best
+            .iter()
+            .map(|s| ClusterState::new(matrix, &s.to_cluster()))
+            .collect();
+        for (c, state) in best.iter().enumerate() {
+            best_residues[c] = state.residue(matrix, config.mean, &mut scratch);
+        }
+        best_avg = best_residues.iter().sum::<f64>() / config.k as f64;
+
+        if let Some(obs) = observer.as_mut() {
+            obs(&snapshot(
+                matrix,
+                fingerprint,
+                config,
+                iterations,
+                rng.state(),
+                &best,
+                &best_residues,
+                best_avg,
+                &trace,
+                None,
+            ));
+        }
+    }
+
+    if let Some(obs) = observer.as_mut() {
+        // Terminal snapshot. Converged / capped runs are marked done;
+        // budget and interrupt stops stay resumable.
+        let stop = match stop_reason {
+            StopReason::Converged | StopReason::MaxIterations => Some(stop_reason),
+            StopReason::Budget | StopReason::Interrupted => None,
+        };
+        obs(&snapshot(
+            matrix,
+            fingerprint,
+            config,
+            iterations,
+            rng.state(),
+            &best,
+            &best_residues,
+            best_avg,
+            &trace,
+            stop,
+        ));
     }
 
     let clusters: Vec<DeltaCluster> = best.iter().map(|s| s.to_cluster()).collect();
-    Ok(FlocResult {
+    FlocResult {
         clusters,
         residues: best_residues,
         avg_residue: best_avg,
         iterations,
         elapsed: start.elapsed(),
         trace,
-    })
+        stop_reason,
+    }
 }
 
 #[cfg(test)]
@@ -525,6 +731,191 @@ mod tests {
         )
         .unwrap();
         assert!(r.iterations <= 2);
+    }
+
+    #[test]
+    fn stop_reason_reflects_termination() {
+        let m = planted(30, 15, 10, 6, 5);
+        let converged = floc(&m, &FlocConfig::builder(2).seed(3).build()).unwrap();
+        assert_eq!(converged.stop_reason, crate::history::StopReason::Converged);
+        let capped = floc(
+            &m,
+            &FlocConfig::builder(2).max_iterations(1).seed(3).build(),
+        )
+        .unwrap();
+        assert_eq!(
+            capped.stop_reason,
+            crate::history::StopReason::MaxIterations
+        );
+    }
+
+    #[test]
+    fn zero_budget_stops_before_the_first_iteration() {
+        let m = planted(20, 10, 6, 4, 11);
+        let config = FlocConfig::builder(2)
+            .seed(1)
+            .time_budget(std::time::Duration::ZERO)
+            .build();
+        let r = floc(&m, &config).unwrap();
+        assert_eq!(r.stop_reason, crate::history::StopReason::Budget);
+        assert_eq!(r.iterations, 0, "no iteration should have run");
+        // Graceful degradation: the seed clustering is still returned.
+        assert_eq!(r.clusters.len(), 2);
+        assert!(r.avg_residue.is_finite());
+    }
+
+    #[test]
+    fn raised_interrupt_stops_before_the_first_iteration() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let m = planted(20, 10, 6, 4, 11);
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = FlocConfig::builder(2).seed(1).interrupt(flag).build();
+        let r = floc(&m, &config).unwrap();
+        assert_eq!(r.stop_reason, crate::history::StopReason::Interrupted);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn observer_does_not_change_the_result() {
+        let m = planted(25, 12, 8, 5, 23);
+        let config = FlocConfig::builder(2).seed(9).build();
+        let plain = floc(&m, &config).unwrap();
+        let mut snapshots: Vec<crate::checkpoint::FlocCheckpoint> = Vec::new();
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| snapshots.push(c.clone());
+        let observed = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        assert_eq!(plain.clusters, observed.clusters);
+        assert_eq!(plain.residues, observed.residues);
+        assert_eq!(plain.iterations, observed.iterations);
+        // One snapshot per improving iteration plus the terminal one.
+        assert!(!snapshots.is_empty());
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.stop, Some(plain.stop_reason));
+        assert_eq!(last.clusters, plain.clusters);
+        assert_eq!(last.avg_residue, plain.avg_residue);
+    }
+
+    #[test]
+    fn resume_from_any_iteration_matches_uninterrupted() {
+        let m = planted(30, 15, 10, 6, 41);
+        let config = FlocConfig::builder(2).seed(13).build();
+        let mut snapshots: Vec<crate::checkpoint::FlocCheckpoint> = Vec::new();
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| snapshots.push(c.clone());
+        let reference = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        assert!(
+            snapshots.len() >= 2,
+            "need at least one intermediate snapshot"
+        );
+        for ckpt in &snapshots {
+            let resumed = floc_resume(&m, ckpt, &config, None).unwrap();
+            assert_eq!(
+                resumed.clusters, reference.clusters,
+                "at iter {}",
+                ckpt.iterations
+            );
+            assert_eq!(resumed.residues, reference.residues);
+            assert_eq!(resumed.avg_residue, reference.avg_residue);
+            assert_eq!(resumed.iterations, reference.iterations);
+            assert_eq!(resumed.stop_reason, reference.stop_reason);
+            assert_eq!(resumed.trace, reference.trace);
+        }
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_the_uninterrupted_result() {
+        use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+        use std::sync::Arc;
+        let m = planted(30, 15, 10, 6, 41);
+        let base = FlocConfig::builder(2).seed(13).build();
+        let reference = floc(&m, &base).unwrap();
+        assert!(reference.iterations >= 2, "need a multi-iteration run");
+
+        // Interrupt after the first completed iteration (raised from the
+        // observer — fully deterministic, unlike a timer).
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut interruptible = base.clone();
+        interruptible.interrupt = crate::config::InterruptFlag::new(Arc::clone(&flag));
+        let mut last: Option<crate::checkpoint::FlocCheckpoint> = None;
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| {
+            flag.store(true, AtomicOrdering::SeqCst);
+            last = Some(c.clone());
+        };
+        let partial = floc_observed(&m, &interruptible, Some(&mut obs)).unwrap();
+        assert_eq!(partial.stop_reason, crate::history::StopReason::Interrupted);
+        assert!(partial.iterations < reference.iterations);
+
+        let ckpt = last.unwrap();
+        assert_eq!(ckpt.stop, None, "interrupt checkpoints stay resumable");
+        let resumed = floc_resume(&m, &ckpt, &base, None).unwrap();
+        assert_eq!(resumed.clusters, reference.clusters);
+        assert_eq!(resumed.residues, reference.residues);
+        assert_eq!(resumed.avg_residue, reference.avg_residue);
+        assert_eq!(resumed.iterations, reference.iterations);
+        assert_eq!(resumed.trace, reference.trace);
+    }
+
+    #[test]
+    fn tight_budget_checkpoint_resumes_to_the_uninterrupted_result() {
+        // A budget small enough to fire mid-iteration on most machines;
+        // whichever boundary it hits (iteration top or mid-action), the
+        // emitted checkpoint must resume to the uninterrupted result.
+        let m = planted(60, 30, 20, 10, 51);
+        let base = FlocConfig::builder(3).seed(29).build();
+        let reference = floc(&m, &base).unwrap();
+
+        let mut budgeted = base.clone();
+        budgeted.time_budget = Some(std::time::Duration::from_micros(500));
+        let mut last: Option<crate::checkpoint::FlocCheckpoint> = None;
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| last = Some(c.clone());
+        let partial = floc_observed(&m, &budgeted, Some(&mut obs)).unwrap();
+        let ckpt = last.unwrap();
+        if partial.stop_reason == crate::history::StopReason::Budget {
+            assert_eq!(ckpt.stop, None, "budget checkpoints stay resumable");
+        }
+        let resumed = floc_resume(&m, &ckpt, &base, None).unwrap();
+        assert_eq!(resumed.clusters, reference.clusters);
+        assert_eq!(resumed.avg_residue, reference.avg_residue);
+        assert_eq!(resumed.iterations, reference.iterations);
+    }
+
+    #[test]
+    fn resuming_a_terminal_checkpoint_returns_immediately() {
+        let m = planted(25, 12, 8, 5, 3);
+        let config = FlocConfig::builder(2).seed(17).build();
+        let mut last: Option<crate::checkpoint::FlocCheckpoint> = None;
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| last = Some(c.clone());
+        let reference = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        let terminal = last.unwrap();
+        assert_eq!(terminal.stop, Some(reference.stop_reason));
+        let resumed = floc_resume(&m, &terminal, &config, None).unwrap();
+        assert_eq!(resumed.clusters, reference.clusters);
+        assert_eq!(resumed.iterations, reference.iterations);
+        assert_eq!(resumed.stop_reason, reference.stop_reason);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_matrix_or_config() {
+        let m = planted(25, 12, 8, 5, 3);
+        let config = FlocConfig::builder(2).seed(17).build();
+        let mut last: Option<crate::checkpoint::FlocCheckpoint> = None;
+        let mut obs = |c: &crate::checkpoint::FlocCheckpoint| last = Some(c.clone());
+        let _ = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        let ckpt = last.unwrap();
+
+        let other = planted(25, 12, 8, 5, 4);
+        let err = floc_resume(&other, &ckpt, &config, None).unwrap_err();
+        assert!(matches!(
+            err,
+            FlocError::Resume(ResumeError::MatrixMismatch { .. })
+        ));
+
+        let other_cfg = FlocConfig::builder(2).seed(18).build();
+        let err = floc_resume(&m, &ckpt, &other_cfg, None).unwrap_err();
+        assert!(matches!(
+            err,
+            FlocError::Resume(ResumeError::ConfigMismatch { field: "seed" })
+        ));
+        assert!(err.to_string().contains("seed"));
     }
 
     #[test]

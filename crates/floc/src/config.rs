@@ -5,6 +5,73 @@ use crate::ordering::Ordering;
 use crate::residue::ResidueMean;
 use crate::seeding::Seeding;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cooperative cancellation handle carried inside [`FlocConfig`].
+///
+/// Wraps an optional `Arc<AtomicBool>` that external code (a ctrl-c
+/// handler, a supervising thread) may set at any time; FLOC polls it at
+/// safe boundaries and stops with `StopReason::Interrupted`. The wrapper
+/// exists so `FlocConfig` can keep its `PartialEq`/serde derives: two
+/// configs are considered equal regardless of their interrupt wiring, and
+/// the flag serializes as `null` (a deserialized config is never wired to
+/// a live handler).
+#[derive(Clone, Default)]
+pub struct InterruptFlag(Option<Arc<AtomicBool>>);
+
+impl InterruptFlag {
+    /// A flag wired to `handle`; FLOC stops soon after it becomes `true`.
+    pub fn new(handle: Arc<AtomicBool>) -> Self {
+        InterruptFlag(Some(handle))
+    }
+
+    /// True when a handler is wired in (even if not yet raised).
+    pub fn is_wired(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// True when the flag has been raised. Unwired flags never fire.
+    pub fn is_raised(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|f| f.load(AtomicOrdering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for InterruptFlag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            None => f.write_str("InterruptFlag(unwired)"),
+            Some(flag) => write!(
+                f,
+                "InterruptFlag(raised: {})",
+                flag.load(AtomicOrdering::Relaxed)
+            ),
+        }
+    }
+}
+
+impl PartialEq for InterruptFlag {
+    fn eq(&self, _: &Self) -> bool {
+        // Interrupt wiring is runtime plumbing, not configuration identity:
+        // the same logical config may or may not have a handler attached.
+        true
+    }
+}
+
+impl Serialize for InterruptFlag {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for InterruptFlag {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(InterruptFlag::default())
+    }
+}
 
 /// Full configuration of a FLOC run.
 ///
@@ -53,6 +120,13 @@ pub struct FlocConfig {
     /// a second gain evaluation per target but converges in far fewer
     /// iterations.
     pub refresh_gains: bool,
+    /// Optional wall-clock budget. When an iteration starts after the
+    /// budget has elapsed, FLOC stops and returns the best clustering so
+    /// far with `StopReason::Budget`. `None` (the default) means unlimited.
+    pub time_budget: Option<Duration>,
+    /// Cooperative cancellation flag (see [`InterruptFlag`]). Polled at the
+    /// top of each iteration and between actions in the perform loop.
+    pub interrupt: InterruptFlag,
 }
 
 impl FlocConfig {
@@ -78,6 +152,8 @@ impl FlocConfig {
             seed: 0,
             threads: 1,
             refresh_gains: true,
+            time_budget: None,
+            interrupt: InterruptFlag::default(),
         }
     }
 }
@@ -148,6 +224,20 @@ impl FlocConfigBuilder {
     /// Sets the number of gain-evaluation threads.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Sets a wall-clock budget; the run stops with `StopReason::Budget`
+    /// once it elapses, returning the best clustering found so far.
+    pub fn time_budget(mut self, budget: Duration) -> Self {
+        self.config.time_budget = Some(budget);
+        self
+    }
+
+    /// Wires a cooperative interrupt flag (e.g. from a ctrl-c handler);
+    /// raising it makes the run stop with `StopReason::Interrupted`.
+    pub fn interrupt(mut self, handle: Arc<AtomicBool>) -> Self {
+        self.config.interrupt = InterruptFlag::new(handle);
         self
     }
 
@@ -254,5 +344,38 @@ mod tests {
         let json = serde_json::to_string(&c).unwrap();
         let back: FlocConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn interrupt_flag_reflects_its_handle() {
+        let unwired = InterruptFlag::default();
+        assert!(!unwired.is_wired());
+        assert!(!unwired.is_raised());
+
+        let handle = Arc::new(AtomicBool::new(false));
+        let c = FlocConfig::builder(1)
+            .interrupt(Arc::clone(&handle))
+            .time_budget(Duration::from_secs(3))
+            .build();
+        assert!(c.interrupt.is_wired());
+        assert!(!c.interrupt.is_raised());
+        handle.store(true, AtomicOrdering::SeqCst);
+        assert!(c.interrupt.is_raised());
+        assert_eq!(c.time_budget, Some(Duration::from_secs(3)));
+    }
+
+    #[test]
+    fn interrupt_wiring_does_not_affect_config_identity() {
+        // Equality, serialization, and round-tripping ignore the runtime
+        // interrupt handle: a deserialized config is always unwired.
+        let wired = FlocConfig::builder(2)
+            .interrupt(Arc::new(AtomicBool::new(true)))
+            .build();
+        let plain = FlocConfig::builder(2).build();
+        assert_eq!(wired, plain);
+        let json = serde_json::to_string(&wired).unwrap();
+        let back: FlocConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.interrupt.is_wired());
+        assert_eq!(back, wired);
     }
 }

@@ -20,6 +20,35 @@ pub struct IterationTrace {
     pub improved: bool,
 }
 
+/// Why a FLOC run stopped.
+///
+/// Every run stops for exactly one of these reasons; budget- and
+/// interrupt-stopped runs still return the best clustering found so far
+/// (graceful degradation), so callers must check this field to know whether
+/// the result is fully converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The loop reached an iteration that no longer improved the objective.
+    Converged,
+    /// `max_iterations` was exhausted before convergence.
+    MaxIterations,
+    /// The wall-clock `time_budget` elapsed.
+    Budget,
+    /// The cooperative interrupt flag was raised (e.g. ctrl-c).
+    Interrupted,
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopReason::Converged => "converged",
+            StopReason::MaxIterations => "max-iterations",
+            StopReason::Budget => "budget",
+            StopReason::Interrupted => "interrupted",
+        })
+    }
+}
+
 /// The outcome of a FLOC run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FlocResult {
@@ -36,6 +65,8 @@ pub struct FlocResult {
     pub elapsed: Duration,
     /// Per-iteration statistics.
     pub trace: Vec<IterationTrace>,
+    /// Why the run stopped (converged, capped, out of budget, interrupted).
+    pub stop_reason: StopReason,
 }
 
 impl FlocResult {
@@ -66,11 +97,12 @@ impl FlocResult {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "FLOC: {} clusters, avg residue {:.4}, {} iterations, {:.2?}",
+            "FLOC: {} clusters, avg residue {:.4}, {} iterations, {:.2?}, stopped: {}",
             self.clusters.len(),
             self.avg_residue,
             self.iterations,
-            self.elapsed
+            self.elapsed,
+            self.stop_reason
         );
         for (i, c) in self.clusters.iter().enumerate() {
             let _ = writeln!(
@@ -99,6 +131,7 @@ mod tests {
             iterations: 3,
             elapsed: Duration::from_millis(5),
             trace: vec![],
+            stop_reason: StopReason::Converged,
         }
     }
 

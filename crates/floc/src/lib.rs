@@ -45,14 +45,16 @@
 //! * [`seeding`] — phase-1 seed construction (§4.1, §5.1).
 //! * [`constraints`] — overlap / coverage / volume constraints (§3, §4.3).
 //! * [`config`] — the [`FlocConfig`] builder.
-//! * [`algorithm`] — the FLOC driver (§4.1).
-//! * [`history`] — results and iteration traces.
+//! * [`algorithm`] — the FLOC driver (§4.1), interruptible and resumable.
+//! * [`checkpoint`] — resumable run snapshots for crash-safe mining.
+//! * [`history`] — results, stop reasons, and iteration traces.
 //! * [`prediction`] — missing-value prediction from discovered clusters.
 //! * [`parallel`] — multi-restart search.
 
 pub mod action;
 pub mod algorithm;
 pub mod amplification;
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod constraints;
@@ -65,12 +67,13 @@ pub mod seeding;
 pub mod stats;
 
 pub use action::{Action, Target};
-pub use algorithm::{floc, FlocError};
+pub use algorithm::{floc, floc_observed, floc_resume, CheckpointObserver, FlocError};
 pub use amplification::{amplification_residue, floc_amplification, AmplificationResult};
+pub use checkpoint::{FlocCheckpoint, ResumeError};
 pub use cluster::DeltaCluster;
-pub use config::{FlocConfig, FlocConfigBuilder};
+pub use config::{FlocConfig, FlocConfigBuilder, InterruptFlag};
 pub use constraints::Constraint;
-pub use history::{FlocResult, IterationTrace};
+pub use history::{FlocResult, IterationTrace, StopReason};
 pub use ordering::Ordering;
 pub use parallel::floc_restarts;
 pub use residue::{cluster_residue, ResidueMean};

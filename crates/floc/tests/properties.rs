@@ -184,3 +184,67 @@ proptest! {
         }
     }
 }
+
+// ---- Checkpoint / resume -------------------------------------------------
+
+use dc_floc::{floc_observed, floc_resume, FlocCheckpoint, FlocConfig};
+
+/// A denser random matrix suitable for actually running FLOC end to end
+/// (the residue machinery needs enough specified cells to make progress).
+fn arb_mining_matrix() -> impl Strategy<Value = DataMatrix> {
+    (8usize..20, 6usize..14).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(
+            proptest::option::weighted(0.92, -50.0..50.0f64),
+            rows * cols,
+        )
+        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+    })
+}
+
+proptest! {
+    /// The tentpole robustness property: resuming from the snapshot taken
+    /// after ANY iteration of ANY run reproduces the uninterrupted result
+    /// bit for bit — same clusters, same residues, same trace.
+    #[test]
+    fn resume_from_every_checkpoint_matches_the_uninterrupted_run(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+    ) {
+        let config = FlocConfig::builder(k).alpha(0.5).seed(seed).build();
+        let mut snapshots: Vec<FlocCheckpoint> = Vec::new();
+        let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+        let full = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        prop_assert!(!snapshots.is_empty());
+
+        // Every non-terminal snapshot must resume to the identical result;
+        // the terminal one must short-circuit to the same answer too.
+        for ckpt in &snapshots {
+            let resumed = floc_resume(&m, ckpt, &config, None).unwrap();
+            prop_assert_eq!(&resumed.clusters, &full.clusters);
+            prop_assert_eq!(&resumed.residues, &full.residues);
+            prop_assert_eq!(resumed.avg_residue, full.avg_residue);
+            prop_assert_eq!(resumed.iterations, full.iterations);
+            prop_assert_eq!(resumed.stop_reason, full.stop_reason);
+            prop_assert_eq!(&resumed.trace, &full.trace);
+        }
+    }
+
+    /// A checkpoint survives a JSON round trip unchanged — the in-memory
+    /// state, not just the binary codec, is fully serializable.
+    #[test]
+    fn checkpoint_json_round_trip_is_lossless(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = FlocConfig::builder(2).alpha(0.5).seed(seed).build();
+        let mut snapshots: Vec<FlocCheckpoint> = Vec::new();
+        let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+        floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        for ckpt in &snapshots {
+            let json = serde_json::to_string(ckpt).unwrap();
+            let back: FlocCheckpoint = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, ckpt);
+        }
+    }
+}

@@ -276,6 +276,35 @@ impl DataMatrix {
         out
     }
 
+    /// A cheap content fingerprint: FNV-1a over the shape, the
+    /// specification mask, and the bit pattern of every specified value.
+    ///
+    /// Two matrices fingerprint equal iff they have the same shape and the
+    /// same specified entries with bit-identical values (labels are
+    /// ignored — they don't affect clustering). Used to detect that a
+    /// checkpoint is being resumed against a different data set; it is not
+    /// a cryptographic hash.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(&(self.rows as u64).to_le_bytes());
+        eat(&(self.cols as u64).to_le_bytes());
+        for idx in 0..self.values.len() {
+            if self.mask.contains(idx) {
+                eat(&(idx as u64).to_le_bytes());
+                eat(&self.values[idx].to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Applies `f` to every specified entry in place.
     pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
         for idx in 0..self.values.len() {
@@ -446,6 +475,24 @@ mod tests {
         m.set_col_labels(vec!["c1".into(), "c2".into()]);
         assert_eq!(m.row_label(1), Some("g2"));
         assert_eq!(m.col_label(0), Some("c1"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_labels() {
+        let a = sample();
+        let mut b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.set_row_labels(vec!["x".into(), "y".into()]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "labels are ignored");
+        b.set(0, 0, 1.0000001);
+        assert_ne!(a.fingerprint(), b.fingerprint(), "values matter");
+        let mut c = sample();
+        c.unset(1, 2);
+        assert_ne!(a.fingerprint(), c.fingerprint(), "mask matters");
+        // Shape is part of the fingerprint even with identical entry sets.
+        let d = DataMatrix::new(2, 3);
+        let e = DataMatrix::new(3, 2);
+        assert_ne!(d.fingerprint(), e.fingerprint());
     }
 
     #[test]

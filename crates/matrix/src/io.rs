@@ -32,11 +32,17 @@ pub enum ParseError {
         field: usize,
         text: String,
     },
+    /// A field parsed as NaN or ±Inf under [`NonFinitePolicy::Reject`].
+    NonFinite { line: usize, field: usize },
     /// A triples line had fewer than three fields.
     ShortTripleLine { line: usize },
     /// The input contained no data lines.
     Empty,
 }
+
+/// Typed IO/parse error for matrix ingestion — the single error type every
+/// reader in this module returns.
+pub type IoError = ParseError;
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -55,6 +61,12 @@ impl std::fmt::Display for ParseError {
                     "line {line}, field {field}: cannot parse number from {text:?}"
                 )
             }
+            ParseError::NonFinite { line, field } => {
+                write!(
+                    f,
+                    "line {line}, field {field}: non-finite value (NaN/Inf) rejected by policy"
+                )
+            }
             ParseError::ShortTripleLine { line } => {
                 write!(f, "line {line}: triple lines need at least 3 fields")
             }
@@ -71,6 +83,21 @@ impl From<io::Error> for ParseError {
     }
 }
 
+/// What to do with fields that parse as NaN or ±Inf.
+///
+/// The paper's α-occupancy model treats a matrix as a partial function over
+/// cells, so a cell that carries no usable magnitude is naturally *missing*
+/// rather than fatal — while `DataMatrix` itself only stores finite values.
+/// This policy decides which way non-finite input falls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NonFinitePolicy {
+    /// Treat NaN/Inf cells like the missing marker (default).
+    #[default]
+    AsMissing,
+    /// Fail with [`ParseError::NonFinite`] naming the line and field.
+    Reject,
+}
+
 /// Options for reading/writing dense delimited matrices.
 #[derive(Debug, Clone)]
 pub struct DenseFormat {
@@ -82,6 +109,8 @@ pub struct DenseFormat {
     pub row_labels: bool,
     /// If true, the first line is a header of column labels.
     pub col_header: bool,
+    /// How to treat NaN/Inf values; default maps them to the missing mask.
+    pub non_finite: NonFinitePolicy,
 }
 
 impl Default for DenseFormat {
@@ -91,6 +120,7 @@ impl Default for DenseFormat {
             missing: "NA".to_string(),
             row_labels: false,
             col_header: false,
+            non_finite: NonFinitePolicy::default(),
         }
     }
 }
@@ -152,7 +182,19 @@ pub fn read_dense<R: Read>(reader: R, fmt: &DenseFormat) -> Result<DataMatrix, P
                     field: fi + 1,
                     text: t.to_string(),
                 })?;
-                data.push(Some(v));
+                if v.is_finite() {
+                    data.push(Some(v));
+                } else {
+                    match fmt.non_finite {
+                        NonFinitePolicy::AsMissing => data.push(None),
+                        NonFinitePolicy::Reject => {
+                            return Err(ParseError::NonFinite {
+                                line: line_no + 1,
+                                field: fi + 1,
+                            })
+                        }
+                    }
+                }
             }
         }
         rows += 1;
@@ -230,6 +272,17 @@ pub struct TriplesMatrix {
 /// (the MovieLens `u.data` layout). Extra fields (e.g. timestamps) are
 /// ignored. Row/col ids are assigned dense indices in first-seen order.
 pub fn read_triples<R: Read>(reader: R) -> Result<TriplesMatrix, ParseError> {
+    read_triples_with(reader, NonFinitePolicy::default())
+}
+
+/// Like [`read_triples`] but with an explicit non-finite policy. Under
+/// [`NonFinitePolicy::AsMissing`] a NaN/Inf rating simply leaves the cell
+/// unspecified (the id is still registered, preserving first-seen order);
+/// under [`NonFinitePolicy::Reject`] it is a line-numbered error.
+pub fn read_triples_with<R: Read>(
+    reader: R,
+    non_finite: NonFinitePolicy,
+) -> Result<TriplesMatrix, ParseError> {
     let buf = BufReader::new(reader);
     let mut row_index: HashMap<String, usize> = HashMap::new();
     let mut col_index: HashMap<String, usize> = HashMap::new();
@@ -252,6 +305,12 @@ pub fn read_triples<R: Read>(reader: R) -> Result<TriplesMatrix, ParseError> {
             field: 3,
             text: fields[2].to_string(),
         })?;
+        if !value.is_finite() && non_finite == NonFinitePolicy::Reject {
+            return Err(ParseError::NonFinite {
+                line: line_no + 1,
+                field: 3,
+            });
+        }
         let r = *row_index.entry(fields[0].to_string()).or_insert_with(|| {
             row_ids.push(fields[0].to_string());
             row_ids.len() - 1
@@ -268,7 +327,10 @@ pub fn read_triples<R: Read>(reader: R) -> Result<TriplesMatrix, ParseError> {
     }
     let mut matrix = DataMatrix::new(row_ids.len(), col_ids.len());
     for (r, c, v) in triples {
-        matrix.set(r, c, v);
+        // Non-finite under AsMissing: the cell stays unspecified.
+        if v.is_finite() {
+            matrix.set(r, c, v);
+        }
     }
     matrix.set_row_labels(row_ids.clone());
     matrix.set_col_labels(col_ids.clone());
@@ -365,6 +427,45 @@ mod tests {
         let m = read_dense(text.as_bytes(), &fmt).unwrap();
         assert_eq!(m.get(0, 1), None);
         assert_eq!(m.get(0, 2), Some(3.0));
+    }
+
+    #[test]
+    fn dense_non_finite_maps_to_missing_by_default() {
+        let text = "1\tNaN\tinf\n-inf\t2\t3\n";
+        let m = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap();
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(0, 1), None);
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.get(1, 0), None);
+        assert_eq!(m.specified_count(), 3);
+    }
+
+    #[test]
+    fn dense_non_finite_reject_names_line_and_field() {
+        let fmt = DenseFormat {
+            non_finite: NonFinitePolicy::Reject,
+            ..Default::default()
+        };
+        let err = read_dense("1\t2\n3\tNaN\n".as_bytes(), &fmt).unwrap_err();
+        assert!(matches!(err, ParseError::NonFinite { line: 2, field: 2 }));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn triples_non_finite_rating_leaves_cell_unspecified() {
+        let text = "a x NaN\na y 2\nb x 1\n";
+        let t = read_triples(text.as_bytes()).unwrap();
+        assert_eq!(t.matrix.get(0, 0), None);
+        assert_eq!(t.matrix.get(0, 1), Some(2.0));
+        // First-seen order is preserved even for the skipped cell's ids.
+        assert_eq!(t.row_ids, vec!["a", "b"]);
+        assert_eq!(t.col_ids, vec!["x", "y"]);
+    }
+
+    #[test]
+    fn triples_non_finite_reject_is_an_error() {
+        let err = read_triples_with("a x inf\n".as_bytes(), NonFinitePolicy::Reject).unwrap_err();
+        assert!(matches!(err, ParseError::NonFinite { line: 1, field: 3 }));
     }
 
     #[test]

@@ -52,4 +52,5 @@ pub mod view;
 
 pub use bitset::BitSet;
 pub use dense::DataMatrix;
-pub use stats::Summary;
+pub use io::{IoError, NonFinitePolicy, ParseError};
+pub use stats::{validate, Summary, ValidationReport};

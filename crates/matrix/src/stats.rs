@@ -95,6 +95,129 @@ pub fn col_summaries(m: &DataMatrix) -> Vec<Summary> {
         .collect()
 }
 
+/// Structural health report for an ingested matrix, checked against the
+/// paper's α-occupancy threshold (Definition 5: a cluster is δ-valid only
+/// if every row and column is at least α-occupied, and FLOC seeds from
+/// rows/columns that can reach that occupancy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Matrix height.
+    pub rows: usize,
+    /// Matrix width.
+    pub cols: usize,
+    /// Number of specified (non-missing) cells.
+    pub specified: usize,
+    /// Fraction of cells that are missing, in `[0, 1]`.
+    pub missing_rate: f64,
+    /// The α this report was checked against.
+    pub alpha: f64,
+    /// Smallest per-row occupancy (specified/cols); 0 for an empty matrix.
+    pub min_row_occupancy: f64,
+    /// Largest per-row occupancy.
+    pub max_row_occupancy: f64,
+    /// Smallest per-column occupancy (specified/rows).
+    pub min_col_occupancy: f64,
+    /// Largest per-column occupancy.
+    pub max_col_occupancy: f64,
+    /// Rows whose full-width occupancy is below α.
+    pub rows_below_alpha: usize,
+    /// Columns whose full-height occupancy is below α.
+    pub cols_below_alpha: usize,
+}
+
+impl ValidationReport {
+    /// True when every row and column meets the α-occupancy bar over the
+    /// whole matrix — the strictest reading; FLOC can still mine sparser
+    /// data because occupancy is measured inside each cluster's subspace.
+    pub fn fully_occupied(&self) -> bool {
+        self.rows_below_alpha == 0 && self.cols_below_alpha == 0
+    }
+}
+
+impl std::fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} x {} matrix, {} specified cells ({:.1}% missing)",
+            self.rows,
+            self.cols,
+            self.specified,
+            self.missing_rate * 100.0
+        )?;
+        writeln!(
+            f,
+            "row occupancy:    min {:.3}, max {:.3}",
+            self.min_row_occupancy, self.max_row_occupancy
+        )?;
+        writeln!(
+            f,
+            "column occupancy: min {:.3}, max {:.3}",
+            self.min_col_occupancy, self.max_col_occupancy
+        )?;
+        write!(
+            f,
+            "below alpha = {:.2}: {} of {} rows, {} of {} columns",
+            self.alpha, self.rows_below_alpha, self.rows, self.cols_below_alpha, self.cols
+        )
+    }
+}
+
+/// Computes a [`ValidationReport`] for `m` against occupancy threshold
+/// `alpha` (the paper's α, typically the same value passed to FLOC).
+pub fn validate(m: &DataMatrix, alpha: f64) -> ValidationReport {
+    let rows = m.rows();
+    let cols = m.cols();
+    let cells = rows * cols;
+    let specified = m.specified_count();
+    let mut min_row = f64::INFINITY;
+    let mut max_row = f64::NEG_INFINITY;
+    let mut rows_below = 0usize;
+    for r in 0..rows {
+        let occ = if cols == 0 {
+            0.0
+        } else {
+            m.row_entries(r).count() as f64 / cols as f64
+        };
+        min_row = min_row.min(occ);
+        max_row = max_row.max(occ);
+        if occ < alpha {
+            rows_below += 1;
+        }
+    }
+    let mut min_col = f64::INFINITY;
+    let mut max_col = f64::NEG_INFINITY;
+    let mut cols_below = 0usize;
+    for c in 0..cols {
+        let occ = if rows == 0 {
+            0.0
+        } else {
+            m.col_entries(c).count() as f64 / rows as f64
+        };
+        min_col = min_col.min(occ);
+        max_col = max_col.max(occ);
+        if occ < alpha {
+            cols_below += 1;
+        }
+    }
+    ValidationReport {
+        rows,
+        cols,
+        specified,
+        missing_rate: if cells == 0 {
+            0.0
+        } else {
+            1.0 - specified as f64 / cells as f64
+        },
+        alpha,
+        min_row_occupancy: if rows == 0 { 0.0 } else { min_row },
+        max_row_occupancy: if rows == 0 { 0.0 } else { max_row },
+        min_col_occupancy: if cols == 0 { 0.0 } else { min_col },
+        max_col_occupancy: if cols == 0 { 0.0 } else { max_col },
+        rows_below_alpha: rows_below,
+        cols_below_alpha: cols_below,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +279,39 @@ mod tests {
         let s = matrix_summary(&m);
         assert_eq!(s.count, 2);
         assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn validation_report_counts_occupancy_against_alpha() {
+        // Row 1 is half-specified; column 1 is half-specified.
+        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), Some(2.0), Some(3.0), None]);
+        let rep = validate(&m, 0.8);
+        assert_eq!(rep.rows, 2);
+        assert_eq!(rep.cols, 2);
+        assert_eq!(rep.specified, 3);
+        assert!((rep.missing_rate - 0.25).abs() < 1e-12);
+        assert_eq!(rep.min_row_occupancy, 0.5);
+        assert_eq!(rep.max_row_occupancy, 1.0);
+        assert_eq!(rep.min_col_occupancy, 0.5);
+        assert_eq!(rep.max_col_occupancy, 1.0);
+        assert_eq!(rep.rows_below_alpha, 1);
+        assert_eq!(rep.cols_below_alpha, 1);
+        assert!(!rep.fully_occupied());
+        assert!(validate(&m, 0.5).fully_occupied());
+        let text = rep.to_string();
+        assert!(text.contains("25.0% missing"));
+        assert!(text.contains("1 of 2 rows"));
+    }
+
+    #[test]
+    fn validation_report_handles_fully_missing_matrix() {
+        let m = DataMatrix::new(3, 2);
+        let rep = validate(&m, 0.5);
+        assert_eq!(rep.specified, 0);
+        assert_eq!(rep.missing_rate, 1.0);
+        assert_eq!(rep.max_row_occupancy, 0.0);
+        assert_eq!(rep.rows_below_alpha, 3);
+        assert_eq!(rep.cols_below_alpha, 2);
     }
 
     #[test]

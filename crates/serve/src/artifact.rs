@@ -29,152 +29,26 @@
 //! A flipped byte anywhere surfaces as [`ArtifactError::ChecksumMismatch`]
 //! before any parsing happens — corruption can not panic the loader.
 
-use crate::model::{ModelError, ServeModel};
+use crate::framing::{Reader, Writer};
+use crate::model::ServeModel;
 use dc_floc::residue::Bases;
 use dc_floc::DeltaCluster;
 use dc_matrix::DataMatrix;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
+pub use crate::framing::{crc32, ArtifactError};
+
 /// File magic: "delta-cluster model", format generation 1.
 pub const MAGIC: [u8; 4] = *b"DCM1";
 /// Current binary format version.
 pub const VERSION: u16 = 1;
 
-/// Everything that can go wrong saving or loading a model artifact.
-#[derive(Debug)]
-pub enum ArtifactError {
-    Io(std::io::Error),
-    /// The file does not start with the `DCM1` magic.
-    BadMagic,
-    /// The file's format version is newer than this build understands.
-    UnsupportedVersion(u16),
-    /// The CRC-32 over the file body does not match the stored checksum.
-    ChecksumMismatch {
-        stored: u32,
-        computed: u32,
-    },
-    /// The file ended before a section was complete.
-    Truncated,
-    /// A structurally invalid value (negative count, index out of range…).
-    Malformed(String),
-    /// The parts deserialized cleanly but do not form a coherent model.
-    Model(ModelError),
-    /// JSON fallback parse error.
-    Json(String),
-}
-
-impl std::fmt::Display for ArtifactError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ArtifactError::Io(e) => write!(f, "i/o error: {e}"),
-            ArtifactError::BadMagic => write!(f, "not a δ-cluster model file (bad magic)"),
-            ArtifactError::UnsupportedVersion(v) => {
-                write!(
-                    f,
-                    "unsupported model format version {v} (this build reads ≤ {VERSION})"
-                )
-            }
-            ArtifactError::ChecksumMismatch { stored, computed } => write!(
-                f,
-                "model file is corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
-            ),
-            ArtifactError::Truncated => write!(f, "model file is truncated"),
-            ArtifactError::Malformed(why) => write!(f, "malformed model file: {why}"),
-            ArtifactError::Model(e) => write!(f, "inconsistent model: {e}"),
-            ArtifactError::Json(e) => write!(f, "json model parse error: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ArtifactError {}
-
-impl From<std::io::Error> for ArtifactError {
-    fn from(e: std::io::Error) -> Self {
-        ArtifactError::Io(e)
-    }
-}
-
-impl From<ModelError> for ArtifactError {
-    fn from(e: ModelError) -> Self {
-        ArtifactError::Model(e)
-    }
-}
-
-// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
-
-fn crc32_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
-            for _ in 0..8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
-            }
-            *slot = crc;
-        }
-        table
-    })
-}
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc32_table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-// ---- encoding ------------------------------------------------------------
-
-struct Writer {
-    buf: Vec<u8>,
-}
-
-impl Writer {
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-    fn indices(&mut self, ix: &[usize]) {
-        self.u64(ix.len() as u64);
-        for &i in ix {
-            self.u64(i as u64);
-        }
-    }
-}
-
 /// Serializes a model to the version-1 binary artifact bytes.
 pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
     let matrix = model.matrix();
     let (rows, cols) = (matrix.rows(), matrix.cols());
-    let mut w = Writer { buf: Vec::new() };
-    w.buf.extend_from_slice(&MAGIC);
-    w.u16(VERSION);
-    w.u16(0); // reserved flags
+    let mut w = Writer::begin(MAGIC, VERSION);
 
     // Matrix.
     w.u64(rows as u64);
@@ -238,106 +112,23 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
         }
     }
 
-    let crc = crc32(&w.buf);
-    w.u32(crc);
-    w.buf
+    w.finish()
 }
 
 // ---- decoding ------------------------------------------------------------
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(ArtifactError::Truncated);
-        }
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-    fn u8(&mut self) -> Result<u8, ArtifactError> {
-        Ok(self.take(1)?[0])
-    }
-    fn u64(&mut self) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    fn f64(&mut self) -> Result<f64, ArtifactError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    /// A `u64` count that must also be a sane in-memory size.
-    fn count(&mut self, what: &str, limit: usize) -> Result<usize, ArtifactError> {
-        let n = self.u64()?;
-        if n > limit as u64 {
-            return Err(ArtifactError::Malformed(format!(
-                "{what} count {n} exceeds limit {limit}"
-            )));
-        }
-        Ok(n as usize)
-    }
-    fn str(&mut self) -> Result<String, ArtifactError> {
-        let len = self.count("string length", self.bytes.len())?;
-        String::from_utf8(self.take(len)?.to_vec())
-            .map_err(|_| ArtifactError::Malformed("label is not UTF-8".into()))
-    }
-    fn indices(&mut self, bound: usize, what: &str) -> Result<Vec<usize>, ArtifactError> {
-        let n = self.count(what, bound)?;
-        let mut out = Vec::with_capacity(n);
-        let mut prev: Option<usize> = None;
-        for _ in 0..n {
-            let i = self.u64()? as usize;
-            if i >= bound {
-                return Err(ArtifactError::Malformed(format!(
-                    "{what} index {i} out of range 0..{bound}"
-                )));
-            }
-            if prev.is_some_and(|p| p >= i) {
-                return Err(ArtifactError::Malformed(format!(
-                    "{what} indices not strictly ascending"
-                )));
-            }
-            prev = Some(i);
-            out.push(i);
-        }
-        Ok(out)
-    }
-}
-
 /// Deserializes a version-1 binary artifact. Checks magic, version, and
 /// checksum before touching the payload.
 pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
-    if bytes.len() < MAGIC.len() + 4 + 4 {
-        return Err(ArtifactError::Truncated);
-    }
-    if bytes[..4] != MAGIC {
-        return Err(ArtifactError::BadMagic);
-    }
-    let version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-    if version == 0 || version > VERSION {
-        return Err(ArtifactError::UnsupportedVersion(version));
-    }
-    let body = &bytes[..bytes.len() - 4];
-    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
-    let computed = crc32(body);
-    if stored != computed {
-        return Err(ArtifactError::ChecksumMismatch { stored, computed });
-    }
-
-    let mut r = Reader {
-        bytes: body,
-        pos: 8,
-    };
+    let mut r = Reader::open(bytes, MAGIC, VERSION)?;
+    let body_len = bytes.len() - 4;
 
     // Matrix. The bitmap must fit in the file, which bounds rows·cols.
     let rows = r.count("row", u32::MAX as usize)?;
     let cols = r.count("column", u32::MAX as usize)?;
     let cells = rows
         .checked_mul(cols)
-        .filter(|&n| n.div_ceil(8) <= body.len())
+        .filter(|&n| n.div_ceil(8) <= body_len)
         .ok_or_else(|| ArtifactError::Malformed("matrix shape overflows the file".into()))?;
     let bitmap = r.take(cells.div_ceil(8))?;
     let n_specified = r.count("specified entry", cells)?;
@@ -372,7 +163,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
     }
 
     // Clusters.
-    let k = r.count("cluster", body.len())?;
+    let k = r.count("cluster", body_len)?;
     let mut clusters = Vec::with_capacity(k);
     for _ in 0..k {
         let cluster_rows = r.indices(rows, "cluster row")?;
@@ -417,12 +208,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
         });
     }
 
-    if r.pos != body.len() {
-        return Err(ArtifactError::Malformed(format!(
-            "{} trailing bytes after model payload",
-            body.len() - r.pos
-        )));
-    }
+    r.expect_end()?;
 
     ServeModel::with_bases(matrix, clusters, residues, avg_residue, all_bases)
         .map_err(ArtifactError::from)
@@ -483,10 +269,12 @@ fn is_json_path(path: &Path) -> bool {
 /// extension is `.json`.
 pub fn save(model: &ServeModel, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
     let path = path.as_ref();
+    // Write-temp-fsync-rename: a crash mid-save can never corrupt or
+    // truncate an existing model at `path`.
     if is_json_path(path) {
-        std::fs::write(path, to_json(model))?;
+        crate::atomic::atomic_write(path, to_json(model).as_bytes())?;
     } else {
-        std::fs::write(path, to_bytes(model))?;
+        crate::atomic::atomic_write(path, &to_bytes(model))?;
     }
     Ok(())
 }

@@ -1,0 +1,343 @@
+//! Shared binary artifact framing: magic + version envelope, CRC-32
+//! checksum trailer, and little-endian primitive encoding.
+//!
+//! Both on-disk artifact formats — the `.dcm` model ([`crate::artifact`])
+//! and the `.dck` mining checkpoint ([`crate::checkpoint`]) — use the same
+//! envelope:
+//!
+//! ```text
+//! offset 0   magic  4 bytes (format-specific)
+//!        4   u16    format version
+//!        6   u16    reserved flags (must be 0)
+//!        8   payload (format-specific sections)
+//!        end-4  u32 CRC-32 (IEEE) of every preceding byte
+//! ```
+//!
+//! A flipped byte anywhere surfaces as [`ArtifactError::ChecksumMismatch`]
+//! before any parsing happens, and every read is bounds-checked — corrupt
+//! or truncated files produce typed errors, never panics.
+
+use crate::model::ModelError;
+
+/// Everything that can go wrong encoding or decoding a framed artifact.
+#[derive(Debug)]
+pub enum ArtifactError {
+    Io(std::io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The CRC-32 over the file body does not match the stored checksum.
+    ChecksumMismatch {
+        stored: u32,
+        computed: u32,
+    },
+    /// The file ended before a section was complete.
+    Truncated,
+    /// A structurally invalid value (negative count, index out of range…).
+    Malformed(String),
+    /// The parts deserialized cleanly but do not form a coherent model.
+    Model(ModelError),
+    /// JSON parse error (fallback format or embedded JSON section).
+    Json(String),
+}
+
+impl std::fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "i/o error: {e}"),
+            ArtifactError::BadMagic => write!(f, "not a δ-cluster artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            ArtifactError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact is corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            ArtifactError::Truncated => write!(f, "artifact is truncated"),
+            ArtifactError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+            ArtifactError::Model(e) => write!(f, "inconsistent model: {e}"),
+            ArtifactError::Json(e) => write!(f, "json parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+impl From<ModelError> for ArtifactError {
+    fn from(e: ModelError) -> Self {
+        ArtifactError::Model(e)
+    }
+}
+
+// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---- encoding ------------------------------------------------------------
+
+/// Little-endian section encoder. Start with [`Writer::begin`], append
+/// sections, and [`Writer::finish`] to seal the checksum trailer.
+pub struct Writer {
+    pub(crate) buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Opens an envelope with `magic` and `version` (reserved flags 0).
+    pub fn begin(magic: [u8; 4], version: u16) -> Self {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&magic);
+        w.u16(version);
+        w.u16(0); // reserved flags
+        w
+    }
+
+    /// Appends the CRC-32 trailer and returns the complete artifact bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.u32(crc);
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Length-prefixed ascending index list.
+    pub fn indices(&mut self, ix: &[usize]) {
+        self.u64(ix.len() as u64);
+        for &i in ix {
+            self.u64(i as u64);
+        }
+    }
+}
+
+// ---- decoding ------------------------------------------------------------
+
+/// Bounds-checked little-endian section decoder over a validated envelope
+/// body (checksum trailer excluded).
+pub struct Reader<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates the envelope of `bytes` — magic, version (`1..=version`),
+    /// CRC-32 trailer — and returns a reader positioned at the payload.
+    ///
+    /// # Errors
+    /// [`ArtifactError::BadMagic`], [`ArtifactError::UnsupportedVersion`],
+    /// [`ArtifactError::ChecksumMismatch`], or [`ArtifactError::Truncated`]
+    /// when the file is too short to hold an envelope at all.
+    pub fn open(bytes: &'a [u8], magic: [u8; 4], version: u16) -> Result<Self, ArtifactError> {
+        if bytes.len() < magic.len() + 4 + 4 {
+            return Err(ArtifactError::Truncated);
+        }
+        if bytes[..4] != magic {
+            return Err(ArtifactError::BadMagic);
+        }
+        let file_version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if file_version == 0 || file_version > version {
+            return Err(ArtifactError::UnsupportedVersion(file_version));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(ArtifactError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Reader {
+            bytes: body,
+            pos: 8,
+        })
+    }
+
+    /// Fails with [`ArtifactError::Malformed`] unless the payload was
+    /// consumed exactly.
+    pub fn expect_end(&self) -> Result<(), ArtifactError> {
+        if self.pos != self.bytes.len() {
+            return Err(ArtifactError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(ArtifactError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    pub fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    /// A `u64` count that must also be a sane in-memory size.
+    pub fn count(&mut self, what: &str, limit: usize) -> Result<usize, ArtifactError> {
+        let n = self.u64()?;
+        if n > limit as u64 {
+            return Err(ArtifactError::Malformed(format!(
+                "{what} count {n} exceeds limit {limit}"
+            )));
+        }
+        Ok(n as usize)
+    }
+    pub fn str(&mut self) -> Result<String, ArtifactError> {
+        let len = self.count("string length", self.bytes.len())?;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| ArtifactError::Malformed("string is not UTF-8".into()))
+    }
+    /// A strictly ascending index list bounded by `bound`.
+    pub fn indices(&mut self, bound: usize, what: &str) -> Result<Vec<usize>, ArtifactError> {
+        let n = self.count(what, bound)?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let i = self.u64()? as usize;
+            if i >= bound {
+                return Err(ArtifactError::Malformed(format!(
+                    "{what} index {i} out of range 0..{bound}"
+                )));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(ArtifactError::Malformed(format!(
+                    "{what} indices not strictly ascending"
+                )));
+            }
+            prev = Some(i);
+            out.push(i);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 4] = *b"TST1";
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(7);
+        w.str("hello");
+        w.indices(&[1, 4, 9]);
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.indices(10, "test").unwrap(), vec![1, 4, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_magic_version_and_corruption() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(1);
+        let bytes = w.finish();
+
+        assert!(matches!(
+            Reader::open(&bytes, *b"OTHR", 1),
+            Err(ArtifactError::BadMagic)
+        ));
+
+        let mut newer = Writer::begin(MAGIC, 9);
+        newer.u64(1);
+        let newer = newer.finish();
+        assert!(matches!(
+            Reader::open(&newer, MAGIC, 1),
+            Err(ArtifactError::UnsupportedVersion(9))
+        ));
+
+        let mut corrupt = bytes.clone();
+        corrupt[9] ^= 1;
+        assert!(matches!(
+            Reader::open(&corrupt, MAGIC, 1),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            Reader::open(&bytes[..6], MAGIC, 1),
+            Err(ArtifactError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(1);
+        w.u64(2);
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
+        let _ = r.u64().unwrap();
+        assert!(matches!(r.expect_end(), Err(ArtifactError::Malformed(_))));
+    }
+}

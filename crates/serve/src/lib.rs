@@ -45,11 +45,18 @@
 //! ```
 
 pub mod artifact;
+pub mod atomic;
+pub mod checkpoint;
 pub mod engine;
+pub mod framing;
 pub mod model;
 pub mod stats;
 
 pub use artifact::{load, save, ArtifactError};
+pub use atomic::{atomic_write, atomic_write_with, temp_sibling};
+pub use checkpoint::{
+    checkpoint_from_bytes, checkpoint_to_bytes, load_checkpoint, save_checkpoint,
+};
 pub use engine::QueryEngine;
 pub use model::{ModelError, ServeModel};
 pub use stats::{QueryOutcome, QueryStats};

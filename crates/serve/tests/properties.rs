@@ -92,3 +92,61 @@ proptest! {
         }
     }
 }
+
+// ---- Checkpoint (.dck) codec ----------------------------------------------
+
+use dc_floc::{floc_observed, FlocCheckpoint, FlocConfig};
+use dc_serve::{checkpoint_from_bytes, checkpoint_to_bytes};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Mines a small random matrix and returns every checkpoint it emitted.
+fn mined_snapshots(seed: u64, rows: usize, cols: usize) -> Vec<FlocCheckpoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = DataMatrix::new(rows, cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if rng.gen_bool(0.9) {
+                m.set(r, c, rng.gen_range(-25.0..25.0));
+            }
+        }
+    }
+    let config = FlocConfig::builder(2).alpha(0.5).seed(seed).build();
+    let mut snapshots = Vec::new();
+    let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+    floc_observed(&m, &config, Some(&mut obs)).unwrap();
+    snapshots
+}
+
+proptest! {
+    /// For arbitrary mined states the `.dck` codec is byte-canonical: the
+    /// round trip is lossless and re-encoding reproduces identical bytes.
+    #[test]
+    fn dck_round_trip_is_byte_canonical_for_random_runs(
+        seed in 0u64..1_000_000,
+        rows in 10usize..24,
+        cols in 6usize..14,
+    ) {
+        for ckpt in mined_snapshots(seed, rows, cols) {
+            let bytes = checkpoint_to_bytes(&ckpt);
+            let back = checkpoint_from_bytes(&bytes).unwrap();
+            prop_assert_eq!(&back, &ckpt);
+            prop_assert_eq!(checkpoint_to_bytes(&back), bytes);
+        }
+    }
+
+    /// Flipping any byte of a `.dck` file is detected, never parsed.
+    #[test]
+    fn dck_detects_any_corrupted_byte(
+        seed in 0u64..1_000_000,
+        pos_seed in 0usize..100_000,
+        flip in 1u8..=255,
+    ) {
+        let snapshots = mined_snapshots(seed, 14, 8);
+        let ckpt = snapshots.last().unwrap();
+        let mut bytes = checkpoint_to_bytes(ckpt);
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= flip;
+        prop_assert!(checkpoint_from_bytes(&bytes).is_err());
+    }
+}

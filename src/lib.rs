@@ -60,10 +60,11 @@ pub mod prelude {
     pub use dc_datagen::{EmbedConfig, MicroarrayConfig, MovieLensConfig};
     pub use dc_eval::{diameter, match_clusters, quality};
     pub use dc_floc::{
-        cluster_residue, floc, floc_restarts, Constraint, DeltaCluster, FlocConfig, FlocResult,
-        Ordering, ResidueMean, Seeding,
+        cluster_residue, floc, floc_observed, floc_restarts, floc_resume, Constraint, DeltaCluster,
+        FlocCheckpoint, FlocConfig, FlocResult, InterruptFlag, Ordering, ResidueMean, Seeding,
+        StopReason,
     };
-    pub use dc_matrix::{BitSet, DataMatrix};
-    pub use dc_serve::{PredictError, QueryEngine, ServeModel};
+    pub use dc_matrix::{validate, BitSet, DataMatrix, ValidationReport};
+    pub use dc_serve::{load_checkpoint, save_checkpoint, PredictError, QueryEngine, ServeModel};
     pub use dc_subspace::{alternative, clique, AlternativeConfig, CliqueConfig};
 }
