@@ -1,0 +1,6 @@
+//! Gain-engine throughput comparison (exact vs incremental); writes
+//! BENCH_floc.json. Pass --full for the complete N×M grid.
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::floc_perf::run(&opts));
+}

@@ -15,14 +15,19 @@
 //!    clustering, replay that prefix onto the iteration's starting state and
 //!    continue; otherwise terminate and return the incumbent.
 //!
-//! The per-iteration cost is `O((N+M) · k · n·m)` where `n×m` is the typical
-//! cluster footprint — the complexity §4.2 derives — with bases produced
-//! from cached sufficient statistics rather than recomputed from scratch.
+//! With the exact gain engine the per-iteration cost is `O((N+M) · k · n·m)`
+//! where `n×m` is the typical cluster footprint — the complexity §4.2
+//! derives — with bases produced from cached sufficient statistics rather
+//! than recomputed from scratch. The incremental engine
+//! ([`crate::gain_engine`]) drops each candidate evaluation to
+//! `O((n+m)·log)` by querying per-line sorted residue indexes, rebuilt from
+//! the canonical states at every iteration boundary.
 
 use crate::action::{self, Action, EvaluatedAction, Target};
 use crate::checkpoint::{FlocCheckpoint, ResumeError};
 use crate::cluster::DeltaCluster;
 use crate::config::FlocConfig;
+use crate::gain_engine::IncrementalEngine;
 use crate::history::{FlocResult, IterationTrace, StopReason};
 use crate::ordering;
 use crate::seeding::{self, SeedError};
@@ -131,11 +136,17 @@ fn blocked(
 /// Returns one [`EvaluatedAction`] per target, in row-major target order
 /// (rows `0..M`, then columns `0..N`). A target whose `k` actions are all
 /// blocked yields gain `−∞` and is skipped at application time.
+///
+/// With `engine` present, gains come from the incremental sorted-index
+/// queries (the engine must have been built against `states`); otherwise
+/// each candidate pays the exact rescan. Both paths share the blocking
+/// logic and target order, so they choose among identical candidates.
 fn evaluate_best_actions(
     matrix: &DataMatrix,
     states: &[ClusterState],
     residues: &[f64],
     config: &FlocConfig,
+    engine: Option<&IncrementalEngine>,
 ) -> Vec<EvaluatedAction> {
     let m = matrix.rows();
     let n = matrix.cols();
@@ -154,7 +165,10 @@ fn evaluate_best_actions(
             if blocked(matrix, states, a, config) {
                 continue;
             }
-            let g = action::gain(matrix, state, residues[c], target, config.mean, scratch);
+            let g = match engine {
+                Some(eng) => residues[c] - eng.toggled_residue(c, target, state, matrix),
+                None => action::gain(matrix, state, residues[c], target, config.mean, scratch),
+            };
             if g > best.gain {
                 best = EvaluatedAction { action: a, gain: g };
             }
@@ -348,6 +362,7 @@ fn run_loop(
     let mut iterations = start_iterations;
     let mut stop_reason = StopReason::MaxIterations;
     let out_of_time = |now: Instant| config.time_budget.is_some_and(|b| now - start >= b);
+    let use_incremental = config.gain_engine.use_incremental(matrix);
 
     'outer: while iterations < config.max_iterations {
         // Safe boundary: the incumbent state is canonical and no RNG has
@@ -363,8 +378,15 @@ fn run_loop(
         let rng_at_start = rng.state();
         iterations += 1;
 
+        // Drift guard: the incremental engine is rebuilt from the canonical
+        // incumbent states every iteration, so index error cannot compound
+        // across iterations and resumed runs reconstruct the same indexes.
+        let mut engine =
+            use_incremental.then(|| IncrementalEngine::build(matrix, &best, config.mean));
+
         // 1. Choose the best action per target against the starting state.
-        let mut actions = evaluate_best_actions(matrix, &best, &best_residues, config);
+        let mut actions =
+            evaluate_best_actions(matrix, &best, &best_residues, config, engine.as_ref());
 
         // 2. Order them.
         ordering::order_actions(&mut actions, config.ordering, &mut rng);
@@ -373,7 +395,6 @@ fn run_loop(
         //    prefix by average residue.
         let mut states = best.clone();
         let mut residues = best_residues.clone();
-        let mut residue_sum: f64 = residues.iter().sum();
         let mut performed: Vec<Action> = Vec::with_capacity(actions.len());
         let mut best_prefix_avg = f64::INFINITY;
         let mut best_prefix_len = 0usize;
@@ -393,11 +414,17 @@ fn run_loop(
                 rng = StdRng::from_state(rng_at_start);
                 break 'outer;
             }
+            // With the incremental engine, the chosen action's post-toggle
+            // residue falls out of the same query that produced its gain.
+            let mut toggled_res = f64::NAN;
             let chosen = if config.refresh_gains {
                 // Re-decide this target's best action against the *current*
                 // clustering (§4.1: "examined sequentially … decided and
                 // performed"). Negative best gains are still performed.
                 let target = ea.action.target;
+                if let Some(eng) = engine.as_mut() {
+                    eng.prepare(matrix, &states, target.is_row());
+                }
                 let mut best_gain = f64::NEG_INFINITY;
                 let mut best = None;
                 for (c, state) in states.iter().enumerate() {
@@ -405,14 +432,24 @@ fn run_loop(
                     if blocked(matrix, &states, a, config) {
                         continue;
                     }
-                    let g = action::gain(
-                        matrix,
-                        state,
-                        residues[c],
-                        target,
-                        config.mean,
-                        &mut scratch,
-                    );
+                    let g = match engine.as_ref() {
+                        Some(eng) => {
+                            let tr = eng.toggled_residue(c, target, state, matrix);
+                            let g = residues[c] - tr;
+                            if g > best_gain {
+                                toggled_res = tr;
+                            }
+                            g
+                        }
+                        None => action::gain(
+                            matrix,
+                            state,
+                            residues[c],
+                            target,
+                            config.mean,
+                            &mut scratch,
+                        ),
+                    };
                     if g > best_gain {
                         best_gain = g;
                         best = Some(a);
@@ -427,13 +464,27 @@ fn run_loop(
                 Some(ea.action)
             };
             let Some(act) = chosen else { continue };
-            action::apply(matrix, &mut states, act);
             let c = act.cluster;
-            let new_res = states[c].residue(matrix, config.mean, &mut scratch);
-            residue_sum += new_res - residues[c];
+            let new_res = if let Some(eng) = engine.as_mut() {
+                if !config.refresh_gains {
+                    // The pre-decided gain is stale; query the residue the
+                    // toggle actually produces against the current state.
+                    eng.prepare(matrix, &states, act.target.is_row());
+                    toggled_res = eng.toggled_residue(c, act.target, &states[c], matrix);
+                }
+                // Repair the indexes from the pre-toggle state, then toggle.
+                eng.apply(matrix, &states[c], act);
+                action::apply(matrix, &mut states, act);
+                toggled_res
+            } else {
+                action::apply(matrix, &mut states, act);
+                states[c].residue(matrix, config.mean, &mut scratch)
+            };
             residues[c] = new_res;
             performed.push(act);
-            let avg = residue_sum / config.k as f64;
+            // Summing afresh (rather than `+= new_res − old`) keeps rounding
+            // error from accumulating across a long action sequence.
+            let avg = residues.iter().sum::<f64>() / config.k as f64;
             if avg < best_prefix_avg {
                 best_prefix_avg = avg;
                 best_prefix_len = performed.len();

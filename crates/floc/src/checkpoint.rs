@@ -143,6 +143,9 @@ pub(crate) fn search_config_mismatch(a: &FlocConfig, b: &FlocConfig) -> Option<&
     if a.refresh_gains != b.refresh_gains {
         return Some("refresh_gains");
     }
+    if a.gain_engine != b.gain_engine {
+        return Some("gain_engine");
+    }
     None
 }
 

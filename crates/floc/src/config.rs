@@ -1,6 +1,7 @@
 //! FLOC configuration (builder pattern).
 
 use crate::constraints::Constraint;
+use crate::gain_engine::GainEngineKind;
 use crate::ordering::Ordering;
 use crate::residue::ResidueMean;
 use crate::seeding::Seeding;
@@ -112,6 +113,13 @@ pub struct FlocConfig {
     /// Worker threads for gain evaluation (1 = serial). Gains within an
     /// iteration are independent, so evaluation parallelizes cleanly.
     pub threads: usize,
+    /// Which gain engine evaluates candidate actions (see
+    /// [`GainEngineKind`]). `Auto` (the default) picks the exact scanner
+    /// for small matrices and the incremental sorted-index engine for
+    /// large ones. Part of the search identity: the engines agree to
+    /// floating-point accuracy, not bit-for-bit, so checkpoints refuse to
+    /// resume under a different engine.
+    pub gain_engine: GainEngineKind,
     /// When true (default), the best action of each row/column is
     /// *re-decided against the current clustering* at perform time — the
     /// §4.1 "examined sequentially ... decided and performed" reading.
@@ -151,6 +159,7 @@ impl FlocConfig {
             min_cols: 2,
             seed: 0,
             threads: 1,
+            gain_engine: GainEngineKind::Auto,
             refresh_gains: true,
             time_budget: None,
             interrupt: InterruptFlag::default(),
@@ -224,6 +233,13 @@ impl FlocConfigBuilder {
     /// Sets the number of gain-evaluation threads.
     pub fn threads(mut self, threads: usize) -> Self {
         self.config.threads = threads.max(1);
+        self
+    }
+
+    /// Chooses the gain engine (exact scanner, incremental sorted-index,
+    /// or size-based auto selection — the default).
+    pub fn gain_engine(mut self, engine: GainEngineKind) -> Self {
+        self.config.gain_engine = engine;
         self
     }
 

@@ -1,0 +1,675 @@
+//! Pluggable gain engines: exact rescans vs incremental sorted-residue
+//! indexes.
+//!
+//! FLOC's per-iteration cost is dominated by gain evaluation: each of the
+//! `(N+M)·k` candidate actions asks "what would cluster `c`'s residue be
+//! with row/column `x` toggled?", and the exact answer
+//! ([`ClusterState::residue_if_row_toggled`]) rescans the whole `|I|·|J|`
+//! submatrix. The [`IncrementalEngine`] answers the same question in
+//! `O(|J|·log|I|)` (row toggles) / `O(|I|·log|J|)` (column toggles) from
+//! per-line sorted indexes, exploiting a structural fact of the residue
+//! model:
+//!
+//! Toggling row `x` leaves `J` unchanged, so every other row's base `d_iJ`
+//! is unchanged and `s_ij = d_ij − d_iJ` is *invariant*. The new residue of
+//! entry `(i, j)` is
+//!
+//! ```text
+//! d_ij − d_iJ − d_Ij′ + d_IJ′  =  s_ij − t_j,   t_j = d_Ij′ − d_IJ′
+//! ```
+//!
+//! — a per-column constant shift. With the `s_ij` of each column kept
+//! sorted alongside prefix sums (`pre`) and prefix sums of squares
+//! (`pre2`), the column's contribution to the toggled residue is a closed
+//! form:
+//!
+//! * arithmetic mean: `Σ|s − t| = (lo·t − pre[lo]) + (pre[n] − pre[lo] −
+//!   (n−lo)·t)` where `lo = #{s < t}` from one binary search;
+//! * squared mean: `Σ(s − t)² = pre2[n] − 2t·pre[n] + n·t²`, no search.
+//!
+//! Symmetrically, toggling column `y` leaves every column base `d_Ij`
+//! (`j ≠ y`) unchanged, so per-row sorted arrays of `u_ij = d_ij − d_Ij`
+//! answer column toggles.
+//!
+//! ## Maintenance across applies
+//!
+//! Applying a row toggle keeps the per-column (`s`) indexes repairable in
+//! `O(|J| · |I|)` — only row `x`'s entries enter or leave, with every other
+//! `s` value untouched — but shifts every column base, invalidating all
+//! per-row (`u`) indexes at once. Rather than rebuilding both sides after
+//! every apply, each side carries a dirty flag: the same side is repaired
+//! in place, the opposite side is marked stale and lazily rebuilt by
+//! [`IncrementalEngine::prepare`] the next time a query needs it. The
+//! driver rebuilds the whole engine from the canonical cluster states at
+//! every iteration boundary — the *drift guard* that keeps long runs (and
+//! checkpoint/resume) anchored to the exact statistics.
+
+use crate::action::{Action, Target};
+use crate::residue::ResidueMean;
+use crate::stats::ClusterState;
+use dc_matrix::DataMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Matrices with at least this many cells default to the incremental
+/// engine under [`GainEngineKind::Auto`]. Below it the exact scanner is
+/// both fast enough and free of index-maintenance overhead.
+pub const AUTO_INCREMENTAL_CELLS: usize = 10_000;
+
+/// Which engine drives phase-2 gain evaluation (selected in
+/// [`crate::FlocConfig`]).
+///
+/// The engines agree to floating-point accuracy but not bit-for-bit (they
+/// sum in different orders), so the choice is part of the search identity:
+/// checkpoints record it and refuse to resume under a different engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GainEngineKind {
+    /// Choose by matrix size: [`GainEngineKind::Incremental`] at or above
+    /// [`AUTO_INCREMENTAL_CELLS`] cells, [`GainEngineKind::Exact`] below.
+    #[default]
+    Auto,
+    /// The `O(|I|·|J|)`-per-candidate rescan of
+    /// [`ClusterState::residue_if_row_toggled`] — the correctness oracle.
+    Exact,
+    /// Sorted-index evaluation in `O((|I|+|J|)·log)` per candidate.
+    Incremental,
+}
+
+impl GainEngineKind {
+    /// Resolves the kind against a concrete matrix. Deterministic for a
+    /// given matrix shape, so fresh and resumed runs agree.
+    pub fn use_incremental(self, matrix: &DataMatrix) -> bool {
+        match self {
+            GainEngineKind::Exact => false,
+            GainEngineKind::Incremental => true,
+            GainEngineKind::Auto => matrix.cells() >= AUTO_INCREMENTAL_CELLS,
+        }
+    }
+}
+
+impl std::fmt::Display for GainEngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GainEngineKind::Auto => "auto",
+            GainEngineKind::Exact => "exact",
+            GainEngineKind::Incremental => "incremental",
+        })
+    }
+}
+
+/// Sorted shift-invariant residues of one matrix line (a column's `s`
+/// values or a row's `u` values) with prefix partial sums.
+#[derive(Debug, Clone, Default)]
+struct DimIndex {
+    /// Invariant residues, ascending (ties broken by id).
+    vals: Vec<f64>,
+    /// Row id (in a per-column index) / column id (per-row), aligned with
+    /// `vals`.
+    ids: Vec<u32>,
+    /// `pre[i] = vals[..i].sum()`; length `vals.len() + 1`.
+    pre: Vec<f64>,
+    /// Prefix sums of `vals[i]²`, for the squared mean's closed form.
+    pre2: Vec<f64>,
+}
+
+impl DimIndex {
+    fn clear(&mut self) {
+        self.vals.clear();
+        self.ids.clear();
+        self.pre.clear();
+        self.pre2.clear();
+    }
+
+    fn push(&mut self, val: f64, id: u32) {
+        self.vals.push(val);
+        self.ids.push(id);
+    }
+
+    /// Sorts by `(value, id)` and (re)builds the prefix arrays.
+    fn finish(&mut self) {
+        let mut order: Vec<u32> = (0..self.vals.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            self.vals[a as usize]
+                .total_cmp(&self.vals[b as usize])
+                .then(self.ids[a as usize].cmp(&self.ids[b as usize]))
+        });
+        let vals: Vec<f64> = order.iter().map(|&i| self.vals[i as usize]).collect();
+        let ids: Vec<u32> = order.iter().map(|&i| self.ids[i as usize]).collect();
+        self.vals = vals;
+        self.ids = ids;
+        self.rebuild_prefixes();
+    }
+
+    fn rebuild_prefixes(&mut self) {
+        self.pre.clear();
+        self.pre2.clear();
+        self.pre.reserve(self.vals.len() + 1);
+        self.pre2.reserve(self.vals.len() + 1);
+        let (mut s, mut s2) = (0.0, 0.0);
+        self.pre.push(0.0);
+        self.pre2.push(0.0);
+        for &v in &self.vals {
+            s += v;
+            s2 += v * v;
+            self.pre.push(s);
+            self.pre2.push(s2);
+        }
+    }
+
+    /// First position at or after which `(val, id)` sorts.
+    fn position(&self, val: f64, id: u32) -> usize {
+        let mut pos = self.vals.partition_point(|&v| v.total_cmp(&val).is_lt());
+        while pos < self.vals.len() && self.vals[pos].total_cmp(&val).is_eq() && self.ids[pos] < id
+        {
+            pos += 1;
+        }
+        pos
+    }
+
+    /// Inserts one entry, keeping order, and repairs the prefixes. `O(n)`.
+    fn insert(&mut self, val: f64, id: u32) {
+        let pos = self.position(val, id);
+        self.vals.insert(pos, val);
+        self.ids.insert(pos, id);
+        self.rebuild_prefixes();
+    }
+
+    /// Removes the entry for `id`, located by its reproduced value (the
+    /// stored value is recomputed bit-identically from the same sums, so
+    /// the binary search lands on it; a linear fallback guards the
+    /// invariant anyway). `O(n)`.
+    fn remove(&mut self, val: f64, id: u32) {
+        let pos = self.position(val, id);
+        let at = if self.ids.get(pos) == Some(&id) {
+            pos
+        } else {
+            debug_assert!(false, "index entry for id {id} not at its reproduced value");
+            match self.ids.iter().position(|&i| i == id) {
+                Some(p) => p,
+                None => return,
+            }
+        };
+        self.vals.remove(at);
+        self.ids.remove(at);
+        self.rebuild_prefixes();
+    }
+
+    /// `Σ term(vals[i] − t)` over every entry, in `O(log n)` (arithmetic)
+    /// or `O(1)` (squared).
+    #[inline]
+    fn query(&self, t: f64, mean: ResidueMean) -> f64 {
+        let n = self.vals.len();
+        if n == 0 {
+            return 0.0;
+        }
+        match mean {
+            ResidueMean::Arithmetic => {
+                let lo = self.vals.partition_point(|&s| s < t);
+                let left = t * lo as f64 - self.pre[lo];
+                let right = (self.pre[n] - self.pre[lo]) - t * (n - lo) as f64;
+                left + right
+            }
+            ResidueMean::Squared => self.pre2[n] - 2.0 * t * self.pre[n] + n as f64 * t * t,
+        }
+    }
+}
+
+/// Both index sides of one cluster.
+#[derive(Debug, Clone)]
+struct ClusterIndex {
+    /// `by_col[j]` holds the sorted `s_ij = d_ij − d_iJ` of column `j`
+    /// over the cluster's rows — serves **row**-toggle queries. Empty for
+    /// columns outside `J`.
+    by_col: Vec<DimIndex>,
+    /// `by_row[i]` holds the sorted `u_ij = d_ij − d_Ij` of row `i` over
+    /// the cluster's columns — serves **column**-toggle queries.
+    by_row: Vec<DimIndex>,
+    /// `by_col` matches the cluster's current state.
+    col_ok: bool,
+    /// `by_row` matches the cluster's current state.
+    row_ok: bool,
+}
+
+impl ClusterIndex {
+    fn new(matrix: &DataMatrix) -> Self {
+        ClusterIndex {
+            by_col: vec![DimIndex::default(); matrix.cols()],
+            by_row: vec![DimIndex::default(); matrix.rows()],
+            col_ok: false,
+            row_ok: false,
+        }
+    }
+
+    fn rebuild_by_col(&mut self, matrix: &DataMatrix, st: &ClusterState) {
+        for d in &mut self.by_col {
+            d.clear();
+        }
+        for j in st.cols.iter() {
+            let d = &mut self.by_col[j];
+            for (i, v) in matrix.col_specified_in(j, &st.rows) {
+                // (i, j) specified with j ∈ J ⇒ row i's count is ≥ 1.
+                let rb = st.row_sum(i) / st.row_specified(i) as f64;
+                d.push(v - rb, i as u32);
+            }
+            d.finish();
+        }
+        self.col_ok = true;
+    }
+
+    fn rebuild_by_row(&mut self, matrix: &DataMatrix, st: &ClusterState) {
+        for d in &mut self.by_row {
+            d.clear();
+        }
+        for i in st.rows.iter() {
+            let d = &mut self.by_row[i];
+            for (j, v) in matrix.row_specified_in(i, &st.cols) {
+                let cb = st.col_sum(j) / st.col_specified(j) as f64;
+                d.push(v - cb, j as u32);
+            }
+            d.finish();
+        }
+        self.row_ok = true;
+    }
+}
+
+/// Incremental gain engine: per-cluster sorted-residue indexes answering
+/// virtual-toggle residues without rescanning the cluster submatrix.
+///
+/// Built from the canonical [`ClusterState`]s at each iteration boundary;
+/// the driver calls [`Self::prepare`] before querying a side,
+/// [`Self::toggled_residue`] for gains, and [`Self::apply`] (just before
+/// the matching [`ClusterState`] toggle) to keep the indexes in step.
+/// Queries take `&self`, so evaluation parallelizes exactly like the exact
+/// scanner.
+#[derive(Debug)]
+pub struct IncrementalEngine {
+    clusters: Vec<ClusterIndex>,
+    mean: ResidueMean,
+}
+
+impl IncrementalEngine {
+    /// Builds both index sides for every cluster. `O(Σ volume · log)`.
+    pub fn build(matrix: &DataMatrix, states: &[ClusterState], mean: ResidueMean) -> Self {
+        let mut engine = IncrementalEngine {
+            clusters: states.iter().map(|_| ClusterIndex::new(matrix)).collect(),
+            mean,
+        };
+        for (ci, st) in engine.clusters.iter_mut().zip(states) {
+            ci.rebuild_by_col(matrix, st);
+            ci.rebuild_by_row(matrix, st);
+        }
+        engine
+    }
+
+    /// Rebuilds any stale index side needed for the next queries:
+    /// row-toggle queries (`is_row`) read the per-column side, column
+    /// toggles the per-row side. No-op for clean sides.
+    pub fn prepare(&mut self, matrix: &DataMatrix, states: &[ClusterState], is_row: bool) {
+        for (ci, st) in self.clusters.iter_mut().zip(states) {
+            if is_row && !ci.col_ok {
+                ci.rebuild_by_col(matrix, st);
+            }
+            if !is_row && !ci.row_ok {
+                ci.rebuild_by_row(matrix, st);
+            }
+        }
+    }
+
+    /// The residue cluster `cluster` would have with `target` toggled —
+    /// the incremental counterpart of [`ClusterState::residue_if_row_toggled`] /
+    /// [`ClusterState::residue_if_col_toggled`]. `st` must be the state the
+    /// engine's indexes were built/repaired against, and the queried side
+    /// must have been [`Self::prepare`]d.
+    pub fn toggled_residue(
+        &self,
+        cluster: usize,
+        target: Target,
+        st: &ClusterState,
+        matrix: &DataMatrix,
+    ) -> f64 {
+        match target {
+            Target::Row(r) => self.residue_row_toggled(cluster, r, st, matrix),
+            Target::Col(c) => self.residue_col_toggled(cluster, c, st, matrix),
+        }
+    }
+
+    fn residue_row_toggled(
+        &self,
+        cluster: usize,
+        x: usize,
+        st: &ClusterState,
+        matrix: &DataMatrix,
+    ) -> f64 {
+        let ci = &self.clusters[cluster];
+        debug_assert!(ci.col_ok, "row query against a stale per-column index");
+        let adding = !st.rows.contains(x);
+        let sign = if adding { 1.0 } else { -1.0 };
+
+        let (t_sum, t_cnt) = if adding {
+            let mut s = 0.0;
+            let mut c = 0u32;
+            for (_, v) in matrix.row_specified_in(x, &st.cols) {
+                s += v;
+                c += 1;
+            }
+            (s, c)
+        } else {
+            (st.row_sum(x), st.row_specified(x))
+        };
+
+        let new_volume = (st.volume() as i64 + sign as i64 * t_cnt as i64) as usize;
+        if new_volume == 0 {
+            return 0.0;
+        }
+        let new_total = st.total() + sign * t_sum;
+        let base = new_total / new_volume as f64;
+
+        // Row x's base before (for cancelling stored entries) and after.
+        let old_rb = if st.row_specified(x) > 0 {
+            st.row_sum(x) / st.row_specified(x) as f64
+        } else {
+            0.0 // unused: x then has no stored entries
+        };
+        let new_rb = if t_cnt == 0 {
+            base
+        } else {
+            t_sum / t_cnt as f64
+        };
+
+        let xvals = matrix.row_values(x);
+        let mut sum = 0.0;
+        for j in st.cols.iter() {
+            let spec = matrix.is_specified(x, j);
+            let (mut cs, mut cn) = (st.col_sum(j), st.col_specified(j) as i64);
+            if spec {
+                cs += sign * xvals[j];
+                cn += sign as i64;
+            }
+            let col_base = if cn <= 0 { base } else { cs / cn as f64 };
+            let t = col_base - base;
+            sum += ci.by_col[j].query(t, self.mean);
+            if spec {
+                if adding {
+                    sum += self.mean.entry_term(xvals[j] - new_rb - col_base + base);
+                } else {
+                    // The index still contains x's entry; cancel it.
+                    sum -= self.mean.entry_term((xvals[j] - old_rb) - t);
+                }
+            }
+        }
+        sum / new_volume as f64
+    }
+
+    fn residue_col_toggled(
+        &self,
+        cluster: usize,
+        y: usize,
+        st: &ClusterState,
+        matrix: &DataMatrix,
+    ) -> f64 {
+        let ci = &self.clusters[cluster];
+        debug_assert!(ci.row_ok, "column query against a stale per-row index");
+        let adding = !st.cols.contains(y);
+        let sign = if adding { 1.0 } else { -1.0 };
+
+        let (t_sum, t_cnt) = if adding {
+            let mut s = 0.0;
+            let mut c = 0u32;
+            for (_, v) in matrix.col_specified_in(y, &st.rows) {
+                s += v;
+                c += 1;
+            }
+            (s, c)
+        } else {
+            (st.col_sum(y), st.col_specified(y))
+        };
+
+        let new_volume = (st.volume() as i64 + sign as i64 * t_cnt as i64) as usize;
+        if new_volume == 0 {
+            return 0.0;
+        }
+        let new_total = st.total() + sign * t_sum;
+        let base = new_total / new_volume as f64;
+
+        let old_cb = if st.col_specified(y) > 0 {
+            st.col_sum(y) / st.col_specified(y) as f64
+        } else {
+            0.0 // unused: y then has no stored entries
+        };
+        let new_cb = if t_cnt == 0 {
+            base
+        } else {
+            t_sum / t_cnt as f64
+        };
+
+        let mut sum = 0.0;
+        for i in st.rows.iter() {
+            let spec = matrix.is_specified(i, y);
+            let (mut rs, mut rn) = (st.row_sum(i), st.row_specified(i) as i64);
+            let v = matrix.value_unchecked(i, y);
+            if spec {
+                rs += sign * v;
+                rn += sign as i64;
+            }
+            let row_base = if rn <= 0 { base } else { rs / rn as f64 };
+            let w = row_base - base;
+            sum += ci.by_row[i].query(w, self.mean);
+            if spec {
+                if adding {
+                    sum += self.mean.entry_term(v - row_base - new_cb + base);
+                } else {
+                    sum -= self.mean.entry_term((v - old_cb) - w);
+                }
+            }
+        }
+        sum / new_volume as f64
+    }
+
+    /// Brings the indexes in step with `action`, which the driver is about
+    /// to perform. Must be called with the cluster's state *before* the
+    /// toggle (the pre-toggle sums reproduce the stored values to remove).
+    ///
+    /// Repairs the same-side index in place (`O(line · |I or J|)`) and
+    /// marks the opposite side stale for the next [`Self::prepare`].
+    pub fn apply(&mut self, matrix: &DataMatrix, st: &ClusterState, action: Action) {
+        let ci = &mut self.clusters[action.cluster];
+        match action.target {
+            Target::Row(x) => {
+                ci.row_ok = false; // every column base shifts
+                if !ci.col_ok {
+                    return; // stale anyway; prepare() will rebuild
+                }
+                if st.rows.contains(x) {
+                    if st.row_specified(x) > 0 {
+                        let rb = st.row_sum(x) / st.row_specified(x) as f64;
+                        for (j, v) in matrix.row_specified_in(x, &st.cols) {
+                            ci.by_col[j].remove(v - rb, x as u32);
+                        }
+                    }
+                } else {
+                    let mut t_sum = 0.0;
+                    let mut t_cnt = 0u32;
+                    for (_, v) in matrix.row_specified_in(x, &st.cols) {
+                        t_sum += v;
+                        t_cnt += 1;
+                    }
+                    if t_cnt > 0 {
+                        let rb = t_sum / t_cnt as f64;
+                        for (j, v) in matrix.row_specified_in(x, &st.cols) {
+                            ci.by_col[j].insert(v - rb, x as u32);
+                        }
+                    }
+                }
+            }
+            Target::Col(y) => {
+                ci.col_ok = false;
+                if !ci.row_ok {
+                    return;
+                }
+                if st.cols.contains(y) {
+                    if st.col_specified(y) > 0 {
+                        let cb = st.col_sum(y) / st.col_specified(y) as f64;
+                        for (i, v) in matrix.col_specified_in(y, &st.rows) {
+                            ci.by_row[i].remove(v - cb, y as u32);
+                        }
+                    }
+                } else {
+                    let mut t_sum = 0.0;
+                    let mut t_cnt = 0u32;
+                    for (_, v) in matrix.col_specified_in(y, &st.rows) {
+                        t_sum += v;
+                        t_cnt += 1;
+                    }
+                    if t_cnt > 0 {
+                        let cb = t_sum / t_cnt as f64;
+                        for (i, v) in matrix.col_specified_in(y, &st.rows) {
+                            ci.by_row[i].insert(v - cb, y as u32);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::DeltaCluster;
+    use crate::stats::Scratch;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DataMatrix::new(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if rng.gen_bool(density) {
+                    m.set(r, c, rng.gen_range(-50.0..50.0));
+                }
+            }
+        }
+        m
+    }
+
+    fn assert_close(a: f64, b: f64, what: &str) {
+        assert!(
+            (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+            "{what}: incremental {a} != exact {b}"
+        );
+    }
+
+    /// Every virtual toggle from a fresh engine matches the exact scanner.
+    #[test]
+    fn fresh_engine_matches_exact_scanner() {
+        for (seed, density) in [(1u64, 1.0), (2, 0.8), (3, 0.55)] {
+            let m = random_matrix(12, 9, density, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+            for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+                let row_pick: Vec<usize> = (0..12).filter(|_| rng.gen_bool(0.5)).collect();
+                let col_pick: Vec<usize> = (0..9).filter(|_| rng.gen_bool(0.6)).collect();
+                let cluster = DeltaCluster::from_indices(12, 9, row_pick, col_pick);
+                let st = ClusterState::new(&m, &cluster);
+                let engine = IncrementalEngine::build(&m, std::slice::from_ref(&st), mean);
+                let mut scratch = Scratch::default();
+                for r in 0..12 {
+                    let exact = st.residue_if_row_toggled(&m, r, mean, &mut scratch);
+                    let incr = engine.toggled_residue(0, Target::Row(r), &st, &m);
+                    assert_close(incr, exact, &format!("row {r} ({mean:?}, seed {seed})"));
+                }
+                for c in 0..9 {
+                    let exact = st.residue_if_col_toggled(&m, c, mean, &mut scratch);
+                    let incr = engine.toggled_residue(0, Target::Col(c), &st, &m);
+                    assert_close(incr, exact, &format!("col {c} ({mean:?}, seed {seed})"));
+                }
+            }
+        }
+    }
+
+    /// A random walk of applies with interleaved queries: the engine's
+    /// lazy repair/rebuild must track the evolving state exactly.
+    #[test]
+    fn engine_tracks_a_random_apply_walk() {
+        let m = random_matrix(10, 8, 0.85, 7);
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let mut st = ClusterState::new(&m, &DeltaCluster::from_indices(10, 8, 0..5, 0..4));
+            let mut engine = IncrementalEngine::build(&m, std::slice::from_ref(&st), mean);
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut scratch = Scratch::default();
+            for step in 0..60 {
+                let target = if rng.gen_bool(0.5) {
+                    Target::Row(rng.gen_range(0..10))
+                } else {
+                    Target::Col(rng.gen_range(0..8))
+                };
+                // Query every candidate of this side first (as the driver
+                // does), then apply the drawn toggle.
+                engine.prepare(&m, std::slice::from_ref(&st), target.is_row());
+                let exact = match target {
+                    Target::Row(r) => st.residue_if_row_toggled(&m, r, mean, &mut scratch),
+                    Target::Col(c) => st.residue_if_col_toggled(&m, c, mean, &mut scratch),
+                };
+                let incr = engine.toggled_residue(0, target, &st, &m);
+                assert_close(incr, exact, &format!("step {step} {target:?} ({mean:?})"));
+                // Keep the cluster non-degenerate for the next step.
+                let would_empty = match target {
+                    Target::Row(r) => st.rows.contains(r) && st.rows.len() <= 2,
+                    Target::Col(c) => st.cols.contains(c) && st.cols.len() <= 2,
+                };
+                if would_empty {
+                    continue;
+                }
+                engine.apply(&m, &st, Action { target, cluster: 0 });
+                match target {
+                    Target::Row(r) => st.toggle_row(&m, r),
+                    Target::Col(c) => st.toggle_col(&m, c),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_resolution() {
+        let small = DataMatrix::new(10, 10);
+        let large = DataMatrix::new(200, 50);
+        assert!(!GainEngineKind::Auto.use_incremental(&small));
+        assert!(GainEngineKind::Auto.use_incremental(&large));
+        assert!(!GainEngineKind::Exact.use_incremental(&large));
+        assert!(GainEngineKind::Incremental.use_incremental(&small));
+        assert_eq!(GainEngineKind::default(), GainEngineKind::Auto);
+        assert_eq!(GainEngineKind::Incremental.to_string(), "incremental");
+    }
+
+    #[test]
+    fn dim_index_queries_match_naive() {
+        let mut d = DimIndex::default();
+        for (i, v) in [3.0, -1.5, 0.0, 7.25, -1.5, 2.0].iter().enumerate() {
+            d.push(*v, i as u32);
+        }
+        d.finish();
+        for t in [-3.0, -1.5, 0.0, 1.9, 7.25, 10.0] {
+            let naive_abs: f64 = d.vals.iter().map(|&s| (s - t).abs()).sum();
+            let naive_sq: f64 = d.vals.iter().map(|&s| (s - t) * (s - t)).sum();
+            assert!((d.query(t, ResidueMean::Arithmetic) - naive_abs).abs() < 1e-12);
+            assert!((d.query(t, ResidueMean::Squared) - naive_sq).abs() < 1e-12);
+        }
+        assert_eq!(DimIndex::default().query(1.0, ResidueMean::Arithmetic), 0.0);
+    }
+
+    #[test]
+    fn dim_index_insert_remove_roundtrip() {
+        let mut d = DimIndex::default();
+        d.push(1.0, 4);
+        d.push(-2.0, 1);
+        d.push(1.0, 2);
+        d.finish();
+        d.insert(0.5, 9);
+        d.insert(1.0, 3); // tie on value, id orders it between 2 and 4
+        assert_eq!(d.ids, vec![1, 9, 2, 3, 4]);
+        d.remove(1.0, 3);
+        d.remove(-2.0, 1);
+        assert_eq!(d.ids, vec![9, 2, 4]);
+        let naive: f64 = d.vals.iter().map(|&s| (s - 0.3).abs()).sum();
+        assert!((d.query(0.3, ResidueMean::Arithmetic) - naive).abs() < 1e-12);
+    }
+}

@@ -41,6 +41,7 @@
 //! * [`residue`] — bases and residue, from-scratch reference (Defs 3.3–3.5).
 //! * [`stats`] — incrementally-maintained cluster statistics (the hot path).
 //! * [`action`] — actions and gains (§4.1).
+//! * [`gain_engine`] — exact vs incremental (sorted-index) gain evaluation.
 //! * [`ordering`] — fixed / random / weighted-random action orders (§5.2).
 //! * [`seeding`] — phase-1 seed construction (§4.1, §5.1).
 //! * [`constraints`] — overlap / coverage / volume constraints (§3, §4.3).
@@ -58,6 +59,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub mod constraints;
+pub mod gain_engine;
 pub mod history;
 pub mod ordering;
 pub mod parallel;
@@ -73,6 +75,7 @@ pub use checkpoint::{FlocCheckpoint, ResumeError};
 pub use cluster::DeltaCluster;
 pub use config::{FlocConfig, FlocConfigBuilder, InterruptFlag};
 pub use constraints::Constraint;
+pub use gain_engine::{GainEngineKind, IncrementalEngine};
 pub use history::{FlocResult, IterationTrace, StopReason};
 pub use ordering::Ordering;
 pub use parallel::floc_restarts;

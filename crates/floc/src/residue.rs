@@ -71,23 +71,23 @@ pub struct Bases {
 pub fn bases(matrix: &DataMatrix, cluster: &DeltaCluster) -> Bases {
     let rows: Vec<usize> = cluster.rows.iter().collect();
     let cols: Vec<usize> = cluster.cols.iter().collect();
-    let mut row_sum = vec![0.0; rows.len()];
-    let mut row_cnt = vec![0usize; rows.len()];
-    let mut col_sum = vec![0.0; cols.len()];
-    let mut col_cnt = vec![0usize; cols.len()];
+    // Dense accumulators (indexed by matrix row/column) so the specified-entry
+    // iterator can feed them without a compact-index lookup per cell.
+    let mut row_sum = vec![0.0; cluster.rows.capacity()];
+    let mut row_cnt = vec![0usize; cluster.rows.capacity()];
+    let mut col_sum = vec![0.0; cluster.cols.capacity()];
+    let mut col_cnt = vec![0usize; cluster.cols.capacity()];
     let mut total = 0.0;
     let mut volume = 0usize;
 
-    for (ri, &r) in rows.iter().enumerate() {
-        for (ci, &c) in cols.iter().enumerate() {
-            if let Some(v) = matrix.get(r, c) {
-                row_sum[ri] += v;
-                row_cnt[ri] += 1;
-                col_sum[ci] += v;
-                col_cnt[ci] += 1;
-                total += v;
-                volume += 1;
-            }
+    for &r in &rows {
+        for (c, v) in matrix.row_specified_in(r, &cluster.cols) {
+            row_sum[r] += v;
+            row_cnt[r] += 1;
+            col_sum[c] += v;
+            col_cnt[c] += 1;
+            total += v;
+            volume += 1;
         }
     }
 
@@ -96,15 +96,25 @@ pub fn bases(matrix: &DataMatrix, cluster: &DeltaCluster) -> Bases {
     } else {
         total / volume as f64
     };
-    let row_bases = row_sum
+    let row_bases = rows
         .iter()
-        .zip(&row_cnt)
-        .map(|(&s, &c)| if c == 0 { cluster_base } else { s / c as f64 })
+        .map(|&r| {
+            if row_cnt[r] == 0 {
+                cluster_base
+            } else {
+                row_sum[r] / row_cnt[r] as f64
+            }
+        })
         .collect();
-    let col_bases = col_sum
+    let col_bases = cols
         .iter()
-        .zip(&col_cnt)
-        .map(|(&s, &c)| if c == 0 { cluster_base } else { s / c as f64 })
+        .map(|&c| {
+            if col_cnt[c] == 0 {
+                cluster_base
+            } else {
+                col_sum[c] / col_cnt[c] as f64
+            }
+        })
         .collect();
 
     Bases {
@@ -140,13 +150,15 @@ pub fn cluster_residue(matrix: &DataMatrix, cluster: &DeltaCluster, mean: Residu
     if b.volume == 0 {
         return 0.0;
     }
+    let mut col_base = vec![0.0; cluster.cols.capacity()];
+    for (ci, &c) in b.cols.iter().enumerate() {
+        col_base[c] = b.col_bases[ci];
+    }
     let mut sum = 0.0;
     for (ri, &r) in b.rows.iter().enumerate() {
-        for (ci, &c) in b.cols.iter().enumerate() {
-            if let Some(v) = matrix.get(r, c) {
-                let res = v - b.row_bases[ri] - b.col_bases[ci] + b.cluster_base;
-                sum += mean.entry_term(res);
-            }
+        for (c, v) in matrix.row_specified_in(r, &cluster.cols) {
+            let res = v - b.row_bases[ri] - col_base[c] + b.cluster_base;
+            sum += mean.entry_term(res);
         }
     }
     sum / b.volume as f64

@@ -24,8 +24,17 @@ use dc_matrix::{BitSet, DataMatrix};
 /// one of the `(N+M)·k` gain evaluations per iteration.
 #[derive(Debug, Default)]
 pub struct Scratch {
+    /// Column bases, dense-indexed by matrix column (entries outside the
+    /// cluster's columns are never read).
     col_base: Vec<f64>,
-    cols: Vec<usize>,
+}
+
+impl Scratch {
+    /// Clears and zero-fills the dense column-base buffer.
+    fn reset_col_base(&mut self, cols: usize) {
+        self.col_base.clear();
+        self.col_base.resize(cols, 0.0);
+    }
 }
 
 /// A cluster plus its sufficient statistics over a fixed matrix.
@@ -101,6 +110,25 @@ impl ClusterState {
         self.col_cnt[col]
     }
 
+    /// Sum of specified entries of row `row` within the cluster's columns.
+    /// Only meaningful for participating rows.
+    #[inline]
+    pub fn row_sum(&self, row: usize) -> f64 {
+        self.row_sum[row]
+    }
+
+    /// Sum of specified entries of column `col` within the cluster's rows.
+    #[inline]
+    pub fn col_sum(&self, col: usize) -> f64 {
+        self.col_sum[col]
+    }
+
+    /// Sum of all specified entries in the cluster submatrix.
+    #[inline]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
     /// The cluster base `d_IJ` (0.0 for an empty cluster).
     #[inline]
     pub fn base(&self) -> f64 {
@@ -115,15 +143,11 @@ impl ClusterState {
         debug_assert!(!self.rows.contains(row));
         let mut sum = 0.0;
         let mut cnt = 0u32;
-        let values = matrix.row_values(row);
-        for c in self.cols.iter() {
-            if matrix.is_specified(row, c) {
-                let v = values[c];
-                sum += v;
-                cnt += 1;
-                self.col_sum[c] += v;
-                self.col_cnt[c] += 1;
-            }
+        for (c, v) in matrix.row_specified_in(row, &self.cols) {
+            sum += v;
+            cnt += 1;
+            self.col_sum[c] += v;
+            self.col_cnt[c] += 1;
         }
         self.row_sum[row] = sum;
         self.row_cnt[row] = cnt;
@@ -134,12 +158,9 @@ impl ClusterState {
 
     fn remove_row(&mut self, matrix: &DataMatrix, row: usize) {
         debug_assert!(self.rows.contains(row));
-        let values = matrix.row_values(row);
-        for c in self.cols.iter() {
-            if matrix.is_specified(row, c) {
-                self.col_sum[c] -= values[c];
-                self.col_cnt[c] -= 1;
-            }
+        for (c, v) in matrix.row_specified_in(row, &self.cols) {
+            self.col_sum[c] -= v;
+            self.col_cnt[c] -= 1;
         }
         self.total -= self.row_sum[row];
         self.volume -= self.row_cnt[row] as usize;
@@ -152,14 +173,11 @@ impl ClusterState {
         debug_assert!(!self.cols.contains(col));
         let mut sum = 0.0;
         let mut cnt = 0u32;
-        for r in self.rows.iter() {
-            if matrix.is_specified(r, col) {
-                let v = matrix.value_unchecked(r, col);
-                sum += v;
-                cnt += 1;
-                self.row_sum[r] += v;
-                self.row_cnt[r] += 1;
-            }
+        for (r, v) in matrix.col_specified_in(col, &self.rows) {
+            sum += v;
+            cnt += 1;
+            self.row_sum[r] += v;
+            self.row_cnt[r] += 1;
         }
         self.col_sum[col] = sum;
         self.col_cnt[col] = cnt;
@@ -170,12 +188,9 @@ impl ClusterState {
 
     fn remove_col(&mut self, matrix: &DataMatrix, col: usize) {
         debug_assert!(self.cols.contains(col));
-        for r in self.rows.iter() {
-            if matrix.is_specified(r, col) {
-                let v = matrix.value_unchecked(r, col);
-                self.row_sum[r] -= v;
-                self.row_cnt[r] -= 1;
-            }
+        for (r, v) in matrix.col_specified_in(col, &self.rows) {
+            self.row_sum[r] -= v;
+            self.row_cnt[r] -= 1;
         }
         self.total -= self.col_sum[col];
         self.volume -= self.col_cnt[col] as usize;
@@ -210,16 +225,14 @@ impl ClusterState {
             return 0.0;
         }
         let base = self.base();
-        scratch.cols.clear();
-        scratch.cols.extend(self.cols.iter());
-        scratch.col_base.clear();
-        scratch.col_base.extend(scratch.cols.iter().map(|&c| {
-            if self.col_cnt[c] == 0 {
+        scratch.reset_col_base(matrix.cols());
+        for c in self.cols.iter() {
+            scratch.col_base[c] = if self.col_cnt[c] == 0 {
                 base
             } else {
                 self.col_sum[c] / self.col_cnt[c] as f64
-            }
-        }));
+            };
+        }
 
         let mut sum = 0.0;
         for r in self.rows.iter() {
@@ -228,12 +241,9 @@ impl ClusterState {
             } else {
                 self.row_sum[r] / self.row_cnt[r] as f64
             };
-            let values = matrix.row_values(r);
-            for (ci, &c) in scratch.cols.iter().enumerate() {
-                if matrix.is_specified(r, c) {
-                    let res = values[c] - row_base - scratch.col_base[ci] + base;
-                    sum += mean.entry_term(res);
-                }
+            for (c, v) in matrix.row_specified_in(r, &self.cols) {
+                let res = v - row_base - scratch.col_base[c] + base;
+                sum += mean.entry_term(res);
             }
         }
         sum / self.volume as f64
@@ -256,11 +266,9 @@ impl ClusterState {
         let (t_sum, t_cnt) = if adding {
             let mut s = 0.0;
             let mut c = 0u32;
-            for col in self.cols.iter() {
-                if matrix.is_specified(row, col) {
-                    s += values[col];
-                    c += 1;
-                }
+            for (_, v) in matrix.row_specified_in(row, &self.cols) {
+                s += v;
+                c += 1;
             }
             (s, c)
         } else {
@@ -275,30 +283,23 @@ impl ClusterState {
         let base = new_total / new_volume as f64;
 
         // Column bases after the toggle.
-        scratch.cols.clear();
-        scratch.cols.extend(self.cols.iter());
-        scratch.col_base.clear();
-        for &c in scratch.cols.iter() {
+        scratch.reset_col_base(matrix.cols());
+        for c in self.cols.iter() {
             let (mut s, mut n) = (self.col_sum[c], self.col_cnt[c] as i64);
             if matrix.is_specified(row, c) {
                 s += sign * values[c];
                 n += sign as i64;
             }
-            scratch
-                .col_base
-                .push(if n <= 0 { base } else { s / n as f64 });
+            scratch.col_base[c] = if n <= 0 { base } else { s / n as f64 };
         }
 
         // Scan rows of the toggled cluster. Row bases for rows other than
         // `row` are unchanged; `row`'s base comes from (t_sum, t_cnt).
         let mut sum = 0.0;
         let scan_row = |r: usize, row_base: f64, sum: &mut f64| {
-            let vals = matrix.row_values(r);
-            for (ci, &c) in scratch.cols.iter().enumerate() {
-                if matrix.is_specified(r, c) {
-                    let res = vals[c] - row_base - scratch.col_base[ci] + base;
-                    *sum += mean.entry_term(res);
-                }
+            for (c, v) in matrix.row_specified_in(r, &self.cols) {
+                let res = v - row_base - scratch.col_base[c] + base;
+                *sum += mean.entry_term(res);
             }
         };
         for r in self.rows.iter() {
@@ -338,11 +339,9 @@ impl ClusterState {
         let (t_sum, t_cnt) = if adding {
             let mut s = 0.0;
             let mut c = 0u32;
-            for r in self.rows.iter() {
-                if matrix.is_specified(r, col) {
-                    s += matrix.value_unchecked(r, col);
-                    c += 1;
-                }
+            for (_, v) in matrix.col_specified_in(col, &self.rows) {
+                s += v;
+                c += 1;
             }
             (s, c)
         } else {
@@ -356,44 +355,45 @@ impl ClusterState {
         let new_total = self.total + sign * t_sum;
         let base = new_total / new_volume as f64;
 
-        // Columns after the toggle.
-        scratch.cols.clear();
-        scratch.col_base.clear();
+        // Bases of the untoggled columns (the toggled one, if added, is
+        // handled per row below to keep the scan order stable).
+        scratch.reset_col_base(matrix.cols());
         for c in self.cols.iter() {
             if c == col {
                 continue;
             }
-            scratch.cols.push(c);
-            scratch.col_base.push(if self.col_cnt[c] == 0 {
+            scratch.col_base[c] = if self.col_cnt[c] == 0 {
                 base
             } else {
                 self.col_sum[c] / self.col_cnt[c] as f64
-            });
+            };
         }
-        if adding {
-            scratch.cols.push(col);
-            scratch.col_base.push(if t_cnt == 0 {
-                base
-            } else {
-                t_sum / t_cnt as f64
-            });
-        }
+        let toggled_base = if t_cnt == 0 {
+            base
+        } else {
+            t_sum / t_cnt as f64
+        };
 
         let mut sum = 0.0;
         for r in self.rows.iter() {
             // Row base after the toggle: adjust by the toggled column's cell.
             let (mut rs, mut rn) = (self.row_sum[r], self.row_cnt[r] as i64);
-            if matrix.is_specified(r, col) {
+            let r_col_specified = matrix.is_specified(r, col);
+            if r_col_specified {
                 rs += sign * matrix.value_unchecked(r, col);
                 rn += sign as i64;
             }
             let row_base = if rn <= 0 { base } else { rs / rn as f64 };
-            let vals = matrix.row_values(r);
-            for (ci, &c) in scratch.cols.iter().enumerate() {
-                if matrix.is_specified(r, c) {
-                    let res = vals[c] - row_base - scratch.col_base[ci] + base;
-                    sum += mean.entry_term(res);
+            for (c, v) in matrix.row_specified_in(r, &self.cols) {
+                if c == col {
+                    continue; // removed (or absent when adding)
                 }
+                let res = v - row_base - scratch.col_base[c] + base;
+                sum += mean.entry_term(res);
+            }
+            if adding && r_col_specified {
+                let res = matrix.value_unchecked(r, col) - row_base - toggled_base + base;
+                sum += mean.entry_term(res);
             }
         }
         sum / new_volume as f64

@@ -187,7 +187,7 @@ proptest! {
 
 // ---- Checkpoint / resume -------------------------------------------------
 
-use dc_floc::{floc_observed, floc_resume, FlocCheckpoint, FlocConfig};
+use dc_floc::{floc_observed, floc_resume, FlocCheckpoint, FlocConfig, GainEngineKind};
 
 /// A denser random matrix suitable for actually running FLOC end to end
 /// (the residue machinery needs enough specified cells to make progress).
@@ -245,6 +245,95 @@ proptest! {
             let json = serde_json::to_string(ckpt).unwrap();
             let back: FlocCheckpoint = serde_json::from_str(&json).unwrap();
             prop_assert_eq!(&back, ckpt);
+        }
+    }
+}
+
+// ---- Gain engines ---------------------------------------------------------
+
+use dc_floc::{IncrementalEngine, Target};
+
+proptest! {
+    /// The incremental engine answers every virtual-toggle query with the
+    /// same residue as the exact scanner, for both aggregation means.
+    #[test]
+    fn incremental_engine_matches_exact_gains(
+        (m, c) in arb_matrix_and_cluster(),
+    ) {
+        let state = ClusterState::new(&m, &c);
+        let mut scratch = Scratch::default();
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let engine = IncrementalEngine::build(&m, std::slice::from_ref(&state), mean);
+            for r in 0..m.rows() {
+                let exact = state.residue_if_row_toggled(&m, r, mean, &mut scratch);
+                let incr = engine.toggled_residue(0, Target::Row(r), &state, &m);
+                prop_assert!(
+                    (incr - exact).abs() <= 1e-9 * (1.0 + exact.abs()),
+                    "row {r} {mean:?}: incremental {incr} vs exact {exact}"
+                );
+            }
+            for col in 0..m.cols() {
+                let exact = state.residue_if_col_toggled(&m, col, mean, &mut scratch);
+                let incr = engine.toggled_residue(0, Target::Col(col), &state, &m);
+                prop_assert!(
+                    (incr - exact).abs() <= 1e-9 * (1.0 + exact.abs()),
+                    "col {col} {mean:?}: incremental {incr} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    /// Full runs under the two engines choose the same actions and land on
+    /// the same final clustering. (The engines agree to ~1e-12 on every
+    /// gain, so the argmax — and hence the whole trajectory — coincides on
+    /// anything but pathological exact ties.)
+    #[test]
+    fn engines_produce_identical_runs(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+    ) {
+        let exact_cfg = FlocConfig::builder(k)
+            .alpha(0.5)
+            .seed(seed)
+            .gain_engine(GainEngineKind::Exact)
+            .build();
+        let incr_cfg = FlocConfig::builder(k)
+            .alpha(0.5)
+            .seed(seed)
+            .gain_engine(GainEngineKind::Incremental)
+            .build();
+        let exact = dc_floc::floc(&m, &exact_cfg).unwrap();
+        let incr = dc_floc::floc(&m, &incr_cfg).unwrap();
+        prop_assert_eq!(&incr.clusters, &exact.clusters);
+        // Final residues come from the canonical exact scan in both runs,
+        // so identical clusterings imply bit-identical residues.
+        prop_assert_eq!(&incr.residues, &exact.residues);
+        prop_assert_eq!(incr.iterations, exact.iterations);
+        prop_assert_eq!(incr.stop_reason, exact.stop_reason);
+    }
+
+    /// PR 2's checkpoint/resume bit-identity holds under the incremental
+    /// engine too: resuming any snapshot reproduces the uninterrupted run.
+    #[test]
+    fn resume_is_bit_identical_under_the_incremental_engine(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = FlocConfig::builder(2)
+            .alpha(0.5)
+            .seed(seed)
+            .gain_engine(GainEngineKind::Incremental)
+            .build();
+        let mut snapshots: Vec<FlocCheckpoint> = Vec::new();
+        let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+        let full = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        for ckpt in &snapshots {
+            let resumed = floc_resume(&m, ckpt, &config, None).unwrap();
+            prop_assert_eq!(&resumed.clusters, &full.clusters);
+            prop_assert_eq!(&resumed.residues, &full.residues);
+            prop_assert_eq!(resumed.avg_residue, full.avg_residue);
+            prop_assert_eq!(&resumed.trace, &full.trace);
         }
     }
 }

@@ -190,6 +190,15 @@ impl BitSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// The raw backing words, little-endian bit order (bit `i` of word
+    /// `i / 64` ⇔ index `i`). Exposed so hot loops can intersect a set with
+    /// other word-aligned masks (e.g. [`crate::DataMatrix`] row masks)
+    /// without per-index `contains` calls.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterates indices in ascending order.
     pub fn iter(&self) -> Iter<'_> {
         Iter {

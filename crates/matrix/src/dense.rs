@@ -9,6 +9,98 @@
 use crate::bitset::BitSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
+
+const WORD_BITS: usize = 64;
+
+/// Column-major mirror of a [`DataMatrix`], built lazily on first use.
+///
+/// Row-major storage makes row scans contiguous but turns every column scan
+/// into a `cols`-strided walk — one cache line per element once the matrix
+/// outgrows L2. The mirror holds the same data transposed
+/// (`values[col * rows + row]`) plus word-packed specification masks per row
+/// and per column, so column iteration is as cheap as row iteration and
+/// membership filters can intersect whole 64-bit words at a time.
+#[derive(Debug)]
+struct ColMirror {
+    /// Column-major values; 0.0 at missing cells.
+    values: Vec<f64>,
+    /// Specification mask of row `r`: bits `c` of
+    /// `row_words[r * row_stride ..][..row_stride]`.
+    row_words: Vec<u64>,
+    row_stride: usize,
+    /// Specification mask of column `c`: bits `r` of
+    /// `col_words[c * col_stride ..][..col_stride]`.
+    col_words: Vec<u64>,
+    col_stride: usize,
+}
+
+impl ColMirror {
+    fn build(m: &DataMatrix) -> ColMirror {
+        let row_stride = m.cols.div_ceil(WORD_BITS);
+        let col_stride = m.rows.div_ceil(WORD_BITS);
+        let mut mirror = ColMirror {
+            values: vec![0.0; m.rows * m.cols],
+            row_words: vec![0; m.rows * row_stride],
+            row_stride,
+            col_words: vec![0; m.cols * col_stride],
+            col_stride,
+        };
+        if m.cols == 0 {
+            return mirror;
+        }
+        for idx in m.mask.iter() {
+            let (r, c) = (idx / m.cols, idx % m.cols);
+            mirror.values[c * m.rows + r] = m.values[idx];
+            mirror.row_words[r * row_stride + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+            mirror.col_words[c * col_stride + r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+        }
+        mirror
+    }
+}
+
+/// Lazily-initialized [`ColMirror`] cache.
+///
+/// The wrapper exists so [`DataMatrix`] can keep its `Clone`/`PartialEq`/
+/// serde derives: the mirror is derived state, so it never participates in
+/// equality, serializes as `null`, and a cloned or deserialized matrix
+/// starts with an empty cache and rebuilds on demand.
+#[derive(Default)]
+struct MirrorCell(OnceLock<ColMirror>);
+
+impl Clone for MirrorCell {
+    fn clone(&self) -> Self {
+        MirrorCell::default()
+    }
+}
+
+impl PartialEq for MirrorCell {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl fmt::Debug for MirrorCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "MirrorCell(built)"
+        } else {
+            "MirrorCell(empty)"
+        })
+    }
+}
+
+impl Serialize for MirrorCell {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl Deserialize for MirrorCell {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(MirrorCell::default())
+    }
+}
 
 /// An `rows × cols` matrix of `f64` values where individual entries may be
 /// missing.
@@ -32,6 +124,8 @@ pub struct DataMatrix {
     row_labels: Option<Vec<String>>,
     /// Optional column labels (e.g. condition names / movie titles).
     col_labels: Option<Vec<String>>,
+    /// Lazily-built column-major mirror; invalidated by every mutation.
+    mirror: MirrorCell,
 }
 
 impl DataMatrix {
@@ -45,6 +139,7 @@ impl DataMatrix {
             specified: 0,
             row_labels: None,
             col_labels: None,
+            mirror: MirrorCell::default(),
         }
     }
 
@@ -67,6 +162,7 @@ impl DataMatrix {
             specified: rows * cols,
             row_labels: None,
             col_labels: None,
+            mirror: MirrorCell::default(),
         }
     }
 
@@ -184,6 +280,7 @@ impl DataMatrix {
             self.specified += 1;
         }
         self.values[idx] = value;
+        self.mirror.0.take();
     }
 
     /// Marks entry `(row, col)` as missing; returns the previous value.
@@ -199,6 +296,7 @@ impl DataMatrix {
             self.specified -= 1;
             let prev = self.values[idx];
             self.values[idx] = 0.0;
+            self.mirror.0.take();
             Some(prev)
         } else {
             None
@@ -238,6 +336,92 @@ impl DataMatrix {
     #[inline]
     pub fn row_values(&self, row: usize) -> &[f64] {
         &self.values[row * self.cols..(row + 1) * self.cols]
+    }
+
+    #[inline]
+    fn mirror(&self) -> &ColMirror {
+        self.mirror.0.get_or_init(|| ColMirror::build(self))
+    }
+
+    /// Column slice of raw values (includes zeros at missing positions),
+    /// served from the lazily-built column-major mirror. Pair with
+    /// [`Self::is_specified`] for masked access.
+    ///
+    /// The first call after construction or mutation pays an `O(rows·cols)`
+    /// transpose; subsequent calls are free until the matrix changes.
+    #[inline]
+    pub fn col_values(&self, col: usize) -> &[f64] {
+        assert!(col < self.cols, "col {col} out of bounds");
+        &self.mirror().values[col * self.rows..(col + 1) * self.rows]
+    }
+
+    /// Iterates the specified entries of row `row` as `(col, value)` in
+    /// ascending column order.
+    ///
+    /// Equivalent to [`Self::row_entries`] but driven by word-packed mask
+    /// scans over contiguous value slices instead of a per-cell
+    /// bounds-check + mask-branch + `Option`, which matters in the FLOC
+    /// gain loops that visit every entry of a cluster per candidate action.
+    pub fn row_specified(&self, row: usize) -> SpecifiedEntries<'_> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let mirror = self.mirror();
+        SpecifiedEntries::new(
+            self.row_values(row),
+            &mirror.row_words[row * mirror.row_stride..(row + 1) * mirror.row_stride],
+            None,
+        )
+    }
+
+    /// Iterates the specified entries of column `col` as `(row, value)` in
+    /// ascending row order, scanning the column-major mirror contiguously.
+    pub fn col_specified(&self, col: usize) -> SpecifiedEntries<'_> {
+        assert!(col < self.cols, "col {col} out of bounds");
+        let mirror = self.mirror();
+        SpecifiedEntries::new(
+            &mirror.values[col * self.rows..(col + 1) * self.rows],
+            &mirror.col_words[col * mirror.col_stride..(col + 1) * mirror.col_stride],
+            None,
+        )
+    }
+
+    /// Like [`Self::row_specified`] but restricted to columns in `cols`,
+    /// intersecting the row's specification mask with the set one 64-bit
+    /// word at a time.
+    ///
+    /// # Panics
+    /// Panics if `cols.capacity() != self.cols()`.
+    pub fn row_specified_in<'a>(&'a self, row: usize, cols: &'a BitSet) -> SpecifiedEntries<'a> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert_eq!(
+            cols.capacity(),
+            self.cols,
+            "column set capacity does not match matrix width"
+        );
+        let mirror = self.mirror();
+        SpecifiedEntries::new(
+            self.row_values(row),
+            &mirror.row_words[row * mirror.row_stride..(row + 1) * mirror.row_stride],
+            Some(cols.words()),
+        )
+    }
+
+    /// Like [`Self::col_specified`] but restricted to rows in `rows`.
+    ///
+    /// # Panics
+    /// Panics if `rows.capacity() != self.rows()`.
+    pub fn col_specified_in<'a>(&'a self, col: usize, rows: &'a BitSet) -> SpecifiedEntries<'a> {
+        assert!(col < self.cols, "col {col} out of bounds");
+        assert_eq!(
+            rows.capacity(),
+            self.rows,
+            "row set capacity does not match matrix height"
+        );
+        let mirror = self.mirror();
+        SpecifiedEntries::new(
+            &mirror.values[col * self.rows..(col + 1) * self.rows],
+            &mirror.col_words[col * mirror.col_stride..(col + 1) * mirror.col_stride],
+            Some(rows.words()),
+        )
     }
 
     /// Attaches row labels. Length must equal `rows`.
@@ -313,6 +497,64 @@ impl DataMatrix {
                 assert!(v.is_finite(), "map produced non-finite value {v}");
                 self.values[idx] = v;
             }
+        }
+        self.mirror.0.take();
+    }
+}
+
+/// Iterator over the specified entries of one matrix line (a row or a
+/// column) as `(index, value)` pairs in ascending index order.
+///
+/// Produced by [`DataMatrix::row_specified`] / [`DataMatrix::col_specified`]
+/// and their `_in` variants. Internally walks word-packed specification
+/// masks with `trailing_zeros`, reading values from a contiguous slice, so
+/// missing entries and filtered-out indices cost nothing per element.
+pub struct SpecifiedEntries<'a> {
+    values: &'a [f64],
+    mask: &'a [u64],
+    filter: Option<&'a [u64]>,
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> SpecifiedEntries<'a> {
+    fn new(values: &'a [f64], mask: &'a [u64], filter: Option<&'a [u64]>) -> Self {
+        debug_assert!(filter.is_none_or(|f| f.len() == mask.len()));
+        let current = match (mask.first(), filter) {
+            (Some(&m), None) => m,
+            (Some(&m), Some(f)) => m & f[0],
+            (None, _) => 0,
+        };
+        SpecifiedEntries {
+            values,
+            mask,
+            filter,
+            word_idx: 0,
+            current,
+        }
+    }
+}
+
+impl Iterator for SpecifiedEntries<'_> {
+    type Item = (usize, f64);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, f64)> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                let idx = self.word_idx * WORD_BITS + bit;
+                return Some((idx, self.values[idx]));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.mask.len() {
+                return None;
+            }
+            self.current = match self.filter {
+                None => self.mask[self.word_idx],
+                Some(f) => self.mask[self.word_idx] & f[self.word_idx],
+            };
         }
     }
 }
@@ -493,6 +735,117 @@ mod tests {
         let d = DataMatrix::new(2, 3);
         let e = DataMatrix::new(3, 2);
         assert_ne!(d.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn specified_iterators_match_entry_iterators() {
+        let m = sample();
+        for r in 0..m.rows() {
+            assert_eq!(
+                m.row_specified(r).collect::<Vec<_>>(),
+                m.row_entries(r).collect::<Vec<_>>(),
+                "row {r}"
+            );
+        }
+        for c in 0..m.cols() {
+            assert_eq!(
+                m.col_specified(c).collect::<Vec<_>>(),
+                m.col_entries(c).collect::<Vec<_>>(),
+                "col {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn specified_iterators_cross_word_boundaries() {
+        // 1×130 row and 130×1 column exercise multi-word masks with holes.
+        let mut wide = DataMatrix::new(1, 130);
+        let mut tall = DataMatrix::new(130, 1);
+        for i in [0usize, 5, 63, 64, 65, 127, 128, 129] {
+            wide.set(0, i, i as f64);
+            tall.set(i, 0, i as f64);
+        }
+        let expect: Vec<(usize, f64)> = [0usize, 5, 63, 64, 65, 127, 128, 129]
+            .iter()
+            .map(|&i| (i, i as f64))
+            .collect();
+        assert_eq!(wide.row_specified(0).collect::<Vec<_>>(), expect);
+        assert_eq!(tall.col_specified(0).collect::<Vec<_>>(), expect);
+        let filter = BitSet::from_indices(130, [5, 64, 129, 1]);
+        let filtered: Vec<(usize, f64)> =
+            [5usize, 64, 129].iter().map(|&i| (i, i as f64)).collect();
+        assert_eq!(
+            wide.row_specified_in(0, &filter).collect::<Vec<_>>(),
+            filtered
+        );
+        assert_eq!(
+            tall.col_specified_in(0, &filter).collect::<Vec<_>>(),
+            filtered
+        );
+    }
+
+    #[test]
+    fn filtered_iterators_intersect_membership() {
+        let m = sample();
+        let cols = BitSet::from_indices(3, [1, 2]);
+        assert_eq!(
+            m.row_specified_in(0, &cols).collect::<Vec<_>>(),
+            vec![(1, 3.0)]
+        );
+        assert_eq!(
+            m.row_specified_in(1, &cols).collect::<Vec<_>>(),
+            vec![(1, 4.0), (2, 5.0)]
+        );
+        let rows = BitSet::from_indices(2, [1]);
+        assert_eq!(
+            m.col_specified_in(1, &rows).collect::<Vec<_>>(),
+            vec![(1, 4.0)]
+        );
+        assert_eq!(m.col_specified_in(0, &rows).count(), 0);
+    }
+
+    #[test]
+    fn col_values_mirror_row_values() {
+        let m = sample();
+        assert_eq!(m.col_values(1), &[3.0, 4.0]);
+        assert_eq!(m.col_values(2), &[0.0, 5.0], "missing cells read 0.0");
+    }
+
+    #[test]
+    fn mirror_invalidated_by_mutation() {
+        let mut m = sample();
+        assert_eq!(m.col_specified(0).collect::<Vec<_>>(), vec![(0, 1.0)]);
+        m.set(1, 0, 9.0);
+        assert_eq!(
+            m.col_specified(0).collect::<Vec<_>>(),
+            vec![(0, 1.0), (1, 9.0)]
+        );
+        m.unset(0, 0);
+        assert_eq!(m.col_specified(0).collect::<Vec<_>>(), vec![(1, 9.0)]);
+        m.map_in_place(|v| v + 1.0);
+        assert_eq!(m.col_values(0), &[0.0, 10.0]);
+    }
+
+    #[test]
+    fn clone_and_serde_reset_the_mirror() {
+        let m = sample();
+        let _ = m.col_values(0); // force the mirror
+        let mut cloned = m.clone();
+        assert_eq!(cloned, m);
+        cloned.set(0, 2, 7.0); // clone's cache must not alias the original
+        assert_eq!(cloned.col_values(2), &[7.0, 5.0]);
+        assert_eq!(m.col_values(2), &[0.0, 5.0]);
+        let back = DataMatrix::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.col_values(1), m.col_values(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity does not match")]
+    fn filtered_iterator_capacity_mismatch_panics() {
+        let m = sample();
+        let wrong = BitSet::new(4);
+        let _ = m.row_specified_in(0, &wrong);
     }
 
     #[test]

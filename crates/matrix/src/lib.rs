@@ -51,6 +51,6 @@ pub mod transform;
 pub mod view;
 
 pub use bitset::BitSet;
-pub use dense::DataMatrix;
+pub use dense::{DataMatrix, SpecifiedEntries};
 pub use io::{IoError, NonFinitePolicy, ParseError};
 pub use stats::{validate, Summary, ValidationReport};

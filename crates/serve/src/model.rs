@@ -63,6 +63,13 @@ impl ServeModel {
         residues: Vec<f64>,
         avg_residue: f64,
     ) -> Result<Self, ModelError> {
+        // Check shapes before touching the data: `bases` walks the matrix
+        // through the clusters' index sets and requires matching capacity.
+        for (i, c) in clusters.iter().enumerate() {
+            if c.rows.capacity() != matrix.rows() || c.cols.capacity() != matrix.cols() {
+                return Err(ModelError::DimensionMismatch { cluster: i });
+            }
+        }
         let precomputed = clusters.iter().map(|c| bases(&matrix, c)).collect();
         Self::with_bases(matrix, clusters, residues, avg_residue, precomputed)
     }
