@@ -17,7 +17,8 @@ use dc_datagen::synth::erlang_cluster_sizes;
 use dc_datagen::EmbedConfig;
 use dc_eval::metrics::quality;
 use dc_eval::report::{fmt_f, write_json, Table};
-use dc_floc::{floc, floc_restarts, FlocConfig, ResidueMean, Seeding};
+use dc_floc::{floc, floc_parallel, FlocConfig, Parallelism, ResidueMean, Seeding};
+use dc_obs::Obs;
 use serde::Serialize;
 
 /// One ablation measurement.
@@ -70,7 +71,9 @@ pub fn run(opts: &Opts) -> String {
     let mut measure = |study: &str, variant: &str, config: &FlocConfig, restarts: usize| {
         let start = std::time::Instant::now();
         let (result, _) = if restarts > 1 {
-            floc_restarts(&data.matrix, config, restarts, opts.threads).expect("floc")
+            let mut cfg = config.clone();
+            cfg.parallelism = Parallelism::new(opts.threads, restarts);
+            floc_parallel(&data.matrix, &cfg, &Obs::null()).expect("floc")
         } else {
             (floc(&data.matrix, config).expect("floc"), config.seed)
         };

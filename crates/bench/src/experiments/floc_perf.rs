@@ -11,7 +11,8 @@
 use crate::opts::Opts;
 use dc_datagen::synth::split_volume;
 use dc_eval::report::{fmt_f, write_json, Table};
-use dc_floc::{floc, FlocConfig, GainEngineKind, Seeding};
+use dc_floc::{floc, floc_with, FlocConfig, GainEngineKind, Seeding};
+use dc_obs::{NullSink, Obs, PhaseTimer};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -45,6 +46,41 @@ pub struct Record {
     pub avg_residue: f64,
     /// Exact time / this time at the same grid point (1.0 for exact).
     pub speedup_vs_exact: f64,
+}
+
+/// Cost of threading an [`Obs`] handle through a full FLOC run, measured
+/// at one grid point. The observability acceptance bar: a disabled (null)
+/// handle must stay within 5% of the uninstrumented call.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsOverhead {
+    /// Matrix height of the probe point.
+    pub rows: usize,
+    /// Matrix width of the probe point.
+    pub cols: usize,
+    /// Wall-clock seconds of `floc()` (no handle threaded by the caller).
+    pub baseline_s: f64,
+    /// Seconds of `floc_with(.., &Obs::null())` — every emission site
+    /// compiled in, all guarded by the one-branch `enabled()` check.
+    pub null_handle_s: f64,
+    /// Seconds with an *enabled* [`NullSink`]: events and fields are fully
+    /// constructed per iteration, then discarded.
+    pub null_sink_s: f64,
+    /// `null_handle_s / baseline_s − 1`.
+    pub null_handle_overhead: f64,
+    /// `null_sink_s / baseline_s − 1`.
+    pub null_sink_overhead: f64,
+}
+
+/// Everything `BENCH_floc.json` holds: the engine grid, the harness phase
+/// breakdown, and the instrumentation-overhead probe.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    /// One record per engine × grid point.
+    pub records: Vec<Record>,
+    /// `(phase name, seconds)` pairs from the harness [`PhaseTimer`].
+    pub phases: Vec<(String, f64)>,
+    /// The null-sink overhead probe (at 3000×30 when the grid has it).
+    pub obs_overhead: Option<ObsOverhead>,
 }
 
 /// The benchmark grid: `(rows, cols)`. The smoke grid is first so CI can
@@ -120,21 +156,73 @@ fn measure(
     }
 }
 
+/// Times the same seeded incremental run three ways to quantify what the
+/// observability hooks cost when nobody listens. Rounds are interleaved
+/// (baseline, null handle, null sink, repeat) and each variant keeps its
+/// best time, so clock-frequency drift cannot bias one variant wholesale.
+fn measure_obs_overhead(matrix: &dc_matrix::DataMatrix, k: usize, threads: usize) -> ObsOverhead {
+    let cfg = config_for(k, threads, GainEngineKind::Incremental);
+    let null = Obs::null();
+    let sink = Obs::new(NullSink);
+    let timed = |run: &dyn Fn()| {
+        let start = Instant::now();
+        run();
+        start.elapsed().as_secs_f64()
+    };
+    // Warm-up: touch every code path once before timing anything.
+    let _ = floc(matrix, &cfg).expect("floc failed");
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..5 {
+        let round = [
+            timed(&|| {
+                let _ = floc(matrix, &cfg).expect("floc failed");
+            }),
+            timed(&|| {
+                let _ = floc_with(matrix, &cfg, &null).expect("floc failed");
+            }),
+            timed(&|| {
+                let _ = floc_with(matrix, &cfg, &sink).expect("floc failed");
+            }),
+        ];
+        for (b, t) in best.iter_mut().zip(round) {
+            *b = b.min(t);
+        }
+    }
+    let [baseline_s, null_handle_s, null_sink_s] = best;
+    ObsOverhead {
+        rows: matrix.rows(),
+        cols: matrix.cols(),
+        baseline_s,
+        null_handle_s,
+        null_sink_s,
+        null_handle_overhead: null_handle_s / baseline_s - 1.0,
+        null_sink_overhead: null_sink_s / baseline_s - 1.0,
+    }
+}
+
+/// The grid point the overhead probe runs at (present in both grids).
+const OVERHEAD_POINT: (usize, usize) = (3000, 30);
+
 /// Runs the engine comparison over the grid.
 pub fn run(opts: &Opts) -> String {
     let k = 10;
     let mut records: Vec<Record> = Vec::new();
+    let mut obs_overhead: Option<ObsOverhead> = None;
+    let mut phases = PhaseTimer::new(&Obs::null());
 
     for (rows, cols) in grid(opts.full) {
         // Plant k coherent clusters whose volume grows with the matrix
         // (~1% of the cells each) so converged clusters stay proportional
         // to the data, as in the paper's yeast runs.
+        phases.start(&format!("datagen {rows}x{cols}"));
         let volume = (rows * cols / 100).max(100);
         let size = split_volume(volume, 10.0, 2, 2);
         let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![size; k]).with_seed(23);
         let data = dc_datagen::embed::generate(&cfg);
 
+        phases.start(&format!("exact {rows}x{cols}"));
         let mut exact = measure(&data.matrix, k, opts.threads, GainEngineKind::Exact);
+        phases.start(&format!("incremental {rows}x{cols}"));
         let mut incr = measure(&data.matrix, k, opts.threads, GainEngineKind::Incremental);
         incr.speedup_vs_exact = exact.full_run_s / incr.full_run_s;
         exact.speedup_vs_exact = 1.0;
@@ -148,7 +236,20 @@ pub fn run(opts: &Opts) -> String {
         );
         records.push(exact);
         records.push(incr);
+
+        if (rows, cols) == OVERHEAD_POINT {
+            phases.start("obs-overhead probe");
+            let probe = measure_obs_overhead(&data.matrix, k, opts.threads);
+            eprintln!(
+                "  obs-overhead {rows}x{cols}: baseline {:.2}s, null handle {:+.1}%, null sink {:+.1}%",
+                probe.baseline_s,
+                probe.null_handle_overhead * 100.0,
+                probe.null_sink_overhead * 100.0,
+            );
+            obs_overhead = Some(probe);
+        }
     }
+    phases.finish();
 
     let mut t = Table::new(vec![
         "engine",
@@ -172,11 +273,28 @@ pub fn run(opts: &Opts) -> String {
             fmt_f(r.speedup_vs_exact, 1),
         ]);
     }
-    let _ = write_json(&opts.out_dir, "BENCH_floc", &records);
+    let report = Report {
+        records,
+        phases: phases.phases().to_vec(),
+        obs_overhead,
+    };
+    let _ = write_json(&opts.out_dir, "BENCH_floc", &report);
+    let overhead_line = match &report.obs_overhead {
+        Some(p) => format!(
+            "\nobs overhead at {}x{}: null handle {:+.1}%, null sink {:+.1}% (baseline {:.2}s)",
+            p.rows,
+            p.cols,
+            p.null_handle_overhead * 100.0,
+            p.null_sink_overhead * 100.0,
+            p.baseline_s,
+        ),
+        None => String::new(),
+    };
     format!(
-        "FLOC gain engines — exact vs incremental (threads {})\n{}",
+        "FLOC gain engines — exact vs incremental (threads {})\n{}{}",
         opts.threads,
-        t.render()
+        t.render(),
+        overhead_line
     )
 }
 
@@ -191,6 +309,17 @@ mod tests {
         assert!(grid(false).contains(&(3000, 30)));
         assert!(grid(true).contains(&(3000, 30)));
         assert!(grid(true).contains(&(10_000, 100)));
+    }
+
+    #[test]
+    fn overhead_probe_produces_finite_ratios() {
+        let size = split_volume(60, 4.0, 2, 2);
+        let cfg = dc_datagen::EmbedConfig::new(120, 20, vec![size; 3]).with_seed(5);
+        let data = dc_datagen::embed::generate(&cfg);
+        let probe = measure_obs_overhead(&data.matrix, 3, 1);
+        assert!(probe.baseline_s > 0.0);
+        assert!(probe.null_handle_overhead.is_finite());
+        assert!(probe.null_sink_overhead.is_finite());
     }
 
     #[test]

@@ -14,12 +14,14 @@
 //! Every command takes `--seed` and is fully reproducible.
 
 use crate::args::{ArgError, Args};
+use crate::obs::{CkptSink, ObsBuilder};
 use dc_floc::{
-    floc, floc_observed, floc_resume, Constraint, DeltaCluster, FlocCheckpoint, FlocConfig,
+    floc, floc_parallel, floc_resume_with, floc_with, Constraint, DeltaCluster, FlocConfig,
     GainEngineKind, InterruptFlag, Ordering, ResidueMean, Seeding, StopReason,
 };
 use dc_matrix::io::{read_dense_file, read_triples_file, DenseFormat};
 use dc_matrix::DataMatrix;
+use dc_obs::{EventKind, Field};
 use dc_serve::{atomic_write, PredictError, QueryEngine, ServeModel};
 use serde::Serialize;
 use std::path::Path;
@@ -127,9 +129,10 @@ USAGE:
   delta-clusters mine <matrix-file> [--k N] [--alpha A] [--ordering fixed|random|weighted]
                   [--mean arithmetic|squared] [--min-volume CELLS] [--max-overlap FRAC]
                   [--seed-rows N --seed-cols N] [--triples] [--seed S] [--threads T]
-                  [--gain-engine auto|exact|incremental]
+                  [--restarts R] [--gain-engine auto|exact|incremental]
                   [--json OUT.json] [--save-model OUT.dcm] [--time-budget SECS]
                   [--checkpoint OUT.dck] [--checkpoint-every N] [--resume IN.dck]
+                  [--log text|json] [--progress] [--metrics OUT.json]
   delta-clusters validate <matrix-file> [--alpha A] [--triples] [--strict]
   delta-clusters generate <out-file> --kind embedded|movielens|microarray
                   [--rows N --cols N --clusters K] [--seed S] [--truth OUT.json]
@@ -137,7 +140,7 @@ USAGE:
   delta-clusters compare <matrix-file> [--k N] [--delta D] [--triples] [--seed S]
   delta-clusters predict <model-file> <row> [<col>] [--top N]
   delta-clusters serve-bench <model-file> [--queries N] [--threads T1,T2,...]
-                  [--out DIR] [--json]
+                  [--out DIR] [--json] [--log text|json] [--metrics OUT.json]
   delta-clusters help
 
 Matrix files are tab-separated with `NA` (or empty) for missing entries;
@@ -157,6 +160,18 @@ Gain engines: --gain-engine chooses how phase 2 scores candidate actions.
 sorted residue indexes in logarithmic time; `auto` (default) picks
 incremental once the matrix has at least 10,000 cells. Both engines walk
 the same trajectory and return the same clustering.
+
+Parallelism: --threads bounds worker threads; `mine --restarts R` races R
+independent runs (seeds S, S+1, …) and keeps the lowest-residue clustering
+(deterministic regardless of scheduling). Restarts are incompatible with
+--checkpoint/--resume, which follow a single trajectory.
+
+Observability: --log json streams one JSON object per event to stdout
+(pipe through `jq`; the human summary moves to stderr), --log text writes
+human lines to stderr, `mine --progress` prints one progress line per
+iteration, and --metrics OUT.json aggregates event counts and duration
+histograms into a JSON artifact. Observation never changes results: an
+observed run is bit-identical to an unobserved one.
 
 Robustness: `mine --checkpoint` writes a CRC-checked `.dck` snapshot after
 each improving iteration (or every N with --checkpoint-every); SIGINT or an
@@ -297,57 +312,81 @@ fn mine(args: &Args) -> Result<CmdOutput, CmdError> {
     // Test/demo aid: stretch each iteration so interrupts and budgets can
     // land mid-run deterministically on small inputs.
     let delay_ms: u64 = args.get_or("iteration-delay-ms", 0u64)?;
+    let restarts: usize = args.get_or("restarts", 1usize)?;
+    if restarts > 1 && (ckpt_out.is_some() || delay_ms > 0 || args.get("resume").is_some()) {
+        return Err(CmdError::Usage(
+            "--restarts races independent runs and cannot checkpoint or resume \
+             a single trajectory"
+                .into(),
+        ));
+    }
+
+    let mut obs_builder = ObsBuilder::from_args(args).map_err(CmdError::Usage)?;
+    // The checkpoint writer is itself a sink: `floc.checkpoint` events
+    // carry the snapshot as their attachment. Only attach it when the run
+    // actually wants checkpoints (or the iteration-stretching delay), so a
+    // plain `mine` never pays for per-iteration snapshot construction.
+    let ckpt_sink = (ckpt_out.is_some() || delay_ms > 0)
+        .then(|| CkptSink::new(ckpt_out.clone(), every, delay_ms));
+    if let Some(sink) = &ckpt_sink {
+        obs_builder.push(Box::new(sink.clone()));
+    }
+    let (obs, metrics) = obs_builder.build();
 
     let interrupt = crate::interrupt::flag();
-    let mut ckpt_warnings: Vec<String> = Vec::new();
-    let mut last_snapshot: Option<FlocCheckpoint> = None;
-    let mut observer = |c: &FlocCheckpoint| {
-        if delay_ms > 0 {
-            std::thread::sleep(Duration::from_millis(delay_ms));
-        }
-        if let Some(p) = ckpt_out.as_deref() {
-            if c.iterations.is_multiple_of(every) {
-                if let Err(e) = dc_serve::save_checkpoint(c, p) {
-                    ckpt_warnings.push(format!("warning: checkpoint write failed: {p}: {e}"));
-                }
-            }
-        }
-        last_snapshot = Some(c.clone());
-    };
-    let want_observer = ckpt_out.is_some() || delay_ms > 0;
-
     let result = {
-        let obs = want_observer.then_some(&mut observer as &mut dyn FnMut(&FlocCheckpoint));
         if let Some(resume_path) = args.get("resume") {
             let ckpt = dc_serve::load_checkpoint(resume_path)
                 .map_err(|e| CmdError::Io(format!("{resume_path}: {e}")))?;
             // The search parameters come from the checkpoint (they must
             // match bit-for-bit); only runtime plumbing is overridable.
             let mut config = ckpt.config.clone();
-            config.threads = args.get_or("threads", config.threads)?;
+            config.parallelism.threads = args.get_or("threads", config.parallelism.threads)?;
             // The wall-clock budget is per-invocation plumbing: the budget
             // that stopped the original run must not re-stop the resume.
             config.time_budget = time_budget(args)?;
             config.interrupt = InterruptFlag::new(interrupt.clone());
-            floc_resume(&matrix, &ckpt, &config, obs)
+            floc_resume_with(&matrix, &ckpt, &config, &obs)
         } else {
             let mut config = floc_config(args, &matrix)?;
+            config.parallelism.restarts = restarts.max(1);
             config.interrupt = InterruptFlag::new(interrupt.clone());
-            floc_observed(&matrix, &config, obs)
+            if config.parallelism.restarts > 1 {
+                floc_parallel(&matrix, &config, &obs).map(|(result, _seed)| result)
+            } else {
+                floc_with(&matrix, &config, &obs)
+            }
         }
         .map_err(|e| CmdError::Algo(e.to_string()))?
     };
 
     let mut out = result.summary(&matrix);
-    for w in &ckpt_warnings {
-        out.push_str(w);
-        out.push('\n');
-    }
-    // The final state always lands in the checkpoint file, even when the
-    // last improving iteration fell between --checkpoint-every marks.
-    if let (Some(p), Some(snap)) = (ckpt_out.as_deref(), last_snapshot.as_ref()) {
-        dc_serve::save_checkpoint(snap, p).map_err(|e| CmdError::Io(format!("{p}: {e}")))?;
-        out.push_str(&format!("checkpoint written to {p}\n"));
+    if let Some(sink) = &ckpt_sink {
+        let report = sink.report();
+        for w in &report.warnings {
+            out.push_str(w);
+            out.push('\n');
+        }
+        // The final state always lands in the checkpoint file, even when
+        // the last improving iteration fell between --checkpoint-every
+        // marks.
+        if let (Some(p), Some(snap)) = (ckpt_out.as_deref(), report.last_snapshot.as_ref()) {
+            dc_serve::save_checkpoint(snap, p).map_err(|e| CmdError::Io(format!("{p}: {e}")))?;
+            out.push_str(&format!("checkpoint written to {p}\n"));
+        }
+        if obs.enabled() && report.written > 0 {
+            let lat = sink.latency_summary();
+            obs.emit_full(
+                EventKind::Point,
+                "cli.checkpoint_io",
+                &[
+                    Field::new("written", report.written),
+                    Field::new("mean_write_nanos", lat.mean),
+                    Field::new("p99_write_nanos", lat.p99),
+                ],
+                None,
+            );
+        }
     }
     if let Some(json_path) = args.get("json") {
         let json = serde_json::to_string_pretty(&result.clusters)
@@ -360,6 +399,11 @@ fn mine(args: &Args) -> Result<CmdOutput, CmdError> {
             .map_err(|e| CmdError::Algo(e.to_string()))?;
         dc_serve::save(&model, model_path).map_err(|e| CmdError::Io(e.to_string()))?;
         out.push_str(&format!("model snapshot written to {model_path}\n"));
+    }
+    obs.flush();
+    if let Some(export) = &metrics {
+        export.write().map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("metrics written to {}\n", export.path()));
     }
     if result.stop_reason == StopReason::Interrupted {
         out.push_str("interrupted; result above is the best found so far\n");
@@ -497,13 +541,17 @@ fn serve_bench(args: &Args) -> Result<CmdOutput, CmdError> {
         return Err(CmdError::Usage("--threads list is empty".into()));
     }
 
+    let (obs, metrics) = ObsBuilder::from_args(args)
+        .map_err(CmdError::Usage)?
+        .build();
     let (rows, cols, k) = (model.matrix().rows(), model.matrix().cols(), model.k());
     let workload = bench_queries(rows, cols, queries);
-    let engine = QueryEngine::new(model);
+    let engine = QueryEngine::with_obs(model, obs.clone());
 
     let mut out =
         format!("serve-bench: {model_path} ({rows}x{cols}, {k} clusters), {queries} queries\n");
     let mut runs = Vec::with_capacity(thread_counts.len());
+    let mut cumulative = dc_serve::QueryStats::new();
     for &threads in &thread_counts {
         // Warm-up pass so page faults and lazy allocation don't bill the
         // first thread count.
@@ -513,6 +561,7 @@ fn serve_bench(args: &Args) -> Result<CmdOutput, CmdError> {
         engine.predict_batch(&workload, threads);
         let elapsed = start.elapsed();
         let stats = engine.stats();
+        cumulative.merge(&stats);
         let qps = queries as f64 / elapsed.as_secs_f64().max(1e-9);
         let run = ServeBenchRun {
             threads,
@@ -560,6 +609,21 @@ fn serve_bench(args: &Args) -> Result<CmdOutput, CmdError> {
     let json = serde_json::to_string_pretty(&report).map_err(|e| CmdError::Io(e.to_string()))?;
     atomic_write(&json_path, json.as_bytes()).map_err(|e| CmdError::Io(e.to_string()))?;
     out.push_str(&format!("report written to {}\n", json_path.display()));
+
+    // Query-level metrics across every measured run (warm-ups excluded),
+    // through the same crash-safe write path as the report itself.
+    let metrics_path = dir.join("metrics.json");
+    let snapshot_json = serde_json::to_string_pretty(&cumulative.snapshot())
+        .map_err(|e| CmdError::Io(e.to_string()))?;
+    atomic_write(&metrics_path, snapshot_json.as_bytes())
+        .map_err(|e| CmdError::Io(e.to_string()))?;
+    out.push_str(&format!("metrics written to {}\n", metrics_path.display()));
+
+    obs.flush();
+    if let Some(export) = &metrics {
+        export.write().map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("event metrics written to {}\n", export.path()));
+    }
     Ok(CmdOutput::ok(out))
 }
 

@@ -5,14 +5,21 @@
 
 use dc_cli::args::Args;
 use dc_cli::commands::{dispatch, HELP};
-use dc_cli::interrupt;
+use dc_cli::{interrupt, obs};
 
 fn main() {
     interrupt::install();
     let args = Args::parse(std::env::args().skip(1));
     match dispatch(&args) {
         Ok(out) => {
-            print!("{}", out.text);
+            // Under `--log json` stdout carries the event stream, one JSON
+            // object per line; the human summary moves to stderr so a
+            // downstream `| jq` never sees a non-JSON line.
+            if obs::json_log_active(&args) {
+                eprint!("{}", out.text);
+            } else {
+                print!("{}", out.text);
+            }
             std::process::exit(out.exit_code);
         }
         Err(e) => {

@@ -33,12 +33,18 @@ use crate::ordering;
 use crate::seeding::{self, SeedError};
 use crate::stats::{ClusterState, Scratch};
 use dc_matrix::DataMatrix;
+use dc_obs::{EventKind, Field, Obs};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
 /// Callback invoked with a snapshot after every completed iteration and at
 /// termination; used by callers to persist checkpoints.
+///
+/// This predates the structured [`dc_obs::Sink`] API and remains as a thin
+/// adapter: [`floc_with`] delivers the same snapshots as `floc.checkpoint`
+/// events whose attachment downcasts to [`FlocCheckpoint`], which is the
+/// preferred surface for new code.
 pub type CheckpointObserver<'a> = &'a mut dyn FnMut(&FlocCheckpoint);
 
 /// Minimum improvement of the average residue for an iteration to count as
@@ -176,7 +182,8 @@ fn evaluate_best_actions(
         best
     };
 
-    if config.threads <= 1 || targets.len() < 2 * config.threads {
+    let threads = config.parallelism.threads;
+    if threads <= 1 || targets.len() < 2 * threads {
         let mut scratch = Scratch::default();
         return targets
             .iter()
@@ -195,7 +202,7 @@ fn evaluate_best_actions(
         };
         targets.len()
     ];
-    let chunk = targets.len().div_ceil(config.threads);
+    let chunk = targets.len().div_ceil(threads);
     crossbeam::thread::scope(|scope| {
         for (t_chunk, r_chunk) in targets.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move |_| {
@@ -217,7 +224,33 @@ fn evaluate_best_actions(
 /// # Errors
 /// Fails if seeding is infeasible or the matrix has no specified entries.
 pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, FlocError> {
-    floc_observed(matrix, config, None)
+    floc_inner(matrix, config, None, &Obs::null())
+}
+
+/// Like [`floc`], streaming structured events to `obs` — the single
+/// observation surface for the FLOC loop:
+///
+/// - `floc.seeding` (span): phase-1 duration and cluster count;
+/// - `floc.iteration` (point): per completed iteration — average residue,
+///   best-prefix position, actions performed/skipped, gain-engine
+///   maintenance tallies, iteration latency;
+/// - `floc.checkpoint` (point): after every improving iteration and at
+///   termination, with the resumable [`FlocCheckpoint`] as the event's
+///   attachment (downcast it to persist checkpoints);
+/// - `floc.done` (point): terminal summary including the stop reason.
+///
+/// Observation never changes the search: emission only *reads* state, so
+/// any sink — including none — yields a bit-identical result and
+/// checkpoint sequence for the same seed (property-tested).
+///
+/// # Errors
+/// Fails if seeding is infeasible or the matrix has no specified entries.
+pub fn floc_with(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    obs: &Obs,
+) -> Result<FlocResult, FlocError> {
+    floc_inner(matrix, config, None, obs)
 }
 
 /// Like [`floc`], additionally invoking `observer` with a resumable
@@ -229,6 +262,9 @@ pub fn floc(matrix: &DataMatrix, config: &FlocConfig) -> Result<FlocResult, Floc
 /// Nth one. Observation never changes the search: with or without an
 /// observer, the same seed yields the same clustering.
 ///
+/// Thin adapter over the [`floc_with`] event stream for callers that
+/// predate [`dc_obs`]; new code should prefer a [`dc_obs::Sink`].
+///
 /// # Errors
 /// Fails if seeding is infeasible or the matrix has no specified entries.
 pub fn floc_observed(
@@ -236,10 +272,20 @@ pub fn floc_observed(
     config: &FlocConfig,
     observer: Option<CheckpointObserver<'_>>,
 ) -> Result<FlocResult, FlocError> {
+    floc_inner(matrix, config, observer, &Obs::null())
+}
+
+fn floc_inner(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    observer: Option<CheckpointObserver<'_>>,
+    obs: &Obs,
+) -> Result<FlocResult, FlocError> {
     if matrix.specified_count() == 0 {
         return Err(FlocError::EmptyMatrix);
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
+    let seed_started = Instant::now();
     let seeds = seeding::seed_clusters(
         matrix.rows(),
         matrix.cols(),
@@ -250,7 +296,32 @@ pub fn floc_observed(
         &mut rng,
     )?;
     let best: Vec<ClusterState> = seeds.iter().map(|c| ClusterState::new(matrix, c)).collect();
-    Ok(run_loop(matrix, config, rng, best, 0, Vec::new(), observer))
+    if obs.enabled() {
+        obs.emit_full(
+            EventKind::Span,
+            "floc.seeding",
+            &[
+                Field::new(
+                    "duration_nanos",
+                    seed_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                ),
+                Field::new("k", config.k),
+                Field::new("rows", matrix.rows()),
+                Field::new("cols", matrix.cols()),
+            ],
+            None,
+        );
+    }
+    Ok(run_loop(
+        matrix,
+        config,
+        rng,
+        best,
+        0,
+        Vec::new(),
+        observer,
+        obs,
+    ))
 }
 
 /// Continues a checkpointed run on the same matrix, bit-identically: the
@@ -271,7 +342,43 @@ pub fn floc_resume(
     config: &FlocConfig,
     observer: Option<CheckpointObserver<'_>>,
 ) -> Result<FlocResult, FlocError> {
+    resume_inner(matrix, checkpoint, config, observer, &Obs::null())
+}
+
+/// [`floc_resume`] with the structured event stream of [`floc_with`]
+/// instead of the legacy callback; emits an additional `floc.resume` point
+/// event recording where the run picked up.
+///
+/// # Errors
+/// Fails with [`FlocError::Resume`] when the checkpoint does not belong to
+/// `matrix`/`config` or is internally inconsistent.
+pub fn floc_resume_with(
+    matrix: &DataMatrix,
+    checkpoint: &FlocCheckpoint,
+    config: &FlocConfig,
+    obs: &Obs,
+) -> Result<FlocResult, FlocError> {
+    resume_inner(matrix, checkpoint, config, None, obs)
+}
+
+fn resume_inner(
+    matrix: &DataMatrix,
+    checkpoint: &FlocCheckpoint,
+    config: &FlocConfig,
+    observer: Option<CheckpointObserver<'_>>,
+    obs: &Obs,
+) -> Result<FlocResult, FlocError> {
     checkpoint.validate(matrix, config)?;
+    if obs.enabled() {
+        obs.emit(
+            "floc.resume",
+            &[
+                Field::new("iterations", checkpoint.iterations),
+                Field::new("avg_residue", checkpoint.avg_residue),
+                Field::new("terminal", checkpoint.stop.is_some()),
+            ],
+        );
+    }
     if let Some(reason) = checkpoint.stop {
         return Ok(FlocResult {
             clusters: checkpoint.clusters.clone(),
@@ -300,6 +407,7 @@ pub fn floc_resume(
         checkpoint.iterations,
         checkpoint.trace.clone(),
         observer,
+        obs,
     ))
 }
 
@@ -333,6 +441,31 @@ fn snapshot(
     }
 }
 
+/// Delivers one snapshot to both observation surfaces: the legacy callback
+/// verbatim, and — when structured observation is on — a `floc.checkpoint`
+/// event whose attachment downcasts to [`FlocCheckpoint`].
+fn publish_checkpoint(
+    observer: &mut Option<CheckpointObserver<'_>>,
+    obs: &Obs,
+    snap: &FlocCheckpoint,
+) {
+    if let Some(cb) = observer.as_mut() {
+        cb(snap);
+    }
+    if obs.enabled() {
+        obs.emit_full(
+            EventKind::Point,
+            "floc.checkpoint",
+            &[
+                Field::new("iterations", snap.iterations),
+                Field::new("avg_residue", snap.avg_residue),
+                Field::new("terminal", snap.stop.is_some()),
+            ],
+            Some(snap),
+        );
+    }
+}
+
 /// The phase-2 improvement loop, shared by fresh and resumed runs.
 ///
 /// `best` must be *canonical*: every state freshly built via
@@ -341,6 +474,7 @@ fn snapshot(
 /// sees — and the state a resume rebuilds — is bit-identical to the state
 /// the loop itself continues from. Residues and the incumbent average are
 /// recomputed from the canonical states for the same reason.
+#[allow(clippy::too_many_arguments)]
 fn run_loop(
     matrix: &DataMatrix,
     config: &FlocConfig,
@@ -349,9 +483,14 @@ fn run_loop(
     start_iterations: usize,
     mut trace: Vec<IterationTrace>,
     mut observer: Option<CheckpointObserver<'_>>,
+    obs: &Obs,
 ) -> FlocResult {
     let start = Instant::now();
     let fingerprint = matrix.fingerprint();
+    // Cumulative gain-engine maintenance tallies across the whole run
+    // (each iteration rebuilds the engine, resetting its own counters).
+    let mut total_stale_rebuilds = 0u64;
+    let mut total_repairs = 0u64;
     let mut scratch = Scratch::default();
     let mut best_residues: Vec<f64> = best
         .iter()
@@ -376,6 +515,7 @@ fn run_loop(
             break;
         }
         let rng_at_start = rng.state();
+        let iter_started = Instant::now();
         iterations += 1;
 
         // Drift guard: the incremental engine is rebuilt from the canonical
@@ -396,6 +536,7 @@ fn run_loop(
         let mut states = best.clone();
         let mut residues = best_residues.clone();
         let mut performed: Vec<Action> = Vec::with_capacity(actions.len());
+        let mut skipped = 0usize;
         let mut best_prefix_avg = f64::INFINITY;
         let mut best_prefix_len = 0usize;
 
@@ -463,7 +604,10 @@ fn run_loop(
             } else {
                 Some(ea.action)
             };
-            let Some(act) = chosen else { continue };
+            let Some(act) = chosen else {
+                skipped += 1;
+                continue;
+            };
             let c = act.cluster;
             let new_res = if let Some(eng) = engine.as_mut() {
                 if !config.refresh_gains {
@@ -500,6 +644,37 @@ fn run_loop(
             actions_performed: performed.len(),
             improved,
         });
+        let (iter_rebuilds, iter_repairs) = engine.as_ref().map_or((0, 0), |e| e.counters());
+        total_stale_rebuilds += iter_rebuilds;
+        total_repairs += iter_repairs;
+        if obs.enabled() {
+            obs.emit(
+                "floc.iteration",
+                &[
+                    Field::new("iteration", iterations),
+                    Field::new(
+                        "duration_nanos",
+                        iter_started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    ),
+                    Field::new("avg_residue", best_prefix_avg),
+                    Field::new("incumbent_avg", best_avg),
+                    Field::new("best_prefix_len", best_prefix_len),
+                    Field::new("actions_performed", performed.len()),
+                    Field::new("actions_skipped", skipped),
+                    Field::new("improved", improved),
+                    Field::new(
+                        "engine",
+                        if use_incremental {
+                            "incremental"
+                        } else {
+                            "exact"
+                        },
+                    ),
+                    Field::new("stale_rebuilds", iter_rebuilds),
+                    Field::new("repairs", iter_repairs),
+                ],
+            );
+        }
         if !improved {
             stop_reason = StopReason::Converged;
             break;
@@ -528,8 +703,8 @@ fn run_loop(
         }
         best_avg = best_residues.iter().sum::<f64>() / config.k as f64;
 
-        if let Some(obs) = observer.as_mut() {
-            obs(&snapshot(
+        if observer.is_some() || obs.enabled() {
+            let snap = snapshot(
                 matrix,
                 fingerprint,
                 config,
@@ -540,18 +715,19 @@ fn run_loop(
                 best_avg,
                 &trace,
                 None,
-            ));
+            );
+            publish_checkpoint(&mut observer, obs, &snap);
         }
     }
 
-    if let Some(obs) = observer.as_mut() {
+    if observer.is_some() || obs.enabled() {
         // Terminal snapshot. Converged / capped runs are marked done;
         // budget and interrupt stops stay resumable.
         let stop = match stop_reason {
             StopReason::Converged | StopReason::MaxIterations => Some(stop_reason),
             StopReason::Budget | StopReason::Interrupted => None,
         };
-        obs(&snapshot(
+        let snap = snapshot(
             matrix,
             fingerprint,
             config,
@@ -562,7 +738,26 @@ fn run_loop(
             best_avg,
             &trace,
             stop,
-        ));
+        );
+        publish_checkpoint(&mut observer, obs, &snap);
+    }
+
+    if obs.enabled() {
+        let stop_str = stop_reason.to_string();
+        obs.emit(
+            "floc.done",
+            &[
+                Field::new("iterations", iterations),
+                Field::new("avg_residue", best_avg),
+                Field::new("stop_reason", stop_str.as_str()),
+                Field::new(
+                    "duration_nanos",
+                    start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                ),
+                Field::new("stale_rebuilds", total_stale_rebuilds),
+                Field::new("repairs", total_repairs),
+            ],
+        );
     }
 
     let clusters: Vec<DeltaCluster> = best.iter().map(|s| s.to_cluster()).collect();
@@ -625,8 +820,10 @@ mod tests {
             .min_dims(3, 3)
             .constraint(crate::constraints::Constraint::MinVolume { cells: 30 })
             .seed(0)
+            .threads(4)
+            .restarts(16)
             .build();
-        let (result, _) = crate::parallel::floc_restarts(&m, &config, 16, 4).unwrap();
+        let (result, _) = crate::parallel::floc_parallel(&m, &config, &Obs::null()).unwrap();
         // The planted block is perfectly coherent (residue 0); background
         // noise clusters sit around residue 14–20. The best restart must
         // land clearly on the coherent side and be dominated by planted

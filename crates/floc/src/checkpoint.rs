@@ -24,8 +24,8 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FlocCheckpoint {
     /// The configuration the run was started with. Runtime-only fields
-    /// (interrupt wiring, time budget, thread count) are not part of the
-    /// search identity and may differ on resume.
+    /// (interrupt wiring, time budget, the parallelism plan) are not part
+    /// of the search identity and may differ on resume.
     pub config: FlocConfig,
     /// Shape of the matrix the run was mining.
     pub matrix_rows: usize,
@@ -104,8 +104,8 @@ impl std::fmt::Display for ResumeError {
 impl std::error::Error for ResumeError {}
 
 /// Returns the first algorithm-relevant field on which `a` and `b` differ,
-/// ignoring runtime plumbing (`threads`, `time_budget`, `interrupt`) that
-/// may legitimately change across a resume.
+/// ignoring runtime plumbing (`parallelism`, `time_budget`, `interrupt`)
+/// that may legitimately change across a resume.
 pub(crate) fn search_config_mismatch(a: &FlocConfig, b: &FlocConfig) -> Option<&'static str> {
     if a.k != b.k {
         return Some("k");
@@ -290,9 +290,9 @@ mod tests {
         let reseeded = FlocConfig::builder(1).seed(99).build();
         let err = ckpt.validate(&m, &reseeded).unwrap_err();
         assert!(matches!(err, ResumeError::ConfigMismatch { field: "seed" }));
-        // threads / time_budget / interrupt are runtime plumbing.
+        // parallelism / time_budget / interrupt are runtime plumbing.
         let mut runtime = ckpt.config.clone();
-        runtime.threads = 8;
+        runtime.parallelism = crate::config::Parallelism::new(8, 4);
         runtime.time_budget = Some(std::time::Duration::from_secs(1));
         ckpt.validate(&m, &runtime).unwrap();
     }

@@ -74,6 +74,54 @@ impl Deserialize for InterruptFlag {
     }
 }
 
+/// The unified parallel-execution plan for a FLOC run.
+///
+/// Two orthogonal axes multiply into the total worker budget:
+///
+/// - `threads` — gain-evaluation workers *within* one run (1 = serial).
+///   Gains within an iteration are independent, so evaluation
+///   parallelizes cleanly without changing the search trajectory.
+/// - `restarts` — independent seeded runs raced by
+///   [`floc_parallel`](crate::floc_parallel) (seeds `seed .. seed+restarts`),
+///   keeping the best result. 1 means a single run.
+///
+/// Historically `threads` lived on `FlocConfig` while restart workers were
+/// an ad-hoc argument of `floc_restarts`; both now live here. Like the
+/// time budget and interrupt wiring, parallelism is runtime plumbing, not
+/// search identity: checkpoints ignore it on resume, and any plan yields
+/// bit-identical results for the same seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Gain-evaluation worker threads within one run (≥ 1).
+    pub threads: usize,
+    /// Independent seeded restarts to race (≥ 1).
+    pub restarts: usize,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+impl Parallelism {
+    /// One thread, one restart: fully sequential.
+    pub fn serial() -> Self {
+        Parallelism {
+            threads: 1,
+            restarts: 1,
+        }
+    }
+
+    /// A plan with both axes set; zeros are clamped to 1.
+    pub fn new(threads: usize, restarts: usize) -> Self {
+        Parallelism {
+            threads: threads.max(1),
+            restarts: restarts.max(1),
+        }
+    }
+}
+
 /// Full configuration of a FLOC run.
 ///
 /// Construct with [`FlocConfig::builder`]; every field has a sensible
@@ -110,9 +158,9 @@ pub struct FlocConfig {
     /// RNG seed: seeding and action ordering are fully deterministic given
     /// this value.
     pub seed: u64,
-    /// Worker threads for gain evaluation (1 = serial). Gains within an
-    /// iteration are independent, so evaluation parallelizes cleanly.
-    pub threads: usize,
+    /// The parallel-execution plan: gain-evaluation threads within a run
+    /// and independent restarts across runs (see [`Parallelism`]).
+    pub parallelism: Parallelism,
     /// Which gain engine evaluates candidate actions (see
     /// [`GainEngineKind`]). `Auto` (the default) picks the exact scanner
     /// for small matrices and the incremental sorted-index engine for
@@ -158,7 +206,7 @@ impl FlocConfig {
             min_rows: 2,
             min_cols: 2,
             seed: 0,
-            threads: 1,
+            parallelism: Parallelism::serial(),
             gain_engine: GainEngineKind::Auto,
             refresh_gains: true,
             time_budget: None,
@@ -230,9 +278,25 @@ impl FlocConfigBuilder {
         self
     }
 
-    /// Sets the number of gain-evaluation threads.
+    /// Sets the number of gain-evaluation threads (shorthand for adjusting
+    /// [`Parallelism::threads`]).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.config.threads = threads.max(1);
+        self.config.parallelism.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the number of independent seeded restarts
+    /// [`floc_parallel`](crate::floc_parallel) races (shorthand for
+    /// adjusting [`Parallelism::restarts`]).
+    pub fn restarts(mut self, restarts: usize) -> Self {
+        self.config.parallelism.restarts = restarts.max(1);
+        self
+    }
+
+    /// Sets the whole parallel-execution plan at once; zeros are clamped
+    /// to 1.
+    pub fn parallelism(mut self, p: Parallelism) -> Self {
+        self.config.parallelism = Parallelism::new(p.threads, p.restarts);
         self
     }
 
@@ -306,7 +370,7 @@ mod tests {
         assert_eq!(c.ordering, Ordering::Weighted);
         assert_eq!(c.min_rows, 2);
         assert_eq!(c.min_cols, 2);
-        assert_eq!(c.threads, 1);
+        assert_eq!(c.parallelism, Parallelism::serial());
         assert!(c.constraints.is_empty());
     }
 
@@ -333,13 +397,43 @@ mod tests {
         assert_eq!(c.min_rows, 3);
         assert_eq!(c.min_cols, 4);
         assert_eq!(c.seed, 99);
-        assert_eq!(c.threads, 4);
+        assert_eq!(c.parallelism.threads, 4);
     }
 
     #[test]
     fn threads_zero_is_clamped_to_one() {
         let c = FlocConfig::builder(1).threads(0).build();
-        assert_eq!(c.threads, 1);
+        assert_eq!(c.parallelism.threads, 1);
+    }
+
+    #[test]
+    fn parallelism_surface_is_unified() {
+        // The two shorthands and the whole-plan setter agree, and zeros
+        // are clamped on every path.
+        let a = FlocConfig::builder(1).threads(4).restarts(8).build();
+        let b = FlocConfig::builder(1)
+            .parallelism(Parallelism::new(4, 8))
+            .build();
+        assert_eq!(a.parallelism, b.parallelism);
+        assert_eq!(
+            a.parallelism,
+            Parallelism {
+                threads: 4,
+                restarts: 8
+            }
+        );
+        let clamped = FlocConfig::builder(1)
+            .parallelism(Parallelism {
+                threads: 0,
+                restarts: 0,
+            })
+            .build();
+        assert_eq!(clamped.parallelism, Parallelism::serial());
+        // Parallelism is runtime plumbing: it round-trips through serde
+        // but never affects whether two configs describe the same search.
+        let json = serde_json::to_string(&a).unwrap();
+        let back: FlocConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.parallelism, a.parallelism);
     }
 
     #[test]

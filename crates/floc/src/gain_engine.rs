@@ -284,6 +284,10 @@ impl ClusterIndex {
 pub struct IncrementalEngine {
     clusters: Vec<ClusterIndex>,
     mean: ResidueMean,
+    /// Lazy index-side rebuilds performed by [`Self::prepare`].
+    stale_rebuilds: u64,
+    /// In-place same-side repairs performed by [`Self::apply`].
+    repairs: u64,
 }
 
 impl IncrementalEngine {
@@ -292,6 +296,8 @@ impl IncrementalEngine {
         let mut engine = IncrementalEngine {
             clusters: states.iter().map(|_| ClusterIndex::new(matrix)).collect(),
             mean,
+            stale_rebuilds: 0,
+            repairs: 0,
         };
         for (ci, st) in engine.clusters.iter_mut().zip(states) {
             ci.rebuild_by_col(matrix, st);
@@ -307,11 +313,22 @@ impl IncrementalEngine {
         for (ci, st) in self.clusters.iter_mut().zip(states) {
             if is_row && !ci.col_ok {
                 ci.rebuild_by_col(matrix, st);
+                self.stale_rebuilds += 1;
             }
             if !is_row && !ci.row_ok {
                 ci.rebuild_by_row(matrix, st);
+                self.stale_rebuilds += 1;
             }
         }
+    }
+
+    /// Maintenance tallies since [`Self::build`]:
+    /// `(stale_rebuilds, repairs)` — lazy side rebuilds in
+    /// [`Self::prepare`] and in-place same-side repairs in [`Self::apply`].
+    /// Read-only diagnostics for observability; they never influence the
+    /// search.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.stale_rebuilds, self.repairs)
     }
 
     /// The residue cluster `cluster` would have with `target` toggled —
@@ -478,6 +495,7 @@ impl IncrementalEngine {
                 if !ci.col_ok {
                     return; // stale anyway; prepare() will rebuild
                 }
+                self.repairs += 1;
                 if st.rows.contains(x) {
                     if st.row_specified(x) > 0 {
                         let rb = st.row_sum(x) / st.row_specified(x) as f64;
@@ -505,6 +523,7 @@ impl IncrementalEngine {
                 if !ci.row_ok {
                     return;
                 }
+                self.repairs += 1;
                 if st.cols.contains(y) {
                     if st.col_specified(y) > 0 {
                         let cb = st.col_sum(y) / st.col_specified(y) as f64;
@@ -626,6 +645,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn maintenance_counters_track_repairs_and_rebuilds() {
+        let m = random_matrix(10, 8, 0.9, 11);
+        let mut st = ClusterState::new(&m, &DeltaCluster::from_indices(10, 8, 0..5, 0..4));
+        let mut engine =
+            IncrementalEngine::build(&m, std::slice::from_ref(&st), ResidueMean::Arithmetic);
+        assert_eq!(engine.counters(), (0, 0), "fresh build starts clean");
+
+        // A row apply repairs the per-column side in place…
+        engine.apply(
+            &m,
+            &st,
+            Action {
+                target: Target::Row(7),
+                cluster: 0,
+            },
+        );
+        st.toggle_row(&m, 7);
+        assert_eq!(engine.counters(), (0, 1));
+
+        // …and marks the per-row side stale, so a column-side prepare
+        // performs one lazy rebuild.
+        engine.prepare(&m, std::slice::from_ref(&st), false);
+        assert_eq!(engine.counters(), (1, 1));
+        // Preparing a clean side is a no-op.
+        engine.prepare(&m, std::slice::from_ref(&st), false);
+        assert_eq!(engine.counters(), (1, 1));
     }
 
     #[test]

@@ -69,16 +69,23 @@ pub mod seeding;
 pub mod stats;
 
 pub use action::{Action, Target};
-pub use algorithm::{floc, floc_observed, floc_resume, CheckpointObserver, FlocError};
-pub use amplification::{amplification_residue, floc_amplification, AmplificationResult};
+pub use algorithm::{
+    floc, floc_observed, floc_resume, floc_resume_with, floc_with, CheckpointObserver, FlocError,
+};
+pub use amplification::{
+    amplification_residue, floc_amplification, AmplificationError, AmplificationResult,
+};
 pub use checkpoint::{FlocCheckpoint, ResumeError};
 pub use cluster::DeltaCluster;
-pub use config::{FlocConfig, FlocConfigBuilder, InterruptFlag};
+pub use config::{FlocConfig, FlocConfigBuilder, InterruptFlag, Parallelism};
 pub use constraints::Constraint;
 pub use gain_engine::{GainEngineKind, IncrementalEngine};
 pub use history::{FlocResult, IterationTrace, StopReason};
 pub use ordering::Ordering;
+pub use parallel::floc_parallel;
+#[allow(deprecated)]
 pub use parallel::floc_restarts;
+pub use prediction::PredictError;
 pub use residue::{cluster_residue, ResidueMean};
-pub use seeding::Seeding;
+pub use seeding::{SeedError, Seeding};
 pub use stats::{ClusterState, Scratch};

@@ -7,32 +7,49 @@
 //! sensitivity analysis is exactly why this helps. Restarts run on scoped
 //! threads and differ only in their RNG seed, so each individual restart
 //! remains reproducible.
+//!
+//! The restart count and worker-thread budget both come from the config's
+//! [`Parallelism`] plan; [`floc_parallel`] is the entry point. The old
+//! `floc_restarts(matrix, config, restarts, workers)` signature, which
+//! carried the worker count as an ad-hoc argument, survives as a
+//! deprecated shim.
 
 use crate::algorithm::{floc, FlocError};
-use crate::config::FlocConfig;
+use crate::config::{FlocConfig, Parallelism};
 use crate::history::FlocResult;
 use dc_matrix::DataMatrix;
+use dc_obs::{Field, Obs};
 use parking_lot::Mutex;
+use std::time::Instant;
 
-/// Runs `restarts` independent FLOC runs (seeds `config.seed`,
-/// `config.seed + 1`, …) across up to `workers` threads and returns the
-/// result with the lowest average residue, together with the seed that
-/// produced it.
+/// Races `config.parallelism.restarts` independent FLOC runs (seeds
+/// `config.seed`, `config.seed + 1`, …) across up to
+/// `config.parallelism.threads` worker threads and returns the result with
+/// the lowest average residue, together with the seed that produced it.
 ///
-/// Ties are broken toward the smallest seed so the outcome is deterministic
-/// regardless of thread scheduling.
+/// Restart-level parallelism replaces within-run parallelism: each restart
+/// runs with a serial gain evaluator, so its trajectory is identical to a
+/// standalone single-threaded run with that seed. Ties are broken toward
+/// the smallest seed, making the outcome deterministic regardless of
+/// thread scheduling.
+///
+/// Each finished restart emits a `floc.restart` event on `obs` (arrival
+/// order, hence event order, is scheduler-dependent) and the race ends
+/// with a `floc.restarts` span naming the winner. The per-iteration event
+/// stream of the individual runs is intentionally not forwarded — with
+/// dozens of racing restarts it would interleave into noise.
 ///
 /// # Errors
 /// Returns the first error (by seed order) if *every* restart fails;
 /// individual failures are tolerated as long as one restart succeeds.
-pub fn floc_restarts(
+pub fn floc_parallel(
     matrix: &DataMatrix,
     config: &FlocConfig,
-    restarts: usize,
-    workers: usize,
+    obs: &Obs,
 ) -> Result<(FlocResult, u64), FlocError> {
-    assert!(restarts > 0, "at least one restart required");
-    let workers = workers.clamp(1, restarts);
+    let restarts = config.parallelism.restarts.max(1);
+    let workers = config.parallelism.threads.clamp(1, restarts);
+    let started = Instant::now();
     let results: Mutex<Vec<(u64, Result<FlocResult, FlocError>)>> =
         Mutex::new(Vec::with_capacity(restarts));
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -48,8 +65,32 @@ pub fn floc_restarts(
                 let mut cfg = config.clone();
                 cfg.seed = seed;
                 // Restart-level parallelism replaces within-run parallelism.
-                cfg.threads = 1;
+                cfg.parallelism = Parallelism::serial();
                 let result = floc(matrix, &cfg);
+                if obs.enabled() {
+                    match &result {
+                        Ok(r) => obs.emit(
+                            "floc.restart",
+                            &[
+                                Field::new("seed", seed),
+                                Field::new("avg_residue", r.avg_residue),
+                                Field::new("iterations", r.iterations),
+                                Field::new("ok", true),
+                            ],
+                        ),
+                        Err(e) => {
+                            let msg = e.to_string();
+                            obs.emit(
+                                "floc.restart",
+                                &[
+                                    Field::new("seed", seed),
+                                    Field::new("ok", false),
+                                    Field::new("error", msg.as_str()),
+                                ],
+                            );
+                        }
+                    }
+                }
                 results.lock().push((seed, result));
             });
         }
@@ -80,9 +121,48 @@ pub fn floc_restarts(
         }
     }
     match best {
-        Some(b) => Ok(b),
-        None => Err(first_err.expect("restarts > 0 implies at least one result")),
+        Some(b) => {
+            if obs.enabled() {
+                obs.emit_full(
+                    dc_obs::EventKind::Span,
+                    "floc.restarts",
+                    &[
+                        Field::new(
+                            "duration_nanos",
+                            started.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                        ),
+                        Field::new("restarts", restarts),
+                        Field::new("workers", workers),
+                        Field::new("winner_seed", b.1),
+                        Field::new("avg_residue", b.0.avg_residue),
+                    ],
+                    None,
+                );
+            }
+            Ok(b)
+        }
+        None => Err(first_err.expect("restarts >= 1 implies at least one result")),
     }
+}
+
+/// Runs `restarts` independent FLOC runs across up to `workers` threads.
+///
+/// # Errors
+/// Returns the first error (by seed order) if *every* restart fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "set restarts/threads via FlocConfigBuilder::parallelism and call floc_parallel"
+)]
+pub fn floc_restarts(
+    matrix: &DataMatrix,
+    config: &FlocConfig,
+    restarts: usize,
+    workers: usize,
+) -> Result<(FlocResult, u64), FlocError> {
+    assert!(restarts > 0, "at least one restart required");
+    let mut cfg = config.clone();
+    cfg.parallelism = Parallelism::new(workers, restarts);
+    floc_parallel(matrix, &cfg, &Obs::null())
 }
 
 #[cfg(test)]
@@ -111,18 +191,27 @@ mod tests {
         m
     }
 
+    fn plan(config: &FlocConfig, threads: usize, restarts: usize) -> FlocConfig {
+        let mut cfg = config.clone();
+        cfg.parallelism = Parallelism::new(threads, restarts);
+        cfg
+    }
+
     #[test]
     fn restarts_return_the_best_seed() {
         let m = noisy_matrix(1);
         let config = FlocConfig::builder(1)
             .seeding(Seeding::TargetSize { rows: 6, cols: 4 })
             .seed(100)
+            .threads(3)
+            .restarts(6)
             .build();
-        let (multi, best_seed) = floc_restarts(&m, &config, 6, 3).unwrap();
+        let (multi, best_seed) = floc_parallel(&m, &config, &Obs::null()).unwrap();
         // The multi-restart result must be at least as good as the single
         // run with the base seed.
         let mut single_cfg = config.clone();
         single_cfg.seed = 100;
+        single_cfg.parallelism = Parallelism::serial();
         let single = floc(&m, &single_cfg).unwrap();
         assert!(multi.avg_residue <= single.avg_residue + 1e-12);
         assert!((100..106).contains(&best_seed));
@@ -132,8 +221,8 @@ mod tests {
     fn restarts_are_deterministic() {
         let m = noisy_matrix(2);
         let config = FlocConfig::builder(2).seed(7).build();
-        let (a, seed_a) = floc_restarts(&m, &config, 4, 4).unwrap();
-        let (b, seed_b) = floc_restarts(&m, &config, 4, 2).unwrap();
+        let (a, seed_a) = floc_parallel(&m, &plan(&config, 4, 4), &Obs::null()).unwrap();
+        let (b, seed_b) = floc_parallel(&m, &plan(&config, 2, 4), &Obs::null()).unwrap();
         assert_eq!(seed_a, seed_b, "winner independent of worker count");
         assert_eq!(a.clusters, b.clusters);
         assert_eq!(a.avg_residue, b.avg_residue);
@@ -143,7 +232,7 @@ mod tests {
     fn single_restart_equals_plain_floc() {
         let m = noisy_matrix(3);
         let config = FlocConfig::builder(1).seed(42).build();
-        let (multi, seed) = floc_restarts(&m, &config, 1, 1).unwrap();
+        let (multi, seed) = floc_parallel(&m, &config, &Obs::null()).unwrap();
         let single = floc(&m, &config).unwrap();
         assert_eq!(seed, 42);
         assert_eq!(multi.clusters, single.clusters);
@@ -152,12 +241,53 @@ mod tests {
     #[test]
     fn all_failures_surface_an_error() {
         let m = DataMatrix::new(10, 10); // empty: every restart fails
-        let config = FlocConfig::builder(1).build();
-        let err = floc_restarts(&m, &config, 3, 2).unwrap_err();
+        let config = FlocConfig::builder(1).restarts(3).threads(2).build();
+        let err = floc_parallel(&m, &config, &Obs::null()).unwrap_err();
         assert!(matches!(err, FlocError::EmptyMatrix));
     }
 
     #[test]
+    fn restart_events_cover_every_seed() {
+        let m = noisy_matrix(5);
+        let config = FlocConfig::builder(1)
+            .seed(10)
+            .threads(2)
+            .restarts(4)
+            .build();
+        let sink = dc_obs::MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        let (best, winner) = floc_parallel(&m, &config, &obs).unwrap();
+        let restarts = sink.named("floc.restart");
+        assert_eq!(restarts.len(), 4);
+        let mut seeds: Vec<u64> = restarts
+            .iter()
+            .filter_map(|e| e.u64_field("seed"))
+            .collect();
+        seeds.sort_unstable();
+        assert_eq!(seeds, vec![10, 11, 12, 13]);
+        let done = sink.named("floc.restarts");
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].u64_field("winner_seed"), Some(winner));
+        assert_eq!(done[0].f64_field("avg_residue"), Some(best.avg_residue));
+        // Observation must not perturb the race's outcome.
+        let (plain, plain_winner) = floc_parallel(&m, &config, &Obs::null()).unwrap();
+        assert_eq!(plain_winner, winner);
+        assert_eq!(plain.clusters, best.clusters);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_matches_floc_parallel() {
+        let m = noisy_matrix(4);
+        let config = FlocConfig::builder(1).seed(3).build();
+        let (a, seed_a) = floc_restarts(&m, &config, 4, 2).unwrap();
+        let (b, seed_b) = floc_parallel(&m, &plan(&config, 2, 4), &Obs::null()).unwrap();
+        assert_eq!(seed_a, seed_b);
+        assert_eq!(a.clusters, b.clusters);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "at least one restart")]
     fn zero_restarts_panics() {
         let m = noisy_matrix(4);

@@ -337,3 +337,95 @@ proptest! {
         }
     }
 }
+
+// ---- Observability ---------------------------------------------------------
+
+use dc_floc::{floc_resume_with, floc_with};
+use dc_obs::{Event, JsonSink, MemorySink, NullSink, Obs, Sink};
+use std::sync::{Arc, Mutex};
+
+/// Collects every `floc.checkpoint` attachment — the dc-obs analogue of
+/// the legacy `floc_observed` closure.
+#[derive(Clone, Default)]
+struct CkptCollector(Arc<Mutex<Vec<FlocCheckpoint>>>);
+
+impl Sink for CkptCollector {
+    fn emit(&self, event: &Event<'_>) {
+        if event.name != "floc.checkpoint" {
+            return;
+        }
+        if let Some(c) = event
+            .attachment
+            .and_then(|a| a.downcast_ref::<FlocCheckpoint>())
+        {
+            self.0.lock().unwrap().push(c.clone());
+        }
+    }
+}
+
+fn f64_bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    /// The observability determinism contract: mining under ANY sink —
+    /// no handle, a disabled handle, a swallowing sink, a JSON renderer,
+    /// an in-memory recorder — returns a bit-identical [`FlocResult`].
+    #[test]
+    fn mining_is_bit_identical_under_any_sink(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+    ) {
+        let config = FlocConfig::builder(k).alpha(0.5).seed(seed).build();
+        let plain = dc_floc::floc(&m, &config).unwrap();
+        let memory = MemorySink::new();
+        let observed = [
+            floc_with(&m, &config, &Obs::null()).unwrap(),
+            floc_with(&m, &config, &Obs::new(NullSink)).unwrap(),
+            floc_with(&m, &config, &Obs::new(JsonSink::new(std::io::sink()))).unwrap(),
+            floc_with(&m, &config, &Obs::new(memory.clone())).unwrap(),
+        ];
+        for r in &observed {
+            prop_assert_eq!(&r.clusters, &plain.clusters);
+            prop_assert_eq!(f64_bits(&r.residues), f64_bits(&plain.residues));
+            prop_assert_eq!(r.avg_residue.to_bits(), plain.avg_residue.to_bits());
+            prop_assert_eq!(r.iterations, plain.iterations);
+            prop_assert_eq!(r.stop_reason, plain.stop_reason);
+            prop_assert_eq!(&r.trace, &plain.trace);
+        }
+        // The recorder saw exactly one iteration event per phase-2
+        // iteration and exactly one terminal event.
+        prop_assert_eq!(memory.named("floc.iteration").len(), plain.iterations);
+        prop_assert_eq!(memory.named("floc.done").len(), 1);
+    }
+
+    /// The checkpoint stream exposed through event attachments matches the
+    /// legacy closure observer snapshot for snapshot, and resuming any of
+    /// those snapshots under yet another sink stays bit-identical.
+    #[test]
+    fn sink_checkpoints_match_closure_observer_and_resume_bit_identically(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+    ) {
+        let config = FlocConfig::builder(2).alpha(0.5).seed(seed).build();
+        let mut closure_seen: Vec<FlocCheckpoint> = Vec::new();
+        let mut obs_fn = |c: &FlocCheckpoint| closure_seen.push(c.clone());
+        let full = floc_observed(&m, &config, Some(&mut obs_fn)).unwrap();
+
+        let collector = CkptCollector::default();
+        let sunk = floc_with(&m, &config, &Obs::new(collector.clone())).unwrap();
+        let sink_seen = collector.0.lock().unwrap().clone();
+        prop_assert_eq!(&sink_seen, &closure_seen);
+        prop_assert_eq!(&sunk.clusters, &full.clusters);
+
+        for ckpt in &sink_seen {
+            let resumed =
+                floc_resume_with(&m, ckpt, &config, &Obs::new(MemorySink::new())).unwrap();
+            prop_assert_eq!(&resumed.clusters, &full.clusters);
+            prop_assert_eq!(resumed.avg_residue.to_bits(), full.avg_residue.to_bits());
+            prop_assert_eq!(f64_bits(&resumed.residues), f64_bits(&full.residues));
+            prop_assert_eq!(&resumed.trace, &full.trace);
+        }
+    }
+}

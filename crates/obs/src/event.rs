@@ -1,0 +1,257 @@
+//! The event model: what instrumented code emits and sinks consume.
+//!
+//! [`Event`] is borrow-only — names, fields, and the optional attachment
+//! all point into the emitting stack frame, so building one costs no
+//! allocation. Sinks that need to retain events past the `emit` call (the
+//! in-memory test sink) convert to the owned mirror [`OwnedEvent`].
+
+use std::any::Any;
+
+/// The shape of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instantaneous observation (a loop iteration, a query, an error).
+    Point,
+    /// A completed timed region; carries a `duration_nanos` field.
+    Span,
+}
+
+impl EventKind {
+    /// Stable lower-case name used by the text and JSON sinks.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Point => "point",
+            EventKind::Span => "span",
+        }
+    }
+}
+
+/// A typed field value borrowed from the emitting frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FieldValue<'a> {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(&'a str),
+}
+
+impl From<bool> for FieldValue<'_> {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue<'_> {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue<'_> {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One key/value pair on an [`Event`].
+#[derive(Debug, Clone, Copy)]
+pub struct Field<'a> {
+    pub key: &'a str,
+    pub value: FieldValue<'a>,
+}
+
+impl<'a> Field<'a> {
+    pub fn new(key: &'a str, value: impl Into<FieldValue<'a>>) -> Field<'a> {
+        Field {
+            key,
+            value: value.into(),
+        }
+    }
+}
+
+/// A structured observation flowing from instrumented code to a [`Sink`].
+///
+/// Timestamps come in two flavours so consumers can both order events
+/// across processes (`unix_nanos`, wall clock) and measure intervals
+/// robustly (`elapsed_nanos`, monotonic since the [`Obs`] handle was
+/// created).
+///
+/// `attachment` carries an arbitrary in-process payload — e.g. the FLOC
+/// loop attaches its `FlocCheckpoint` so a checkpoint-writing sink can
+/// downcast and persist it, while text/JSON sinks ignore it. This keeps
+/// dc-obs free of knowledge about (and dependencies on) the domain types
+/// it transports.
+///
+/// [`Sink`]: crate::Sink
+/// [`Obs`]: crate::Obs
+pub struct Event<'a> {
+    /// Dotted event name, e.g. `floc.iteration` or `serve.query`.
+    pub name: &'a str,
+    pub kind: EventKind,
+    /// Wall-clock time in nanoseconds since the unix epoch.
+    pub unix_nanos: u128,
+    /// Monotonic nanoseconds since the emitting [`Obs`] was created.
+    ///
+    /// [`Obs`]: crate::Obs
+    pub elapsed_nanos: u64,
+    pub fields: &'a [Field<'a>],
+    /// Optional in-process payload for downcasting sinks.
+    pub attachment: Option<&'a dyn Any>,
+}
+
+impl<'a> Event<'a> {
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<FieldValue<'a>> {
+        self.fields.iter().find(|f| f.key == key).map(|f| f.value)
+    }
+}
+
+/// Owned mirror of [`FieldValue`], for sinks that retain events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+}
+
+impl OwnedValue {
+    fn of(v: FieldValue<'_>) -> OwnedValue {
+        match v {
+            FieldValue::Bool(b) => OwnedValue::Bool(b),
+            FieldValue::U64(n) => OwnedValue::U64(n),
+            FieldValue::I64(n) => OwnedValue::I64(n),
+            FieldValue::F64(x) => OwnedValue::F64(x),
+            FieldValue::Str(s) => OwnedValue::Str(s.to_string()),
+        }
+    }
+}
+
+/// Owned mirror of [`Event`] stored by [`MemorySink`]. Attachments are
+/// borrow-only and cannot be cloned generically, so only their presence is
+/// recorded.
+///
+/// [`MemorySink`]: crate::MemorySink
+#[derive(Debug, Clone)]
+pub struct OwnedEvent {
+    pub name: String,
+    pub kind: EventKind,
+    pub unix_nanos: u128,
+    pub elapsed_nanos: u64,
+    pub fields: Vec<(String, OwnedValue)>,
+    pub had_attachment: bool,
+}
+
+impl OwnedEvent {
+    pub fn of(event: &Event<'_>) -> OwnedEvent {
+        OwnedEvent {
+            name: event.name.to_string(),
+            kind: event.kind,
+            unix_nanos: event.unix_nanos,
+            elapsed_nanos: event.elapsed_nanos,
+            fields: event
+                .fields
+                .iter()
+                .map(|f| (f.key.to_string(), OwnedValue::of(f.value)))
+                .collect(),
+            had_attachment: event.attachment.is_some(),
+        }
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Convenience accessor for numeric fields stored as `U64`.
+    pub fn u64_field(&self, key: &str) -> Option<u64> {
+        match self.field(key) {
+            Some(OwnedValue::U64(n)) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for `F64` fields.
+    pub fn f64_field(&self, key: &str) -> Option<f64> {
+        match self.field(key) {
+            Some(OwnedValue::F64(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor for string fields.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        match self.field(key) {
+            Some(OwnedValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_lookup_finds_typed_values() {
+        let fields = [
+            Field::new("iter", 3usize),
+            Field::new("residue", 0.25f64),
+            Field::new("engine", "incremental"),
+            Field::new("improved", true),
+        ];
+        let e = Event {
+            name: "floc.iteration",
+            kind: EventKind::Point,
+            unix_nanos: 0,
+            elapsed_nanos: 0,
+            fields: &fields,
+            attachment: None,
+        };
+        assert_eq!(e.field("iter"), Some(FieldValue::U64(3)));
+        assert_eq!(e.field("residue"), Some(FieldValue::F64(0.25)));
+        assert_eq!(e.field("engine"), Some(FieldValue::Str("incremental")));
+        assert_eq!(e.field("improved"), Some(FieldValue::Bool(true)));
+        assert_eq!(e.field("missing"), None);
+    }
+
+    #[test]
+    fn owned_event_mirrors_fields_and_attachment_presence() {
+        let payload = 42u32;
+        let fields = [Field::new("n", 7u64)];
+        let e = Event {
+            name: "x",
+            kind: EventKind::Span,
+            unix_nanos: 10,
+            elapsed_nanos: 5,
+            fields: &fields,
+            attachment: Some(&payload),
+        };
+        let o = OwnedEvent::of(&e);
+        assert_eq!(o.name, "x");
+        assert_eq!(o.kind, EventKind::Span);
+        assert_eq!(o.u64_field("n"), Some(7));
+        assert!(o.had_attachment);
+        assert_eq!(o.str_field("n"), None);
+    }
+}

@@ -1,0 +1,287 @@
+//! The [`Obs`] handle: how instrumented code reaches its sink.
+//!
+//! There is deliberately no global registry or `static` state — the handle
+//! is passed through call sites explicitly, which keeps library code
+//! honest about what it observes and makes tests hermetic. A disabled
+//! handle ([`Obs::null`]) is a `None` and costs one branch per emission
+//! site; callers building non-trivial field arrays should guard with
+//! [`Obs::enabled`] first.
+
+use crate::event::{Event, EventKind, Field};
+use crate::sink::{Fanout, Sink};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct Inner {
+    sink: Box<dyn Sink>,
+    /// Monotonic epoch: `elapsed_nanos` on every event is measured from
+    /// here, so intervals are immune to wall-clock adjustment.
+    epoch: Instant,
+    /// Wall-clock reading taken at the same moment as `epoch`.
+    epoch_unix_nanos: u128,
+}
+
+/// A cheap, cloneable observability handle.
+///
+/// Cloning shares the underlying sink (one `Arc` bump), so the same handle
+/// can be held by the CLI, the FLOC loop, and worker threads at once.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Obs {
+    /// The disabled handle: every emission is a no-op after one branch.
+    pub fn null() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A handle delivering events to `sink`.
+    pub fn new(sink: impl Sink + 'static) -> Obs {
+        Obs {
+            inner: Some(Arc::new(Inner {
+                sink: Box::new(sink),
+                epoch: Instant::now(),
+                epoch_unix_nanos: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0),
+            })),
+        }
+    }
+
+    /// A handle broadcasting to several sinks; empty input yields
+    /// [`Obs::null`] so callers can build the list unconditionally.
+    pub fn fanout(sinks: Vec<Box<dyn Sink>>) -> Obs {
+        match sinks.len() {
+            0 => Obs::null(),
+            1 => {
+                let mut sinks = sinks;
+                Obs::new(SoleSink(sinks.pop().expect("len checked")))
+            }
+            _ => Obs::new(Fanout::new(sinks)),
+        }
+    }
+
+    /// Whether events will actually be delivered. Guard field construction
+    /// with this on hot paths.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Emits a point event.
+    pub fn emit(&self, name: &str, fields: &[Field<'_>]) {
+        self.emit_full(EventKind::Point, name, fields, None);
+    }
+
+    /// Emits an event with explicit kind and optional attachment.
+    pub fn emit_full(
+        &self,
+        kind: EventKind,
+        name: &str,
+        fields: &[Field<'_>],
+        attachment: Option<&dyn Any>,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let elapsed = inner.epoch.elapsed().as_nanos();
+        inner.sink.emit(&Event {
+            name,
+            kind,
+            unix_nanos: inner.epoch_unix_nanos + elapsed,
+            elapsed_nanos: elapsed.min(u64::MAX as u128) as u64,
+            fields,
+            attachment,
+        });
+    }
+
+    /// Starts a timed span; finish it with [`SpanTimer::finish`] or let it
+    /// drop. Calling on a disabled handle still returns a timer (the time
+    /// measurement itself is a few nanoseconds) but nothing is emitted.
+    pub fn span(&self, name: &'static str) -> SpanTimer {
+        SpanTimer {
+            obs: self.clone(),
+            name,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Flushes the underlying sink(s).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+/// Adapter so `Obs::fanout` with one sink avoids the broadcast loop.
+struct SoleSink(Box<dyn Sink>);
+
+impl Sink for SoleSink {
+    fn emit(&self, event: &Event<'_>) {
+        self.0.emit(event);
+    }
+    fn flush(&self) {
+        self.0.flush();
+    }
+}
+
+/// A running span. On [`finish`](SpanTimer::finish) (or drop) it emits a
+/// [`EventKind::Span`] event named at creation, with `duration_nanos`
+/// prepended to any caller-supplied fields.
+pub struct SpanTimer {
+    obs: Obs,
+    name: &'static str,
+    start: Instant,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Elapsed time so far, without ending the span.
+    pub fn elapsed_nanos(&self) -> u64 {
+        self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Ends the span, attaching extra fields to the emitted event.
+    pub fn finish(mut self, fields: &[Field<'_>]) {
+        self.emit_end(fields);
+    }
+
+    /// Ends the span without emitting anything (e.g. the operation failed
+    /// and an error event supersedes it).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+
+    fn emit_end(&mut self, fields: &[Field<'_>]) {
+        if !self.armed {
+            return;
+        }
+        self.armed = false;
+        if !self.obs.enabled() {
+            return;
+        }
+        let mut all = Vec::with_capacity(fields.len() + 1);
+        all.push(Field::new("duration_nanos", self.elapsed_nanos()));
+        all.extend_from_slice(fields);
+        self.obs.emit_full(EventKind::Span, self.name, &all, None);
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        self.emit_end(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::OwnedValue;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn null_handle_is_disabled_and_emits_nothing() {
+        let obs = Obs::null();
+        assert!(!obs.enabled());
+        obs.emit("x", &[Field::new("n", 1u64)]);
+        obs.flush(); // no-op, must not panic
+    }
+
+    #[test]
+    fn events_carry_monotonic_and_wall_clock_time() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        obs.emit("a", &[]);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        obs.emit("b", &[]);
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(events[1].elapsed_nanos > events[0].elapsed_nanos);
+        assert!(events[1].unix_nanos > events[0].unix_nanos);
+        // Wall-clock and monotonic readings advance together.
+        let wall = (events[1].unix_nanos - events[0].unix_nanos) as i128;
+        let mono = (events[1].elapsed_nanos - events[0].elapsed_nanos) as i128;
+        assert!((wall - mono).abs() < 1_000_000_000, "{wall} vs {mono}");
+    }
+
+    #[test]
+    fn span_emits_duration_on_finish_and_on_drop() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        obs.span("op.finished").finish(&[Field::new("n", 2u64)]);
+        {
+            let _span = obs.span("op.dropped");
+        }
+        let finished = sink.named("op.finished");
+        assert_eq!(finished.len(), 1);
+        assert!(finished[0].u64_field("duration_nanos").is_some());
+        assert_eq!(finished[0].u64_field("n"), Some(2));
+        assert_eq!(sink.named("op.dropped").len(), 1);
+    }
+
+    #[test]
+    fn cancelled_span_emits_nothing() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        obs.span("op").cancel();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn fanout_constructor_handles_empty_and_single() {
+        assert!(!Obs::fanout(vec![]).enabled());
+        let sink = MemorySink::new();
+        let obs = Obs::fanout(vec![Box::new(sink.clone())]);
+        obs.emit("x", &[]);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        let obs2 = obs.clone();
+        obs.emit("a", &[]);
+        obs2.emit("b", &[]);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn attachment_round_trips_through_emit_full() {
+        struct Probe;
+        impl Sink for Probe {
+            fn emit(&self, event: &Event<'_>) {
+                let n = event
+                    .attachment
+                    .and_then(|a| a.downcast_ref::<u32>())
+                    .copied();
+                assert_eq!(n, Some(99));
+            }
+        }
+        let obs = Obs::new(Probe);
+        let payload = 99u32;
+        obs.emit_full(EventKind::Point, "x", &[], Some(&payload));
+    }
+
+    #[test]
+    fn field_lookup_on_owned_events() {
+        let sink = MemorySink::new();
+        let obs = Obs::new(sink.clone());
+        obs.emit("x", &[Field::new("s", "hi"), Field::new("f", 1.5f64)]);
+        let e = &sink.events()[0];
+        assert_eq!(e.str_field("s"), Some("hi"));
+        assert_eq!(e.f64_field("f"), Some(1.5));
+        assert_eq!(e.field("nope"), None);
+        assert_eq!(e.field("s"), Some(&OwnedValue::Str("hi".into())));
+    }
+}

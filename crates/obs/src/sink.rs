@@ -1,0 +1,338 @@
+//! Sinks: where events go.
+//!
+//! A sink receives every event emitted through an [`Obs`] handle, possibly
+//! from several threads at once, so implementations use interior mutability
+//! (`Mutex`) and the trait takes `&self`. Sinks must never panic on odd
+//! input — observability failing must not take the computation down.
+//!
+//! [`Obs`]: crate::Obs
+
+use crate::event::{Event, FieldValue, OwnedEvent};
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Recover from a poisoned lock: a sink panicking on one thread must not
+/// silence observability on every other thread.
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Consumer of structured [`Event`]s.
+///
+/// `emit` is called synchronously on the emitting thread; keep it cheap
+/// (format + buffered write, or push to a queue). `flush` is called at
+/// orderly shutdown points.
+pub trait Sink: Send + Sync {
+    fn emit(&self, event: &Event<'_>);
+    fn flush(&self) {}
+}
+
+/// Discards everything. [`Obs::null()`] short-circuits before reaching any
+/// sink, so `NullSink` mostly exists to make "no observation" expressible
+/// where a concrete sink is required (tests, fanout slots).
+///
+/// [`Obs::null()`]: crate::Obs::null
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event<'_>) {}
+}
+
+/// Human-readable lines, one per event:
+///
+/// ```text
+/// [   0.134s] floc.iteration iteration=3 avg_residue=1.2345 ...
+/// ```
+pub struct TextSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl TextSink<std::io::Stderr> {
+    /// The conventional destination for human logs: stderr, leaving stdout
+    /// to machine-readable output.
+    pub fn stderr() -> Self {
+        TextSink::new(std::io::stderr())
+    }
+}
+
+impl<W: Write + Send> TextSink<W> {
+    pub fn new(out: W) -> Self {
+        TextSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for TextSink<W> {
+    fn emit(&self, event: &Event<'_>) {
+        let mut out = relock(&self.out);
+        let secs = event.elapsed_nanos as f64 / 1e9;
+        let _ = write!(out, "[{secs:>9.3}s] {}", event.name);
+        for f in event.fields {
+            let _ = match f.value {
+                FieldValue::Bool(b) => write!(out, " {}={b}", f.key),
+                FieldValue::U64(n) => write!(out, " {}={n}", f.key),
+                FieldValue::I64(n) => write!(out, " {}={n}", f.key),
+                FieldValue::F64(x) => write!(out, " {}={x:.6}", f.key),
+                FieldValue::Str(s) => write!(out, " {}={s}", f.key),
+            };
+        }
+        let _ = writeln!(out);
+    }
+
+    fn flush(&self) {
+        let _ = relock(&self.out).flush();
+    }
+}
+
+/// JSON-lines output (`mine --log json | jq`), one object per event.
+///
+/// Envelope keys — reserved, never used as field names by instrumented
+/// code — are `event`, `kind`, `unix_ms`, `elapsed_us`; every emitted
+/// field is flattened into the same object. Each line is flushed as it is
+/// written so a downstream pipe (`jq`, `tail -f`) sees events live.
+pub struct JsonSink<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl JsonSink<std::io::Stdout> {
+    pub fn stdout() -> Self {
+        JsonSink::new(std::io::stdout())
+    }
+}
+
+impl<W: Write + Send> JsonSink<W> {
+    pub fn new(out: W) -> Self {
+        JsonSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+fn write_json_str(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                buf.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn write_json_value(buf: &mut String, v: FieldValue<'_>) {
+    match v {
+        FieldValue::Bool(b) => buf.push_str(if b { "true" } else { "false" }),
+        FieldValue::U64(n) => buf.push_str(&n.to_string()),
+        FieldValue::I64(n) => buf.push_str(&n.to_string()),
+        // Non-finite floats have no JSON representation; null keeps the
+        // line parseable rather than corrupting the whole stream.
+        FieldValue::F64(x) if x.is_finite() => buf.push_str(&format!("{x}")),
+        FieldValue::F64(_) => buf.push_str("null"),
+        FieldValue::Str(s) => write_json_str(buf, s),
+    }
+}
+
+/// Renders one event as a single JSON object (no trailing newline).
+pub fn event_to_json(event: &Event<'_>) -> String {
+    let mut buf = String::with_capacity(128);
+    buf.push_str("{\"event\":");
+    write_json_str(&mut buf, event.name);
+    buf.push_str(",\"kind\":\"");
+    buf.push_str(event.kind.as_str());
+    // Milliseconds / microseconds keep every envelope number well inside
+    // the 2^53 range that JSON consumers can represent exactly.
+    buf.push_str("\",\"unix_ms\":");
+    buf.push_str(&((event.unix_nanos / 1_000_000) as u64).to_string());
+    buf.push_str(",\"elapsed_us\":");
+    buf.push_str(&(event.elapsed_nanos / 1_000).to_string());
+    for f in event.fields {
+        buf.push(',');
+        write_json_str(&mut buf, f.key);
+        buf.push(':');
+        write_json_value(&mut buf, f.value);
+    }
+    buf.push('}');
+    buf
+}
+
+impl<W: Write + Send> Sink for JsonSink<W> {
+    fn emit(&self, event: &Event<'_>) {
+        let line = event_to_json(event);
+        let mut out = relock(&self.out);
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+
+    fn flush(&self) {
+        let _ = relock(&self.out).flush();
+    }
+}
+
+/// Retains every event in memory (as [`OwnedEvent`]); clones share the
+/// same buffer, so tests can hand one clone to [`Obs::new`] and inspect
+/// the other afterwards.
+///
+/// [`Obs::new`]: crate::Obs::new
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<OwnedEvent>>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn events(&self) -> Vec<OwnedEvent> {
+        relock(&self.events).clone()
+    }
+
+    pub fn len(&self) -> usize {
+        relock(&self.events).len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events with the given name.
+    pub fn named(&self, name: &str) -> Vec<OwnedEvent> {
+        relock(&self.events)
+            .iter()
+            .filter(|e| e.name == name)
+            .cloned()
+            .collect()
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event<'_>) {
+        relock(&self.events).push(OwnedEvent::of(event));
+    }
+}
+
+/// Broadcasts each event to every inner sink, in order.
+#[derive(Default)]
+pub struct Fanout {
+    sinks: Vec<Box<dyn Sink>>,
+}
+
+impl Fanout {
+    pub fn new(sinks: Vec<Box<dyn Sink>>) -> Self {
+        Fanout { sinks }
+    }
+
+    pub fn push(&mut self, sink: Box<dyn Sink>) {
+        self.sinks.push(sink);
+    }
+
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl Sink for Fanout {
+    fn emit(&self, event: &Event<'_>) {
+        for sink in &self.sinks {
+            sink.emit(event);
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Field};
+
+    fn sample<'a>(fields: &'a [Field<'a>]) -> Event<'a> {
+        Event {
+            name: "test.event",
+            kind: EventKind::Point,
+            unix_nanos: 1_700_000_000_123_456_789,
+            elapsed_nanos: 2_500_000,
+            fields,
+            attachment: None,
+        }
+    }
+
+    #[test]
+    fn json_rendering_is_flat_and_escaped() {
+        let fields = [
+            Field::new("n", 3u64),
+            Field::new("ratio", 0.5f64),
+            Field::new("label", "a\"b\\c\nd"),
+            Field::new("neg", -4i64),
+            Field::new("ok", true),
+        ];
+        let line = event_to_json(&sample(&fields));
+        assert_eq!(
+            line,
+            "{\"event\":\"test.event\",\"kind\":\"point\",\
+             \"unix_ms\":1700000000123,\"elapsed_us\":2500,\
+             \"n\":3,\"ratio\":0.5,\"label\":\"a\\\"b\\\\c\\nd\",\
+             \"neg\":-4,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null() {
+        let fields = [Field::new("x", f64::NAN), Field::new("y", f64::INFINITY)];
+        let line = event_to_json(&sample(&fields));
+        assert!(line.contains("\"x\":null"));
+        assert!(line.contains("\"y\":null"));
+    }
+
+    #[test]
+    fn memory_sink_clones_share_storage() {
+        let sink = MemorySink::new();
+        let handle = sink.clone();
+        sink.emit(&sample(&[]));
+        sink.emit(&sample(&[]));
+        assert_eq!(handle.len(), 2);
+        assert_eq!(handle.named("test.event").len(), 2);
+        assert!(handle.named("other").is_empty());
+    }
+
+    #[test]
+    fn fanout_broadcasts_in_order() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let fan = Fanout::new(vec![Box::new(a.clone()), Box::new(b.clone())]);
+        fan.emit(&sample(&[]));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn text_sink_writes_one_line_per_event() {
+        let buf: Vec<u8> = Vec::new();
+        let sink = TextSink::new(buf);
+        let fields = [Field::new("iter", 1u64)];
+        sink.emit(&sample(&fields));
+        let out = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("test.event"));
+        assert!(text.contains("iter=1"));
+    }
+}

@@ -59,7 +59,7 @@ pub use checkpoint::{
 };
 pub use engine::QueryEngine;
 pub use model::{ModelError, ServeModel};
-pub use stats::{QueryOutcome, QueryStats};
+pub use stats::{MetricsSnapshot, QueryOutcome, QueryStats};
 
 // Re-exported so downstream code can match on prediction errors without
 // depending on dc-floc directly.

@@ -1,13 +1,19 @@
 //! Query-serving statistics: counts, hit/miss accounting, and a
 //! log-scaled latency histogram cheap enough to update on every query.
+//!
+//! The histogram math (bucket layout, quantile estimation) is delegated to
+//! [`dc_obs::Histogram`] — the generalised form of the histogram that first
+//! grew up here — while this struct keeps the raw bucket vector as public
+//! serde-visible state so persisted stats keep their shape.
 
+use dc_obs::{bucket_of, Histogram, HistogramSummary};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Number of power-of-two latency buckets. Bucket `i` holds latencies in
 /// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds 0–1 ns); the last bucket
 /// absorbs everything ≥ 2^(BUCKETS-2) ns (≈ 34 s).
-pub const BUCKETS: usize = 36;
+pub const BUCKETS: usize = dc_obs::HISTOGRAM_BUCKETS;
 
 /// Aggregate statistics for a stream of point queries.
 ///
@@ -52,13 +58,30 @@ pub enum QueryOutcome {
     Degenerate,
 }
 
-fn bucket_of(nanos: u64) -> usize {
-    ((u64::BITS - nanos.leading_zeros()) as usize).min(BUCKETS - 1)
+impl QueryOutcome {
+    /// Stable lowercase name, used in `serve.query` event fields.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryOutcome::Hit => "hit",
+            QueryOutcome::Miss => "miss",
+            QueryOutcome::Degenerate => "degenerate",
+        }
+    }
 }
 
-/// Upper bound of bucket `i` in nanoseconds.
-fn bucket_upper(i: usize) -> u64 {
-    1u64 << i
+/// A flat, serializable rendering of [`QueryStats`] for `metrics.json`
+/// artifacts: counts plus the histogram summarised to mean/p50/p99.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub queries: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub degenerate: u64,
+    pub hit_rate: f64,
+    pub mean_latency_nanos: u64,
+    pub p50_latency_nanos: u64,
+    pub p99_latency_nanos: u64,
+    pub total_latency_nanos: u64,
 }
 
 impl QueryStats {
@@ -103,6 +126,12 @@ impl QueryStats {
         }
     }
 
+    /// The latency distribution as a [`dc_obs::Histogram`] (cold path:
+    /// clones the bucket vector).
+    pub fn latency_histogram(&self) -> Histogram {
+        Histogram::from_parts(self.latency_buckets.clone(), self.total_latency_nanos)
+    }
+
     /// Mean latency over all recorded queries.
     pub fn mean_latency(&self) -> Duration {
         Duration::from_nanos(
@@ -115,18 +144,24 @@ impl QueryStats {
     /// Histogram-estimated latency quantile (`q` in `[0, 1]`): the upper
     /// bound of the bucket containing the q-th ordered query.
     pub fn latency_quantile(&self, q: f64) -> Duration {
-        if self.queries == 0 {
-            return Duration::ZERO;
+        Duration::from_nanos(self.latency_histogram().quantile(q))
+    }
+
+    /// Summarises counts and latency quantiles for a `metrics.json`
+    /// artifact (see [`crate::QueryEngine::export_metrics`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let summary = HistogramSummary::of(&self.latency_histogram());
+        MetricsSnapshot {
+            queries: self.queries,
+            hits: self.hits,
+            misses: self.misses,
+            degenerate: self.degenerate,
+            hit_rate: self.hit_rate(),
+            mean_latency_nanos: summary.mean,
+            p50_latency_nanos: summary.p50,
+            p99_latency_nanos: summary.p99,
+            total_latency_nanos: self.total_latency_nanos,
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.queries as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &count) in self.latency_buckets.iter().enumerate() {
-            seen += count;
-            if seen >= rank {
-                return Duration::from_nanos(bucket_upper(i));
-            }
-        }
-        Duration::from_nanos(bucket_upper(BUCKETS - 1))
     }
 }
 
@@ -182,5 +217,47 @@ mod tests {
         let text = serde_json::to_string(&s).unwrap();
         let back: QueryStats = serde_json::from_str(&text).unwrap();
         assert_eq!(back, s);
+    }
+
+    #[test]
+    fn histogram_view_agrees_with_raw_fields() {
+        let mut s = QueryStats::new();
+        for n in [3u64, 100, 5_000, 1_000_000] {
+            s.record(QueryOutcome::Hit, Duration::from_nanos(n));
+        }
+        let h = s.latency_histogram();
+        assert_eq!(h.count(), s.queries);
+        assert_eq!(h.total(), s.total_latency_nanos);
+        assert_eq!(h.buckets(), &s.latency_buckets[..]);
+        assert_eq!(
+            s.latency_quantile(0.5),
+            Duration::from_nanos(h.quantile(0.5))
+        );
+    }
+
+    #[test]
+    fn snapshot_summarises_counts_and_quantiles() {
+        let mut s = QueryStats::new();
+        s.record(QueryOutcome::Hit, Duration::from_nanos(100));
+        s.record(QueryOutcome::Miss, Duration::from_nanos(300));
+        let snap = s.snapshot();
+        assert_eq!(snap.queries, 2);
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.misses, 1);
+        assert!((snap.hit_rate - 0.5).abs() < 1e-12);
+        assert_eq!(snap.total_latency_nanos, 400);
+        assert_eq!(snap.mean_latency_nanos, 200);
+        assert!(snap.p50_latency_nanos >= 100 && snap.p99_latency_nanos >= 300);
+        // Round-trips as JSON for the metrics artifact.
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn outcome_names_are_stable() {
+        assert_eq!(QueryOutcome::Hit.as_str(), "hit");
+        assert_eq!(QueryOutcome::Miss.as_str(), "miss");
+        assert_eq!(QueryOutcome::Degenerate.as_str(), "degenerate");
     }
 }

@@ -1,0 +1,221 @@
+//! A unified error type for the `delta-clusters` facade.
+//!
+//! Each workspace crate defines small, domain-specific error enums —
+//! mining ([`FlocError`]), resuming ([`ResumeError`]), prediction
+//! ([`PredictError`]), file formats ([`ParseError`], [`ArtifactError`]),
+//! and so on. Code that composes several layers (load a matrix, mine it,
+//! snapshot the model, serve predictions) previously had to map each of
+//! them by hand. [`Error`] wraps all twelve with `From` impls, so such
+//! code can use the [`Result`] alias and `?` throughout:
+//!
+//! ```no_run
+//! use delta_clusters::error::Result;
+//! use delta_clusters::prelude::*;
+//!
+//! fn mine_file(path: &str) -> Result<FlocResult> {
+//!     let format = delta_clusters::matrix::io::DenseFormat::default();
+//!     let matrix = delta_clusters::matrix::io::read_dense_file(path, &format)?;
+//!     let config = FlocConfig::builder(4).build();
+//!     Ok(floc(&matrix, &config)?)
+//! }
+//! ```
+//!
+//! The variants preserve the source error (via [`std::error::Error::source`])
+//! so callers can still match on the underlying domain enum.
+
+use dc_cli::args::ArgError;
+use dc_cli::commands::CmdError;
+use dc_floc::{AmplificationError, FlocError, PredictError, ResumeError, SeedError};
+use dc_matrix::categorical::EncodeError;
+use dc_matrix::transform::TransformError;
+use dc_matrix::ParseError;
+use dc_serve::{ArtifactError, ModelError};
+
+/// Any error the workspace can produce, by domain.
+///
+/// | Variant | Source crate | Raised by |
+/// |---|---|---|
+/// | [`Error::Floc`] | `dc-floc` | [`dc_floc::floc`] and friends |
+/// | [`Error::Resume`] | `dc-floc` | checkpoint validation/resume |
+/// | [`Error::Seed`] | `dc-floc` | phase-1 seeding |
+/// | [`Error::Predict`] | `dc-floc` | missing-value prediction |
+/// | [`Error::Amplification`] | `dc-floc` | the §4.4 amplification baseline |
+/// | [`Error::Parse`] | `dc-matrix` | delimited/triple matrix parsing |
+/// | [`Error::Transform`] | `dc-matrix` | matrix normalisation transforms |
+/// | [`Error::Encode`] | `dc-matrix` | categorical encoding |
+/// | [`Error::Artifact`] | `dc-serve` | `.dcm`/`.dck` (de)serialisation |
+/// | [`Error::Model`] | `dc-serve` | serve-model construction |
+/// | [`Error::Arg`] | `dc-cli` | command-line flag parsing |
+/// | [`Error::Cmd`] | `dc-cli` | command dispatch |
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Mining failed (seeding, empty matrix, or resume rejection).
+    Floc(FlocError),
+    /// A checkpoint cannot continue on the given matrix/config.
+    Resume(ResumeError),
+    /// Phase-1 seed construction failed.
+    Seed(SeedError),
+    /// A point query could not be answered.
+    Predict(PredictError),
+    /// The amplification baseline rejected its input.
+    Amplification(AmplificationError),
+    /// A matrix file failed to parse.
+    Parse(ParseError),
+    /// A matrix transform was inapplicable.
+    Transform(TransformError),
+    /// Categorical encoding failed.
+    Encode(EncodeError),
+    /// A model/checkpoint artifact was malformed or corrupt.
+    Artifact(ArtifactError),
+    /// A serve model could not be built.
+    Model(ModelError),
+    /// A command-line flag was missing or invalid.
+    Arg(ArgError),
+    /// A CLI command failed.
+    Cmd(CmdError),
+}
+
+/// `Result` with the facade [`Error`] as its default error type.
+///
+/// The error parameter stays overridable (`Result<T, SomeOtherError>`), so
+/// a glob import of this alias does not conflict with code returning
+/// domain-specific errors.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Floc(e) => write!(f, "mining failed: {e}"),
+            Error::Resume(e) => write!(f, "resume failed: {e}"),
+            Error::Seed(e) => write!(f, "seeding failed: {e}"),
+            Error::Predict(e) => write!(f, "prediction failed: {e}"),
+            Error::Amplification(e) => write!(f, "amplification failed: {e}"),
+            Error::Parse(e) => write!(f, "matrix parse failed: {e}"),
+            Error::Transform(e) => write!(f, "transform failed: {e}"),
+            Error::Encode(e) => write!(f, "encoding failed: {e}"),
+            Error::Artifact(e) => write!(f, "artifact error: {e}"),
+            Error::Model(e) => write!(f, "model error: {e}"),
+            Error::Arg(e) => write!(f, "argument error: {e}"),
+            Error::Cmd(e) => write!(f, "command failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Floc(e) => Some(e),
+            Error::Resume(e) => Some(e),
+            Error::Seed(e) => Some(e),
+            Error::Predict(e) => Some(e),
+            Error::Amplification(e) => Some(e),
+            Error::Parse(e) => Some(e),
+            Error::Transform(e) => Some(e),
+            Error::Encode(e) => Some(e),
+            Error::Artifact(e) => Some(e),
+            Error::Model(e) => Some(e),
+            Error::Arg(e) => Some(e),
+            Error::Cmd(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($($source:ty => $variant:ident),* $(,)?) => {
+        $(impl From<$source> for Error {
+            fn from(e: $source) -> Error {
+                Error::$variant(e)
+            }
+        })*
+    };
+}
+
+impl_from! {
+    FlocError => Floc,
+    ResumeError => Resume,
+    SeedError => Seed,
+    PredictError => Predict,
+    AmplificationError => Amplification,
+    ParseError => Parse,
+    TransformError => Transform,
+    EncodeError => Encode,
+    ArtifactError => Artifact,
+    ModelError => Model,
+    ArgError => Arg,
+    CmdError => Cmd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mining() -> Result<()> {
+        Err(FlocError::EmptyMatrix)?
+    }
+
+    fn predicting() -> Result<f64> {
+        Err(PredictError::NotCovered)?
+    }
+
+    #[test]
+    fn question_mark_converts_domain_errors() {
+        assert!(matches!(mining(), Err(Error::Floc(_))));
+        assert!(matches!(predicting(), Err(Error::Predict(_))));
+    }
+
+    #[test]
+    fn every_variant_displays_and_exposes_its_source() {
+        use std::error::Error as _;
+        let errors: Vec<Error> = vec![
+            FlocError::EmptyMatrix.into(),
+            ResumeError::BadRngState.into(),
+            SeedError::BadProbability("p = 0".into()).into(),
+            PredictError::NotCovered.into(),
+            AmplificationError::Floc(FlocError::EmptyMatrix).into(),
+            ParseError::RaggedRow {
+                line: 2,
+                expected: 4,
+                found: 3,
+            }
+            .into(),
+            TransformError::NonPositiveEntry {
+                row: 0,
+                col: 0,
+                value: -1.0,
+            }
+            .into(),
+            EncodeError::LengthMismatch {
+                expected: 2,
+                found: 1,
+            }
+            .into(),
+            ArtifactError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            }
+            .into(),
+            ModelError::LengthMismatch {
+                clusters: 1,
+                residues: 2,
+            }
+            .into(),
+            ArgError::Missing("k".into()).into(),
+            CmdError::Usage("bad".into()).into(),
+        ];
+        assert_eq!(errors.len(), 12, "one facade variant per domain enum");
+        for e in &errors {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some(), "{e} must expose its source");
+        }
+    }
+
+    #[test]
+    fn result_alias_default_parameter_is_overridable() {
+        // Compiles: the alias still accepts an explicit error type.
+        fn custom() -> Result<(), String> {
+            Err("plain".into())
+        }
+        assert!(custom().is_err());
+    }
+}

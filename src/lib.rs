@@ -47,24 +47,34 @@
 //! harness.
 
 pub use dc_bicluster as bicluster;
+pub use dc_cli as cli;
 pub use dc_datagen as datagen;
 pub use dc_eval as eval;
 pub use dc_floc as floc;
 pub use dc_matrix as matrix;
+pub use dc_obs as obs;
 pub use dc_serve as serve;
 pub use dc_subspace as subspace;
 
+pub mod error;
+
+pub use error::{Error, Result};
+
 /// The names most programs need, importable with one `use`.
 pub mod prelude {
+    pub use crate::error::{Error, Result};
     pub use dc_bicluster::{cheng_church, Bicluster, ChengChurchConfig};
     pub use dc_datagen::{EmbedConfig, MicroarrayConfig, MovieLensConfig};
     pub use dc_eval::{diameter, match_clusters, quality};
+    #[allow(deprecated)]
+    pub use dc_floc::floc_restarts;
     pub use dc_floc::{
-        cluster_residue, floc, floc_observed, floc_restarts, floc_resume, Constraint, DeltaCluster,
-        FlocCheckpoint, FlocConfig, FlocResult, InterruptFlag, Ordering, ResidueMean, Seeding,
-        StopReason,
+        cluster_residue, floc, floc_observed, floc_parallel, floc_resume, floc_resume_with,
+        floc_with, Constraint, DeltaCluster, FlocCheckpoint, FlocConfig, FlocResult, InterruptFlag,
+        Ordering, Parallelism, ResidueMean, Seeding, StopReason,
     };
     pub use dc_matrix::{validate, BitSet, DataMatrix, ValidationReport};
+    pub use dc_obs::{JsonSink, MemorySink, MetricsSink, NullSink, Obs, Sink, TextSink};
     pub use dc_serve::{load_checkpoint, save_checkpoint, PredictError, QueryEngine, ServeModel};
     pub use dc_subspace::{alternative, clique, AlternativeConfig, CliqueConfig};
 }

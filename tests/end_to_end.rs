@@ -31,14 +31,14 @@ fn floc_pipeline_recovers_planted_structure() {
         .constraint(Constraint::MinVolume { cells: 80 })
         .constraint(Constraint::MaxVolume { cells: 400 })
         .seed(5)
-        .threads(2)
+        .parallelism(Parallelism::new(4, 8))
         .build();
     // A randomized local search: take the best of a few restarts. With
     // k = 3 independent clusters not every block is found every time (the
     // quality benchmarks are Tables 4/5 in dc-bench); the pipeline promise
     // asserted here is that at least one planted block is solidly
     // recovered and the clustering is clearly better than noise.
-    let (result, _) = floc_restarts(&data.matrix, &fc, 8, 4).expect("floc");
+    let (result, _) = floc_parallel(&data.matrix, &fc, &Obs::null()).expect("floc");
     let q = quality(&data.matrix, &data.truth, &result.clusters);
     assert!(q.recall > 0.15, "recall {:.2} too low", q.recall);
     assert!(q.precision > 0.3, "precision {:.2} too low", q.precision);
@@ -100,8 +100,9 @@ fn cheng_church_and_floc_agree_on_an_obvious_block() {
         .seeding(Seeding::TargetSize { rows: 25, cols: 8 })
         .constraint(Constraint::MinVolume { cells: 150 })
         .seed(2)
+        .parallelism(Parallelism::new(3, 12))
         .build();
-    let (floc_result, _) = floc_restarts(&data.matrix, &fc, 12, 3).expect("floc");
+    let (floc_result, _) = floc_parallel(&data.matrix, &fc, &Obs::null()).expect("floc");
     let cc = cheng_church(&data.matrix, &ChengChurchConfig::new(1, 100.0));
 
     let truth = &data.truth;
