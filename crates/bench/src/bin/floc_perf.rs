@@ -1,6 +1,11 @@
 //! Gain-engine throughput comparison (exact vs incremental); writes
-//! BENCH_floc.json. Pass --full for the complete N×M grid.
+//! BENCH_floc.json (also published to the repo root). Pass --full for the
+//! complete N×M grid.
 fn main() {
     let opts = dc_bench::Opts::from_args();
     println!("{}", dc_bench::experiments::floc_perf::run(&opts));
+    match dc_bench::publish::publish_to_repo_root(&opts.out_dir.join("BENCH_floc.json")) {
+        Ok(dest) => eprintln!("published {}", dest.display()),
+        Err(e) => eprintln!("warning: could not publish BENCH_floc.json: {e}"),
+    }
 }

@@ -7,6 +7,7 @@ pub mod fig10;
 pub mod fig8;
 pub mod fig9;
 pub mod floc_perf;
+pub mod http_bench;
 pub mod table1;
 pub mod table2_3;
 pub mod table4;

@@ -19,5 +19,6 @@
 
 pub mod experiments;
 pub mod opts;
+pub mod publish;
 
 pub use opts::Opts;

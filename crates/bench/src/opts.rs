@@ -11,6 +11,14 @@ pub struct Opts {
     pub out_dir: PathBuf,
     /// Number of gain-evaluation threads handed to FLOC.
     pub threads: usize,
+    /// `http_bench` only: concurrent client connections (default picked by
+    /// the experiment).
+    pub connections: Option<usize>,
+    /// `http_bench` only: requests in flight per connection (HTTP
+    /// pipelining depth).
+    pub pipeline: Option<usize>,
+    /// `http_bench` only: predict queries per request body.
+    pub batch: Option<usize>,
 }
 
 impl Default for Opts {
@@ -21,6 +29,9 @@ impl Default for Opts {
             threads: std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
                 .min(8),
+            connections: None,
+            pipeline: None,
+            batch: None,
         }
     }
 }
@@ -47,6 +58,15 @@ impl Opts {
                     if let Some(n) = args.next().and_then(|s| s.parse().ok()) {
                         opts.threads = n;
                     }
+                }
+                "--connections" => {
+                    opts.connections = args.next().and_then(|s| s.parse().ok());
+                }
+                "--pipeline" => {
+                    opts.pipeline = args.next().and_then(|s| s.parse().ok());
+                }
+                "--batch" => {
+                    opts.batch = args.next().and_then(|s| s.parse().ok());
                 }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
@@ -87,5 +107,14 @@ mod tests {
     fn unknown_args_ignored() {
         let o = parse(&["--bogus", "--full"]);
         assert!(o.full);
+    }
+
+    #[test]
+    fn http_bench_knobs() {
+        let o = parse(&["--connections", "8", "--pipeline", "4", "--batch", "128"]);
+        assert_eq!(o.connections, Some(8));
+        assert_eq!(o.pipeline, Some(4));
+        assert_eq!(o.batch, Some(128));
+        assert_eq!(parse(&[]).connections, None);
     }
 }

@@ -9,11 +9,14 @@
 //! * `compare` — run FLOC and Cheng & Church on the same matrix.
 //! * `predict` — answer point queries / top-N recommendations from a saved
 //!   model snapshot (see `mine --save-model`).
+//! * `serve` — put a saved model behind the dc-net HTTP server until
+//!   SIGINT (graceful drain, exit 0).
 //! * `serve-bench` — measure concurrent query throughput of a saved model.
 //!
 //! Every command takes `--seed` and is fully reproducible.
 
 use crate::args::{ArgError, Args};
+use crate::interrupt;
 use crate::obs::{CkptSink, ObsBuilder};
 use dc_floc::{
     floc, floc_parallel, floc_resume_with, floc_with, Constraint, DeltaCluster, FlocConfig,
@@ -25,6 +28,7 @@ use dc_obs::{EventKind, Field};
 use dc_serve::{atomic_write, PredictError, QueryEngine, ServeModel};
 use serde::Serialize;
 use std::path::Path;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Top-level command errors.
@@ -139,6 +143,8 @@ USAGE:
   delta-clusters evaluate <matrix-file> --found FOUND.json --truth TRUTH.json [--triples]
   delta-clusters compare <matrix-file> [--k N] [--delta D] [--triples] [--seed S]
   delta-clusters predict <model-file> <row> [<col>] [--top N]
+  delta-clusters serve <model-file> [--addr HOST:PORT] [--threads T]
+                  [--queue-depth N] [--log text|json] [--metrics OUT.json]
   delta-clusters serve-bench <model-file> [--queries N] [--threads T1,T2,...]
                   [--out DIR] [--json] [--log text|json] [--metrics OUT.json]
   delta-clusters help
@@ -154,6 +160,16 @@ ends in `.json`. `predict` answers point queries or, with --top, ranks a
 row's unrated columns. `serve-bench` replays a synthetic query stream at
 each thread count and writes BENCH_serve.json under --out
 (default target/experiments).
+
+Serving: `serve` puts the model behind a zero-dependency HTTP/1.1 server
+(default 127.0.0.1:7878): POST /v1/predict answers single or batch
+queries, GET /v1/model reports metadata + fingerprint, /healthz and
+/readyz are probes, and /metrics serves counters + latency quantiles as
+JSON or Prometheus text (?format=prometheus). --threads sizes the worker
+pool, --queue-depth bounds accepted-but-unserved connections (beyond it
+clients get 503 + Retry-After). SIGINT stops accepting, drains in-flight
+requests, and exits 0; a model whose every cluster is degenerate is
+refused at startup with exit 2.
 
 Gain engines: --gain-engine chooses how phase 2 scores candidate actions.
 `exact` rescans the cluster per candidate; `incremental` answers from
@@ -195,6 +211,7 @@ pub fn dispatch(args: &Args) -> Result<CmdOutput, CmdError> {
         Some("evaluate") => evaluate(args),
         Some("compare") => compare(args),
         Some("predict") => predict(args),
+        Some("serve") => serve(args),
         Some("serve-bench") => serve_bench(args),
         Some("help") | None => Ok(CmdOutput::ok(HELP)),
         Some(other) => Err(CmdError::Usage(format!(
@@ -480,6 +497,80 @@ fn predict(args: &Args) -> Result<CmdOutput, CmdError> {
         ))),
         Err(e @ PredictError::DegenerateCluster) => Err(CmdError::Algo(e.to_string())),
     }
+}
+
+/// `serve`: put a saved model behind the dc-net HTTP server until SIGINT.
+fn serve(args: &Args) -> Result<CmdOutput, CmdError> {
+    let model_path = input_path(args, "model file")?;
+    let model = load_model(model_path)?;
+    // A model in which every cluster is degenerate (zero specified cells)
+    // can only ever answer DegenerateCluster; refuse it up front with the
+    // same exit code a degenerate `predict` reports.
+    if model.k() > 0 && model.bases().iter().all(|b| b.volume == 0) {
+        return Err(CmdError::Algo(format!(
+            "{}: every cluster in the model is degenerate; nothing can be served",
+            PredictError::DegenerateCluster
+        )));
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let threads: usize = args.get_or("threads", 4)?;
+    if threads == 0 {
+        return Err(CmdError::Usage("--threads must be positive".into()));
+    }
+    let queue_depth: usize = args.get_or("queue-depth", 128)?;
+    if queue_depth == 0 {
+        return Err(CmdError::Usage("--queue-depth must be positive".into()));
+    }
+
+    let (obs, metrics) = ObsBuilder::from_args(args)
+        .map_err(CmdError::Usage)?
+        .build();
+    let state = Arc::new(dc_net::AppState::new(
+        model,
+        Some(model_path),
+        threads,
+        obs.clone(),
+    ));
+    let config = dc_net::ServerConfig {
+        addr: addr.clone(),
+        threads,
+        queue_depth,
+        ..dc_net::ServerConfig::default()
+    };
+    let handle = dc_net::serve(config, state.clone(), interrupt::flag())
+        .map_err(|e| CmdError::Io(format!("bind {addr}: {e}")))?;
+
+    // Readiness line goes to stderr immediately (stdout may carry the
+    // `--log json` event stream, and CmdOutput text only prints at exit).
+    eprintln!(
+        "serving {model_path} on http://{}  ({threads} worker(s), queue depth {queue_depth}); \
+         SIGINT to stop",
+        handle.addr()
+    );
+
+    // Parks until the interrupt flag rises, then drains under a deadline.
+    let drained = handle.wait();
+
+    let snap = state.metrics.snapshot();
+    let mut out = format!(
+        "served {} request(s) ({} prediction(s)), {} rejected by backpressure; {}\n",
+        snap.requests,
+        snap.predictions,
+        snap.rejected,
+        if drained {
+            "drained cleanly"
+        } else {
+            "drain deadline hit, stragglers detached"
+        }
+    );
+    obs.flush();
+    if let Some(export) = &metrics {
+        export.write().map_err(|e| CmdError::Io(e.to_string()))?;
+        out.push_str(&format!("event metrics written to {}\n", export.path()));
+    }
+    // A SIGINT-triggered stop is the *normal* way to end `serve`: exit 0,
+    // unlike `mine` where an interrupt truncates the computation (exit 3).
+    Ok(CmdOutput::ok(out))
 }
 
 /// One thread-count measurement in the serve-bench report.

@@ -1,0 +1,206 @@
+//! A minimal blocking HTTP/1.1 client: keep-alive, pipelining, nothing
+//! else. Exists so the integration tests, the `http_bench` load generator,
+//! and the serving example can talk to the server without external crates —
+//! it is *not* a general-purpose client.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// Header pairs in arrival order; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A persistent connection. Drop to close.
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response (pipelined tail).
+    buf: Vec<u8>,
+    host: String,
+}
+
+impl HttpClient {
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> io::Result<HttpClient> {
+        let host = addr.to_string();
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+            host,
+        })
+    }
+
+    /// Sends one request without waiting for the response — the pipelining
+    /// primitive. Follow with one [`read_response`](Self::read_response)
+    /// per queued request, in order.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        let body = body.unwrap_or(&[]);
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+            self.host,
+            body.len()
+        );
+        let mut frame = head.into_bytes();
+        frame.extend_from_slice(body);
+        self.stream.write_all(&frame)?;
+        self.stream.flush()
+    }
+
+    pub fn read_response(&mut self) -> io::Result<ClientResponse> {
+        read_response_from(&mut self.stream, &mut self.buf)
+    }
+
+    /// Request + response in one call.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<ClientResponse> {
+        self.send(method, path, body)?;
+        self.read_response()
+    }
+
+    pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    pub fn post_json(&mut self, path: &str, json: &str) -> io::Result<ClientResponse> {
+        self.request("POST", path, Some(json.as_bytes()))
+    }
+
+    /// Writes raw bytes straight to the socket — the chaos tests use this
+    /// to deliver malformed or truncated requests.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Half-closes the write side, signalling EOF to the server while the
+    /// response (if any) can still be read.
+    pub fn shutdown_write(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Write)
+    }
+
+    /// Hands over the raw stream (tests that want to read to EOF).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads one response from `r`, honoring bytes left over in `buf` from a
+/// previous read and stashing any pipelined tail back into it.
+pub fn read_response_from<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<ClientResponse> {
+    let head_end = loop {
+        if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break end;
+        }
+        let mut chunk = [0u8; 4096];
+        match r.read(&mut chunk)? {
+            0 => return Err(bad("connection closed before response head".into())),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| bad("response head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.splitn(3, ' ');
+    let (proto, code) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !proto.starts_with("HTTP/1.") {
+        return Err(bad(format!("bad status line {status_line:?}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| bad(format!("bad status code {code:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let body_len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+
+    let body_start = head_end + 4;
+    while buf.len() < body_start + body_len {
+        let mut chunk = [0u8; 4096];
+        match r.read(&mut chunk)? {
+            0 => return Err(bad("connection closed mid-body".into())),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    }
+    let body = buf[body_start..body_start + body_len].to_vec();
+    buf.drain(..body_start + body_len);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response_with_body() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\n\
+                    content-length: 11\r\n\r\n{\"ok\":true}";
+        let mut buf = Vec::new();
+        let resp = read_response_from(&mut &raw[..], &mut buf).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body_str(), "{\"ok\":true}");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn pipelined_responses_come_out_in_order() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 1\r\n\r\nA\
+                    HTTP/1.1 404 Not Found\r\ncontent-length: 1\r\n\r\nB";
+        let mut cursor = &raw[..];
+        let mut buf = Vec::new();
+        let first = read_response_from(&mut cursor, &mut buf).unwrap();
+        let second = read_response_from(&mut cursor, &mut buf).unwrap();
+        assert_eq!((first.status, first.body_str().as_str()), (200, "A"));
+        assert_eq!((second.status, second.body_str().as_str()), (404, "B"));
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_hang() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 50\r\n\r\nshort";
+        let mut buf = Vec::new();
+        let err = read_response_from(&mut &raw[..], &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,264 @@
+//! Bounded work queue + fixed worker pool.
+//!
+//! The accept loop pushes accepted connections through [`BoundedQueue::try_push`];
+//! when the queue is full the push fails *immediately* and the caller answers
+//! `503 Service Unavailable` with `Retry-After` instead of buffering without
+//! bound. Workers block on [`BoundedQueue::pop`] and drain whatever is queued
+//! even after [`BoundedQueue::close`] — closing stops *admission*, not
+//! *completion*, which is the drain half of graceful shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Why a push was refused; the item comes back so it can be answered.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// Queue at capacity — the backpressure signal (503 + Retry-After).
+    Full(T),
+    /// Queue closed for admission — the server is shutting down.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity MPMC queue. Pops block; pushes never do.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    capacity: usize,
+    available: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Arc<BoundedQueue<T>> {
+        Arc::new(BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            capacity: capacity.max(1),
+            available: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admits `item` unless the queue is full or closed. Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available. Returns `None` once the queue is
+    /// closed *and* drained — the worker-exit signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.available.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Stops admission and wakes every blocked popper. Queued items are
+    /// still handed out; only new pushes fail.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+
+    /// Items currently waiting (racy; for metrics/tests only).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fixed set of worker threads draining one [`BoundedQueue`].
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers that run `work` on each popped item and
+    /// exit when the queue closes and drains.
+    pub fn spawn<T, F>(
+        queue: Arc<BoundedQueue<T>>,
+        threads: usize,
+        name: &str,
+        work: F,
+    ) -> WorkerPool
+    where
+        T: Send + 'static,
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        let work = Arc::new(work);
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let queue = queue.clone();
+                let work = work.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || {
+                        while let Some(item) = queue.pop() {
+                            work(item);
+                        }
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Waits for every worker to finish, up to `deadline`. Returns `true`
+    /// if all exited in time; stragglers are detached, not killed, so a
+    /// wedged connection can't hold up process exit.
+    pub fn join_with_deadline(self, deadline: Duration) -> bool {
+        let end = Instant::now() + deadline;
+        let mut all_done = true;
+        for handle in self.handles {
+            // JoinHandle has no timed join; poll is_finished in short
+            // sleeps so the total wait respects the shared deadline.
+            while !handle.is_finished() && Instant::now() < end {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                all_done = false; // detach: dropping the handle
+            }
+        }
+        all_done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn push_pop_is_fifo() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        assert_eq!(q.len(), 5);
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_without_blocking() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(3)) => {}
+            other => panic!("expected Full(3), got {other:?}"),
+        }
+        // Popping one frees a slot.
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(3).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        match q.try_push(3) {
+            Err(PushError::Closed(3)) => {}
+            other => panic!("expected Closed(3), got {other:?}"),
+        }
+        // Items queued before close still come out.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q: Arc<BoundedQueue<u32>> = BoundedQueue::new(1);
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pool_processes_everything_then_exits() {
+        let q = BoundedQueue::new(64);
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = done.clone();
+            WorkerPool::spawn(q.clone(), 4, "test-worker", move |n: usize| {
+                done.fetch_add(n, Ordering::Relaxed);
+            })
+        };
+        for _ in 0..50 {
+            // Workers drain concurrently, so pushes may briefly race a full
+            // queue; retry like the accept loop would.
+            let mut item = 1usize;
+            loop {
+                match q.try_push(item) {
+                    Ok(()) => break,
+                    Err(PushError::Full(back)) => {
+                        item = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(PushError::Closed(_)) => panic!("queue closed early"),
+                }
+            }
+        }
+        q.close();
+        assert!(pool.join_with_deadline(Duration::from_secs(5)));
+        assert_eq!(done.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn deadline_join_detaches_stragglers() {
+        let q = BoundedQueue::new(1);
+        let release = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let release = release.clone();
+            WorkerPool::spawn(q.clone(), 1, "slow-worker", move |_: u8| {
+                while release.load(Ordering::Relaxed) == 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        q.try_push(0).unwrap();
+        q.close();
+        // Worker is wedged: the deadline join gives up quickly.
+        assert!(!pool.join_with_deadline(Duration::from_millis(50)));
+        release.store(1, Ordering::Relaxed); // let the detached thread finish
+    }
+}

@@ -1,0 +1,167 @@
+//! Shared per-server state: the engine slot, readiness, and model metadata.
+//!
+//! The engine sits behind an `RwLock<Arc<QueryEngine>>` so request workers
+//! take a cheap read lock, clone the `Arc`, and answer from an immutable
+//! snapshot — a concurrent [`swap_model`](AppState::swap_model) never
+//! blocks in-flight queries, it only redirects *future* ones. Readiness is
+//! a separate atomic that flips `false` for the duration of a swap, which
+//! is exactly what `GET /readyz` (and a load balancer probing it) wants to
+//! observe.
+
+use crate::metrics::ServerMetrics;
+use dc_obs::Obs;
+use dc_serve::{QueryEngine, ServeModel};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Identity of the model currently being served; the `GET /v1/model` body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelMeta {
+    /// Where the artifact was loaded from, when it came from a file.
+    pub path: Option<String>,
+    pub rows: usize,
+    pub cols: usize,
+    pub clusters: usize,
+    pub specified_cells: usize,
+    pub avg_residue: f64,
+    /// FNV-1a content fingerprint of the served matrix, as fixed-width hex
+    /// (the same fingerprint checkpoint resume validates against).
+    pub fingerprint: String,
+}
+
+impl ModelMeta {
+    pub fn of(model: &ServeModel, path: Option<&str>) -> ModelMeta {
+        ModelMeta {
+            path: path.map(str::to_string),
+            rows: model.matrix().rows(),
+            cols: model.matrix().cols(),
+            clusters: model.k(),
+            specified_cells: model.matrix().specified_count(),
+            avg_residue: model.avg_residue(),
+            fingerprint: format!("{:016x}", model.matrix().fingerprint()),
+        }
+    }
+}
+
+fn read_poisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Everything request handlers share. One per server, behind an `Arc`.
+pub struct AppState {
+    engine: RwLock<Arc<QueryEngine>>,
+    meta: RwLock<ModelMeta>,
+    ready: AtomicBool,
+    started: Instant,
+    /// How many worker threads a batch predict may fan out over.
+    pub batch_threads: usize,
+    pub metrics: ServerMetrics,
+    pub obs: Obs,
+}
+
+impl AppState {
+    pub fn new(model: ServeModel, path: Option<&str>, batch_threads: usize, obs: Obs) -> AppState {
+        let meta = ModelMeta::of(&model, path);
+        AppState {
+            engine: RwLock::new(Arc::new(QueryEngine::new(model))),
+            meta: RwLock::new(meta),
+            ready: AtomicBool::new(true),
+            started: Instant::now(),
+            batch_threads: batch_threads.max(1),
+            metrics: ServerMetrics::new(),
+            obs,
+        }
+    }
+
+    /// The engine snapshot a request should answer from.
+    pub fn engine(&self) -> Arc<QueryEngine> {
+        read_poisoned(&self.engine).clone()
+    }
+
+    /// Metadata for the model currently installed.
+    pub fn meta(&self) -> ModelMeta {
+        read_poisoned(&self.meta).clone()
+    }
+
+    /// Whether `/readyz` should answer 200. False during a model swap.
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire)
+    }
+
+    /// Manually flips readiness (e.g. pre-drain in an orchestrator).
+    pub fn set_ready(&self, ready: bool) {
+        self.ready.store(ready, Ordering::Release);
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Installs a new model. Readiness drops for the duration of the swap
+    /// and recovers afterwards; queries already holding the old engine
+    /// snapshot finish unaffected.
+    pub fn swap_model(&self, model: ServeModel, path: Option<&str>) {
+        self.set_ready(false);
+        let meta = ModelMeta::of(&model, path);
+        let engine = Arc::new(QueryEngine::new(model));
+        *self.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
+        *self.meta.write().unwrap_or_else(|e| e.into_inner()) = meta;
+        self.set_ready(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_floc::DeltaCluster;
+    use dc_matrix::DataMatrix;
+
+    pub(crate) fn tiny_model(fill: f64) -> ServeModel {
+        let mut m = DataMatrix::new(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.set(r, c, fill * (r + c) as f64);
+            }
+        }
+        let cluster = DeltaCluster::from_indices(4, 4, 0..4, 0..4);
+        ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+    }
+
+    #[test]
+    fn meta_reports_shape_and_fingerprint() {
+        let state = AppState::new(tiny_model(1.0), Some("m.dcm"), 2, Obs::null());
+        let meta = state.meta();
+        assert_eq!((meta.rows, meta.cols, meta.clusters), (4, 4, 1));
+        assert_eq!(meta.path.as_deref(), Some("m.dcm"));
+        assert_eq!(meta.fingerprint.len(), 16);
+        assert!(state.is_ready());
+        assert!(state.uptime_secs() >= 0.0);
+    }
+
+    #[test]
+    fn swap_replaces_engine_and_restores_readiness() {
+        let state = AppState::new(tiny_model(1.0), None, 1, Obs::null());
+        let before = state.engine().predict(1, 1).unwrap();
+        let old_fp = state.meta().fingerprint;
+        // A snapshot held across the swap still answers from the old model.
+        let held = state.engine();
+        state.swap_model(tiny_model(2.0), Some("new.dcm"));
+        assert!(state.is_ready());
+        assert_ne!(state.meta().fingerprint, old_fp);
+        let after = state.engine().predict(1, 1).unwrap();
+        assert!((after - 2.0 * before).abs() < 1e-9);
+        assert_eq!(held.predict(1, 1).unwrap(), before);
+    }
+
+    #[test]
+    fn readiness_is_togglable() {
+        let state = AppState::new(tiny_model(1.0), None, 1, Obs::null());
+        state.set_ready(false);
+        assert!(!state.is_ready());
+        state.set_ready(true);
+        assert!(state.is_ready());
+    }
+}

@@ -1,0 +1,231 @@
+//! Chaos suite: drives the HTTP parser and a live server through
+//! `dc-fault` wrappers and raw-socket abuse. The contract under test:
+//! hostile input produces typed 4xx/501 responses or clean closes —
+//! never a panic, never a hang, never a leaked connection.
+
+use dc_fault::FaultyReader;
+use dc_net::http::{HttpReader, Limits, RecvError};
+use dc_net::{serve, AppState, HttpClient, ServerConfig};
+use dc_obs::Obs;
+use dc_serve::ServeModel;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tiny_model() -> ServeModel {
+    let mut m = dc_matrix::DataMatrix::new(6, 6);
+    for r in 0..6 {
+        for c in 0..6 {
+            m.set(r, c, (r * 2 + c) as f64);
+        }
+    }
+    let cluster = dc_floc::DeltaCluster::from_indices(6, 6, 0..6, 0..6);
+    ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+}
+
+fn quick_limits() -> Limits {
+    Limits {
+        idle_timeout: Duration::from_millis(400),
+        read_timeout: Duration::from_millis(400),
+        ..Limits::default()
+    }
+}
+
+const VALID: &[u8] =
+    b"POST /v1/predict HTTP/1.1\r\ncontent-length: 17\r\n\r\n{\"row\":1,\"col\":2}";
+
+/// Truncating a valid request at every byte offset never panics and maps
+/// to exactly Closed (cut before byte 1) or Malformed (cut mid-request).
+#[test]
+fn truncation_at_every_offset_is_typed() {
+    for cut in 0..VALID.len() as u64 {
+        let faulty = FaultyReader::new(VALID).truncate_at(cut);
+        let mut reader = HttpReader::new(faulty, quick_limits());
+        match reader.next_request(None) {
+            Err(RecvError::Closed) => assert_eq!(cut, 0, "only cut=0 may look like a clean close"),
+            Err(RecvError::Malformed(_)) => {}
+            Ok(_) => panic!("truncated at {cut} but parsed a full request"),
+            Err(other) => panic!("truncated at {cut}: unexpected {other:?}"),
+        }
+    }
+    // The full request still parses through a fault wrapper with no fault.
+    let mut reader = HttpReader::new(FaultyReader::new(VALID), quick_limits());
+    assert_eq!(reader.next_request(None).unwrap().body.len(), 17);
+}
+
+/// One-byte-at-a-time delivery (pathological fragmentation) still parses.
+#[test]
+fn short_reads_reassemble_requests() {
+    let two = [VALID, b"GET /healthz HTTP/1.1\r\n\r\n"].concat();
+    let faulty = FaultyReader::new(&two[..]).short_reads(1);
+    let mut reader = HttpReader::new(faulty, quick_limits());
+    let first = reader.next_request(None).unwrap();
+    assert_eq!(first.body, b"{\"row\":1,\"col\":2}");
+    let second = reader.next_request(None).unwrap();
+    assert_eq!(second.path, "/healthz");
+}
+
+/// Transport errors mid-request surface as Io (silent close), not panics.
+#[test]
+fn injected_io_errors_are_typed() {
+    for at in [0u64, 5, 20, 40] {
+        let faulty = FaultyReader::new(VALID).error_at(at);
+        let mut reader = HttpReader::new(faulty, quick_limits());
+        match reader.next_request(None) {
+            Err(RecvError::Io(_)) => {}
+            other => panic!("error_at {at}: expected Io, got {other:?}"),
+        }
+    }
+}
+
+/// Bit flips anywhere in the head are at worst a 400/501 — never a panic.
+#[test]
+fn bit_flips_in_the_head_stay_typed() {
+    let head_len = VALID.len() - 17; // body bytes are opaque to the parser
+    for offset in 0..head_len as u64 {
+        for bit in [0u8, 3, 7] {
+            let faulty = FaultyReader::new(VALID).flip_bit(offset, bit);
+            let mut reader = HttpReader::new(faulty, quick_limits());
+            match reader.next_request(None) {
+                // Some flips leave a parseable request (e.g. inside the
+                // body-length digits still yielding digits, or a header
+                // value). Both outcomes are acceptable; panicking is not.
+                Ok(_) => {}
+                Err(e) => {
+                    // Every error must map to a response or a silent close.
+                    let _ = e.response();
+                }
+            }
+        }
+    }
+}
+
+fn start_server(limits: Limits) -> dc_net::ServerHandle {
+    let state = Arc::new(AppState::new(tiny_model(), None, 2, Obs::null()));
+    let stop = Arc::new(AtomicBool::new(false));
+    serve(
+        ServerConfig {
+            threads: 2,
+            queue_depth: 8,
+            limits,
+            shutdown_grace: Duration::from_secs(5),
+            ..ServerConfig::default()
+        },
+        state,
+        stop,
+    )
+    .expect("bind loopback")
+}
+
+/// Malformed probes against a live server get 400s and the server keeps
+/// answering well-formed requests afterwards.
+#[test]
+fn live_server_survives_malformed_probes() {
+    let handle = start_server(quick_limits());
+    let addr = handle.addr();
+
+    for garbage in [
+        &b"\x00\x01\x02\x03\r\n\r\n"[..],
+        b"GET\r\n\r\n",
+        b"FLARGLE / HTTP/9.9\r\n\r\n",
+        b"GET / HTTP/1.1\r\nbroken header\r\n\r\n",
+        b"POST /v1/predict HTTP/1.1\r\ncontent-length: oops\r\n\r\n",
+    ] {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.send_raw(garbage).unwrap();
+        let resp = client.read_response().unwrap();
+        assert!(
+            resp.status == 400 || resp.status == 501,
+            "{garbage:?} -> {}",
+            resp.status
+        );
+    }
+
+    // Truncated request (half a head, then FIN): server closes without a
+    // response — and without wedging a worker.
+    {
+        let mut client = HttpClient::connect(addr).unwrap();
+        client.send_raw(b"GET / HT").unwrap();
+        client.shutdown_write().unwrap();
+        // Either a 400 or a clean close is acceptable for a truncated head.
+        let _ = client.read_response();
+    }
+
+    // The server still works.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let resp = client.get("/healthz").unwrap();
+    assert_eq!(resp.status, 200);
+
+    let state = handle.state();
+    assert!(handle.shutdown(), "drain must finish in grace period");
+    // Every opened connection was closed: no leaks.
+    let snap = state.metrics.snapshot();
+    assert_eq!(snap.connections_opened, snap.connections_closed);
+    assert_eq!(snap.active_connections, 0);
+}
+
+/// A peer that stalls mid-request is cut off with 408, and an idle
+/// keep-alive peer is closed silently — both within their deadlines.
+#[test]
+fn stalled_and_idle_peers_are_reaped() {
+    let handle = start_server(Limits {
+        idle_timeout: Duration::from_millis(200),
+        read_timeout: Duration::from_millis(200),
+        ..Limits::default()
+    });
+    let addr = handle.addr();
+
+    // Stall mid-request: bytes sent, then nothing.
+    let mut staller = HttpClient::connect(addr).unwrap();
+    staller
+        .send_raw(b"POST /v1/predict HTTP/1.1\r\ncontent-length: 100\r\n\r\n{")
+        .unwrap();
+    let resp = staller
+        .read_response()
+        .expect("408 before the read timeout of the client");
+    assert_eq!(resp.status, 408);
+
+    // Idle: connect, send nothing. The server must close (EOF) rather
+    // than hold the worker forever.
+    let mut idler = HttpClient::connect(addr).unwrap();
+    let err = idler.read_response().unwrap_err();
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ),
+        "idle close should surface as EOF-ish, got {err:?}"
+    );
+
+    let state = handle.state();
+    assert!(handle.shutdown());
+    let snap = state.metrics.snapshot();
+    assert_eq!(snap.connections_opened, snap.connections_closed);
+}
+
+/// Oversized heads and bodies against the live server are 431/413.
+#[test]
+fn oversized_requests_are_rejected_politely() {
+    let handle = start_server(Limits {
+        max_head_bytes: 512,
+        max_body_bytes: 256,
+        ..quick_limits()
+    });
+    let addr = handle.addr();
+
+    let mut client = HttpClient::connect(addr).unwrap();
+    let mut big_head = b"GET / HTTP/1.1\r\n".to_vec();
+    for i in 0..64 {
+        big_head.extend_from_slice(format!("x-pad-{i}: {}\r\n", "y".repeat(32)).as_bytes());
+    }
+    big_head.extend_from_slice(b"\r\n");
+    client.send_raw(&big_head).unwrap();
+    assert_eq!(client.read_response().unwrap().status, 431);
+
+    let mut client = HttpClient::connect(addr).unwrap();
+    let body = "z".repeat(1024);
+    let resp = client.post_json("/v1/predict", &body).unwrap();
+    assert_eq!(resp.status, 413);
+
+    assert!(handle.shutdown());
+}

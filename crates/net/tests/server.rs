@@ -1,0 +1,321 @@
+//! End-to-end integration tests over real loopback sockets: the JSON API,
+//! keep-alive and pipelining, queue backpressure (503), graceful shutdown
+//! draining in-flight work, and the no-connection-leak invariant.
+
+use dc_net::{serve, AppState, HttpClient, Limits, ServerConfig, ServerHandle};
+use dc_obs::{MemorySink, Obs};
+use dc_serve::ServeModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model_8x8() -> ServeModel {
+    let mut m = dc_matrix::DataMatrix::new(8, 8);
+    for r in 0..6 {
+        for c in 0..6 {
+            m.set(r, c, (3 * r + c) as f64);
+        }
+    }
+    let cluster = dc_floc::DeltaCluster::from_indices(8, 8, 0..6, 0..6);
+    ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+}
+
+struct Fixture {
+    handle: Option<ServerHandle>,
+    state: Arc<AppState>,
+}
+
+impl Fixture {
+    fn start(config: ServerConfig, obs: Obs) -> Fixture {
+        let state = Arc::new(AppState::new(model_8x8(), Some("it.dcm"), 2, obs));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = serve(config, state.clone(), stop).expect("bind loopback");
+        Fixture {
+            handle: Some(handle),
+            state,
+        }
+    }
+
+    fn quick() -> Fixture {
+        Fixture::start(
+            ServerConfig {
+                limits: Limits {
+                    idle_timeout: Duration::from_millis(500),
+                    ..Limits::default()
+                },
+                ..ServerConfig::default()
+            },
+            Obs::null(),
+        )
+    }
+
+    fn addr(&self) -> std::net::SocketAddr {
+        self.handle.as_ref().unwrap().addr()
+    }
+
+    /// Shuts down and asserts the leak-freedom invariant.
+    fn finish(mut self) {
+        let handle = self.handle.take().unwrap();
+        assert!(handle.shutdown(), "drain must complete within grace");
+        let snap = self.state.metrics.snapshot();
+        assert_eq!(
+            snap.connections_opened, snap.connections_closed,
+            "connection leak: {snap:?}"
+        );
+        assert_eq!(snap.active_connections, 0);
+    }
+}
+
+#[test]
+fn end_to_end_api_surface() {
+    let fx = Fixture::quick();
+    let mut c = HttpClient::connect(fx.addr()).unwrap();
+
+    let health = c.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_str().contains("\"status\": \"ok\""));
+
+    let ready = c.get("/readyz").unwrap();
+    assert_eq!(ready.status, 200);
+
+    let meta = c.get("/v1/model").unwrap();
+    assert_eq!(meta.status, 200);
+    let parsed = serde_json::parse_value(&meta.body_str()).unwrap();
+    let fields = parsed.as_object().unwrap();
+    assert!(fields.iter().any(|(k, _)| k == "fingerprint"));
+
+    let hit = c
+        .post_json("/v1/predict", "{\"row\": 2, \"col\": 3}")
+        .unwrap();
+    assert_eq!(hit.status, 200);
+    assert!(hit.body_str().contains("\"outcome\": \"hit\""));
+
+    let miss = c
+        .post_json("/v1/predict", "{\"row\": 7, \"col\": 7}")
+        .unwrap();
+    assert!(miss.body_str().contains("\"outcome\": \"miss\""));
+
+    let batch = c
+        .post_json("/v1/predict", "{\"queries\": [[0,0],[7,7],[1,1]]}")
+        .unwrap();
+    assert_eq!(batch.status, 200);
+    assert_eq!(batch.body_str().matches("\"outcome\"").count(), 3);
+
+    let bad = c.post_json("/v1/predict", "this is not json").unwrap();
+    assert_eq!(bad.status, 400);
+
+    let missing = c.get("/no/such/route").unwrap();
+    assert_eq!(missing.status, 404);
+
+    // All of the above rode one keep-alive connection.
+    assert_eq!(fx.state.metrics.snapshot().connections_opened, 1);
+
+    let metrics = c.get("/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let parsed = serde_json::parse_value(&metrics.body_str()).unwrap();
+    assert!(parsed.as_object().is_some());
+
+    let prom = c.get("/metrics?format=prometheus").unwrap();
+    assert!(prom.body_str().contains("dc_net_requests_total"));
+
+    fx.finish();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let fx = Fixture::quick();
+    let mut c = HttpClient::connect(fx.addr()).unwrap();
+    c.send("GET", "/healthz", None).unwrap();
+    c.send("POST", "/v1/predict", Some(b"{\"row\":1,\"col\":1}"))
+        .unwrap();
+    c.send("GET", "/v1/model", None).unwrap();
+    let first = c.read_response().unwrap();
+    let second = c.read_response().unwrap();
+    let third = c.read_response().unwrap();
+    assert!(first.body_str().contains("uptime_secs"));
+    assert!(second.body_str().contains("outcome"));
+    assert!(third.body_str().contains("fingerprint"));
+    fx.finish();
+}
+
+#[test]
+fn head_requests_omit_the_body() {
+    let fx = Fixture::quick();
+    let mut c = HttpClient::connect(fx.addr()).unwrap();
+    c.send_raw(b"HEAD /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+        .unwrap();
+    // Read to EOF: the head must arrive, the body must not.
+    let mut raw = Vec::new();
+    let mut stream = c.into_stream();
+    std::io::Read::read_to_end(&mut stream, &mut raw).ok();
+    let text = String::from_utf8_lossy(&raw);
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    assert!(text.ends_with("\r\n\r\n"), "body must be omitted: {text:?}");
+    let len: usize = text
+        .lines()
+        .find_map(|l| l.strip_prefix("content-length: "))
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(len > 0, "content-length still reflects the would-be body");
+    fx.finish();
+}
+
+/// One worker, queue depth 1: a busy worker plus a queued connection makes
+/// the *third* connection bounce with 503 + Retry-After at accept time.
+#[test]
+fn queue_backpressure_answers_503() {
+    let fx = Fixture::start(
+        ServerConfig {
+            threads: 1,
+            queue_depth: 1,
+            limits: Limits {
+                read_timeout: Duration::from_secs(3),
+                idle_timeout: Duration::from_secs(3),
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+        Obs::null(),
+    );
+    let addr = fx.addr();
+
+    // c1 occupies the only worker: partial request, then stall.
+    let mut c1 = HttpClient::connect(addr).unwrap();
+    c1.send_raw(b"POST /v1/predict HTTP/1.1\r\ncontent-length: 17\r\n\r\n{\"row\"")
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // c2 fills the one queue slot.
+    let _c2 = HttpClient::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+
+    // c3 must be rejected with backpressure.
+    let mut c3 = HttpClient::connect(addr).unwrap();
+    let resp = c3
+        .read_response()
+        .expect("503 must be written before close");
+    assert_eq!(resp.status, 503);
+    assert_eq!(resp.header("retry-after"), Some("1"));
+    assert!(resp.body_str().contains("capacity"));
+
+    // Unblock c1: complete the request; it is answered normally.
+    c1.send_raw(b":1,\"col\":1}").unwrap();
+    let resp = c1.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    drop(c1); // frees the worker for c2's (empty) connection
+
+    assert!(fx.state.metrics.snapshot().rejected >= 1);
+    fx.finish();
+}
+
+/// Raising the stop flag drains in-flight requests: everything already
+/// sent gets a response, idle keep-alives close, and shutdown() reports a
+/// clean drain.
+#[test]
+fn graceful_shutdown_drains_in_flight() {
+    let sink = MemorySink::new();
+    let fx = Fixture::start(
+        ServerConfig {
+            threads: 2,
+            limits: Limits {
+                idle_timeout: Duration::from_secs(5),
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+        Obs::new(sink.clone()),
+    );
+    let addr = fx.addr();
+
+    // An idle keep-alive connection that would otherwise pin a worker for
+    // the full idle timeout.
+    let mut idle = HttpClient::connect(addr).unwrap();
+    assert_eq!(idle.get("/healthz").unwrap().status, 200);
+
+    // A request sent right as shutdown begins.
+    let mut inflight = HttpClient::connect(addr).unwrap();
+    inflight
+        .send("POST", "/v1/predict", Some(b"{\"row\":1,\"col\":1}"))
+        .unwrap();
+    // Let the request bytes reach the worker so it is genuinely in flight
+    // (a request that hasn't started arriving may be dropped by design).
+    std::thread::sleep(Duration::from_millis(200));
+
+    let handle = fx.handle.as_ref().unwrap();
+    handle.stop_flag().store(true, Ordering::Release);
+
+    // The in-flight request is still answered (connection: close).
+    let resp = inflight.read_response().unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_str().contains("outcome"));
+
+    // The idle connection is closed without waiting out the 5s idle
+    // timeout; the next read sees EOF quickly.
+    let start = std::time::Instant::now();
+    let err = idle.read_response().unwrap_err();
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "idle close was slow"
+    );
+    assert!(
+        matches!(
+            err.kind(),
+            std::io::ErrorKind::InvalidData | std::io::ErrorKind::UnexpectedEof
+        ),
+        "{err:?}"
+    );
+
+    fx.finish();
+    let shutdown_events = sink.named("net.shutdown");
+    assert_eq!(shutdown_events.len(), 1);
+    assert_eq!(
+        shutdown_events[0].field("drained"),
+        Some(&dc_obs::OwnedValue::Bool(true))
+    );
+}
+
+/// Model hot-swap under live traffic: /readyz flips, old snapshots finish,
+/// new queries see the new model.
+#[test]
+fn model_swap_is_visible_over_http() {
+    let fx = Fixture::quick();
+    let mut c = HttpClient::connect(fx.addr()).unwrap();
+    let before = c.get("/v1/model").unwrap().body_str();
+
+    fx.state.set_ready(false);
+    assert_eq!(c.get("/readyz").unwrap().status, 503);
+    let denied = c.post_json("/v1/predict", "{\"row\":0,\"col\":0}").unwrap();
+    assert_eq!(denied.status, 503);
+    fx.state.set_ready(true);
+
+    fx.state.swap_model(model_8x8(), Some("swapped.dcm"));
+    let after = c.get("/v1/model").unwrap().body_str();
+    assert_ne!(before, after, "path should have changed");
+    assert!(after.contains("swapped.dcm"));
+    assert_eq!(c.get("/readyz").unwrap().status, 200);
+    fx.finish();
+}
+
+/// net.request events flow for every answered request.
+#[test]
+fn requests_emit_structured_events() {
+    let sink = MemorySink::new();
+    let fx = Fixture::start(ServerConfig::default(), Obs::new(sink.clone()));
+    let mut c = HttpClient::connect(fx.addr()).unwrap();
+    c.get("/healthz").unwrap();
+    c.post_json("/v1/predict", "{\"row\":1,\"col\":1}").unwrap();
+    c.get("/nope").unwrap();
+    fx.finish();
+
+    let events = sink.named("net.request");
+    assert_eq!(events.len(), 3);
+    assert_eq!(events[0].str_field("path"), Some("/healthz"));
+    assert_eq!(events[1].u64_field("status"), Some(200));
+    assert_eq!(events[2].u64_field("status"), Some(404));
+    assert!(events
+        .iter()
+        .all(|e| e.u64_field("latency_bucket").is_some()));
+    assert_eq!(sink.named("net.listen").len(), 1);
+}

@@ -339,6 +339,80 @@ mod tests {
     }
 
     #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // Bucket i (i ≥ 1) holds [2^(i-1), 2^i): each power of two starts
+        // a new bucket, and the value just below it closes the previous.
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_of(lo), i, "2^{} should open bucket {i}", i - 1);
+            assert_eq!(bucket_of(hi), i, "2^{i}-1 should still be in bucket {i}");
+        }
+        // Everything at or past 2^(BUCKETS-2) clamps into the last bucket.
+        let last = HISTOGRAM_BUCKETS - 1;
+        assert_eq!(bucket_of(1u64 << (HISTOGRAM_BUCKETS - 2)), last);
+        assert_eq!(bucket_of(u64::MAX / 2), last);
+        assert_eq!(bucket_of(u64::MAX), last);
+    }
+
+    #[test]
+    fn extreme_samples_round_trip_through_the_histogram() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[HISTOGRAM_BUCKETS - 1], 1);
+        // total saturates instead of wrapping.
+        assert_eq!(h.total(), u64::MAX);
+        // The top quantile reports the last bucket's upper bound, never 0.
+        assert_eq!(h.quantile(1.0), 1u64 << (HISTOGRAM_BUCKETS - 1));
+        assert_eq!(h.quantile(0.0), 1); // rank clamps to the 1st sample
+    }
+
+    #[test]
+    fn merge_preserves_counts_totals_and_quantiles() {
+        // Build one histogram two ways: all samples into `whole`, the same
+        // samples split across `a` and `b` then merged. The results must be
+        // identical — this is the invariant QueryStats::snapshot() relies
+        // on when folding per-thread histograms.
+        let samples = [0u64, 1, 2, 3, 500, 1024, 65_536, u64::MAX];
+        let mut whole = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &s) in samples.iter().enumerate() {
+            whole.record(s);
+            if i % 2 == 0 {
+                a.record(s);
+            } else {
+                b.record(s);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        // Merging an empty histogram is the identity.
+        a.merge(&Histogram::new());
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_saturates_total_rather_than_wrapping() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(u64::MAX);
+        b.record(u64::MAX);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total(), u64::MAX);
+        assert_eq!(a.mean(), u64::MAX / 2);
+    }
+
+    #[test]
     fn histogram_merge_and_round_trip_through_parts() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

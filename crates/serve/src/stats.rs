@@ -211,6 +211,36 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_of_merged_threads_matches_single_threaded_recording() {
+        // The per-thread pattern: workers record into local QueryStats and
+        // the engine folds them. The folded snapshot (histogram quantiles
+        // included) must be indistinguishable from recording every query
+        // into one stats block — merge loses nothing.
+        let latencies = [0u64, 1, 90, 128, 5_000, 70_000, 2_000_000, u64::MAX];
+        let mut whole = QueryStats::new();
+        let mut threads = [QueryStats::new(), QueryStats::new(), QueryStats::new()];
+        for (i, &nanos) in latencies.iter().enumerate() {
+            let outcome = match i % 3 {
+                0 => QueryOutcome::Hit,
+                1 => QueryOutcome::Miss,
+                _ => QueryOutcome::Degenerate,
+            };
+            let d = Duration::from_nanos(nanos);
+            whole.record(outcome, d);
+            threads[i % 3].record(outcome, d);
+        }
+        let mut merged = QueryStats::new();
+        for t in &threads {
+            merged.merge(t);
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.snapshot(), whole.snapshot());
+        // total saturated at u64::MAX (one sample was u64::MAX) and the
+        // snapshot carried that through rather than wrapping.
+        assert_eq!(merged.snapshot().total_latency_nanos, u64::MAX);
+    }
+
+    #[test]
     fn stats_serialize_to_json() {
         let mut s = QueryStats::new();
         s.record(QueryOutcome::Hit, Duration::from_nanos(5));

@@ -1,0 +1,150 @@
+//! Serving δ-cluster predictions over HTTP: mine → snapshot → serve → curl.
+//!
+//! Mines a small embedded-cluster matrix with FLOC, saves the trained
+//! model to a `.dcm` artifact, starts the zero-dependency `dc-net` HTTP
+//! server on a loopback port, and exercises the whole JSON API in-process
+//! with the bundled [`HttpClient`]: health and readiness probes, model
+//! metadata, single and batched predictions, and the metrics endpoint in
+//! both JSON and Prometheus text form — then shuts down gracefully.
+//!
+//! Run with: `cargo run --release --example http_serving`
+
+use delta_clusters::net::{serve, AppState, HttpClient, ServerConfig};
+use delta_clusters::prelude::*;
+use delta_clusters::{datagen, serve as serve_crate};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Train: a 120x30 matrix with four embedded δ-clusters.
+    let config = EmbedConfig::new(120, 30, vec![(25, 8); 4]).with_seed(17);
+    let data = datagen::embed::generate(&config);
+    let fc = FlocConfig::builder(4)
+        .alpha(0.2)
+        .seeding(Seeding::TargetSize { rows: 25, cols: 8 })
+        .seed(5)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc run");
+    println!(
+        "mined {} clusters (avg residue {:.3}) from {}x{} matrix",
+        result.clusters.len(),
+        result.avg_residue,
+        data.matrix.rows(),
+        data.matrix.cols()
+    );
+
+    // 2. Snapshot: persist the model the way the CLI would.
+    let model = ServeModel::from_result(data.matrix, &result).expect("model");
+    let path = std::env::temp_dir().join("http_serving_example.dcm");
+    serve_crate::save(&model, &path).expect("save model");
+    let model = serve_crate::load(&path).expect("load model");
+    println!("saved model artifact: {}", path.display());
+
+    // 3. Serve: bind a loopback port (port 0 = pick a free one). The stop
+    //    flag plays the role the SIGINT handler plays in `delta-clusters
+    //    serve`.
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(AppState::new(
+        model,
+        Some(path.to_string_lossy().as_ref()),
+        2,
+        delta_clusters::obs::Obs::null(),
+    ));
+    let handle = serve(
+        ServerConfig {
+            threads: 2,
+            ..ServerConfig::default()
+        },
+        state,
+        stop.clone(),
+    )
+    .expect("bind loopback");
+    let addr = handle.addr();
+    println!("serving on http://{addr}\n");
+
+    // 4. Query: one keep-alive connection through the whole API surface.
+    let mut client = HttpClient::connect(addr).expect("connect");
+
+    let health = client.get("/healthz").expect("healthz");
+    println!(
+        "GET /healthz        -> {} {}",
+        health.status,
+        health.body_str()
+    );
+    let ready = client.get("/readyz").expect("readyz");
+    println!(
+        "GET /readyz         -> {} {}",
+        ready.status,
+        ready.body_str()
+    );
+
+    let meta = client.get("/v1/model").expect("model meta");
+    println!("GET /v1/model       -> {} {}", meta.status, meta.body_str());
+
+    // Pick cells the mined clusters cover so the responses show hits;
+    // (0, 0) stays in the batch as a likely miss for contrast.
+    let model = handle.state().engine();
+    let covered: Vec<(usize, usize)> = (0..120)
+        .flat_map(|r| (0..30).map(move |c| (r, c)))
+        .filter(|&(r, c)| model.predict(r, c).is_ok())
+        .take(4)
+        .collect();
+    let (r0, c0) = covered.first().copied().unwrap_or((0, 0));
+
+    let single = client
+        .post_json("/v1/predict", &format!("{{\"row\": {r0}, \"col\": {c0}}}"))
+        .expect("single predict");
+    println!(
+        "POST /v1/predict    -> {} {}",
+        single.status,
+        single.body_str()
+    );
+
+    let queries: Vec<String> = covered
+        .iter()
+        .chain(std::iter::once(&(0, 0)))
+        .map(|&(r, c)| format!("[{r},{c}]"))
+        .collect();
+    let batch = client
+        .post_json(
+            "/v1/predict",
+            &format!("{{\"queries\": [{}]}}", queries.join(",")),
+        )
+        .expect("batch predict");
+    println!(
+        "POST /v1/predict    -> {} {}",
+        batch.status,
+        batch.body_str()
+    );
+
+    // Malformed input comes back as a clean 400, never a dropped socket.
+    let bad = client
+        .post_json("/v1/predict", "{\"row\": \"not a number\"}")
+        .expect("bad predict");
+    println!("POST bad body       -> {} {}", bad.status, bad.body_str());
+
+    let metrics = client.get("/metrics").expect("metrics");
+    println!(
+        "GET /metrics        -> {} {}",
+        metrics.status,
+        metrics.body_str()
+    );
+    let prom = client
+        .get("/metrics?format=prometheus")
+        .expect("prometheus metrics");
+    let first = prom
+        .body_str()
+        .lines()
+        .take(3)
+        .collect::<Vec<_>>()
+        .join("\n");
+    println!("GET /metrics (prom) -> {}\n{first}\n  ...", prom.status);
+    drop(client);
+
+    // 5. Shut down: raise the flag, drain in-flight work, bounded by the
+    //    configured grace period.
+    stop.store(true, Ordering::Release);
+    let drained = handle.shutdown();
+    println!("\nshutdown drained cleanly: {drained}");
+    let _ = std::fs::remove_file(&path);
+}
