@@ -1,0 +1,392 @@
+//! Cluster serving throughput: real `delta-clusters serve` shard processes
+//! behind a real `delta-clusters router` process, load driven through the
+//! router over loopback. Writes `BENCH_cluster.json` with predict q/s and
+//! router-side request latency p50/p99 per topology (`RxS` = routers ×
+//! shards; one router is supported today).
+//!
+//! This is deliberately multi-process — the point is to measure the tier
+//! boundary (client pool, scatter-gather, merge), not an in-process
+//! shortcut. Shard and router children are found next to the running
+//! binary (`target/<profile>/delta-clusters`) or via the
+//! `DELTA_CLUSTERS_BIN` environment variable, announced on their stderr
+//! readiness line, and torn down with SIGINT at the end of each
+//! measurement so the graceful-drain path gets exercised every run.
+
+use crate::experiments::http_bench::{bench_model, drive, request_bodies};
+use crate::opts::Opts;
+use dc_eval::report::write_json;
+use dc_eval::Table;
+use dc_net::HttpClient;
+use serde::Serialize;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// One topology measurement in `BENCH_cluster.json`.
+#[derive(Debug, Serialize)]
+pub struct ClusterRun {
+    pub routers: usize,
+    pub shards: usize,
+    pub requests: u64,
+    pub predictions: u64,
+    pub elapsed_secs: f64,
+    /// Predict queries answered per second through the router.
+    pub predict_qps: f64,
+    pub requests_per_sec: f64,
+    /// Router-side request latency quantiles (log₂-bucket estimates).
+    pub p50_request_nanos: u64,
+    pub p99_request_nanos: u64,
+    /// Whether router + every shard exited 0 on SIGINT.
+    pub clean_drain: bool,
+}
+
+/// The `BENCH_cluster.json` payload.
+#[derive(Debug, Serialize)]
+pub struct ClusterReport {
+    pub rows: usize,
+    pub cols: usize,
+    pub clusters: usize,
+    pub connections: usize,
+    pub pipeline_depth: usize,
+    pub batch: usize,
+    pub requests_per_connection: usize,
+    pub shard_threads: usize,
+    pub available_parallelism: usize,
+    pub runs: Vec<ClusterRun>,
+}
+
+/// A spawned shard/router that is SIGKILLed on drop unless reaped first —
+/// a panicking bench must not leave orphan servers holding ports.
+struct Managed {
+    child: Option<std::process::Child>,
+    what: &'static str,
+}
+
+impl Managed {
+    /// Spawns the binary and blocks until its stderr readiness line
+    /// (containing `ready_word`) reveals the bound address.
+    fn spawn_ready(
+        bin: &PathBuf,
+        args: &[String],
+        what: &'static str,
+        ready_word: &str,
+    ) -> Result<(Managed, String), String> {
+        let mut child = Command::new(bin)
+            .args(args)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {what}: {e}"))?;
+        let mut stderr = std::io::BufReader::new(child.stderr.take().expect("piped"));
+        let mut line = String::new();
+        stderr
+            .read_line(&mut line)
+            .map_err(|e| format!("{what} readiness: {e}"))?;
+        if !line.contains(ready_word) {
+            let _ = child.kill();
+            return Err(format!("{what} not ready, first line: {line:?}"));
+        }
+        let addr = line
+            .split("http://")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .ok_or_else(|| format!("{what} readiness line has no address: {line:?}"))?
+            .to_string();
+        Ok((
+            Managed {
+                child: Some(child),
+                what,
+            },
+            addr,
+        ))
+    }
+
+    /// SIGINT, then wait up to 30 s. Returns whether the exit code was 0.
+    fn interrupt_and_reap(mut self) -> bool {
+        let Some(mut child) = self.child.take() else {
+            return false;
+        };
+        let ok = Command::new("kill")
+            .args(["-INT", &child.id().to_string()])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        if !ok {
+            let _ = child.kill();
+            return false;
+        }
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match child.try_wait() {
+                Ok(Some(status)) => return status.code() == Some(0),
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                _ => {
+                    let _ = child.kill();
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Managed {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.child {
+            eprintln!("warning: killing leftover {} process", self.what);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Where the `delta-clusters` binary lives: `DELTA_CLUSTERS_BIN`, or next
+/// to the currently running bench binary (both live in `target/<profile>`).
+fn cli_binary() -> Result<PathBuf, String> {
+    if let Ok(p) = std::env::var("DELTA_CLUSTERS_BIN") {
+        let p = PathBuf::from(p);
+        if p.exists() {
+            return Ok(p);
+        }
+        return Err(format!("DELTA_CLUSTERS_BIN={} does not exist", p.display()));
+    }
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    for dir in exe.ancestors().skip(1).take(3) {
+        let cand = dir.join("delta-clusters");
+        if cand.exists() {
+            return Ok(cand);
+        }
+    }
+    Err(format!(
+        "delta-clusters binary not found near {} (build it, or set DELTA_CLUSTERS_BIN)",
+        exe.display()
+    ))
+}
+
+/// Parses `--topology 1x1,1x2,1x4` into (routers, shards) pairs.
+fn parse_topology(spec: &str) -> Result<Vec<(usize, usize)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (r, s) = part
+            .split_once(['x', 'X', '×'])
+            .ok_or_else(|| format!("topology entry {part:?} is not RxS"))?;
+        let routers: usize = r
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad router count in {part:?}"))?;
+        let shards: usize = s
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad shard count in {part:?}"))?;
+        if routers != 1 {
+            return Err(format!("only one router is supported (got {part:?})"));
+        }
+        if shards == 0 {
+            return Err(format!("topology {part:?} has zero shards"));
+        }
+        out.push((routers, shards));
+    }
+    if out.is_empty() {
+        return Err("topology lists no entries".into());
+    }
+    Ok(out)
+}
+
+/// Scrapes `predictions`, `requests`, and latency p50/p99 off a router's
+/// `GET /metrics` JSON.
+fn scrape(addr: &str) -> Result<(u64, u64, u64, u64), String> {
+    let mut client = HttpClient::connect(addr).map_err(|e| format!("metrics connect: {e}"))?;
+    let resp = client
+        .get("/metrics")
+        .map_err(|e| format!("metrics: {e}"))?;
+    let value =
+        serde_json::parse_value(&resp.body_str()).map_err(|e| format!("metrics parse: {e}"))?;
+    let fields = value.as_object().ok_or("metrics not an object")?;
+    let top_u64 = |name: &str| {
+        fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or_else(|| format!("metrics missing {name}"))
+    };
+    let latency = fields
+        .iter()
+        .find(|(k, _)| k == "latency_nanos")
+        .and_then(|(_, v)| v.as_object())
+        .ok_or("metrics missing latency_nanos")?;
+    let lat_u64 = |name: &str| {
+        latency
+            .iter()
+            .find(|(k, _)| k == name)
+            .and_then(|(_, v)| v.as_u64())
+            .ok_or_else(|| format!("latency_nanos missing {name}"))
+    };
+    Ok((
+        top_u64("requests")?,
+        top_u64("predictions")?,
+        lat_u64("p50")?,
+        lat_u64("p99")?,
+    ))
+}
+
+pub fn run(opts: &Opts) -> String {
+    match try_run(opts) {
+        Ok(text) => text,
+        Err(e) => format!("cluster bench failed: {e}\n"),
+    }
+}
+
+fn try_run(opts: &Opts) -> Result<String, String> {
+    let bin = cli_binary()?;
+    let spec = opts.topology.as_deref().unwrap_or("1x1,1x2,1x4");
+    let topologies = parse_topology(spec)?;
+
+    let (rows, cols, k) = if opts.full {
+        (2000, 80, 8)
+    } else {
+        (400, 40, 4)
+    };
+    let connections = opts.connections.unwrap_or(4);
+    let pipeline = opts.pipeline.unwrap_or(4);
+    let batch = opts.batch.unwrap_or(64);
+    let requests_per_connection = if opts.full { 1000 } else { 200 };
+    // Each shard must run more workers than the router's per-host
+    // connection cap (3), or pooled connections starve in its accept
+    // queue — 4 matches the `serve` default.
+    let shard_threads = 4usize;
+
+    // One shared model artifact for every shard (identical data, so the
+    // router's ordered merge is checkable against any single shard).
+    std::fs::create_dir_all(&opts.out_dir).map_err(|e| e.to_string())?;
+    let model_path = opts.out_dir.join("BENCH_cluster_model.dcm");
+    let model = bench_model(rows, cols, k);
+    dc_serve::save(&model, &model_path).map_err(|e| format!("save model: {e}"))?;
+    let model_arg = model_path.display().to_string();
+
+    let bodies = std::sync::Arc::new(request_bodies(rows, cols, requests_per_connection, batch));
+
+    let mut t = Table::new(vec![
+        "topology",
+        "predict q/s",
+        "req/s",
+        "p50 (µs)",
+        "p99 (µs)",
+        "drain",
+    ]);
+    let mut runs = Vec::new();
+    for &(routers, shard_count) in &topologies {
+        // Spawn the shard fleet, then the router over it.
+        let mut shards = Vec::new();
+        let mut shard_addrs = Vec::new();
+        for _ in 0..shard_count {
+            let args = vec![
+                "serve".to_string(),
+                model_arg.clone(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--threads".to_string(),
+                shard_threads.to_string(),
+            ];
+            let (child, addr) = Managed::spawn_ready(&bin, &args, "shard", "serving")?;
+            shards.push(child);
+            shard_addrs.push(addr);
+        }
+        let router_args = vec![
+            "router".to_string(),
+            "--shards".to_string(),
+            shard_addrs.join(","),
+            "--addr".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--threads".to_string(),
+            "4".to_string(),
+        ];
+        let (router, router_addr) = Managed::spawn_ready(&bin, &router_args, "router", "routing")?;
+        let sock: std::net::SocketAddr = router_addr
+            .parse()
+            .map_err(|e| format!("router addr {router_addr}: {e}"))?;
+
+        // Warm-up: connection setup, registry of pooled conns, allocator.
+        let warm = std::sync::Arc::new(bodies[..bodies.len().min(20)].to_vec());
+        drive(sock, &warm, connections.min(2), pipeline);
+        let (req0, pred0, _, _) = scrape(&router_addr)?;
+
+        let start = Instant::now();
+        drive(sock, &bodies, connections, pipeline);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        let (req1, pred1, p50, p99) = scrape(&router_addr)?;
+
+        // Drain the whole fleet; a hung process fails the run visibly.
+        let mut clean = router.interrupt_and_reap();
+        for shard in shards {
+            clean &= shard.interrupt_and_reap();
+        }
+
+        let requests = req1 - req0;
+        let predictions = pred1 - pred0;
+        let run = ClusterRun {
+            routers,
+            shards: shard_count,
+            requests,
+            predictions,
+            elapsed_secs: elapsed,
+            predict_qps: predictions as f64 / elapsed,
+            requests_per_sec: requests as f64 / elapsed,
+            p50_request_nanos: p50,
+            p99_request_nanos: p99,
+            clean_drain: clean,
+        };
+        t.row(vec![
+            format!("{routers}x{shard_count}"),
+            format!("{:.0}", run.predict_qps),
+            format!("{:.0}", run.requests_per_sec),
+            format!("{:.1}", p50 as f64 / 1e3),
+            format!("{:.1}", p99 as f64 / 1e3),
+            if clean {
+                "clean".into()
+            } else {
+                "DIRTY".into()
+            },
+        ]);
+        runs.push(run);
+    }
+
+    let report = ClusterReport {
+        rows,
+        cols,
+        clusters: k,
+        connections,
+        pipeline_depth: pipeline,
+        batch,
+        requests_per_connection,
+        shard_threads,
+        available_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+    };
+    let _ = write_json(&opts.out_dir, "BENCH_cluster", &report);
+
+    Ok(format!(
+        "Cluster serving throughput — {connections} connection(s), pipeline {pipeline}, \
+         batch {batch} ({rows}x{cols}, {k} clusters; shards x {shard_threads} worker(s))\n{}",
+        t.render()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_spec_parses_and_validates() {
+        assert_eq!(
+            parse_topology("1x1,1x2, 1x4").unwrap(),
+            vec![(1, 1), (1, 2), (1, 4)]
+        );
+        assert_eq!(parse_topology("1X2").unwrap(), vec![(1, 2)]);
+        assert!(parse_topology("2x2").is_err(), "multi-router unsupported");
+        assert!(parse_topology("1x0").is_err());
+        assert!(parse_topology("nope").is_err());
+        assert!(parse_topology("").is_err());
+    }
+}

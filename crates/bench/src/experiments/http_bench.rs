@@ -50,7 +50,7 @@ pub struct HttpReport {
 
 /// A served model with planted clusters — no mining, so the bench starts
 /// instantly and the query mix (≈hit-heavy) is deterministic.
-fn bench_model(rows: usize, cols: usize, k: usize) -> ServeModel {
+pub(crate) fn bench_model(rows: usize, cols: usize, k: usize) -> ServeModel {
     let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![(rows / 4, cols / 4); k]).with_seed(11);
     let data = dc_datagen::embed::generate(&cfg);
     let residues = vec![0.0; data.truth.len()];
@@ -58,7 +58,12 @@ fn bench_model(rows: usize, cols: usize, k: usize) -> ServeModel {
 }
 
 /// The deterministic query stream, as JSON bodies of `batch` queries each.
-fn request_bodies(rows: usize, cols: usize, requests: usize, batch: usize) -> Vec<String> {
+pub(crate) fn request_bodies(
+    rows: usize,
+    cols: usize,
+    requests: usize,
+    batch: usize,
+) -> Vec<String> {
     let mut bodies = Vec::with_capacity(requests);
     let mut i = 0usize;
     for _ in 0..requests {
@@ -81,7 +86,7 @@ fn request_bodies(rows: usize, cols: usize, requests: usize, batch: usize) -> Ve
 
 /// Drives `connections` client threads against `addr`, each sending its
 /// bodies with `pipeline` requests in flight. Returns total requests sent.
-fn drive(
+pub(crate) fn drive(
     addr: std::net::SocketAddr,
     bodies: &Arc<Vec<String>>,
     connections: usize,

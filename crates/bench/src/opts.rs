@@ -19,6 +19,9 @@ pub struct Opts {
     pub pipeline: Option<usize>,
     /// `http_bench` only: predict queries per request body.
     pub batch: Option<usize>,
+    /// `http_bench` only: run the multi-process cluster bench instead,
+    /// e.g. `--topology 1x1,1x2,1x4` (routers × shards per measurement).
+    pub topology: Option<String>,
 }
 
 impl Default for Opts {
@@ -32,6 +35,7 @@ impl Default for Opts {
             connections: None,
             pipeline: None,
             batch: None,
+            topology: None,
         }
     }
 }
@@ -67,6 +71,9 @@ impl Opts {
                 }
                 "--batch" => {
                     opts.batch = args.next().and_then(|s| s.parse().ok());
+                }
+                "--topology" => {
+                    opts.topology = args.next();
                 }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
@@ -116,5 +123,12 @@ mod tests {
         assert_eq!(o.pipeline, Some(4));
         assert_eq!(o.batch, Some(128));
         assert_eq!(parse(&[]).connections, None);
+    }
+
+    #[test]
+    fn topology_flag() {
+        let o = parse(&["--topology", "1x1,1x2,1x4"]);
+        assert_eq!(o.topology.as_deref(), Some("1x1,1x2,1x4"));
+        assert_eq!(parse(&[]).topology, None);
     }
 }

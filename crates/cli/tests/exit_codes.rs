@@ -122,6 +122,38 @@ fn serve_usage_and_io_errors() {
     assert_eq!(code(&["serve", &model, "--queue-depth", "0"]), 1);
     // Binding a nonsense address is an IO error, not a crash.
     assert_eq!(code(&["serve", &model, "--addr", "999.999.999.999:1"]), 2);
+    // Registry problems are environment errors too.
+    assert_eq!(code(&["serve", "--models", "/no/such/dir"]), 2);
+    let empty = dir.join("empty-models");
+    std::fs::create_dir_all(&empty).unwrap();
+    assert_eq!(code(&["serve", "--models", empty.to_str().unwrap()]), 2);
+    assert_eq!(
+        code(&["serve", &model, "--models", ".", "--model-cap", "0"]),
+        1
+    );
+}
+
+/// The `router` subcommand's exit-code contract: 1 for command-line
+/// problems, 2 when no shard in the fleet is reachable.
+#[test]
+fn router_usage_and_io_errors() {
+    // 1: usage errors, checked before any network traffic.
+    assert_eq!(code(&["router"]), 1);
+    assert_eq!(code(&["router", "--shards", ","]), 1);
+    assert_eq!(code(&["router", "--shards", "a:1,a:1"]), 1);
+    assert_eq!(
+        code(&["router", "--shards", "127.0.0.1:2", "--threads", "0"]),
+        1
+    );
+    assert_eq!(
+        code(&["router", "--shards", "127.0.0.1:2", "--replicas", "0"]),
+        1
+    );
+    // 2: a fleet where nobody answers /healthz is refused at startup.
+    let out = run(&["router", "--shards", "127.0.0.1:1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("shard"), "{stderr}");
 }
 
 /// SIGINT is the normal way to stop `serve`: the server drains and the
@@ -163,4 +195,74 @@ fn serve_exits_0_on_sigint() {
     let mut stdout = String::new();
     std::io::Read::read_to_string(&mut child.stdout.take().unwrap(), &mut stdout).unwrap();
     assert!(stdout.contains("drained cleanly"), "{stdout}");
+}
+
+/// Spawns the binary, waits for its stderr readiness line (containing
+/// `ready_word`), and returns the child plus the `host:port` it bound.
+fn spawn_ready(args: &[&str], ready_word: &str) -> (std::process::Child, String) {
+    let mut child = Command::new(BIN)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn");
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    stderr.read_line(&mut line).unwrap();
+    assert!(line.contains(ready_word), "unexpected first line: {line:?}");
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in readiness line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+fn sigint_and_reap(mut child: std::process::Child, what: &str) -> (i32, String) {
+    let kill = Command::new("kill")
+        .args(["-INT", &child.id().to_string()])
+        .status()
+        .expect("failed to run kill");
+    assert!(kill.success());
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{what} did not exit after SIGINT"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let mut stdout = String::new();
+    std::io::Read::read_to_string(&mut child.stdout.take().unwrap(), &mut stdout).unwrap();
+    (status.code().expect("not killed"), stdout)
+}
+
+/// SIGINT drains a router (and its shard) cleanly: both exit 0. This is
+/// the CLI-level pin of the cluster tier's shutdown contract.
+#[test]
+fn router_exits_0_on_sigint() {
+    let dir = scratch_dir("dc-cli-exit-router-sigint");
+    let (_, model) = fixture(&dir);
+
+    let (shard, shard_addr) = spawn_ready(
+        &["serve", &model, "--addr", "127.0.0.1:0", "--threads", "2"],
+        "serving",
+    );
+    let (router, _) = spawn_ready(
+        &["router", "--shards", &shard_addr, "--addr", "127.0.0.1:0"],
+        "routing",
+    );
+
+    let (router_code, router_out) = sigint_and_reap(router, "router");
+    assert_eq!(router_code, 0, "router SIGINT must exit 0: {router_out}");
+    assert!(router_out.contains("drained cleanly"), "{router_out}");
+    assert!(router_out.contains("healthy at exit"), "{router_out}");
+
+    let (shard_code, shard_out) = sigint_and_reap(shard, "shard");
+    assert_eq!(shard_code, 0, "shard SIGINT must exit 0: {shard_out}");
+    assert!(shard_out.contains("drained cleanly"), "{shard_out}");
 }

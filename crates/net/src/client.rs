@@ -1,11 +1,128 @@
-//! A minimal blocking HTTP/1.1 client: keep-alive, pipelining, nothing
-//! else. Exists so the integration tests, the `http_bench` load generator,
-//! and the serving example can talk to the server without external crates —
-//! it is *not* a general-purpose client.
+//! Blocking HTTP/1.1 client machinery: a single persistent connection
+//! ([`HttpClient`]) and a production per-host connection pool
+//! ([`ClientPool`]).
+//!
+//! The single-connection client started life as test plumbing; the router
+//! tier promoted it: every socket now carries connect/read/write deadlines
+//! (an unresponsive peer surfaces as [`ClientError::Timeout`], never a
+//! hang), failures are typed, and [`ClientPool`] adds keep-alive reuse,
+//! pipelined batch sends over one connection, a hard per-host connection
+//! cap (so a many-threaded caller never opens more sockets than a
+//! thread-per-connection peer can serve), and `Retry-After`-aware
+//! handling of `503 Service Unavailable` — the backpressure signal the
+//! dc-net server emits when its queue is full.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Deadlines and pool sizing every client connection applies.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect deadline per resolved address.
+    pub connect_timeout: Duration,
+    /// Socket read deadline; a stalled response is an error, not a hang.
+    pub read_timeout: Duration,
+    /// Socket write deadline.
+    pub write_timeout: Duration,
+    /// Idle keep-alive connections [`ClientPool`] retains per host.
+    pub max_idle_per_host: usize,
+    /// Hard cap on *total* pool connections per host (in flight + idle).
+    /// The dc-net server parks one worker thread per keep-alive
+    /// connection, so a client that dials more connections than the peer
+    /// has workers starves itself: the excess sockets sit in the peer's
+    /// accept queue until a deadline fires. Bounding the pool below the
+    /// peer's worker count (`serve` defaults to 4) keeps every connection
+    /// servable.
+    pub max_conns_per_host: usize,
+    /// How long [`ClientPool`] waits for a pooled connection to free up
+    /// when the host is at [`max_conns_per_host`](Self::max_conns_per_host)
+    /// before giving up with [`ClientError::Timeout`].
+    pub checkout_timeout: Duration,
+    /// How many times [`ClientPool::request_retrying`] retries a 503.
+    pub retries_503: u32,
+    /// Cap on a server-suggested `Retry-After` pause (a hostile or confused
+    /// peer cannot park the client for minutes).
+    pub max_retry_pause: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_idle_per_host: 4,
+            max_conns_per_host: 3,
+            checkout_timeout: Duration::from_secs(10),
+            retries_503: 1,
+            max_retry_pause: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Why a client call failed. Transport problems keep their `io::Error`
+/// source; protocol problems say what byte-level contract broke.
+#[derive(Debug)]
+pub enum ClientError {
+    /// TCP connect failed or exceeded [`ClientConfig::connect_timeout`].
+    Connect(io::Error),
+    /// The read or write deadline passed mid-request.
+    Timeout,
+    /// The peer closed the connection before or during a response.
+    Closed,
+    /// The transport failed mid-request/response.
+    Io(io::Error),
+    /// The peer's bytes did not parse as an HTTP/1.1 response.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Timeout => write!(f, "request timed out"),
+            ClientError::Closed => write!(f, "connection closed by peer"),
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Malformed(m) => write!(f, "malformed response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Connect(e) | ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClientError> for io::Error {
+    fn from(e: ClientError) -> io::Error {
+        match e {
+            ClientError::Connect(e) | ClientError::Io(e) => e,
+            ClientError::Timeout => io::Error::new(io::ErrorKind::TimedOut, "request timed out"),
+            ClientError::Closed => {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "connection closed by peer")
+            }
+            ClientError::Malformed(m) => io::Error::new(io::ErrorKind::InvalidData, m),
+        }
+    }
+}
+
+/// Folds a transport error into the typed vocabulary: timeouts and EOFs
+/// get their own variants so callers can distinguish "peer slow" from
+/// "peer gone" from "wire garbage".
+fn classify_io(e: io::Error) -> ClientError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+        io::ErrorKind::UnexpectedEof => ClientError::Closed,
+        _ => ClientError::Io(e),
+    }
+}
 
 /// One parsed response.
 #[derive(Debug, Clone)]
@@ -27,9 +144,24 @@ impl ClientResponse {
     pub fn body_str(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// The `Retry-After` pause a 503 suggested, if present and parseable
+    /// (delay-seconds form only; HTTP-date is not worth implementing).
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.header("retry-after")
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .map(Duration::from_secs)
+    }
+
+    /// Whether the server asked for this connection to close.
+    fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|c| c.eq_ignore_ascii_case("close"))
+    }
 }
 
 /// A persistent connection. Drop to close.
+#[derive(Debug)]
 pub struct HttpClient {
     stream: TcpStream,
     /// Bytes read past the previous response (pipelined tail).
@@ -38,12 +170,52 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
+    /// Connects with the default deadlines. Kept `io::Result` for the
+    /// existing test/bench callers; [`HttpClient::connect_with`] is the
+    /// typed entry point.
     pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> io::Result<HttpClient> {
+        Self::connect_with(addr, &ClientConfig::default()).map_err(io::Error::from)
+    }
+
+    /// Connects with explicit deadlines. Every address the name resolves
+    /// to is tried under [`ClientConfig::connect_timeout`]; the socket
+    /// gets `TCP_NODELAY` plus the read/write deadlines, so no later call
+    /// can block forever on an unresponsive peer.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        config: &ClientConfig,
+    ) -> Result<HttpClient, ClientError> {
         let host = addr.to_string();
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(ClientError::Connect)?
+            .collect();
+        let mut last = None;
+        let mut stream = None;
+        for a in &addrs {
+            match TcpStream::connect_timeout(a, config.connect_timeout) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        let stream = stream.ok_or_else(|| {
+            ClientError::Connect(last.unwrap_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::AddrNotAvailable,
+                    format!("{host} resolves to nothing"),
+                )
+            }))
+        })?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream
+            .set_read_timeout(Some(config.read_timeout))
+            .map_err(ClientError::Io)?;
+        stream
+            .set_write_timeout(Some(config.write_timeout))
+            .map_err(ClientError::Io)?;
         Ok(HttpClient {
             stream,
             buf: Vec::new(),
@@ -55,6 +227,15 @@ impl HttpClient {
     /// primitive. Follow with one [`read_response`](Self::read_response)
     /// per queued request, in order.
     pub fn send(&mut self, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<()> {
+        self.send_typed(method, path, body).map_err(io::Error::from)
+    }
+
+    fn send_typed(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<(), ClientError> {
         let body = body.unwrap_or(&[]);
         let head = format!(
             "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
@@ -63,12 +244,16 @@ impl HttpClient {
         );
         let mut frame = head.into_bytes();
         frame.extend_from_slice(body);
-        self.stream.write_all(&frame)?;
-        self.stream.flush()
+        self.stream.write_all(&frame).map_err(classify_io)?;
+        self.stream.flush().map_err(classify_io)
     }
 
     pub fn read_response(&mut self) -> io::Result<ClientResponse> {
-        read_response_from(&mut self.stream, &mut self.buf)
+        self.read_response_typed().map_err(io::Error::from)
+    }
+
+    fn read_response_typed(&mut self) -> Result<ClientResponse, ClientError> {
+        read_response_typed_from(&mut self.stream, &mut self.buf)
     }
 
     /// Request + response in one call.
@@ -78,8 +263,18 @@ impl HttpClient {
         path: &str,
         body: Option<&[u8]>,
     ) -> io::Result<ClientResponse> {
-        self.send(method, path, body)?;
-        self.read_response()
+        self.request_typed(method, path, body)
+            .map_err(io::Error::from)
+    }
+
+    fn request_typed(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, ClientError> {
+        self.send_typed(method, path, body)?;
+        self.read_response_typed()
     }
 
     pub fn get(&mut self, path: &str) -> io::Result<ClientResponse> {
@@ -88,6 +283,36 @@ impl HttpClient {
 
     pub fn post_json(&mut self, path: &str, json: &str) -> io::Result<ClientResponse> {
         self.request("POST", path, Some(json.as_bytes()))
+    }
+
+    /// Pipelines every request over this one connection — all sends first,
+    /// then all responses in order. One round of syscalls per direction
+    /// instead of one per request, which is what makes small-batch
+    /// fan-out cheap.
+    pub fn pipeline(
+        &mut self,
+        requests: &[(&str, &str, Option<&[u8]>)],
+    ) -> Result<Vec<ClientResponse>, ClientError> {
+        let mut frame = Vec::new();
+        for (method, path, body) in requests {
+            let body = body.unwrap_or(&[]);
+            frame.extend_from_slice(
+                format!(
+                    "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\n\r\n",
+                    self.host,
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            frame.extend_from_slice(body);
+        }
+        self.stream.write_all(&frame).map_err(classify_io)?;
+        self.stream.flush().map_err(classify_io)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            responses.push(self.read_response_typed()?);
+        }
+        Ok(responses)
     }
 
     /// Writes raw bytes straight to the socket — the chaos tests use this
@@ -109,36 +334,343 @@ impl HttpClient {
     }
 }
 
-fn bad(msg: String) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg)
+/// Per-host pool bookkeeping: parked idle connections plus the count of
+/// every live connection (idle *and* checked out) for the hard cap.
+#[derive(Default)]
+struct HostConns {
+    idle: Vec<HttpClient>,
+    total: usize,
+}
+
+/// A per-host pool of keep-alive connections with a hard connection cap.
+///
+/// `request` checks out an idle connection (or dials a new one), runs the
+/// exchange, and returns the connection to the pool unless the response
+/// asked to close or the exchange failed. A reused connection that turns
+/// out to be stale — the server closed it between requests — is silently
+/// replaced by one fresh dial, so callers never see keep-alive races.
+///
+/// At most [`ClientConfig::max_conns_per_host`] connections exist per host
+/// (in flight + idle); when the cap is reached, callers block up to
+/// [`ClientConfig::checkout_timeout`] for a connection to free up. The cap
+/// is what keeps a many-threaded caller from starving itself against a
+/// thread-per-connection peer (see the config field docs).
+pub struct ClientPool {
+    config: ClientConfig,
+    hosts: Mutex<HashMap<String, HostConns>>,
+    freed: Condvar,
+}
+
+/// A connection slot held against a host's cap. Exactly one of the
+/// `finish_*` methods (or `Drop`, on error paths) releases it.
+struct Slot<'p> {
+    pool: &'p ClientPool,
+    host: &'p str,
+    held: bool,
+}
+
+impl Slot<'_> {
+    /// Parks a still-healthy connection for reuse, keeping or releasing
+    /// the slot depending on whether the idle shelf has room.
+    fn finish_park(mut self, conn: HttpClient) {
+        self.held = false;
+        let mut hosts = self.pool.lock();
+        let entry = hosts.entry(self.host.to_string()).or_default();
+        if entry.idle.len() < self.pool.config.max_idle_per_host {
+            entry.idle.push(conn);
+        } else {
+            entry.total = entry.total.saturating_sub(1);
+        }
+        drop(hosts);
+        // Either way a caller can now make progress: an idle connection
+        // appeared, or the cap gained headroom.
+        self.pool.freed.notify_one();
+    }
+
+    /// Releases the slot without parking (connection consumed or failed).
+    fn finish_drop(mut self) {
+        self.held = false;
+        self.pool.release_slot(self.host);
+    }
+}
+
+impl Drop for Slot<'_> {
+    fn drop(&mut self) {
+        if self.held {
+            self.pool.release_slot(self.host);
+        }
+    }
+}
+
+impl ClientPool {
+    pub fn new(config: ClientConfig) -> ClientPool {
+        ClientPool {
+            config,
+            hosts: Mutex::new(HashMap::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Idle connections currently parked for `host` (tests/metrics).
+    pub fn idle_count(&self, host: &str) -> usize {
+        self.lock().get(host).map_or(0, |h| h.idle.len())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, HostConns>> {
+        self.hosts.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn release_slot(&self, host: &str) {
+        let mut hosts = self.lock();
+        if let Some(entry) = hosts.get_mut(host) {
+            entry.total = entry.total.saturating_sub(1);
+        }
+        drop(hosts);
+        self.freed.notify_one();
+    }
+
+    /// Claims a connection slot for `host`, blocking while the host is at
+    /// its cap. Returns the slot plus an idle connection to reuse, or
+    /// `None` when the caller should dial fresh (under the claimed slot).
+    fn acquire<'p>(&'p self, host: &'p str) -> Result<(Slot<'p>, Option<HttpClient>), ClientError> {
+        let deadline = Instant::now() + self.config.checkout_timeout;
+        let mut hosts = self.lock();
+        loop {
+            let entry = hosts.entry(host.to_string()).or_default();
+            if let Some(conn) = entry.idle.pop() {
+                return Ok((
+                    Slot {
+                        pool: self,
+                        host,
+                        held: true,
+                    },
+                    Some(conn),
+                ));
+            }
+            if entry.total < self.config.max_conns_per_host.max(1) {
+                entry.total += 1;
+                return Ok((
+                    Slot {
+                        pool: self,
+                        host,
+                        held: true,
+                    },
+                    None,
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ClientError::Timeout);
+            }
+            hosts = self
+                .freed
+                .wait_timeout(hosts, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
+    /// Drops every idle connection (tests; also useful after reconfiguring
+    /// a fleet, when old addresses should not linger).
+    pub fn clear(&self) {
+        let mut hosts = self.lock();
+        for entry in hosts.values_mut() {
+            entry.total = entry.total.saturating_sub(entry.idle.len());
+            entry.idle.clear();
+        }
+        drop(hosts);
+        self.freed.notify_all();
+    }
+
+    /// One request/response exchange against `host`, with pooled reuse.
+    ///
+    /// A failure on a *reused* connection is retried once on a fresh dial
+    /// (the stale-keep-alive race); a failure on a fresh connection is
+    /// returned as-is.
+    pub fn request(
+        &self,
+        host: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, ClientError> {
+        let (slot, reused) = self.acquire(host)?;
+        if let Some(mut conn) = reused {
+            match conn.request_typed(method, path, body) {
+                Ok(resp) => {
+                    if resp.wants_close() {
+                        slot.finish_drop();
+                    } else {
+                        slot.finish_park(conn);
+                    }
+                    return Ok(resp);
+                }
+                // Stale reuse: fall through to one fresh dial below,
+                // still under the same slot.
+                Err(ClientError::Closed | ClientError::Io(_) | ClientError::Timeout) => {}
+                Err(e) => {
+                    slot.finish_drop();
+                    return Err(e);
+                }
+            }
+        }
+        let mut conn = match HttpClient::connect_with(host, &self.config) {
+            Ok(conn) => conn,
+            Err(e) => {
+                slot.finish_drop();
+                return Err(e);
+            }
+        };
+        match conn.request_typed(method, path, body) {
+            Ok(resp) => {
+                if resp.wants_close() {
+                    slot.finish_drop();
+                } else {
+                    slot.finish_park(conn);
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                slot.finish_drop();
+                Err(e)
+            }
+        }
+    }
+
+    pub fn get(&self, host: &str, path: &str) -> Result<ClientResponse, ClientError> {
+        self.request(host, "GET", path, None)
+    }
+
+    pub fn post_json(
+        &self,
+        host: &str,
+        path: &str,
+        json: &str,
+    ) -> Result<ClientResponse, ClientError> {
+        self.request(host, "POST", path, Some(json.as_bytes()))
+    }
+
+    /// Like [`request`](Self::request), but honors the server's
+    /// backpressure protocol: a `503` with `Retry-After` is retried up to
+    /// [`ClientConfig::retries_503`] times after the suggested pause
+    /// (capped by [`ClientConfig::max_retry_pause`]).
+    pub fn request_retrying(
+        &self,
+        host: &str,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, ClientError> {
+        let mut attempts = 0;
+        loop {
+            let resp = self.request(host, method, path, body)?;
+            if resp.status != 503 || attempts >= self.config.retries_503 {
+                return Ok(resp);
+            }
+            let pause = resp
+                .retry_after()
+                .unwrap_or(Duration::from_millis(50))
+                .min(self.config.max_retry_pause);
+            std::thread::sleep(pause);
+            attempts += 1;
+        }
+    }
+
+    /// Sends a batch of same-host requests pipelined over one pooled
+    /// connection and returns the responses in request order.
+    pub fn pipeline(
+        &self,
+        host: &str,
+        requests: &[(&str, &str, Option<&[u8]>)],
+    ) -> Result<Vec<ClientResponse>, ClientError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (slot, reused) = self.acquire(host)?;
+        if let Some(mut conn) = reused {
+            match conn.pipeline(requests) {
+                Ok(resps) => {
+                    if resps.last().is_some_and(ClientResponse::wants_close) {
+                        slot.finish_drop();
+                    } else {
+                        slot.finish_park(conn);
+                    }
+                    return Ok(resps);
+                }
+                Err(ClientError::Closed | ClientError::Io(_) | ClientError::Timeout) => {}
+                Err(e) => {
+                    slot.finish_drop();
+                    return Err(e);
+                }
+            }
+        }
+        let mut conn = match HttpClient::connect_with(host, &self.config) {
+            Ok(conn) => conn,
+            Err(e) => {
+                slot.finish_drop();
+                return Err(e);
+            }
+        };
+        match conn.pipeline(requests) {
+            Ok(resps) => {
+                if resps.last().is_some_and(ClientResponse::wants_close) {
+                    slot.finish_drop();
+                } else {
+                    slot.finish_park(conn);
+                }
+                Ok(resps)
+            }
+            Err(e) => {
+                slot.finish_drop();
+                Err(e)
+            }
+        }
+    }
+}
+
+fn malformed(msg: String) -> ClientError {
+    ClientError::Malformed(msg)
 }
 
 /// Reads one response from `r`, honoring bytes left over in `buf` from a
-/// previous read and stashing any pipelined tail back into it.
+/// previous read and stashing any pipelined tail back into it. Kept
+/// `io::Result` for existing callers; errors classify through the typed
+/// path internally.
 pub fn read_response_from<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<ClientResponse> {
+    read_response_typed_from(r, buf).map_err(io::Error::from)
+}
+
+fn read_response_typed_from<R: Read>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+) -> Result<ClientResponse, ClientError> {
     let head_end = loop {
         if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
             break end;
         }
         let mut chunk = [0u8; 4096];
-        match r.read(&mut chunk)? {
-            0 => return Err(bad("connection closed before response head".into())),
+        match r.read(&mut chunk).map_err(classify_io)? {
+            0 => return Err(ClientError::Closed),
             n => buf.extend_from_slice(&chunk[..n]),
         }
     };
 
     let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| bad("response head is not UTF-8".into()))?;
+        .map_err(|_| malformed("response head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().unwrap_or("");
     let mut parts = status_line.splitn(3, ' ');
     let (proto, code) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
     if !proto.starts_with("HTTP/1.") {
-        return Err(bad(format!("bad status line {status_line:?}")));
+        return Err(malformed(format!("bad status line {status_line:?}")));
     }
     let status: u16 = code
         .parse()
-        .map_err(|_| bad(format!("bad status code {code:?}")))?;
+        .map_err(|_| malformed(format!("bad status code {code:?}")))?;
     let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -154,8 +686,8 @@ pub fn read_response_from<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> io::Result<C
     let body_start = head_end + 4;
     while buf.len() < body_start + body_len {
         let mut chunk = [0u8; 4096];
-        match r.read(&mut chunk)? {
-            0 => return Err(bad("connection closed mid-body".into())),
+        match r.read(&mut chunk).map_err(classify_io)? {
+            0 => return Err(malformed("connection closed mid-body".into())),
             n => buf.extend_from_slice(&chunk[..n]),
         }
     }
@@ -202,5 +734,191 @@ mod tests {
         let mut buf = Vec::new();
         let err = read_response_from(&mut &raw[..], &mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn typed_errors_classify_transport_failures() {
+        let raw: &[u8] = b"";
+        let mut buf = Vec::new();
+        let err = read_response_typed_from(&mut &raw[..], &mut buf).unwrap_err();
+        assert!(matches!(err, ClientError::Closed), "{err:?}");
+
+        struct Stalled;
+        impl Read for Stalled {
+            fn read(&mut self, _: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::from(io::ErrorKind::TimedOut))
+            }
+        }
+        let err = read_response_typed_from(&mut Stalled, &mut Vec::new()).unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "{err:?}");
+
+        // The io::Error conversions keep the kinds distinguishable.
+        assert_eq!(
+            io::Error::from(ClientError::Timeout).kind(),
+            io::ErrorKind::TimedOut
+        );
+        assert_eq!(
+            io::Error::from(ClientError::Closed).kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn retry_after_parses_delay_seconds() {
+        let resp = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "2".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(resp.retry_after(), Some(Duration::from_secs(2)));
+        let resp = ClientResponse {
+            status: 503,
+            headers: vec![("retry-after".into(), "soon".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(resp.retry_after(), None);
+    }
+
+    /// A single-threaded HTTP/1.1 echo server: accepts one connection at a
+    /// time and serves it until close. Exactly the shape that starves an
+    /// uncapped pool — a second pooled connection would never be accepted
+    /// while the first stays keep-alive.
+    fn one_at_a_time_server() -> (std::net::SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            let mut served_conns = 0usize;
+            // Serve until 300 ms pass with no new connection.
+            listener.set_nonblocking(true).unwrap();
+            let mut last = std::time::Instant::now();
+            loop {
+                match listener.accept() {
+                    Ok((mut conn, _)) => {
+                        served_conns += 1;
+                        last = std::time::Instant::now();
+                        conn.set_read_timeout(Some(Duration::from_millis(200)))
+                            .unwrap();
+                        let mut buf = [0u8; 4096];
+                        while let Ok(n) = conn.read(&mut buf) {
+                            if n == 0 {
+                                break;
+                            }
+                            let body = b"ok";
+                            let resp = format!(
+                                "HTTP/1.1 200 OK\r\ncontent-length: {}\r\n\r\n",
+                                body.len()
+                            );
+                            conn.write_all(resp.as_bytes()).unwrap();
+                            conn.write_all(body).unwrap();
+                        }
+                    }
+                    Err(_) => {
+                        if last.elapsed() > Duration::from_millis(300) {
+                            return served_conns;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn capped_pool_shares_one_connection_across_threads() {
+        let (addr, server) = one_at_a_time_server();
+        let pool = std::sync::Arc::new(ClientPool::new(ClientConfig {
+            max_conns_per_host: 1,
+            checkout_timeout: Duration::from_secs(5),
+            ..ClientConfig::default()
+        }));
+        let host = addr.to_string();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                let host = host.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..5 {
+                        let resp = pool.get(&host, "/x").expect("capped request");
+                        assert_eq!(resp.status, 200);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        // 20 requests from 4 threads all rode the single permitted
+        // connection; a server that can only accept one at a time never
+        // saw a second concurrent dial.
+        assert_eq!(pool.idle_count(&host), 1);
+        drop(pool);
+        let conns = server.join().unwrap();
+        assert_eq!(conns, 1, "cap of 1 must mean exactly one connection");
+    }
+
+    #[test]
+    fn exhausted_pool_times_out_with_typed_error() {
+        // A server that accepts but never responds: the first request
+        // parks the only slot until its read deadline, so a second
+        // caller's checkout must give up quickly with Timeout.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            // Exactly one accept: the cap means the timed-out second
+            // caller never even dials.
+            let held = listener.accept();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(held);
+        });
+        let pool = std::sync::Arc::new(ClientPool::new(ClientConfig {
+            max_conns_per_host: 1,
+            checkout_timeout: Duration::from_millis(50),
+            read_timeout: Duration::from_millis(400),
+            ..ClientConfig::default()
+        }));
+        let host = addr.to_string();
+        let slow = {
+            let pool = pool.clone();
+            let host = host.clone();
+            std::thread::spawn(move || pool.get(&host, "/slow"))
+        };
+        std::thread::sleep(Duration::from_millis(100)); // slot now held
+        let started = std::time::Instant::now();
+        let err = pool.get(&host, "/x").unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "checkout timeout did not bound the wait"
+        );
+        assert!(slow.join().unwrap().is_err(), "silent peer must error");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn unresponsive_peer_times_out_instead_of_hanging() {
+        // A listener that accepts and then stays silent: without the read
+        // deadline, read_response would block forever.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_secs(2));
+            drop(conn);
+        });
+        let config = ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(100),
+            ..ClientConfig::default()
+        };
+        let started = std::time::Instant::now();
+        let mut client = HttpClient::connect_with(addr, &config).unwrap();
+        let err = client.request_typed("GET", "/healthz", None).unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "read did not honor its deadline"
+        );
+        server.join().unwrap();
     }
 }

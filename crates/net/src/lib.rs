@@ -53,9 +53,9 @@ pub mod pool;
 pub mod server;
 pub mod state;
 
-pub use client::{ClientResponse, HttpClient};
+pub use client::{ClientConfig, ClientError, ClientPool, ClientResponse, HttpClient};
 pub use http::{Limits, Method, RecvError, Request, Response};
 pub use metrics::{MetricsReport, ServerMetrics};
 pub use pool::{BoundedQueue, PushError, WorkerPool};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, serve_handler, RequestHandler, ServerConfig, ServerHandle};
 pub use state::{AppState, ModelMeta};

@@ -261,4 +261,83 @@ mod tests {
         assert!(!pool.join_with_deadline(Duration::from_millis(50)));
         release.store(1, Ordering::Relaxed); // let the detached thread finish
     }
+
+    /// Closing while the queue sits at capacity, with pushers hammering
+    /// and poppers draining concurrently, must lose nothing and hang
+    /// nobody: every admitted item is popped exactly once, every pusher
+    /// eventually observes `Closed`, and every popper exits via `None`.
+    #[test]
+    fn close_while_full_neither_loses_items_nor_hangs() {
+        const PUSHERS: u64 = 4;
+        const POPPERS: usize = 4;
+        let q: Arc<BoundedQueue<u64>> = BoundedQueue::new(4);
+
+        // Pre-fill to capacity so close() really races a full queue.
+        let mut expected = 0u64;
+        for i in 0..4 {
+            q.try_push(i).unwrap();
+            expected += 1;
+        }
+
+        let pushers: Vec<_> = (0..PUSHERS)
+            .map(|p| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    // Distinct ids per pusher: pusher tag in the high
+                    // bits, sequence in the low (no collisions, ever).
+                    let mut pushed = Vec::new();
+                    let mut seq = 0u64;
+                    loop {
+                        let id = ((p + 1) << 32) | seq;
+                        match q.try_push(id) {
+                            Ok(()) => {
+                                pushed.push(id);
+                                seq += 1;
+                            }
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                            Err(PushError::Closed(_)) => return pushed,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let poppers: Vec<_> = (0..POPPERS)
+            .map(|_| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(item) = q.pop() {
+                        got.push(item);
+                    }
+                    got // exited via None: saw close + drained
+                })
+            })
+            .collect();
+
+        // Let the race build up real contention, then slam the door.
+        std::thread::sleep(Duration::from_millis(30));
+        q.close();
+
+        let mut all: Vec<u64> = Vec::new();
+        for p in pushers {
+            let pushed = p.join().unwrap();
+            expected += pushed.len() as u64;
+            all.extend(pushed);
+        }
+        all.extend(0..4);
+        let mut popped: Vec<u64> = Vec::new();
+        for c in poppers {
+            popped.extend(c.join().unwrap());
+        }
+
+        assert_eq!(popped.len() as u64, expected, "item lost or duplicated");
+        let unique: std::collections::HashSet<u64> = popped.iter().copied().collect();
+        assert_eq!(unique.len() as u64, expected, "duplicate delivery");
+        let admitted: std::collections::HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique, admitted, "popped set must equal admitted set");
+
+        // And the door really is shut.
+        assert!(matches!(q.try_push(9), Err(PushError::Closed(9))));
+    }
 }

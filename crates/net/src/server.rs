@@ -1,10 +1,12 @@
 //! The TCP accept loop, connection lifecycle, and graceful shutdown.
 //!
 //! Data path: `TcpListener` → accept thread → [`BoundedQueue`] →
-//! worker pool → [`HttpReader`] keep-alive loop → [`api::handle`] →
-//! `QueryEngine`. Backpressure lives at the queue boundary: a full queue
-//! answers `503 Service Unavailable` with `Retry-After: 1` at accept time
-//! and closes, so memory stays bounded no matter how fast clients arrive.
+//! worker pool → [`HttpReader`] keep-alive loop → [`RequestHandler`] →
+//! whatever the handler fronts (a `QueryEngine` for [`AppState`], a shard
+//! fleet for `dc-router`). Backpressure lives at the queue boundary: a
+//! full queue answers `503 Service Unavailable` with `Retry-After: 1` at
+//! accept time and closes, so memory stays bounded no matter how fast
+//! clients arrive.
 //!
 //! Shutdown follows the repo-wide `InterruptFlag` pattern: the server
 //! watches a shared `AtomicBool` (the CLI passes the SIGINT flag). Once
@@ -15,16 +17,57 @@
 //! into a hang.
 
 use crate::api;
-use crate::http::{HttpReader, Limits, Method, RecvError};
+use crate::http::{HttpReader, Limits, Method, RecvError, Request, Response};
+use crate::metrics::ServerMetrics;
 use crate::pool::{BoundedQueue, PushError, WorkerPool};
 use crate::state::AppState;
-use dc_obs::Field;
+use dc_obs::{Field, Obs};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// What the serving machinery needs from an application: route a request,
+/// and expose the metrics/observability sinks the connection loop reports
+/// into. [`AppState`] implements this for the single-model query API;
+/// `dc-router` implements it for the scatter-gather front tier — both ride
+/// the same accept loop, bounded queue, and drain logic.
+pub trait RequestHandler: Send + Sync + 'static {
+    /// Routes one request. Must not panic on hostile input.
+    fn handle(&self, req: &Request) -> Response;
+
+    /// The per-server request metrics the connection loop records into.
+    fn metrics(&self) -> &ServerMetrics;
+
+    /// The observability handle `net.request` events report through.
+    fn obs(&self) -> &Obs;
+
+    /// How many predictions `resp` answered for `req`, for the predictions
+    /// counter. Defaults to none.
+    fn predictions_in(&self, _req: &Request, _resp: &Response) -> u64 {
+        0
+    }
+}
+
+impl RequestHandler for AppState {
+    fn handle(&self, req: &Request) -> Response {
+        api::handle(self, req)
+    }
+
+    fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn predictions_in(&self, req: &Request, resp: &Response) -> u64 {
+        api::predictions_in(req, resp)
+    }
+}
 
 /// Everything tunable about one server.
 #[derive(Debug, Clone)]
@@ -55,9 +98,13 @@ impl Default for ServerConfig {
 
 /// A running server. Dropping the handle signals shutdown but does not
 /// wait; call [`shutdown`](ServerHandle::shutdown) for the bounded drain.
-pub struct ServerHandle {
+///
+/// Generic over the handler so the router tier reuses the machinery; the
+/// default keeps existing `ServerHandle` (= `ServerHandle<AppState>`)
+/// signatures compiling unchanged.
+pub struct ServerHandle<H: RequestHandler = AppState> {
     addr: SocketAddr,
-    state: Arc<AppState>,
+    state: Arc<H>,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
     pool: Option<WorkerPool>,
@@ -65,13 +112,13 @@ pub struct ServerHandle {
     grace: Duration,
 }
 
-impl ServerHandle {
+impl<H: RequestHandler> ServerHandle<H> {
     /// The actual bound address (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
     }
 
-    pub fn state(&self) -> Arc<AppState> {
+    pub fn state(&self) -> Arc<H> {
         self.state.clone()
     }
 
@@ -96,8 +143,8 @@ impl ServerHandle {
             Some(pool) => pool.join_with_deadline(self.grace),
             None => true,
         };
-        if self.state.obs.enabled() {
-            self.state.obs.emit(
+        if self.state.obs().enabled() {
+            self.state.obs().emit(
                 "net.shutdown",
                 &[
                     Field::new("drained", drained),
@@ -118,7 +165,7 @@ impl ServerHandle {
     }
 }
 
-impl Drop for ServerHandle {
+impl<H: RequestHandler> Drop for ServerHandle<H> {
     fn drop(&mut self) {
         // Best-effort signal so threads don't accept forever; no join here
         // (shutdown() consumes self when the caller wants the drain).
@@ -127,13 +174,25 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Binds and starts serving. Requests are answered from `state`; shutdown
-/// triggers when `stop` (typically the process SIGINT flag) goes true.
+/// Binds and starts serving the single-model query API. Requests are
+/// answered from `state`; shutdown triggers when `stop` (typically the
+/// process SIGINT flag) goes true.
 pub fn serve(
     config: ServerConfig,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
 ) -> io::Result<ServerHandle> {
+    serve_handler(config, state, stop)
+}
+
+/// Binds and starts serving an arbitrary [`RequestHandler`] — the same
+/// accept loop, bounded queue, worker pool, and graceful drain `serve`
+/// gives [`AppState`].
+pub fn serve_handler<H: RequestHandler>(
+    config: ServerConfig,
+    state: Arc<H>,
+    stop: Arc<AtomicBool>,
+) -> io::Result<ServerHandle<H>> {
     let listener = TcpListener::bind(&config.addr)?;
     // Nonblocking accept + short sleeps keeps the loop responsive to the
     // stop flag without platform polling APIs.
@@ -150,7 +209,7 @@ pub fn serve(
             config.threads,
             "dc-net-worker",
             move |conn| {
-                handle_connection(&state, conn, &limits, &stop);
+                handle_connection(&*state, conn, &limits, &stop);
             },
         )
     };
@@ -165,9 +224,9 @@ pub fn serve(
             .spawn(move || accept_loop(listener, queue, state, stop, write_timeout))?
     };
 
-    if state.obs.enabled() {
+    if state.obs().enabled() {
         let addr_text = addr.to_string();
-        state.obs.emit(
+        state.obs().emit(
             "net.listen",
             &[
                 Field::new("addr", addr_text.as_str()),
@@ -188,10 +247,10 @@ pub fn serve(
     })
 }
 
-fn accept_loop(
+fn accept_loop<H: RequestHandler>(
     listener: TcpListener,
     queue: Arc<BoundedQueue<TcpStream>>,
-    state: Arc<AppState>,
+    state: Arc<H>,
     stop: Arc<AtomicBool>,
     write_timeout: Duration,
 ) {
@@ -200,7 +259,7 @@ fn accept_loop(
             Ok((conn, _peer)) => match queue.try_push(conn) {
                 Ok(()) => {}
                 Err(PushError::Full(conn)) | Err(PushError::Closed(conn)) => {
-                    reject(conn, &state, write_timeout);
+                    reject(conn, &*state, write_timeout);
                 }
             },
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -219,8 +278,8 @@ fn accept_loop(
 }
 
 /// Answers a connection the queue refused: 503 + Retry-After, then close.
-fn reject(mut conn: TcpStream, state: &AppState, write_timeout: Duration) {
-    state.metrics.record_rejected(&state.obs);
+fn reject<H: RequestHandler>(mut conn: TcpStream, state: &H, write_timeout: Duration) {
+    state.metrics().record_rejected(state.obs());
     let _ = conn.set_write_timeout(Some(write_timeout));
     let resp = crate::http::Response::error(503, "server is at capacity, retry shortly");
     let _ = resp.write_to(&mut conn, false, false);
@@ -228,13 +287,23 @@ fn reject(mut conn: TcpStream, state: &AppState, write_timeout: Duration) {
 
 /// Serves one connection to completion: keep-alive loop, typed error
 /// responses, metrics, and the `net.request` event per answered request.
-fn handle_connection(state: &AppState, conn: TcpStream, limits: &Limits, stop: &AtomicBool) {
-    state.metrics.connection_opened();
+fn handle_connection<H: RequestHandler>(
+    state: &H,
+    conn: TcpStream,
+    limits: &Limits,
+    stop: &AtomicBool,
+) {
+    state.metrics().connection_opened();
     serve_connection(state, conn, limits, stop);
-    state.metrics.connection_closed();
+    state.metrics().connection_closed();
 }
 
-fn serve_connection(state: &AppState, conn: TcpStream, limits: &Limits, stop: &AtomicBool) {
+fn serve_connection<H: RequestHandler>(
+    state: &H,
+    conn: TcpStream,
+    limits: &Limits,
+    stop: &AtomicBool,
+) {
     // Accepted sockets must block with a short poll slice so reads notice
     // deadlines and the stop flag (see HttpReader docs). Nagle would add
     // whole milliseconds to small keep-alive responses, so it goes off.
@@ -257,15 +326,15 @@ fn serve_connection(state: &AppState, conn: TcpStream, limits: &Limits, stop: &A
         match reader.next_request(Some(stop)) {
             Ok(req) => {
                 let started = Instant::now();
-                let resp = api::handle(state, &req);
-                let predictions = api::predictions_in(&req, &resp);
+                let resp = state.handle(&req);
+                let predictions = state.predictions_in(&req, &resp);
                 // Stop renewing keep-alive once shutdown begins so drains
                 // terminate instead of waiting out idle timeouts.
                 let keep = req.keep_alive && !stop.load(Ordering::Acquire);
                 let head_only = req.method == Method::Head;
                 let wrote = resp.write_to(&mut writer, keep, head_only);
-                state.metrics.record_request(
-                    &state.obs,
+                state.metrics().record_request(
+                    state.obs(),
                     req.method.as_str(),
                     &req.path,
                     resp.status,
@@ -279,18 +348,18 @@ fn serve_connection(state: &AppState, conn: TcpStream, limits: &Limits, stop: &A
             Err(err) => {
                 if let Some(resp) = err.response() {
                     let _ = resp.write_to(&mut writer, false, false);
-                    state.metrics.record_request(
-                        &state.obs,
+                    state.metrics().record_request(
+                        state.obs(),
                         "-",
                         "-",
                         resp.status,
                         Duration::ZERO,
                         0,
                     );
-                } else if matches!(err, RecvError::Io(_)) && state.obs.enabled() {
+                } else if matches!(err, RecvError::Io(_)) && state.obs().enabled() {
                     let text = err.to_string();
                     state
-                        .obs
+                        .obs()
                         .emit("net.conn_error", &[Field::new("error", text.as_str())]);
                 }
                 return;

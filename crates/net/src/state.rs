@@ -10,7 +10,7 @@
 
 use crate::metrics::ServerMetrics;
 use dc_obs::Obs;
-use dc_serve::{QueryEngine, ServeModel};
+use dc_serve::{ModelRegistry, QueryEngine, ServeModel};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -59,6 +59,9 @@ pub struct AppState {
     pub batch_threads: usize,
     pub metrics: ServerMetrics,
     pub obs: Obs,
+    /// Named-model registry behind `/v1/models`, when serving started with
+    /// one (`serve --models DIR`). The default model keeps `/v1/predict`.
+    registry: Option<Arc<ModelRegistry>>,
 }
 
 impl AppState {
@@ -72,7 +75,20 @@ impl AppState {
             batch_threads: batch_threads.max(1),
             metrics: ServerMetrics::new(),
             obs,
+            registry: None,
         }
+    }
+
+    /// Attaches a model registry, enabling `GET /v1/models` and
+    /// `POST /v1/models/<name>/predict` alongside the default model.
+    pub fn with_registry(mut self, registry: Arc<ModelRegistry>) -> AppState {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached registry, if any.
+    pub fn registry(&self) -> Option<&Arc<ModelRegistry>> {
+        self.registry.as_ref()
     }
 
     /// The engine snapshot a request should answer from.

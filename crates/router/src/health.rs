@@ -1,0 +1,172 @@
+//! Per-shard health accounting: consecutive-failure ejection, re-admission.
+//!
+//! The tracker is deliberately dumb — it counts, it does not probe. The
+//! router records transport outcomes on the request path (`record_failure`
+//! ejects a shard once `threshold` consecutive failures accumulate), and a
+//! background prober calls [`HealthTracker::readmit`] when an ejected
+//! shard answers `/healthz` again. Everything is atomics, so the request
+//! path never takes a lock to ask [`is_healthy`](HealthTracker::is_healthy).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+struct ShardHealth {
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    ejections: AtomicU64,
+}
+
+/// Point-in-time view of one shard, for `/v1/shards`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    pub healthy: bool,
+    pub consecutive_failures: u32,
+    pub ejections: u64,
+}
+
+/// Health state for a fixed set of shards, addressed by ring index.
+pub struct HealthTracker {
+    shards: Vec<ShardHealth>,
+    threshold: u32,
+}
+
+impl HealthTracker {
+    /// All shards start healthy; a shard is ejected after `threshold`
+    /// consecutive failures (minimum 1).
+    pub fn new(shard_count: usize, threshold: u32) -> HealthTracker {
+        HealthTracker {
+            shards: (0..shard_count)
+                .map(|_| ShardHealth {
+                    healthy: AtomicBool::new(true),
+                    consecutive_failures: AtomicU32::new(0),
+                    ejections: AtomicU64::new(0),
+                })
+                .collect(),
+            threshold: threshold.max(1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The ejection threshold in consecutive failures.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    pub fn is_healthy(&self, idx: usize) -> bool {
+        self.shards[idx].healthy.load(Ordering::Acquire)
+    }
+
+    /// How many shards are currently in rotation.
+    pub fn healthy_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter(|s| s.healthy.load(Ordering::Acquire))
+            .count()
+    }
+
+    /// A request to `idx` succeeded: the failure streak resets and an
+    /// ejected shard rejoins rotation. Returns `true` if this call
+    /// re-admitted the shard.
+    pub fn record_success(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        shard.consecutive_failures.store(0, Ordering::Release);
+        !shard.healthy.swap(true, Ordering::AcqRel)
+    }
+
+    /// A request to `idx` failed at the transport level. Returns `true` if
+    /// this failure crossed the threshold and ejected the shard.
+    pub fn record_failure(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        let streak = shard.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if streak >= self.threshold && shard.healthy.swap(false, Ordering::AcqRel) {
+            shard.ejections.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Forces `idx` out of rotation (e.g. a failed startup probe).
+    /// Returns `true` if the shard was healthy before.
+    pub fn eject(&self, idx: usize) -> bool {
+        let shard = &self.shards[idx];
+        if shard.healthy.swap(false, Ordering::AcqRel) {
+            shard.ejections.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// The prober saw `idx` answer `/healthz`: back into rotation.
+    /// Returns `true` if the shard was ejected before.
+    pub fn readmit(&self, idx: usize) -> bool {
+        self.record_success(idx)
+    }
+
+    /// Snapshot of every shard, indexed like the ring.
+    pub fn statuses(&self) -> Vec<ShardStatus> {
+        self.shards
+            .iter()
+            .map(|s| ShardStatus {
+                healthy: s.healthy.load(Ordering::Acquire),
+                consecutive_failures: s.consecutive_failures.load(Ordering::Acquire),
+                ejections: s.ejections.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ejects_after_threshold_consecutive_failures() {
+        let h = HealthTracker::new(2, 3);
+        assert!(!h.record_failure(0));
+        assert!(!h.record_failure(0));
+        assert!(h.is_healthy(0));
+        assert!(h.record_failure(0), "third consecutive failure ejects");
+        assert!(!h.is_healthy(0));
+        assert_eq!(h.healthy_count(), 1);
+        // Further failures while ejected don't re-eject.
+        assert!(!h.record_failure(0));
+        assert_eq!(h.statuses()[0].ejections, 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let h = HealthTracker::new(1, 3);
+        h.record_failure(0);
+        h.record_failure(0);
+        h.record_success(0);
+        assert!(!h.record_failure(0));
+        assert!(!h.record_failure(0));
+        assert!(h.is_healthy(0), "streak restarted after a success");
+    }
+
+    #[test]
+    fn readmission_restores_rotation() {
+        let h = HealthTracker::new(2, 1);
+        assert!(h.record_failure(1));
+        assert_eq!(h.healthy_count(), 1);
+        assert!(h.readmit(1));
+        assert!(h.is_healthy(1));
+        assert!(!h.readmit(1), "already healthy");
+        assert_eq!(h.statuses()[1].ejections, 1);
+    }
+
+    #[test]
+    fn forced_ejection_counts_once() {
+        let h = HealthTracker::new(1, 5);
+        assert!(h.eject(0));
+        assert!(!h.eject(0));
+        assert_eq!(h.statuses()[0].ejections, 1);
+        assert_eq!(h.healthy_count(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dc-router — sharded serving tier for δ-cluster models
+//!
+//! A front tier that spreads prediction traffic over many `dc-net` shard
+//! processes, each serving its own model artifacts:
+//!
+//! ```text
+//!                        ┌──────────────────────────┐
+//!   clients ────────────▶│ Router (dc_net machinery)│
+//!                        │  HashRing · HealthTracker│
+//!                        └──────┬──────┬──────┬─────┘
+//!                    ClientPool │      │      │   scatter-gather
+//!                        ┌──────▼─┐ ┌──▼─────┐ ┌──▼─────┐
+//!                        │shard a │ │shard b │ │shard c │  delta-clusters serve
+//!                        └────────┘ └────────┘ └────────┘
+//! ```
+//!
+//! Three pieces, composed in [`Router`]:
+//!
+//! - [`HashRing`]: consistent hashing with virtual nodes keys each row id
+//!   to a shard; removing one of `S` shards remaps only ~`1/S` of keys
+//!   (property-tested in `tests/ring_props.rs`).
+//! - [`HealthTracker`]: lock-free per-shard health; consecutive transport
+//!   failures eject a shard, a background prober re-admits it when its
+//!   `/healthz` answers again.
+//! - [`Router`]: implements [`dc_net::RequestHandler`], so
+//!   `dc_net::serve_handler` gives it the same bounded-queue worker pool,
+//!   graceful drain, metrics and obs pipeline the single-model server has.
+//!   Batch predicts scatter by ring owner, fan out in parallel over a
+//!   [`dc_net::ClientPool`], and gather **in original query order** with
+//!   byte-identical framing, so a client cannot tell one process from a
+//!   fleet.
+//!
+//! The CLI front-end is `delta-clusters router --shards a,b,c`; see
+//! `examples/cluster_serving.rs` for the end-to-end flow.
+
+pub mod health;
+pub mod ring;
+pub mod router;
+
+pub use health::{HealthTracker, ShardStatus};
+pub use ring::{fnv1a, HashRing, RingError};
+pub use router::{Router, RouterConfig};

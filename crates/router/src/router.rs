@@ -1,0 +1,719 @@
+//! The router proper: scatter-gather fan-out over prediction shards.
+//!
+//! [`Router`] implements [`dc_net::RequestHandler`], so the whole dc-net
+//! serving stack (accept loop, bounded queue, worker pool, graceful drain,
+//! metrics, obs) runs unchanged with routing logic in place of a model.
+//!
+//! Request handling:
+//!
+//! - **Single predict** (`{"row": r, "col": c}`): the body is forwarded
+//!   verbatim to the shard owning row `r` and the shard's response is
+//!   passed through byte-for-byte.
+//! - **Batch predict** (`{"queries": [[r, c], ...]}`): queries are grouped
+//!   by owning shard, sub-batches fan out in parallel over the
+//!   [`ClientPool`], and per-shard results merge back **in original query
+//!   order** — the merged body is byte-identical to what one process
+//!   serving the same model would have produced, because shard result
+//!   objects are spliced in verbatim (never re-parsed through floats).
+//! - **Failure**: a transport error counts toward the owner's
+//!   consecutive-failure ejection; the sub-request retries once on the
+//!   key's next distinct shard clockwise on the ring (predictions are
+//!   idempotent, so a blind replay is safe). Both attempts failing answers
+//!   `502 Bad Gateway`; zero healthy shards answers `503` with
+//!   `Retry-After`.
+//!
+//! A background prober ([`Router::spawn_prober`]) re-admits ejected shards
+//! once they answer `GET /healthz` again.
+
+use crate::health::HealthTracker;
+use crate::ring::{HashRing, RingError};
+use dc_net::api;
+use dc_net::{
+    ClientConfig, ClientError, ClientPool, Method, Request, RequestHandler, Response, ServerMetrics,
+};
+use dc_obs::{EventKind, Field, Obs};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`Router`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses (`host:port`), the ring's identity.
+    pub shards: Vec<String>,
+    /// Virtual nodes per shard on the hash ring.
+    pub replicas: usize,
+    /// Consecutive transport failures before a shard is ejected.
+    pub failure_threshold: u32,
+    /// How often the background prober re-checks ejected shards.
+    pub probe_interval: Duration,
+    /// Connection pool settings for shard traffic.
+    pub client: ClientConfig,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: Vec::new(),
+            replicas: 64,
+            failure_threshold: 3,
+            probe_interval: Duration::from_millis(500),
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+/// A sharded front tier: consistent-hash placement, parallel fan-out,
+/// ordered merge, health-aware retry.
+pub struct Router {
+    ring: HashRing,
+    health: HealthTracker,
+    pool: ClientPool,
+    probe_interval: Duration,
+    metrics: ServerMetrics,
+    obs: Obs,
+    started: Instant,
+    /// Sub-requests replayed on a replica after their owner failed.
+    retries: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over `config.shards`. No traffic is sent yet; call
+    /// [`probe_all`](Self::probe_all) to take a startup census.
+    pub fn new(config: RouterConfig, obs: Obs) -> Result<Router, RingError> {
+        let ring = HashRing::new(&config.shards, config.replicas)?;
+        let health = HealthTracker::new(ring.len(), config.failure_threshold);
+        Ok(Router {
+            ring,
+            health,
+            pool: ClientPool::new(config.client),
+            probe_interval: config.probe_interval,
+            metrics: ServerMetrics::new(),
+            obs,
+            started: Instant::now(),
+            retries: AtomicU64::new(0),
+        })
+    }
+
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Total sub-requests that were retried on a replica shard.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    fn addr(&self, idx: usize) -> &str {
+        &self.ring.shards()[idx]
+    }
+
+    /// Probes every shard's `/healthz` once, ejecting unreachable ones so
+    /// the first real request doesn't pay their timeouts. Returns how many
+    /// shards answered.
+    pub fn probe_all(&self) -> usize {
+        for idx in 0..self.ring.len() {
+            match self.pool.get(self.addr(idx), "/healthz") {
+                Ok(resp) if resp.status == 200 => {
+                    self.health.record_success(idx);
+                }
+                Ok(resp) => self.note_ejection(idx, &format!("healthz answered {}", resp.status)),
+                Err(e) => self.note_ejection(idx, &e.to_string()),
+            }
+        }
+        self.health.healthy_count()
+    }
+
+    /// Re-probes ejected shards once; re-admits any that answer.
+    pub fn probe_ejected(&self) {
+        for idx in 0..self.ring.len() {
+            if self.health.is_healthy(idx) {
+                continue;
+            }
+            if let Ok(resp) = self.pool.get(self.addr(idx), "/healthz") {
+                if resp.status == 200 && self.health.readmit(idx) {
+                    self.obs
+                        .emit("router.readmit", &[Field::new("shard", self.addr(idx))]);
+                }
+            }
+        }
+    }
+
+    /// Starts the re-admission prober; it exits when `stop` rises. The
+    /// interval sleeps in short slices so shutdown is prompt.
+    pub fn spawn_prober(router: Arc<Router>, stop: Arc<AtomicBool>) -> thread::JoinHandle<()> {
+        thread::Builder::new()
+            .name("dc-router-prober".into())
+            .spawn(move || {
+                const SLICE: Duration = Duration::from_millis(50);
+                while !stop.load(Ordering::Acquire) {
+                    let mut slept = Duration::ZERO;
+                    while slept < router.probe_interval && !stop.load(Ordering::Acquire) {
+                        let nap = SLICE.min(router.probe_interval - slept);
+                        thread::sleep(nap);
+                        slept += nap;
+                    }
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    router.probe_ejected();
+                }
+            })
+            .expect("spawn dc-router-prober")
+    }
+
+    /// Shard eviction bookkeeping shared by probes and request failures.
+    fn note_ejection(&self, idx: usize, why: &str) {
+        if self.health.eject(idx) {
+            self.obs.emit(
+                "router.eject",
+                &[Field::new("shard", self.addr(idx)), Field::new("why", why)],
+            );
+        }
+    }
+
+    fn note_failure(&self, idx: usize, why: &str) {
+        if self.health.record_failure(idx) {
+            self.obs.emit(
+                "router.eject",
+                &[Field::new("shard", self.addr(idx)), Field::new("why", why)],
+            );
+        }
+    }
+
+    /// Healthy shards in ring (retry) order for `row`; empty when the
+    /// whole fleet is ejected.
+    fn candidates(&self, row: usize) -> Vec<usize> {
+        self.ring
+            .preference(row)
+            .into_iter()
+            .filter(|&idx| self.health.is_healthy(idx))
+            .collect()
+    }
+
+    fn no_healthy(&self) -> Response {
+        Response::error(503, "no healthy shards")
+    }
+
+    /// One attempt against one shard. `Ok` is any HTTP response (the shard
+    /// is alive); `Err` is a transport failure that counts toward ejection.
+    fn attempt(
+        &self,
+        idx: usize,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<dc_net::ClientResponse, ClientError> {
+        match self
+            .pool
+            .request_retrying(self.addr(idx), method, path, body)
+        {
+            Ok(resp) => {
+                self.health.record_success(idx);
+                Ok(resp)
+            }
+            Err(e) => {
+                self.note_failure(idx, &e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    /// Forwards a read-only metadata request (`/v1/model`, `/v1/models`)
+    /// to the first healthy shard that answers.
+    fn forward_meta(&self, req: &Request) -> Response {
+        let healthy: Vec<usize> = (0..self.ring.len())
+            .filter(|&i| self.health.is_healthy(i))
+            .collect();
+        if healthy.is_empty() {
+            return self.no_healthy();
+        }
+        for idx in healthy.into_iter().take(2) {
+            if let Ok(resp) = self.attempt(idx, req.method.as_str(), &req.path, None) {
+                return Response::json(resp.status, resp.body);
+            }
+        }
+        Response::error(502, &format!("no shard reachable for {}", req.path))
+    }
+
+    /// Routes a single-cell predict to row-owner, retrying once on the
+    /// next replica. The shard's response passes through verbatim.
+    fn forward_single(&self, req: &Request, row: usize) -> Response {
+        let candidates = self.candidates(row);
+        if candidates.is_empty() {
+            return self.no_healthy();
+        }
+        for (attempt_no, &idx) in candidates.iter().take(2).enumerate() {
+            if attempt_no > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Ok(resp) = self.attempt(idx, "POST", &req.path, Some(&req.body)) {
+                return Response::json(resp.status, resp.body);
+            }
+        }
+        Response::error(502, &format!("no shard reachable for row {row}"))
+    }
+
+    /// Sends one shard's sub-batch, retrying once on the group's next
+    /// replica. Returns the raw result objects, one per query.
+    fn send_group(&self, path: &str, owner: usize, cells: &[(usize, usize)]) -> GroupResult {
+        let mut body = String::from("{\"queries\": [");
+        for (i, (r, c)) in cells.iter().enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str(&format!("[{r}, {c}]"));
+        }
+        body.push_str("]}");
+
+        // Retry order: the ring's preference for the group's first row,
+        // starting from its owner, healthy shards only.
+        let first_row = cells[0].0;
+        let mut order: Vec<usize> = vec![owner];
+        order.extend(
+            self.ring
+                .preference(first_row)
+                .into_iter()
+                .filter(|&i| i != owner && self.health.is_healthy(i)),
+        );
+
+        let mut last_error = String::new();
+        for (attempt_no, &idx) in order.iter().take(2).enumerate() {
+            if attempt_no > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            match self.attempt(idx, "POST", path, Some(body.as_bytes())) {
+                Ok(resp) if resp.status == 200 => match split_results(&resp.body_str()) {
+                    Some(objects) if objects.len() == cells.len() => return Ok(objects),
+                    _ => {
+                        last_error =
+                            format!("shard {} returned a malformed batch body", self.addr(idx));
+                    }
+                },
+                Ok(resp) => {
+                    last_error = format!(
+                        "shard {} answered {} {}",
+                        self.addr(idx),
+                        resp.status,
+                        resp.body_str().trim_end()
+                    );
+                }
+                Err(e) => {
+                    last_error = format!("shard {}: {e}", self.addr(idx));
+                }
+            }
+        }
+        Err(last_error)
+    }
+
+    /// Batch predict: group by owner, fan out in parallel, merge in the
+    /// original query order with framing identical to a single shard's.
+    fn scatter(&self, path: &str, cells: &[(usize, usize)]) -> Response {
+        if cells.is_empty() {
+            return Response::json(200, "{\"results\": []}\n");
+        }
+        let started = Instant::now();
+        let retries_before = self.retry_count();
+
+        // Group query indices by owning shard (first healthy in ring
+        // order). BTreeMap keeps fan-out deterministic for tests and obs.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (i, &(row, _)) in cells.iter().enumerate() {
+            let candidates = self.candidates(row);
+            let Some(&owner) = candidates.first() else {
+                return self.no_healthy();
+            };
+            groups.entry(owner).or_default().push(i);
+        }
+
+        let outcomes: Vec<(Vec<usize>, GroupResult)> = thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .map(|(&owner, indices)| {
+                    let sub: Vec<(usize, usize)> = indices.iter().map(|&i| cells[i]).collect();
+                    scope.spawn(move || self.send_group(path, owner, &sub))
+                })
+                .collect();
+            groups
+                .into_values()
+                .zip(handles)
+                .map(|(indices, h)| (indices, h.join().expect("scatter worker panicked")))
+                .collect()
+        });
+
+        let mut slots: Vec<Option<String>> = vec![None; cells.len()];
+        let fanout = outcomes.len();
+        for (indices, outcome) in outcomes {
+            match outcome {
+                Ok(objects) => {
+                    for (object, global) in objects.into_iter().zip(indices) {
+                        slots[global] = Some(object);
+                    }
+                }
+                Err(why) => return Response::error(502, &why),
+            }
+        }
+
+        if self.obs.enabled() {
+            let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            self.obs.emit_full(
+                EventKind::Span,
+                "router.scatter",
+                &[
+                    Field::new("batch", cells.len()),
+                    Field::new("fanout", fanout),
+                    Field::new("retries", self.retry_count() - retries_before),
+                    Field::new("scatter_micros", micros),
+                ],
+                None,
+            );
+        }
+
+        let mut merged = String::from("{\"results\": [");
+        for (i, slot) in slots.iter().enumerate() {
+            if i > 0 {
+                merged.push_str(", ");
+            }
+            merged.push_str(slot.as_deref().expect("every query slot filled"));
+        }
+        merged.push_str("]}\n");
+        Response::json(200, merged)
+    }
+
+    /// `POST /v1/predict` (and named-model variants): parse just enough to
+    /// route, then forward.
+    fn predict(&self, req: &Request) -> Response {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body is not valid UTF-8"),
+        };
+        let value = match serde_json::parse_value(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        let Some(fields) = value.as_object() else {
+            return Response::error(400, "body must be a JSON object");
+        };
+
+        if let Some((_, queries)) = fields.iter().find(|(k, _)| k == "queries") {
+            let Some(items) = queries.as_array() else {
+                return Response::error(400, "`queries` must be an array of [row, col] pairs");
+            };
+            if items.len() > api::MAX_BATCH {
+                return Response::error(
+                    413,
+                    &format!("batch of {} exceeds {}", items.len(), api::MAX_BATCH),
+                );
+            }
+            let mut cells = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                let pair = item.as_array().and_then(|a| {
+                    if a.len() == 2 {
+                        Some((a[0].as_u64()?, a[1].as_u64()?))
+                    } else {
+                        None
+                    }
+                });
+                match pair {
+                    Some((r, c)) => cells.push((r as usize, c as usize)),
+                    None => {
+                        return Response::error(
+                            400,
+                            &format!(
+                                "query #{i} is not a [row, col] pair of non-negative integers"
+                            ),
+                        );
+                    }
+                }
+            }
+            return self.scatter(&req.path, &cells);
+        }
+
+        let row = match fields.iter().find(|(k, _)| k == "row") {
+            Some((_, v)) => match v.as_u64().and_then(|n| usize::try_from(n).ok()) {
+                Some(r) => r,
+                None => return Response::error(400, "field `row` must be a non-negative integer"),
+            },
+            None => return Response::error(400, "missing field `row`"),
+        };
+        self.forward_single(req, row)
+    }
+
+    fn shards_table(&self) -> Response {
+        let statuses = self.health.statuses();
+        let mut body = format!(
+            "{{\"replicas\": {}, \"threshold\": {}, \"healthy\": {}, \"retries\": {}, \"shards\": [",
+            self.ring.replicas(),
+            self.health.threshold(),
+            self.health.healthy_count(),
+            self.retry_count(),
+        );
+        for (i, (addr, status)) in self.ring.shards().iter().zip(&statuses).enumerate() {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            let addr = addr.replace('\\', "\\\\").replace('"', "\\\"");
+            body.push_str(&format!(
+                "{{\"addr\": \"{addr}\", \"healthy\": {}, \"consecutive_failures\": {}, \"ejections\": {}}}",
+                status.healthy, status.consecutive_failures, status.ejections
+            ));
+        }
+        body.push_str("]}\n");
+        Response::json(200, body)
+    }
+
+    fn local_metrics(&self, req: &Request) -> Response {
+        let wants_prometheus = req
+            .query
+            .as_deref()
+            .is_some_and(|q| q.split('&').any(|kv| kv == "format=prometheus"))
+            || req
+                .header("accept")
+                .is_some_and(|a| a.contains("text/plain"));
+        let snap = self.metrics.snapshot();
+        if wants_prometheus {
+            Response::text(200, snap.to_prometheus())
+        } else {
+            Response::json(200, snap.to_json())
+        }
+    }
+}
+
+/// `Ok`: raw result-object substrings in shard order. `Err`: why the
+/// group failed (after its retry).
+type GroupResult = Result<Vec<String>, String>;
+
+/// Extracts the raw `{...}` result objects from a shard's
+/// `{"results": [...]}` body *without* re-serializing them — splicing the
+/// original bytes into the merged response is what keeps router output
+/// byte-identical to a single process serving the same model.
+fn split_results(body: &str) -> Option<Vec<String>> {
+    let open = body.find('[')?;
+    let mut objects = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (pos, ch) in body[open + 1..].char_indices() {
+        let at = open + 1 + pos;
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_string = true,
+            '{' => {
+                if depth == 0 {
+                    start = at;
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    objects.push(body[start..=at].to_string());
+                }
+            }
+            ']' if depth == 0 => return Some(objects),
+            _ => {}
+        }
+    }
+    None // unterminated array
+}
+
+impl RequestHandler for Router {
+    fn handle(&self, req: &Request) -> Response {
+        match (&req.method, req.path.as_str()) {
+            (Method::Get | Method::Head, "/healthz") => Response::json(
+                200,
+                format!(
+                    "{{\"status\": \"ok\", \"uptime_secs\": {:.3}, \"shards\": {}, \"healthy\": {}}}\n",
+                    self.started.elapsed().as_secs_f64(),
+                    self.ring.len(),
+                    self.health.healthy_count()
+                ),
+            ),
+            (Method::Get | Method::Head, "/readyz") => {
+                if self.health.healthy_count() > 0 {
+                    Response::json(200, "{\"ready\": true}\n")
+                } else {
+                    let mut r = Response::json(503, "{\"ready\": false}\n");
+                    r.headers.push(("Retry-After".into(), "1".into()));
+                    r
+                }
+            }
+            (Method::Get | Method::Head, "/metrics") => self.local_metrics(req),
+            (Method::Get | Method::Head, "/v1/shards") => self.shards_table(),
+            (Method::Get | Method::Head, "/v1/model" | "/v1/models") => self.forward_meta(req),
+            (Method::Post, "/v1/predict") => self.predict(req),
+            (method, path) if api::named_model_of(path).is_some() => {
+                if *method == Method::Post {
+                    self.predict(req)
+                } else {
+                    Response::error(405, "use POST").header("Allow", "POST")
+                }
+            }
+            (_, "/healthz" | "/readyz" | "/metrics" | "/v1/shards" | "/v1/model" | "/v1/models") => {
+                Response::error(405, "use GET").header("Allow", "GET, HEAD")
+            }
+            (_, "/v1/predict") => Response::error(405, "use POST").header("Allow", "POST"),
+            _ => Response::error(404, &format!("no route for {}", req.path)),
+        }
+    }
+
+    fn metrics(&self) -> &ServerMetrics {
+        &self.metrics
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    fn predictions_in(&self, req: &Request, resp: &Response) -> u64 {
+        api::predictions_in(req, resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_router(shards: usize) -> Router {
+        let config = RouterConfig {
+            shards: (0..shards)
+                .map(|i| format!("127.0.0.1:{}", 1 + i))
+                .collect(),
+            ..RouterConfig::default()
+        };
+        Router::new(config, Obs::null()).unwrap()
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: Method::Post,
+            path: path.to_string(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+            keep_alive: true,
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.to_string(),
+            query: None,
+            headers: Vec::new(),
+            body: Vec::new(),
+            keep_alive: true,
+        }
+    }
+
+    #[test]
+    fn split_results_extracts_objects_verbatim() {
+        let body = "{\"results\": [{\"row\": 0, \"col\": 1, \"outcome\": \"hit\", \"prediction\": 1.25}, {\"row\": 2, \"col\": 3, \"outcome\": \"miss\", \"prediction\": null}]}\n";
+        let objects = split_results(body).unwrap();
+        assert_eq!(objects.len(), 2);
+        assert_eq!(
+            objects[0],
+            "{\"row\": 0, \"col\": 1, \"outcome\": \"hit\", \"prediction\": 1.25}"
+        );
+        assert_eq!(
+            objects[1],
+            "{\"row\": 2, \"col\": 3, \"outcome\": \"miss\", \"prediction\": null}"
+        );
+        assert_eq!(split_results("{\"results\": []}\n").unwrap().len(), 0);
+        assert!(split_results("{\"results\": [{\"a\": 1}").is_none());
+        // A brace inside a string must not confuse the scanner.
+        let tricky = "{\"results\": [{\"s\": \"}{\"}]}";
+        assert_eq!(split_results(tricky).unwrap(), vec!["{\"s\": \"}{\"}"]);
+    }
+
+    #[test]
+    fn routing_table_and_unknown_paths() {
+        let router = test_router(3);
+        assert_eq!(router.handle(&get("/healthz")).status, 200);
+        assert_eq!(router.handle(&get("/readyz")).status, 200);
+        assert_eq!(router.handle(&get("/v1/shards")).status, 200);
+        assert_eq!(router.handle(&get("/metrics")).status, 200);
+        assert_eq!(router.handle(&get("/nope")).status, 404);
+        assert_eq!(router.handle(&get("/v1/predict")).status, 405);
+        assert_eq!(router.handle(&post("/healthz", "")).status, 405);
+        assert_eq!(router.handle(&get("/v1/models/m/predict")).status, 405);
+    }
+
+    #[test]
+    fn malformed_bodies_answer_400_without_touching_shards() {
+        let router = test_router(2);
+        assert_eq!(router.handle(&post("/v1/predict", "nope")).status, 400);
+        assert_eq!(router.handle(&post("/v1/predict", "[1]")).status, 400);
+        assert_eq!(
+            router.handle(&post("/v1/predict", "{\"col\": 2}")).status,
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&post("/v1/predict", "{\"queries\": [[0]]}"))
+                .status,
+            400
+        );
+        assert_eq!(
+            router
+                .handle(&post("/v1/predict", "{\"queries\": 3}"))
+                .status,
+            400
+        );
+    }
+
+    #[test]
+    fn all_shards_ejected_answers_503_with_retry_after() {
+        let router = test_router(2);
+        router.health().eject(0);
+        router.health().eject(1);
+        let resp = router.handle(&post("/v1/predict", "{\"row\": 1, \"col\": 2}"));
+        assert_eq!(resp.status, 503);
+        assert!(resp.headers.iter().any(|(k, _)| k == "Retry-After"));
+        let batch = router.handle(&post("/v1/predict", "{\"queries\": [[0, 0]]}"));
+        assert_eq!(batch.status, 503);
+        let ready = router.handle(&get("/readyz"));
+        assert_eq!(ready.status, 503);
+        assert_eq!(router.handle(&get("/v1/models")).status, 503);
+    }
+
+    #[test]
+    fn empty_batch_short_circuits_locally() {
+        let router = test_router(2);
+        router.health().eject(0);
+        router.health().eject(1);
+        let resp = router.handle(&post("/v1/predict", "{\"queries\": []}"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(String::from_utf8_lossy(&resp.body), "{\"results\": []}\n");
+    }
+
+    #[test]
+    fn oversized_batch_rejected_with_413() {
+        let router = test_router(1);
+        let mut body = String::from("{\"queries\": [");
+        for i in 0..=api::MAX_BATCH {
+            if i > 0 {
+                body.push_str(", ");
+            }
+            body.push_str("[0, 0]");
+        }
+        body.push_str("]}");
+        assert_eq!(router.handle(&post("/v1/predict", &body)).status, 413);
+    }
+}

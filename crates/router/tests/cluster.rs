@@ -1,0 +1,243 @@
+//! End-to-end cluster tests: real shard servers on loopback, a router in
+//! front, and the acceptance property — responses through the router are
+//! **byte-identical** to a single process serving the same model.
+
+use dc_net::{
+    serve, serve_handler, AppState, HttpClient, Method, Request, RequestHandler, ServerConfig,
+};
+use dc_obs::{MemorySink, Obs};
+use dc_router::{Router, RouterConfig};
+use dc_serve::ServeModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn model() -> ServeModel {
+    let mut m = dc_matrix::DataMatrix::new(8, 8);
+    for r in 0..6 {
+        for c in 0..6 {
+            m.set(r, c, (3 * r + c) as f64);
+        }
+    }
+    let cluster = dc_floc::DeltaCluster::from_indices(8, 8, 0..6, 0..6);
+    ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+}
+
+struct Shard {
+    handle: Option<dc_net::ServerHandle>,
+    addr: String,
+}
+
+impl Shard {
+    fn start() -> Shard {
+        let state = Arc::new(AppState::new(model(), Some("shard.dcm"), 2, Obs::null()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = serve(ServerConfig::default(), state, stop).expect("bind shard");
+        let addr = handle.addr().to_string();
+        Shard {
+            handle: Some(handle),
+            addr,
+        }
+    }
+
+    fn kill(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            assert!(handle.shutdown(), "shard must drain");
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn router_over(shards: &[&Shard], threshold: u32) -> Router {
+    let config = RouterConfig {
+        shards: shards.iter().map(|s| s.addr.clone()).collect(),
+        failure_threshold: threshold,
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    };
+    Router::new(config, Obs::null()).unwrap()
+}
+
+fn post(path: &str, body: &str) -> Request {
+    Request {
+        method: Method::Post,
+        path: path.to_string(),
+        query: None,
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+/// What one process serving the same model answers for `body`.
+fn oracle_body(body: &str) -> (u16, Vec<u8>) {
+    let state = AppState::new(model(), Some("shard.dcm"), 2, Obs::null());
+    let resp = dc_net::api::handle(&state, &post("/v1/predict", body));
+    (resp.status, resp.body)
+}
+
+/// A batch whose rows deterministically land on more than one shard of a
+/// 2-shard ring (rows 0..32 spread ~evenly under the ring hash).
+fn wide_batch() -> String {
+    let mut body = String::from("{\"queries\": [");
+    for i in 0..32 {
+        if i > 0 {
+            body.push_str(", ");
+        }
+        body.push_str(&format!("[{}, {}]", i, i % 8));
+    }
+    body.push_str("]}");
+    body
+}
+
+#[test]
+fn routed_responses_are_byte_identical_to_a_single_process() {
+    let shards = [Shard::start(), Shard::start()];
+    let router = Arc::new(router_over(&[&shards[0], &shards[1]], 3));
+    assert_eq!(router.probe_all(), 2);
+
+    // The batch must actually fan out for this test to mean anything.
+    let owners: std::collections::BTreeSet<usize> =
+        (0..32).map(|r| router.ring().shard_for_row(r)).collect();
+    assert_eq!(owners.len(), 2, "rows 0..32 must span both shards");
+
+    // Serve the router itself through the dc-net stack and talk real HTTP.
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = serve_handler(ServerConfig::default(), router.clone(), stop).expect("bind router");
+    let mut client = HttpClient::connect(handle.addr()).unwrap();
+
+    let batch = wide_batch();
+    let got = client.post_json("/v1/predict", &batch).unwrap();
+    let (oracle_status, oracle) = oracle_body(&batch);
+    assert_eq!((got.status, oracle_status), (200, 200));
+    assert_eq!(
+        got.body, oracle,
+        "router merge must be byte-identical to one process"
+    );
+
+    // Single predicts pass through verbatim, hits and misses alike.
+    for body in ["{\"row\": 2, \"col\": 3}", "{\"row\": 7, \"col\": 7}"] {
+        let got = client.post_json("/v1/predict", body).unwrap();
+        let (status, oracle) = oracle_body(body);
+        assert_eq!(got.status, status);
+        assert_eq!(got.body, oracle, "single predict must pass through");
+    }
+
+    // Metadata forwards to a shard: same fingerprint a shard reports.
+    let meta = client.get("/v1/model").unwrap();
+    assert_eq!(meta.status, 200);
+    assert!(meta.body_str().contains("fingerprint"));
+
+    // Router health surface over HTTP.
+    let shards_view = client.get("/v1/shards").unwrap();
+    assert_eq!(shards_view.status, 200);
+    assert!(shards_view.body_str().contains("\"healthy\": 2"));
+
+    assert!(handle.shutdown(), "router must drain");
+}
+
+#[test]
+fn a_dead_shard_fails_over_then_gets_ejected() {
+    let mut shards = [Shard::start(), Shard::start()];
+    let sink = MemorySink::new();
+    let mut config = RouterConfig {
+        shards: shards.iter().map(|s| s.addr.clone()).collect(),
+        failure_threshold: 3,
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    };
+    // Keep dead-shard dials snappy so the test stays fast.
+    config.client.connect_timeout = Duration::from_millis(250);
+    let router = Router::new(config, Obs::new(sink.clone())).unwrap();
+    assert_eq!(router.probe_all(), 2);
+
+    let batch = wide_batch();
+    let (_, oracle) = oracle_body(&batch);
+
+    shards[1].kill();
+
+    // Every batch keeps answering (sub-batches fail over to the replica)
+    // and stays byte-identical; the dead shard accumulates failures until
+    // it is ejected from rotation.
+    for round in 0..5 {
+        let resp = router.handle(&post("/v1/predict", &batch));
+        assert_eq!(resp.status, 200, "round {round} must fail over");
+        assert_eq!(resp.body, oracle, "failover must not change bytes");
+    }
+    assert!(router.retry_count() > 0, "failover implies retries");
+    assert_eq!(router.health().healthy_count(), 1, "dead shard ejected");
+    assert!(
+        !sink.named("router.eject").is_empty(),
+        "ejection must be observable"
+    );
+
+    // Once ejected, traffic routes straight to the survivor: no retries.
+    let before = router.retry_count();
+    let resp = router.handle(&post("/v1/predict", &batch));
+    assert_eq!(resp.status, 200);
+    assert_eq!(router.retry_count(), before, "ejected shard is not dialed");
+}
+
+#[test]
+fn losing_every_shard_answers_502_not_hangs() {
+    let mut shard = Shard::start();
+    let addr = shard.addr.clone();
+    let mut config = RouterConfig {
+        shards: vec![addr],
+        // High threshold: the shard stays "healthy" so requests really
+        // dial it and surface 502, not the 503 no-healthy-shards path.
+        failure_threshold: 100,
+        ..RouterConfig::default()
+    };
+    config.client.connect_timeout = Duration::from_millis(250);
+    let router = Router::new(config, Obs::null()).unwrap();
+    assert_eq!(router.probe_all(), 1);
+    shard.kill();
+
+    let started = Instant::now();
+    let single = router.handle(&post("/v1/predict", "{\"row\": 1, \"col\": 1}"));
+    assert_eq!(single.status, 502);
+    let batch = router.handle(&post("/v1/predict", "{\"queries\": [[0, 0], [1, 1]]}"));
+    assert_eq!(batch.status, 502);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "dead fleet must fail fast, not hang"
+    );
+}
+
+#[test]
+fn prober_readmits_a_recovered_shard() {
+    let shard = Shard::start();
+    let sink = MemorySink::new();
+    let config = RouterConfig {
+        shards: vec![shard.addr.clone()],
+        probe_interval: Duration::from_millis(50),
+        ..RouterConfig::default()
+    };
+    let router = Arc::new(Router::new(config, Obs::new(sink.clone())).unwrap());
+    assert_eq!(router.probe_all(), 1);
+
+    router.health().eject(0);
+    assert_eq!(router.health().healthy_count(), 0);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let prober = Router::spawn_prober(router.clone(), stop.clone());
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while router.health().healthy_count() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Release);
+    prober.join().unwrap();
+
+    assert_eq!(router.health().healthy_count(), 1, "prober must re-admit");
+    assert!(
+        !sink.named("router.readmit").is_empty(),
+        "re-admission must be observable"
+    );
+}

@@ -1,0 +1,103 @@
+//! Property tests for the consistent-hash ring: the two guarantees the
+//! router leans on.
+//!
+//! 1. **Serialization stability** — a ring rebuilt from its own JSON
+//!    assigns every key to the same shard, so a topology pinned in config
+//!    (or shipped to another process) routes identically.
+//! 2. **Minimal disruption** — removing one of `S` shards remaps only the
+//!    keys the removed shard owned: no key owned by a surviving shard
+//!    moves, and the moved fraction stays near `1/S`.
+
+use dc_router::HashRing;
+use proptest::prelude::*;
+
+fn addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.{i}.1:7878")).collect()
+}
+
+proptest! {
+    #[test]
+    fn json_round_trip_is_assignment_stable(
+        shard_count in 1usize..9,
+        replicas in 1usize..160,
+        rows in proptest::collection::vec(0usize..1_000_000, 1..200),
+    ) {
+        let ring = HashRing::new(&addrs(shard_count), replicas).unwrap();
+        let rebuilt = HashRing::from_json(&ring.to_json()).unwrap();
+        prop_assert_eq!(rebuilt.replicas(), ring.replicas());
+        prop_assert_eq!(rebuilt.shards(), ring.shards());
+        for &row in &rows {
+            prop_assert_eq!(
+                ring.shard_for_row(row),
+                rebuilt.shard_for_row(row),
+                "row {} rerouted after a JSON round trip",
+                row
+            );
+        }
+    }
+
+    #[test]
+    fn removing_one_shard_remaps_only_its_own_keys(
+        shard_count in 2usize..8,
+        removed_pick in 0usize..64,
+    ) {
+        const ROWS: usize = 8_192;
+        let replicas = 128;
+        let all = addrs(shard_count);
+        let removed = removed_pick % shard_count;
+        let survivors: Vec<String> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != removed)
+            .map(|(_, a)| a.clone())
+            .collect();
+
+        let full = HashRing::new(&all, replicas).unwrap();
+        let reduced = HashRing::new(&survivors, replicas).unwrap();
+
+        let mut moved = 0usize;
+        for row in 0..ROWS {
+            let before = &all[full.shard_for_row(row)];
+            let after = &survivors[reduced.shard_for_row(row)];
+            if before == &all[removed] {
+                moved += 1; // owned by the removed shard: must move somewhere
+            } else {
+                prop_assert_eq!(
+                    before,
+                    after,
+                    "row {} moved off surviving shard {} when {} left",
+                    row,
+                    before,
+                    all[removed]
+                );
+            }
+        }
+
+        // The removed shard owned ~1/S of the keyspace; allow slack for
+        // virtual-node variance at 128 replicas.
+        let frac = moved as f64 / ROWS as f64;
+        let bound = 1.0 / shard_count as f64 + 0.12;
+        prop_assert!(
+            frac <= bound,
+            "removal remapped {:.3} of keys, bound {:.3} (S = {})",
+            frac,
+            bound,
+            shard_count
+        );
+    }
+
+    #[test]
+    fn preference_order_is_a_permutation_rooted_at_the_owner(
+        shard_count in 1usize..9,
+        row in 0usize..1_000_000,
+    ) {
+        let ring = HashRing::new(&addrs(shard_count), 64).unwrap();
+        let pref = ring.preference(row);
+        prop_assert_eq!(pref.len(), shard_count);
+        prop_assert_eq!(pref[0], ring.shard_for_row(row));
+        let mut sorted = pref.clone();
+        sorted.sort_unstable();
+        let expect: Vec<usize> = (0..shard_count).collect();
+        prop_assert_eq!(sorted, expect, "preference must list every shard once");
+    }
+}

@@ -50,6 +50,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod framing;
 pub mod model;
+pub mod registry;
 pub mod stats;
 
 pub use artifact::{load, save, ArtifactError};
@@ -59,6 +60,7 @@ pub use checkpoint::{
 };
 pub use engine::QueryEngine;
 pub use model::{ModelError, ServeModel};
+pub use registry::{load_observed, ModelInfo, ModelRegistry, RegistryError};
 pub use stats::{MetricsSnapshot, QueryOutcome, QueryStats};
 
 // Re-exported so downstream code can match on prediction errors without

@@ -1,0 +1,435 @@
+//! A directory of named, versioned model artifacts behind an LRU.
+//!
+//! Sharded serving needs more than one model per process: the registry
+//! scans a directory of `<name>@<version>.dcm` (or `.json`) artifacts,
+//! keeps the **highest version per name** in its catalog, and loads models
+//! lazily on first use. Loaded engines live behind an LRU with a
+//! configurable resident cap, so a shard can advertise hundreds of models
+//! while holding only the hot few in memory — eviction drops the engine,
+//! not the catalog entry, and the next `get` simply reloads from disk.
+//!
+//! Every load (here and in the CLI's `serve` path, via
+//! [`load_observed`]) emits a `serve.model_load` span with the artifact
+//! size, cluster count, and load time, so cold-start cost is visible in
+//! `/metrics` and the event stream.
+
+use crate::artifact::{self, ArtifactError};
+use crate::engine::QueryEngine;
+use crate::model::ServeModel;
+use dc_obs::{EventKind, Field, Obs};
+use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a registry operation failed.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The registry directory could not be read.
+    Scan(std::io::Error),
+    /// No artifact in the directory carries this model name.
+    UnknownModel(String),
+    /// The artifact exists but failed to load (corrupt, truncated, ...).
+    Load { name: String, source: ArtifactError },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Scan(e) => write!(f, "registry scan failed: {e}"),
+            RegistryError::UnknownModel(n) => write!(f, "no model named {n:?} in the registry"),
+            RegistryError::Load { name, source } => {
+                write!(f, "loading model {name:?} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::Scan(e) => Some(e),
+            RegistryError::Load { source, .. } => Some(source),
+            RegistryError::UnknownModel(_) => None,
+        }
+    }
+}
+
+/// One catalog row, as listed by `GET /v1/models`.
+#[derive(Debug, Clone)]
+pub struct ModelInfo {
+    pub name: String,
+    pub version: String,
+    pub path: PathBuf,
+    /// Artifact size on disk.
+    pub bytes: u64,
+    /// Whether the engine is currently loaded (inside the LRU).
+    pub resident: bool,
+}
+
+struct CatalogEntry {
+    version: String,
+    path: PathBuf,
+    bytes: u64,
+    engine: Option<Arc<QueryEngine>>,
+}
+
+struct Inner {
+    catalog: BTreeMap<String, CatalogEntry>,
+    /// Resident model names, least-recently-used first.
+    lru: Vec<String>,
+}
+
+/// Lazily-loading model registry over one artifact directory.
+pub struct ModelRegistry {
+    dir: PathBuf,
+    capacity: usize,
+    obs: Obs,
+    inner: Mutex<Inner>,
+}
+
+/// Orders dotted version strings segment-wise: numeric segments compare
+/// numerically (`10 > 9`), anything else lexicographically, and more
+/// segments win a tie (`1.2.1 > 1.2`).
+fn compare_versions(a: &str, b: &str) -> Ordering {
+    let (mut sa, mut sb) = (a.split('.'), b.split('.'));
+    loop {
+        match (sa.next(), sb.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(x), Some(y)) => {
+                let ord = match (x.parse::<u64>(), y.parse::<u64>()) {
+                    (Ok(nx), Ok(ny)) => nx.cmp(&ny),
+                    _ => x.cmp(y),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+        }
+    }
+}
+
+/// Splits an artifact file name into `(name, version)` when it follows the
+/// registry convention `<name>@<version>.dcm` / `.json`.
+fn parse_artifact_name(file_name: &str) -> Option<(String, String)> {
+    let stem = file_name
+        .strip_suffix(".dcm")
+        .or_else(|| file_name.strip_suffix(".json"))?;
+    let (name, version) = stem.split_once('@')?;
+    if name.is_empty() || version.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), version.to_string()))
+}
+
+/// Loads a model artifact and emits the `serve.model_load` span (artifact
+/// bytes, cluster count, load µs). Both the CLI `serve` path and the
+/// registry go through here, so cold-start cost is always observable.
+pub fn load_observed(path: impl AsRef<Path>, obs: &Obs) -> Result<ServeModel, ArtifactError> {
+    let path = path.as_ref();
+    let started = Instant::now();
+    let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+    let model = artifact::load(path)?;
+    if obs.enabled() {
+        let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let path_text = path.display().to_string();
+        obs.emit_full(
+            EventKind::Span,
+            "serve.model_load",
+            &[
+                Field::new("path", path_text.as_str()),
+                Field::new("bytes", bytes),
+                Field::new("clusters", model.k()),
+                Field::new("load_micros", micros),
+            ],
+            None,
+        );
+    }
+    Ok(model)
+}
+
+impl ModelRegistry {
+    /// Scans `dir` and builds the catalog: one entry per model name, the
+    /// highest version winning. Files that do not follow the
+    /// `<name>@<version>.dcm|.json` convention are ignored, so a registry
+    /// directory can hold READMEs or checkpoints without breaking.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        capacity: usize,
+        obs: Obs,
+    ) -> Result<ModelRegistry, RegistryError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut catalog: BTreeMap<String, CatalogEntry> = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir).map_err(RegistryError::Scan)? {
+            let entry = entry.map_err(RegistryError::Scan)?;
+            let file_name = entry.file_name();
+            let Some((name, version)) = file_name.to_str().and_then(parse_artifact_name) else {
+                continue;
+            };
+            let bytes = entry.metadata().map(|m| m.len()).unwrap_or(0);
+            let candidate = CatalogEntry {
+                version,
+                path: entry.path(),
+                bytes,
+                engine: None,
+            };
+            match catalog.get(&name) {
+                Some(current)
+                    if compare_versions(&current.version, &candidate.version) != Ordering::Less => {
+                }
+                _ => {
+                    catalog.insert(name, candidate);
+                }
+            }
+        }
+        Ok(ModelRegistry {
+            dir,
+            capacity: capacity.max(1),
+            obs,
+            inner: Mutex::new(Inner {
+                catalog,
+                lru: Vec::new(),
+            }),
+        })
+    }
+
+    /// The directory this registry scans.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Resident-model cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Catalog rows sorted by name, with residency flags.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let inner = self.inner.lock();
+        inner
+            .catalog
+            .iter()
+            .map(|(name, e)| ModelInfo {
+                name: name.clone(),
+                version: e.version.clone(),
+                path: e.path.clone(),
+                bytes: e.bytes,
+                resident: e.engine.is_some(),
+            })
+            .collect()
+    }
+
+    /// Number of models in the catalog.
+    pub fn len(&self) -> usize {
+        self.inner.lock().catalog.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first model name in catalog order, if any — the default a
+    /// `serve --models DIR` invocation falls back to.
+    pub fn first_name(&self) -> Option<String> {
+        self.inner.lock().catalog.keys().next().cloned()
+    }
+
+    /// The engine for `name`, loading it on first use and bumping it to
+    /// most-recently-used. Beyond the resident cap, the least-recently-used
+    /// other model's engine is dropped (its catalog entry stays; a later
+    /// `get` reloads it).
+    pub fn get(&self, name: &str) -> Result<Arc<QueryEngine>, RegistryError> {
+        let mut inner = self.inner.lock();
+        let entry = inner
+            .catalog
+            .get(name)
+            .ok_or_else(|| RegistryError::UnknownModel(name.to_string()))?;
+        if let Some(engine) = &entry.engine {
+            let engine = engine.clone();
+            touch(&mut inner.lru, name);
+            return Ok(engine);
+        }
+        // Load under the lock: concurrent gets for the same cold model
+        // would otherwise duplicate an expensive deserialize. Holding the
+        // lock through a load delays other models' lookups, which is the
+        // right trade at registry scale (loads are rare, lookups cheap).
+        let path = entry.path.clone();
+        let model = load_observed(&path, &self.obs).map_err(|source| RegistryError::Load {
+            name: name.to_string(),
+            source,
+        })?;
+        let engine = Arc::new(QueryEngine::with_obs(model, self.obs.clone()));
+        if let Some(entry) = inner.catalog.get_mut(name) {
+            entry.engine = Some(engine.clone());
+        }
+        touch(&mut inner.lru, name);
+        while inner.lru.len() > self.capacity {
+            let evicted = inner.lru.remove(0);
+            if let Some(entry) = inner.catalog.get_mut(&evicted) {
+                entry.engine = None;
+            }
+            if self.obs.enabled() {
+                self.obs
+                    .emit("serve.model_evict", &[Field::new("name", evicted.as_str())]);
+            }
+        }
+        Ok(engine)
+    }
+
+    /// Drops `name`'s resident engine, if loaded. Returns whether anything
+    /// was evicted; the catalog entry survives either way.
+    pub fn evict(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock();
+        inner.lru.retain(|n| n != name);
+        match inner.catalog.get_mut(name) {
+            Some(entry) if entry.engine.is_some() => {
+                entry.engine = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Names currently resident, least-recently-used first (tests).
+    pub fn resident(&self) -> Vec<String> {
+        self.inner.lock().lru.clone()
+    }
+}
+
+/// Moves `name` to the most-recently-used end of the LRU order.
+fn touch(lru: &mut Vec<String>, name: &str) {
+    lru.retain(|n| n != name);
+    lru.push(name.to_string());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_floc::DeltaCluster;
+    use dc_matrix::DataMatrix;
+    use dc_obs::MemorySink;
+
+    fn model(fill: f64) -> ServeModel {
+        let mut m = DataMatrix::new(4, 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.set(r, c, fill * (r + c) as f64);
+            }
+        }
+        let cluster = DeltaCluster::from_indices(4, 4, 0..4, 0..4);
+        ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+    }
+
+    fn registry_dir(name: &str, files: &[(&str, f64)]) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dc-registry-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for (file, fill) in files {
+            artifact::save(&model(*fill), dir.join(file)).unwrap();
+        }
+        dir
+    }
+
+    #[test]
+    fn version_ordering_is_numeric_per_segment() {
+        assert_eq!(compare_versions("2", "10"), Ordering::Less);
+        assert_eq!(compare_versions("1.10", "1.9"), Ordering::Greater);
+        assert_eq!(compare_versions("1.2.1", "1.2"), Ordering::Greater);
+        assert_eq!(compare_versions("1.2", "1.2"), Ordering::Equal);
+        assert_eq!(compare_versions("1.beta", "1.alpha"), Ordering::Greater);
+    }
+
+    #[test]
+    fn scan_keeps_highest_version_and_ignores_strays() {
+        let dir = registry_dir(
+            "scan",
+            &[
+                ("ratings@1.dcm", 1.0),
+                ("ratings@10.dcm", 2.0),
+                ("ratings@9.dcm", 3.0),
+                ("genes@0.1.json", 1.0),
+            ],
+        );
+        std::fs::write(dir.join("README.txt"), "not a model").unwrap();
+        std::fs::write(dir.join("noversion.dcm"), "stray").unwrap();
+        let reg = ModelRegistry::open(&dir, 4, Obs::null()).unwrap();
+        let list = reg.list();
+        assert_eq!(list.len(), 2);
+        assert_eq!(list[0].name, "genes");
+        assert_eq!(list[0].version, "0.1");
+        assert_eq!(list[1].name, "ratings");
+        assert_eq!(list[1].version, "10");
+        assert!(list.iter().all(|m| !m.resident));
+        assert_eq!(reg.first_name().as_deref(), Some("genes"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_loads_lazily_and_lru_evicts_beyond_capacity() {
+        let dir = registry_dir(
+            "lru",
+            &[("a@1.dcm", 1.0), ("b@1.dcm", 2.0), ("c@1.dcm", 3.0)],
+        );
+        let reg = ModelRegistry::open(&dir, 2, Obs::null()).unwrap();
+        let a = reg.get("a").unwrap();
+        assert!((a.predict(1, 1).unwrap() - 2.0).abs() < 1e-9);
+        reg.get("b").unwrap();
+        assert_eq!(reg.resident(), vec!["a", "b"]);
+        // Touching `a` makes `b` the eviction candidate.
+        reg.get("a").unwrap();
+        reg.get("c").unwrap();
+        assert_eq!(reg.resident(), vec!["a", "c"]);
+        let listed: Vec<bool> = reg.list().iter().map(|m| m.resident).collect();
+        assert_eq!(listed, vec![true, false, true]);
+        // The evicted model reloads transparently.
+        let b = reg.get("b").unwrap();
+        assert!((b.predict(1, 1).unwrap() - 4.0).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_and_corrupt_models_are_typed_errors() {
+        let dir = registry_dir("errors", &[("good@1.dcm", 1.0)]);
+        std::fs::write(dir.join("bad@1.dcm"), b"DCM1 but not really").unwrap();
+        let reg = ModelRegistry::open(&dir, 2, Obs::null()).unwrap();
+        assert!(matches!(
+            reg.get("nope"),
+            Err(RegistryError::UnknownModel(_))
+        ));
+        assert!(matches!(reg.get("bad"), Err(RegistryError::Load { .. })));
+        // A failed load leaves the registry usable.
+        assert!(reg.get("good").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evict_drops_engine_but_keeps_catalog() {
+        let dir = registry_dir("evict", &[("m@1.dcm", 1.0)]);
+        let reg = ModelRegistry::open(&dir, 2, Obs::null()).unwrap();
+        reg.get("m").unwrap();
+        assert!(reg.evict("m"));
+        assert!(!reg.evict("m"), "second evict finds nothing resident");
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("m").is_ok(), "evicted model reloads");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loads_emit_model_load_spans() {
+        let dir = registry_dir("obs", &[("m@1.dcm", 1.0)]);
+        let sink = MemorySink::new();
+        let reg = ModelRegistry::open(&dir, 2, Obs::new(sink.clone())).unwrap();
+        reg.get("m").unwrap();
+        reg.get("m").unwrap(); // cached: no second load event
+        let loads = sink.named("serve.model_load");
+        assert_eq!(loads.len(), 1);
+        assert!(loads[0].u64_field("bytes").unwrap() > 0);
+        assert_eq!(loads[0].u64_field("clusters"), Some(1));
+        assert!(loads[0].u64_field("load_micros").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,153 @@
+//! Scaling δ-cluster serving out: two shards behind a consistent-hash
+//! router, all in one process.
+//!
+//! Mines a model, snapshots it, starts two `dc-net` shard servers on
+//! loopback ports, then fronts them with a `dc-router` — the same
+//! machinery `delta-clusters router --shards a,b` runs. Queries fan out by
+//! row id over the hash ring, answers merge back in query order
+//! byte-identical to a single server, and killing one shard mid-flight
+//! shows the failover + ejection path before a graceful full-fleet drain.
+//!
+//! Run with: `cargo run --release --example cluster_serving`
+
+use delta_clusters::net::{serve, serve_handler, AppState, HttpClient, ServerConfig};
+use delta_clusters::prelude::*;
+use delta_clusters::{datagen, serve as serve_crate};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Train and snapshot one model; every shard serves the same
+    //    artifact, so any shard can answer any row the ring assigns it.
+    let config = EmbedConfig::new(120, 30, vec![(25, 8); 4]).with_seed(17);
+    let data = datagen::embed::generate(&config);
+    let fc = FlocConfig::builder(4)
+        .alpha(0.2)
+        .seeding(Seeding::TargetSize { rows: 25, cols: 8 })
+        .seed(5)
+        .build();
+    let result = floc(&data.matrix, &fc).expect("floc run");
+    let model = ServeModel::from_result(data.matrix, &result).expect("model");
+    let path = std::env::temp_dir().join("cluster_serving_example.dcm");
+    serve_crate::save(&model, &path).expect("save model");
+
+    // 2. Start the shard fleet: two ordinary single-model servers, each
+    //    with its own stop flag so one can be killed independently —
+    //    ServerHandle::shutdown raises the flag it was given.
+    let mut shards = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for _ in 0..2 {
+        let model = serve_crate::load(&path).expect("load model");
+        let state = Arc::new(AppState::new(
+            model,
+            Some(path.to_string_lossy().as_ref()),
+            2,
+            delta_clusters::obs::Obs::null(),
+        ));
+        let handle = serve(
+            ServerConfig {
+                threads: 4,
+                ..ServerConfig::default()
+            },
+            state,
+            Arc::new(AtomicBool::new(false)),
+        )
+        .expect("bind shard");
+        shard_addrs.push(handle.addr().to_string());
+        shards.push(handle);
+    }
+    println!("shards up: {}", shard_addrs.join(", "));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // 3. Front them with the router: consistent-hash ring over the shard
+    //    addresses, health census at startup, background prober.
+    let router = Arc::new(
+        Router::new(
+            RouterConfig {
+                shards: shard_addrs.clone(),
+                ..RouterConfig::default()
+            },
+            delta_clusters::obs::Obs::null(),
+        )
+        .expect("valid shard list"),
+    );
+    let healthy = router.probe_all();
+    println!(
+        "router census: {healthy}/{} shards healthy",
+        shard_addrs.len()
+    );
+    let prober = Router::spawn_prober(router.clone(), stop.clone());
+    let front = serve_handler(
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+        router.clone(),
+        stop.clone(),
+    )
+    .expect("bind router");
+    println!("routing on http://{}\n", front.addr());
+
+    // 4. One batch across the whole key space: the router scatters rows to
+    //    their owning shards and merges answers back in query order.
+    let ring: &HashRing = router.ring();
+    for row in [0usize, 40, 80, 119] {
+        println!(
+            "row {row:>3} -> shard {}",
+            ring.shards()[ring.shard_for_row(row)]
+        );
+    }
+    let mut client = HttpClient::connect(front.addr()).expect("connect router");
+    let queries: Vec<String> = (0..120).step_by(7).map(|r| format!("[{r},3]")).collect();
+    let batch = client
+        .post_json(
+            "/v1/predict",
+            &format!("{{\"queries\": [{}]}}", queries.join(",")),
+        )
+        .expect("batch through router");
+    let body = batch.body_str();
+    println!(
+        "POST /v1/predict (batch of {}) -> {} ({} bytes, answers in query order)",
+        queries.len(),
+        batch.status,
+        body.len()
+    );
+
+    let shards_view = client.get("/v1/shards").expect("shards view");
+    println!("GET /v1/shards -> {}", shards_view.body_str());
+
+    // 5. Kill one shard: its rows fail over to the ring's next replica;
+    //    after enough consecutive failures the shard is ejected and
+    //    traffic stops probing it on the hot path.
+    let victim = shards.remove(0);
+    let victim_addr = shard_addrs[0].clone();
+    victim.shutdown();
+    println!("\nkilled shard {victim_addr}");
+    for _ in 0..4 {
+        let resp = client
+            .post_json(
+                "/v1/predict",
+                "{\"queries\": [[0,3],[40,3],[80,3],[119,3]]}",
+            )
+            .expect("batch after kill");
+        println!(
+            "POST /v1/predict after kill -> {} (retried sub-requests so far: {})",
+            resp.status,
+            router.retry_count()
+        );
+    }
+    let shards_view = client.get("/v1/shards").expect("shards view");
+    println!("GET /v1/shards -> {}", shards_view.body_str());
+    drop(client);
+
+    // 6. Drain the fleet: router first, then the surviving shards.
+    stop.store(true, Ordering::Release);
+    let drained = front.shutdown();
+    let mut all = drained;
+    for shard in shards {
+        all &= shard.shutdown();
+    }
+    let _ = prober.join();
+    println!("\nfleet drained cleanly: {all}");
+    let _ = std::fs::remove_file(&path);
+}
