@@ -28,7 +28,7 @@ use dc_floc::{
 use dc_matrix::io::{read_dense_file, read_triples_file, DenseFormat};
 use dc_matrix::DataMatrix;
 use dc_net::RequestHandler;
-use dc_obs::{EventKind, Field};
+use dc_obs::{EventKind, Field, Obs};
 use dc_serve::{atomic_write, PredictError, QueryEngine, ServeModel};
 use serde::Serialize;
 use std::path::Path;
@@ -149,6 +149,11 @@ USAGE:
   delta-clusters predict <model-file> <row> [<col>] [--top N]
   delta-clusters serve <model-file> [--models DIR] [--model-cap N] [--addr HOST:PORT]
                   [--threads T] [--queue-depth N] [--log text|json] [--metrics OUT.json]
+  delta-clusters serve --mine [--state-dir DIR] [--stream FILE.dcs]
+                  [--stream-users N --stream-movies N --stream-events N]
+                  [--stream-seed S] [--stream-deletes PCT] [--batch N]
+                  [--refine-iters N] [--promote-margin M] [--keep-generations N]
+                  [--k N] [--alpha A] [--seed S] [--addr HOST:PORT] [...]
   delta-clusters router --shards HOST:PORT,HOST:PORT,... [--addr HOST:PORT]
                   [--replicas N] [--failure-threshold N] [--probe-interval-ms MS]
                   [--threads T] [--queue-depth N] [--log text|json] [--metrics OUT.json]
@@ -211,6 +216,23 @@ human lines to stderr, `mine --progress` prints one progress line per
 iteration, and --metrics OUT.json aggregates event counts and duration
 histograms into a JSON artifact. Observation never changes results: an
 observed run is bit-identical to an unobserved one.
+
+Online mining: `serve --mine` never stops learning. A background miner
+ingests a bounded MovieLens-like event stream — deterministic synthetic
+ratings by default (--stream-users/--stream-movies/--stream-events/
+--stream-seed), or a DCS1 event file via --stream — applying --batch
+events per step with O(1) cluster-statistic repair, then a bounded
+refinement round (--refine-iters iterations). A clustering that beats the
+served model by --promote-margin is promoted atomically into the running
+server: /v1/model's version bumps, /readyz gates the swap instant, and
+in-flight queries answer from the old or new model, never a mix (negative
+margins re-promote even without improvement, keeping the model fresh).
+Every step checkpoints to --state-dir (generation-numbered `.dck` files,
+--keep-generations retained); a killed process resumes bit-identically,
+rolling any half-finished promotion forward. A miner panic or error never
+takes serving down: the crash surfaces on /healthz and gauges, and the
+last promoted model keeps answering. First SIGINT drains both; a second
+SIGINT force-exits with code 3 (the durable state is still consistent).
 
 Robustness: `mine --checkpoint` writes a CRC-checked `.dck` snapshot after
 each improving iteration (or every N with --checkpoint-every); SIGINT or an
@@ -541,51 +563,76 @@ fn serve(args: &Args) -> Result<CmdOutput, CmdError> {
         .map_err(CmdError::Usage)?
         .build();
 
+    // `--mine` turns the server into its own model source: a background
+    // miner consumes the event stream, promoting improved models into the
+    // running server. It owns the default model, so it excludes both the
+    // positional model file and the registry default.
+    let mining = args.switch("mine");
+    if mining && args.get("models").is_some() {
+        return Err(CmdError::Usage(
+            "--mine and --models are mutually exclusive; the miner owns the served model".into(),
+        ));
+    }
+    if mining && !args.positional.is_empty() {
+        return Err(CmdError::Usage(
+            "serve --mine mines its own model; drop the model-file argument".into(),
+        ));
+    }
+    let mut miner = None;
+
     // `--models DIR` scans `<name>@<version>.dcm|.json` artifacts into a
     // lazy-loading registry; the default model (for bare `/v1/predict`) is
     // the positional path when given, else the registry's first entry.
     let mut registry = None;
-    let model_path = match args.get("models") {
-        Some(dir) => {
-            let cap: usize = args.get_or("model-cap", 4)?;
-            if cap == 0 {
-                return Err(CmdError::Usage("--model-cap must be positive".into()));
-            }
-            let reg = dc_serve::ModelRegistry::open(dir, cap, obs.clone())
-                .map_err(|e| CmdError::Io(format!("{dir}: {e}")))?;
-            if reg.is_empty() {
-                return Err(CmdError::Io(format!(
-                    "{dir}: no model artifacts (<name>@<version>.dcm) found"
-                )));
-            }
-            let path = match args.positional.first() {
-                Some(p) => p.clone(),
-                None => {
-                    let first = reg.first_name().expect("registry is non-empty");
-                    let info = reg
-                        .list()
-                        .into_iter()
-                        .find(|i| i.name == first)
-                        .expect("first_name is listed");
-                    info.path.display().to_string()
+    let (model, model_path) = if mining {
+        let (m, model, path) = online_bootstrap(args, &obs)?;
+        miner = Some(m);
+        (model, path)
+    } else {
+        let model_path = match args.get("models") {
+            Some(dir) => {
+                let cap: usize = args.get_or("model-cap", 4)?;
+                if cap == 0 {
+                    return Err(CmdError::Usage("--model-cap must be positive".into()));
                 }
-            };
-            registry = Some(Arc::new(reg));
-            path
+                let reg = dc_serve::ModelRegistry::open(dir, cap, obs.clone())
+                    .map_err(|e| CmdError::Io(format!("{dir}: {e}")))?;
+                if reg.is_empty() {
+                    return Err(CmdError::Io(format!(
+                        "{dir}: no model artifacts (<name>@<version>.dcm) found"
+                    )));
+                }
+                let path = match args.positional.first() {
+                    Some(p) => p.clone(),
+                    None => {
+                        let first = reg.first_name().expect("registry is non-empty");
+                        let info = reg
+                            .list()
+                            .into_iter()
+                            .find(|i| i.name == first)
+                            .expect("first_name is listed");
+                        info.path.display().to_string()
+                    }
+                };
+                registry = Some(Arc::new(reg));
+                path
+            }
+            None => input_path(args, "model file")?.to_string(),
+        };
+        let model = dc_serve::load_observed(&model_path, &obs)
+            .map_err(|e| CmdError::Io(format!("{model_path}: {e}")))?;
+        // A model in which every cluster is degenerate (zero specified
+        // cells) can only ever answer DegenerateCluster; refuse it up
+        // front with the same exit code a degenerate `predict` reports.
+        // (A *mined* model is exempt: the miner keeps refining it.)
+        if model.k() > 0 && model.bases().iter().all(|b| b.volume == 0) {
+            return Err(CmdError::Algo(format!(
+                "{}: every cluster in the model is degenerate; nothing can be served",
+                PredictError::DegenerateCluster
+            )));
         }
-        None => input_path(args, "model file")?.to_string(),
+        (model, model_path)
     };
-    let model = dc_serve::load_observed(&model_path, &obs)
-        .map_err(|e| CmdError::Io(format!("{model_path}: {e}")))?;
-    // A model in which every cluster is degenerate (zero specified cells)
-    // can only ever answer DegenerateCluster; refuse it up front with the
-    // same exit code a degenerate `predict` reports.
-    if model.k() > 0 && model.bases().iter().all(|b| b.volume == 0) {
-        return Err(CmdError::Algo(format!(
-            "{}: every cluster in the model is degenerate; nothing can be served",
-            PredictError::DegenerateCluster
-        )));
-    }
 
     let mut app = dc_net::AppState::new(model, Some(&model_path), threads, obs.clone());
     let registry_note = match &registry {
@@ -605,16 +652,39 @@ fn serve(args: &Args) -> Result<CmdOutput, CmdError> {
     let handle = dc_net::serve(config, state.clone(), interrupt::flag())
         .map_err(|e| CmdError::Io(format!("bind {addr}: {e}")))?;
 
+    // The miner rides on the same interrupt flag as the server: the first
+    // SIGINT stops the batch loop (discarding any in-flight refinement
+    // round) while the server drains; a second SIGINT force-exits 3.
+    let miner_handle =
+        miner.map(|m| dc_online::spawn_miner(m, state.clone(), interrupt::flag(), obs.clone()));
+
     // Readiness line goes to stderr immediately (stdout may carry the
     // `--log json` event stream, and CmdOutput text only prints at exit).
     eprintln!(
-        "serving {model_path}{registry_note} on http://{}  ({threads} worker(s), queue depth \
+        "serving {model_path}{registry_note}{} on http://{}  ({threads} worker(s), queue depth \
          {queue_depth}); SIGINT to stop",
+        if miner_handle.is_some() {
+            " (online mining)"
+        } else {
+            ""
+        },
         handle.addr()
     );
 
     // Parks until the interrupt flag rises, then drains under a deadline.
     let drained = handle.wait();
+    let mined = if let Some(h) = miner_handle {
+        h.stop();
+        h.join();
+        let gauges = state.gauges();
+        Some(format!(
+            "miner: {} promotion(s), {} event(s) ingested\n",
+            gauges.get("miner_promotions").copied().unwrap_or(0),
+            gauges.get("miner_cursor").copied().unwrap_or(0),
+        ))
+    } else {
+        None
+    };
 
     let snap = state.metrics.snapshot();
     let mut out = format!(
@@ -628,6 +698,9 @@ fn serve(args: &Args) -> Result<CmdOutput, CmdError> {
             "drain deadline hit, stragglers detached"
         }
     );
+    if let Some(line) = mined {
+        out.push_str(&line);
+    }
     obs.flush();
     if let Some(export) = &metrics {
         export.write().map_err(|e| CmdError::Io(e.to_string()))?;
@@ -635,7 +708,103 @@ fn serve(args: &Args) -> Result<CmdOutput, CmdError> {
     }
     // A SIGINT-triggered stop is the *normal* way to end `serve`: exit 0,
     // unlike `mine` where an interrupt truncates the computation (exit 3).
+    // That holds for `--mine` too — its progress is already durable in
+    // --state-dir, so stopping the pair loses nothing.
     Ok(CmdOutput::ok(out))
+}
+
+/// `serve --mine` bootstrap: build the event source and recover (or cold
+/// start) the miner from `--state-dir`, returning the model the server
+/// opens with and the path of its artifact.
+fn online_bootstrap(
+    args: &Args,
+    obs: &Obs,
+) -> Result<(dc_online::Miner, ServeModel, String), CmdError> {
+    let defaults = dc_datagen::StreamConfig::default();
+    let stream = dc_datagen::StreamConfig {
+        users: args.get_or("stream-users", defaults.users)?,
+        movies: args.get_or("stream-movies", defaults.movies)?,
+        events: args.get_or("stream-events", defaults.events)?,
+        delete_percent: args.get_or("stream-deletes", defaults.delete_percent)?,
+        seed: args.get_or("stream-seed", defaults.seed)?,
+        ..defaults
+    };
+    if stream.users == 0 || stream.movies == 0 {
+        return Err(CmdError::Usage(
+            "--stream-users and --stream-movies must be positive".into(),
+        ));
+    }
+    let source = match args.get("stream") {
+        Some(file) => dc_online::SourceSpec::from_file(file, stream),
+        None => dc_online::SourceSpec::generated(stream),
+    };
+
+    let shape = source.empty_matrix();
+    let mut floc = floc_config(args, &shape)?;
+    // Online refinement runs in short bounded rounds per batch; the full
+    // offline iteration budget would stall promotions behind each round.
+    floc.max_iterations = args.get_or("refine-iters", 8usize)?;
+    if floc.max_iterations == 0 {
+        return Err(CmdError::Usage("--refine-iters must be positive".into()));
+    }
+
+    let batch: usize = args.get_or("batch", 100)?;
+    if batch == 0 {
+        return Err(CmdError::Usage("--batch must be positive".into()));
+    }
+    let keep_generations: usize = args.get_or("keep-generations", 4)?;
+    if keep_generations < 2 {
+        return Err(CmdError::Usage(
+            "--keep-generations must be at least 2 (staged + committed)".into(),
+        ));
+    }
+    let state_dir = args.get("state-dir").unwrap_or("online-state").to_string();
+    let config = dc_online::MinerConfig {
+        source,
+        floc,
+        state_dir: state_dir.clone().into(),
+        batch,
+        promote_margin: args.get_or("promote-margin", 0.0f64)?,
+        // The wall-clock budget bounds each refinement round. Budget stops
+        // are timing-dependent: leave it unset when bit-identical crash
+        // replays matter (the chaos suite always does).
+        refine_budget: time_budget(args)?,
+        keep_generations,
+    };
+    let (miner, model, recovery) =
+        dc_online::Miner::bootstrap(config, crate::interrupt::flag(), obs.clone()).map_err(
+            |e| match &e {
+                dc_online::OnlineError::Io(_)
+                | dc_online::OnlineError::Artifact(_)
+                | dc_online::OnlineError::Stream { .. } => CmdError::Io(e.to_string()),
+                _ => CmdError::Algo(e.to_string()),
+            },
+        )?;
+    match &recovery {
+        dc_online::Recovery::ColdStart => {
+            eprintln!("miner: cold start, {} event(s) ingested", miner.cursor());
+        }
+        dc_online::Recovery::Resumed {
+            gen,
+            cursor,
+            rolled_forward,
+            discarded,
+        } => eprintln!(
+            "miner: resumed generation {gen} at event {cursor}{}{}",
+            if *rolled_forward {
+                ", rolled a crashed promotion forward"
+            } else {
+                ""
+            },
+            if *discarded > 0 {
+                ", discarded torn newer checkpoint(s)"
+            } else {
+                ""
+            },
+        ),
+    }
+    let path = dc_online::model_path(std::path::Path::new(&state_dir), miner.promotions());
+    Ok((miner, model, path.display().to_string()))
 }
 
 /// `router`: front a fleet of `serve` shards with consistent-hash

@@ -7,6 +7,13 @@
 //! flag at its next safe boundary, finishes bookkeeping, and returns the
 //! best result found so far instead of dying mid-iteration.
 //!
+//! A **second** SIGINT means the user is done waiting for the drain: the
+//! handler calls `_exit(3)` directly (also async-signal-safe — no atexit
+//! hooks, no unwinding, no allocator). Exit 3 is the workspace's
+//! "interrupted with a checkpoint" code: every durable write in the
+//! workspace is write-fsync-rename, so whatever checkpoint was completed
+//! last is intact on disk and a restart resumes from it.
+//!
 //! The workspace vendors no `libc` crate, so the binding is a one-line
 //! `extern "C"` declaration of `signal`, gated to Unix. On other platforms
 //! [`install`] is a no-op and ctrl-c keeps its default behavior.
@@ -26,9 +33,17 @@ pub fn flag() -> Arc<AtomicBool> {
 
 #[cfg(unix)]
 extern "C" fn on_sigint(_sig: i32) {
-    // Async-signal-safe: a relaxed store on an already-initialized atomic.
+    // Async-signal-safe: a relaxed swap on an already-initialized atomic,
+    // and on the second signal a raw `_exit` (no unwinding, no hooks).
     if let Some(f) = FLAG.get() {
-        f.store(true, Ordering::Relaxed);
+        if f.swap(true, Ordering::Relaxed) {
+            // Second SIGINT: force-quit with the interrupted-with-checkpoint
+            // code. Durable state is whatever atomic rename landed last.
+            extern "C" {
+                fn _exit(code: i32) -> !;
+            }
+            unsafe { _exit(3) }
+        }
     }
 }
 

@@ -197,6 +197,101 @@ fn serve_exits_0_on_sigint() {
     assert!(stdout.contains("drained cleanly"), "{stdout}");
 }
 
+/// The double-SIGINT contract for `serve --mine`: the first SIGINT starts
+/// a cooperative drain (server stops accepting, miner stops at its next
+/// safe boundary); a second SIGINT force-quits immediately with exit 3.
+/// The state directory keeps its last durable checkpoint either way.
+#[test]
+fn serve_mine_second_sigint_forces_exit_3() {
+    let dir = scratch_dir("dc-cli-exit-double-sigint");
+    let state = dir.join("state");
+    let state_arg = state.to_str().unwrap().to_string();
+
+    let mut child = Command::new(BIN)
+        .args([
+            "serve",
+            "--mine",
+            "--state-dir",
+            &state_arg,
+            "--stream-users",
+            "30",
+            "--stream-movies",
+            "20",
+            "--stream-events",
+            "5000",
+            "--batch",
+            "40",
+            "--k",
+            "2",
+            "--alpha",
+            "0.5",
+            "--seed",
+            "7",
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+        ])
+        // Every batch stalls 10s at its safe-point, so the miner is parked
+        // mid-step when the signals arrive and the drain outlives both.
+        .env("DC_CHAOS", "online.miner.batch=delay:10000")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("failed to spawn serve --mine");
+
+    // Skip the miner recovery note; wait for the serving line.
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut line = String::new();
+    while !line.contains("serving") {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before the serving line"
+        );
+    }
+
+    let pid = child.id().to_string();
+    let sigint = |pid: &str| {
+        let st = Command::new("kill")
+            .args(["-INT", pid])
+            .status()
+            .expect("failed to run kill");
+        assert!(st.success());
+    };
+    sigint(&pid);
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(
+        child.try_wait().unwrap().is_none(),
+        "first SIGINT must drain, not exit"
+    );
+    sigint(&pid);
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            break s;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "second SIGINT must force an immediate exit"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    assert_eq!(
+        status.code(),
+        Some(3),
+        "forced abort reports interrupted-with-checkpoint"
+    );
+
+    // The last durable checkpoint survived the forced exit: a restart
+    // would resume from it instead of cold starting.
+    let has_checkpoint = std::fs::read_dir(&state)
+        .unwrap()
+        .any(|e| e.unwrap().file_name().to_string_lossy().ends_with(".dck"));
+    assert!(has_checkpoint, "no checkpoint survived in {state:?}");
+}
+
 /// Spawns the binary, waits for its stderr readiness line (containing
 /// `ready_word`), and returns the child plus the `host:port` it bound.
 fn spawn_ready(args: &[&str], ready_word: &str) -> (std::process::Child, String) {

@@ -1,0 +1,325 @@
+//! The online-mining crash suite: kill a real `serve --mine` process over
+//! and over — SIGKILL at pseudo-random offsets plus deterministic aborts
+//! at every promotion safe-point, including mid-model-swap — and pin that
+//!
+//! * every restart resumes from the last durable checkpoint (never a cold
+//!   start once one exists, never a refused torn artifact),
+//! * in-flight `/v1/predict` queries keep answering 200 while promotions
+//!   are swapping models underneath them,
+//! * after the dust settles, the state directory is **byte-identical** to
+//!   an uninterrupted run of the same stream.
+//!
+//! `DC_CHAOS_KILLS` scales the kill count (default keeps local runs
+//! quick; CI turns it up).
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_delta-clusters");
+
+/// Deterministic xorshift64 so the "random" kill offsets replay exactly.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The identical mining invocation both runs use. No wall-clock budget:
+/// refinement must be deterministic for the byte-identical comparison.
+/// The negative promote margin makes every batch promote, so each run of
+/// the chaos loop walks through the promotion window the kills target.
+fn mine_args(state_dir: &str) -> Vec<String> {
+    [
+        "serve",
+        "--mine",
+        "--state-dir",
+        state_dir,
+        "--stream-users",
+        "24",
+        "--stream-movies",
+        "16",
+        "--stream-events",
+        "600",
+        "--stream-seed",
+        "5",
+        "--batch",
+        "60",
+        "--k",
+        "2",
+        "--alpha",
+        "0.5",
+        "--seed",
+        "7",
+        "--refine-iters",
+        "3",
+        "--promote-margin",
+        "-1",
+        "--addr",
+        "127.0.0.1:0",
+        "--threads",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+struct Mine {
+    child: Child,
+    addr: String,
+    /// stderr lines seen before the serving line (the recovery note).
+    bootstrap_notes: String,
+    /// Kept open for the child's lifetime: dropping the pipe would turn
+    /// its later stderr writes (the chaos abort notice!) into EPIPE
+    /// panics that never reach the abort.
+    _stderr: std::io::BufReader<std::process::ChildStderr>,
+}
+
+/// Spawns `serve --mine`, waits for the serving line, and returns the
+/// bound address plus everything stderr said while bootstrapping.
+fn spawn_mine(state_dir: &str, chaos: Option<&str>) -> Mine {
+    let mut cmd = Command::new(BIN);
+    cmd.args(mine_args(state_dir))
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    match chaos {
+        Some(spec) => cmd.env("DC_CHAOS", spec),
+        None => cmd.env_remove("DC_CHAOS"),
+    };
+    let mut child = cmd.spawn().expect("failed to spawn serve --mine");
+
+    let mut stderr = std::io::BufReader::new(child.stderr.take().unwrap());
+    let mut notes = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before the serving line; bootstrap said:\n{notes}"
+        );
+        if line.contains("serving") {
+            break;
+        }
+        notes.push_str(&line);
+    }
+    let addr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in serving line: {line:?}"))
+        .to_string();
+    Mine {
+        child,
+        addr,
+        bootstrap_notes: notes,
+        _stderr: stderr,
+    }
+}
+
+/// Fires one in-flight prediction; promotion must never surface an error,
+/// so anything but 200 fails the suite. Transport errors are fine — the
+/// process dies under this test on purpose, tearing sockets mid-read.
+fn probe_predict(addr: &str) {
+    let Ok(mut client) = dc_net::HttpClient::connect(addr) else {
+        return;
+    };
+    if let Ok(resp) = client.post_json("/v1/predict", "{\"row\": 2, \"col\": 3}") {
+        assert_eq!(
+            resp.status,
+            200,
+            "in-flight predict failed mid-promotion: {}",
+            resp.body_str()
+        );
+    }
+}
+
+/// Whether the miner status fragment on /healthz reports `state`.
+fn miner_state_is(addr: &str, state: &str) -> bool {
+    let Ok(mut client) = dc_net::HttpClient::connect(addr) else {
+        return false;
+    };
+    match client.get("/healthz") {
+        Ok(resp) => resp.body_str().contains(&format!("\"state\": \"{state}\"")),
+        Err(_) => false,
+    }
+}
+
+/// Runs one `serve --mine` to stream exhaustion, probing predictions the
+/// whole way, then SIGINTs it and asserts a clean exit 0.
+fn run_to_completion(state_dir: &str) {
+    let mut mine = spawn_mine(state_dir, None);
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while !miner_state_is(&mine.addr, "finished") {
+        assert!(
+            Instant::now() < deadline,
+            "miner did not finish the stream in time"
+        );
+        probe_predict(&mine.addr);
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    let kill = Command::new("kill")
+        .args(["-INT", &mine.child.id().to_string()])
+        .status()
+        .expect("failed to run kill");
+    assert!(kill.success());
+    let status = wait_for_exit(&mut mine.child, Duration::from_secs(30));
+    assert_eq!(status.code(), Some(0), "clean SIGINT must exit 0");
+}
+
+fn wait_for_exit(child: &mut Child, budget: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + budget;
+    loop {
+        if let Some(s) = child.try_wait().unwrap() {
+            return s;
+        }
+        assert!(Instant::now() < deadline, "child did not exit in time");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Every durable artifact in the state directory, name → bytes. This is
+/// what "resumes bit-identically" means at the end of the suite: the
+/// kills must leave no trace — not a stray generation, not a byte.
+fn durable_state(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut files = BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name().to_string_lossy().to_string();
+        files.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    files
+}
+
+fn has_checkpoint(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.file_name().to_string_lossy().ends_with(".dck"))
+        })
+        .unwrap_or(false)
+}
+
+#[test]
+fn killed_miners_resume_bit_identically_and_never_drop_a_query() {
+    // Uninterrupted baseline: the byte-level oracle for the final state.
+    let baseline_dir = scratch_dir("dc-online-chaos-baseline");
+    run_to_completion(baseline_dir.to_str().unwrap());
+    let baseline = durable_state(&baseline_dir);
+    assert!(
+        baseline.keys().any(|n| n.ends_with(".dcm")),
+        "baseline produced no model artifact: {:?}",
+        baseline.keys().collect::<Vec<_>>()
+    );
+
+    // Chaos loop: alternate deterministic aborts at every promotion
+    // safe-point (including both sides of the model swap) with SIGKILLs
+    // at pseudo-random offsets.
+    let kills: usize = std::env::var("DC_CHAOS_KILLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    // Hit 2, not 1: a cold start's bootstrap promotion visits the
+    // online.promote.* points once before the server is even up.
+    let safe_points = [
+        "online.promote.staged=abort@2",
+        "online.promote.model=abort@2",
+        "net.swap.not_ready=abort@2",
+        "net.swap.installed=abort@2",
+        "online.promote.done=abort@2",
+    ];
+    let chaos_dir = scratch_dir("dc-online-chaos-kills");
+    let state_dir = chaos_dir.to_str().unwrap();
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    let mut resumes = 0usize;
+
+    for i in 0..kills {
+        let expect_resume = has_checkpoint(&chaos_dir);
+        let chaos = (i % 2 == 0).then(|| safe_points[(i / 2) % safe_points.len()]);
+        let mut mine = spawn_mine(state_dir, chaos);
+
+        // Once a checkpoint exists, a restart is always a resume — a cold
+        // start here would mean a durable artifact was refused as torn.
+        if expect_resume {
+            assert!(
+                mine.bootstrap_notes.contains("miner: resumed"),
+                "restart {i} did not resume: {}",
+                mine.bootstrap_notes
+            );
+            resumes += 1;
+        }
+
+        match chaos {
+            Some(_) => {
+                // The safe-point aborts the process on its own; keep
+                // queries flowing until it does. Exhausted streams stop
+                // promoting, so bail out via SIGINT if the miner finishes.
+                let deadline = Instant::now() + Duration::from_secs(60);
+                loop {
+                    if mine.child.try_wait().unwrap().is_some() {
+                        break;
+                    }
+                    if miner_state_is(&mine.addr, "finished") {
+                        let _ = Command::new("kill")
+                            .args(["-INT", &mine.child.id().to_string()])
+                            .status();
+                        wait_for_exit(&mut mine.child, Duration::from_secs(30));
+                        break;
+                    }
+                    assert!(
+                        Instant::now() < deadline,
+                        "abort rule {chaos:?} never fired on restart {i}"
+                    );
+                    probe_predict(&mine.addr);
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+            None => {
+                // SIGKILL at a random offset inside the mining window,
+                // with live queries right up to the kill.
+                let offset = Duration::from_millis(20 + rng.next() % 400);
+                let armed = Instant::now();
+                while Instant::now() - armed < offset {
+                    probe_predict(&mine.addr);
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                let _ = mine.child.kill();
+                let _ = mine.child.wait();
+            }
+        }
+    }
+    assert!(resumes > 0, "the chaos loop never exercised a resume");
+
+    // Let the survivor finish the stream, then compare every byte.
+    run_to_completion(state_dir);
+    let survived = durable_state(&chaos_dir);
+    assert_eq!(
+        survived.keys().collect::<Vec<_>>(),
+        baseline.keys().collect::<Vec<_>>(),
+        "kills changed which artifacts survive"
+    );
+    for (name, bytes) in &baseline {
+        assert_eq!(
+            &survived[name], bytes,
+            "{name} diverged from the uninterrupted run"
+        );
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`microarray`] — a yeast-expression-shaped matrix (2884 × 17) with
 //!   co-regulated gene modules; stands in for the Tavazoie data set.
 //! * [`noise`] — uniform/Gaussian noise primitives.
+//! * [`stream`] — a deterministic MovieLens-like *event stream* (rating
+//!   appends/updates/deletes) feeding the online miner, with a framed
+//!   binary codec.
 //!
 //! All generators are deterministic given their seed.
 
@@ -22,6 +25,7 @@ pub mod erlang;
 pub mod microarray;
 pub mod movielens;
 pub mod noise;
+pub mod stream;
 pub mod synth;
 
 pub use embed::{generate as generate_embedded, EmbedConfig, EmbeddedData};
@@ -29,3 +33,6 @@ pub use erlang::Erlang;
 pub use microarray::{generate as generate_microarray, MicroarrayConfig, MicroarrayData};
 pub use movielens::{generate as generate_movielens, MovieLensConfig, MovieLensData};
 pub use noise::Noise;
+pub use stream::{
+    encode_events, generate_events, EventDecoder, RatingEvent, RatingOp, StreamConfig,
+};

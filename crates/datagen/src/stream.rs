@@ -1,0 +1,475 @@
+//! A deterministic MovieLens-like **event stream**: the bounded sequence of
+//! rating appends/updates/deletes the online miner (`dc-online`) ingests.
+//!
+//! The stream reuses the latent structure of [`crate::movielens`] — user
+//! taste groups, genre affinities, per-user bias, popularity-skewed movie
+//! picks — but emits *events over time* instead of a finished matrix:
+//! a first rating for an unrated `(user, movie)` cell is an append, a
+//! rating for an already-rated cell is an update, and a small fraction of
+//! events revoke an existing rating (delete). Replaying events `0..n` onto
+//! an empty matrix is a pure function of the config, which is what makes
+//! the miner's crash recovery bit-identical: a checkpoint only needs the
+//! cursor `n`.
+//!
+//! Everything is deterministic given the seed — same config, same bytes,
+//! no dependence on thread count or global state (pinned by tests).
+//!
+//! The module also ships a tiny framed binary codec
+//! ([`encode_events`] / [`EventDecoder`]) so streams can be written to
+//! disk, piped through `dc-fault`'s `FaultyReader` in chaos tests, and
+//! decoded incrementally with typed errors.
+
+use dc_matrix::DataMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::io::Read;
+
+/// Magic prefix of the binary stream format (version baked into the tag).
+pub const STREAM_MAGIC: [u8; 4] = *b"DCS1";
+
+/// What one event does to its `(user, movie)` cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RatingOp {
+    /// Rate (or re-rate) the cell; values are 1.0–5.0 integers.
+    Set(f64),
+    /// Revoke the rating (cell becomes unspecified).
+    Delete,
+}
+
+/// One stream event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatingEvent {
+    pub user: u32,
+    pub movie: u32,
+    pub op: RatingOp,
+}
+
+impl RatingEvent {
+    /// Applies the event to `matrix` (shape must cover the indices).
+    pub fn apply(&self, matrix: &mut DataMatrix) {
+        match self.op {
+            RatingOp::Set(v) => matrix.set(self.user as usize, self.movie as usize, v),
+            RatingOp::Delete => {
+                matrix.unset(self.user as usize, self.movie as usize);
+            }
+        }
+    }
+}
+
+/// Configuration of the event-stream generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Number of users (rows of the serving matrix).
+    pub users: usize,
+    /// Number of movies (columns).
+    pub movies: usize,
+    /// Total events to emit.
+    pub events: usize,
+    /// Out of 100: chance an event deletes an existing rating instead of
+    /// setting one (skipped while nothing is rated yet).
+    pub delete_percent: u32,
+    /// Latent user taste groups (see [`crate::movielens`]).
+    pub user_groups: usize,
+    /// Movie genres.
+    pub genres: usize,
+    /// Rating noise before rounding.
+    pub noise_std: f64,
+    /// RNG seed; the stream is a pure function of this config.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    /// A small MovieLens-flavoured default sized for smoke tests: the CLI
+    /// overrides users/movies/events per run.
+    fn default() -> Self {
+        StreamConfig {
+            users: 120,
+            movies: 80,
+            events: 2_000,
+            delete_percent: 5,
+            user_groups: 4,
+            genres: 6,
+            noise_std: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates the full event stream for `config`. Deterministic.
+pub fn generate_events(config: &StreamConfig) -> Vec<RatingEvent> {
+    assert!(config.users > 0 && config.movies > 0, "empty universe");
+    assert!(
+        config.user_groups > 0 && config.genres > 0,
+        "need groups and genres"
+    );
+    assert!(config.delete_percent <= 100, "delete_percent is out of 100");
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0005_eed5_7ee4);
+
+    // The same latent structure movielens::generate plants, so refinement
+    // has real δ-clusters to find as the stream fills in.
+    let user_group: Vec<usize> = (0..config.users)
+        .map(|_| rng.gen_range(0..config.user_groups))
+        .collect();
+    let movie_genre: Vec<usize> = (0..config.movies)
+        .map(|_| rng.gen_range(0..config.genres))
+        .collect();
+    let affinity: Vec<Vec<f64>> = (0..config.user_groups)
+        .map(|_| {
+            (0..config.genres)
+                .map(|_| rng.gen_range(1.0..5.0))
+                .collect()
+        })
+        .collect();
+    let user_bias: Vec<f64> = (0..config.users)
+        .map(|_| rng.gen_range(-1.0..1.0))
+        .collect();
+    let movie_quality: Vec<f64> = (0..config.movies)
+        .map(|_| rng.gen_range(-0.6..0.6))
+        .collect();
+
+    // Rated cells so far, so deletes always target a real rating and the
+    // append/update mix evolves the way a live system's would.
+    let mut rated: Vec<(u32, u32)> = Vec::new();
+    let mut events = Vec::with_capacity(config.events);
+    while events.len() < config.events {
+        if !rated.is_empty() && rng.gen_range(0..100u32) < config.delete_percent {
+            let idx = rng.gen_range(0..rated.len());
+            let (user, movie) = rated.swap_remove(idx);
+            events.push(RatingEvent {
+                user,
+                movie,
+                op: RatingOp::Delete,
+            });
+            continue;
+        }
+        let u = rng.gen_range(0..config.users);
+        // Popularity skew without a weight table: quadratic bias toward
+        // low-numbered movies, like the Zipfian pick in movielens.
+        let m = {
+            let a = rng.gen_range(0..config.movies);
+            let b = rng.gen_range(0..config.movies);
+            a.min(b)
+        };
+        let raw = affinity[user_group[u]][movie_genre[m]]
+            + user_bias[u]
+            + movie_quality[m]
+            + crate::noise::Noise::Gaussian {
+                mean: 0.0,
+                std_dev: 1.0,
+            }
+            .sample(&mut rng)
+                * config.noise_std;
+        let rating = raw.round().clamp(1.0, 5.0);
+        let pair = (u as u32, m as u32);
+        if !rated.contains(&pair) {
+            rated.push(pair);
+        }
+        events.push(RatingEvent {
+            user: pair.0,
+            movie: pair.1,
+            op: RatingOp::Set(rating),
+        });
+    }
+    events
+}
+
+/// Replays events `0..cursor` onto an empty `users × movies` matrix — the
+/// miner's crash-recovery primitive.
+pub fn replay(config: &StreamConfig, cursor: usize) -> DataMatrix {
+    let events = generate_events(config);
+    assert!(
+        cursor <= events.len(),
+        "cursor {cursor} past stream end {}",
+        events.len()
+    );
+    let mut matrix = DataMatrix::new(config.users, config.movies);
+    for event in &events[..cursor] {
+        event.apply(&mut matrix);
+    }
+    matrix
+}
+
+/// Errors the stream codec can report. Decoding never panics on hostile
+/// bytes — every failure mode is a typed variant.
+#[derive(Debug)]
+pub enum StreamCodecError {
+    Io(std::io::Error),
+    /// The input does not start with [`STREAM_MAGIC`].
+    BadMagic([u8; 4]),
+    /// An unknown op tag byte.
+    BadTag(u8),
+    /// The input ended inside an event frame.
+    Truncated,
+    /// A decoded rating was not finite.
+    BadRating(f64),
+}
+
+impl std::fmt::Display for StreamCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamCodecError::Io(e) => write!(f, "stream read failed: {e}"),
+            StreamCodecError::BadMagic(m) => write!(f, "not a DCS1 event stream: magic {m:02x?}"),
+            StreamCodecError::BadTag(t) => write!(f, "unknown event tag {t:#04x}"),
+            StreamCodecError::Truncated => write!(f, "event stream ends mid-frame"),
+            StreamCodecError::BadRating(v) => write!(f, "non-finite rating {v} in stream"),
+        }
+    }
+}
+
+impl std::error::Error for StreamCodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamCodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamCodecError {
+    fn from(e: std::io::Error) -> Self {
+        StreamCodecError::Io(e)
+    }
+}
+
+const TAG_SET: u8 = 1;
+const TAG_DELETE: u8 = 2;
+
+/// Encodes events in the framed binary format: magic, then one frame per
+/// event (`tag, user u32-LE, movie u32-LE[, rating f64-LE]`).
+pub fn encode_events(events: &[RatingEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + events.len() * 17);
+    out.extend_from_slice(&STREAM_MAGIC);
+    for event in events {
+        match event.op {
+            RatingOp::Set(v) => {
+                out.push(TAG_SET);
+                out.extend_from_slice(&event.user.to_le_bytes());
+                out.extend_from_slice(&event.movie.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            RatingOp::Delete => {
+                out.push(TAG_DELETE);
+                out.extend_from_slice(&event.user.to_le_bytes());
+                out.extend_from_slice(&event.movie.to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Incremental decoder over any `Read` — pairs with `dc-fault`'s
+/// `FaultyReader` so chaos tests can inject faults mid-stream.
+#[derive(Debug)]
+pub struct EventDecoder<R> {
+    inner: R,
+    checked_magic: bool,
+}
+
+impl<R: Read> EventDecoder<R> {
+    pub fn new(inner: R) -> Self {
+        EventDecoder {
+            inner,
+            checked_magic: false,
+        }
+    }
+
+    fn read_exact_or(&mut self, buf: &mut [u8], eof_ok: bool) -> Result<bool, StreamCodecError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return if filled == 0 && eof_ok {
+                        Ok(false)
+                    } else {
+                        Err(StreamCodecError::Truncated)
+                    };
+                }
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(StreamCodecError::Io(e)),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Decodes the next event; `Ok(None)` is clean end-of-stream.
+    pub fn next_event(&mut self) -> Result<Option<RatingEvent>, StreamCodecError> {
+        if !self.checked_magic {
+            let mut magic = [0u8; 4];
+            if !self.read_exact_or(&mut magic, true)? {
+                // A zero-byte stream decodes as empty rather than torn.
+                self.checked_magic = true;
+                return Ok(None);
+            }
+            if magic != STREAM_MAGIC {
+                return Err(StreamCodecError::BadMagic(magic));
+            }
+            self.checked_magic = true;
+        }
+        let mut tag = [0u8; 1];
+        if !self.read_exact_or(&mut tag, true)? {
+            return Ok(None);
+        }
+        let mut ids = [0u8; 8];
+        self.read_exact_or(&mut ids, false)?;
+        let user = u32::from_le_bytes(ids[..4].try_into().unwrap());
+        let movie = u32::from_le_bytes(ids[4..].try_into().unwrap());
+        let op = match tag[0] {
+            TAG_SET => {
+                let mut v = [0u8; 8];
+                self.read_exact_or(&mut v, false)?;
+                let rating = f64::from_le_bytes(v);
+                if !rating.is_finite() {
+                    return Err(StreamCodecError::BadRating(rating));
+                }
+                RatingOp::Set(rating)
+            }
+            TAG_DELETE => RatingOp::Delete,
+            other => return Err(StreamCodecError::BadTag(other)),
+        };
+        Ok(Some(RatingEvent { user, movie, op }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StreamConfig {
+        StreamConfig {
+            users: 40,
+            movies: 30,
+            events: 500,
+            delete_percent: 8,
+            user_groups: 3,
+            genres: 5,
+            noise_std: 0.25,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn stream_is_byte_identical_across_runs() {
+        let a = encode_events(&generate_events(&small()));
+        let b = encode_events(&generate_events(&small()));
+        assert_eq!(a, b, "same seed must give the same bytes");
+        let mut other = small();
+        other.seed = 43;
+        assert_ne!(a, encode_events(&generate_events(&other)));
+    }
+
+    #[test]
+    fn stream_does_not_depend_on_thread_context() {
+        // Generate concurrently from many threads: identical bytes prove
+        // there is no hidden global state (the `--threads`-independence
+        // contract the CLI inherits).
+        let baseline = encode_events(&generate_events(&small()));
+        let handles: Vec<_> = (0..4)
+            .map(|_| std::thread::spawn(|| encode_events(&generate_events(&small()))))
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), baseline);
+        }
+    }
+
+    #[test]
+    fn events_round_trip_through_the_codec() {
+        let events = generate_events(&small());
+        let bytes = encode_events(&events);
+        let mut decoder = EventDecoder::new(&bytes[..]);
+        let mut decoded = Vec::new();
+        while let Some(e) = decoder.next_event().unwrap() {
+            decoded.push(e);
+        }
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn deletes_target_existing_ratings_and_stay_bounded() {
+        let events = generate_events(&small());
+        let mut live = std::collections::HashSet::new();
+        let mut deletes = 0usize;
+        for e in &events {
+            match e.op {
+                RatingOp::Set(v) => {
+                    assert!((1.0..=5.0).contains(&v) && v == v.round(), "rating {v}");
+                    live.insert((e.user, e.movie));
+                }
+                RatingOp::Delete => {
+                    deletes += 1;
+                    assert!(
+                        live.remove(&(e.user, e.movie)),
+                        "delete of an unrated cell: {e:?}"
+                    );
+                }
+            }
+        }
+        assert!(deletes > 0, "expected some deletes at 8%");
+        assert!(deletes < events.len() / 4, "deletes dominate: {deletes}");
+    }
+
+    #[test]
+    fn replay_matches_manual_application() {
+        let config = small();
+        let events = generate_events(&config);
+        let mut manual = DataMatrix::new(config.users, config.movies);
+        for e in &events[..300] {
+            e.apply(&mut manual);
+        }
+        let replayed = replay(&config, 300);
+        assert_eq!(manual, replayed);
+        assert_eq!(manual.fingerprint(), replayed.fingerprint());
+    }
+
+    #[test]
+    fn decoder_reports_typed_errors_on_torn_input() {
+        let events = generate_events(&small());
+        let bytes = encode_events(&events);
+
+        // Bad magic.
+        let mut broken = bytes.clone();
+        broken[0] ^= 0xff;
+        let err = EventDecoder::new(&broken[..]).next_event().unwrap_err();
+        assert!(matches!(err, StreamCodecError::BadMagic(_)), "{err}");
+
+        // Truncation mid-frame.
+        let torn = &bytes[..bytes.len() - 3];
+        let mut decoder = EventDecoder::new(torn);
+        let err = loop {
+            match decoder.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("torn stream decoded cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StreamCodecError::Truncated), "{err}");
+
+        // Unknown tag.
+        let mut bad_tag = bytes[..4].to_vec();
+        bad_tag.push(0x7f);
+        bad_tag.extend_from_slice(&[0u8; 8]);
+        let err = EventDecoder::new(&bad_tag[..]).next_event().unwrap_err();
+        assert!(matches!(err, StreamCodecError::BadTag(0x7f)), "{err}");
+
+        // Injected IO faults surface as Io, not panics.
+        let mut faulty = EventDecoder::new(dc_fault::FaultyReader::new(&bytes[..]).error_at(10));
+        let err = loop {
+            match faulty.next_event() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("faulty stream decoded cleanly"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, StreamCodecError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let mut decoder = EventDecoder::new(&[][..]);
+        assert!(decoder.next_event().unwrap().is_none());
+        let empty = encode_events(&[]);
+        let mut decoder = EventDecoder::new(&empty[..]);
+        assert!(decoder.next_event().unwrap().is_none());
+    }
+}

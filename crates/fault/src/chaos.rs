@@ -1,0 +1,277 @@
+//! Named chaos safe-points: thread-level fault injection for crash-safety
+//! testing.
+//!
+//! Production code sprinkles [`safepoint("name")`](safepoint) calls at the
+//! moments a crash would be most interesting (mid-promotion, between the
+//! staged rename and the in-memory swap, at the start of a drain). With no
+//! plan installed a safepoint is one relaxed atomic load — cheap enough to
+//! leave in release builds. Tests install a plan, either programmatically
+//! with [`install`] or through the `DC_CHAOS` environment variable, and the
+//! named points start misbehaving on demand:
+//!
+//! * `delay:MS` — sleep that many milliseconds (hold a window open so a
+//!   test can observe the in-between state, e.g. `/readyz` mid-swap);
+//! * `panic` — panic with a recognizable message (exercises the
+//!   `catch_unwind` boundary around worker threads);
+//! * `abort` — `std::process::abort()`, the deterministic stand-in for
+//!   SIGKILL at *exactly* this point (exercises crash recovery).
+//!
+//! `DC_CHAOS` grammar: comma-separated `point=action[@hit]` rules, e.g.
+//!
+//! ```text
+//! DC_CHAOS="online.promote.staged=abort@2,cli.drain.begin=delay:300"
+//! ```
+//!
+//! `@hit` (1-based) fires the action only on that visit to the point;
+//! without it the action fires on every visit. Unknown points are fine —
+//! rules match by name at runtime, so a test can target points that only
+//! exist in some binaries.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// What a matched safepoint does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Sleep for the duration, then continue normally.
+    Delay(Duration),
+    /// Panic with a `chaos panic at <point>` message.
+    Panic,
+    /// `std::process::abort()` — the in-process SIGKILL.
+    Abort,
+}
+
+/// One installed rule: fire `action` when the named point is visited
+/// (optionally only on the `only_hit`-th visit, 1-based).
+#[derive(Debug, Clone)]
+pub struct ChaosRule {
+    pub point: String,
+    pub action: ChaosAction,
+    /// 1-based visit number the rule fires on; `None` = every visit.
+    pub only_hit: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct Plan {
+    rules: Vec<(ChaosRule, AtomicU64)>,
+}
+
+/// Whether any plan is installed; safepoints bail on one relaxed load
+/// when it is false.
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn plan() -> &'static Mutex<Plan> {
+    static PLAN: OnceLock<Mutex<Plan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        // First touch: adopt any DC_CHAOS plan from the environment so
+        // child processes under test need no code changes.
+        let plan = match std::env::var("DC_CHAOS") {
+            Ok(spec) if !spec.trim().is_empty() => match parse_spec(&spec) {
+                Ok(rules) => {
+                    ARMED.store(true, Ordering::Release);
+                    Plan {
+                        rules: rules.into_iter().map(|r| (r, AtomicU64::new(0))).collect(),
+                    }
+                }
+                Err(e) => {
+                    eprintln!("warning: ignoring malformed DC_CHAOS: {e}");
+                    Plan::default()
+                }
+            },
+            _ => Plan::default(),
+        };
+        Mutex::new(plan)
+    })
+}
+
+/// Parses a `DC_CHAOS` spec into rules. Errors name the offending clause.
+pub fn parse_spec(spec: &str) -> Result<Vec<ChaosRule>, String> {
+    let mut rules = Vec::new();
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let (point, rest) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("missing '=' in {clause:?}"))?;
+        let (action_text, only_hit) = match rest.split_once('@') {
+            Some((a, hit)) => {
+                let hit: u64 = hit
+                    .parse()
+                    .map_err(|_| format!("bad hit number in {clause:?}"))?;
+                if hit == 0 {
+                    return Err(format!("hit numbers are 1-based in {clause:?}"));
+                }
+                (a, Some(hit))
+            }
+            None => (rest, None),
+        };
+        let action = if let Some(ms) = action_text.strip_prefix("delay:") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad delay millis in {clause:?}"))?;
+            ChaosAction::Delay(Duration::from_millis(ms))
+        } else {
+            match action_text {
+                "panic" => ChaosAction::Panic,
+                "abort" => ChaosAction::Abort,
+                other => return Err(format!("unknown action {other:?} in {clause:?}")),
+            }
+        };
+        rules.push(ChaosRule {
+            point: point.trim().to_string(),
+            action,
+            only_hit,
+        });
+    }
+    Ok(rules)
+}
+
+/// Installs `rules`, replacing any previous plan (including one adopted
+/// from `DC_CHAOS`). Intended for in-process tests.
+pub fn install(rules: Vec<ChaosRule>) {
+    let mut plan = plan().lock().unwrap_or_else(|e| e.into_inner());
+    plan.rules = rules.into_iter().map(|r| (r, AtomicU64::new(0))).collect();
+    ARMED.store(!plan.rules.is_empty(), Ordering::Release);
+}
+
+/// Removes every rule; safepoints go back to the one-atomic-load fast path.
+pub fn clear() {
+    install(Vec::new());
+}
+
+/// How many times the named point has been visited since the plan was
+/// installed (0 when no rule mentions it — only ruled points are counted).
+pub fn hits(point: &str) -> u64 {
+    let plan = plan().lock().unwrap_or_else(|e| e.into_inner());
+    plan.rules
+        .iter()
+        .filter(|(r, _)| r.point == point)
+        .map(|(_, n)| n.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(0)
+}
+
+/// A named chaos safe-point. Free when no plan is installed; with a plan,
+/// fires every matching rule for this visit.
+pub fn safepoint(name: &str) {
+    // First visit adopts any DC_CHAOS plan from the environment (which
+    // arms the flag); afterwards this is a completed-Once load plus one
+    // relaxed atomic load on the unarmed fast path.
+    static ENV_INIT: std::sync::Once = std::sync::Once::new();
+    ENV_INIT.call_once(|| {
+        let _ = plan();
+    });
+    if !ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    // Collect actions under the lock, fire them after releasing it so a
+    // delayed/panicking point never wedges other threads' safepoints.
+    let mut actions = Vec::new();
+    {
+        let plan = plan().lock().unwrap_or_else(|e| e.into_inner());
+        for (rule, visits) in &plan.rules {
+            if rule.point != name {
+                continue;
+            }
+            let visit = visits.fetch_add(1, Ordering::Relaxed) + 1;
+            if rule.only_hit.is_none_or(|h| h == visit) {
+                actions.push(rule.action);
+            }
+        }
+    }
+    for action in actions {
+        match action {
+            ChaosAction::Delay(d) => std::thread::sleep(d),
+            ChaosAction::Panic => panic!("chaos panic at {name}"),
+            ChaosAction::Abort => {
+                // Flush nothing, warn nobody: this is the SIGKILL stand-in.
+                eprintln!("chaos abort at {name}");
+                std::process::abort();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Chaos state is process-global; tests share one plan, so they run
+    // under a lock to avoid interleaving installs.
+    fn exclusive() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_grammar() {
+        let rules =
+            parse_spec("online.promote.staged=abort@2, cli.drain.begin=delay:300,x=panic").unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].point, "online.promote.staged");
+        assert_eq!(rules[0].action, ChaosAction::Abort);
+        assert_eq!(rules[0].only_hit, Some(2));
+        assert_eq!(
+            rules[1].action,
+            ChaosAction::Delay(Duration::from_millis(300))
+        );
+        assert_eq!(rules[1].only_hit, None);
+        assert_eq!(rules[2].action, ChaosAction::Panic);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        assert!(parse_spec("no-equals").is_err());
+        assert!(parse_spec("p=unknown").is_err());
+        assert!(parse_spec("p=delay:abc").is_err());
+        assert!(parse_spec("p=panic@0").is_err());
+        assert!(parse_spec("p=panic@x").is_err());
+    }
+
+    #[test]
+    fn unruled_safepoints_are_noops() {
+        let _guard = exclusive();
+        clear();
+        safepoint("nothing.installed");
+        install(vec![ChaosRule {
+            point: "other.point".to_string(),
+            action: ChaosAction::Panic,
+            only_hit: None,
+        }]);
+        safepoint("this.point.has.no.rule");
+        clear();
+    }
+
+    #[test]
+    fn delay_fires_and_hits_count() {
+        let _guard = exclusive();
+        install(vec![ChaosRule {
+            point: "t.delay".to_string(),
+            action: ChaosAction::Delay(Duration::from_millis(30)),
+            only_hit: None,
+        }]);
+        let started = std::time::Instant::now();
+        safepoint("t.delay");
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        safepoint("t.delay");
+        assert_eq!(hits("t.delay"), 2);
+        clear();
+    }
+
+    #[test]
+    fn panic_fires_only_on_the_requested_hit() {
+        let _guard = exclusive();
+        install(vec![ChaosRule {
+            point: "t.panic".to_string(),
+            action: ChaosAction::Panic,
+            only_hit: Some(2),
+        }]);
+        safepoint("t.panic"); // visit 1: clean
+        let caught =
+            std::panic::catch_unwind(|| safepoint("t.panic")).expect_err("visit 2 must panic");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("chaos panic at t.panic"), "{msg}");
+        safepoint("t.panic"); // visit 3: clean again
+        assert_eq!(hits("t.panic"), 3);
+        clear();
+    }
+}

@@ -25,6 +25,8 @@
 //! assert_eq!(&buf, b"hemlo"); // 'l' ^ 0x01 == 'm', stopped at 5
 //! ```
 
+pub mod chaos;
+
 use std::io::{self, Read, Write};
 
 /// Applies any configured bit flips to `chunk`, whose first byte sits at

@@ -216,6 +216,54 @@ impl FlocCheckpoint {
         Ok(())
     }
 
+    /// Re-anchors this checkpoint to a *mutated* matrix of the same shape —
+    /// the online miner's warm start. Stream events change cell values, so
+    /// the stored matrix identity and residues no longer hold; `rebase`
+    /// recomputes both canonically on `matrix`, keeps the incumbent
+    /// clusters and the RNG state (the search identity carries across the
+    /// data change), and resets the iteration counter, the trace, and any
+    /// terminal stop so a bounded refinement round can run from here via
+    /// [`crate::floc_resume`].
+    ///
+    /// Deterministic: two processes that rebase the same checkpoint on the
+    /// same matrix produce identical checkpoints — the property the
+    /// miner's bit-identical crash recovery rests on.
+    ///
+    /// # Panics
+    /// Panics if `matrix` has a different shape than the checkpoint's
+    /// matrix (the online universe is fixed up front).
+    pub fn rebase(&self, matrix: &DataMatrix) -> FlocCheckpoint {
+        assert_eq!(
+            (self.matrix_rows, self.matrix_cols),
+            (matrix.rows(), matrix.cols()),
+            "rebase requires the same matrix universe"
+        );
+        let residues: Vec<f64> = self
+            .clusters
+            .iter()
+            .map(|c| crate::residue::cluster_residue(matrix, c, self.config.mean))
+            .collect();
+        let avg_residue = if residues.is_empty() {
+            0.0
+        } else {
+            residues.iter().sum::<f64>() / residues.len() as f64
+        };
+        FlocCheckpoint {
+            config: self.config.clone(),
+            matrix_rows: matrix.rows(),
+            matrix_cols: matrix.cols(),
+            matrix_specified: matrix.specified_count(),
+            matrix_fingerprint: matrix.fingerprint(),
+            iterations: 0,
+            rng_state: self.rng_state.clone(),
+            clusters: self.clusters.clone(),
+            residues,
+            avg_residue,
+            trace: Vec::new(),
+            stop: None,
+        }
+    }
+
     /// The stored RNG state as a fixed-size array.
     ///
     /// # Panics
@@ -328,6 +376,45 @@ mod tests {
             bad.validate(&m, &bad.config).unwrap_err(),
             ResumeError::Inconsistent(_)
         ));
+    }
+
+    #[test]
+    fn rebase_reanchors_to_a_mutated_matrix() {
+        let m = sample_matrix();
+        let mut ckpt = sample_checkpoint(&m);
+        ckpt.stop = Some(StopReason::Converged);
+        let mut mutated = m.clone();
+        mutated.set(0, 0, 42.0);
+        mutated.unset(2, 2);
+
+        // Stale identity: the original no longer validates on the mutated
+        // matrix; the rebased one does, resumably.
+        assert!(ckpt.validate(&mutated, &ckpt.config).is_err());
+        let rebased = ckpt.rebase(&mutated);
+        rebased.validate(&mutated, &rebased.config).unwrap();
+        assert_eq!(rebased.iterations, 0);
+        assert_eq!(rebased.stop, None);
+        assert!(rebased.trace.is_empty());
+        assert_eq!(rebased.rng_state, ckpt.rng_state);
+        assert_eq!(rebased.clusters, ckpt.clusters);
+        assert_eq!(rebased.matrix_fingerprint, mutated.fingerprint());
+        // Residues are recomputed canonically on the new data.
+        let expected =
+            crate::residue::cluster_residue(&mutated, &ckpt.clusters[0], ckpt.config.mean);
+        assert_eq!(rebased.residues, vec![expected]);
+        assert_eq!(rebased.avg_residue, expected);
+
+        // Determinism: rebasing twice gives identical checkpoints.
+        assert_eq!(ckpt.rebase(&mutated), rebased);
+    }
+
+    #[test]
+    #[should_panic(expected = "same matrix universe")]
+    fn rebase_rejects_a_different_shape() {
+        let m = sample_matrix();
+        let ckpt = sample_checkpoint(&m);
+        let other = DataMatrix::new(4, 3);
+        let _ = ckpt.rebase(&other);
     }
 
     #[test]

@@ -481,6 +481,58 @@ impl IncrementalEngine {
         sum / new_volume as f64
     }
 
+    /// First half of a single-row **data** repair: call *before* mutating
+    /// any cells of matrix row `row` (the online miner's stream events).
+    ///
+    /// Membership toggles move rows in and out of `I`; a data repair keeps
+    /// `I`/`J` fixed but changes row `row`'s values. The per-column (`s`)
+    /// side survives it surgically: `s_ij = d_ij − d_iJ` of every *other*
+    /// row is independent of row `row`'s data, so only `row`'s own entries
+    /// need to leave the indexes (here, while the pre-mutation sums still
+    /// reproduce the stored values) and re-enter in
+    /// [`Self::finish_row_update`]. The per-row (`u`) side cannot be saved
+    /// — mutating `row` shifts column bases for every member row — so it
+    /// is marked stale for the next [`Self::prepare`].
+    ///
+    /// Clusters that do not contain `row` are untouched: none of their
+    /// statistics depend on a non-member row's data.
+    pub fn begin_row_update(&mut self, matrix: &DataMatrix, states: &[ClusterState], row: usize) {
+        for (ci, st) in self.clusters.iter_mut().zip(states) {
+            if !st.rows.contains(row) {
+                continue;
+            }
+            ci.row_ok = false;
+            if !ci.col_ok {
+                continue; // stale anyway; prepare() will rebuild
+            }
+            self.repairs += 1;
+            if st.row_specified(row) > 0 {
+                let rb = st.row_sum(row) / st.row_specified(row) as f64;
+                for (j, v) in matrix.row_specified_in(row, &st.cols) {
+                    ci.by_col[j].remove(v - rb, row as u32);
+                }
+            }
+        }
+    }
+
+    /// Second half of a single-row data repair: call *after* the matrix
+    /// mutation **and** after every affected [`ClusterState`] has been
+    /// repaired (via [`ClusterState::cell_changed`]), so the post-mutation
+    /// sums produce the new invariant residues.
+    pub fn finish_row_update(&mut self, matrix: &DataMatrix, states: &[ClusterState], row: usize) {
+        for (ci, st) in self.clusters.iter_mut().zip(states) {
+            if !st.rows.contains(row) || !ci.col_ok {
+                continue;
+            }
+            if st.row_specified(row) > 0 {
+                let rb = st.row_sum(row) / st.row_specified(row) as f64;
+                for (j, v) in matrix.row_specified_in(row, &st.cols) {
+                    ci.by_col[j].insert(v - rb, row as u32);
+                }
+            }
+        }
+    }
+
     /// Brings the indexes in step with `action`, which the driver is about
     /// to perform. Must be called with the cluster's state *before* the
     /// toggle (the pre-toggle sums reproduce the stored values to remove).
@@ -642,6 +694,78 @@ mod tests {
                 match target {
                     Target::Row(r) => st.toggle_row(&m, r),
                     Target::Col(c) => st.toggle_col(&m, c),
+                }
+            }
+        }
+    }
+
+    /// Single-row data repair (the online miner's stream path): mutate
+    /// cells of one row between `begin_row_update`/`finish_row_update`,
+    /// repair the states with `cell_changed`, and every toggled residue
+    /// must still match the exact scanner — for member and non-member
+    /// rows, updates, deletes, and appends.
+    #[test]
+    fn engine_survives_single_row_data_repairs() {
+        for mean in [ResidueMean::Arithmetic, ResidueMean::Squared] {
+            let mut m = random_matrix(12, 9, 0.8, 21);
+            let mut states = vec![
+                ClusterState::new(&m, &DeltaCluster::from_indices(12, 9, 0..6, 0..5)),
+                ClusterState::new(
+                    &m,
+                    &DeltaCluster::from_indices(12, 9, [2, 5, 7, 9], [1, 4, 6, 8]),
+                ),
+            ];
+            let mut engine = IncrementalEngine::build(&m, &states, mean);
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut scratch = Scratch::default();
+
+            for step in 0..25 {
+                let row = rng.gen_range(0..12);
+                engine.begin_row_update(&m, &states, row);
+                // Mutate up to three cells of the row: update / delete /
+                // append, drawn at random.
+                for _ in 0..rng.gen_range(1..=3) {
+                    let col = rng.gen_range(0..9);
+                    let new = match rng.gen_range(0..3u32) {
+                        0 => None,
+                        _ => Some(rng.gen_range(-50.0..50.0)),
+                    };
+                    let old = match new {
+                        Some(v) => {
+                            let old = m.get(row, col);
+                            m.set(row, col, v);
+                            old
+                        }
+                        None => m.unset(row, col),
+                    };
+                    for st in &mut states {
+                        st.cell_changed(row, col, old, new);
+                    }
+                }
+                engine.finish_row_update(&m, &states, row);
+
+                // Row queries answer from the repaired per-column side.
+                for (k, st) in states.iter().enumerate() {
+                    for r in 0..12 {
+                        let exact = st.residue_if_row_toggled(&m, r, mean, &mut scratch);
+                        let incr = engine.toggled_residue(k, Target::Row(r), st, &m);
+                        assert_close(incr, exact, &format!("step {step} cluster {k} row {r}"));
+                    }
+                }
+                // Column queries need the lazily rebuilt per-row side.
+                engine.prepare(&m, &states, false);
+                for (k, st) in states.iter().enumerate() {
+                    for c in 0..9 {
+                        let exact = st.residue_if_col_toggled(&m, c, mean, &mut scratch);
+                        let incr = engine.toggled_residue(k, Target::Col(c), st, &m);
+                        assert_close(incr, exact, &format!("step {step} cluster {k} col {c}"));
+                    }
+                }
+                // And the repaired states must still match a rebuild.
+                for st in &states {
+                    let rebuilt = ClusterState::new(&m, &st.to_cluster());
+                    assert_eq!(st.volume(), rebuilt.volume());
+                    assert!((st.total() - rebuilt.total()).abs() < 1e-6);
                 }
             }
         }

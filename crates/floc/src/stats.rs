@@ -199,6 +199,36 @@ impl ClusterState {
         self.cols.remove(col);
     }
 
+    /// Repairs the sufficient statistics after one matrix cell changed from
+    /// `old` to `new` (`None` = unspecified). `O(1)`; a no-op when the cell
+    /// lies outside the cluster submatrix. The online miner calls this for
+    /// every stream event so cluster residues stay exact on a mutating
+    /// matrix without an `O(|I|·|J|)` rebuild.
+    ///
+    /// The caller must invoke it *after* mutating the matrix, passing the
+    /// values the cell held before and after.
+    pub fn cell_changed(&mut self, row: usize, col: usize, old: Option<f64>, new: Option<f64>) {
+        if !self.rows.contains(row) || !self.cols.contains(col) {
+            return;
+        }
+        if let Some(v) = old {
+            self.row_sum[row] -= v;
+            self.row_cnt[row] -= 1;
+            self.col_sum[col] -= v;
+            self.col_cnt[col] -= 1;
+            self.total -= v;
+            self.volume -= 1;
+        }
+        if let Some(v) = new {
+            self.row_sum[row] += v;
+            self.row_cnt[row] += 1;
+            self.col_sum[col] += v;
+            self.col_cnt[col] += 1;
+            self.total += v;
+            self.volume += 1;
+        }
+    }
+
     /// Toggles membership of `row`: inserts if absent, removes if present.
     /// `O(|J|)`.
     pub fn toggle_row(&mut self, matrix: &DataMatrix, row: usize) {
@@ -719,6 +749,39 @@ mod tests {
             let mut actual = st.clone();
             actual.toggle_col(&m, col);
             assert_eq!(virt, actual.occupancy_violations(alpha), "col {col}");
+        }
+    }
+
+    #[test]
+    fn cell_changed_matches_a_rebuild() {
+        let mut m = mixed();
+        let cluster = DeltaCluster::from_indices(4, 5, [0, 2, 3], [1, 2, 4]);
+        let mut st = ClusterState::new(&m, &cluster);
+
+        // Every kind of single-cell mutation: update, delete, append —
+        // inside and outside the cluster submatrix.
+        let edits: Vec<(usize, usize, Option<f64>)> = vec![
+            (0, 1, Some(9.5)), // update inside
+            (2, 2, None),      // delete inside
+            (0, 2, Some(3.0)), // append inside (was unspecified)
+            (1, 1, Some(7.0)), // update outside (row 1 not in cluster)
+            (2, 0, None),      // delete outside (col 0 not in cluster)
+            (3, 4, Some(1.0)), // update inside
+        ];
+        for (r, c, new) in edits {
+            let old = match new {
+                Some(v) => {
+                    let old = m.get(r, c);
+                    m.set(r, c, v);
+                    old
+                }
+                None => m.unset(r, c),
+            };
+            st.cell_changed(r, c, old, new);
+            let rebuilt = ClusterState::new(&m, &st.to_cluster());
+            assert_eq!(st.volume(), rebuilt.volume(), "volume after ({r},{c})");
+            assert!((st.total() - rebuilt.total()).abs() < 1e-9);
+            assert_matches_reference(&m, &st);
         }
     }
 

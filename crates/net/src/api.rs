@@ -71,13 +71,16 @@ pub fn predictions_in(req: &Request, resp: &Response) -> u64 {
 }
 
 fn healthz(state: &AppState) -> Response {
-    Response::json(
-        200,
-        format!(
-            "{{\"status\": \"ok\", \"uptime_secs\": {:.3}}}\n",
-            state.uptime_secs()
-        ),
-    )
+    let mut body = format!(
+        "{{\"status\": \"ok\", \"uptime_secs\": {:.3}",
+        state.uptime_secs()
+    );
+    for (key, fragment) in state.status_fragments() {
+        let key = key.replace('\\', "\\\\").replace('"', "\\\"");
+        body.push_str(&format!(", \"{key}\": {fragment}"));
+    }
+    body.push_str("}\n");
+    Response::json(200, body)
 }
 
 fn readyz(state: &AppState) -> Response {
@@ -92,7 +95,24 @@ fn readyz(state: &AppState) -> Response {
 
 fn model(state: &AppState) -> Response {
     match serde_json::to_string_pretty(&state.meta()) {
-        Ok(body) => Response::json(200, body + "\n"),
+        Ok(body) => {
+            // Splice status fragments (e.g. the miner's state) in as extra
+            // top-level keys, before the object's closing brace.
+            let mut body = body;
+            let fragments = state.status_fragments();
+            if !fragments.is_empty() {
+                if let Some(at) = body.rfind('}') {
+                    let mut extra = String::new();
+                    for (key, fragment) in fragments {
+                        let key = key.replace('\\', "\\\\").replace('"', "\\\"");
+                        extra.push_str(&format!(",\n  \"{key}\": {fragment}"));
+                    }
+                    extra.push('\n');
+                    body.insert_str(at, &extra);
+                }
+            }
+            Response::json(200, body + "\n")
+        }
         Err(e) => Response::error(500, &format!("metadata serialization failed: {e}")),
     }
 }
@@ -127,10 +147,32 @@ fn metrics(state: &AppState, req: &Request) -> Response {
             .header("accept")
             .is_some_and(|a| a.contains("text/plain"));
     let snap = state.metrics.snapshot();
+    let gauges = state.gauges();
     if wants_prometheus {
-        Response::text(200, snap.to_prometheus())
+        let mut text = snap.to_prometheus();
+        for (name, value) in gauges {
+            text.push_str(&format!("# TYPE dc_{name} gauge\ndc_{name} {value}\n"));
+        }
+        Response::text(200, text)
     } else {
-        Response::json(200, snap.to_json())
+        let mut body = snap.to_json();
+        if !gauges.is_empty() {
+            // Splice a "gauges" object in before the closing brace.
+            if let Some(at) = body.rfind('}') {
+                let entries: Vec<String> = gauges
+                    .iter()
+                    .map(|(k, v)| {
+                        let k = k.replace('\\', "\\\\").replace('"', "\\\"");
+                        format!("\"{k}\": {v}")
+                    })
+                    .collect();
+                body.insert_str(
+                    at,
+                    &format!(",\n  \"gauges\": {{{}}}\n", entries.join(", ")),
+                );
+            }
+        }
+        Response::json(200, body)
     }
 }
 
@@ -168,13 +210,10 @@ fn cell_of(fields: &[(String, Value)]) -> Result<(usize, usize), String> {
 }
 
 fn predict(state: &AppState, req: &Request) -> Response {
-    if !state.is_ready() {
-        let mut r = Response::error(503, "model is loading");
-        if !r.headers.iter().any(|(k, _)| k == "Retry-After") {
-            r.headers.push(("Retry-After".into(), "1".into()));
-        }
-        return r;
-    }
+    // Deliberately NOT gated on readiness: the installed snapshot is always
+    // a complete model, so queries arriving mid-swap answer from whichever
+    // snapshot the lock hands them — old or new, never an error, never a
+    // mix. `/readyz` stays the place where load balancers see the swap.
     predict_with(state, req, &state.engine())
 }
 
@@ -395,16 +434,20 @@ mod tests {
         }
     }
 
+    /// Mid-swap, `/readyz` turns traffic away (for load balancers) but
+    /// predicts already in flight keep answering from the installed
+    /// snapshot — the promotion-never-errors contract.
     #[test]
-    fn predict_during_swap_is_503() {
+    fn predict_answers_during_swap() {
         let s = state();
         s.set_ready(false);
+        assert_eq!(handle(&s, &get("/readyz")).status, 503);
         let r = handle(
             &s,
             &request("POST", "/v1/predict", Some("{\"row\":0,\"col\":0}")),
         );
-        assert_eq!(r.status, 503);
-        assert!(r.headers.iter().any(|(k, _)| k == "Retry-After"));
+        assert_eq!(r.status, 200);
+        assert!(body_str(&r).contains("\"outcome\": \"hit\""));
     }
 
     #[test]
@@ -448,6 +491,46 @@ mod tests {
         req.headers.push(("accept".into(), "text/plain".into()));
         let r = handle(&s, &req);
         assert!(body_str(&r).contains("# TYPE"));
+    }
+
+    #[test]
+    fn status_fragments_surface_on_healthz_and_model() {
+        let s = state();
+        s.set_status_fragment("miner", "{\"state\": \"running\", \"generation\": 3}");
+
+        let r = handle(&s, &get("/healthz"));
+        assert_eq!(r.status, 200);
+        let body = body_str(&r);
+        assert!(
+            body.contains("\"miner\": {\"state\": \"running\""),
+            "{body}"
+        );
+        serde_json::parse_value(&body).unwrap();
+
+        let r = handle(&s, &get("/v1/model"));
+        assert_eq!(r.status, 200);
+        let body = body_str(&r);
+        assert!(body.contains("\"generation\": 3"), "{body}");
+        assert!(body.contains("\"version\": 1"), "{body}");
+        serde_json::parse_value(&body).unwrap();
+    }
+
+    #[test]
+    fn gauges_render_in_both_metrics_formats() {
+        let s = state();
+        s.set_gauge("miner_promotions_total", 7);
+        let r = handle(&s, &get("/metrics"));
+        let body = body_str(&r);
+        assert!(body.contains("\"miner_promotions_total\": 7"), "{body}");
+        serde_json::parse_value(&body).unwrap();
+
+        let r = handle(&s, &get("/metrics?format=prometheus"));
+        let body = body_str(&r);
+        assert!(
+            body.contains("# TYPE dc_miner_promotions_total gauge"),
+            "{body}"
+        );
+        assert!(body.contains("dc_miner_promotions_total 7"), "{body}");
     }
 
     #[test]

@@ -1,18 +1,27 @@
-//! Shared per-server state: the engine slot, readiness, and model metadata.
+//! Shared per-server state: the installed model, readiness, and metadata.
 //!
-//! The engine sits behind an `RwLock<Arc<QueryEngine>>` so request workers
-//! take a cheap read lock, clone the `Arc`, and answer from an immutable
-//! snapshot — a concurrent [`swap_model`](AppState::swap_model) never
-//! blocks in-flight queries, it only redirects *future* ones. Readiness is
-//! a separate atomic that flips `false` for the duration of a swap, which
-//! is exactly what `GET /readyz` (and a load balancer probing it) wants to
-//! observe.
+//! The engine and its metadata live *together* in one [`Installed`]
+//! snapshot behind an `RwLock<Arc<Installed>>`: request workers take a
+//! cheap read lock, clone the `Arc`, and answer from an immutable,
+//! internally consistent view — a concurrent
+//! [`swap_model`](AppState::swap_model) never blocks in-flight queries and
+//! can never be observed half-applied (engine from one model, metadata or
+//! version from another). Readiness is a separate atomic that flips `false`
+//! for the duration of a swap, which is exactly what `GET /readyz` (and a
+//! load balancer probing it) wants to observe; the predict path keeps
+//! answering from its snapshot throughout.
+//!
+//! The state also carries two small maps the online miner feeds:
+//! integer **gauges** rendered on `/metrics`, and raw-JSON **status
+//! fragments** spliced into `/healthz` and `/v1/model` (e.g. the miner's
+//! generation and last promotion).
 
 use crate::metrics::ServerMetrics;
 use dc_obs::Obs;
 use dc_serve::{ModelRegistry, QueryEngine, ServeModel};
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
 
@@ -21,6 +30,10 @@ use std::time::Instant;
 pub struct ModelMeta {
     /// Where the artifact was loaded from, when it came from a file.
     pub path: Option<String>,
+    /// Monotonic install counter: 1 for the model the server started with,
+    /// bumped by every [`AppState::swap_model`]. Lets clients observe
+    /// promotions without comparing fingerprints.
+    pub version: u64,
     pub rows: usize,
     pub cols: usize,
     pub clusters: usize,
@@ -35,6 +48,7 @@ impl ModelMeta {
     pub fn of(model: &ServeModel, path: Option<&str>) -> ModelMeta {
         ModelMeta {
             path: path.map(str::to_string),
+            version: 1,
             rows: model.matrix().rows(),
             cols: model.matrix().cols(),
             clusters: model.k(),
@@ -45,14 +59,26 @@ impl ModelMeta {
     }
 }
 
+/// One installed model: the engine and the metadata describing it, bound
+/// into a single immutable snapshot.
+pub struct Installed {
+    pub engine: Arc<QueryEngine>,
+    pub meta: ModelMeta,
+}
+
 fn read_poisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(|e| e.into_inner())
 }
 
+fn write_poisoned<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Everything request handlers share. One per server, behind an `Arc`.
 pub struct AppState {
-    engine: RwLock<Arc<QueryEngine>>,
-    meta: RwLock<ModelMeta>,
+    installed: RwLock<Arc<Installed>>,
+    /// Next value of [`ModelMeta::version`]; monotonic across swaps.
+    next_version: AtomicU64,
     ready: AtomicBool,
     started: Instant,
     /// How many worker threads a batch predict may fan out over.
@@ -62,20 +88,30 @@ pub struct AppState {
     /// Named-model registry behind `/v1/models`, when serving started with
     /// one (`serve --models DIR`). The default model keeps `/v1/predict`.
     registry: Option<Arc<ModelRegistry>>,
+    /// Integer gauges rendered on `/metrics` (`set_gauge`).
+    gauges: RwLock<BTreeMap<String, u64>>,
+    /// Raw-JSON fragments spliced into `/healthz` and `/v1/model`
+    /// (`set_status_fragment`). Keys become top-level JSON keys.
+    status: RwLock<BTreeMap<String, String>>,
 }
 
 impl AppState {
     pub fn new(model: ServeModel, path: Option<&str>, batch_threads: usize, obs: Obs) -> AppState {
         let meta = ModelMeta::of(&model, path);
         AppState {
-            engine: RwLock::new(Arc::new(QueryEngine::new(model))),
-            meta: RwLock::new(meta),
+            installed: RwLock::new(Arc::new(Installed {
+                engine: Arc::new(QueryEngine::new(model)),
+                meta,
+            })),
+            next_version: AtomicU64::new(2),
             ready: AtomicBool::new(true),
             started: Instant::now(),
             batch_threads: batch_threads.max(1),
             metrics: ServerMetrics::new(),
             obs,
             registry: None,
+            gauges: RwLock::new(BTreeMap::new()),
+            status: RwLock::new(BTreeMap::new()),
         }
     }
 
@@ -91,14 +127,19 @@ impl AppState {
         self.registry.as_ref()
     }
 
+    /// The consistent engine+metadata snapshot a request answers from.
+    pub fn installed(&self) -> Arc<Installed> {
+        read_poisoned(&self.installed).clone()
+    }
+
     /// The engine snapshot a request should answer from.
     pub fn engine(&self) -> Arc<QueryEngine> {
-        read_poisoned(&self.engine).clone()
+        self.installed().engine.clone()
     }
 
     /// Metadata for the model currently installed.
     pub fn meta(&self) -> ModelMeta {
-        read_poisoned(&self.meta).clone()
+        self.installed().meta.clone()
     }
 
     /// Whether `/readyz` should answer 200. False during a model swap.
@@ -116,16 +157,52 @@ impl AppState {
         self.started.elapsed().as_secs_f64()
     }
 
-    /// Installs a new model. Readiness drops for the duration of the swap
-    /// and recovers afterwards; queries already holding the old engine
-    /// snapshot finish unaffected.
-    pub fn swap_model(&self, model: ServeModel, path: Option<&str>) {
+    /// Sets an integer gauge rendered on `/metrics` (JSON `gauges` object
+    /// and Prometheus `# TYPE … gauge` samples). Names should be
+    /// `snake_case` identifiers.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        write_poisoned(&self.gauges).insert(name.to_string(), value);
+    }
+
+    /// A point-in-time copy of every gauge.
+    pub fn gauges(&self) -> BTreeMap<String, u64> {
+        read_poisoned(&self.gauges).clone()
+    }
+
+    /// Publishes a raw-JSON fragment under `key` on `/healthz` and
+    /// `/v1/model` (e.g. `set_status_fragment("miner", "{\"state\": …}")`).
+    /// The fragment must be a complete JSON value; the caller owns its
+    /// validity.
+    pub fn set_status_fragment(&self, key: &str, fragment: &str) {
+        write_poisoned(&self.status).insert(key.to_string(), fragment.to_string());
+    }
+
+    /// A point-in-time copy of every status fragment.
+    pub fn status_fragments(&self) -> BTreeMap<String, String> {
+        read_poisoned(&self.status).clone()
+    }
+
+    /// Installs a new model, bumping [`ModelMeta::version`]. Readiness
+    /// drops for the duration of the swap and recovers afterwards; queries
+    /// already holding a snapshot finish unaffected, and queries arriving
+    /// mid-swap answer from whichever complete snapshot the lock hands
+    /// them — old or new, never a mix.
+    pub fn swap_model(&self, model: ServeModel, path: Option<&str>) -> u64 {
         self.set_ready(false);
-        let meta = ModelMeta::of(&model, path);
-        let engine = Arc::new(QueryEngine::new(model));
-        *self.engine.write().unwrap_or_else(|e| e.into_inner()) = engine;
-        *self.meta.write().unwrap_or_else(|e| e.into_inner()) = meta;
+        // Held open by chaos tests (delay) to observe /readyz mid-swap, or
+        // aborted to simulate a kill at the most hostile instant.
+        dc_fault::chaos::safepoint("net.swap.not_ready");
+        let mut meta = ModelMeta::of(&model, path);
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        meta.version = version;
+        let installed = Arc::new(Installed {
+            engine: Arc::new(QueryEngine::new(model)),
+            meta,
+        });
+        *write_poisoned(&self.installed) = installed;
+        dc_fault::chaos::safepoint("net.swap.installed");
         self.set_ready(true);
+        version
     }
 }
 
@@ -153,6 +230,7 @@ mod tests {
         assert_eq!((meta.rows, meta.cols, meta.clusters), (4, 4, 1));
         assert_eq!(meta.path.as_deref(), Some("m.dcm"));
         assert_eq!(meta.fingerprint.len(), 16);
+        assert_eq!(meta.version, 1);
         assert!(state.is_ready());
         assert!(state.uptime_secs() >= 0.0);
     }
@@ -164,12 +242,43 @@ mod tests {
         let old_fp = state.meta().fingerprint;
         // A snapshot held across the swap still answers from the old model.
         let held = state.engine();
-        state.swap_model(tiny_model(2.0), Some("new.dcm"));
+        let v = state.swap_model(tiny_model(2.0), Some("new.dcm"));
         assert!(state.is_ready());
+        assert_eq!(v, 2);
+        assert_eq!(state.meta().version, 2);
         assert_ne!(state.meta().fingerprint, old_fp);
         let after = state.engine().predict(1, 1).unwrap();
         assert!((after - 2.0 * before).abs() < 1e-9);
         assert_eq!(held.predict(1, 1).unwrap(), before);
+        assert_eq!(state.swap_model(tiny_model(3.0), None), 3);
+    }
+
+    /// The engine and metadata of one snapshot always describe the same
+    /// model, even while another thread swaps continuously.
+    #[test]
+    fn installed_snapshot_is_never_torn() {
+        let state = Arc::new(AppState::new(tiny_model(1.0), None, 1, Obs::null()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let swapper = {
+            let state = state.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut fill = 2.0;
+                while !stop.load(Ordering::Relaxed) {
+                    state.swap_model(tiny_model(fill), None);
+                    fill += 1.0;
+                }
+            })
+        };
+        for _ in 0..2_000 {
+            let snap = state.installed();
+            let predicted = snap.engine.predict(0, 1).unwrap(); // fill * 1.0
+            let expected_fp = format!("{:016x}", snap.engine.model().matrix().fingerprint());
+            assert_eq!(snap.meta.fingerprint, expected_fp);
+            assert!(predicted >= 1.0);
+        }
+        stop.store(true, Ordering::Relaxed);
+        swapper.join().unwrap();
     }
 
     #[test]
@@ -179,5 +288,24 @@ mod tests {
         assert!(!state.is_ready());
         state.set_ready(true);
         assert!(state.is_ready());
+    }
+
+    #[test]
+    fn gauges_and_status_fragments_round_trip() {
+        let state = AppState::new(tiny_model(1.0), None, 1, Obs::null());
+        assert!(state.gauges().is_empty());
+        state.set_gauge("miner_events_total", 41);
+        state.set_gauge("miner_events_total", 42);
+        state.set_gauge("miner_generation", 3);
+        let g = state.gauges();
+        assert_eq!(g.get("miner_events_total"), Some(&42));
+        assert_eq!(g.get("miner_generation"), Some(&3));
+
+        state.set_status_fragment("miner", "{\"state\": \"running\"}");
+        let s = state.status_fragments();
+        assert_eq!(
+            s.get("miner").map(String::as_str),
+            Some("{\"state\": \"running\"}")
+        );
     }
 }

@@ -1,0 +1,167 @@
+//! The background miner thread, and the firewall between it and serving.
+//!
+//! The runner drives [`Miner::step`] until the stream is exhausted or a
+//! stop is requested, installing every promoted model into the live
+//! [`AppState`] (which flips `/readyz` for the swap instant and bumps the
+//! model version). The whole loop runs under `catch_unwind`: a panic in
+//! the miner — a logic bug, a poisoned assumption, anything — is caught at
+//! the thread boundary, reported as a typed `miner.crashed` event and a
+//! `"crashed"` status fragment on `/healthz`, and the server keeps
+//! answering from the last promoted model as if nothing happened.
+
+use crate::miner::{InstallSink, Miner, StepOutcome};
+use crate::OnlineError;
+use dc_net::AppState;
+use dc_obs::{Field, Obs};
+use dc_serve::ServeModel;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+impl InstallSink for AppState {
+    fn install(&self, model: ServeModel, path: &Path) {
+        let version = self.swap_model(model, path.to_str());
+        self.set_gauge("model_version", version);
+    }
+}
+
+/// Handle on a spawned miner thread.
+pub struct MinerHandle {
+    thread: JoinHandle<()>,
+    stop: Arc<AtomicBool>,
+}
+
+impl MinerHandle {
+    /// Requests a cooperative stop: the current refinement round is
+    /// interrupted and discarded, and the thread exits after the step.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// The stop flag shared with the miner (and its refinement rounds).
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Waits for the thread to exit. The thread itself never panics — a
+    /// miner panic is caught and reported inside — so join errors are
+    /// propagated only defensively.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+}
+
+fn publish(state: &AppState, miner: &Miner, status: &str) {
+    state.set_gauge("miner_cursor", miner.cursor() as u64);
+    state.set_gauge("miner_generation", miner.generation());
+    state.set_gauge("miner_promotions", miner.promotions());
+    state.set_gauge("miner_refinements", miner.refinements());
+    state.set_gauge("miner_repairs", miner.repairs());
+    state.set_status_fragment(
+        "miner",
+        &format!(
+            "{{\"state\": \"{status}\", \"cursor\": {}, \"stream_len\": {}, \"generation\": {}, \"promotions\": {}, \"avg_residue\": {}}}",
+            miner.cursor(),
+            miner.stream_len(),
+            miner.generation(),
+            miner.promotions(),
+            fmt_f64(miner.avg_residue()),
+        ),
+    );
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Spawns the miner loop against a live server. The returned handle stops
+/// it cooperatively; the `stop` flag wired at [`Miner::bootstrap`] time is
+/// the same one refinement rounds poll.
+pub fn spawn_miner(
+    miner: Miner,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    obs: Obs,
+) -> MinerHandle {
+    let thread_stop = stop.clone();
+    let thread = std::thread::Builder::new()
+        .name("dc-miner".into())
+        .spawn(move || run_caught(miner, state, thread_stop, obs))
+        .expect("spawn miner thread");
+    MinerHandle { thread, stop }
+}
+
+fn run_caught(mut miner: Miner, state: Arc<AppState>, stop: Arc<AtomicBool>, obs: Obs) {
+    publish(&state, &miner, "running");
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_loop(&mut miner, &state, &stop, &obs)
+    }));
+    match outcome {
+        Ok(Ok(done)) => {
+            let status = if done { "finished" } else { "stopped" };
+            publish(&state, &miner, status);
+            obs.emit(
+                "miner.done",
+                &[
+                    Field::new("finished", done),
+                    Field::new("cursor", miner.cursor()),
+                    Field::new("promotions", miner.promotions()),
+                ],
+            );
+        }
+        Ok(Err(e)) => {
+            // Typed failure: the miner stops, serving continues on the
+            // last promoted model.
+            let msg = e.to_string();
+            publish(&state, &miner, "failed");
+            state.set_gauge("miner_crashed", 1);
+            obs.emit("miner.failed", &[Field::new("error", msg.as_str())]);
+        }
+        Err(panic) => {
+            // A panic must not poison serving: report and keep serving.
+            // `&*` matters: `&panic` would unsize the Box itself into
+            // `dyn Any` and every downcast below would miss.
+            let msg = panic_message(&*panic);
+            publish(&state, &miner, "crashed");
+            state.set_gauge("miner_crashed", 1);
+            obs.emit("miner.crashed", &[Field::new("panic", msg.as_str())]);
+        }
+    }
+    obs.flush();
+}
+
+/// Returns `Ok(true)` when the stream was fully consumed, `Ok(false)` on a
+/// cooperative stop.
+fn run_loop(
+    miner: &mut Miner,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+    _obs: &Obs,
+) -> Result<bool, OnlineError> {
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(false);
+        }
+        match miner.step(&**state)? {
+            StepOutcome::Advanced { .. } => publish(state, miner, "running"),
+            StepOutcome::Interrupted => return Ok(false),
+            StepOutcome::Exhausted => return Ok(true),
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

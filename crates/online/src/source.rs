@@ -1,0 +1,235 @@
+//! Event-stream sources: the deterministic generator or a `DCS1` file,
+//! loaded with retry + exponential backoff over transient IO faults.
+//!
+//! Both sources resolve to the full in-memory event list up front — the
+//! stream is *bounded* by contract, and holding it whole is what makes
+//! replay (and therefore crash recovery) a pure function of the
+//! [`SourceSpec`] plus a cursor.
+
+use crate::OnlineError;
+use dc_datagen::stream::{generate_events, EventDecoder, RatingEvent, StreamCodecError};
+use dc_datagen::StreamConfig;
+use dc_matrix::DataMatrix;
+use dc_obs::{Field, Obs};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Where the miner's events come from. Stored verbatim (as JSON) inside
+/// every [`crate::MinerCheckpoint`]: recovery refuses to resume onto a
+/// different stream, because the cursor would then replay different data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceSpec {
+    /// Universe shape, and — when [`SourceSpec::file`] is `None` — the full
+    /// generator parameters.
+    pub stream: StreamConfig,
+    /// When set, events are decoded from this `DCS1` file instead of being
+    /// generated; [`SourceSpec::stream`] then only fixes the matrix shape.
+    pub file: Option<String>,
+}
+
+impl SourceSpec {
+    /// A generated stream.
+    pub fn generated(stream: StreamConfig) -> SourceSpec {
+        SourceSpec { stream, file: None }
+    }
+
+    /// An on-disk `DCS1` stream over a `users x movies` universe.
+    pub fn from_file(path: impl Into<String>, stream: StreamConfig) -> SourceSpec {
+        SourceSpec {
+            stream,
+            file: Some(path.into()),
+        }
+    }
+
+    /// An empty matrix of this universe's shape.
+    pub fn empty_matrix(&self) -> DataMatrix {
+        DataMatrix::new(self.stream.users, self.stream.movies)
+    }
+}
+
+/// How many read attempts a file-backed stream gets before the typed
+/// [`OnlineError::Stream`] surfaces.
+const READ_ATTEMPTS: u32 = 5;
+/// First backoff step; doubles per attempt (10, 20, 40, 80 ms).
+const BACKOFF_BASE: Duration = Duration::from_millis(10);
+
+fn decode_file(path: &str) -> Result<Vec<RatingEvent>, StreamCodecError> {
+    let file = std::fs::File::open(path).map_err(StreamCodecError::Io)?;
+    let mut decoder = EventDecoder::new(std::io::BufReader::new(file));
+    let mut events = Vec::new();
+    while let Some(e) = decoder.next_event()? {
+        events.push(e);
+    }
+    Ok(events)
+}
+
+/// Resolves `spec` to its full event list.
+///
+/// File-backed streams retry transient failures (`Io` decode errors) with
+/// exponential backoff, emitting an `online.stream.retry` event per
+/// attempt; structural corruption (bad magic, torn frames, unknown tags)
+/// fails immediately — retrying a corrupt file cannot help. Every event is
+/// bounds-checked against the universe shape.
+///
+/// # Errors
+/// [`OnlineError::Stream`] once retries are exhausted, or
+/// [`OnlineError::EventOutOfRange`] for an event outside the universe.
+pub fn load_events(spec: &SourceSpec, obs: &Obs) -> Result<Vec<RatingEvent>, OnlineError> {
+    let events = match &spec.file {
+        None => generate_events(&spec.stream),
+        Some(path) => {
+            let mut attempt = 0u32;
+            loop {
+                match decode_file(path) {
+                    Ok(events) => break events,
+                    Err(e) => {
+                        let transient = matches!(e, StreamCodecError::Io(_));
+                        attempt += 1;
+                        if !transient || attempt >= READ_ATTEMPTS {
+                            return Err(OnlineError::Stream {
+                                path: path.clone(),
+                                source: e,
+                            });
+                        }
+                        let backoff = BACKOFF_BASE * 2u32.pow(attempt - 1);
+                        let msg = e.to_string();
+                        obs.emit(
+                            "online.stream.retry",
+                            &[
+                                Field::new("path", path.as_str()),
+                                Field::new("attempt", attempt as u64),
+                                Field::new("backoff_ms", backoff.as_millis() as u64),
+                                Field::new("error", msg.as_str()),
+                            ],
+                        );
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    };
+    for (index, e) in events.iter().enumerate() {
+        if e.user as usize >= spec.stream.users || e.movie as usize >= spec.stream.movies {
+            return Err(OnlineError::EventOutOfRange {
+                index,
+                user: e.user,
+                movie: e.movie,
+                users: spec.stream.users,
+                movies: spec.stream.movies,
+            });
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dc_datagen::stream::encode_events;
+
+    fn tiny() -> StreamConfig {
+        StreamConfig {
+            users: 20,
+            movies: 15,
+            events: 120,
+            delete_percent: 5,
+            user_groups: 2,
+            genres: 3,
+            noise_std: 0.2,
+            seed: 7,
+        }
+    }
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dc-online-source").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generated_and_file_sources_agree() {
+        let spec = SourceSpec::generated(tiny());
+        let generated = load_events(&spec, &Obs::null()).unwrap();
+
+        let dir = scratch("agree");
+        let path = dir.join("events.dcs");
+        std::fs::write(&path, encode_events(&generated)).unwrap();
+        let file_spec = SourceSpec::from_file(path.to_str().unwrap(), tiny());
+        let decoded = load_events(&file_spec, &Obs::null()).unwrap();
+        assert_eq!(decoded, generated);
+    }
+
+    #[test]
+    fn corrupt_file_fails_fast_with_a_typed_error() {
+        let dir = scratch("corrupt");
+        let path = dir.join("bad.dcs");
+        let mut bytes = encode_events(&generate_events(&tiny()));
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let spec = SourceSpec::from_file(path.to_str().unwrap(), tiny());
+        let err = load_events(&spec, &Obs::null()).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                OnlineError::Stream {
+                    source: StreamCodecError::BadMagic(_),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_file_retries_then_reports_io() {
+        let spec = SourceSpec::from_file("/nonexistent/dc-online/events.dcs", tiny());
+        let sink = dc_obs::MemorySink::new();
+        let started = std::time::Instant::now();
+        let err = load_events(&spec, &Obs::new(sink.clone())).unwrap_err();
+        assert!(matches!(
+            err,
+            OnlineError::Stream {
+                source: StreamCodecError::Io(_),
+                ..
+            }
+        ));
+        // 4 retries with 10+20+40+80 ms backoff were actually taken.
+        assert_eq!(sink.named("online.stream.retry").len(), 4);
+        assert!(started.elapsed() >= Duration::from_millis(150));
+    }
+
+    #[test]
+    fn out_of_range_events_are_rejected() {
+        let dir = scratch("range");
+        let path = dir.join("oob.dcs");
+        let mut events = generate_events(&tiny());
+        events[3].user = 999;
+        std::fs::write(&path, encode_events(&events)).unwrap();
+        let spec = SourceSpec::from_file(path.to_str().unwrap(), tiny());
+        let err = load_events(&spec, &Obs::null()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                OnlineError::EventOutOfRange {
+                    index: 3,
+                    user: 999,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for spec in [
+            SourceSpec::generated(tiny()),
+            SourceSpec::from_file("a/b.dcs", tiny()),
+        ] {
+            let json = serde_json::to_string(&spec).unwrap();
+            let back: SourceSpec = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, spec);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The crash firewall: a panic inside the miner thread must never poison
+//! serving. The runner catches it at the thread boundary, reports a typed
+//! `miner.crashed` event plus a `"crashed"` status fragment (surfaced on
+//! `/healthz`), and the server keeps answering from the last promoted
+//! model.
+//!
+//! The chaos plan is process-global, so this file holds exactly one test.
+
+use dc_datagen::StreamConfig;
+use dc_fault::chaos::{clear, install, ChaosAction, ChaosRule};
+use dc_floc::FlocConfig;
+use dc_net::AppState;
+use dc_obs::{MemorySink, Obs};
+use dc_online::{spawn_miner, Miner, MinerConfig, SourceSpec};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn config(dir: &Path) -> MinerConfig {
+    MinerConfig {
+        source: SourceSpec::generated(StreamConfig {
+            users: 30,
+            movies: 20,
+            events: 420,
+            delete_percent: 6,
+            user_groups: 3,
+            genres: 4,
+            noise_std: 0.25,
+            seed: 77,
+        }),
+        floc: FlocConfig::builder(2)
+            .alpha(0.5)
+            .max_iterations(6)
+            .seed(11)
+            .build(),
+        state_dir: dir.to_path_buf(),
+        batch: 60,
+        promote_margin: 0.0,
+        refine_budget: None,
+        keep_generations: 3,
+    }
+}
+
+#[test]
+fn miner_panic_is_firewalled_from_serving() {
+    let dir: PathBuf = std::env::temp_dir()
+        .join("dc-online-chaos")
+        .join("firewall");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let sink = MemorySink::new();
+    let obs = Obs::new(sink.clone());
+    let stop = Arc::new(AtomicBool::new(false));
+    let (miner, model, _rec) = Miner::bootstrap(config(&dir), stop.clone(), obs.clone()).unwrap();
+    let state = Arc::new(AppState::new(model, None, 1, Obs::null()));
+    let version_before = state.meta().version;
+
+    // The very first batch the background thread attempts blows up.
+    install(vec![ChaosRule {
+        point: "online.miner.batch".into(),
+        action: ChaosAction::Panic,
+        only_hit: Some(1),
+    }]);
+    let handle = spawn_miner(miner, state.clone(), stop, obs);
+    handle.join();
+    clear();
+
+    // The panic was converted into a typed event naming the safe-point...
+    let crashed = sink.named("miner.crashed");
+    assert_eq!(crashed.len(), 1, "exactly one crash report");
+    assert!(
+        format!("{:?}", crashed[0].fields).contains("online.miner.batch"),
+        "the crash event carries the panic message: {:?}",
+        crashed[0].fields
+    );
+
+    // ...surfaced as a gauge and a /healthz status fragment...
+    assert_eq!(state.gauges().get("miner_crashed"), Some(&1));
+    let fragment = state.status_fragments().get("miner").cloned().unwrap();
+    assert!(
+        fragment.contains("\"crashed\""),
+        "healthz shows the miner state: {fragment}"
+    );
+
+    // ...and serving is untouched: still ready, same model, queries answer.
+    assert!(state.is_ready(), "a miner crash never flips /readyz");
+    assert_eq!(state.meta().version, version_before);
+    assert!(state.engine().model().k() >= 1);
+}

@@ -1,0 +1,322 @@
+//! Integration tests of the miner state machine: cold start, promotion,
+//! recovery, and the bit-identical-resume contract the chaos harness in
+//! `crates/cli` hammers at process granularity.
+
+use dc_datagen::StreamConfig;
+use dc_floc::FlocConfig;
+use dc_obs::Obs;
+use dc_online::{
+    generation_path, list_generations, load_miner_checkpoint, Miner, MinerConfig, NullInstall,
+    Recovery, SourceSpec, StepOutcome,
+};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+fn stream() -> StreamConfig {
+    StreamConfig {
+        users: 30,
+        movies: 20,
+        events: 420,
+        delete_percent: 6,
+        user_groups: 3,
+        genres: 4,
+        noise_std: 0.25,
+        seed: 77,
+    }
+}
+
+fn config(dir: &Path) -> MinerConfig {
+    MinerConfig {
+        source: SourceSpec::generated(stream()),
+        floc: FlocConfig::builder(2)
+            .alpha(0.5)
+            .max_iterations(6)
+            .seed(11)
+            .build(),
+        state_dir: dir.to_path_buf(),
+        batch: 60,
+        promote_margin: 0.0,
+        refine_budget: None,
+        keep_generations: 3,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dc-online-miner").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bootstrap(dir: &Path) -> (Miner, dc_serve::ServeModel, Recovery) {
+    Miner::bootstrap(config(dir), Arc::new(AtomicBool::new(false)), Obs::null()).unwrap()
+}
+
+/// Runs a fresh state dir to stream exhaustion; returns promotions seen.
+fn run_to_end(dir: &Path) -> u64 {
+    let (mut miner, _model, _rec) = bootstrap(dir);
+    loop {
+        match miner.step(&NullInstall).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("no interrupt was requested"),
+            StepOutcome::Advanced { .. } => {}
+        }
+    }
+    assert_eq!(miner.cursor(), miner.stream_len());
+    miner.promotions()
+}
+
+/// The durable identity of a finished run: (newest generation, its
+/// checkpoint bytes, sorted model (name, bytes)).
+type DurableState = (u64, Vec<u8>, Vec<(String, Vec<u8>)>);
+
+fn durable_state(dir: &Path) -> DurableState {
+    let newest = list_generations(dir).unwrap()[0];
+    let ckpt = std::fs::read(generation_path(dir, newest)).unwrap();
+    let mut models: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".dcm"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    models.sort();
+    (newest, ckpt, models)
+}
+
+#[test]
+fn cold_start_mines_promotes_and_serves() {
+    let dir = scratch("cold");
+    let (miner, model, recovery) = bootstrap(&dir);
+    assert_eq!(recovery, Recovery::ColdStart);
+    assert_eq!(miner.promotions(), 1);
+    assert!(miner.cursor() >= 60, "at least one batch was ingested");
+    // The staged + committed checkpoint pair exists, newest is committed.
+    let gens = list_generations(&dir).unwrap();
+    assert_eq!(gens, vec![2, 1]);
+    let staged = load_miner_checkpoint(generation_path(&dir, 1)).unwrap();
+    let committed = load_miner_checkpoint(generation_path(&dir, 2)).unwrap();
+    assert!(staged.at_promotion);
+    assert!(!committed.at_promotion);
+    assert_eq!(staged.promotions, 1);
+    // The model the server would start with answers queries.
+    let engine = dc_serve::QueryEngine::new(model);
+    assert!(engine.model().k() >= 1);
+}
+
+#[test]
+fn stream_runs_to_exhaustion_with_promotions() {
+    let dir = scratch("end");
+    let promotions = run_to_end(&dir);
+    assert!(promotions >= 1);
+    // GC held: at most keep_generations checkpoint files remain.
+    assert!(list_generations(&dir).unwrap().len() <= 3);
+    // Further steps are a no-op.
+    let (mut miner, _m, rec) = bootstrap(&dir);
+    assert!(matches!(rec, Recovery::Resumed { .. }));
+    assert_eq!(miner.step(&NullInstall).unwrap(), StepOutcome::Exhausted);
+}
+
+/// The heart of the robustness contract: stopping after ANY batch boundary
+/// and restarting from disk reproduces the uninterrupted run's artifacts
+/// byte for byte.
+#[test]
+fn resume_after_every_step_is_bit_identical() {
+    let baseline_dir = scratch("baseline");
+    run_to_end(&baseline_dir);
+    let baseline = durable_state(&baseline_dir);
+
+    // Worst-case restart cadence: a fresh process per batch.
+    let restart_dir = scratch("restart-every-step");
+    let mut restarts = 0usize;
+    loop {
+        let (mut miner, _model, _rec) = bootstrap(&restart_dir);
+        restarts += 1;
+        match miner.step(&NullInstall).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("no interrupt was requested"),
+            StepOutcome::Advanced { .. } => {} // drop the miner: "kill"
+        }
+        assert!(restarts < 100, "runaway restart loop");
+    }
+    assert!(restarts > 2, "the stream should take several batches");
+    assert_eq!(durable_state(&restart_dir), baseline);
+}
+
+#[test]
+fn torn_newest_checkpoint_falls_back_and_still_converges() {
+    let baseline_dir = scratch("torn-baseline");
+    run_to_end(&baseline_dir);
+    let baseline = durable_state(&baseline_dir);
+
+    let dir = scratch("torn");
+    let (mut miner, _m, _r) = bootstrap(&dir);
+    for _ in 0..2 {
+        assert!(matches!(
+            miner.step(&NullInstall).unwrap(),
+            StepOutcome::Advanced { .. }
+        ));
+    }
+    drop(miner);
+    // The environment corrupts the newest generation.
+    let newest = list_generations(&dir).unwrap()[0];
+    let path = generation_path(&dir, newest);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let (mut miner, _model, recovery) = bootstrap(&dir);
+    match recovery {
+        Recovery::Resumed { discarded, gen, .. } => {
+            assert_eq!(discarded, 1, "the torn generation was rejected");
+            assert!(gen < newest);
+        }
+        other => panic!("expected a resume, got {other:?}"),
+    }
+    loop {
+        match miner.step(&NullInstall).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("no interrupt was requested"),
+            StepOutcome::Advanced { .. } => {}
+        }
+    }
+    drop(miner);
+    // Replaying the lost batch reconverges to identical artifacts.
+    assert_eq!(durable_state(&dir), baseline);
+}
+
+#[test]
+fn interrupt_discards_the_in_flight_batch() {
+    let baseline_dir = scratch("int-baseline");
+    run_to_end(&baseline_dir);
+    let baseline = durable_state(&baseline_dir);
+
+    let dir = scratch("interrupt");
+    let flag = Arc::new(AtomicBool::new(false));
+    let (mut miner, _m, _r) = Miner::bootstrap(config(&dir), flag.clone(), Obs::null()).unwrap();
+    assert!(matches!(
+        miner.step(&NullInstall).unwrap(),
+        StepOutcome::Advanced { .. }
+    ));
+    let durable_before = durable_state(&dir);
+    flag.store(true, Ordering::Release);
+    assert_eq!(miner.step(&NullInstall).unwrap(), StepOutcome::Interrupted);
+    drop(miner);
+    // Nothing was persisted by the interrupted step.
+    assert_eq!(durable_state(&dir), durable_before);
+
+    // A restart (flag lowered) redoes the batch and finishes identically.
+    let (mut miner, _m, _r) = bootstrap(&dir);
+    loop {
+        match miner.step(&NullInstall).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("flag was lowered"),
+            StepOutcome::Advanced { .. } => {}
+        }
+    }
+    drop(miner);
+    assert_eq!(durable_state(&dir), baseline);
+}
+
+#[test]
+fn changed_stream_or_config_is_refused() {
+    let dir = scratch("changed");
+    run_to_end(&dir);
+
+    // Different stream seed: typed refusal, no silent fork.
+    let mut cfg = config(&dir);
+    cfg.source.stream.seed = 78;
+    let err = match Miner::bootstrap(cfg, Arc::new(AtomicBool::new(false)), Obs::null()) {
+        Err(e) => e,
+        Ok(_) => panic!("a changed stream must be refused"),
+    };
+    assert!(
+        matches!(err, dc_online::OnlineError::SourceChanged),
+        "{err}"
+    );
+
+    // Different search seed: the embedded checkpoint rejects it.
+    let mut cfg = config(&dir);
+    cfg.floc = FlocConfig::builder(2)
+        .alpha(0.5)
+        .max_iterations(6)
+        .seed(12)
+        .build();
+    let err = match Miner::bootstrap(cfg, Arc::new(AtomicBool::new(false)), Obs::null()) {
+        Err(e) => e,
+        Ok(_) => panic!("a changed search config must be refused"),
+    };
+    assert!(matches!(err, dc_online::OnlineError::Floc(_)), "{err}");
+}
+
+/// Promotions observed through the install sink match the durable counter,
+/// and every installed model is internally complete (the swap-atomicity
+/// precondition dc-net's `Installed` snapshot builds on).
+#[test]
+fn install_sink_sees_every_promotion() {
+    struct Counting(Mutex<Vec<(u64, String)>>);
+    impl dc_online::InstallSink for Counting {
+        fn install(&self, model: dc_serve::ServeModel, path: &Path) {
+            assert!(model.k() >= 1);
+            assert!(model.avg_residue().is_finite());
+            self.0.lock().unwrap().push((
+                model.matrix().fingerprint(),
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+            ));
+        }
+    }
+
+    let dir = scratch("sink");
+    let sink = Counting(Mutex::new(Vec::new()));
+    let (mut miner, _m, _r) = bootstrap(&dir);
+    loop {
+        match miner.step(&sink).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("no interrupt was requested"),
+            StepOutcome::Advanced { .. } => {}
+        }
+    }
+    let installs = sink.0.into_inner().unwrap();
+    // Bootstrap promotion bypasses the sink (the server starts with it),
+    // so the sink sees promotions 2..=N.
+    assert_eq!(installs.len() as u64, miner.promotions() - 1);
+    for (i, (_fp, name)) in installs.iter().enumerate() {
+        assert_eq!(*name, format!("model-{:06}.dcm", i as u64 + 2));
+    }
+}
+
+/// The per-event O(1) repair of cluster statistics stays consistent with a
+/// from-scratch rebuild at batch boundaries: integer structure exactly,
+/// accumulated sums to floating-point accuracy.
+#[test]
+fn repaired_states_match_a_rebuild_at_batch_boundaries() {
+    let dir = scratch("repair");
+    let (mut miner, _m, _r) = bootstrap(&dir);
+    for _ in 0..3 {
+        if miner.step(&NullInstall).unwrap() == StepOutcome::Exhausted {
+            break;
+        }
+        let (matrix, floc, states) = miner.debug_parts_for_tests();
+        assert!(miner.repairs() > 0 || states.is_empty());
+        for (cluster, state) in floc.clusters.iter().zip(states) {
+            let rebuilt = dc_floc::ClusterState::new(matrix, cluster);
+            assert_eq!(state.to_cluster(), rebuilt.to_cluster());
+            assert_eq!(state.volume(), rebuilt.volume());
+            assert!((state.total() - rebuilt.total()).abs() < 1e-9);
+            for row in cluster.rows.iter() {
+                assert_eq!(state.row_specified(row), rebuilt.row_specified(row));
+                assert!((state.row_sum(row) - rebuilt.row_sum(row)).abs() < 1e-9);
+            }
+            for col in cluster.cols.iter() {
+                assert_eq!(state.col_specified(col), rebuilt.col_specified(col));
+                assert!((state.col_sum(col) - rebuilt.col_sum(col)).abs() < 1e-9);
+            }
+        }
+    }
+}

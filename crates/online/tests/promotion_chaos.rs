@@ -1,0 +1,156 @@
+//! Chaos at the promotion safe-points: a miner killed *inside* the staged
+//! promotion window must roll forward on restart and end the run with
+//! artifacts byte-identical to a run that was never killed.
+//!
+//! The chaos plan is process-global, so this file holds exactly one test —
+//! the SIGKILL (abort) variants of the same scenarios live in the
+//! subprocess harness under `crates/cli/tests/online_chaos.rs`.
+
+use dc_datagen::StreamConfig;
+use dc_fault::chaos::{clear, install, ChaosAction, ChaosRule};
+use dc_floc::FlocConfig;
+use dc_obs::Obs;
+use dc_online::{
+    generation_path, list_generations, load_miner_checkpoint, Miner, MinerConfig, NullInstall,
+    Recovery, SourceSpec, StepOutcome,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+fn config(dir: &Path) -> MinerConfig {
+    MinerConfig {
+        source: SourceSpec::generated(StreamConfig {
+            users: 30,
+            movies: 20,
+            events: 420,
+            delete_percent: 6,
+            user_groups: 3,
+            genres: 4,
+            noise_std: 0.25,
+            seed: 77,
+        }),
+        floc: FlocConfig::builder(2)
+            .alpha(0.5)
+            .max_iterations(6)
+            .seed(11)
+            .build(),
+        state_dir: dir.to_path_buf(),
+        batch: 60,
+        // Negative margin: re-promote even without improvement, so every
+        // step walks the promotion window the chaos rules target.
+        promote_margin: -1.0,
+        refine_budget: None,
+        keep_generations: 3,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dc-online-chaos").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bootstrap(dir: &Path) -> (Miner, dc_serve::ServeModel, Recovery) {
+    Miner::bootstrap(config(dir), Arc::new(AtomicBool::new(false)), Obs::null()).unwrap()
+}
+
+fn finish(miner: &mut Miner) {
+    loop {
+        match miner.step(&NullInstall).unwrap() {
+            StepOutcome::Exhausted => break,
+            StepOutcome::Interrupted => panic!("no interrupt was requested"),
+            StepOutcome::Advanced { .. } => {}
+        }
+    }
+}
+
+/// (newest generation, its checkpoint bytes, sorted model (name, bytes)).
+type DurableState = (u64, Vec<u8>, Vec<(String, Vec<u8>)>);
+
+fn durable_state(dir: &Path) -> DurableState {
+    let newest = list_generations(dir).unwrap()[0];
+    let ckpt = std::fs::read(generation_path(dir, newest)).unwrap();
+    let mut models: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".dcm"))
+        .map(|e| {
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    models.sort();
+    (newest, ckpt, models)
+}
+
+#[test]
+fn promotions_killed_at_either_safe_point_roll_forward_bit_identically() {
+    let base = scratch("baseline");
+    {
+        let (mut miner, _model, _rec) = bootstrap(&base);
+        finish(&mut miner);
+    }
+    let baseline = durable_state(&base);
+
+    // "staged" kills after the at-promotion checkpoint but before the model
+    // artifact exists; "model" kills after the artifact but before the
+    // commit record and the in-memory install.
+    for point in ["online.promote.staged", "online.promote.model"] {
+        clear();
+        let dir = scratch(point);
+        let (mut miner, _model, rec) = bootstrap(&dir);
+        assert_eq!(rec, Recovery::ColdStart);
+
+        install(vec![ChaosRule {
+            point: point.to_string(),
+            action: ChaosAction::Panic,
+            only_hit: Some(1),
+        }]);
+        let mut killed = false;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| miner.step(&NullInstall))) {
+                Ok(Ok(StepOutcome::Exhausted)) => break,
+                Ok(Ok(_)) => {}
+                Ok(Err(e)) => panic!("typed error under chaos at {point}: {e}"),
+                Err(_) => {
+                    killed = true;
+                    break;
+                }
+            }
+        }
+        clear();
+        assert!(killed, "chaos at {point} never fired — no promotion ran");
+        drop(miner);
+
+        // The newest durable record is the staged (at-promotion) checkpoint.
+        let newest = list_generations(&dir).unwrap()[0];
+        let staged = load_miner_checkpoint(generation_path(&dir, newest)).unwrap();
+        assert!(staged.at_promotion, "kill at {point} left a staged record");
+
+        // Restart: the crashed promotion is rolled forward, and the run
+        // completes byte-identically to the never-killed baseline.
+        let (mut miner, _model, rec) = bootstrap(&dir);
+        match rec {
+            Recovery::Resumed {
+                rolled_forward,
+                discarded,
+                ..
+            } => {
+                assert!(rolled_forward, "kill at {point} must roll forward");
+                assert_eq!(discarded, 0, "no checkpoint is ever torn by a kill");
+            }
+            other => panic!("expected a resume after the {point} kill, got {other:?}"),
+        }
+        finish(&mut miner);
+        assert_eq!(
+            durable_state(&dir),
+            baseline,
+            "final artifacts diverged after the {point} kill"
+        );
+    }
+}

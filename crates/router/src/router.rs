@@ -445,6 +445,32 @@ impl Router {
         self.forward_single(req, row)
     }
 
+    /// Readiness pass-through. The router is ready while at least one
+    /// healthy shard does not *explicitly* refuse traffic on its own
+    /// `/readyz` — a shard mid-model-swap answers 503 there, and a router
+    /// whose entire fleet is swapping must tell its load balancer the
+    /// same (503 + Retry-After). Transport errors do not flip readiness:
+    /// liveness belongs to the health prober and its ejection machinery.
+    fn readyz(&self) -> Response {
+        let healthy: Vec<usize> = (0..self.ring.len())
+            .filter(|&idx| self.health.is_healthy(idx))
+            .collect();
+        let ready = !healthy.is_empty()
+            && healthy
+                .iter()
+                .any(|&idx| match self.pool.get(self.addr(idx), "/readyz") {
+                    Ok(resp) => resp.status == 200,
+                    Err(_) => true,
+                });
+        if ready {
+            Response::json(200, "{\"ready\": true}\n")
+        } else {
+            let mut r = Response::json(503, "{\"ready\": false}\n");
+            r.headers.push(("Retry-After".into(), "1".into()));
+            r
+        }
+    }
+
     fn shards_table(&self) -> Response {
         let statuses = self.health.statuses();
         let mut body = format!(
@@ -545,15 +571,7 @@ impl RequestHandler for Router {
                     self.health.healthy_count()
                 ),
             ),
-            (Method::Get | Method::Head, "/readyz") => {
-                if self.health.healthy_count() > 0 {
-                    Response::json(200, "{\"ready\": true}\n")
-                } else {
-                    let mut r = Response::json(503, "{\"ready\": false}\n");
-                    r.headers.push(("Retry-After".into(), "1".into()));
-                    r
-                }
-            }
+            (Method::Get | Method::Head, "/readyz") => self.readyz(),
             (Method::Get | Method::Head, "/metrics") => self.local_metrics(req),
             (Method::Get | Method::Head, "/v1/shards") => self.shards_table(),
             (Method::Get | Method::Head, "/v1/model" | "/v1/models") => self.forward_meta(req),

@@ -1,0 +1,134 @@
+//! Satellite pin: during a model swap, readiness must drop on the shard
+//! *and* on a router fronting it (503 + `Retry-After` on both tiers),
+//! then recover — while `/v1/predict` keeps answering 200 throughout.
+//!
+//! Chaos plans are process-global, so this file holds exactly one test.
+
+use dc_fault::chaos::{self, ChaosAction, ChaosRule};
+use dc_net::{serve, AppState, HttpClient, Method, Request, RequestHandler, ServerConfig};
+use dc_obs::Obs;
+use dc_router::{Router, RouterConfig};
+use dc_serve::ServeModel;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn model(seed: f64) -> ServeModel {
+    let mut m = dc_matrix::DataMatrix::new(8, 8);
+    for r in 0..6 {
+        for c in 0..6 {
+            m.set(r, c, seed + (3 * r + c) as f64);
+        }
+    }
+    let cluster = dc_floc::DeltaCluster::from_indices(8, 8, 0..6, 0..6);
+    ServeModel::new(m, vec![cluster], vec![0.0], 0.0).unwrap()
+}
+
+fn request(method: Method, path: &str, body: &str) -> Request {
+    Request {
+        method,
+        path: path.to_string(),
+        query: None,
+        headers: Vec::new(),
+        body: body.as_bytes().to_vec(),
+        keep_alive: true,
+    }
+}
+
+fn retry_after(headers: &[(String, String)]) -> Option<&str> {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn swap_gates_readyz_on_shard_and_router_but_never_predict() {
+    let state = Arc::new(AppState::new(model(0.0), Some("shard.dcm"), 2, Obs::null()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let handle = serve(ServerConfig::default(), state.clone(), stop).expect("bind shard");
+    let addr = handle.addr().to_string();
+
+    let router = Router::new(
+        RouterConfig {
+            shards: vec![addr.clone()],
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+        Obs::null(),
+    )
+    .unwrap();
+    assert_eq!(router.probe_all(), 1);
+
+    let version_before = state.meta().version;
+    let mut client = HttpClient::connect(&addr).unwrap();
+    assert_eq!(
+        client.get("/readyz").unwrap().status,
+        200,
+        "ready before swap"
+    );
+    assert_eq!(
+        router.handle(&request(Method::Get, "/readyz", "")).status,
+        200,
+        "router ready before swap"
+    );
+
+    // Hold the not-ready window open long enough to observe both tiers.
+    chaos::install(vec![ChaosRule {
+        point: "net.swap.not_ready".to_string(),
+        action: ChaosAction::Delay(Duration::from_millis(600)),
+        only_hit: None,
+    }]);
+    let swapper = {
+        let state = state.clone();
+        std::thread::spawn(move || state.swap_model(model(10.0), None))
+    };
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Mid-swap: both tiers refuse /readyz with a Retry-After hint...
+    let shard_ready = client.get("/readyz").unwrap();
+    assert_eq!(
+        shard_ready.status, 503,
+        "shard must gate readiness mid-swap"
+    );
+    assert_eq!(shard_ready.header("retry-after"), Some("1"));
+    let router_ready = router.handle(&request(Method::Get, "/readyz", ""));
+    assert_eq!(
+        router_ready.status, 503,
+        "router must mirror a swapping fleet"
+    );
+    assert!(
+        retry_after(&router_ready.headers).is_some(),
+        "router 503 must carry Retry-After"
+    );
+
+    // ...while predictions keep flowing on both tiers: promotion never errors.
+    let body = "{\"row\": 2, \"col\": 3}";
+    assert_eq!(
+        client.post_json("/v1/predict", body).unwrap().status,
+        200,
+        "shard predict must answer mid-swap"
+    );
+    assert_eq!(
+        router
+            .handle(&request(Method::Post, "/v1/predict", body))
+            .status,
+        200,
+        "routed predict must answer mid-swap"
+    );
+
+    let new_version = swapper.join().expect("swap thread");
+    chaos::clear();
+
+    // After the swap: readiness recovers on both tiers, version bumped.
+    assert_eq!(client.get("/readyz").unwrap().status, 200, "shard recovers");
+    assert_eq!(
+        router.handle(&request(Method::Get, "/readyz", "")).status,
+        200,
+        "router recovers"
+    );
+    assert!(new_version > version_before, "swap must bump the version");
+    assert_eq!(state.meta().version, new_version);
+
+    assert!(handle.shutdown(), "shard must drain");
+}

@@ -29,6 +29,7 @@ use dc_floc::{AmplificationError, FlocError, PredictError, ResumeError, SeedErro
 use dc_matrix::categorical::EncodeError;
 use dc_matrix::transform::TransformError;
 use dc_matrix::ParseError;
+use dc_online::OnlineError;
 use dc_serve::{ArtifactError, ModelError};
 
 /// Any error the workspace can produce, by domain.
@@ -47,6 +48,7 @@ use dc_serve::{ArtifactError, ModelError};
 /// | [`Error::Model`] | `dc-serve` | serve-model construction |
 /// | [`Error::Arg`] | `dc-cli` | command-line flag parsing |
 /// | [`Error::Cmd`] | `dc-cli` | command dispatch |
+/// | [`Error::Online`] | `dc-online` | online mining, checkpointing, promotion |
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum Error {
@@ -74,6 +76,8 @@ pub enum Error {
     Arg(ArgError),
     /// A CLI command failed.
     Cmd(CmdError),
+    /// The online mining tier failed (stream, checkpoint, or promotion).
+    Online(OnlineError),
 }
 
 /// `Result` with the facade [`Error`] as its default error type.
@@ -98,6 +102,7 @@ impl std::fmt::Display for Error {
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Arg(e) => write!(f, "argument error: {e}"),
             Error::Cmd(e) => write!(f, "command failed: {e}"),
+            Error::Online(e) => write!(f, "online mining failed: {e}"),
         }
     }
 }
@@ -117,6 +122,7 @@ impl std::error::Error for Error {
             Error::Model(e) => Some(e),
             Error::Arg(e) => Some(e),
             Error::Cmd(e) => Some(e),
+            Error::Online(e) => Some(e),
         }
     }
 }
@@ -144,6 +150,7 @@ impl_from! {
     ModelError => Model,
     ArgError => Arg,
     CmdError => Cmd,
+    OnlineError => Online,
 }
 
 #[cfg(test)]
@@ -202,8 +209,9 @@ mod tests {
             .into(),
             ArgError::Missing("k".into()).into(),
             CmdError::Usage("bad".into()).into(),
+            OnlineError::Floc(FlocError::EmptyMatrix).into(),
         ];
-        assert_eq!(errors.len(), 12, "one facade variant per domain enum");
+        assert_eq!(errors.len(), 13, "one facade variant per domain enum");
         for e in &errors {
             assert!(!e.to_string().is_empty());
             assert!(e.source().is_some(), "{e} must expose its source");

@@ -54,6 +54,7 @@ pub use dc_floc as floc;
 pub use dc_matrix as matrix;
 pub use dc_net as net;
 pub use dc_obs as obs;
+pub use dc_online as online;
 pub use dc_router as router;
 pub use dc_serve as serve;
 pub use dc_subspace as subspace;
@@ -78,6 +79,7 @@ pub mod prelude {
     pub use dc_matrix::{validate, BitSet, DataMatrix, ValidationReport};
     pub use dc_net::{serve as serve_http, AppState, HttpClient, ServerConfig, ServerHandle};
     pub use dc_obs::{JsonSink, MemorySink, MetricsSink, NullSink, Obs, Sink, TextSink};
+    pub use dc_online::{spawn_miner, Miner, MinerConfig, OnlineError, SourceSpec};
     pub use dc_router::{HashRing, Router, RouterConfig};
     pub use dc_serve::{load_checkpoint, save_checkpoint, PredictError, QueryEngine, ServeModel};
     pub use dc_subspace::{alternative, clique, AlternativeConfig, CliqueConfig};
