@@ -12,7 +12,7 @@ use crate::opts::Opts;
 use dc_datagen::synth::split_volume;
 use dc_eval::report::{fmt_f, write_json, Table};
 use dc_floc::{floc, floc_with, FlocConfig, GainEngineKind, Seeding};
-use dc_obs::{NullSink, Obs, PhaseTimer};
+use dc_obs::{MemorySink, NullSink, Obs, PhaseTimer};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -48,6 +48,40 @@ pub struct Record {
     pub speedup_vs_exact: f64,
 }
 
+/// One thread-count measurement of the incremental engine at mining scale,
+/// with the per-phase split scraped from the run's `floc.iteration` events.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingRecord {
+    /// Matrix height (objects).
+    pub rows: usize,
+    /// Matrix width (attributes).
+    pub cols: usize,
+    /// Clusters mined.
+    pub k: usize,
+    /// Thread budget (gain evaluation + engine rebuild workers).
+    pub threads: usize,
+    /// Phase-2 iterations the run took.
+    pub iterations: usize,
+    /// Wall-clock seconds of the full run.
+    pub full_run_s: f64,
+    /// Mean milliseconds per phase-2 iteration.
+    pub iteration_ms: f64,
+    /// Seconds spent evaluating candidate gains, summed over iterations.
+    pub eval_s: f64,
+    /// Seconds spent (re)building gain-engine indexes.
+    pub rebuild_s: f64,
+    /// Seconds spent applying actions and tracking the best prefix.
+    pub apply_s: f64,
+    /// Candidate gain evaluations performed (same formula as [`Record`]).
+    pub actions_evaluated: u64,
+    /// Nanoseconds per candidate evaluation (full run / actions).
+    pub ns_per_action: f64,
+    /// Final average residue — must be bit-identical across thread counts.
+    pub avg_residue: f64,
+    /// 1-thread time / this time at the same grid point (1.0 for 1 thread).
+    pub speedup_vs_1t: f64,
+}
+
 /// Cost of threading an [`Obs`] handle through a full FLOC run, measured
 /// at one grid point. The observability acceptance bar: a disabled (null)
 /// handle must stay within 5% of the uninstrumented call.
@@ -77,6 +111,8 @@ pub struct ObsOverhead {
 pub struct Report {
     /// One record per engine × grid point.
     pub records: Vec<Record>,
+    /// One record per thread count × scaling grid point.
+    pub scaling: Vec<ScalingRecord>,
     /// `(phase name, seconds)` pairs from the harness [`PhaseTimer`].
     pub phases: Vec<(String, f64)>,
     /// The null-sink overhead probe (at 3000×30 when the grid has it).
@@ -97,6 +133,75 @@ pub fn grid(full: bool) -> Vec<(usize, usize)> {
         ]
     } else {
         vec![(1000, 30), (3000, 30)]
+    }
+}
+
+/// The scaling grid: `(rows, cols)` for the thread-count sweep. The 30k
+/// point runs in the smoke configuration (CI measures it); `--full` adds
+/// the 100k×100 point from the issue's mining-scale target.
+pub fn scaling_grid(full: bool) -> Vec<(usize, usize)> {
+    if full {
+        vec![(30_000, 100), (100_000, 100)]
+    } else {
+        vec![(30_000, 100)]
+    }
+}
+
+/// Thread budgets swept at every scaling grid point.
+pub const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn scaling_config(rows: usize, cols: usize, k: usize, threads: usize) -> FlocConfig {
+    // Seeds sized proportionally to the planted clusters (~rows/50 ×
+    // cols/5) so the per-iteration work grows with the data but the number
+    // of iterations stays pinned — throughput is the metric here too.
+    FlocConfig::builder(k)
+        .seed(17)
+        .threads(threads)
+        .max_iterations(2)
+        .seeding(Seeding::TargetSize {
+            rows: (rows / 50).max(10),
+            cols: (cols / 5).max(5),
+        })
+        .gain_engine(GainEngineKind::Incremental)
+        .build()
+}
+
+/// Runs one seeded incremental mine under a [`MemorySink`] and splits the
+/// wall clock into the eval / rebuild / apply phases that every
+/// `floc.iteration` event now carries.
+fn measure_scaling(matrix: &dc_matrix::DataMatrix, k: usize, threads: usize) -> ScalingRecord {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let cfg = scaling_config(rows, cols, k, threads);
+    let sink = MemorySink::new();
+    let obs = Obs::new(sink.clone());
+    let start = Instant::now();
+    let result = floc_with(matrix, &cfg, &obs).expect("floc failed");
+    let full_run_s = start.elapsed().as_secs_f64();
+
+    let (mut eval, mut rebuild, mut apply) = (0u64, 0u64, 0u64);
+    for e in sink.named("floc.iteration") {
+        eval += e.u64_field("eval_nanos").unwrap_or(0);
+        rebuild += e.u64_field("rebuild_nanos").unwrap_or(0);
+        apply += e.u64_field("apply_nanos").unwrap_or(0);
+    }
+
+    let iterations = result.iterations.max(1);
+    let actions_evaluated = (iterations * 2 * (rows + cols) * k) as u64;
+    ScalingRecord {
+        rows,
+        cols,
+        k,
+        threads,
+        iterations,
+        full_run_s,
+        iteration_ms: full_run_s * 1e3 / iterations as f64,
+        eval_s: eval as f64 / 1e9,
+        rebuild_s: rebuild as f64 / 1e9,
+        apply_s: apply as f64 / 1e9,
+        actions_evaluated,
+        ns_per_action: full_run_s * 1e9 / actions_evaluated as f64,
+        avg_residue: result.avg_residue,
+        speedup_vs_1t: 1.0, // filled in by the caller
     }
 }
 
@@ -249,6 +354,32 @@ pub fn run(opts: &Opts) -> String {
             obs_overhead = Some(probe);
         }
     }
+
+    // Thread-count sweep at mining scale: same matrix, same seed, the
+    // thread budget is the only variable — residues must agree bit-exactly.
+    let mut scaling: Vec<ScalingRecord> = Vec::new();
+    for (rows, cols) in scaling_grid(opts.full || opts.scaling_full) {
+        phases.start(&format!("scaling datagen {rows}x{cols}"));
+        let volume = (rows * cols / 100).max(100);
+        let size = split_volume(volume, 10.0, 2, 2);
+        let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![size; k]).with_seed(23);
+        let data = dc_datagen::embed::generate(&cfg);
+
+        let mut one_thread_s = 0.0;
+        for threads in SCALING_THREADS {
+            phases.start(&format!("scaling {rows}x{cols} t{threads}"));
+            let mut rec = measure_scaling(&data.matrix, k, threads);
+            if threads == 1 {
+                one_thread_s = rec.full_run_s;
+            }
+            rec.speedup_vs_1t = one_thread_s / rec.full_run_s;
+            eprintln!(
+                "  floc-scaling {rows}x{cols} t{threads}: {:.2}s ({:.2}x vs 1t; eval {:.2}s, rebuild {:.2}s, apply {:.2}s)",
+                rec.full_run_s, rec.speedup_vs_1t, rec.eval_s, rec.rebuild_s, rec.apply_s,
+            );
+            scaling.push(rec);
+        }
+    }
     phases.finish();
 
     let mut t = Table::new(vec![
@@ -273,8 +404,32 @@ pub fn run(opts: &Opts) -> String {
             fmt_f(r.speedup_vs_exact, 1),
         ]);
     }
+    let mut st = Table::new(vec![
+        "size",
+        "threads",
+        "full run (s)",
+        "eval (s)",
+        "rebuild (s)",
+        "apply (s)",
+        "ns/action",
+        "speedup vs 1t",
+    ]);
+    for r in &scaling {
+        st.row(vec![
+            format!("{}x{}", r.rows, r.cols),
+            r.threads.to_string(),
+            fmt_f(r.full_run_s, 2),
+            fmt_f(r.eval_s, 2),
+            fmt_f(r.rebuild_s, 2),
+            fmt_f(r.apply_s, 2),
+            fmt_f(r.ns_per_action, 0),
+            fmt_f(r.speedup_vs_1t, 2),
+        ]);
+    }
+    let scaling_table = st.render();
     let report = Report {
         records,
+        scaling,
         phases: phases.phases().to_vec(),
         obs_overhead,
     };
@@ -291,9 +446,10 @@ pub fn run(opts: &Opts) -> String {
         None => String::new(),
     };
     format!(
-        "FLOC gain engines — exact vs incremental (threads {})\n{}{}",
+        "FLOC gain engines — exact vs incremental (threads {})\n{}\n\nFLOC thread scaling — incremental engine\n{}{}",
         opts.threads,
         t.render(),
+        scaling_table,
         overhead_line
     )
 }
@@ -309,6 +465,34 @@ mod tests {
         assert!(grid(false).contains(&(3000, 30)));
         assert!(grid(true).contains(&(3000, 30)));
         assert!(grid(true).contains(&(10_000, 100)));
+    }
+
+    #[test]
+    fn scaling_grid_covers_the_issue_targets() {
+        // The thread sweep must include the 30k smoke point everywhere and
+        // the 100k mining-scale point under --full.
+        assert!(scaling_grid(false).contains(&(30_000, 100)));
+        assert!(scaling_grid(true).contains(&(30_000, 100)));
+        assert!(scaling_grid(true).contains(&(100_000, 100)));
+        assert_eq!(SCALING_THREADS, [1, 2, 4, 8]);
+    }
+
+    #[test]
+    fn scaling_measurement_splits_phases_and_is_thread_invariant() {
+        let size = split_volume(60, 4.0, 2, 2);
+        let cfg = dc_datagen::EmbedConfig::new(120, 20, vec![size; 3]).with_seed(5);
+        let data = dc_datagen::embed::generate(&cfg);
+        let one = measure_scaling(&data.matrix, 3, 1);
+        let four = measure_scaling(&data.matrix, 3, 4);
+        // Same trajectory regardless of thread budget.
+        assert_eq!(one.avg_residue.to_bits(), four.avg_residue.to_bits());
+        assert_eq!(one.iterations, four.iterations);
+        // The phase split is populated and bounded by the wall clock.
+        for rec in [&one, &four] {
+            assert!(rec.eval_s > 0.0);
+            assert!(rec.rebuild_s > 0.0);
+            assert!(rec.eval_s + rec.rebuild_s + rec.apply_s <= rec.full_run_s);
+        }
     }
 
     #[test]

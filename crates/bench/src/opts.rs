@@ -7,6 +7,10 @@ use std::path::PathBuf;
 pub struct Opts {
     /// Run the paper's exact sizes instead of the scaled-down defaults.
     pub full: bool,
+    /// `floc_perf` only: run the full thread-scaling grid (adds the
+    /// 100k×100 point) without paying for the full *engine* grid — the
+    /// exact engine at the 10k scale dominates a `--full` run's wall clock.
+    pub scaling_full: bool,
     /// Where JSON results are written.
     pub out_dir: PathBuf,
     /// Number of gain-evaluation threads handed to FLOC.
@@ -28,6 +32,7 @@ impl Default for Opts {
     fn default() -> Self {
         Opts {
             full: false,
+            scaling_full: false,
             out_dir: PathBuf::from("target/experiments"),
             threads: std::thread::available_parallelism()
                 .map_or(1, |n| n.get())
@@ -53,6 +58,7 @@ impl Opts {
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--full" => opts.full = true,
+                "--scaling-full" => opts.scaling_full = true,
                 "--out" => {
                     if let Some(dir) = args.next() {
                         opts.out_dir = PathBuf::from(dir);
@@ -101,6 +107,8 @@ mod tests {
     #[test]
     fn full_flag() {
         assert!(parse(&["--full"]).full);
+        assert!(!parse(&["--full"]).scaling_full);
+        assert!(parse(&["--scaling-full"]).scaling_full);
     }
 
     #[test]

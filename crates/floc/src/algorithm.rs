@@ -202,7 +202,10 @@ fn evaluate_best_actions(
         };
         targets.len()
     ];
-    let chunk = targets.len().div_ceil(threads);
+    // Round the chunk size up to a whole number of 64-target blocks so
+    // each worker's row-targets span whole specification-mask words and
+    // adjacent workers never split a cache line of the results vector.
+    let chunk = targets.len().div_ceil(threads).next_multiple_of(64);
     crossbeam::thread::scope(|scope| {
         for (t_chunk, r_chunk) in targets.chunks(chunk).zip(results.chunks_mut(chunk)) {
             scope.spawn(move |_| {
@@ -518,15 +521,41 @@ fn run_loop(
         let iter_started = Instant::now();
         iterations += 1;
 
+        // Per-phase wall-clock tallies (eval / rebuild / apply), emitted on
+        // the `floc.iteration` event. Gated on observation being live so
+        // the unobserved hot loop never pays the clock reads.
+        let timing = obs.enabled();
+        let mut eval_nanos = 0u64;
+        let mut rebuild_nanos = 0u64;
+        let mut apply_nanos = 0u64;
+        let lap = |t: Option<Instant>, acc: &mut u64| {
+            if let Some(t) = t {
+                *acc += t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            }
+        };
+
         // Drift guard: the incremental engine is rebuilt from the canonical
         // incumbent states every iteration, so index error cannot compound
         // across iterations and resumed runs reconstruct the same indexes.
-        let mut engine =
-            use_incremental.then(|| IncrementalEngine::build(matrix, &best, config.mean));
+        // The build fans out across clusters under the configured thread
+        // budget; per-cluster indexes are independent, so the result is
+        // bit-identical to a serial build.
+        let t = timing.then(Instant::now);
+        let mut engine = use_incremental.then(|| {
+            IncrementalEngine::build_with_threads(
+                matrix,
+                &best,
+                config.mean,
+                config.parallelism.threads,
+            )
+        });
+        lap(t, &mut rebuild_nanos);
 
         // 1. Choose the best action per target against the starting state.
+        let t = timing.then(Instant::now);
         let mut actions =
             evaluate_best_actions(matrix, &best, &best_residues, config, engine.as_ref());
+        lap(t, &mut eval_nanos);
 
         // 2. Order them.
         ordering::order_actions(&mut actions, config.ordering, &mut rng);
@@ -564,8 +593,11 @@ fn run_loop(
                 // performed"). Negative best gains are still performed.
                 let target = ea.action.target;
                 if let Some(eng) = engine.as_mut() {
+                    let t = timing.then(Instant::now);
                     eng.prepare(matrix, &states, target.is_row());
+                    lap(t, &mut rebuild_nanos);
                 }
+                let t = timing.then(Instant::now);
                 let mut best_gain = f64::NEG_INFINITY;
                 let mut best = None;
                 for (c, state) in states.iter().enumerate() {
@@ -596,6 +628,7 @@ fn run_loop(
                         best = Some(a);
                     }
                 }
+                lap(t, &mut eval_nanos);
                 best
             } else if ea.gain == f64::NEG_INFINITY || blocked(matrix, &states, ea.action, config) {
                 // Every candidate was blocked at evaluation time, or the
@@ -609,6 +642,7 @@ fn run_loop(
                 continue;
             };
             let c = act.cluster;
+            let t = timing.then(Instant::now);
             let new_res = if let Some(eng) = engine.as_mut() {
                 if !config.refresh_gains {
                     // The pre-decided gain is stale; query the residue the
@@ -633,6 +667,7 @@ fn run_loop(
                 best_prefix_avg = avg;
                 best_prefix_len = performed.len();
             }
+            lap(t, &mut apply_nanos);
         }
 
         let improved =
@@ -672,6 +707,9 @@ fn run_loop(
                     ),
                     Field::new("stale_rebuilds", iter_rebuilds),
                     Field::new("repairs", iter_repairs),
+                    Field::new("eval_nanos", eval_nanos),
+                    Field::new("rebuild_nanos", rebuild_nanos),
+                    Field::new("apply_nanos", apply_nanos),
                 ],
             );
         }

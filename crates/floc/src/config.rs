@@ -76,14 +76,26 @@ impl Deserialize for InterruptFlag {
 
 /// The unified parallel-execution plan for a FLOC run.
 ///
-/// Two orthogonal axes multiply into the total worker budget:
+/// Two orthogonal axes share one thread budget:
 ///
-/// - `threads` — gain-evaluation workers *within* one run (1 = serial).
-///   Gains within an iteration are independent, so evaluation
-///   parallelizes cleanly without changing the search trajectory.
+/// - `threads` — the total OS-thread budget. Within a single run it is the
+///   gain-evaluation and engine-rebuild worker count (1 = serial). Gains
+///   within an iteration are independent and each cluster's indexes are an
+///   independent build, so both parallelize cleanly without changing the
+///   search trajectory.
 /// - `restarts` — independent seeded runs raced by
 ///   [`floc_parallel`](crate::floc_parallel) (seeds `seed .. seed+restarts`),
 ///   keeping the best result. 1 means a single run.
+///
+/// **Budget split.** When restarts race, `threads` is *divided*, never
+/// multiplied: `floc_parallel` staffs `workers = threads.clamp(1,
+/// restarts)` restart workers and hands each restart `threads / workers`
+/// (at least 1) within-run threads, so at most `threads` threads ever run
+/// hot simultaneously. With `threads = 8, restarts = 2`, two restarts race
+/// with 4 evaluation threads each; with `threads = 4, restarts = 16`, four
+/// restarts race serially within themselves. (Earlier versions pinned
+/// every racing restart to a serial evaluator, stranding budget when
+/// `threads > restarts`.)
 ///
 /// Historically `threads` lived on `FlocConfig` while restart workers were
 /// an ad-hoc argument of `floc_restarts`; both now live here. Like the

@@ -119,12 +119,14 @@ impl DimIndex {
         self.pre2.clear();
     }
 
+    #[cfg(test)]
     fn push(&mut self, val: f64, id: u32) {
         self.vals.push(val);
         self.ids.push(id);
     }
 
     /// Sorts by `(value, id)` and (re)builds the prefix arrays.
+    #[cfg(test)]
     fn finish(&mut self) {
         let mut order: Vec<u32> = (0..self.vals.len() as u32).collect();
         order.sort_unstable_by(|&a, &b| {
@@ -136,6 +138,20 @@ impl DimIndex {
         let ids: Vec<u32> = order.iter().map(|&i| self.ids[i as usize]).collect();
         self.vals = vals;
         self.ids = ids;
+        self.rebuild_prefixes();
+    }
+
+    /// Replaces the contents from a caller-owned buffer of `(value, id)`
+    /// pairs, reusing this index's allocations across rebuilds. Sorting by
+    /// `(value, id)` with unique ids yields exactly the order
+    /// [`Self::finish`] produces, so the two construction paths are
+    /// interchangeable.
+    fn assign_sorted(&mut self, buf: &mut [(f64, u32)]) {
+        buf.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.vals.clear();
+        self.ids.clear();
+        self.vals.extend(buf.iter().map(|p| p.0));
+        self.ids.extend(buf.iter().map(|p| p.1));
         self.rebuild_prefixes();
     }
 
@@ -165,18 +181,39 @@ impl DimIndex {
         pos
     }
 
-    /// Inserts one entry, keeping order, and repairs the prefixes. `O(n)`.
+    /// Recomputes `pre`/`pre2` from position `pos` on. Entries below `pos`
+    /// depend only on the unchanged value prefix, so resuming the running
+    /// sums from `pre[pos]`/`pre2[pos]` is bit-identical to a full rebuild
+    /// while touching only the suffix.
+    fn repair_prefixes_from(&mut self, pos: usize) {
+        if self.pre.is_empty() {
+            self.pre.push(0.0);
+            self.pre2.push(0.0);
+        }
+        self.pre.truncate(pos + 1);
+        self.pre2.truncate(pos + 1);
+        let (mut s, mut s2) = (self.pre[pos], self.pre2[pos]);
+        for &v in &self.vals[pos..] {
+            s += v;
+            s2 += v * v;
+            self.pre.push(s);
+            self.pre2.push(s2);
+        }
+    }
+
+    /// Inserts one entry, keeping order, and repairs the prefix suffix.
+    /// `O(n)` memmove, `O(n − pos)` arithmetic.
     fn insert(&mut self, val: f64, id: u32) {
         let pos = self.position(val, id);
         self.vals.insert(pos, val);
         self.ids.insert(pos, id);
-        self.rebuild_prefixes();
+        self.repair_prefixes_from(pos);
     }
 
     /// Removes the entry for `id`, located by its reproduced value (the
     /// stored value is recomputed bit-identically from the same sums, so
     /// the binary search lands on it; a linear fallback guards the
-    /// invariant anyway). `O(n)`.
+    /// invariant anyway). `O(n)` memmove, `O(n − pos)` arithmetic.
     fn remove(&mut self, val: f64, id: u32) {
         let pos = self.position(val, id);
         let at = if self.ids.get(pos) == Some(&id) {
@@ -190,7 +227,7 @@ impl DimIndex {
         };
         self.vals.remove(at);
         self.ids.remove(at);
-        self.rebuild_prefixes();
+        self.repair_prefixes_from(at);
     }
 
     /// `Σ term(vals[i] − t)` over every entry, in `O(log n)` (arithmetic)
@@ -227,6 +264,12 @@ struct ClusterIndex {
     col_ok: bool,
     /// `by_row` matches the cluster's current state.
     row_ok: bool,
+    /// `(value, id)` pairs reused across every line rebuild of this
+    /// cluster, so steady-state rebuilds allocate nothing.
+    sort_buf: Vec<(f64, u32)>,
+    /// Per-line bases hoisted out of the entry loops: one division per
+    /// member line per rebuild instead of one per entry.
+    base_buf: Vec<f64>,
 }
 
 impl ClusterIndex {
@@ -236,6 +279,8 @@ impl ClusterIndex {
             by_row: vec![DimIndex::default(); matrix.rows()],
             col_ok: false,
             row_ok: false,
+            sort_buf: Vec::new(),
+            base_buf: Vec::new(),
         }
     }
 
@@ -243,14 +288,21 @@ impl ClusterIndex {
         for d in &mut self.by_col {
             d.clear();
         }
-        for j in st.cols.iter() {
-            let d = &mut self.by_col[j];
-            for (i, v) in matrix.col_specified_in(j, &st.rows) {
-                // (i, j) specified with j ∈ J ⇒ row i's count is ≥ 1.
-                let rb = st.row_sum(i) / st.row_specified(i) as f64;
-                d.push(v - rb, i as u32);
+        // (i, j) specified with j ∈ J ⇒ row i's count is ≥ 1; the hoisted
+        // division is the same one the entry loop used to perform.
+        self.base_buf.clear();
+        self.base_buf.resize(matrix.rows(), 0.0);
+        for i in st.rows.iter() {
+            if st.row_specified(i) > 0 {
+                self.base_buf[i] = st.row_sum(i) / st.row_specified(i) as f64;
             }
-            d.finish();
+        }
+        for j in st.cols.iter() {
+            self.sort_buf.clear();
+            for (i, v) in matrix.col_specified_in(j, &st.rows) {
+                self.sort_buf.push((v - self.base_buf[i], i as u32));
+            }
+            self.by_col[j].assign_sorted(&mut self.sort_buf);
         }
         self.col_ok = true;
     }
@@ -259,13 +311,19 @@ impl ClusterIndex {
         for d in &mut self.by_row {
             d.clear();
         }
-        for i in st.rows.iter() {
-            let d = &mut self.by_row[i];
-            for (j, v) in matrix.row_specified_in(i, &st.cols) {
-                let cb = st.col_sum(j) / st.col_specified(j) as f64;
-                d.push(v - cb, j as u32);
+        self.base_buf.clear();
+        self.base_buf.resize(matrix.cols(), 0.0);
+        for j in st.cols.iter() {
+            if st.col_specified(j) > 0 {
+                self.base_buf[j] = st.col_sum(j) / st.col_specified(j) as f64;
             }
-            d.finish();
+        }
+        for i in st.rows.iter() {
+            self.sort_buf.clear();
+            for (j, v) in matrix.row_specified_in(i, &st.cols) {
+                self.sort_buf.push((v - self.base_buf[j], j as u32));
+            }
+            self.by_row[i].assign_sorted(&mut self.sort_buf);
         }
         self.row_ok = true;
     }
@@ -293,16 +351,49 @@ pub struct IncrementalEngine {
 impl IncrementalEngine {
     /// Builds both index sides for every cluster. `O(Σ volume · log)`.
     pub fn build(matrix: &DataMatrix, states: &[ClusterState], mean: ResidueMean) -> Self {
+        IncrementalEngine::build_with_threads(matrix, states, mean, 1)
+    }
+
+    /// [`Self::build`] with the per-cluster work fanned out over up to
+    /// `threads` workers. Each cluster's indexes are an independent
+    /// function of `(matrix, its state)`, so the result is bit-identical
+    /// to the serial build regardless of thread count.
+    pub fn build_with_threads(
+        matrix: &DataMatrix,
+        states: &[ClusterState],
+        mean: ResidueMean,
+        threads: usize,
+    ) -> Self {
         let mut engine = IncrementalEngine {
             clusters: states.iter().map(|_| ClusterIndex::new(matrix)).collect(),
             mean,
             stale_rebuilds: 0,
             repairs: 0,
         };
-        for (ci, st) in engine.clusters.iter_mut().zip(states) {
-            ci.rebuild_by_col(matrix, st);
-            ci.rebuild_by_row(matrix, st);
+        let threads = threads.max(1).min(states.len().max(1));
+        if threads <= 1 || states.len() < 2 {
+            for (ci, st) in engine.clusters.iter_mut().zip(states) {
+                ci.rebuild_by_col(matrix, st);
+                ci.rebuild_by_row(matrix, st);
+            }
+            return engine;
         }
+        // Pay the column-mirror transpose once up front instead of
+        // serializing every worker behind its OnceLock.
+        matrix.ensure_mirror();
+        let chunk = states.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for (ci_chunk, st_chunk) in engine.clusters.chunks_mut(chunk).zip(states.chunks(chunk))
+            {
+                scope.spawn(move |_| {
+                    for (ci, st) in ci_chunk.iter_mut().zip(st_chunk) {
+                        ci.rebuild_by_col(matrix, st);
+                        ci.rebuild_by_row(matrix, st);
+                    }
+                });
+            }
+        })
+        .expect("engine build worker panicked");
         engine
     }
 
@@ -361,14 +452,9 @@ impl IncrementalEngine {
         let adding = !st.rows.contains(x);
         let sign = if adding { 1.0 } else { -1.0 };
 
+        // Word-block kernel; bit-identical to folding row_specified_in.
         let (t_sum, t_cnt) = if adding {
-            let mut s = 0.0;
-            let mut c = 0u32;
-            for (_, v) in matrix.row_specified_in(x, &st.cols) {
-                s += v;
-                c += 1;
-            }
-            (s, c)
+            matrix.row_stats_in(x, &st.cols)
         } else {
             (st.row_sum(x), st.row_specified(x))
         };
@@ -392,13 +478,14 @@ impl IncrementalEngine {
             t_sum / t_cnt as f64
         };
 
-        let xvals = matrix.row_values(x);
+        let xvals = matrix.row_ref(x);
         let mut sum = 0.0;
         for j in st.cols.iter() {
             let spec = matrix.is_specified(x, j);
             let (mut cs, mut cn) = (st.col_sum(j), st.col_specified(j) as i64);
+            let v = xvals.get(j);
             if spec {
-                cs += sign * xvals[j];
+                cs += sign * v;
                 cn += sign as i64;
             }
             let col_base = if cn <= 0 { base } else { cs / cn as f64 };
@@ -406,10 +493,10 @@ impl IncrementalEngine {
             sum += ci.by_col[j].query(t, self.mean);
             if spec {
                 if adding {
-                    sum += self.mean.entry_term(xvals[j] - new_rb - col_base + base);
+                    sum += self.mean.entry_term(v - new_rb - col_base + base);
                 } else {
                     // The index still contains x's entry; cancel it.
-                    sum -= self.mean.entry_term((xvals[j] - old_rb) - t);
+                    sum -= self.mean.entry_term((v - old_rb) - t);
                 }
             }
         }
@@ -428,14 +515,9 @@ impl IncrementalEngine {
         let adding = !st.cols.contains(y);
         let sign = if adding { 1.0 } else { -1.0 };
 
+        // Word-block kernel; bit-identical to folding col_specified_in.
         let (t_sum, t_cnt) = if adding {
-            let mut s = 0.0;
-            let mut c = 0u32;
-            for (_, v) in matrix.col_specified_in(y, &st.rows) {
-                s += v;
-                c += 1;
-            }
-            (s, c)
+            matrix.col_stats_in(y, &st.rows)
         } else {
             (st.col_sum(y), st.col_specified(y))
         };
@@ -556,12 +638,7 @@ impl IncrementalEngine {
                         }
                     }
                 } else {
-                    let mut t_sum = 0.0;
-                    let mut t_cnt = 0u32;
-                    for (_, v) in matrix.row_specified_in(x, &st.cols) {
-                        t_sum += v;
-                        t_cnt += 1;
-                    }
+                    let (t_sum, t_cnt) = matrix.row_stats_in(x, &st.cols);
                     if t_cnt > 0 {
                         let rb = t_sum / t_cnt as f64;
                         for (j, v) in matrix.row_specified_in(x, &st.cols) {
@@ -584,12 +661,7 @@ impl IncrementalEngine {
                         }
                     }
                 } else {
-                    let mut t_sum = 0.0;
-                    let mut t_cnt = 0u32;
-                    for (_, v) in matrix.col_specified_in(y, &st.rows) {
-                        t_sum += v;
-                        t_cnt += 1;
-                    }
+                    let (t_sum, t_cnt) = matrix.col_stats_in(y, &st.rows);
                     if t_cnt > 0 {
                         let cb = t_sum / t_cnt as f64;
                         for (i, v) in matrix.col_specified_in(y, &st.rows) {

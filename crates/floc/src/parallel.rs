@@ -27,11 +27,16 @@ use std::time::Instant;
 /// `config.parallelism.threads` worker threads and returns the result with
 /// the lowest average residue, together with the seed that produced it.
 ///
-/// Restart-level parallelism replaces within-run parallelism: each restart
-/// runs with a serial gain evaluator, so its trajectory is identical to a
-/// standalone single-threaded run with that seed. Ties are broken toward
-/// the smallest seed, making the outcome deterministic regardless of
-/// thread scheduling.
+/// The thread budget is split, never multiplied: `workers =
+/// threads.clamp(1, restarts)` restarts race concurrently, and each
+/// restart's own gain evaluation gets the `threads / workers` leftover
+/// (at least 1) — so at most `threads` OS threads ever run hot at once,
+/// where the old behavior of handing every restart the full `threads`
+/// oversubscribed the machine `restarts`-fold. Within-run thread count
+/// never affects a run's trajectory (gain evaluation is bit-identical
+/// across thread counts), and ties are broken toward the smallest seed,
+/// so the outcome is deterministic regardless of the split or of thread
+/// scheduling.
 ///
 /// Each finished restart emits a `floc.restart` event on `obs` (arrival
 /// order, hence event order, is scheduler-dependent) and the race ends
@@ -49,6 +54,10 @@ pub fn floc_parallel(
 ) -> Result<(FlocResult, u64), FlocError> {
     let restarts = config.parallelism.restarts.max(1);
     let workers = config.parallelism.threads.clamp(1, restarts);
+    // Budget split (documented on `Parallelism`): the within-run thread
+    // count is the budget left over after restart workers are staffed, so
+    // workers × within ≤ threads — no oversubscription.
+    let within = (config.parallelism.threads / workers).max(1);
     let started = Instant::now();
     let results: Mutex<Vec<(u64, Result<FlocResult, FlocError>)>> =
         Mutex::new(Vec::with_capacity(restarts));
@@ -64,8 +73,9 @@ pub fn floc_parallel(
                 let seed = config.seed + i as u64;
                 let mut cfg = config.clone();
                 cfg.seed = seed;
-                // Restart-level parallelism replaces within-run parallelism.
-                cfg.parallelism = Parallelism::serial();
+                // Restart-level parallelism takes precedence; this restart
+                // runs within its share of the thread budget.
+                cfg.parallelism = Parallelism::new(within, 1);
                 let result = floc(matrix, &cfg);
                 if obs.enabled() {
                     match &result {

@@ -27,6 +27,10 @@ pub struct Scratch {
     /// Column bases, dense-indexed by matrix column (entries outside the
     /// cluster's columns are never read).
     col_base: Vec<f64>,
+    /// Reusable "cluster columns minus the toggled one" set for the
+    /// col-toggle scan, so the residue kernel can run with the toggled
+    /// column filtered out at word level instead of per-entry.
+    cols_minus: Option<dc_matrix::BitSet>,
 }
 
 impl Scratch {
@@ -264,6 +268,9 @@ impl ClusterState {
             };
         }
 
+        // Word-block kernel; bit-identical to folding row_specified_in
+        // (non-member lanes accumulate exactly ±0.0).
+        let squared = matches!(mean, ResidueMean::Squared);
         let mut sum = 0.0;
         for r in self.rows.iter() {
             let row_base = if self.row_cnt[r] == 0 {
@@ -271,10 +278,7 @@ impl ClusterState {
             } else {
                 self.row_sum[r] / self.row_cnt[r] as f64
             };
-            for (c, v) in matrix.row_specified_in(r, &self.cols) {
-                let res = v - row_base - scratch.col_base[c] + base;
-                sum += mean.entry_term(res);
-            }
+            sum += matrix.row_residue_in(r, &self.cols, row_base, &scratch.col_base, base, squared);
         }
         sum / self.volume as f64
     }
@@ -292,15 +296,9 @@ impl ClusterState {
         let sign = if adding { 1.0 } else { -1.0 };
         let values = matrix.row_values(row);
 
-        // Row sum/count of the toggled row over J.
+        // Row sum/count of the toggled row over J (word-block kernel).
         let (t_sum, t_cnt) = if adding {
-            let mut s = 0.0;
-            let mut c = 0u32;
-            for (_, v) in matrix.row_specified_in(row, &self.cols) {
-                s += v;
-                c += 1;
-            }
-            (s, c)
+            matrix.row_stats_in(row, &self.cols)
         } else {
             (self.row_sum[row], self.row_cnt[row])
         };
@@ -323,15 +321,11 @@ impl ClusterState {
             scratch.col_base[c] = if n <= 0 { base } else { s / n as f64 };
         }
 
-        // Scan rows of the toggled cluster. Row bases for rows other than
-        // `row` are unchanged; `row`'s base comes from (t_sum, t_cnt).
+        // Scan rows of the toggled cluster with the word-block residue
+        // kernel. Row bases for rows other than `row` are unchanged;
+        // `row`'s base comes from (t_sum, t_cnt).
+        let squared = matches!(mean, ResidueMean::Squared);
         let mut sum = 0.0;
-        let scan_row = |r: usize, row_base: f64, sum: &mut f64| {
-            for (c, v) in matrix.row_specified_in(r, &self.cols) {
-                let res = v - row_base - scratch.col_base[c] + base;
-                *sum += mean.entry_term(res);
-            }
-        };
         for r in self.rows.iter() {
             if r == row {
                 continue; // removed (or will be handled below when adding)
@@ -341,7 +335,7 @@ impl ClusterState {
             } else {
                 self.row_sum[r] / self.row_cnt[r] as f64
             };
-            scan_row(r, row_base, &mut sum);
+            sum += matrix.row_residue_in(r, &self.cols, row_base, &scratch.col_base, base, squared);
         }
         if adding {
             let row_base = if t_cnt == 0 {
@@ -349,7 +343,8 @@ impl ClusterState {
             } else {
                 t_sum / t_cnt as f64
             };
-            scan_row(row, row_base, &mut sum);
+            sum +=
+                matrix.row_residue_in(row, &self.cols, row_base, &scratch.col_base, base, squared);
         }
         sum / new_volume as f64
     }
@@ -365,15 +360,9 @@ impl ClusterState {
         let adding = !self.cols.contains(col);
         let sign = if adding { 1.0 } else { -1.0 };
 
-        // Column sum/count of the toggled column over I.
+        // Column sum/count of the toggled column over I (word-block kernel).
         let (t_sum, t_cnt) = if adding {
-            let mut s = 0.0;
-            let mut c = 0u32;
-            for (_, v) in matrix.col_specified_in(col, &self.rows) {
-                s += v;
-                c += 1;
-            }
-            (s, c)
+            matrix.col_stats_in(col, &self.rows)
         } else {
             (self.col_sum[col], self.col_cnt[col])
         };
@@ -388,11 +377,15 @@ impl ClusterState {
         // Bases of the untoggled columns (the toggled one, if added, is
         // handled per row below to keep the scan order stable).
         scratch.reset_col_base(matrix.cols());
+        let Scratch {
+            col_base,
+            cols_minus,
+        } = scratch;
         for c in self.cols.iter() {
             if c == col {
                 continue;
             }
-            scratch.col_base[c] = if self.col_cnt[c] == 0 {
+            col_base[c] = if self.col_cnt[c] == 0 {
                 base
             } else {
                 self.col_sum[c] / self.col_cnt[c] as f64
@@ -404,6 +397,20 @@ impl ClusterState {
             t_sum / t_cnt as f64
         };
 
+        // Column set each row's kernel scan runs over: when removing, the
+        // toggled column is filtered out at word level (same lanes the old
+        // per-entry `if c == col` skip selected); when adding it is not a
+        // member yet and its cell is appended per row below.
+        let cols_for_scan: &dc_matrix::BitSet = if adding {
+            &self.cols
+        } else {
+            let buf = cols_minus.get_or_insert_with(|| self.cols.clone());
+            buf.clone_from(&self.cols);
+            buf.remove(col);
+            buf
+        };
+
+        let squared = matches!(mean, ResidueMean::Squared);
         let mut sum = 0.0;
         for r in self.rows.iter() {
             // Row base after the toggle: adjust by the toggled column's cell.
@@ -414,13 +421,7 @@ impl ClusterState {
                 rn += sign as i64;
             }
             let row_base = if rn <= 0 { base } else { rs / rn as f64 };
-            for (c, v) in matrix.row_specified_in(r, &self.cols) {
-                if c == col {
-                    continue; // removed (or absent when adding)
-                }
-                let res = v - row_base - scratch.col_base[c] + base;
-                sum += mean.entry_term(res);
-            }
+            sum += matrix.row_residue_in(r, cols_for_scan, row_base, col_base, base, squared);
             if adding && r_col_specified {
                 let res = matrix.value_unchecked(r, col) - row_base - toggled_base + base;
                 sum += mean.entry_term(res);

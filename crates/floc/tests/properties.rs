@@ -429,3 +429,112 @@ proptest! {
         }
     }
 }
+
+// ---- Thread-count determinism ---------------------------------------------
+
+use dc_floc::Parallelism;
+
+proptest! {
+    /// Gain evaluation and engine rebuilds fan out across threads, but the
+    /// search is bit-identical for every thread count: per-target argmax
+    /// scans clusters in index order on whichever worker owns the target
+    /// (ties break toward the lowest cluster index), and each cluster's
+    /// indexes are an independent build. Pin it for both engines across
+    /// threads ∈ {1, 2, 4, 8}.
+    #[test]
+    fn runs_are_bit_identical_across_thread_counts(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+    ) {
+        for engine in [GainEngineKind::Exact, GainEngineKind::Incremental] {
+            let base = FlocConfig::builder(k)
+                .alpha(0.5)
+                .seed(seed)
+                .gain_engine(engine)
+                .threads(1)
+                .build();
+            let reference = dc_floc::floc(&m, &base).unwrap();
+            for threads in [2usize, 4, 8] {
+                let mut cfg = base.clone();
+                cfg.parallelism = Parallelism::new(threads, 1);
+                let r = dc_floc::floc(&m, &cfg).unwrap();
+                prop_assert_eq!(&r.clusters, &reference.clusters, "{:?} x{}", engine, threads);
+                prop_assert_eq!(f64_bits(&r.residues), f64_bits(&reference.residues));
+                prop_assert_eq!(r.avg_residue.to_bits(), reference.avg_residue.to_bits());
+                prop_assert_eq!(r.iterations, reference.iterations);
+                prop_assert_eq!(&r.trace, &reference.trace);
+            }
+        }
+    }
+
+    /// Checkpoints taken mid-run under one thread count resume bit-identically
+    /// under any other: parallelism is runtime plumbing, not search identity,
+    /// so a 1-thread run's snapshot finishes to the same answer on 8 threads
+    /// (and vice versa), for both gain engines.
+    #[test]
+    fn resume_is_bit_identical_across_thread_counts(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+    ) {
+        for engine in [GainEngineKind::Exact, GainEngineKind::Incremental] {
+            let base = FlocConfig::builder(2)
+                .alpha(0.5)
+                .seed(seed)
+                .gain_engine(engine)
+                .threads(1)
+                .build();
+            let mut snapshots: Vec<FlocCheckpoint> = Vec::new();
+            let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+            let full = floc_observed(&m, &base, Some(&mut obs)).unwrap();
+            for ckpt in &snapshots {
+                for threads in [2usize, 4, 8] {
+                    let mut cfg = base.clone();
+                    cfg.parallelism = Parallelism::new(threads, 1);
+                    let resumed = floc_resume(&m, ckpt, &cfg, None).unwrap();
+                    prop_assert_eq!(&resumed.clusters, &full.clusters, "{:?} x{}", engine, threads);
+                    prop_assert_eq!(f64_bits(&resumed.residues), f64_bits(&full.residues));
+                    prop_assert_eq!(resumed.avg_residue.to_bits(), full.avg_residue.to_bits());
+                    prop_assert_eq!(resumed.iterations, full.iterations);
+                    prop_assert_eq!(&resumed.trace, &full.trace);
+                }
+            }
+        }
+    }
+}
+
+// ---- f32 storage ------------------------------------------------------------
+
+use dc_matrix::ValueStorage;
+
+proptest! {
+    /// An f32-storage matrix drives the exact same search as the f64 matrix
+    /// holding the same (narrowed) values: reads widen bit-exactly and all
+    /// accumulation stays in f64, so clusters, residues, and traces are
+    /// bit-identical — the contract that makes the half-width storage safe
+    /// to enable at mining scale.
+    #[test]
+    fn f32_mining_matches_the_widened_f64_twin(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+        k in 2usize..4,
+    ) {
+        let narrow = m.with_storage(ValueStorage::F32).unwrap();
+        let twin = narrow.with_storage(ValueStorage::F64).unwrap();
+        prop_assert_eq!(narrow.fingerprint(), twin.fingerprint());
+        for engine in [GainEngineKind::Exact, GainEngineKind::Incremental] {
+            let config = FlocConfig::builder(k)
+                .alpha(0.5)
+                .seed(seed)
+                .gain_engine(engine)
+                .build();
+            let a = dc_floc::floc(&narrow, &config).unwrap();
+            let b = dc_floc::floc(&twin, &config).unwrap();
+            prop_assert_eq!(&a.clusters, &b.clusters, "{:?}", engine);
+            prop_assert_eq!(f64_bits(&a.residues), f64_bits(&b.residues));
+            prop_assert_eq!(a.avg_residue.to_bits(), b.avg_residue.to_bits());
+            prop_assert_eq!(a.iterations, b.iterations);
+            prop_assert_eq!(&a.trace, &b.trace);
+        }
+    }
+}

@@ -3,28 +3,215 @@
 //! The δ-cluster model (Yang et al., ICDE 2002) operates on an `M × N` matrix
 //! `D` of objects × attributes in which entries may be *unspecified* — e.g. a
 //! viewer who never rated a movie. [`DataMatrix`] stores values row-major in a
-//! flat `Vec<f64>` with a parallel specification bitmap, so sequential row
-//! scans (the hot path of residue computation) touch contiguous memory.
+//! flat array with a parallel specification bitmap, so sequential row scans
+//! (the hot path of residue computation) touch contiguous memory. The backing
+//! scalar is selectable ([`ValueStorage`]): `f64` by default, or `f32` to
+//! halve memory traffic at mining scale — accumulation always happens in
+//! `f64` (see [`crate::kernels`]), so both storages drive the same search.
 
 use crate::bitset::BitSet;
+use crate::kernels;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 use std::sync::OnceLock;
 
 const WORD_BITS: usize = 64;
+
+/// Precision of a [`DataMatrix`]'s backing value array.
+///
+/// `F64` is the default and what every loader produces. `F32` halves the
+/// bytes the residue kernels stream per entry; values are narrowed once at
+/// conversion ([`DataMatrix::with_storage`]) and widened back to `f64` on
+/// every read, so all downstream arithmetic — bases, residues, gains — is
+/// identical to running on the `f64` matrix holding the same (narrowed)
+/// values. Storage is part of matrix identity: two matrices with different
+/// storage never compare equal even when every widened value matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueStorage {
+    /// 8-byte IEEE-754 values (default).
+    F64,
+    /// 4-byte IEEE-754 values; reads widen to `f64`.
+    F32,
+}
+
+/// The backing value array in either precision. Unset cells hold `0.0`.
+#[derive(Debug, Clone, PartialEq)]
+enum Values {
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+}
+
+impl Values {
+    fn zeroed(storage: ValueStorage, len: usize) -> Values {
+        match storage {
+            ValueStorage::F64 => Values::F64(vec![0.0; len]),
+            ValueStorage::F32 => Values::F32(vec![0.0; len]),
+        }
+    }
+
+    #[inline]
+    fn storage(&self) -> ValueStorage {
+        match self {
+            Values::F64(_) => ValueStorage::F64,
+            Values::F32(_) => ValueStorage::F32,
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Values::F64(v) => v.len(),
+            Values::F32(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> f64 {
+        match self {
+            Values::F64(v) => v[idx],
+            Values::F32(v) => v[idx] as f64,
+        }
+    }
+
+    /// Stores `value`, narrowing for `F32` storage. The caller has already
+    /// validated that the narrowed value is finite.
+    #[inline]
+    fn set(&mut self, idx: usize, value: f64) {
+        match self {
+            Values::F64(v) => v[idx] = value,
+            Values::F32(v) => v[idx] = value as f32,
+        }
+    }
+
+    #[inline]
+    fn slice(&self, start: usize, end: usize) -> ValuesSlice<'_> {
+        match self {
+            Values::F64(v) => ValuesSlice::F64(&v[start..end]),
+            Values::F32(v) => ValuesSlice::F32(&v[start..end]),
+        }
+    }
+}
+
+// The serialized form is version-gated by shape: `f64` storage keeps the
+// historical plain-array encoding, so artifacts written before storage
+// selection existed (and by default after) are unchanged, and old readers
+// keep loading default-storage matrices. `f32` storage is a tagged object.
+impl Serialize for Values {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Values::F64(v) => v.to_value(),
+            Values::F32(v) => serde::Value::Object(vec![("f32".to_string(), v.to_value())]),
+        }
+    }
+}
+
+impl Deserialize for Values {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if let Some(fields) = value.as_object() {
+            let inner = serde::get_field(fields, "f32")?;
+            return Ok(Values::F32(Vec::<f32>::from_value(inner)?));
+        }
+        Ok(Values::F64(Vec::<f64>::from_value(value)?))
+    }
+}
+
+/// A borrowed view of one contiguous run of matrix values in whatever
+/// precision the matrix stores ([`ValueStorage`]). Reads widen to `f64`.
+///
+/// Hot loops should hoist one `ValuesSlice` per line (row or column) via
+/// [`DataMatrix::row_ref`] instead of calling
+/// [`DataMatrix::value_unchecked`] per cell: the storage dispatch then
+/// happens once per access on a register-resident discriminant rather than
+/// re-deriving the slice each call.
+#[derive(Debug, Clone, Copy)]
+pub enum ValuesSlice<'a> {
+    /// Borrowed `f64` values.
+    F64(&'a [f64]),
+    /// Borrowed `f32` values; [`ValuesSlice::get`] widens.
+    F32(&'a [f32]),
+}
+
+impl ValuesSlice<'_> {
+    /// Number of values in the run.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            ValuesSlice::F64(v) => v.len(),
+            ValuesSlice::F32(v) => v.len(),
+        }
+    }
+
+    /// True when the run is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `idx`, widened to `f64`. Missing cells read `0.0`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f64 {
+        match self {
+            ValuesSlice::F64(v) => v[idx],
+            ValuesSlice::F32(v) => v[idx] as f64,
+        }
+    }
+}
+
+impl<'a> ValuesSlice<'a> {
+    /// The run converted to an owned or borrowed `f64` slice — borrowed
+    /// (free) for `f64` storage, an owned widening copy for `f32`.
+    pub fn to_f64(self) -> Cow<'a, [f64]> {
+        match self {
+            ValuesSlice::F64(v) => Cow::Borrowed(v),
+            ValuesSlice::F32(v) => Cow::Owned(v.iter().map(|&x| x as f64).collect()),
+        }
+    }
+}
+
+/// Conversion to a narrower [`ValueStorage`] failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// A specified value does not fit the target storage (|v| > f32::MAX).
+    NotRepresentable {
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The value that overflowed the narrower storage.
+        value: f64,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotRepresentable { row, col, value } => write!(
+                f,
+                "value {value} at ({row}, {col}) is not representable in f32 storage"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
 
 /// Column-major mirror of a [`DataMatrix`], built lazily on first use.
 ///
 /// Row-major storage makes row scans contiguous but turns every column scan
 /// into a `cols`-strided walk — one cache line per element once the matrix
 /// outgrows L2. The mirror holds the same data transposed
-/// (`values[col * rows + row]`) plus word-packed specification masks per row
-/// and per column, so column iteration is as cheap as row iteration and
-/// membership filters can intersect whole 64-bit words at a time.
+/// (`values[col * rows + row]`, in the matrix's own [`ValueStorage`]) plus
+/// word-packed specification masks per row and per column, so column
+/// iteration is as cheap as row iteration and membership filters can
+/// intersect whole 64-bit words at a time.
 #[derive(Debug)]
 struct ColMirror {
     /// Column-major values; 0.0 at missing cells.
-    values: Vec<f64>,
+    values: Values,
     /// Specification mask of row `r`: bits `c` of
     /// `row_words[r * row_stride ..][..row_stride]`.
     row_words: Vec<u64>,
@@ -40,7 +227,7 @@ impl ColMirror {
         let row_stride = m.cols.div_ceil(WORD_BITS);
         let col_stride = m.rows.div_ceil(WORD_BITS);
         let mut mirror = ColMirror {
-            values: vec![0.0; m.rows * m.cols],
+            values: Values::zeroed(m.values.storage(), m.rows * m.cols),
             row_words: vec![0; m.rows * row_stride],
             row_stride,
             col_words: vec![0; m.cols * col_stride],
@@ -51,11 +238,23 @@ impl ColMirror {
         }
         for idx in m.mask.iter() {
             let (r, c) = (idx / m.cols, idx % m.cols);
-            mirror.values[c * m.rows + r] = m.values[idx];
+            // Widening then re-narrowing an f32 is exact, so the mirror
+            // holds bit-identical values in either storage.
+            mirror.values.set(c * m.rows + r, m.values.get(idx));
             mirror.row_words[r * row_stride + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
             mirror.col_words[c * col_stride + r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
         }
         mirror
+    }
+
+    #[inline]
+    fn row_mask(&self, row: usize) -> &[u64] {
+        &self.row_words[row * self.row_stride..(row + 1) * self.row_stride]
+    }
+
+    #[inline]
+    fn col_mask(&self, col: usize) -> &[u64] {
+        &self.col_words[col * self.col_stride..(col + 1) * self.col_stride]
     }
 }
 
@@ -102,7 +301,7 @@ impl Deserialize for MirrorCell {
     }
 }
 
-/// An `rows × cols` matrix of `f64` values where individual entries may be
+/// An `rows × cols` matrix of values where individual entries may be
 /// missing.
 ///
 /// Conventions follow the paper: *objects* are rows, *attributes* are
@@ -115,7 +314,7 @@ pub struct DataMatrix {
     cols: usize,
     /// Row-major values; positions where `mask` is unset hold 0.0 and must
     /// never be read as data.
-    values: Vec<f64>,
+    values: Values,
     /// Bit `i * cols + j` set ⇔ entry `(i, j)` is specified.
     mask: BitSet,
     /// Cached count of specified entries.
@@ -129,12 +328,17 @@ pub struct DataMatrix {
 }
 
 impl DataMatrix {
-    /// Creates a matrix with every entry missing.
+    /// Creates a matrix with every entry missing (default `f64` storage).
     pub fn new(rows: usize, cols: usize) -> Self {
+        DataMatrix::with_capacity_storage(rows, cols, ValueStorage::F64)
+    }
+
+    /// Creates an all-missing matrix with the given [`ValueStorage`].
+    pub fn with_capacity_storage(rows: usize, cols: usize, storage: ValueStorage) -> Self {
         DataMatrix {
             rows,
             cols,
-            values: vec![0.0; rows * cols],
+            values: Values::zeroed(storage, rows * cols),
             mask: BitSet::new(rows * cols),
             specified: 0,
             row_labels: None,
@@ -157,7 +361,7 @@ impl DataMatrix {
         DataMatrix {
             rows,
             cols,
-            values: data,
+            values: Values::F64(data),
             mask: BitSet::full(rows * cols),
             specified: rows * cols,
             row_labels: None,
@@ -181,6 +385,45 @@ impl DataMatrix {
             }
         }
         m
+    }
+
+    /// The precision of the backing value array.
+    #[inline]
+    pub fn storage(&self) -> ValueStorage {
+        self.values.storage()
+    }
+
+    /// A copy of this matrix in `storage` precision. Converting to `F32`
+    /// narrows every specified value once (reads widen back to `f64`);
+    /// converting to `F64` widens exactly. Labels ride along.
+    ///
+    /// # Errors
+    /// [`StorageError::NotRepresentable`] if a specified value narrows to a
+    /// non-finite `f32` (|v| > ~3.4e38). NaN can not occur — [`Self::set`]
+    /// only admits finite values.
+    pub fn with_storage(&self, storage: ValueStorage) -> Result<DataMatrix, StorageError> {
+        let mut values = Values::zeroed(storage, self.rows * self.cols);
+        for idx in self.mask.iter() {
+            let v = self.values.get(idx);
+            if storage == ValueStorage::F32 && !(v as f32).is_finite() {
+                return Err(StorageError::NotRepresentable {
+                    row: idx / self.cols.max(1),
+                    col: idx % self.cols.max(1),
+                    value: v,
+                });
+            }
+            values.set(idx, v);
+        }
+        Ok(DataMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            values,
+            mask: self.mask.clone(),
+            specified: self.specified,
+            row_labels: self.row_labels.clone(),
+            col_labels: self.col_labels.clone(),
+            mirror: MirrorCell::default(),
+        })
     }
 
     /// Number of objects (rows).
@@ -237,7 +480,7 @@ impl DataMatrix {
         );
         let idx = self.idx(row, col);
         if self.mask.contains(idx) {
-            Some(self.values[idx])
+            Some(self.values.get(idx))
         } else {
             None
         }
@@ -260,10 +503,14 @@ impl DataMatrix {
     /// established specification.
     #[inline]
     pub fn value_unchecked(&self, row: usize, col: usize) -> f64 {
-        self.values[row * self.cols + col]
+        self.values.get(row * self.cols + col)
     }
 
     /// Sets entry `(row, col)` to `value`, marking it specified.
+    ///
+    /// # Panics
+    /// Panics if out of bounds, if `value` is not finite, or if the matrix
+    /// uses `f32` storage and `value` overflows it.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(
             row < self.rows && col < self.cols,
@@ -275,11 +522,17 @@ impl DataMatrix {
             value.is_finite(),
             "matrix values must be finite, got {value}"
         );
+        if self.storage() == ValueStorage::F32 {
+            assert!(
+                (value as f32).is_finite(),
+                "value {value} is not representable in f32 storage"
+            );
+        }
         let idx = self.idx(row, col);
         if self.mask.insert(idx) {
             self.specified += 1;
         }
-        self.values[idx] = value;
+        self.values.set(idx, value);
         self.mirror.0.take();
     }
 
@@ -294,8 +547,8 @@ impl DataMatrix {
         let idx = self.idx(row, col);
         if self.mask.remove(idx) {
             self.specified -= 1;
-            let prev = self.values[idx];
-            self.values[idx] = 0.0;
+            let prev = self.values.get(idx);
+            self.values.set(idx, 0.0);
             self.mirror.0.take();
             Some(prev)
         } else {
@@ -321,21 +574,46 @@ impl DataMatrix {
         (0..self.rows).flat_map(move |r| self.row_entries(r).map(move |(c, v)| (r, c, v)))
     }
 
-    /// Number of specified entries in row `row`.
+    /// Number of specified entries in row `row` (word-popcount, builds the
+    /// mirror on first use).
     pub fn row_specified_count(&self, row: usize) -> usize {
-        self.row_entries(row).count()
+        assert!(row < self.rows, "row {row} out of bounds");
+        let mirror = self.mirror();
+        mirror
+            .row_mask(row)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
-    /// Number of specified entries in column `col`.
+    /// Number of specified entries in column `col` (word-popcount, builds
+    /// the mirror on first use).
     pub fn col_specified_count(&self, col: usize) -> usize {
-        self.col_entries(col).count()
+        assert!(col < self.cols, "col {col} out of bounds");
+        let mirror = self.mirror();
+        mirror
+            .col_mask(col)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
     }
 
-    /// Row slice of raw values (includes zeros at missing positions). Pair
-    /// with [`Self::is_specified`] for masked access.
+    /// Row slice of raw values (includes zeros at missing positions), as
+    /// `f64` — borrowed for `f64` storage, a widening copy for `f32`. Pair
+    /// with [`Self::is_specified`] for masked access; hot loops should
+    /// prefer [`Self::row_ref`], which never copies.
     #[inline]
-    pub fn row_values(&self, row: usize) -> &[f64] {
-        &self.values[row * self.cols..(row + 1) * self.cols]
+    pub fn row_values(&self, row: usize) -> Cow<'_, [f64]> {
+        self.row_ref(row).to_f64()
+    }
+
+    /// Borrowed view of row `row`'s raw values in native storage precision
+    /// (zeros at missing positions). The cheap, storage-agnostic accessor
+    /// for hot loops.
+    #[inline]
+    pub fn row_ref(&self, row: usize) -> ValuesSlice<'_> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        self.values.slice(row * self.cols, (row + 1) * self.cols)
     }
 
     #[inline]
@@ -343,16 +621,28 @@ impl DataMatrix {
         self.mirror.0.get_or_init(|| ColMirror::build(self))
     }
 
+    /// Forces the lazily-built column-major mirror into existence.
+    ///
+    /// The mirror is built under a `OnceLock` on first column access;
+    /// callers about to fan work out across threads can pay the transpose
+    /// once up front instead of serializing every worker behind the lock.
+    pub fn ensure_mirror(&self) {
+        let _ = self.mirror();
+    }
+
     /// Column slice of raw values (includes zeros at missing positions),
-    /// served from the lazily-built column-major mirror. Pair with
-    /// [`Self::is_specified`] for masked access.
+    /// served from the lazily-built column-major mirror as `f64` —
+    /// borrowed for `f64` storage, a widening copy for `f32`.
     ///
     /// The first call after construction or mutation pays an `O(rows·cols)`
     /// transpose; subsequent calls are free until the matrix changes.
     #[inline]
-    pub fn col_values(&self, col: usize) -> &[f64] {
+    pub fn col_values(&self, col: usize) -> Cow<'_, [f64]> {
         assert!(col < self.cols, "col {col} out of bounds");
-        &self.mirror().values[col * self.rows..(col + 1) * self.rows]
+        self.mirror()
+            .values
+            .slice(col * self.rows, (col + 1) * self.rows)
+            .to_f64()
     }
 
     /// Iterates the specified entries of row `row` as `(col, value)` in
@@ -365,11 +655,7 @@ impl DataMatrix {
     pub fn row_specified(&self, row: usize) -> SpecifiedEntries<'_> {
         assert!(row < self.rows, "row {row} out of bounds");
         let mirror = self.mirror();
-        SpecifiedEntries::new(
-            self.row_values(row),
-            &mirror.row_words[row * mirror.row_stride..(row + 1) * mirror.row_stride],
-            None,
-        )
+        SpecifiedEntries::new(self.row_ref(row), mirror.row_mask(row), None)
     }
 
     /// Iterates the specified entries of column `col` as `(row, value)` in
@@ -378,8 +664,8 @@ impl DataMatrix {
         assert!(col < self.cols, "col {col} out of bounds");
         let mirror = self.mirror();
         SpecifiedEntries::new(
-            &mirror.values[col * self.rows..(col + 1) * self.rows],
-            &mirror.col_words[col * mirror.col_stride..(col + 1) * mirror.col_stride],
+            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
+            mirror.col_mask(col),
             None,
         )
     }
@@ -398,11 +684,7 @@ impl DataMatrix {
             "column set capacity does not match matrix width"
         );
         let mirror = self.mirror();
-        SpecifiedEntries::new(
-            self.row_values(row),
-            &mirror.row_words[row * mirror.row_stride..(row + 1) * mirror.row_stride],
-            Some(cols.words()),
-        )
+        SpecifiedEntries::new(self.row_ref(row), mirror.row_mask(row), Some(cols.words()))
     }
 
     /// Like [`Self::col_specified`] but restricted to rows in `rows`.
@@ -418,9 +700,88 @@ impl DataMatrix {
         );
         let mirror = self.mirror();
         SpecifiedEntries::new(
-            &mirror.values[col * self.rows..(col + 1) * self.rows],
-            &mirror.col_words[col * mirror.col_stride..(col + 1) * mirror.col_stride],
+            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
+            mirror.col_mask(col),
             Some(rows.words()),
+        )
+    }
+
+    /// Sum and count of the specified entries of row `row` restricted to
+    /// `cols`, via the word-block kernel (no per-entry iteration). The sum
+    /// is bit-identical to folding [`Self::row_specified_in`].
+    ///
+    /// # Panics
+    /// Panics if `cols.capacity() != self.cols()`.
+    pub fn row_stats_in(&self, row: usize, cols: &BitSet) -> (f64, u32) {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert_eq!(
+            cols.capacity(),
+            self.cols,
+            "column set capacity does not match matrix width"
+        );
+        let mirror = self.mirror();
+        kernels::masked_sum_count(self.row_ref(row), mirror.row_mask(row), Some(cols.words()))
+    }
+
+    /// Sum and count of the specified entries of column `col` restricted to
+    /// `rows`, via the word-block kernel over the column-major mirror.
+    ///
+    /// # Panics
+    /// Panics if `rows.capacity() != self.rows()`.
+    pub fn col_stats_in(&self, col: usize, rows: &BitSet) -> (f64, u32) {
+        assert!(col < self.cols, "col {col} out of bounds");
+        assert_eq!(
+            rows.capacity(),
+            self.rows,
+            "row set capacity does not match matrix height"
+        );
+        let mirror = self.mirror();
+        kernels::masked_sum_count(
+            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
+            mirror.col_mask(col),
+            Some(rows.words()),
+        )
+    }
+
+    /// Residue contribution of row `row` restricted to `cols`:
+    /// `Σ term(v − row_base − col_bases[c] + base)` over the selected
+    /// entries, with `term = |·|` (`squared = false`) or `(·)²`. Runs the
+    /// branch-free word-block kernel; the result is bit-identical to the
+    /// per-entry formulation.
+    ///
+    /// `col_bases` lanes outside the selection may hold anything finite.
+    ///
+    /// # Panics
+    /// Panics if `cols.capacity() != self.cols()` or
+    /// `col_bases.len() < self.cols()`.
+    pub fn row_residue_in(
+        &self,
+        row: usize,
+        cols: &BitSet,
+        row_base: f64,
+        col_bases: &[f64],
+        base: f64,
+        squared: bool,
+    ) -> f64 {
+        assert!(row < self.rows, "row {row} out of bounds");
+        assert_eq!(
+            cols.capacity(),
+            self.cols,
+            "column set capacity does not match matrix width"
+        );
+        assert!(
+            col_bases.len() >= self.cols,
+            "col_bases must cover every column"
+        );
+        let mirror = self.mirror();
+        kernels::masked_residue(
+            self.row_ref(row),
+            mirror.row_mask(row),
+            Some(cols.words()),
+            row_base,
+            col_bases,
+            base,
+            squared,
         )
     }
 
@@ -447,9 +808,9 @@ impl DataMatrix {
     }
 
     /// Extracts the submatrix over `rows × cols` index sets as a new dense
-    /// matrix (copies data; missing entries stay missing).
+    /// matrix (copies data; missing entries stay missing; keeps storage).
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> DataMatrix {
-        let mut out = DataMatrix::new(rows.len(), cols.len());
+        let mut out = DataMatrix::with_capacity_storage(rows.len(), cols.len(), self.storage());
         for (ri, &r) in rows.iter().enumerate() {
             for (ci, &c) in cols.iter().enumerate() {
                 if let Some(v) = self.get(r, c) {
@@ -461,10 +822,13 @@ impl DataMatrix {
     }
 
     /// A cheap content fingerprint: FNV-1a over the shape, the
-    /// specification mask, and the bit pattern of every specified value.
+    /// specification mask, and the bit pattern of every specified value
+    /// (widened to `f64`, so an `f32` matrix and the `f64` matrix holding
+    /// the same narrowed values fingerprint equal — they drive identical
+    /// searches).
     ///
     /// Two matrices fingerprint equal iff they have the same shape and the
-    /// same specified entries with bit-identical values (labels are
+    /// same specified entries with bit-identical widened values (labels are
     /// ignored — they don't affect clustering). Used to detect that a
     /// checkpoint is being resumed against a different data set; it is not
     /// a cryptographic hash.
@@ -483,7 +847,7 @@ impl DataMatrix {
         for idx in 0..self.values.len() {
             if self.mask.contains(idx) {
                 eat(&(idx as u64).to_le_bytes());
-                eat(&self.values[idx].to_bits().to_le_bytes());
+                eat(&self.values.get(idx).to_bits().to_le_bytes());
             }
         }
         h
@@ -493,9 +857,9 @@ impl DataMatrix {
     pub fn map_in_place<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
         for idx in 0..self.values.len() {
             if self.mask.contains(idx) {
-                let v = f(self.values[idx]);
+                let v = f(self.values.get(idx));
                 assert!(v.is_finite(), "map produced non-finite value {v}");
-                self.values[idx] = v;
+                self.values.set(idx, v);
             }
         }
         self.mirror.0.take();
@@ -510,7 +874,7 @@ impl DataMatrix {
 /// masks with `trailing_zeros`, reading values from a contiguous slice, so
 /// missing entries and filtered-out indices cost nothing per element.
 pub struct SpecifiedEntries<'a> {
-    values: &'a [f64],
+    values: ValuesSlice<'a>,
     mask: &'a [u64],
     filter: Option<&'a [u64]>,
     word_idx: usize,
@@ -518,7 +882,7 @@ pub struct SpecifiedEntries<'a> {
 }
 
 impl<'a> SpecifiedEntries<'a> {
-    fn new(values: &'a [f64], mask: &'a [u64], filter: Option<&'a [u64]>) -> Self {
+    fn new(values: ValuesSlice<'a>, mask: &'a [u64], filter: Option<&'a [u64]>) -> Self {
         debug_assert!(filter.is_none_or(|f| f.len() == mask.len()));
         let current = match (mask.first(), filter) {
             (Some(&m), None) => m,
@@ -545,7 +909,7 @@ impl Iterator for SpecifiedEntries<'_> {
                 let bit = self.current.trailing_zeros() as usize;
                 self.current &= self.current - 1; // clear lowest set bit
                 let idx = self.word_idx * WORD_BITS + bit;
-                return Some((idx, self.values[idx]));
+                return Some((idx, self.values.get(idx)));
             }
             self.word_idx += 1;
             if self.word_idx >= self.mask.len() {
@@ -613,6 +977,7 @@ mod tests {
         assert_eq!(m.specified_count(), 0);
         assert_eq!(m.density(), 0.0);
         assert_eq!(m.get(2, 3), None);
+        assert_eq!(m.storage(), ValueStorage::F64);
     }
 
     #[test]
@@ -805,10 +1170,69 @@ mod tests {
     }
 
     #[test]
+    fn kernel_stats_match_iterator_folds() {
+        let mut m = DataMatrix::new(3, 130);
+        for r in 0..3 {
+            for c in (r..130).step_by(r + 2) {
+                m.set(r, c, (r * 130 + c) as f64 * 0.5 - 40.0);
+            }
+        }
+        let cols = BitSet::from_indices(130, (0..130).filter(|c| c % 3 != 1));
+        let rows = BitSet::from_indices(3, [0, 2]);
+        for r in 0..3 {
+            let (sum, cnt) = m.row_stats_in(r, &cols);
+            let (esum, ecnt) = m
+                .row_specified_in(r, &cols)
+                .fold((0.0, 0u32), |(s, c), (_, v)| (s + v, c + 1));
+            assert_eq!(sum.to_bits(), esum.to_bits(), "row {r} sum");
+            assert_eq!(cnt, ecnt, "row {r} count");
+        }
+        for c in [0usize, 63, 64, 129] {
+            let (sum, cnt) = m.col_stats_in(c, &rows);
+            let (esum, ecnt) = m
+                .col_specified_in(c, &rows)
+                .fold((0.0, 0u32), |(s, c), (_, v)| (s + v, c + 1));
+            assert_eq!(sum.to_bits(), esum.to_bits(), "col {c} sum");
+            assert_eq!(cnt, ecnt, "col {c} count");
+        }
+    }
+
+    #[test]
+    fn kernel_residue_matches_per_entry_formulation() {
+        let mut m = DataMatrix::new(2, 100);
+        for c in 0..100 {
+            if c % 7 != 3 {
+                m.set(0, c, (c as f64).cos() * 10.0);
+            }
+            m.set(1, c, c as f64 - 50.0);
+        }
+        let cols = BitSet::from_indices(100, (0..100).filter(|c| c % 2 == 0));
+        let col_bases: Vec<f64> = (0..100).map(|c| c as f64 * 0.01).collect();
+        let (row_base, base) = (1.5, -0.25);
+        for squared in [false, true] {
+            for r in 0..2 {
+                let got = m.row_residue_in(r, &cols, row_base, &col_bases, base, squared);
+                let expect: f64 = m
+                    .row_specified_in(r, &cols)
+                    .map(|(c, v)| {
+                        let d = v - row_base - col_bases[c] + base;
+                        if squared {
+                            d * d
+                        } else {
+                            d.abs()
+                        }
+                    })
+                    .sum();
+                assert_eq!(got.to_bits(), expect.to_bits(), "row {r} squared={squared}");
+            }
+        }
+    }
+
+    #[test]
     fn col_values_mirror_row_values() {
         let m = sample();
-        assert_eq!(m.col_values(1), &[3.0, 4.0]);
-        assert_eq!(m.col_values(2), &[0.0, 5.0], "missing cells read 0.0");
+        assert_eq!(&*m.col_values(1), &[3.0, 4.0][..]);
+        assert_eq!(&*m.col_values(2), &[0.0, 5.0][..], "missing cells read 0.0");
     }
 
     #[test]
@@ -823,7 +1247,7 @@ mod tests {
         m.unset(0, 0);
         assert_eq!(m.col_specified(0).collect::<Vec<_>>(), vec![(1, 9.0)]);
         m.map_in_place(|v| v + 1.0);
-        assert_eq!(m.col_values(0), &[0.0, 10.0]);
+        assert_eq!(&*m.col_values(0), &[0.0, 10.0][..]);
     }
 
     #[test]
@@ -833,8 +1257,8 @@ mod tests {
         let mut cloned = m.clone();
         assert_eq!(cloned, m);
         cloned.set(0, 2, 7.0); // clone's cache must not alias the original
-        assert_eq!(cloned.col_values(2), &[7.0, 5.0]);
-        assert_eq!(m.col_values(2), &[0.0, 5.0]);
+        assert_eq!(&*cloned.col_values(2), &[7.0, 5.0][..]);
+        assert_eq!(&*m.col_values(2), &[0.0, 5.0][..]);
         let back = DataMatrix::from_value(&m.to_value()).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.col_values(1), m.col_values(1));
@@ -867,5 +1291,114 @@ mod tests {
         let s = format!("{m:?}");
         assert!(s.contains('·'));
         assert!(s.contains("2x3"));
+    }
+
+    // ---- f32 storage -------------------------------------------------------
+
+    /// An f64 value that is NOT exactly representable in f32, to prove
+    /// narrowing actually happens.
+    const INEXACT: f64 = 0.1;
+
+    #[test]
+    fn f32_storage_narrows_once_and_widens_exactly() {
+        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        assert_eq!(m.storage(), ValueStorage::F32);
+        m.set(0, 0, INEXACT);
+        assert_eq!(m.get(0, 0), Some(INEXACT as f32 as f64));
+        assert_ne!(m.get(0, 0), Some(INEXACT), "narrowing is observable");
+        // Every read path agrees on the narrowed value.
+        assert_eq!(m.value_unchecked(0, 0), INEXACT as f32 as f64);
+        assert_eq!(m.row_ref(0).get(0), INEXACT as f32 as f64);
+        assert_eq!(m.row_values(0)[0], INEXACT as f32 as f64);
+        assert_eq!(
+            m.row_specified(0).collect::<Vec<_>>(),
+            vec![(0, INEXACT as f32 as f64)]
+        );
+        assert_eq!(m.col_values(0)[0], INEXACT as f32 as f64);
+    }
+
+    #[test]
+    fn with_storage_roundtrips_and_preserves_identity_of_narrowed_values() {
+        let mut m = sample();
+        m.set(0, 0, INEXACT);
+        m.set_row_labels(vec!["a".into(), "b".into()]);
+        let narrow = m.with_storage(ValueStorage::F32).unwrap();
+        assert_eq!(narrow.storage(), ValueStorage::F32);
+        assert_eq!(narrow.specified_count(), m.specified_count());
+        assert_eq!(narrow.row_label(0), Some("a"));
+        assert_eq!(narrow.get(0, 0), Some(INEXACT as f32 as f64));
+        assert_eq!(narrow.get(0, 1), Some(3.0), "exact values stay exact");
+        // Widening back is lossless relative to the narrowed matrix.
+        let wide = narrow.with_storage(ValueStorage::F64).unwrap();
+        assert_eq!(wide.storage(), ValueStorage::F64);
+        assert_eq!(wide.fingerprint(), narrow.fingerprint());
+        // Storage is part of identity even with identical widened values.
+        assert_ne!(wide, narrow);
+    }
+
+    #[test]
+    fn with_storage_rejects_f32_overflow() {
+        let mut m = DataMatrix::new(2, 3);
+        m.set(1, 2, 1e300);
+        match m.with_storage(ValueStorage::F32) {
+            Err(StorageError::NotRepresentable { row, col, value }) => {
+                assert_eq!((row, col), (1, 2));
+                assert_eq!(value, 1e300);
+            }
+            other => panic!("expected NotRepresentable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not representable in f32")]
+    fn set_overflowing_f32_panics() {
+        let mut m = DataMatrix::with_capacity_storage(1, 1, ValueStorage::F32);
+        m.set(0, 0, 1e300);
+    }
+
+    #[test]
+    fn f32_matrix_fingerprints_equal_its_widened_f64_twin() {
+        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        m.set(0, 0, INEXACT);
+        m.set(1, 1, 2.5);
+        let twin = m.with_storage(ValueStorage::F64).unwrap();
+        assert_eq!(m.fingerprint(), twin.fingerprint());
+    }
+
+    #[test]
+    fn f32_storage_survives_serde_and_f64_keeps_the_legacy_shape() {
+        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        m.set(0, 1, 1.5);
+        let back = DataMatrix::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.storage(), ValueStorage::F32);
+        // f64 matrices keep the historical plain-array encoding, so
+        // pre-storage artifacts deserialize unchanged.
+        let legacy = sample();
+        let value = legacy.to_value();
+        let fields = value.as_object().expect("object");
+        let values = serde::get_field(fields, "values").unwrap();
+        assert!(values.as_array().is_some(), "f64 values stay a plain array");
+        let back = DataMatrix::from_value(&value).unwrap();
+        assert_eq!(back, legacy);
+        assert_eq!(back.storage(), ValueStorage::F64);
+    }
+
+    #[test]
+    fn f32_kernels_match_f32_iterators() {
+        let mut m = DataMatrix::with_capacity_storage(2, 70, ValueStorage::F32);
+        for c in 0..70 {
+            if c % 3 != 1 {
+                m.set(0, c, (c as f64) * 0.1 - 3.0);
+                m.set(1, c, (c as f64).sin());
+            }
+        }
+        let cols = BitSet::from_indices(70, (0..70).filter(|c| c % 2 == 0));
+        let (sum, cnt) = m.row_stats_in(0, &cols);
+        let (esum, ecnt) = m
+            .row_specified_in(0, &cols)
+            .fold((0.0, 0u32), |(s, c), (_, v)| (s + v, c + 1));
+        assert_eq!(sum.to_bits(), esum.to_bits());
+        assert_eq!(cnt, ecnt);
     }
 }

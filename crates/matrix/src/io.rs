@@ -452,6 +452,30 @@ mod tests {
     }
 
     #[test]
+    fn parsed_matrix_narrows_to_f32_after_non_finite_scrubbing() {
+        // NaN/Inf fields become missing cells under the default policy, so
+        // nothing non-finite survives to trip the f32 narrowing; values
+        // beyond f32 range DO survive (they are finite f64) and must be the
+        // thing that fails, with its coordinates.
+        let text = "1.5\tNaN\tinf\n-inf\t2.5\t3.25\n";
+        let m = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap();
+        let narrow = m.with_storage(crate::ValueStorage::F32).unwrap();
+        assert_eq!(narrow.get(0, 0), Some(1.5));
+        assert_eq!(narrow.get(0, 1), None);
+        assert_eq!(narrow.specified_count(), 3);
+
+        let text = "1\t1e300\n2\t3\n";
+        let m = read_dense(text.as_bytes(), &DenseFormat::default()).unwrap();
+        match m.with_storage(crate::ValueStorage::F32) {
+            Err(crate::StorageError::NotRepresentable { row, col, value }) => {
+                assert_eq!((row, col), (0, 1));
+                assert_eq!(value, 1e300);
+            }
+            Ok(_) => panic!("1e300 must not narrow to f32"),
+        }
+    }
+
+    #[test]
     fn triples_non_finite_rating_leaves_cell_unspecified() {
         let text = "a x NaN\na y 2\nb x 1\n";
         let t = read_triples(text.as_bytes()).unwrap();

@@ -45,12 +45,13 @@ pub mod bitset;
 pub mod categorical;
 pub mod dense;
 pub mod io;
+mod kernels;
 pub mod pearson;
 pub mod stats;
 pub mod transform;
 pub mod view;
 
 pub use bitset::BitSet;
-pub use dense::{DataMatrix, SpecifiedEntries};
+pub use dense::{DataMatrix, SpecifiedEntries, StorageError, ValueStorage, ValuesSlice};
 pub use io::{IoError, NonFinitePolicy, ParseError};
 pub use stats::{validate, Summary, ValidationReport};

@@ -1,11 +1,11 @@
 //! The `.dcm` model artifact: a versioned, checksummed binary snapshot of a
 //! trained δ-clustering, plus a JSON fallback for interoperability.
 //!
-//! ## Binary layout (version 1, all integers little-endian)
+//! ## Binary layout (version 2, all integers little-endian)
 //!
 //! ```text
 //! offset 0   magic  b"DCM1"
-//!        4   u16    format version (currently 1)
+//!        4   u16    format version (currently 2)
 //!        6   u16    reserved flags (must be 0)
 //!        8   payload (below)
 //!        end-4  u32 CRC-32 (IEEE) of every preceding byte
@@ -13,9 +13,14 @@
 //!
 //! Payload sections, in order:
 //!
-//! 1. **Matrix** — `u64 rows`, `u64 cols`, a row-major specification bitmap
+//! 1. **Matrix** — `u64 rows`, `u64 cols`, *(version ≥ 2)* a `u8` value
+//!    storage tag (`0` = f64, `1` = f32), a row-major specification bitmap
 //!    (`ceil(rows·cols / 8)` bytes), `u64 n_specified`, then `n_specified`
-//!    `f64` values for the specified cells in row-major order.
+//!    values for the specified cells in row-major order — `f64` each under
+//!    tag 0, `f32` each under tag 1 (half the bytes; lossless because an
+//!    f32-storage matrix only ever holds f32-representable values).
+//!    Version-1 files have no tag byte and always carry `f64` values; they
+//!    load as f64-storage matrices, unchanged.
 //! 2. **Labels** — `u8` flags (bit 0: row labels present, bit 1: column
 //!    labels); each present label list is `len`-prefixed UTF-8 strings.
 //! 3. **Clusters** — `u64 k`, then per cluster the ascending row indices
@@ -33,7 +38,7 @@ use crate::framing::{Reader, Writer};
 use crate::model::ServeModel;
 use dc_floc::residue::Bases;
 use dc_floc::DeltaCluster;
-use dc_matrix::DataMatrix;
+use dc_matrix::{DataMatrix, ValueStorage};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -41,10 +46,11 @@ pub use crate::framing::{crc32, ArtifactError};
 
 /// File magic: "delta-cluster model", format generation 1.
 pub const MAGIC: [u8; 4] = *b"DCM1";
-/// Current binary format version.
-pub const VERSION: u16 = 1;
+/// Current binary format version. Version 2 added the matrix value-storage
+/// tag (f64 vs f32); version-1 files still load.
+pub const VERSION: u16 = 2;
 
-/// Serializes a model to the version-1 binary artifact bytes.
+/// Serializes a model to the current binary artifact bytes.
 pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
     let matrix = model.matrix();
     let (rows, cols) = (matrix.rows(), matrix.cols());
@@ -53,6 +59,11 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
     // Matrix.
     w.u64(rows as u64);
     w.u64(cols as u64);
+    let storage = matrix.storage();
+    w.u8(match storage {
+        ValueStorage::F64 => 0,
+        ValueStorage::F32 => 1,
+    });
     let mut bitmap = vec![0u8; rows.saturating_mul(cols).div_ceil(8)];
     let mut values = Vec::with_capacity(matrix.specified_count());
     for r in 0..rows {
@@ -67,7 +78,12 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
     w.buf.extend_from_slice(&bitmap);
     w.u64(values.len() as u64);
     for v in values {
-        w.f64(v);
+        match storage {
+            ValueStorage::F64 => w.f64(v),
+            // Exact: an f32-storage matrix widens each value from f32, so
+            // narrowing it back reproduces the stored bits.
+            ValueStorage::F32 => w.f32(v as f32),
+        }
     }
 
     // Labels.
@@ -117,8 +133,8 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
 
 // ---- decoding ------------------------------------------------------------
 
-/// Deserializes a version-1 binary artifact. Checks magic, version, and
-/// checksum before touching the payload.
+/// Deserializes a binary artifact (any version up to [`VERSION`]). Checks
+/// magic, version, and checksum before touching the payload.
 pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
     let mut r = Reader::open(bytes, MAGIC, VERSION)?;
     let body_len = bytes.len() - 4;
@@ -126,6 +142,16 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
     // Matrix. The bitmap must fit in the file, which bounds rows·cols.
     let rows = r.count("row", u32::MAX as usize)?;
     let cols = r.count("column", u32::MAX as usize)?;
+    // Version 1 predates the storage tag: no byte, always f64 values.
+    let storage = match if r.version() >= 2 { r.u8()? } else { 0 } {
+        0 => ValueStorage::F64,
+        1 => ValueStorage::F32,
+        tag => {
+            return Err(ArtifactError::Malformed(format!(
+                "unknown value storage tag {tag}"
+            )))
+        }
+    };
     let cells = rows
         .checked_mul(cols)
         .filter(|&n| n.div_ceil(8) <= body_len)
@@ -141,10 +167,19 @@ pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
     let mut data = vec![None; cells];
     for (cell, slot) in data.iter_mut().enumerate() {
         if bitmap[cell / 8] & (1 << (cell % 8)) != 0 {
-            *slot = Some(r.f64()?);
+            *slot = Some(match storage {
+                ValueStorage::F64 => r.f64()?,
+                ValueStorage::F32 => f64::from(r.f32()?),
+            });
         }
     }
     let mut matrix = DataMatrix::from_options(rows, cols, data);
+    if storage == ValueStorage::F32 {
+        // Exact: every value was just widened from an f32 on the wire.
+        matrix = matrix
+            .with_storage(ValueStorage::F32)
+            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+    }
 
     // Labels.
     let flags = r.u8()?;
@@ -321,6 +356,125 @@ mod tests {
             // Re-encoding the loaded model is byte-identical.
             assert_eq!(to_bytes(&loaded), bytes);
         }
+    }
+
+    fn sample_f32_model() -> ServeModel {
+        let model = sample_model(true);
+        // 1.5-grid values are all exactly f32-representable.
+        let narrow = model
+            .matrix()
+            .clone()
+            .with_storage(ValueStorage::F32)
+            .unwrap();
+        ServeModel::new(
+            narrow,
+            model.clusters().to_vec(),
+            model.residues().to_vec(),
+            model.avg_residue(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn f32_storage_roundtrips_and_halves_the_value_section() {
+        let narrow = sample_f32_model();
+        let bytes = to_bytes(&narrow);
+        let loaded = from_bytes(&bytes).unwrap();
+        assert_eq!(loaded.matrix().storage(), ValueStorage::F32);
+        assert!(loaded == narrow);
+        assert_eq!(to_bytes(&loaded), bytes);
+        // The f32 artifact is strictly smaller than its f64 twin: 4 bytes
+        // saved per specified value, minus nothing (the tag byte is paid by
+        // both).
+        let wide = sample_model(true);
+        let n = wide.matrix().specified_count();
+        assert_eq!(to_bytes(&wide).len(), bytes.len() + 4 * n);
+    }
+
+    #[test]
+    fn version_1_artifacts_still_load() {
+        // A version-1 file: identical layout except no storage tag byte and
+        // always-f64 values. Write one by hand and check the current decoder
+        // accepts it and produces the same model.
+        let model = sample_model(true);
+        let matrix = model.matrix();
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(rows as u64);
+        w.u64(cols as u64);
+        let mut bitmap = vec![0u8; (rows * cols).div_ceil(8)];
+        let mut values = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if let Some(v) = matrix.get(r, c) {
+                    let cell = r * cols + c;
+                    bitmap[cell / 8] |= 1 << (cell % 8);
+                    values.push(v);
+                }
+            }
+        }
+        w.buf.extend_from_slice(&bitmap);
+        w.u64(values.len() as u64);
+        for v in values {
+            w.f64(v);
+        }
+        w.u8(0b11);
+        for r in 0..rows {
+            w.str(matrix.row_label(r).unwrap());
+        }
+        for c in 0..cols {
+            w.str(matrix.col_label(c).unwrap());
+        }
+        w.u64(model.k() as u64);
+        for cluster in model.clusters() {
+            w.indices(&cluster.rows.to_vec());
+            w.indices(&cluster.cols.to_vec());
+        }
+        for &res in model.residues() {
+            w.f64(res);
+        }
+        w.f64(model.avg_residue());
+        for b in model.bases() {
+            w.u64(b.volume as u64);
+            w.f64(b.cluster_base);
+            for &v in &b.row_bases {
+                w.f64(v);
+            }
+            for &v in &b.col_bases {
+                w.f64(v);
+            }
+        }
+        let v1_bytes = w.finish();
+
+        let loaded = from_bytes(&v1_bytes).unwrap();
+        assert_eq!(loaded.matrix().storage(), ValueStorage::F64);
+        assert!(loaded == model);
+        // Saving it again upgrades the envelope to the current version.
+        assert_eq!(to_bytes(&loaded)[4], VERSION as u8);
+    }
+
+    #[test]
+    fn unknown_storage_tag_is_rejected() {
+        let mut bytes = to_bytes(&sample_model(false));
+        // rows (8) + cols (8) after the 8-byte envelope header.
+        bytes[24] = 7;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        match from_bytes(&bytes) {
+            Err(ArtifactError::Malformed(why)) => assert!(why.contains("storage tag 7"), "{why}"),
+            Err(other) => panic!("expected Malformed, got {other}"),
+            Ok(_) => panic!("expected Malformed, got a model"),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_f32_storage() {
+        let narrow = sample_f32_model();
+        let text = to_json(&narrow);
+        let loaded = from_json(&text).unwrap();
+        assert_eq!(loaded.matrix().storage(), ValueStorage::F32);
+        assert!(loaded == narrow);
     }
 
     #[test]

@@ -321,6 +321,39 @@ mod tests {
     }
 
     #[test]
+    fn f32_matrix_checkpoints_roundtrip_and_resume() {
+        // Mine an f32-storage matrix partway, push every snapshot through
+        // the .dck codec, and resume: the format needs no storage field
+        // because the fingerprint is computed over widened f64 bits — an
+        // f32 matrix and its widened f64 twin are interchangeable.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut m = DataMatrix::with_capacity_storage(20, 10, dc_matrix::ValueStorage::F32);
+        for r in 0..20 {
+            for c in 0..10 {
+                if rng.gen_bool(0.9) {
+                    m.set(r, c, f64::from(rng.gen_range(0.0..50.0f64) as f32));
+                }
+            }
+        }
+        let config = FlocConfig::builder(2).alpha(0.5).seed(21).build();
+        let mut snapshots = Vec::new();
+        let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+        let full = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+        assert!(!snapshots.is_empty());
+
+        let twin = m.with_storage(dc_matrix::ValueStorage::F64).unwrap();
+        for ckpt in &snapshots {
+            let decoded = checkpoint_from_bytes(&checkpoint_to_bytes(ckpt)).unwrap();
+            assert_eq!(&decoded, ckpt);
+            decoded.validate(&m, &config).unwrap();
+            decoded.validate(&twin, &config).unwrap();
+            let resumed = dc_floc::floc_resume(&m, &decoded, &config, None).unwrap();
+            assert_eq!(resumed.clusters, full.clusters);
+            assert_eq!(resumed.avg_residue.to_bits(), full.avg_residue.to_bits());
+        }
+    }
+
+    #[test]
     fn stop_tags_cover_every_reason() {
         let (_, _, snapshots) = mined_checkpoints(13);
         let mut ckpt = snapshots.last().unwrap().clone();

@@ -148,6 +148,9 @@ impl Writer {
     pub fn f64(&mut self, v: f64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
     /// Length-prefixed UTF-8 string.
     pub fn str(&mut self, s: &str) {
         self.u64(s.len() as u64);
@@ -169,6 +172,7 @@ impl Writer {
 pub struct Reader<'a> {
     pub(crate) bytes: &'a [u8],
     pub(crate) pos: usize,
+    version: u16,
 }
 
 impl<'a> Reader<'a> {
@@ -199,7 +203,15 @@ impl<'a> Reader<'a> {
         Ok(Reader {
             bytes: body,
             pos: 8,
+            version: file_version,
         })
+    }
+
+    /// The format version stamped in the file's envelope — at most the
+    /// `version` passed to [`Reader::open`]. Decoders branch on this to
+    /// skip sections that older writers did not emit.
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// Fails with [`ArtifactError::Malformed`] unless the payload was
@@ -231,6 +243,9 @@ impl<'a> Reader<'a> {
     }
     pub fn f64(&mut self) -> Result<f64, ArtifactError> {
         Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
     /// A `u64` count that must also be a sane in-memory size.
     pub fn count(&mut self, what: &str, limit: usize) -> Result<usize, ArtifactError> {
@@ -295,6 +310,21 @@ mod tests {
         assert_eq!(r.u64().unwrap(), 7);
         assert_eq!(r.str().unwrap(), "hello");
         assert_eq!(r.indices(10, "test").unwrap(), vec![1, 4, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_reports_the_file_version_not_the_ceiling() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.f32(1.5);
+        w.f32(f32::MIN_POSITIVE);
+        let bytes = w.finish();
+        // Opened with a newer ceiling, the reader still reports what the
+        // file was written as — decoders gate new sections on this.
+        let mut r = Reader::open(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f32().unwrap().to_bits(), f32::MIN_POSITIVE.to_bits());
         r.expect_end().unwrap();
     }
 
