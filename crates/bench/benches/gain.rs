@@ -9,9 +9,7 @@ use rand::{Rng, SeedableRng};
 
 fn setup(rows: usize, cols: usize) -> (DataMatrix, ClusterState) {
     let mut rng = StdRng::seed_from_u64(2);
-    let m = DataMatrix::from_rows(
-        rows,
-        cols,
+    let m = DataMatrix::builder(rows, cols).from_rows(
         (0..rows * cols)
             .map(|_| rng.gen_range(0.0..100.0))
             .collect(),

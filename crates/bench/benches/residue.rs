@@ -9,9 +9,7 @@ use rand::{Rng, SeedableRng};
 
 fn matrix(rows: usize, cols: usize) -> DataMatrix {
     let mut rng = StdRng::seed_from_u64(1);
-    DataMatrix::from_rows(
-        rows,
-        cols,
+    DataMatrix::builder(rows, cols).from_rows(
         (0..rows * cols)
             .map(|_| rng.gen_range(0.0..100.0))
             .collect(),

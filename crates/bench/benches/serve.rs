@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 fn model(k: usize) -> ServeModel {
     let (rows, cols) = (400usize, 150usize);
     let mut rng = StdRng::seed_from_u64(11);
-    let mut m = DataMatrix::new(rows, cols);
+    let mut m = DataMatrix::builder(rows, cols).build();
     for r in 0..rows {
         for c in 0..cols {
             if rng.gen_bool(0.3) {

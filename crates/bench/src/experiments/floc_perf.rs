@@ -82,6 +82,37 @@ pub struct ScalingRecord {
     pub speedup_vs_1t: f64,
 }
 
+/// One backend measurement of the same seeded mine at the out-of-core
+/// acceptance point (30k×100, single thread): the paged backend's block
+/// cache + per-chunk column mirrors versus the flat in-memory vector.
+#[derive(Debug, Clone, Serialize)]
+pub struct StorageRecord {
+    /// `memory` or `paged`.
+    pub backend: String,
+    /// Matrix height (objects).
+    pub rows: usize,
+    /// Matrix width (attributes).
+    pub cols: usize,
+    /// Clusters mined.
+    pub k: usize,
+    /// Gain-evaluation threads (pinned to 1 for backend comparability).
+    pub threads: usize,
+    /// Phase-2 iterations the run took.
+    pub iterations: usize,
+    /// Wall-clock seconds of the full run.
+    pub full_run_s: f64,
+    /// Mean milliseconds per phase-2 iteration.
+    pub iteration_ms: f64,
+    /// Candidate gain evaluations performed (same formula as [`Record`]).
+    pub actions_evaluated: u64,
+    /// Nanoseconds per candidate evaluation (full run / actions).
+    pub ns_per_action: f64,
+    /// Final average residue — must be bit-identical across backends.
+    pub avg_residue: f64,
+    /// This backend's time / the memory backend's time (1.0 for memory).
+    pub slowdown_vs_memory: f64,
+}
+
 /// Cost of threading an [`Obs`] handle through a full FLOC run, measured
 /// at one grid point. The observability acceptance bar: a disabled (null)
 /// handle must stay within 5% of the uninstrumented call.
@@ -113,6 +144,8 @@ pub struct Report {
     pub records: Vec<Record>,
     /// One record per thread count × scaling grid point.
     pub scaling: Vec<ScalingRecord>,
+    /// Paged-vs-memory backend comparison (empty unless `--backend paged`).
+    pub storage: Vec<StorageRecord>,
     /// `(phase name, seconds)` pairs from the harness [`PhaseTimer`].
     pub phases: Vec<(String, f64)>,
     /// The null-sink overhead probe (at 3000×30 when the grid has it).
@@ -202,6 +235,33 @@ fn measure_scaling(matrix: &dc_matrix::DataMatrix, k: usize, threads: usize) -> 
         ns_per_action: full_run_s * 1e9 / actions_evaluated as f64,
         avg_residue: result.avg_residue,
         speedup_vs_1t: 1.0, // filled in by the caller
+    }
+}
+
+/// Times one seeded single-thread incremental mine on whichever backend
+/// `matrix` carries. The config matches [`measure_scaling`] so the paged
+/// numbers are directly comparable to the scaling sweep's 1-thread row.
+fn measure_storage(matrix: &dc_matrix::DataMatrix, k: usize) -> StorageRecord {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    let cfg = scaling_config(rows, cols, k, 1);
+    let start = Instant::now();
+    let result = floc(matrix, &cfg).expect("floc failed");
+    let full_run_s = start.elapsed().as_secs_f64();
+    let iterations = result.iterations.max(1);
+    let actions_evaluated = (iterations * 2 * (rows + cols) * k) as u64;
+    StorageRecord {
+        backend: matrix.backend().to_string(),
+        rows,
+        cols,
+        k,
+        threads: 1,
+        iterations,
+        full_run_s,
+        iteration_ms: full_run_s * 1e3 / iterations as f64,
+        actions_evaluated,
+        ns_per_action: full_run_s * 1e9 / actions_evaluated as f64,
+        avg_residue: result.avg_residue,
+        slowdown_vs_memory: 1.0, // filled in by the caller
     }
 }
 
@@ -380,6 +440,46 @@ pub fn run(opts: &Opts) -> String {
             scaling.push(rec);
         }
     }
+    // Out-of-core backend comparison at the acceptance point: the same
+    // streamed 30k×100 matrix mined once per backend, single-threaded, so
+    // the paged overhead (block decode + LRU traffic + per-chunk mirrors)
+    // is visible and quantified rather than folded into thread noise.
+    let mut storage: Vec<StorageRecord> = Vec::new();
+    if opts.backend == Some(dc_matrix::BackendKind::Paged) {
+        let (rows, cols) = scaling_grid(false)[0];
+        phases.start(&format!("storage datagen {rows}x{cols}"));
+        let volume = (rows * cols / 100).max(100);
+        let size = split_volume(volume, 10.0, 2, 2);
+        let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![size; k]).with_seed(23);
+        let dir = std::env::temp_dir().join(format!("dc-floc-perf-paged-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paged = dc_datagen::embed::generate_paged(&cfg, &dir, dc_matrix::DEFAULT_CHUNK_ROWS)
+            .expect("paged datagen failed");
+        let memory = paged.matrix.to_memory();
+        assert_eq!(
+            memory.fingerprint(),
+            paged.matrix.fingerprint(),
+            "paged twin must hold the same cells as its in-memory twin"
+        );
+
+        phases.start(&format!("storage memory {rows}x{cols}"));
+        let mem = measure_storage(&memory, k);
+        phases.start(&format!("storage paged {rows}x{cols}"));
+        let mut pag = measure_storage(&paged.matrix, k);
+        assert_eq!(
+            mem.avg_residue.to_bits(),
+            pag.avg_residue.to_bits(),
+            "paged mining must be bit-identical to in-memory"
+        );
+        pag.slowdown_vs_memory = pag.full_run_s / mem.full_run_s;
+        eprintln!(
+            "  floc-storage {rows}x{cols}: memory {:.2}s ({:.0} ns/action), paged {:.2}s ({:.0} ns/action, {:.2}x)",
+            mem.full_run_s, mem.ns_per_action, pag.full_run_s, pag.ns_per_action, pag.slowdown_vs_memory,
+        );
+        storage.push(mem);
+        storage.push(pag);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     phases.finish();
 
     let mut t = Table::new(vec![
@@ -430,10 +530,37 @@ pub fn run(opts: &Opts) -> String {
     let report = Report {
         records,
         scaling,
+        storage,
         phases: phases.phases().to_vec(),
         obs_overhead,
     };
     let _ = write_json(&opts.out_dir, "BENCH_floc", &report);
+    let storage_block = if report.storage.is_empty() {
+        String::new()
+    } else {
+        let mut bt = Table::new(vec![
+            "backend",
+            "size",
+            "threads",
+            "full run (s)",
+            "ns/action",
+            "slowdown vs memory",
+        ]);
+        for r in &report.storage {
+            bt.row(vec![
+                r.backend.clone(),
+                format!("{}x{}", r.rows, r.cols),
+                r.threads.to_string(),
+                fmt_f(r.full_run_s, 2),
+                fmt_f(r.ns_per_action, 0),
+                fmt_f(r.slowdown_vs_memory, 2),
+            ]);
+        }
+        format!(
+            "\n\nFLOC storage backends — paged vs memory\n{}",
+            bt.render()
+        )
+    };
     let overhead_line = match &report.obs_overhead {
         Some(p) => format!(
             "\nobs overhead at {}x{}: null handle {:+.1}%, null sink {:+.1}% (baseline {:.2}s)",
@@ -446,10 +573,11 @@ pub fn run(opts: &Opts) -> String {
         None => String::new(),
     };
     format!(
-        "FLOC gain engines — exact vs incremental (threads {})\n{}\n\nFLOC thread scaling — incremental engine\n{}{}",
+        "FLOC gain engines — exact vs incremental (threads {})\n{}\n\nFLOC thread scaling — incremental engine\n{}{}{}",
         opts.threads,
         t.render(),
         scaling_table,
+        storage_block,
         overhead_line
     )
 }
@@ -504,6 +632,25 @@ mod tests {
         assert!(probe.baseline_s > 0.0);
         assert!(probe.null_handle_overhead.is_finite());
         assert!(probe.null_sink_overhead.is_finite());
+    }
+
+    #[test]
+    fn storage_measurement_is_backend_invariant() {
+        let size = split_volume(60, 4.0, 2, 2);
+        let cfg = dc_datagen::EmbedConfig::new(120, 20, vec![size; 3]).with_seed(5);
+        let dir = std::env::temp_dir().join(format!("dc-floc-perf-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let paged = dc_datagen::embed::generate_paged(&cfg, &dir, 16).unwrap();
+        let memory = paged.matrix.to_memory();
+        let mem = measure_storage(&memory, 3);
+        let pag = measure_storage(&paged.matrix, 3);
+        assert_eq!(mem.backend, "memory");
+        assert_eq!(pag.backend, "paged");
+        // Same trajectory regardless of where the blocks live.
+        assert_eq!(mem.avg_residue.to_bits(), pag.avg_residue.to_bits());
+        assert_eq!(mem.iterations, pag.iterations);
+        assert!(mem.ns_per_action > 0.0 && pag.ns_per_action > 0.0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

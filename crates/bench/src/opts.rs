@@ -26,6 +26,10 @@ pub struct Opts {
     /// `http_bench` only: run the multi-process cluster bench instead,
     /// e.g. `--topology 1x1,1x2,1x4` (routers × shards per measurement).
     pub topology: Option<String>,
+    /// `floc_perf` only: also measure the named storage backend against
+    /// the in-memory baseline (`--backend paged` adds the paged-vs-memory
+    /// comparison at the 30k×100 acceptance point).
+    pub backend: Option<dc_matrix::BackendKind>,
 }
 
 impl Default for Opts {
@@ -41,6 +45,7 @@ impl Default for Opts {
             pipeline: None,
             batch: None,
             topology: None,
+            backend: None,
         }
     }
 }
@@ -80,6 +85,9 @@ impl Opts {
                 }
                 "--topology" => {
                     opts.topology = args.next();
+                }
+                "--backend" => {
+                    opts.backend = args.next().and_then(|s| s.parse().ok());
                 }
                 other => eprintln!("ignoring unknown argument: {other}"),
             }
@@ -131,6 +139,21 @@ mod tests {
         assert_eq!(o.pipeline, Some(4));
         assert_eq!(o.batch, Some(128));
         assert_eq!(parse(&[]).connections, None);
+    }
+
+    #[test]
+    fn backend_flag() {
+        use dc_matrix::BackendKind;
+        assert_eq!(
+            parse(&["--backend", "paged"]).backend,
+            Some(BackendKind::Paged)
+        );
+        assert_eq!(
+            parse(&["--backend", "memory"]).backend,
+            Some(BackendKind::Memory)
+        );
+        assert_eq!(parse(&["--backend", "bogus"]).backend, None);
+        assert_eq!(parse(&[]).backend, None);
     }
 
     #[test]

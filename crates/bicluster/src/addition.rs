@@ -98,7 +98,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index drives both the block test and the bias lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         let col_bias: Vec<f64> = (0..bc).map(|_| rng.gen_range(0.0..50.0)).collect();
         for r in 0..rows {
             let row_bias: f64 = rng.gen_range(0.0..50.0);

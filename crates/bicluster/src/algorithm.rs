@@ -159,7 +159,7 @@ mod tests {
     /// Noise with two disjoint additive blocks.
     fn two_blocks(seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(40, 16);
+        let mut m = DataMatrix::builder(40, 16).build();
         let bias_a: Vec<f64> = (0..6).map(|_| rng.gen_range(0.0..50.0)).collect();
         let bias_b: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..50.0)).collect();
         for r in 0..40 {

@@ -158,7 +158,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index drives both the block test and the bias lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         let col_bias: Vec<f64> = (0..bc).map(|_| rng.gen_range(0.0..50.0)).collect();
         for r in 0..rows {
             let row_bias: f64 = rng.gen_range(0.0..50.0);
@@ -204,7 +204,8 @@ mod tests {
     fn single_deletion_respects_minimum_dims() {
         // Pure noise: delta unreachable, must stop at min dims.
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(6, 6, (0..36).map(|_| rng.gen_range(0.0..100.0)).collect());
+        let m = DataMatrix::builder(6, 6)
+            .from_rows((0..36).map(|_| rng.gen_range(0.0..100.0)).collect());
         let mut st = MsrState::full(&m);
         let _ = single_node_deletion(&m, &mut st, 1e-12, 3, 3);
         assert_eq!(st.rows.len(), 3);

@@ -17,7 +17,7 @@
 //! use dc_matrix::DataMatrix;
 //!
 //! // A perfectly additive matrix is one giant δ-bicluster.
-//! let m = DataMatrix::from_rows(3, 3, vec![
+//! let m = DataMatrix::builder(3, 3).from_rows(vec![
 //!     1.0, 3.0, 6.0,
 //!     2.0, 4.0, 7.0,
 //!     5.0, 7.0, 10.0,

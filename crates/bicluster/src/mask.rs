@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn fill_range_of_matrix() {
-        let m = DataMatrix::from_rows(2, 2, vec![-3.0, 8.0, 1.0, 2.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![-3.0, 8.0, 1.0, 2.0]);
         let r = FillRange::of(&m);
         assert_eq!(r.lo, -3.0);
         assert_eq!(r.hi, 8.0);
@@ -91,13 +91,13 @@ mod tests {
 
     #[test]
     fn fill_range_of_empty_matrix() {
-        let m = DataMatrix::new(2, 2);
+        let m = DataMatrix::builder(2, 2).build();
         assert_eq!(FillRange::of(&m), FillRange { lo: 0.0, hi: 1.0 });
     }
 
     #[test]
     fn fill_missing_completes_the_matrix() {
-        let mut m = DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect());
+        let mut m = DataMatrix::builder(3, 3).from_rows((0..9).map(|x| x as f64).collect());
         m.unset(0, 0);
         m.unset(2, 2);
         let mut rng = StdRng::seed_from_u64(1);
@@ -112,7 +112,7 @@ mod tests {
 
     #[test]
     fn mask_replaces_only_the_submatrix() {
-        let mut m = DataMatrix::from_rows(3, 3, vec![10.0; 9]);
+        let mut m = DataMatrix::builder(3, 3).from_rows(vec![10.0; 9]);
         let rows = BitSet::from_indices(3, [0, 1]);
         let cols = BitSet::from_indices(3, [2]);
         let mut rng = StdRng::seed_from_u64(2);
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn degenerate_range_fills_constant() {
-        let mut m = DataMatrix::new(1, 2);
+        let mut m = DataMatrix::builder(1, 2).build();
         m.set(0, 0, 5.0);
         let mut rng = StdRng::seed_from_u64(3);
         let filled = fill_missing(&m, FillRange { lo: 7.0, hi: 7.0 }, &mut rng);

@@ -244,15 +244,11 @@ mod tests {
 
     fn perfect() -> DataMatrix {
         // Perfectly additive 3×3: a_ij = rowbias_i + colbias_j.
-        DataMatrix::from_rows(
-            3,
-            3,
-            vec![
-                1.0, 3.0, 6.0, //
-                2.0, 4.0, 7.0, //
-                5.0, 7.0, 10.0,
-            ],
-        )
+        DataMatrix::builder(3, 3).from_rows(vec![
+            1.0, 3.0, 6.0, //
+            2.0, 4.0, 7.0, //
+            5.0, 7.0, 10.0,
+        ])
     }
 
     #[test]
@@ -270,11 +266,9 @@ mod tests {
 
     #[test]
     fn msr_matches_brute_force() {
-        let m = DataMatrix::from_rows(
-            3,
-            4,
-            vec![1.0, 5.0, 2.0, 9.0, 4.0, 4.0, 4.0, 4.0, 7.0, 1.0, 8.0, 2.0],
-        );
+        let m = DataMatrix::builder(3, 4).from_rows(vec![
+            1.0, 5.0, 2.0, 9.0, 4.0, 4.0, 4.0, 4.0, 7.0, 1.0, 8.0, 2.0,
+        ]);
         let st = MsrState::full(&m);
         // Brute force.
         let n = 12.0;
@@ -297,11 +291,9 @@ mod tests {
 
     #[test]
     fn contributions_average_to_msr() {
-        let m = DataMatrix::from_rows(
-            4,
-            3,
-            vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0, 8.0],
-        );
+        let m = DataMatrix::builder(4, 3).from_rows(vec![
+            3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0, 5.0, 8.0,
+        ]);
         let st = MsrState::full(&m);
         let h = st.msr(&m);
         let d_avg: f64 = st.row_contributions(&m).iter().map(|(_, d)| d).sum::<f64>() / 4.0;
@@ -312,7 +304,8 @@ mod tests {
 
     #[test]
     fn incremental_updates_match_fresh_state() {
-        let m = DataMatrix::from_rows(4, 4, (0..16).map(|i| ((i * 7) % 13) as f64).collect());
+        let m =
+            DataMatrix::builder(4, 4).from_rows((0..16).map(|i| ((i * 7) % 13) as f64).collect());
         let mut st = MsrState::full(&m);
         st.remove_row(&m, 1);
         st.remove_col(&m, 2);
@@ -330,7 +323,8 @@ mod tests {
 
     #[test]
     fn candidate_scores_match_membership_scores() {
-        let m = DataMatrix::from_rows(4, 4, (0..16).map(|i| ((i * 5) % 11) as f64).collect());
+        let m =
+            DataMatrix::builder(4, 4).from_rows((0..16).map(|i| ((i * 5) % 11) as f64).collect());
         // State without row 3 / col 3.
         let st = MsrState::new(
             &m,
@@ -360,7 +354,7 @@ mod tests {
     #[test]
     fn inverted_candidate_detects_mirror_rows() {
         // Row 3 = −(row 0) + constant: a mirror image of row 0's pattern.
-        let mut m = DataMatrix::new(4, 3);
+        let mut m = DataMatrix::builder(4, 3).build();
         let base = [1.0, 4.0, 2.0];
         for (c, &b) in base.iter().enumerate() {
             m.set(0, c, b);
@@ -381,7 +375,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fully specified")]
     fn missing_entries_are_rejected() {
-        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         m.unset(0, 1);
         let _ = MsrState::full(&m);
     }

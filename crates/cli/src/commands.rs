@@ -137,13 +137,15 @@ USAGE:
   delta-clusters mine <matrix-file> [--k N] [--alpha A] [--ordering fixed|random|weighted]
                   [--mean arithmetic|squared] [--min-volume CELLS] [--max-overlap FRAC]
                   [--seed-rows N --seed-cols N] [--triples] [--seed S] [--threads T]
-                  [--restarts R] [--gain-engine auto|exact|incremental]
+                  [--restarts R] [--max-iters N] [--gain-engine auto|exact|incremental]
+                  [--backend memory|paged] [--cache-blocks N] [--chunk-rows N]
                   [--json OUT.json] [--save-model OUT.dcm] [--time-budget SECS]
                   [--checkpoint OUT.dck] [--checkpoint-every N] [--resume IN.dck]
                   [--log text|json] [--progress] [--metrics OUT.json]
   delta-clusters validate <matrix-file> [--alpha A] [--triples] [--strict]
   delta-clusters generate <out-file> --kind embedded|movielens|microarray
                   [--rows N --cols N --clusters K] [--seed S] [--truth OUT.json]
+                  [--paged] [--chunk-rows N]
   delta-clusters evaluate <matrix-file> --found FOUND.json --truth TRUTH.json [--triples]
   delta-clusters compare <matrix-file> [--k N] [--delta D] [--triples] [--seed S]
   delta-clusters predict <model-file> <row> [<col>] [--top N]
@@ -165,6 +167,16 @@ Matrix files are tab-separated with `NA` (or empty) for missing entries;
 pass --triples for `row col value` lines (the MovieLens u.data layout).
 NaN/Inf cells are treated as missing. `validate` reports shape, missing
 rate, and per-row/column occupancy against --alpha before you mine.
+
+Storage backends: a matrix input may also be a *paged directory* —
+CRC-framed block files emitted by `generate --paged` (streamed, so data
+sets larger than RAM generate in bounded memory). Paged inputs are
+auto-detected; mining reads blocks on demand with an LRU bounded by
+--cache-blocks (0 = unbounded) and produces bit-identical clusters to an
+in-memory run. `mine --backend paged` converts a text input into pages
+first (--paged-dir DIR, default <input>.paged); `--backend memory` loads
+a paged directory fully into RAM. With --save-model, a paged run writes a
+paged-ref `.dcm` that points at the pages instead of inlining the data.
 
 Model files (`mine --save-model`) are binary `.dcm` snapshots — matrix,
 clusters, and precomputed bases behind a checksum — or JSON when the path
@@ -266,15 +278,97 @@ pub fn dispatch(args: &Args) -> Result<CmdOutput, CmdError> {
     }
 }
 
+/// Whether `path` is a paged-matrix directory (contains the metadata file).
+fn is_paged_dir(path: &str) -> bool {
+    Path::new(path)
+        .join(dc_matrix::storage::META_FILE)
+        .is_file()
+}
+
+/// `--backend memory|paged` (default: whatever the input already is).
+fn backend_flag(args: &Args) -> Result<Option<dc_matrix::BackendKind>, CmdError> {
+    match args.get("backend") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|e: String| CmdError::Usage(format!("--backend: {e}"))),
+    }
+}
+
+/// Paged-open options from `--cache-blocks N` (0 = unbounded, the default).
+fn paged_options(args: &Args) -> Result<dc_matrix::PagedOptions, CmdError> {
+    let mut opts = dc_matrix::PagedOptions::default();
+    let cache: usize = args.get_or("cache-blocks", 0usize)?;
+    if cache > 0 {
+        opts.cache_blocks = Some(cache);
+    }
+    Ok(opts)
+}
+
+/// Loads the input matrix. A paged directory (auto-detected, or any path
+/// under `--backend paged`) opens out-of-core with the `--cache-blocks`
+/// residency cap; `--backend memory` materializes it back into RAM. Text
+/// inputs parse as before, and `--backend paged` converts them into a paged
+/// directory at `--paged-dir DIR` (default `<input>.paged`).
 fn load_matrix(args: &Args, path: &str) -> Result<DataMatrix, CmdError> {
-    if args.switch("triples") {
-        Ok(read_triples_file(path)
+    let backend = backend_flag(args)?;
+    if is_paged_dir(path) {
+        let matrix = DataMatrix::open_paged_with(path, paged_options(args)?)
+            .map_err(|e| CmdError::Io(format!("{path}: {e}")))?;
+        return Ok(match backend {
+            Some(dc_matrix::BackendKind::Memory) => matrix.to_memory(),
+            _ => matrix,
+        });
+    }
+    let matrix = if args.switch("triples") {
+        read_triples_file(path)
             .map_err(|e| CmdError::Io(format!("{path}: {e}")))?
-            .matrix)
+            .matrix
     } else {
         read_dense_file(path, &DenseFormat::default())
-            .map_err(|e| CmdError::Io(format!("{path}: {e}")))
+            .map_err(|e| CmdError::Io(format!("{path}: {e}")))?
+    };
+    if backend == Some(dc_matrix::BackendKind::Paged) {
+        let dir = args
+            .get("paged-dir")
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{path}.paged"));
+        let paged = paged_twin(&matrix, &dir, args)?;
+        return Ok(paged);
     }
+    Ok(matrix)
+}
+
+/// Streams `matrix` row by row into a fresh paged directory at `dir`.
+fn paged_twin(matrix: &DataMatrix, dir: &str, args: &Args) -> Result<DataMatrix, CmdError> {
+    let chunk_rows: usize = args.get_or("chunk-rows", dc_matrix::DEFAULT_CHUNK_ROWS)?;
+    let io_err = |e: dc_matrix::PagedError| CmdError::Io(format!("{dir}: {e}"));
+    let mut appender = dc_matrix::MatrixBuilder::dense(matrix.rows(), matrix.cols())
+        .storage(matrix.storage())
+        .paged(dir)
+        .chunk_rows(chunk_rows)
+        .cache_blocks(paged_options(args)?.cache_blocks)
+        .appender()
+        .map_err(io_err)?;
+    let mut row = vec![None; matrix.cols()];
+    for r in 0..matrix.rows() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            *slot = matrix.get(r, c);
+        }
+        appender.append_row(&row).map_err(io_err)?;
+    }
+    let mut paged = appender.finish().map_err(io_err)?;
+    let labels: Vec<Option<&str>> = (0..matrix.rows()).map(|r| matrix.row_label(r)).collect();
+    if matrix.rows() > 0 && labels.iter().all(Option::is_some) {
+        paged.set_row_labels(labels.into_iter().flatten().map(str::to_string).collect());
+    }
+    let labels: Vec<Option<&str>> = (0..matrix.cols()).map(|c| matrix.col_label(c)).collect();
+    if matrix.cols() > 0 && labels.iter().all(Option::is_some) {
+        paged.set_col_labels(labels.into_iter().flatten().map(str::to_string).collect());
+    }
+    paged.flush().map_err(io_err)?;
+    Ok(paged)
 }
 
 fn input_path<'a>(args: &'a Args, what: &str) -> Result<&'a str, CmdError> {
@@ -314,10 +408,16 @@ pub fn floc_config(args: &Args, matrix: &DataMatrix) -> Result<FlocConfig, CmdEr
         other => return Err(CmdError::Usage(format!("unknown gain engine {other:?}"))),
     };
 
+    let max_iters: usize = args.get_or("max-iters", 60usize)?;
+    if max_iters == 0 {
+        return Err(CmdError::Usage("--max-iters must be positive".into()));
+    }
+
     let mut builder = FlocConfig::builder(k)
         .alpha(alpha)
         .ordering(ordering)
         .mean(mean)
+        .max_iterations(max_iters)
         .seeding(Seeding::TargetSize {
             rows: seed_rows,
             cols: seed_cols,
@@ -458,10 +558,21 @@ fn mine(args: &Args) -> Result<CmdOutput, CmdError> {
         out.push_str(&format!("clusters written to {json_path}\n"));
     }
     if let Some(model_path) = args.get("save-model") {
+        let paged = matrix.backend() == dc_matrix::BackendKind::Paged;
         let model = ServeModel::from_result(matrix.clone(), &result)
             .map_err(|e| CmdError::Algo(e.to_string()))?;
-        dc_serve::save(&model, model_path).map_err(|e| CmdError::Io(e.to_string()))?;
-        out.push_str(&format!("model snapshot written to {model_path}\n"));
+        // A paged-backed matrix stays in its pages: the artifact carries a
+        // reference instead of re-inlining data that may not fit in RAM.
+        if paged && !model_path.ends_with(".json") {
+            dc_serve::artifact::save_paged_ref(&model, model_path)
+                .map_err(|e| CmdError::Io(e.to_string()))?;
+            out.push_str(&format!(
+                "model snapshot (paged-ref) written to {model_path}\n"
+            ));
+        } else {
+            dc_serve::save(&model, model_path).map_err(|e| CmdError::Io(e.to_string()))?;
+            out.push_str(&format!("model snapshot written to {model_path}\n"));
+        }
     }
     obs.flush();
     if let Some(export) = &metrics {
@@ -1057,6 +1168,7 @@ fn generate(args: &Args) -> Result<CmdOutput, CmdError> {
     let path = input_path(args, "output file")?;
     let kind = args.get("kind").unwrap_or("embedded");
     let seed: u64 = args.get_or("seed", 0)?;
+    let paged = args.switch("paged") || backend_flag(args)? == Some(dc_matrix::BackendKind::Paged);
     let (matrix, truth): (DataMatrix, Option<Vec<DeltaCluster>>) = match kind {
         "embedded" => {
             let rows: usize = args.get_or("rows", 300)?;
@@ -1064,6 +1176,14 @@ fn generate(args: &Args) -> Result<CmdOutput, CmdError> {
             let k: usize = args.get_or("clusters", 5)?;
             let size = ((rows / 15).max(2), (cols / 8).max(2));
             let cfg = dc_datagen::EmbedConfig::new(rows, cols, vec![size; k]).with_seed(seed);
+            if paged {
+                // Stream straight into the page files: resident memory is
+                // one block plus the cluster structure, not rows × cols.
+                let chunk_rows: usize = args.get_or("chunk-rows", dc_matrix::DEFAULT_CHUNK_ROWS)?;
+                let data = dc_datagen::embed::generate_paged(&cfg, path, chunk_rows)
+                    .map_err(|e| CmdError::Io(format!("{path}: {e}")))?;
+                return finish_generate(args, path, data.matrix, Some(data.truth), true);
+            }
             let data = dc_datagen::embed::generate(&cfg);
             (data.matrix, Some(data.truth))
         }
@@ -1089,15 +1209,31 @@ fn generate(args: &Args) -> Result<CmdOutput, CmdError> {
         other => return Err(CmdError::Usage(format!("unknown --kind {other:?}"))),
     };
 
+    if paged {
+        // In-memory generators (movielens, microarray) re-emit as pages.
+        let matrix = paged_twin(&matrix, path, args)?;
+        return finish_generate(args, path, matrix, truth, true);
+    }
     dc_serve::atomic_write_with(Path::new(path), |mut w| {
         dc_matrix::io::write_dense(&matrix, &mut w, &DenseFormat::default())
     })
     .map_err(|e| CmdError::Io(e.to_string()))?;
+    finish_generate(args, path, matrix, truth, false)
+}
+
+fn finish_generate(
+    args: &Args,
+    path: &str,
+    matrix: DataMatrix,
+    truth: Option<Vec<DeltaCluster>>,
+    paged: bool,
+) -> Result<CmdOutput, CmdError> {
     let mut out = format!(
-        "wrote {}x{} matrix ({} specified) to {path}\n",
+        "wrote {}x{} matrix ({} specified) to {path}{}\n",
         matrix.rows(),
         matrix.cols(),
-        matrix.specified_count()
+        matrix.specified_count(),
+        if paged { " (paged)" } else { "" }
     );
     if let (Some(truth), Some(truth_path)) = (truth, args.get("truth")) {
         let json = serde_json::to_string_pretty(&truth).map_err(|e| CmdError::Io(e.to_string()))?;
@@ -1207,6 +1343,85 @@ mod tests {
         let err = dispatch(&args(&["frobnicate"])).unwrap_err();
         assert!(matches!(err, CmdError::Usage(_)));
         assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn paged_mine_matches_memory_mine() {
+        let pages = tmp("paged-gen");
+        let _ = std::fs::remove_dir_all(&pages);
+        let out = dispatch(&args(&[
+            "generate",
+            pages.to_str().unwrap(),
+            "--kind",
+            "embedded",
+            "--rows",
+            "60",
+            "--cols",
+            "20",
+            "--clusters",
+            "2",
+            "--paged",
+            "--chunk-rows",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("(paged)"), "{out}");
+        assert!(pages.join("matrix.dcpm").is_file());
+
+        // Same paged directory, mined out-of-core (tiny block cache) and
+        // fully in memory: the clusterings must be identical.
+        let paged_json = tmp("paged-found.json");
+        let model = tmp("paged-model.dcm");
+        let out_paged = dispatch(&args(&[
+            "mine",
+            pages.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "3",
+            "--backend",
+            "paged",
+            "--cache-blocks",
+            "2",
+            "--json",
+            paged_json.to_str().unwrap(),
+            "--save-model",
+            model.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mem_json = tmp("mem-found.json");
+        let out_mem = dispatch(&args(&[
+            "mine",
+            pages.to_str().unwrap(),
+            "--k",
+            "2",
+            "--seed",
+            "3",
+            "--backend",
+            "memory",
+            "--json",
+            mem_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read_to_string(&paged_json).unwrap(),
+            std::fs::read_to_string(&mem_json).unwrap(),
+            "paged and memory backends must mine identically\n{out_paged}\n{out_mem}"
+        );
+
+        // The paged run saved a paged-ref model that predicts like any other.
+        assert!(out_paged.contains("paged-ref"), "{out_paged}");
+        let loaded = dc_serve::artifact::load(&model).unwrap();
+        assert_eq!(loaded.matrix().backend(), dc_matrix::BackendKind::Paged);
+        let out = dispatch(&args(&[
+            "predict",
+            model.to_str().unwrap(),
+            "0",
+            "--top",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("col"), "{out}");
     }
 
     #[test]

@@ -380,7 +380,7 @@ mod tests {
         assert!(sink.report().last_snapshot.is_none());
 
         // A checkpoint event carries the snapshot as its attachment.
-        let m = dc_matrix::DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = dc_matrix::DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let config = dc_floc::FlocConfig::builder(1).build();
         let snap = FlocCheckpoint {
             config,
@@ -411,7 +411,7 @@ mod tests {
         let path = dir.join("state.dck");
         let sink = CkptSink::new(Some(path.to_str().unwrap().to_string()), 2, 0);
         let obs = Obs::new(sink.clone());
-        let m = dc_matrix::DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = dc_matrix::DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let config = dc_floc::FlocConfig::builder(1).build();
         for iterations in 1..=4 {
             let snap = FlocCheckpoint {

@@ -96,7 +96,7 @@ fn degenerate_cluster_exits_2_for_predict_and_serve() {
     let dir = scratch_dir("dc-cli-exit-degenerate");
     let path = dir.join("degenerate.dcm");
     // An entirely-unspecified matrix: the cluster's bases have volume 0.
-    let matrix = DataMatrix::new(4, 4);
+    let matrix = DataMatrix::builder(4, 4).build();
     let cluster = DeltaCluster::from_indices(4, 4, 0..2, 0..2);
     let model = ServeModel::new(matrix, vec![cluster], vec![0.0], 0.0).unwrap();
     dc_serve::save(&model, &path).unwrap();

@@ -28,7 +28,10 @@ pub mod noise;
 pub mod stream;
 pub mod synth;
 
-pub use embed::{generate as generate_embedded, EmbedConfig, EmbeddedData};
+pub use embed::{
+    generate as generate_embedded, generate_paged as generate_embedded_paged, EmbedConfig,
+    EmbeddedData,
+};
 pub use erlang::Erlang;
 pub use microarray::{generate as generate_microarray, MicroarrayConfig, MicroarrayData};
 pub use movielens::{generate as generate_movielens, MovieLensConfig, MovieLensData};

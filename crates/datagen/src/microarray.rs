@@ -81,7 +81,7 @@ pub fn generate(config: &MicroarrayConfig) -> MicroarrayData {
         "missing_rate in [0,1)"
     );
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut matrix = DataMatrix::new(config.genes, config.conditions);
+    let mut matrix = DataMatrix::builder(config.genes, config.conditions).build();
 
     // Background: per-gene baseline plus wide per-entry jitter, clamped to
     // the 0..600 scale. The jitter dominates the baseline so that the

@@ -110,7 +110,7 @@ pub fn generate(config: &MovieLensConfig) -> MovieLensData {
         .map(|m| 1.0 / (1.0 + m as f64).sqrt())
         .collect();
 
-    let mut matrix = DataMatrix::new(config.users, config.movies);
+    let mut matrix = DataMatrix::builder(config.users, config.movies).build();
 
     let rate = |matrix: &mut DataMatrix, rng: &mut StdRng, u: usize, m: usize| {
         if matrix.is_specified(u, m) {

@@ -46,12 +46,25 @@ pub struct RatingEvent {
 }
 
 impl RatingEvent {
-    /// Applies the event to `matrix` (shape must cover the indices).
+    /// Applies the event to `matrix`. A user index at or beyond the current
+    /// row count grows the matrix with blank rows first — on the paged
+    /// backend those appends land in the tail block, so a stream can keep
+    /// feeding an out-of-core matrix without rewriting earlier pages. The
+    /// movie index must fit the fixed column count.
     pub fn apply(&self, matrix: &mut DataMatrix) {
+        let (user, movie) = (self.user as usize, self.movie as usize);
+        if user >= matrix.rows() {
+            let blank = vec![None; matrix.cols()];
+            for _ in matrix.rows()..=user {
+                matrix
+                    .append_row(&blank)
+                    .expect("appending a blank row cannot fail");
+            }
+        }
         match self.op {
-            RatingOp::Set(v) => matrix.set(self.user as usize, self.movie as usize, v),
+            RatingOp::Set(v) => matrix.set(user, movie, v),
             RatingOp::Delete => {
-                matrix.unset(self.user as usize, self.movie as usize);
+                matrix.unset(user, movie);
             }
         }
     }
@@ -183,7 +196,7 @@ pub fn replay(config: &StreamConfig, cursor: usize) -> DataMatrix {
         "cursor {cursor} past stream end {}",
         events.len()
     );
-    let mut matrix = DataMatrix::new(config.users, config.movies);
+    let mut matrix = DataMatrix::builder(config.users, config.movies).build();
     for event in &events[..cursor] {
         event.apply(&mut matrix);
     }
@@ -410,10 +423,61 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_users_grow_the_matrix_on_both_backends() {
+        let dir = std::env::temp_dir().join("dc-datagen-stream-grow");
+        let _ = std::fs::remove_dir_all(&dir);
+        let events = [
+            RatingEvent {
+                user: 1,
+                movie: 0,
+                op: RatingOp::Set(4.0),
+            },
+            // Three rows beyond the starting shape: rows 2..=5 get created.
+            RatingEvent {
+                user: 5,
+                movie: 2,
+                op: RatingOp::Set(2.0),
+            },
+            RatingEvent {
+                user: 3,
+                movie: 1,
+                op: RatingOp::Set(5.0),
+            },
+            RatingEvent {
+                user: 5,
+                movie: 2,
+                op: RatingOp::Delete,
+            },
+        ];
+        let mut mem = DataMatrix::builder(2, 3).build();
+        let mut paged = DataMatrix::builder(2, 3)
+            .paged(&dir)
+            .chunk_rows(2)
+            .create()
+            .unwrap();
+        for e in &events {
+            e.apply(&mut mem);
+            e.apply(&mut paged);
+        }
+        assert_eq!(mem.rows(), 6);
+        assert_eq!(paged.rows(), 6);
+        assert_eq!(mem.get(3, 1), Some(5.0));
+        assert_eq!(paged.get(3, 1), Some(5.0));
+        assert_eq!(paged.get(5, 2), None, "delete after growth");
+        // The grown paged matrix is bit-identical to the memory twin and
+        // survives a flush + reopen.
+        assert_eq!(paged.fingerprint(), mem.fingerprint());
+        paged.flush().unwrap();
+        let reopened = DataMatrix::open_paged(&dir).unwrap();
+        assert_eq!(reopened.fingerprint(), mem.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn replay_matches_manual_application() {
         let config = small();
         let events = generate_events(&config);
-        let mut manual = DataMatrix::new(config.users, config.movies);
+        let mut manual = DataMatrix::builder(config.users, config.movies).build();
         for e in &events[..300] {
             e.apply(&mut manual);
         }

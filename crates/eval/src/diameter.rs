@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn ranges_and_diameter() {
-        let m = DataMatrix::from_rows(3, 2, vec![1.0, 10.0, 4.0, 10.0, 1.0, 16.0]);
+        let m = DataMatrix::builder(3, 2).from_rows(vec![1.0, 10.0, 4.0, 10.0, 1.0, 16.0]);
         let c = DeltaCluster::from_indices(3, 2, 0..3, 0..2);
         assert_eq!(attribute_ranges(&m, &c), vec![3.0, 6.0]);
         assert!((diameter(&m, &c) - 45.0f64.sqrt()).abs() < 1e-12);
@@ -68,14 +68,14 @@ mod tests {
 
     #[test]
     fn diameter_ignores_columns_outside_cluster() {
-        let m = DataMatrix::from_rows(2, 3, vec![0.0, 0.0, 100.0, 5.0, 0.0, -100.0]);
+        let m = DataMatrix::builder(2, 3).from_rows(vec![0.0, 0.0, 100.0, 5.0, 0.0, -100.0]);
         let c = DeltaCluster::from_indices(2, 3, 0..2, [0, 1]);
         assert_eq!(diameter_l1(&m, &c), 5.0, "column 2's huge range excluded");
     }
 
     #[test]
     fn missing_values_skipped() {
-        let mut m = DataMatrix::from_rows(3, 1, vec![1.0, 50.0, 3.0]);
+        let mut m = DataMatrix::builder(3, 1).from_rows(vec![1.0, 50.0, 3.0]);
         m.unset(1, 0);
         let c = DeltaCluster::from_indices(3, 1, 0..3, [0]);
         assert_eq!(attribute_ranges(&m, &c), vec![2.0]);
@@ -83,14 +83,14 @@ mod tests {
 
     #[test]
     fn single_point_cluster_has_zero_diameter() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let c = DeltaCluster::from_indices(2, 2, [0], [0, 1]);
         assert_eq!(diameter(&m, &c), 0.0);
     }
 
     #[test]
     fn all_missing_column_contributes_zero() {
-        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 9.0, 4.0]);
+        let mut m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 9.0, 4.0]);
         m.unset(0, 1);
         m.unset(1, 1);
         let c = DeltaCluster::from_indices(2, 2, 0..2, 0..2);
@@ -101,14 +101,10 @@ mod tests {
     fn coherent_but_distant_points_have_large_diameter_small_residue() {
         // The Figure 1 vectors: perfectly coherent yet far apart — the
         // phenomenon Table 1's diameter column demonstrates.
-        let m = DataMatrix::from_rows(
-            3,
-            5,
-            vec![
-                1.0, 5.0, 23.0, 12.0, 20.0, 11.0, 15.0, 33.0, 22.0, 30.0, 111.0, 115.0, 133.0,
-                122.0, 130.0,
-            ],
-        );
+        let m = DataMatrix::builder(3, 5).from_rows(vec![
+            1.0, 5.0, 23.0, 12.0, 20.0, 11.0, 15.0, 33.0, 22.0, 30.0, 111.0, 115.0, 133.0, 122.0,
+            130.0,
+        ]);
         let c = DeltaCluster::from_indices(3, 5, 0..3, 0..5);
         assert!(diameter(&m, &c) > 200.0, "diameter {}", diameter(&m, &c));
         let residue = dc_floc::cluster_residue(&m, &c, dc_floc::ResidueMean::Arithmetic);

@@ -38,7 +38,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> DataMatrix {
-        let mut m = DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect());
+        let mut m = DataMatrix::builder(3, 3).from_rows((0..9).map(|x| x as f64).collect());
         m.unset(1, 1);
         m
     }

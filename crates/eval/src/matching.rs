@@ -94,7 +94,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> DataMatrix {
-        DataMatrix::from_rows(6, 6, (0..36).map(|x| x as f64).collect())
+        DataMatrix::builder(6, 6).from_rows((0..36).map(|x| x as f64).collect())
     }
 
     #[test]

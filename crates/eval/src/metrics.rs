@@ -64,7 +64,7 @@ mod tests {
     use super::*;
 
     fn matrix() -> DataMatrix {
-        DataMatrix::from_rows(4, 4, (0..16).map(|x| x as f64).collect())
+        DataMatrix::builder(4, 4).from_rows((0..16).map(|x| x as f64).collect())
     }
 
     #[test]

@@ -153,16 +153,12 @@ mod tests {
     #[test]
     fn clustering_distribution_uses_real_residues() {
         // One perfect cluster, one noisy cluster.
-        let m = DataMatrix::from_rows(
-            4,
-            4,
-            vec![
-                1.0, 2.0, 90.0, 7.0, //
-                2.0, 3.0, 4.0, 80.0, //
-                10.0, 11.0, 50.0, 2.0, //
-                0.0, 33.0, 1.0, 9.0,
-            ],
-        );
+        let m = DataMatrix::builder(4, 4).from_rows(vec![
+            1.0, 2.0, 90.0, 7.0, //
+            2.0, 3.0, 4.0, 80.0, //
+            10.0, 11.0, 50.0, 2.0, //
+            0.0, 33.0, 1.0, 9.0,
+        ]);
         let perfect = DeltaCluster::from_indices(4, 4, [0, 1, 2], [0, 1]);
         let noisy = DeltaCluster::from_indices(4, 4, 0..4, 0..4);
         let d = clustering_distribution(&m, &[perfect, noisy], 2);

@@ -26,7 +26,7 @@ fn scratch_dir(name: &str) -> PathBuf {
 
 fn sample_model() -> ServeModel {
     let mut rng = StdRng::seed_from_u64(11);
-    let mut m = DataMatrix::new(8, 6);
+    let mut m = DataMatrix::builder(8, 6).build();
     for r in 0..8 {
         for c in 0..6 {
             if rng.gen_bool(0.85) {
@@ -43,7 +43,7 @@ fn sample_model() -> ServeModel {
 
 fn sample_checkpoint() -> FlocCheckpoint {
     let mut rng = StdRng::seed_from_u64(23);
-    let mut m = DataMatrix::new(15, 8);
+    let mut m = DataMatrix::builder(15, 8).build();
     for r in 0..15 {
         for c in 0..8 {
             if rng.gen_bool(0.9) {
@@ -235,4 +235,160 @@ fn short_writes_through_the_atomic_path_produce_an_intact_artifact() {
     let loaded = artifact::load(&target).unwrap();
     assert_eq!(loaded.k(), model.k());
     assert_eq!(loaded.avg_residue(), model.avg_residue());
+}
+
+// ---- Paged matrix block files --------------------------------------------
+//
+// The out-of-core backend's robustness contract mirrors the artifacts':
+// every way a block directory can rot on disk — flipped bits, truncated
+// frames, missing or unreadable files — surfaces as a typed
+// [`dc_matrix::PagedError`] at open time. Never a panic, and never a
+// silently wrong value: the CRC framing means a corrupt block cannot
+// decode to plausible-but-different numbers.
+
+use dc_matrix::{DataMatrix as PagedMatrix, PagedError, PagedOptions};
+
+/// A small paged matrix spread over several blocks, with a hole pattern.
+fn sample_paged(dir: &std::path::Path) -> PagedMatrix {
+    let mut rng = StdRng::seed_from_u64(47);
+    let data: Vec<Option<f64>> = (0..14 * 5)
+        .map(|_| rng.gen_bool(0.85).then(|| rng.gen_range(-9.0..9.0)))
+        .collect();
+    DataMatrix::builder(14, 5)
+        .paged(dir)
+        .chunk_rows(4)
+        .from_options(data)
+        .unwrap()
+}
+
+#[test]
+fn paged_blocks_detect_any_single_bit_flip() {
+    let dir = scratch_dir("paged-flip");
+    let pages = dir.join("m");
+    let clean_fp = sample_paged(&pages).fingerprint();
+
+    let block = pages.join("chunk-000001.dcb");
+    let clean = std::fs::read(&block).unwrap();
+    for offset in 0..clean.len() {
+        let mut corrupt = clean.clone();
+        corrupt[offset] ^= 1 << (offset % 8);
+        std::fs::write(&block, &corrupt).unwrap();
+        match DataMatrix::open_paged(&pages) {
+            Err(PagedError::Frame { .. } | PagedError::Corrupt { .. }) => {}
+            Err(other) => panic!("flip at byte {offset}: unexpected error {other}"),
+            Ok(_) => panic!("flip at byte {offset} went undetected"),
+        }
+    }
+    // The directory itself was never harmed: restoring the block restores
+    // the matrix bit for bit.
+    std::fs::write(&block, &clean).unwrap();
+    assert_eq!(
+        DataMatrix::open_paged(&pages).unwrap().fingerprint(),
+        clean_fp
+    );
+}
+
+#[test]
+fn paged_meta_detects_any_single_bit_flip() {
+    let dir = scratch_dir("paged-meta-flip");
+    let pages = dir.join("m");
+    sample_paged(&pages);
+
+    let meta = pages.join("matrix.dcpm");
+    let clean = std::fs::read(&meta).unwrap();
+    for offset in 0..clean.len() {
+        let mut corrupt = clean.clone();
+        corrupt[offset] ^= 0x10;
+        std::fs::write(&meta, &corrupt).unwrap();
+        match DataMatrix::open_paged(&pages) {
+            Err(_) => {}
+            Ok(_) => panic!("meta flip at byte {offset} went undetected"),
+        }
+    }
+}
+
+#[test]
+fn paged_blocks_detect_truncation_at_every_frame_offset() {
+    let dir = scratch_dir("paged-trunc");
+    let pages = dir.join("m");
+    sample_paged(&pages);
+
+    let block = pages.join("chunk-000000.dcb");
+    let clean = std::fs::read(&block).unwrap();
+    for keep in 0..clean.len() {
+        std::fs::write(&block, &clean[..keep]).unwrap();
+        match DataMatrix::open_paged(&pages) {
+            Err(PagedError::Frame { .. } | PagedError::Corrupt { .. } | PagedError::Io { .. }) => {}
+            Ok(_) => panic!("truncation to {keep} bytes went undetected"),
+        }
+    }
+    // Truncating the metadata is equally fatal, equally typed.
+    std::fs::write(&block, &clean).unwrap();
+    let meta = pages.join("matrix.dcpm");
+    let meta_clean = std::fs::read(&meta).unwrap();
+    for keep in [0, 3, 8, 17, meta_clean.len() - 5, meta_clean.len() - 1] {
+        std::fs::write(&meta, &meta_clean[..keep]).unwrap();
+        assert!(
+            DataMatrix::open_paged(&pages).is_err(),
+            "meta truncated to {keep} bytes went undetected"
+        );
+    }
+}
+
+#[test]
+fn missing_or_unreadable_paged_files_are_typed_io_errors() {
+    let dir = scratch_dir("paged-io");
+    let pages = dir.join("m");
+    sample_paged(&pages);
+
+    // A deleted block: Io at open (the meta says it must exist).
+    let block = pages.join("chunk-000002.dcb");
+    let saved = std::fs::read(&block).unwrap();
+    std::fs::remove_file(&block).unwrap();
+    assert!(matches!(
+        DataMatrix::open_paged(&pages),
+        Err(PagedError::Io { .. })
+    ));
+
+    // A block replaced by a directory: reads fail with Io, not a panic.
+    std::fs::create_dir(&block).unwrap();
+    assert!(DataMatrix::open_paged(&pages).is_err());
+    std::fs::remove_dir(&block).unwrap();
+    std::fs::write(&block, &saved).unwrap();
+
+    // A missing directory and a missing meta are Io too.
+    assert!(matches!(
+        DataMatrix::open_paged(dir.join("nonexistent")),
+        Err(PagedError::Io { .. })
+    ));
+
+    // Deferred verification trades the open-time scan for lazy loading;
+    // the *open* itself must still type out cleanly on a missing meta.
+    let opts = PagedOptions {
+        verify_on_open: false,
+        ..PagedOptions::default()
+    };
+    assert!(PagedMatrix::open_paged_with(dir.join("nonexistent"), opts).is_err());
+}
+
+#[test]
+fn extra_or_swapped_blocks_are_rejected_not_misread() {
+    let dir = scratch_dir("paged-swap");
+    let pages = dir.join("m");
+    sample_paged(&pages);
+
+    // Swap two block files: each frame's self-declared index disagrees
+    // with its filename/offset, so the open must refuse rather than serve
+    // the wrong rows.
+    let a = pages.join("chunk-000000.dcb");
+    let b = pages.join("chunk-000001.dcb");
+    let bytes_a = std::fs::read(&a).unwrap();
+    let bytes_b = std::fs::read(&b).unwrap();
+    std::fs::write(&a, &bytes_b).unwrap();
+    std::fs::write(&b, &bytes_a).unwrap();
+    match DataMatrix::open_paged(&pages) {
+        Err(PagedError::Corrupt { .. } | PagedError::Frame { .. }) => {}
+        Err(other) => panic!("swapped blocks: unexpected error {other}"),
+        Ok(_) => panic!("swapped blocks went undetected"),
+    }
 }

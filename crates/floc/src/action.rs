@@ -100,15 +100,11 @@ mod tests {
     /// clusters: cluster 1 = rows {0,1} × cols {0,1}, cluster 2 =
     /// rows {1,2} × cols {0,1,2}.
     fn example() -> (DataMatrix, Vec<ClusterState>) {
-        let m = DataMatrix::from_rows(
-            3,
-            4,
-            vec![
-                1.0, 3.0, 1.0, 2.0, //
-                2.0, 5.0, 3.0, 2.0, //
-                4.0, 2.0, 0.0, 4.0,
-            ],
-        );
+        let m = DataMatrix::builder(3, 4).from_rows(vec![
+            1.0, 3.0, 1.0, 2.0, //
+            2.0, 5.0, 3.0, 2.0, //
+            4.0, 2.0, 0.0, 4.0,
+        ]);
         let c1 = ClusterState::new(&m, &DeltaCluster::from_indices(3, 4, [0, 1], [0, 1]));
         let c2 = ClusterState::new(&m, &DeltaCluster::from_indices(3, 4, [1, 2], [0, 1, 2]));
         (m, vec![c1, c2])
@@ -149,7 +145,7 @@ mod tests {
         // §4.1: the best action for a column may still have negative gain;
         // FLOC performs it anyway. Construct the situation: cluster 1 is a
         // perfect 2×2 cluster, so any change degrades it.
-        let m = DataMatrix::from_rows(2, 3, vec![1.0, 2.0, 9.0, 3.0, 4.0, 0.0]);
+        let m = DataMatrix::builder(2, 3).from_rows(vec![1.0, 2.0, 9.0, 3.0, 4.0, 0.0]);
         let st = ClusterState::new(&m, &DeltaCluster::from_indices(2, 3, [0, 1], [0, 1]));
         let mut s = Scratch::default();
         let cur = st.residue(&m, ResidueMean::Arithmetic, &mut s);

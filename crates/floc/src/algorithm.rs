@@ -831,7 +831,7 @@ mod tests {
         seed: u64,
     ) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         let pattern: Vec<f64> = (0..block_cols).map(|_| rng.gen_range(0.0..20.0)).collect();
         for r in 0..rows {
             let bias: f64 = rng.gen_range(0.0..30.0);
@@ -962,7 +962,7 @@ mod tests {
         // A sparse matrix (~40% missing) with alpha = 0.5: the final
         // clusters must not have more violations than their seeds had.
         let mut rng = StdRng::seed_from_u64(99);
-        let mut m = DataMatrix::new(30, 12);
+        let mut m = DataMatrix::builder(30, 12).build();
         for r in 0..30 {
             for c in 0..12 {
                 if rng.gen_bool(0.6) {
@@ -995,7 +995,7 @@ mod tests {
 
     #[test]
     fn empty_matrix_is_an_error() {
-        let m = DataMatrix::new(10, 10);
+        let m = DataMatrix::builder(10, 10).build();
         let err = floc(&m, &FlocConfig::builder(1).build()).unwrap_err();
         assert!(matches!(err, FlocError::EmptyMatrix));
         assert!(err.to_string().contains("no specified entries"));
@@ -1003,7 +1003,7 @@ mod tests {
 
     #[test]
     fn seeding_failure_propagates() {
-        let m = DataMatrix::from_rows(1, 1, vec![1.0]);
+        let m = DataMatrix::builder(1, 1).from_rows(vec![1.0]);
         let err = floc(&m, &FlocConfig::builder(1).build()).unwrap_err();
         assert!(matches!(err, FlocError::Seed(_)));
     }

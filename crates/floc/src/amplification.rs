@@ -91,7 +91,7 @@ mod tests {
     fn multiplicative() -> DataMatrix {
         let rows = [1.0, 2.0, 10.0];
         let cols = [3.0, 5.0, 7.0, 11.0];
-        let mut m = DataMatrix::new(3, 4);
+        let mut m = DataMatrix::builder(3, 4).build();
         for (r, &rf) in rows.iter().enumerate() {
             for (c, &cf) in cols.iter().enumerate() {
                 m.set(r, c, rf * cf);
@@ -119,7 +119,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index drives both the block test and the factor lookup
     fn floc_amplification_finds_the_multiplicative_block() {
         // Embed a multiplicative 4×4 block in positive noise.
-        let mut m = DataMatrix::new(12, 8);
+        let mut m = DataMatrix::builder(12, 8).build();
         let rf = [2.0, 3.0, 4.5, 6.0];
         let cf = [1.5, 2.5, 5.0, 8.0];
         let mut seedv = 1u64;

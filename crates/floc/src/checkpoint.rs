@@ -281,7 +281,7 @@ mod tests {
     use crate::history::StopReason;
 
     fn sample_matrix() -> DataMatrix {
-        DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect())
+        DataMatrix::builder(3, 3).from_rows((0..9).map(|x| x as f64).collect())
     }
 
     fn sample_checkpoint(matrix: &DataMatrix) -> FlocCheckpoint {
@@ -323,7 +323,7 @@ mod tests {
                 ..
             }
         ));
-        let small = DataMatrix::from_rows(2, 3, (0..6).map(|x| x as f64).collect());
+        let small = DataMatrix::builder(2, 3).from_rows((0..6).map(|x| x as f64).collect());
         let err = ckpt.validate(&small, &ckpt.config).unwrap_err();
         assert!(matches!(
             err,
@@ -413,7 +413,7 @@ mod tests {
     fn rebase_rejects_a_different_shape() {
         let m = sample_matrix();
         let ckpt = sample_checkpoint(&m);
-        let other = DataMatrix::new(4, 3);
+        let other = DataMatrix::builder(4, 3).build();
         let _ = ckpt.rebase(&other);
     }
 

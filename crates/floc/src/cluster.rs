@@ -120,47 +120,39 @@ mod tests {
 
     /// The 3×4 example matrices of Figure 3 in the paper.
     fn fig3_not_a_cluster() -> DataMatrix {
-        DataMatrix::from_options(
-            3,
-            4,
-            vec![
-                Some(1.0),
-                None,
-                Some(3.0),
-                None,
-                None,
-                Some(4.0),
-                None,
-                Some(5.0),
-                Some(3.0),
-                None,
-                Some(4.0),
-                None,
-            ],
-        )
+        DataMatrix::builder(3, 4).from_options(vec![
+            Some(1.0),
+            None,
+            Some(3.0),
+            None,
+            None,
+            Some(4.0),
+            None,
+            Some(5.0),
+            Some(3.0),
+            None,
+            Some(4.0),
+            None,
+        ])
     }
 
     fn fig3_a_cluster() -> DataMatrix {
         // Figure 3(b): every row has 3 of 4 attributes specified and every
         // column is specified for at least 2 of 3 objects.
-        DataMatrix::from_options(
-            3,
-            4,
-            vec![
-                Some(1.0),
-                None,
-                Some(3.0),
-                Some(3.0),
-                Some(3.0),
-                Some(4.0),
-                None,
-                Some(5.0),
-                None,
-                Some(3.0),
-                Some(4.0),
-                Some(4.0),
-            ],
-        )
+        DataMatrix::builder(3, 4).from_options(vec![
+            Some(1.0),
+            None,
+            Some(3.0),
+            Some(3.0),
+            Some(3.0),
+            Some(4.0),
+            None,
+            Some(5.0),
+            None,
+            Some(3.0),
+            Some(4.0),
+            Some(4.0),
+        ])
     }
 
     #[test]
@@ -190,7 +182,7 @@ mod tests {
 
     #[test]
     fn occupancy_of_empty_dimensions_is_one() {
-        let m = DataMatrix::new(3, 4);
+        let m = DataMatrix::builder(3, 4).build();
         let empty = DeltaCluster::empty(3, 4);
         assert_eq!(empty.row_occupancy(&m, 0), 1.0);
         assert_eq!(empty.col_occupancy(&m, 0), 1.0);
@@ -199,7 +191,7 @@ mod tests {
 
     #[test]
     fn fully_specified_cluster_always_satisfies_alpha_one() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let c = DeltaCluster::from_indices(2, 2, 0..2, 0..2);
         assert!(c.satisfies_occupancy(&m, 1.0));
         assert_eq!(c.volume(&m), 4);

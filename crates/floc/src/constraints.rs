@@ -198,7 +198,7 @@ mod tests {
     use crate::cluster::DeltaCluster;
 
     fn matrix() -> DataMatrix {
-        DataMatrix::from_rows(4, 4, (0..16).map(|i| i as f64).collect())
+        DataMatrix::builder(4, 4).from_rows((0..16).map(|i| i as f64).collect())
     }
 
     fn states(m: &DataMatrix, specs: &[(&[usize], &[usize])]) -> Vec<ClusterState> {

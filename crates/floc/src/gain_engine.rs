@@ -684,7 +684,7 @@ mod tests {
 
     fn random_matrix(rows: usize, cols: usize, density: f64, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         for r in 0..rows {
             for c in 0..cols {
                 if rng.gen_bool(density) {
@@ -874,8 +874,8 @@ mod tests {
 
     #[test]
     fn kind_resolution() {
-        let small = DataMatrix::new(10, 10);
-        let large = DataMatrix::new(200, 50);
+        let small = DataMatrix::builder(10, 10).build();
+        let large = DataMatrix::builder(200, 50).build();
         assert!(!GainEngineKind::Auto.use_incremental(&small));
         assert!(GainEngineKind::Auto.use_incremental(&large));
         assert!(!GainEngineKind::Exact.use_incremental(&large));

@@ -137,7 +137,7 @@ mod tests {
 
     #[test]
     fn volumes_and_aggregate() {
-        let m = DataMatrix::from_rows(3, 3, (0..9).map(|x| x as f64).collect());
+        let m = DataMatrix::builder(3, 3).from_rows((0..9).map(|x| x as f64).collect());
         let r = result_with(
             vec![
                 DeltaCluster::from_indices(3, 3, [0, 1], [0, 1]),
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn summary_mentions_each_cluster() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let r = result_with(
             vec![DeltaCluster::from_indices(2, 2, [0, 1], [0, 1])],
             vec![0.25],

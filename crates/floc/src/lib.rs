@@ -21,7 +21,7 @@
 //! use dc_matrix::DataMatrix;
 //!
 //! // Two groups of viewers with coherent (shifted) ratings on two genres.
-//! let m = DataMatrix::from_rows(4, 6, vec![
+//! let m = DataMatrix::builder(4, 6).from_rows(vec![
 //!     8.0, 7.0, 9.0, 2.0, 2.0, 3.0,
 //!     9.0, 8.0, 10.0, 3.0, 3.0, 4.0,
 //!     2.0, 1.0, 3.0, 8.0, 8.0, 9.0,
@@ -84,7 +84,6 @@ pub use history::{FlocResult, IterationTrace, StopReason};
 pub use ordering::Ordering;
 pub use parallel::floc_parallel;
 #[allow(deprecated)]
-pub use parallel::floc_restarts;
 pub use prediction::PredictError;
 pub use residue::{cluster_residue, ResidueMean};
 pub use seeding::{SeedError, Seeding};

@@ -9,10 +9,7 @@
 //! remains reproducible.
 //!
 //! The restart count and worker-thread budget both come from the config's
-//! [`Parallelism`] plan; [`floc_parallel`] is the entry point. The old
-//! `floc_restarts(matrix, config, restarts, workers)` signature, which
-//! carried the worker count as an ad-hoc argument, survives as a
-//! deprecated shim.
+//! [`Parallelism`] plan; [`floc_parallel`] is the entry point.
 
 use crate::algorithm::{floc, FlocError};
 use crate::config::{FlocConfig, Parallelism};
@@ -155,26 +152,6 @@ pub fn floc_parallel(
     }
 }
 
-/// Runs `restarts` independent FLOC runs across up to `workers` threads.
-///
-/// # Errors
-/// Returns the first error (by seed order) if *every* restart fails.
-#[deprecated(
-    since = "0.1.0",
-    note = "set restarts/threads via FlocConfigBuilder::parallelism and call floc_parallel"
-)]
-pub fn floc_restarts(
-    matrix: &DataMatrix,
-    config: &FlocConfig,
-    restarts: usize,
-    workers: usize,
-) -> Result<(FlocResult, u64), FlocError> {
-    assert!(restarts > 0, "at least one restart required");
-    let mut cfg = config.clone();
-    cfg.parallelism = Parallelism::new(workers, restarts);
-    floc_parallel(matrix, &cfg, &Obs::null())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,7 +162,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index drives both the block test and the pattern lookup
     fn noisy_matrix(seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(25, 12);
+        let mut m = DataMatrix::builder(25, 12).build();
         // A planted coherent block in rows 0..8, cols 0..5.
         let pattern: Vec<f64> = (0..5).map(|_| rng.gen_range(0.0..10.0)).collect();
         for r in 0..25 {
@@ -250,7 +227,7 @@ mod tests {
 
     #[test]
     fn all_failures_surface_an_error() {
-        let m = DataMatrix::new(10, 10); // empty: every restart fails
+        let m = DataMatrix::builder(10, 10).build(); // empty: every restart fails
         let config = FlocConfig::builder(1).restarts(3).threads(2).build();
         let err = floc_parallel(&m, &config, &Obs::null()).unwrap_err();
         assert!(matches!(err, FlocError::EmptyMatrix));
@@ -283,25 +260,5 @@ mod tests {
         let (plain, plain_winner) = floc_parallel(&m, &config, &Obs::null()).unwrap();
         assert_eq!(plain_winner, winner);
         assert_eq!(plain.clusters, best.clusters);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shim_matches_floc_parallel() {
-        let m = noisy_matrix(4);
-        let config = FlocConfig::builder(1).seed(3).build();
-        let (a, seed_a) = floc_restarts(&m, &config, 4, 2).unwrap();
-        let (b, seed_b) = floc_parallel(&m, &plan(&config, 2, 4), &Obs::null()).unwrap();
-        assert_eq!(seed_a, seed_b);
-        assert_eq!(a.clusters, b.clusters);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least one restart")]
-    fn zero_restarts_panics() {
-        let m = noisy_matrix(4);
-        let config = FlocConfig::builder(1).build();
-        let _ = floc_restarts(&m, &config, 0, 1);
     }
 }

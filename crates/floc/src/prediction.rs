@@ -145,18 +145,16 @@ mod tests {
     /// The intro's movie example: viewers rank movies (1,2,3,5), (2,3,4,6),
     /// (3,4,5,7) — perfectly coherent with offsets 1 and 2.
     fn viewers() -> DataMatrix {
-        DataMatrix::from_rows(
-            3,
-            4,
-            vec![1.0, 2.0, 3.0, 5.0, 2.0, 3.0, 4.0, 6.0, 3.0, 4.0, 5.0, 7.0],
-        )
+        DataMatrix::builder(3, 4).from_rows(vec![
+            1.0, 2.0, 3.0, 5.0, 2.0, 3.0, 4.0, 6.0, 3.0, 4.0, 5.0, 7.0,
+        ])
     }
 
     #[test]
     fn intro_example_predicts_third_viewer() {
         // Viewers 1 and 2 rank a new movie 2 and 3; the model predicts the
         // third viewer ranks it 4 (the paper's §1 worked example).
-        let mut m = DataMatrix::new(3, 5);
+        let mut m = DataMatrix::builder(3, 5).build();
         for (r, ratings) in [
             [1.0, 2.0, 3.0, 5.0].iter().enumerate().collect::<Vec<_>>(),
             [2.0, 3.0, 4.0, 6.0].iter().enumerate().collect(),
@@ -223,7 +221,7 @@ mod tests {
 
     #[test]
     fn empty_cluster_prediction_is_none() {
-        let mut m = DataMatrix::new(2, 2);
+        let mut m = DataMatrix::builder(2, 2).build();
         m.set(0, 0, 1.0);
         let c = DeltaCluster::from_indices(2, 2, [1], [1]); // covers only missing cells
         assert_eq!(predict_from_cluster(&m, &c, 1, 1), None);
@@ -231,7 +229,7 @@ mod tests {
 
     #[test]
     fn errors_distinguish_coverage_from_degeneracy() {
-        let mut m = DataMatrix::new(3, 3);
+        let mut m = DataMatrix::builder(3, 3).build();
         m.set(0, 0, 1.0);
         let degenerate = DeltaCluster::from_indices(3, 3, [1, 2], [1, 2]);
         // Cell outside the cluster: a coverage miss, not a model defect.
@@ -248,7 +246,7 @@ mod tests {
 
     #[test]
     fn multi_cluster_errors_prefer_degenerate_over_not_covered() {
-        let mut m = DataMatrix::new(3, 3);
+        let mut m = DataMatrix::builder(3, 3).build();
         m.set(0, 0, 1.0);
         let unrelated = DeltaCluster::from_indices(3, 3, [0], [0]);
         let degenerate = DeltaCluster::from_indices(3, 3, [1, 2], [1, 2]);

@@ -171,15 +171,11 @@ mod tests {
     /// Figure 4(b): the perfect 3×3 δ-cluster drawn from the yeast excerpt.
     /// Rows: VPS8, EFB1, CYS3; columns: CH1I, CH1D, CH2B.
     pub(crate) fn figure4b() -> DataMatrix {
-        DataMatrix::from_rows(
-            3,
-            3,
-            vec![
-                401.0, 120.0, 298.0, // VPS8
-                318.0, 37.0, 215.0, // EFB1
-                322.0, 41.0, 219.0, // CYS3
-            ],
-        )
+        DataMatrix::builder(3, 3).from_rows(vec![
+            401.0, 120.0, 298.0, // VPS8
+            318.0, 37.0, 215.0, // EFB1
+            322.0, 41.0, 219.0, // CYS3
+        ])
     }
 
     #[test]

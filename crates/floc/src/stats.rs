@@ -553,41 +553,35 @@ mod tests {
     use crate::residue::{cluster_residue, ResidueMean};
 
     fn figure4b() -> DataMatrix {
-        DataMatrix::from_rows(
-            3,
-            3,
-            vec![401.0, 120.0, 298.0, 318.0, 37.0, 215.0, 322.0, 41.0, 219.0],
-        )
+        DataMatrix::builder(3, 3).from_rows(vec![
+            401.0, 120.0, 298.0, 318.0, 37.0, 215.0, 322.0, 41.0, 219.0,
+        ])
     }
 
     /// A 4×5 matrix with some missing entries for cross-checks.
     fn mixed() -> DataMatrix {
-        DataMatrix::from_options(
-            4,
-            5,
-            vec![
-                Some(1.0),
-                Some(2.0),
-                None,
-                Some(4.0),
-                Some(5.0),
-                Some(2.0),
-                None,
-                Some(4.0),
-                Some(5.0),
-                Some(6.0),
-                Some(9.0),
-                Some(3.0),
-                Some(7.0),
-                None,
-                Some(1.0),
-                None,
-                Some(8.0),
-                Some(2.0),
-                Some(6.0),
-                Some(4.0),
-            ],
-        )
+        DataMatrix::builder(4, 5).from_options(vec![
+            Some(1.0),
+            Some(2.0),
+            None,
+            Some(4.0),
+            Some(5.0),
+            Some(2.0),
+            None,
+            Some(4.0),
+            Some(5.0),
+            Some(6.0),
+            Some(9.0),
+            Some(3.0),
+            Some(7.0),
+            None,
+            Some(1.0),
+            None,
+            Some(8.0),
+            Some(2.0),
+            Some(6.0),
+            Some(4.0),
+        ])
     }
 
     fn assert_matches_reference(m: &DataMatrix, st: &ClusterState) {
@@ -708,24 +702,20 @@ mod tests {
     #[test]
     fn occupancy_violation_counts() {
         // Figure 3(a): not a δ-cluster at α = 0.6.
-        let m = DataMatrix::from_options(
-            3,
-            4,
-            vec![
-                Some(1.0),
-                None,
-                Some(3.0),
-                None,
-                None,
-                Some(4.0),
-                None,
-                Some(5.0),
-                Some(3.0),
-                None,
-                Some(4.0),
-                None,
-            ],
-        );
+        let m = DataMatrix::builder(3, 4).from_options(vec![
+            Some(1.0),
+            None,
+            Some(3.0),
+            None,
+            None,
+            Some(4.0),
+            None,
+            Some(5.0),
+            Some(3.0),
+            None,
+            Some(4.0),
+            None,
+        ]);
         let st = ClusterState::new(&m, &DeltaCluster::from_indices(3, 4, 0..3, 0..4));
         assert!(st.occupancy_violations(0.6) > 0);
         assert_eq!(st.occupancy_violations(0.0), 0);

@@ -11,7 +11,7 @@ fn arb_matrix() -> impl Strategy<Value = DataMatrix> {
             proptest::option::weighted(0.85, -100.0..100.0f64),
             rows * cols,
         )
-        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+        .prop_map(move |data| DataMatrix::builder(rows, cols).from_options(data))
     })
 }
 
@@ -87,7 +87,7 @@ proptest! {
     ) {
         let rows = row_biases.len();
         let cols = col_effects.len();
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         for (r, rb) in row_biases.iter().enumerate() {
             for (c, ce) in col_effects.iter().enumerate() {
                 m.set(r, c, rb + ce);
@@ -197,7 +197,7 @@ fn arb_mining_matrix() -> impl Strategy<Value = DataMatrix> {
             proptest::option::weighted(0.92, -50.0..50.0f64),
             rows * cols,
         )
-        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+        .prop_map(move |data| DataMatrix::builder(rows, cols).from_options(data))
     })
 }
 
@@ -535,6 +535,95 @@ proptest! {
             prop_assert_eq!(a.avg_residue.to_bits(), b.avg_residue.to_bits());
             prop_assert_eq!(a.iterations, b.iterations);
             prop_assert_eq!(&a.trace, &b.trace);
+        }
+    }
+}
+
+// ---- Storage backends ----------------------------------------------------
+//
+// The out-of-core contract: a paged matrix mines BIT-identically to its
+// in-memory twin for any block geometry — every chunk size, every cache
+// cap, both gain engines, and through checkpoint/resume. Residue folds
+// carry the running accumulator into each chunk, so float addition order
+// never depends on where block boundaries fall.
+
+/// Writes `m` into a fresh paged directory with the given geometry and
+/// reopens nothing — the returned matrix reads through a cache bounded at
+/// `cache_blocks` resident blocks.
+fn paged_twin_with(
+    m: &DataMatrix,
+    tag: &str,
+    chunk_rows: usize,
+    cache_blocks: Option<usize>,
+) -> DataMatrix {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-floc-prop-{tag}-{}-c{chunk_rows}-b{}",
+        std::process::id(),
+        cache_blocks.map_or(0, |c| c)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data: Vec<Option<f64>> = (0..m.rows() * m.cols())
+        .map(|cell| m.get(cell / m.cols(), cell % m.cols()))
+        .collect();
+    DataMatrix::builder(m.rows(), m.cols())
+        .paged(dir)
+        .chunk_rows(chunk_rows)
+        .cache_blocks(cache_blocks)
+        .from_options(data)
+        .unwrap()
+}
+
+proptest! {
+    /// The acceptance sweep: chunk sizes {1, 7, 64} × cache caps
+    /// {1, 4, unbounded} × both gain engines, with a mid-run
+    /// checkpoint/resume on the paged matrix thrown in.
+    #[test]
+    fn paged_mining_is_bit_identical_for_every_geometry(
+        m in arb_mining_matrix(),
+        seed in 0u64..1_000_000,
+    ) {
+        for engine in [GainEngineKind::Exact, GainEngineKind::Incremental] {
+            let config = FlocConfig::builder(2)
+                .alpha(0.5)
+                .seed(seed)
+                .gain_engine(engine)
+                .build();
+            let mut snapshots: Vec<FlocCheckpoint> = Vec::new();
+            let mut obs = |c: &FlocCheckpoint| snapshots.push(c.clone());
+            let full = floc_observed(&m, &config, Some(&mut obs)).unwrap();
+
+            for chunk_rows in [1usize, 7, 64] {
+                for cache_blocks in [Some(1), Some(4), None] {
+                    let tag = format!("{engine:?}");
+                    let paged = paged_twin_with(&m, &tag, chunk_rows, cache_blocks);
+                    prop_assert_eq!(paged.fingerprint(), m.fingerprint());
+
+                    let run = floc_observed(&paged, &config, None).unwrap();
+                    prop_assert_eq!(
+                        &run.clusters, &full.clusters,
+                        "chunk={} cache={:?} engine={:?}", chunk_rows, cache_blocks, engine
+                    );
+                    prop_assert_eq!(f64_bits(&run.residues), f64_bits(&full.residues));
+                    prop_assert_eq!(run.avg_residue.to_bits(), full.avg_residue.to_bits());
+                    prop_assert_eq!(run.iterations, full.iterations);
+                    prop_assert_eq!(&run.trace, &full.trace);
+
+                    // Resume a mid-run snapshot (taken on the MEMORY run)
+                    // against the PAGED matrix: the trajectory must splice
+                    // seamlessly — checkpoints are backend-agnostic.
+                    let ckpt = &snapshots[snapshots.len() / 2];
+                    let resumed = floc_resume(&paged, ckpt, &config, None).unwrap();
+                    prop_assert_eq!(&resumed.clusters, &full.clusters);
+                    prop_assert_eq!(f64_bits(&resumed.residues), f64_bits(&full.residues));
+                    prop_assert_eq!(&resumed.trace, &full.trace);
+
+                    if let Some(dir) = paged.paged_dir() {
+                        let dir = dir.to_path_buf();
+                        drop(paged);
+                        let _ = std::fs::remove_dir_all(dir);
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,128 @@
+//! Crash-safe file writes: write-temp → fsync → rename.
+//!
+//! Every artifact this workspace persists (`.dcm` models, `.dck`
+//! checkpoints, paged matrix blocks, experiment JSON) goes through
+//! [`atomic_write`], so a crash, kill, or injected IO error mid-write can
+//! never corrupt or truncate a previously valid file at the destination
+//! path: the destination is only ever touched by `rename(2)`, which
+//! replaces it atomically with fully synced content.
+//!
+//! This module lives in `dc-matrix` so the paged storage backend
+//! ([`crate::storage`]) can use it without depending on `dc-serve`;
+//! `dc-serve` re-exports it unchanged.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary sibling `atomic_write` stages into before renaming:
+/// `.<name>.tmp-<pid>` in the destination's directory (same filesystem, so
+/// the rename cannot degrade to a copy). Exposed so crash-recovery code and
+/// fault-injection tests can find or plant staged files.
+pub fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    path.with_file_name(format!(".{name}.tmp-{}", std::process::id()))
+}
+
+/// Atomically replaces `path` with `bytes`.
+///
+/// # Errors
+/// Any IO error from the staging write, fsync, or rename; on error the
+/// destination is untouched and the staging file is removed.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    atomic_write_with(path.as_ref(), |w| w.write_all(bytes))
+}
+
+/// Like [`atomic_write`], but the caller streams the content into the
+/// staging file through `fill`. Used by fault-injection tests to wrap the
+/// staging writer in a fault plan; the guarantee under test is that no
+/// failure inside `fill` ever damages an existing file at `path`.
+///
+/// # Errors
+/// Propagates errors from `fill` and from the fsync/rename steps; on error
+/// the destination is untouched and the staging file is removed.
+pub fn atomic_write_with<F>(path: &Path, fill: F) -> io::Result<()>
+where
+    F: FnOnce(&mut dyn Write) -> io::Result<()>,
+{
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        fill(&mut file)?;
+        // Data must be durable before the rename publishes it; otherwise a
+        // crash could leave the new name pointing at unwritten blocks.
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Persist the rename itself. Best-effort: some filesystems refuse
+    // directory fsync, and the content rename already succeeded.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dc-matrix-atomic-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_intact_and_leave_no_staging_file() {
+        let dir = scratch_dir("basic");
+        let target = dir.join("out.bin");
+        atomic_write(&target, b"first").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first");
+        atomic_write(&target, b"second, longer content").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second, longer content");
+        assert!(!temp_sibling(&target).exists());
+    }
+
+    #[test]
+    fn failed_fill_preserves_the_existing_file() {
+        let dir = scratch_dir("fail");
+        let target = dir.join("out.bin");
+        atomic_write(&target, b"valuable").unwrap();
+        let err = atomic_write_with(&target, |w| {
+            w.write_all(b"partial garbage")?;
+            Err(io::Error::other("injected"))
+        })
+        .unwrap_err();
+        assert_eq!(err.to_string(), "injected");
+        assert_eq!(std::fs::read(&target).unwrap(), b"valuable");
+        assert!(!temp_sibling(&target).exists(), "staging file cleaned up");
+    }
+
+    #[test]
+    fn failed_fill_on_a_fresh_path_creates_nothing() {
+        let dir = scratch_dir("fresh");
+        let target = dir.join("never.bin");
+        let _ = atomic_write_with(&target, |_| Err(io::Error::other("injected"))).unwrap_err();
+        assert!(!target.exists());
+        assert!(!temp_sibling(&target).exists());
+    }
+
+    #[test]
+    fn temp_sibling_stays_in_the_same_directory() {
+        let t = temp_sibling(Path::new("/a/b/model.dcm"));
+        assert_eq!(t.parent(), Some(Path::new("/a/b")));
+        let name = t.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with(".model.dcm.tmp-"));
+    }
+}

@@ -212,6 +212,51 @@ impl BitSet {
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
     }
+
+    /// Reconstructs a set from its raw backing words (the inverse of
+    /// [`Self::words`]); used when decoding word-packed masks from disk.
+    ///
+    /// # Errors
+    /// Returns a description of the defect if the word count does not match
+    /// the capacity or a bit beyond `capacity` is set — decoders turn this
+    /// into their own typed corruption error.
+    pub fn from_raw_parts(capacity: usize, words: Vec<u64>) -> Result<Self, String> {
+        if words.len() != capacity.div_ceil(WORD_BITS) {
+            return Err(format!(
+                "bitset word count {} does not match capacity {capacity}",
+                words.len()
+            ));
+        }
+        let tail = capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(&last) = words.last() {
+                if last & !((1u64 << tail) - 1) != 0 {
+                    return Err(format!("bitset has bits set beyond capacity {capacity}"));
+                }
+            }
+        }
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(BitSet {
+            words,
+            capacity,
+            len,
+        })
+    }
+
+    /// Widens the universe to `new_capacity`, keeping every present index.
+    /// Used by row appends, which extend a matrix's specification mask.
+    ///
+    /// # Panics
+    /// Panics if `new_capacity < capacity` — a bitset never shrinks.
+    pub fn grow(&mut self, new_capacity: usize) {
+        assert!(
+            new_capacity >= self.capacity,
+            "cannot shrink bitset from {} to {new_capacity}",
+            self.capacity
+        );
+        self.words.resize(new_capacity.div_ceil(WORD_BITS), 0);
+        self.capacity = new_capacity;
+    }
 }
 
 impl fmt::Debug for BitSet {

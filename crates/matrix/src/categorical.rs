@@ -128,7 +128,7 @@ pub fn hybrid_matrix(
         encoded.push(encode_ordinal(col, order)?);
     }
     let cols = numeric.len() + encoded.len();
-    let mut m = DataMatrix::new(rows, cols);
+    let mut m = DataMatrix::builder(rows, cols).build();
     for (c, col) in numeric.iter().chain(encoded.iter()).enumerate() {
         for (r, v) in col.iter().enumerate() {
             if let Some(x) = v {

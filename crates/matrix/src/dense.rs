@@ -11,10 +11,14 @@
 
 use crate::bitset::BitSet;
 use crate::kernels;
+use crate::storage::{
+    extract_bit_range, BackendKind, Chunk, IoStats, PagedError, PagedOptions, PagedStore, Storage,
+};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::fmt;
-use std::sync::OnceLock;
+use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 const WORD_BITS: usize = 64;
 
@@ -37,13 +41,13 @@ pub enum ValueStorage {
 
 /// The backing value array in either precision. Unset cells hold `0.0`.
 #[derive(Debug, Clone, PartialEq)]
-enum Values {
+pub(crate) enum Values {
     F64(Vec<f64>),
     F32(Vec<f32>),
 }
 
 impl Values {
-    fn zeroed(storage: ValueStorage, len: usize) -> Values {
+    pub(crate) fn zeroed(storage: ValueStorage, len: usize) -> Values {
         match storage {
             ValueStorage::F64 => Values::F64(vec![0.0; len]),
             ValueStorage::F32 => Values::F32(vec![0.0; len]),
@@ -51,7 +55,7 @@ impl Values {
     }
 
     #[inline]
-    fn storage(&self) -> ValueStorage {
+    pub(crate) fn storage(&self) -> ValueStorage {
         match self {
             Values::F64(_) => ValueStorage::F64,
             Values::F32(_) => ValueStorage::F32,
@@ -59,7 +63,7 @@ impl Values {
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         match self {
             Values::F64(v) => v.len(),
             Values::F32(v) => v.len(),
@@ -67,7 +71,7 @@ impl Values {
     }
 
     #[inline]
-    fn get(&self, idx: usize) -> f64 {
+    pub(crate) fn get(&self, idx: usize) -> f64 {
         match self {
             Values::F64(v) => v[idx],
             Values::F32(v) => v[idx] as f64,
@@ -77,18 +81,152 @@ impl Values {
     /// Stores `value`, narrowing for `F32` storage. The caller has already
     /// validated that the narrowed value is finite.
     #[inline]
-    fn set(&mut self, idx: usize, value: f64) {
+    pub(crate) fn set(&mut self, idx: usize, value: f64) {
         match self {
             Values::F64(v) => v[idx] = value,
             Values::F32(v) => v[idx] = value as f32,
         }
     }
 
+    /// Appends one value, narrowing for `F32` storage.
     #[inline]
-    fn slice(&self, start: usize, end: usize) -> ValuesSlice<'_> {
+    pub(crate) fn push(&mut self, value: f64) {
+        match self {
+            Values::F64(v) => v.push(value),
+            Values::F32(v) => v.push(value as f32),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn slice(&self, start: usize, end: usize) -> ValuesSlice<'_> {
         match self {
             Values::F64(v) => ValuesSlice::F64(&v[start..end]),
             Values::F32(v) => ValuesSlice::F32(&v[start..end]),
+        }
+    }
+}
+
+/// The value backend of a [`DataMatrix`] — resident memory or file-backed
+/// pages. See [`crate::storage`] for the backend model.
+///
+/// Serde note: a paged matrix *serializes by materializing* its values into
+/// the in-memory encoding (and deserializes as a memory matrix) — the wire
+/// format is backend-agnostic, so every pre-existing artifact shape is
+/// unchanged. `.dcm` v3 artifacts avoid the materialization with an explicit
+/// paged-reference section at a higher layer.
+#[derive(Debug)]
+pub(crate) enum Store {
+    Memory(Values),
+    Paged(PagedStore),
+}
+
+impl Store {
+    #[inline]
+    fn storage(&self) -> ValueStorage {
+        match self {
+            Store::Memory(v) => v.storage(),
+            Store::Paged(p) => p.precision(),
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        match self {
+            Store::Memory(v) => v.len(),
+            Store::Paged(p) => p.rows() * p.cols(),
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> f64 {
+        match self {
+            Store::Memory(v) => v.get(idx),
+            Store::Paged(p) => p.get(idx),
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, idx: usize, value: f64) {
+        match self {
+            Store::Memory(v) => v.set(idx, value),
+            Store::Paged(p) => p.set(idx, value),
+        }
+    }
+}
+
+// Cloning a memory store copies the values; cloning a paged store clones the
+// *handle* — both clones read (and write) the same directory and share the
+// same block cache. A deep paged copy would mean duplicating the on-disk
+// files, which is a decision for the caller, not for `Clone`.
+impl Clone for Store {
+    fn clone(&self) -> Self {
+        match self {
+            Store::Memory(v) => Store::Memory(v.clone()),
+            Store::Paged(p) => Store::Paged(p.clone()),
+        }
+    }
+}
+
+// Equality is value equality: precision plus the widened value at every
+// cell. Backends are deliberately *not* part of identity — a paged matrix
+// equals its in-memory twin, which is exactly the property the paged
+// backend promises.
+impl PartialEq for Store {
+    fn eq(&self, other: &Self) -> bool {
+        if let (Store::Memory(a), Store::Memory(b)) = (self, other) {
+            return a == b;
+        }
+        self.storage() == other.storage()
+            && self.len() == other.len()
+            && (0..self.len()).all(|idx| self.get(idx) == other.get(idx))
+    }
+}
+
+impl Serialize for Store {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Store::Memory(v) => v.to_value(),
+            Store::Paged(p) => p.materialize().to_value(),
+        }
+    }
+}
+
+impl Deserialize for Store {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Store::Memory(Values::from_value(value)?))
+    }
+}
+
+impl Storage for Store {
+    fn kind(&self) -> BackendKind {
+        match self {
+            Store::Memory(_) => BackendKind::Memory,
+            Store::Paged(_) => BackendKind::Paged,
+        }
+    }
+
+    fn precision(&self) -> ValueStorage {
+        self.storage()
+    }
+
+    fn block_rows(&self) -> Option<usize> {
+        match self {
+            Store::Memory(_) => None,
+            Store::Paged(p) => Some(p.chunk_rows()),
+        }
+    }
+
+    fn resident_blocks(&self) -> usize {
+        match self {
+            Store::Memory(_) => 1,
+            Store::Paged(p) => p.resident_blocks(),
+        }
+    }
+
+    fn io_stats(&self) -> IoStats {
+        match self {
+            Store::Memory(_) => IoStats::default(),
+            Store::Paged(p) => p.io_stats(),
         }
     }
 }
@@ -223,24 +361,24 @@ struct ColMirror {
 }
 
 impl ColMirror {
-    fn build(m: &DataMatrix) -> ColMirror {
-        let row_stride = m.cols.div_ceil(WORD_BITS);
-        let col_stride = m.rows.div_ceil(WORD_BITS);
+    fn build(rows: usize, cols: usize, values: &Values, mask: &BitSet) -> ColMirror {
+        let row_stride = cols.div_ceil(WORD_BITS);
+        let col_stride = rows.div_ceil(WORD_BITS);
         let mut mirror = ColMirror {
-            values: Values::zeroed(m.values.storage(), m.rows * m.cols),
-            row_words: vec![0; m.rows * row_stride],
+            values: Values::zeroed(values.storage(), rows * cols),
+            row_words: vec![0; rows * row_stride],
             row_stride,
-            col_words: vec![0; m.cols * col_stride],
+            col_words: vec![0; cols * col_stride],
             col_stride,
         };
-        if m.cols == 0 {
+        if cols == 0 {
             return mirror;
         }
-        for idx in m.mask.iter() {
-            let (r, c) = (idx / m.cols, idx % m.cols);
+        for idx in mask.iter() {
+            let (r, c) = (idx / cols, idx % cols);
             // Widening then re-narrowing an f32 is exact, so the mirror
             // holds bit-identical values in either storage.
-            mirror.values.set(c * m.rows + r, m.values.get(idx));
+            mirror.values.set(c * rows + r, values.get(idx));
             mirror.row_words[r * row_stride + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
             mirror.col_words[c * col_stride + r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
         }
@@ -258,14 +396,86 @@ impl ColMirror {
     }
 }
 
-/// Lazily-initialized [`ColMirror`] cache.
+/// The mask-only sibling of [`ColMirror`] used by the paged backend: the
+/// same per-row and per-column word-packed specification masks, but *no*
+/// transposed value array — column values live chunk-local
+/// ([`crate::storage`]), so transposing them globally would defeat the
+/// bounded-memory point of paging. Masks are 1 bit per cell and stay
+/// resident on every backend.
+#[derive(Debug)]
+struct MaskIndex {
+    row_words: Vec<u64>,
+    row_stride: usize,
+    col_words: Vec<u64>,
+    col_stride: usize,
+}
+
+impl MaskIndex {
+    fn build(rows: usize, cols: usize, mask: &BitSet) -> MaskIndex {
+        let row_stride = cols.div_ceil(WORD_BITS);
+        let col_stride = rows.div_ceil(WORD_BITS);
+        let mut index = MaskIndex {
+            row_words: vec![0; rows * row_stride],
+            row_stride,
+            col_words: vec![0; cols * col_stride],
+            col_stride,
+        };
+        if cols == 0 {
+            return index;
+        }
+        for idx in mask.iter() {
+            let (r, c) = (idx / cols, idx % cols);
+            index.row_words[r * row_stride + c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+            index.col_words[c * col_stride + r / WORD_BITS] |= 1u64 << (r % WORD_BITS);
+        }
+        index
+    }
+
+    #[inline]
+    fn row_mask(&self, row: usize) -> &[u64] {
+        &self.row_words[row * self.row_stride..(row + 1) * self.row_stride]
+    }
+
+    #[inline]
+    fn col_mask(&self, col: usize) -> &[u64] {
+        &self.col_words[col * self.col_stride..(col + 1) * self.col_stride]
+    }
+}
+
+/// The per-backend line index cached in [`MirrorCell`]: the memory backend
+/// keeps the full value transpose, the paged backend only the masks.
+#[derive(Debug)]
+enum LineIndex {
+    Full(ColMirror),
+    Mask(MaskIndex),
+}
+
+impl LineIndex {
+    #[inline]
+    fn row_mask(&self, row: usize) -> &[u64] {
+        match self {
+            LineIndex::Full(m) => m.row_mask(row),
+            LineIndex::Mask(m) => m.row_mask(row),
+        }
+    }
+
+    #[inline]
+    fn col_mask(&self, col: usize) -> &[u64] {
+        match self {
+            LineIndex::Full(m) => m.col_mask(col),
+            LineIndex::Mask(m) => m.col_mask(col),
+        }
+    }
+}
+
+/// Lazily-initialized [`LineIndex`] cache.
 ///
 /// The wrapper exists so [`DataMatrix`] can keep its `Clone`/`PartialEq`/
 /// serde derives: the mirror is derived state, so it never participates in
 /// equality, serializes as `null`, and a cloned or deserialized matrix
 /// starts with an empty cache and rebuilds on demand.
 #[derive(Default)]
-struct MirrorCell(OnceLock<ColMirror>);
+struct MirrorCell(OnceLock<LineIndex>);
 
 impl Clone for MirrorCell {
     fn clone(&self) -> Self {
@@ -312,9 +522,10 @@ impl Deserialize for MirrorCell {
 pub struct DataMatrix {
     rows: usize,
     cols: usize,
-    /// Row-major values; positions where `mask` is unset hold 0.0 and must
-    /// never be read as data.
-    values: Values,
+    /// Row-major values behind a pluggable backend; positions where `mask`
+    /// is unset hold 0.0 and must never be read as data. The serde field
+    /// name stays `values` for wire compatibility.
+    values: Store,
     /// Bit `i * cols + j` set ⇔ entry `(i, j)` is specified.
     mask: BitSet,
     /// Cached count of specified entries.
@@ -328,63 +539,280 @@ pub struct DataMatrix {
 }
 
 impl DataMatrix {
+    /// Starts a [`crate::MatrixBuilder`] for an `rows × cols` matrix — the
+    /// construction entry point. Equivalent to
+    /// [`crate::MatrixBuilder::dense`].
+    pub fn builder(rows: usize, cols: usize) -> crate::storage::MatrixBuilder {
+        crate::storage::MatrixBuilder::dense(rows, cols)
+    }
+
     /// Creates a matrix with every entry missing (default `f64` storage).
+    #[deprecated(note = "use DataMatrix::builder(rows, cols).build()")]
     pub fn new(rows: usize, cols: usize) -> Self {
-        DataMatrix::with_capacity_storage(rows, cols, ValueStorage::F64)
+        DataMatrix::memory_empty(rows, cols, ValueStorage::F64)
     }
 
     /// Creates an all-missing matrix with the given [`ValueStorage`].
+    #[deprecated(note = "use DataMatrix::builder(rows, cols).storage(storage).build()")]
     pub fn with_capacity_storage(rows: usize, cols: usize, storage: ValueStorage) -> Self {
-        DataMatrix {
-            rows,
-            cols,
-            values: Values::zeroed(storage, rows * cols),
-            mask: BitSet::new(rows * cols),
-            specified: 0,
-            row_labels: None,
-            col_labels: None,
-            mirror: MirrorCell::default(),
-        }
+        DataMatrix::memory_empty(rows, cols, storage)
     }
 
     /// Creates a fully-specified matrix from row-major data.
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
+    #[deprecated(note = "use DataMatrix::builder(rows, cols).from_rows(data)")]
     pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "data length {} does not match {rows}x{cols}",
-            data.len()
-        );
+        DataMatrix::memory_from_rows(rows, cols, data, ValueStorage::F64)
+    }
+
+    /// Creates a matrix from row-major optional data (`None` = missing).
+    #[deprecated(note = "use DataMatrix::builder(rows, cols).from_options(data)")]
+    pub fn from_options(rows: usize, cols: usize, data: Vec<Option<f64>>) -> Self {
+        DataMatrix::memory_from_options(rows, cols, data, ValueStorage::F64)
+    }
+
+    /// Assembles a matrix from pre-validated parts — the single funnel every
+    /// builder finisher and open path goes through.
+    pub(crate) fn assemble(
+        rows: usize,
+        cols: usize,
+        values: Store,
+        mask: BitSet,
+        specified: usize,
+        row_labels: Option<Vec<String>>,
+        col_labels: Option<Vec<String>>,
+    ) -> Self {
+        debug_assert_eq!(values.len(), rows * cols);
+        debug_assert_eq!(mask.capacity(), rows * cols);
+        debug_assert_eq!(mask.len(), specified);
         DataMatrix {
             rows,
             cols,
-            values: Values::F64(data),
-            mask: BitSet::full(rows * cols),
-            specified: rows * cols,
-            row_labels: None,
-            col_labels: None,
+            values,
+            mask,
+            specified,
+            row_labels,
+            col_labels,
             mirror: MirrorCell::default(),
         }
     }
 
-    /// Creates a matrix from row-major optional data (`None` = missing).
-    pub fn from_options(rows: usize, cols: usize, data: Vec<Option<f64>>) -> Self {
+    pub(crate) fn memory_empty(rows: usize, cols: usize, storage: ValueStorage) -> Self {
+        DataMatrix::assemble(
+            rows,
+            cols,
+            Store::Memory(Values::zeroed(storage, rows * cols)),
+            BitSet::new(rows * cols),
+            0,
+            None,
+            None,
+        )
+    }
+
+    pub(crate) fn memory_from_rows(
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+        storage: ValueStorage,
+    ) -> Self {
         assert_eq!(
             data.len(),
             rows * cols,
             "data length {} does not match {rows}x{cols}",
             data.len()
         );
-        let mut m = DataMatrix::new(rows, cols);
+        let values = match storage {
+            ValueStorage::F64 => Values::F64(data),
+            ValueStorage::F32 => {
+                let mut v = Vec::with_capacity(data.len());
+                for x in data {
+                    assert!(
+                        !x.is_finite() || (x as f32).is_finite(),
+                        "value {x} is not representable in f32 storage"
+                    );
+                    v.push(x as f32);
+                }
+                Values::F32(v)
+            }
+        };
+        DataMatrix::assemble(
+            rows,
+            cols,
+            Store::Memory(values),
+            BitSet::full(rows * cols),
+            rows * cols,
+            None,
+            None,
+        )
+    }
+
+    pub(crate) fn memory_from_options(
+        rows: usize,
+        cols: usize,
+        data: Vec<Option<f64>>,
+        storage: ValueStorage,
+    ) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        let mut m = DataMatrix::memory_empty(rows, cols, storage);
         for (idx, v) in data.into_iter().enumerate() {
             if let Some(x) = v {
                 m.set(idx / cols, idx % cols, x);
             }
         }
         m
+    }
+
+    /// Opens a paged matrix directory (written by
+    /// [`crate::MatrixBuilder::paged`]) with default [`PagedOptions`]:
+    /// unbounded cache, every block verified up front.
+    ///
+    /// # Errors
+    /// [`PagedError`] if the metadata or any block file is missing,
+    /// unreadable, or fails validation.
+    pub fn open_paged(dir: impl AsRef<Path>) -> Result<DataMatrix, PagedError> {
+        DataMatrix::open_paged_with(dir, PagedOptions::default())
+    }
+
+    /// Opens a paged matrix directory with explicit [`PagedOptions`]
+    /// (cache cap, chunk verification policy).
+    ///
+    /// # Errors
+    /// [`PagedError`] on any validation or I/O failure; with
+    /// `verify_on_open` disabled only the metadata is validated.
+    pub fn open_paged_with(
+        dir: impl AsRef<Path>,
+        opts: PagedOptions,
+    ) -> Result<DataMatrix, PagedError> {
+        let opened = crate::storage::open_paged_dir(dir.as_ref(), &opts)?;
+        Ok(DataMatrix::assemble(
+            opened.store.rows(),
+            opened.store.cols(),
+            Store::Paged(opened.store),
+            opened.mask,
+            opened.specified,
+            opened.row_labels,
+            opened.col_labels,
+        ))
+    }
+
+    /// Which backend holds the values.
+    #[inline]
+    pub fn backend(&self) -> BackendKind {
+        self.values.kind()
+    }
+
+    /// The backend's observability surface: kind, precision, block size,
+    /// residency, and cache traffic.
+    pub fn storage_backend(&self) -> &dyn Storage {
+        &self.values
+    }
+
+    /// The paged backend's directory, or `None` for a memory matrix.
+    pub fn paged_dir(&self) -> Option<&Path> {
+        match &self.values {
+            Store::Memory(_) => None,
+            Store::Paged(p) => Some(p.dir()),
+        }
+    }
+
+    /// A fully resident copy of this matrix: reads every page of a paged
+    /// matrix into a memory-backed twin (equal by `==` and by
+    /// [`Self::fingerprint`]). A memory matrix just clones. Costs O(data)
+    /// RAM — the reverse trade of the paged backend.
+    pub fn to_memory(&self) -> DataMatrix {
+        match &self.values {
+            Store::Memory(_) => self.clone(),
+            Store::Paged(p) => DataMatrix::assemble(
+                self.rows,
+                self.cols,
+                Store::Memory(p.materialize()),
+                self.mask.clone(),
+                self.specified,
+                self.row_labels.clone(),
+                self.col_labels.clone(),
+            ),
+        }
+    }
+
+    /// Writes every dirty block and the directory metadata of a paged
+    /// matrix (a no-op for memory matrices). Until `flush`, mutations and
+    /// appends live only in resident blocks — pinned in the cache — and a
+    /// reopen sees the previous on-disk state.
+    ///
+    /// # Errors
+    /// [`PagedError`] if a block or the metadata fails to write; the
+    /// destination files keep their previous consistent content.
+    pub fn flush(&self) -> Result<(), PagedError> {
+        match &self.values {
+            Store::Memory(_) => Ok(()),
+            Store::Paged(p) => p.flush(self),
+        }
+    }
+
+    /// Appends one row (`None` = missing), growing the matrix by one. On the
+    /// paged backend the row lands in the tail block (extending it in place,
+    /// or starting a fresh block when full) and is durable at the next
+    /// [`Self::flush`].
+    ///
+    /// # Errors / Panics
+    /// Currently infallible (`Ok` on both backends) — the `Result` reserves
+    /// the error channel for backends that write through. Panics if
+    /// `row.len() != cols`, if a value is non-finite or unrepresentable in
+    /// the matrix's storage, or if the matrix has row labels (appending
+    /// would desynchronize them).
+    pub fn append_row(&mut self, row: &[Option<f64>]) -> Result<(), PagedError> {
+        assert_eq!(row.len(), self.cols, "row length does not match cols");
+        assert!(
+            self.row_labels.is_none(),
+            "cannot append to a matrix with row labels"
+        );
+        for v in row.iter().flatten() {
+            assert!(v.is_finite(), "matrix values must be finite, got {v}");
+            if self.storage() == ValueStorage::F32 {
+                assert!(
+                    (*v as f32).is_finite(),
+                    "value {v} is not representable in f32 storage"
+                );
+            }
+        }
+        let r = self.rows;
+        self.mask.grow((r + 1) * self.cols);
+        match &mut self.values {
+            Store::Memory(vals) => {
+                for v in row {
+                    vals.push(v.unwrap_or(0.0));
+                }
+            }
+            Store::Paged(store) => store.append_row(row),
+        }
+        for (c, v) in row.iter().enumerate() {
+            if v.is_some() {
+                self.mask.insert(r * self.cols + c);
+                self.specified += 1;
+            }
+        }
+        self.rows += 1;
+        self.mirror.0.take();
+        Ok(())
+    }
+
+    pub(crate) fn mask_clone(&self) -> BitSet {
+        self.mask.clone()
+    }
+
+    pub(crate) fn row_labels_clone(&self) -> Option<Vec<String>> {
+        self.row_labels.clone()
+    }
+
+    pub(crate) fn col_labels_clone(&self) -> Option<Vec<String>> {
+        self.col_labels.clone()
     }
 
     /// The precision of the backing value array.
@@ -395,7 +823,8 @@ impl DataMatrix {
 
     /// A copy of this matrix in `storage` precision. Converting to `F32`
     /// narrows every specified value once (reads widen back to `f64`);
-    /// converting to `F64` widens exactly. Labels ride along.
+    /// converting to `F64` widens exactly. Labels ride along. The result is
+    /// always memory-backed, whatever the source backend.
     ///
     /// # Errors
     /// [`StorageError::NotRepresentable`] if a specified value narrows to a
@@ -414,16 +843,15 @@ impl DataMatrix {
             }
             values.set(idx, v);
         }
-        Ok(DataMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            values,
-            mask: self.mask.clone(),
-            specified: self.specified,
-            row_labels: self.row_labels.clone(),
-            col_labels: self.col_labels.clone(),
-            mirror: MirrorCell::default(),
-        })
+        Ok(DataMatrix::assemble(
+            self.rows,
+            self.cols,
+            Store::Memory(values),
+            self.mask.clone(),
+            self.specified,
+            self.row_labels.clone(),
+            self.col_labels.clone(),
+        ))
     }
 
     /// Number of objects (rows).
@@ -575,11 +1003,10 @@ impl DataMatrix {
     }
 
     /// Number of specified entries in row `row` (word-popcount, builds the
-    /// mirror on first use).
+    /// line index on first use).
     pub fn row_specified_count(&self, row: usize) -> usize {
         assert!(row < self.rows, "row {row} out of bounds");
-        let mirror = self.mirror();
-        mirror
+        self.line_index()
             .row_mask(row)
             .iter()
             .map(|w| w.count_ones() as usize)
@@ -587,11 +1014,10 @@ impl DataMatrix {
     }
 
     /// Number of specified entries in column `col` (word-popcount, builds
-    /// the mirror on first use).
+    /// the line index on first use).
     pub fn col_specified_count(&self, col: usize) -> usize {
         assert!(col < self.cols, "col {col} out of bounds");
-        let mirror = self.mirror();
-        mirror
+        self.line_index()
             .col_mask(col)
             .iter()
             .map(|w| w.count_ones() as usize)
@@ -599,50 +1025,101 @@ impl DataMatrix {
     }
 
     /// Row slice of raw values (includes zeros at missing positions), as
-    /// `f64` — borrowed for `f64` storage, a widening copy for `f32`. Pair
-    /// with [`Self::is_specified`] for masked access; hot loops should
-    /// prefer [`Self::row_ref`], which never copies.
+    /// `f64` — borrowed when the backend can lend the row (memory matrices
+    /// with `f64` storage), an owned copy otherwise. A thin wrapper over
+    /// [`Self::row_ref`]; hot loops should hold the [`RowRef`] itself.
+    #[doc(alias = "row_slice")]
     #[inline]
     pub fn row_values(&self, row: usize) -> Cow<'_, [f64]> {
         self.row_ref(row).to_f64()
     }
 
-    /// Borrowed view of row `row`'s raw values in native storage precision
-    /// (zeros at missing positions). The cheap, storage-agnostic accessor
-    /// for hot loops.
+    /// Backend-aware handle to row `row`'s raw values in native storage
+    /// precision (zeros at missing positions). On the memory backend this
+    /// borrows the row in place; on the paged backend it holds the row's
+    /// resident block, keeping it alive for the handle's lifetime. The
+    /// cheap, storage-agnostic accessor for hot loops.
     #[inline]
-    pub fn row_ref(&self, row: usize) -> ValuesSlice<'_> {
+    pub fn row_ref(&self, row: usize) -> RowRef<'_> {
         assert!(row < self.rows, "row {row} out of bounds");
-        self.values.slice(row * self.cols, (row + 1) * self.cols)
+        match &self.values {
+            Store::Memory(v) => RowRef(RowRefRepr::Slice(
+                v.slice(row * self.cols, (row + 1) * self.cols),
+            )),
+            Store::Paged(p) => {
+                let (chunk, local) = p.row_chunk(row);
+                RowRef(RowRefRepr::Chunk {
+                    chunk,
+                    local_row: local,
+                    cols: self.cols,
+                    _tied: std::marker::PhantomData,
+                })
+            }
+        }
     }
 
     #[inline]
-    fn mirror(&self) -> &ColMirror {
-        self.mirror.0.get_or_init(|| ColMirror::build(self))
+    fn line_index(&self) -> &LineIndex {
+        self.mirror.0.get_or_init(|| match &self.values {
+            Store::Memory(v) => {
+                LineIndex::Full(ColMirror::build(self.rows, self.cols, v, &self.mask))
+            }
+            Store::Paged(_) => LineIndex::Mask(MaskIndex::build(self.rows, self.cols, &self.mask)),
+        })
     }
 
-    /// Forces the lazily-built column-major mirror into existence.
+    /// The full column mirror — only the memory backend has one.
+    #[inline]
+    fn full_mirror(&self) -> Option<&ColMirror> {
+        match self.line_index() {
+            LineIndex::Full(m) => Some(m),
+            LineIndex::Mask(_) => None,
+        }
+    }
+
+    /// Forces the lazily-built line index (column-major mirror on the
+    /// memory backend, mask index on the paged backend) into existence.
     ///
-    /// The mirror is built under a `OnceLock` on first column access;
+    /// The index is built under a `OnceLock` on first column access;
     /// callers about to fan work out across threads can pay the transpose
     /// once up front instead of serializing every worker behind the lock.
     pub fn ensure_mirror(&self) {
-        let _ = self.mirror();
+        let _ = self.line_index();
     }
 
-    /// Column slice of raw values (includes zeros at missing positions),
-    /// served from the lazily-built column-major mirror as `f64` —
-    /// borrowed for `f64` storage, a widening copy for `f32`.
+    /// Column `col`'s raw values (includes zeros at missing positions) as
+    /// `f64` — borrowed from the column-major mirror on the `f64` memory
+    /// backend, an owned copy otherwise (widening for `f32`; gathered
+    /// across blocks in ascending row order on the paged backend).
     ///
-    /// The first call after construction or mutation pays an `O(rows·cols)`
-    /// transpose; subsequent calls are free until the matrix changes.
+    /// On the memory backend the first call after construction or mutation
+    /// pays an `O(rows·cols)` transpose; subsequent calls are free until
+    /// the matrix changes.
+    #[doc(alias = "col_slice")]
     #[inline]
     pub fn col_values(&self, col: usize) -> Cow<'_, [f64]> {
         assert!(col < self.cols, "col {col} out of bounds");
-        self.mirror()
-            .values
-            .slice(col * self.rows, (col + 1) * self.rows)
-            .to_f64()
+        match &self.values {
+            Store::Memory(_) => {
+                let mirror = self
+                    .full_mirror()
+                    .expect("memory backend has a full mirror");
+                mirror
+                    .values
+                    .slice(col * self.rows, (col + 1) * self.rows)
+                    .to_f64()
+            }
+            Store::Paged(p) => {
+                let mut out = Vec::with_capacity(self.rows);
+                for index in 0..p.n_chunks() {
+                    let chunk = p.chunk(index);
+                    for local in 0..chunk.n_rows() {
+                        out.push(chunk.value(local, col));
+                    }
+                }
+                Cow::Owned(out)
+            }
+        }
     }
 
     /// Iterates the specified entries of row `row` as `(col, value)` in
@@ -653,21 +1130,13 @@ impl DataMatrix {
     /// bounds-check + mask-branch + `Option`, which matters in the FLOC
     /// gain loops that visit every entry of a cluster per candidate action.
     pub fn row_specified(&self, row: usize) -> SpecifiedEntries<'_> {
-        assert!(row < self.rows, "row {row} out of bounds");
-        let mirror = self.mirror();
-        SpecifiedEntries::new(self.row_ref(row), mirror.row_mask(row), None)
+        self.row_line(row, None)
     }
 
     /// Iterates the specified entries of column `col` as `(row, value)` in
-    /// ascending row order, scanning the column-major mirror contiguously.
+    /// ascending row order.
     pub fn col_specified(&self, col: usize) -> SpecifiedEntries<'_> {
-        assert!(col < self.cols, "col {col} out of bounds");
-        let mirror = self.mirror();
-        SpecifiedEntries::new(
-            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
-            mirror.col_mask(col),
-            None,
-        )
+        self.col_line(col, None)
     }
 
     /// Like [`Self::row_specified`] but restricted to columns in `cols`,
@@ -677,14 +1146,12 @@ impl DataMatrix {
     /// # Panics
     /// Panics if `cols.capacity() != self.cols()`.
     pub fn row_specified_in<'a>(&'a self, row: usize, cols: &'a BitSet) -> SpecifiedEntries<'a> {
-        assert!(row < self.rows, "row {row} out of bounds");
         assert_eq!(
             cols.capacity(),
             self.cols,
             "column set capacity does not match matrix width"
         );
-        let mirror = self.mirror();
-        SpecifiedEntries::new(self.row_ref(row), mirror.row_mask(row), Some(cols.words()))
+        self.row_line(row, Some(cols.words()))
     }
 
     /// Like [`Self::col_specified`] but restricted to rows in `rows`.
@@ -692,23 +1159,75 @@ impl DataMatrix {
     /// # Panics
     /// Panics if `rows.capacity() != self.rows()`.
     pub fn col_specified_in<'a>(&'a self, col: usize, rows: &'a BitSet) -> SpecifiedEntries<'a> {
-        assert!(col < self.cols, "col {col} out of bounds");
         assert_eq!(
             rows.capacity(),
             self.rows,
             "row set capacity does not match matrix height"
         );
-        let mirror = self.mirror();
-        SpecifiedEntries::new(
-            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
-            mirror.col_mask(col),
-            Some(rows.words()),
-        )
+        self.col_line(col, Some(rows.words()))
+    }
+
+    fn row_line<'a>(&'a self, row: usize, filter: Option<&'a [u64]>) -> SpecifiedEntries<'a> {
+        assert!(row < self.rows, "row {row} out of bounds");
+        let mask = self.line_index().row_mask(row);
+        match &self.values {
+            Store::Memory(v) => SpecifiedEntries(SpecifiedRepr::slice(
+                v.slice(row * self.cols, (row + 1) * self.cols),
+                mask,
+                filter,
+            )),
+            Store::Paged(p) => {
+                let (chunk, local) = p.row_chunk(row);
+                SpecifiedEntries(SpecifiedRepr::chunk_row(chunk, local, mask, filter))
+            }
+        }
+    }
+
+    fn col_line<'a>(&'a self, col: usize, filter: Option<&'a [u64]>) -> SpecifiedEntries<'a> {
+        assert!(col < self.cols, "col {col} out of bounds");
+        match &self.values {
+            Store::Memory(_) => {
+                let mirror = self
+                    .full_mirror()
+                    .expect("memory backend has a full mirror");
+                SpecifiedEntries(SpecifiedRepr::slice(
+                    mirror.values.slice(col * self.rows, (col + 1) * self.rows),
+                    mirror.col_mask(col),
+                    filter,
+                ))
+            }
+            Store::Paged(p) => {
+                // Gather eagerly, walking selected rows in ascending order;
+                // consecutive rows share a block, so each block decodes at
+                // most once per call even under a 1-block cache.
+                let mask = self.line_index().col_mask(col);
+                let mut out = Vec::new();
+                let mut held: Option<(usize, Arc<Chunk>)> = None;
+                for (wi, &mword) in mask.iter().enumerate() {
+                    let mut w = match filter {
+                        None => mword,
+                        Some(f) => mword & f[wi],
+                    };
+                    while w != 0 {
+                        let r = wi * WORD_BITS + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let index = r / p.chunk_rows();
+                        if held.as_ref().map(|(i, _)| *i) != Some(index) {
+                            held = Some((index, p.chunk(index)));
+                        }
+                        let chunk = &held.as_ref().expect("just set").1;
+                        out.push((r, chunk.value(r % p.chunk_rows(), col)));
+                    }
+                }
+                SpecifiedEntries(SpecifiedRepr::Buffered(out.into_iter()))
+            }
+        }
     }
 
     /// Sum and count of the specified entries of row `row` restricted to
     /// `cols`, via the word-block kernel (no per-entry iteration). The sum
-    /// is bit-identical to folding [`Self::row_specified_in`].
+    /// is bit-identical to folding [`Self::row_specified_in`] on every
+    /// backend.
     ///
     /// # Panics
     /// Panics if `cols.capacity() != self.cols()`.
@@ -719,12 +1238,22 @@ impl DataMatrix {
             self.cols,
             "column set capacity does not match matrix width"
         );
-        let mirror = self.mirror();
-        kernels::masked_sum_count(self.row_ref(row), mirror.row_mask(row), Some(cols.words()))
+        let mask = self.line_index().row_mask(row);
+        let row_ref = self.row_ref(row);
+        kernels::masked_sum_count(row_ref.as_slice(), mask, Some(cols.words()))
     }
 
     /// Sum and count of the specified entries of column `col` restricted to
-    /// `rows`, via the word-block kernel over the column-major mirror.
+    /// `rows`, via the word-block kernel.
+    ///
+    /// On the memory backend this scans the column-major mirror in one
+    /// pass. On the paged backend it walks the column's blocks in ascending
+    /// row order, *carrying the running accumulator into each block's
+    /// kernel call* — which reproduces the exact addition sequence of the
+    /// single-pass fold, so the result is bit-identical to the memory
+    /// backend for any chunk size and cache cap. Blocks with no selected
+    /// rows are skipped without touching disk (the filter is intersected
+    /// against resident mask words first).
     ///
     /// # Panics
     /// Panics if `rows.capacity() != self.rows()`.
@@ -735,12 +1264,37 @@ impl DataMatrix {
             self.rows,
             "row set capacity does not match matrix height"
         );
-        let mirror = self.mirror();
-        kernels::masked_sum_count(
-            mirror.values.slice(col * self.rows, (col + 1) * self.rows),
-            mirror.col_mask(col),
-            Some(rows.words()),
-        )
+        match &self.values {
+            Store::Memory(_) => {
+                let mirror = self
+                    .full_mirror()
+                    .expect("memory backend has a full mirror");
+                kernels::masked_sum_count(
+                    mirror.values.slice(col * self.rows, (col + 1) * self.rows),
+                    mirror.col_mask(col),
+                    Some(rows.words()),
+                )
+            }
+            Store::Paged(p) => {
+                let mut acc = (0.0, 0u32);
+                let mut local_filter = Vec::new();
+                for index in 0..p.n_chunks() {
+                    let (start, n) = p.chunk_span(index);
+                    if !extract_bit_range(rows.words(), start, n, &mut local_filter) {
+                        continue;
+                    }
+                    let chunk = p.chunk(index);
+                    let mirror = chunk.mirror(&self.mask);
+                    acc = kernels::masked_sum_count_from(
+                        acc,
+                        mirror.col_slice(col, n),
+                        mirror.col_mask(col),
+                        Some(&local_filter),
+                    );
+                }
+                acc
+            }
+        }
     }
 
     /// Residue contribution of row `row` restricted to `cols`:
@@ -773,10 +1327,11 @@ impl DataMatrix {
             col_bases.len() >= self.cols,
             "col_bases must cover every column"
         );
-        let mirror = self.mirror();
+        let mask = self.line_index().row_mask(row);
+        let row_ref = self.row_ref(row);
         kernels::masked_residue(
-            self.row_ref(row),
-            mirror.row_mask(row),
+            row_ref.as_slice(),
+            mask,
             Some(cols.words()),
             row_base,
             col_bases,
@@ -807,16 +1362,24 @@ impl DataMatrix {
         self.col_labels.as_ref().map(|l| l[col].as_str())
     }
 
-    /// Extracts the submatrix over `rows × cols` index sets as a new dense
-    /// matrix (copies data; missing entries stay missing; keeps storage).
+    /// Extracts the submatrix over `rows × cols` index sets as a new
+    /// memory-backed dense matrix (copies data; missing entries stay
+    /// missing; keeps storage precision). Row and column labels, when
+    /// present, are carried over for the selected indices.
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> DataMatrix {
-        let mut out = DataMatrix::with_capacity_storage(rows.len(), cols.len(), self.storage());
+        let mut out = DataMatrix::memory_empty(rows.len(), cols.len(), self.storage());
         for (ri, &r) in rows.iter().enumerate() {
             for (ci, &c) in cols.iter().enumerate() {
                 if let Some(v) = self.get(r, c) {
                     out.set(ri, ci, v);
                 }
             }
+        }
+        if let Some(labels) = &self.row_labels {
+            out.set_row_labels(rows.iter().map(|&r| labels[r].clone()).collect());
+        }
+        if let Some(labels) = &self.col_labels {
+            out.set_col_labels(cols.iter().map(|&c| labels[c].clone()).collect());
         }
         out
     }
@@ -866,36 +1429,184 @@ impl DataMatrix {
     }
 }
 
+/// Backend-aware handle to one row's raw values in native storage
+/// precision, produced by [`DataMatrix::row_ref`].
+///
+/// On the memory backend it is a plain borrow of the row; on the paged
+/// backend it holds the row's resident block (`Arc`), keeping the block
+/// alive — and its values addressable — for the handle's lifetime. Either
+/// way [`RowRef::get`] is a direct indexed load, so hot loops hoist one
+/// `RowRef` per row instead of calling [`DataMatrix::value_unchecked`] per
+/// cell.
+pub struct RowRef<'a>(RowRefRepr<'a>);
+
+enum RowRefRepr<'a> {
+    Slice(ValuesSlice<'a>),
+    Chunk {
+        chunk: Arc<Chunk>,
+        local_row: usize,
+        cols: usize,
+        // The handle logically borrows the matrix even though the block is
+        // owned: mutation through `&mut DataMatrix` must invalidate it.
+        _tied: std::marker::PhantomData<&'a ()>,
+    },
+}
+
+impl<'a> RowRef<'a> {
+    /// Number of values in the row (the matrix width).
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            RowRefRepr::Slice(s) => s.len(),
+            RowRefRepr::Chunk { cols, .. } => *cols,
+        }
+    }
+
+    /// True when the row has no columns.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at column `idx`, widened to `f64`. Missing cells read
+    /// `0.0`.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    #[inline]
+    pub fn get(&self, idx: usize) -> f64 {
+        match &self.0 {
+            RowRefRepr::Slice(s) => s.get(idx),
+            RowRefRepr::Chunk {
+                chunk,
+                local_row,
+                cols,
+                ..
+            } => {
+                assert!(idx < *cols, "column {idx} out of bounds");
+                chunk.value(*local_row, idx)
+            }
+        }
+    }
+
+    /// The row as a contiguous [`ValuesSlice`] borrowed from this handle —
+    /// what the residue kernels consume.
+    #[inline]
+    pub fn as_slice(&self) -> ValuesSlice<'_> {
+        match &self.0 {
+            RowRefRepr::Slice(s) => *s,
+            RowRefRepr::Chunk {
+                chunk, local_row, ..
+            } => chunk.row_slice(*local_row),
+        }
+    }
+
+    /// The row as `f64` — borrowed (free) when the backend lends `f64`
+    /// values in place, an owned widening/gathering copy otherwise. The
+    /// `Cow` carries the *matrix* lifetime, so it outlives the handle.
+    pub fn to_f64(&self) -> Cow<'a, [f64]> {
+        match &self.0 {
+            RowRefRepr::Slice(s) => s.to_f64(),
+            RowRefRepr::Chunk {
+                chunk,
+                local_row,
+                cols,
+                ..
+            } => Cow::Owned((0..*cols).map(|c| chunk.value(*local_row, c)).collect()),
+        }
+    }
+}
+
 /// Iterator over the specified entries of one matrix line (a row or a
 /// column) as `(index, value)` pairs in ascending index order.
 ///
 /// Produced by [`DataMatrix::row_specified`] / [`DataMatrix::col_specified`]
-/// and their `_in` variants. Internally walks word-packed specification
-/// masks with `trailing_zeros`, reading values from a contiguous slice, so
-/// missing entries and filtered-out indices cost nothing per element.
-pub struct SpecifiedEntries<'a> {
-    values: ValuesSlice<'a>,
-    mask: &'a [u64],
-    filter: Option<&'a [u64]>,
-    word_idx: usize,
-    current: u64,
+/// and their `_in` variants. On the memory backend it walks word-packed
+/// specification masks with `trailing_zeros` over a contiguous value slice,
+/// so missing entries and filtered-out indices cost nothing per element; on
+/// the paged backend rows walk their resident block the same way, while
+/// columns gather eagerly across blocks at construction.
+pub struct SpecifiedEntries<'a>(SpecifiedRepr<'a>);
+
+enum SpecifiedRepr<'a> {
+    Slice {
+        values: ValuesSlice<'a>,
+        mask: &'a [u64],
+        filter: Option<&'a [u64]>,
+        word_idx: usize,
+        current: u64,
+    },
+    ChunkRow {
+        chunk: Arc<Chunk>,
+        local_row: usize,
+        mask: &'a [u64],
+        filter: Option<&'a [u64]>,
+        word_idx: usize,
+        current: u64,
+    },
+    Buffered(std::vec::IntoIter<(usize, f64)>),
 }
 
-impl<'a> SpecifiedEntries<'a> {
-    fn new(values: ValuesSlice<'a>, mask: &'a [u64], filter: Option<&'a [u64]>) -> Self {
+impl<'a> SpecifiedRepr<'a> {
+    fn first_word(mask: &[u64], filter: Option<&[u64]>) -> u64 {
         debug_assert!(filter.is_none_or(|f| f.len() == mask.len()));
-        let current = match (mask.first(), filter) {
+        match (mask.first(), filter) {
             (Some(&m), None) => m,
             (Some(&m), Some(f)) => m & f[0],
             (None, _) => 0,
-        };
-        SpecifiedEntries {
+        }
+    }
+
+    fn slice(values: ValuesSlice<'a>, mask: &'a [u64], filter: Option<&'a [u64]>) -> Self {
+        SpecifiedRepr::Slice {
             values,
             mask,
             filter,
             word_idx: 0,
-            current,
+            current: Self::first_word(mask, filter),
         }
+    }
+
+    fn chunk_row(
+        chunk: Arc<Chunk>,
+        local_row: usize,
+        mask: &'a [u64],
+        filter: Option<&'a [u64]>,
+    ) -> Self {
+        SpecifiedRepr::ChunkRow {
+            chunk,
+            local_row,
+            mask,
+            filter,
+            word_idx: 0,
+            current: Self::first_word(mask, filter),
+        }
+    }
+}
+
+/// Advances one word-walk step: returns the next set bit index, refilling
+/// `current` from `mask & filter` word by word.
+#[inline]
+fn next_set_index(
+    mask: &[u64],
+    filter: Option<&[u64]>,
+    word_idx: &mut usize,
+    current: &mut u64,
+) -> Option<usize> {
+    loop {
+        if *current != 0 {
+            let bit = current.trailing_zeros() as usize;
+            *current &= *current - 1; // clear lowest set bit
+            return Some(*word_idx * WORD_BITS + bit);
+        }
+        *word_idx += 1;
+        if *word_idx >= mask.len() {
+            return None;
+        }
+        *current = match filter {
+            None => mask[*word_idx],
+            Some(f) => mask[*word_idx] & f[*word_idx],
+        };
     }
 }
 
@@ -904,21 +1615,29 @@ impl Iterator for SpecifiedEntries<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<(usize, f64)> {
-        loop {
-            if self.current != 0 {
-                let bit = self.current.trailing_zeros() as usize;
-                self.current &= self.current - 1; // clear lowest set bit
-                let idx = self.word_idx * WORD_BITS + bit;
-                return Some((idx, self.values.get(idx)));
+        match &mut self.0 {
+            SpecifiedRepr::Slice {
+                values,
+                mask,
+                filter,
+                word_idx,
+                current,
+            } => {
+                let idx = next_set_index(mask, *filter, word_idx, current)?;
+                Some((idx, values.get(idx)))
             }
-            self.word_idx += 1;
-            if self.word_idx >= self.mask.len() {
-                return None;
+            SpecifiedRepr::ChunkRow {
+                chunk,
+                local_row,
+                mask,
+                filter,
+                word_idx,
+                current,
+            } => {
+                let idx = next_set_index(mask, *filter, word_idx, current)?;
+                Some((idx, chunk.value(*local_row, idx)))
             }
-            self.current = match self.filter {
-                None => self.mask[self.word_idx],
-                Some(f) => self.mask[self.word_idx] & f[self.word_idx],
-            };
+            SpecifiedRepr::Buffered(iter) => iter.next(),
         }
     }
 }
@@ -962,16 +1681,19 @@ mod tests {
     fn sample() -> DataMatrix {
         // 1  3  ·
         // ·  4  5
-        DataMatrix::from_options(
-            2,
-            3,
-            vec![Some(1.0), Some(3.0), None, None, Some(4.0), Some(5.0)],
-        )
+        DataMatrix::builder(2, 3).from_options(vec![
+            Some(1.0),
+            Some(3.0),
+            None,
+            None,
+            Some(4.0),
+            Some(5.0),
+        ])
     }
 
     #[test]
     fn new_matrix_is_all_missing() {
-        let m = DataMatrix::new(3, 4);
+        let m = DataMatrix::builder(3, 4).build();
         assert_eq!(m.rows(), 3);
         assert_eq!(m.cols(), 4);
         assert_eq!(m.specified_count(), 0);
@@ -982,7 +1704,7 @@ mod tests {
 
     #[test]
     fn from_rows_is_fully_specified() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         assert_eq!(m.specified_count(), 4);
         assert_eq!(m.density(), 1.0);
         assert_eq!(m.get(1, 0), Some(3.0));
@@ -991,12 +1713,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match")]
     fn from_rows_length_mismatch_panics() {
-        let _ = DataMatrix::from_rows(2, 2, vec![1.0]);
+        let _ = DataMatrix::builder(2, 2).from_rows(vec![1.0]);
     }
 
     #[test]
     fn set_get_unset_roundtrip() {
-        let mut m = DataMatrix::new(2, 2);
+        let mut m = DataMatrix::builder(2, 2).build();
         m.set(0, 1, 7.5);
         assert_eq!(m.get(0, 1), Some(7.5));
         assert_eq!(m.specified_count(), 1);
@@ -1011,7 +1733,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite")]
     fn set_nan_panics() {
-        let mut m = DataMatrix::new(1, 1);
+        let mut m = DataMatrix::builder(1, 1).build();
         m.set(0, 0, f64::NAN);
     }
 
@@ -1066,6 +1788,27 @@ mod tests {
     }
 
     #[test]
+    fn submatrix_carries_the_selected_labels() {
+        let mut m = sample();
+        m.set_row_labels(vec!["r0".into(), "r1".into()]);
+        m.set_col_labels(vec!["c0".into(), "c1".into(), "c2".into()]);
+        let s = m.submatrix(&[1, 0], &[2, 1]);
+        assert_eq!(s.row_label(0), Some("r1"));
+        assert_eq!(s.row_label(1), Some("r0"));
+        assert_eq!(s.col_label(0), Some("c2"));
+        assert_eq!(s.col_label(1), Some("c1"));
+        // Round trip: re-selecting the original order restores the labels.
+        let back = s.submatrix(&[1, 0], &[1, 0]);
+        assert_eq!(back.row_label(0), Some("r0"));
+        assert_eq!(back.col_label(0), Some("c1"));
+        assert_eq!(back.col_label(1), Some("c2"));
+        // An unlabelled matrix still yields an unlabelled submatrix.
+        let plain = sample().submatrix(&[0], &[0]);
+        assert_eq!(plain.row_label(0), None);
+        assert_eq!(plain.col_label(0), None);
+    }
+
+    #[test]
     fn map_in_place_only_touches_specified() {
         let mut m = sample();
         m.map_in_place(|v| v * 2.0);
@@ -1076,7 +1819,7 @@ mod tests {
 
     #[test]
     fn labels_roundtrip() {
-        let mut m = DataMatrix::new(2, 2);
+        let mut m = DataMatrix::builder(2, 2).build();
         assert_eq!(m.row_label(0), None);
         m.set_row_labels(vec!["g1".into(), "g2".into()]);
         m.set_col_labels(vec!["c1".into(), "c2".into()]);
@@ -1097,8 +1840,8 @@ mod tests {
         c.unset(1, 2);
         assert_ne!(a.fingerprint(), c.fingerprint(), "mask matters");
         // Shape is part of the fingerprint even with identical entry sets.
-        let d = DataMatrix::new(2, 3);
-        let e = DataMatrix::new(3, 2);
+        let d = DataMatrix::builder(2, 3).build();
+        let e = DataMatrix::builder(3, 2).build();
         assert_ne!(d.fingerprint(), e.fingerprint());
     }
 
@@ -1124,8 +1867,8 @@ mod tests {
     #[test]
     fn specified_iterators_cross_word_boundaries() {
         // 1×130 row and 130×1 column exercise multi-word masks with holes.
-        let mut wide = DataMatrix::new(1, 130);
-        let mut tall = DataMatrix::new(130, 1);
+        let mut wide = DataMatrix::builder(1, 130).build();
+        let mut tall = DataMatrix::builder(130, 1).build();
         for i in [0usize, 5, 63, 64, 65, 127, 128, 129] {
             wide.set(0, i, i as f64);
             tall.set(i, 0, i as f64);
@@ -1171,7 +1914,7 @@ mod tests {
 
     #[test]
     fn kernel_stats_match_iterator_folds() {
-        let mut m = DataMatrix::new(3, 130);
+        let mut m = DataMatrix::builder(3, 130).build();
         for r in 0..3 {
             for c in (r..130).step_by(r + 2) {
                 m.set(r, c, (r * 130 + c) as f64 * 0.5 - 40.0);
@@ -1199,7 +1942,7 @@ mod tests {
 
     #[test]
     fn kernel_residue_matches_per_entry_formulation() {
-        let mut m = DataMatrix::new(2, 100);
+        let mut m = DataMatrix::builder(2, 100).build();
         for c in 0..100 {
             if c % 7 != 3 {
                 m.set(0, c, (c as f64).cos() * 10.0);
@@ -1275,13 +2018,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of bounds")]
     fn get_out_of_bounds_panics() {
-        let m = DataMatrix::new(2, 2);
+        let m = DataMatrix::builder(2, 2).build();
         let _ = m.get(2, 0);
     }
 
     #[test]
     fn density_of_empty_matrix_is_one() {
-        let m = DataMatrix::new(0, 0);
+        let m = DataMatrix::builder(0, 0).build();
         assert_eq!(m.density(), 1.0);
     }
 
@@ -1301,7 +2044,7 @@ mod tests {
 
     #[test]
     fn f32_storage_narrows_once_and_widens_exactly() {
-        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        let mut m = DataMatrix::builder(2, 2).storage(ValueStorage::F32).build();
         assert_eq!(m.storage(), ValueStorage::F32);
         m.set(0, 0, INEXACT);
         assert_eq!(m.get(0, 0), Some(INEXACT as f32 as f64));
@@ -1338,7 +2081,7 @@ mod tests {
 
     #[test]
     fn with_storage_rejects_f32_overflow() {
-        let mut m = DataMatrix::new(2, 3);
+        let mut m = DataMatrix::builder(2, 3).build();
         m.set(1, 2, 1e300);
         match m.with_storage(ValueStorage::F32) {
             Err(StorageError::NotRepresentable { row, col, value }) => {
@@ -1352,13 +2095,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "not representable in f32")]
     fn set_overflowing_f32_panics() {
-        let mut m = DataMatrix::with_capacity_storage(1, 1, ValueStorage::F32);
+        let mut m = DataMatrix::builder(1, 1).storage(ValueStorage::F32).build();
         m.set(0, 0, 1e300);
     }
 
     #[test]
     fn f32_matrix_fingerprints_equal_its_widened_f64_twin() {
-        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        let mut m = DataMatrix::builder(2, 2).storage(ValueStorage::F32).build();
         m.set(0, 0, INEXACT);
         m.set(1, 1, 2.5);
         let twin = m.with_storage(ValueStorage::F64).unwrap();
@@ -1367,7 +2110,7 @@ mod tests {
 
     #[test]
     fn f32_storage_survives_serde_and_f64_keeps_the_legacy_shape() {
-        let mut m = DataMatrix::with_capacity_storage(2, 2, ValueStorage::F32);
+        let mut m = DataMatrix::builder(2, 2).storage(ValueStorage::F32).build();
         m.set(0, 1, 1.5);
         let back = DataMatrix::from_value(&m.to_value()).unwrap();
         assert_eq!(back, m);
@@ -1386,7 +2129,9 @@ mod tests {
 
     #[test]
     fn f32_kernels_match_f32_iterators() {
-        let mut m = DataMatrix::with_capacity_storage(2, 70, ValueStorage::F32);
+        let mut m = DataMatrix::builder(2, 70)
+            .storage(ValueStorage::F32)
+            .build();
         for c in 0..70 {
             if c % 3 != 1 {
                 m.set(0, c, (c as f64) * 0.1 - 3.0);

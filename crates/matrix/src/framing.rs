@@ -1,0 +1,379 @@
+//! Shared binary artifact framing: magic + version envelope, CRC-32
+//! checksum trailer, and little-endian primitive encoding.
+//!
+//! Every framed on-disk format in the workspace — the `.dcm` model and
+//! `.dck` checkpoint in `dc-serve`, and the paged matrix block files in
+//! [`crate::storage`] — uses the same envelope:
+//!
+//! ```text
+//! offset 0   magic  4 bytes (format-specific)
+//!        4   u16    format version
+//!        6   u16    reserved flags (must be 0)
+//!        8   payload (format-specific sections)
+//!        end-4  u32 CRC-32 (IEEE) of every preceding byte
+//! ```
+//!
+//! A flipped byte anywhere surfaces as [`FrameError::ChecksumMismatch`]
+//! before any parsing happens, and every read is bounds-checked — corrupt
+//! or truncated files produce typed errors, never panics.
+//!
+//! This module lives in `dc-matrix` (the workspace's root crate) so both
+//! the storage backends here and the serving artifacts in `dc-serve` can
+//! share one codec; `dc-serve` re-exports it and converts [`FrameError`]
+//! into its richer `ArtifactError`.
+
+/// Everything that can go wrong decoding a framed envelope.
+#[derive(Debug)]
+pub enum FrameError {
+    /// An underlying I/O failure while reading or writing the file.
+    Io(std::io::Error),
+    /// The file does not start with the expected magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The CRC-32 over the file body does not match the stored checksum.
+    ChecksumMismatch {
+        /// The checksum stored in the trailer.
+        stored: u32,
+        /// The checksum computed over the body actually read.
+        computed: u32,
+    },
+    /// The file ended before a section was complete.
+    Truncated,
+    /// A structurally invalid value (negative count, index out of range…).
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadMagic => write!(f, "not a δ-cluster artifact (bad magic)"),
+            FrameError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            FrameError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "artifact is corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            FrameError::Truncated => write!(f, "artifact is truncated"),
+            FrameError::Malformed(why) => write!(f, "malformed artifact: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---- encoding ------------------------------------------------------------
+
+/// Little-endian section encoder. Start with [`Writer::begin`], append
+/// sections, and [`Writer::finish`] to seal the checksum trailer.
+#[derive(Debug)]
+pub struct Writer {
+    /// The accumulated envelope bytes (header + payload so far).
+    pub buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Opens an envelope with `magic` and `version` (reserved flags 0).
+    pub fn begin(magic: [u8; 4], version: u16) -> Self {
+        let mut w = Writer { buf: Vec::new() };
+        w.buf.extend_from_slice(&magic);
+        w.u16(version);
+        w.u16(0); // reserved flags
+        w
+    }
+
+    /// Appends the CRC-32 trailer and returns the complete artifact bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        let crc = crc32(&self.buf);
+        self.u32(crc);
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    /// Raw bytes, appended verbatim (the caller owns any length prefix).
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    /// Length-prefixed ascending index list.
+    pub fn indices(&mut self, ix: &[usize]) {
+        self.u64(ix.len() as u64);
+        for &i in ix {
+            self.u64(i as u64);
+        }
+    }
+}
+
+// ---- decoding ------------------------------------------------------------
+
+/// Bounds-checked little-endian section decoder over a validated envelope
+/// body (checksum trailer excluded).
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    version: u16,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates the envelope of `bytes` — magic, version (`1..=version`),
+    /// CRC-32 trailer — and returns a reader positioned at the payload.
+    ///
+    /// # Errors
+    /// [`FrameError::BadMagic`], [`FrameError::UnsupportedVersion`],
+    /// [`FrameError::ChecksumMismatch`], or [`FrameError::Truncated`]
+    /// when the file is too short to hold an envelope at all.
+    pub fn open(bytes: &'a [u8], magic: [u8; 4], version: u16) -> Result<Self, FrameError> {
+        if bytes.len() < magic.len() + 4 + 4 {
+            return Err(FrameError::Truncated);
+        }
+        if bytes[..4] != magic {
+            return Err(FrameError::BadMagic);
+        }
+        let file_version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
+        if file_version == 0 || file_version > version {
+            return Err(FrameError::UnsupportedVersion(file_version));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(FrameError::ChecksumMismatch { stored, computed });
+        }
+        Ok(Reader {
+            bytes: body,
+            pos: 8,
+            version: file_version,
+        })
+    }
+
+    /// The format version stamped in the file's envelope — at most the
+    /// `version` passed to [`Reader::open`]. Decoders branch on this to
+    /// skip sections that older writers did not emit.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    /// Bytes of payload not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Fails with [`FrameError::Malformed`] unless the payload was
+    /// consumed exactly.
+    pub fn expect_end(&self) -> Result<(), FrameError> {
+        if self.pos != self.bytes.len() {
+            return Err(FrameError::Malformed(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self.pos.checked_add(n).ok_or(FrameError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+    pub fn u8(&mut self) -> Result<u8, FrameError> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u64(&mut self) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn f64(&mut self) -> Result<f64, FrameError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    pub fn f32(&mut self) -> Result<f32, FrameError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    /// A `u64` count that must also be a sane in-memory size.
+    pub fn count(&mut self, what: &str, limit: usize) -> Result<usize, FrameError> {
+        let n = self.u64()?;
+        if n > limit as u64 {
+            return Err(FrameError::Malformed(format!(
+                "{what} count {n} exceeds limit {limit}"
+            )));
+        }
+        Ok(n as usize)
+    }
+    pub fn str(&mut self) -> Result<String, FrameError> {
+        let len = self.count("string length", self.bytes.len())?;
+        String::from_utf8(self.take(len)?.to_vec())
+            .map_err(|_| FrameError::Malformed("string is not UTF-8".into()))
+    }
+    /// A strictly ascending index list bounded by `bound`.
+    pub fn indices(&mut self, bound: usize, what: &str) -> Result<Vec<usize>, FrameError> {
+        let n = self.count(what, bound)?;
+        let mut out = Vec::with_capacity(n);
+        let mut prev: Option<usize> = None;
+        for _ in 0..n {
+            let i = self.u64()? as usize;
+            if i >= bound {
+                return Err(FrameError::Malformed(format!(
+                    "{what} index {i} out of range 0..{bound}"
+                )));
+            }
+            if prev.is_some_and(|p| p >= i) {
+                return Err(FrameError::Malformed(format!(
+                    "{what} indices not strictly ascending"
+                )));
+            }
+            prev = Some(i);
+            out.push(i);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAGIC: [u8; 4] = *b"TST1";
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(7);
+        w.str("hello");
+        w.indices(&[1, 4, 9]);
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.indices(10, "test").unwrap(), vec![1, 4, 9]);
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_reports_the_file_version_not_the_ceiling() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.f32(1.5);
+        w.f32(f32::MIN_POSITIVE);
+        let bytes = w.finish();
+        // Opened with a newer ceiling, the reader still reports what the
+        // file was written as — decoders gate new sections on this.
+        let mut r = Reader::open(&bytes, MAGIC, 3).unwrap();
+        assert_eq!(r.version(), 1);
+        assert_eq!(r.f32().unwrap(), 1.5);
+        assert_eq!(r.f32().unwrap().to_bits(), f32::MIN_POSITIVE.to_bits());
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn envelope_rejects_wrong_magic_version_and_corruption() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(1);
+        let bytes = w.finish();
+
+        assert!(matches!(
+            Reader::open(&bytes, *b"OTHR", 1),
+            Err(FrameError::BadMagic)
+        ));
+
+        let mut newer = Writer::begin(MAGIC, 9);
+        newer.u64(1);
+        let newer = newer.finish();
+        assert!(matches!(
+            Reader::open(&newer, MAGIC, 1),
+            Err(FrameError::UnsupportedVersion(9))
+        ));
+
+        let mut corrupt = bytes.clone();
+        corrupt[9] ^= 1;
+        assert!(matches!(
+            Reader::open(&corrupt, MAGIC, 1),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+
+        assert!(matches!(
+            Reader::open(&bytes[..6], MAGIC, 1),
+            Err(FrameError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut w = Writer::begin(MAGIC, 1);
+        w.u64(1);
+        w.u64(2);
+        let bytes = w.finish();
+        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
+        let _ = r.u64().unwrap();
+        assert!(matches!(r.expect_end(), Err(FrameError::Malformed(_))));
+    }
+}

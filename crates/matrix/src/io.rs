@@ -201,7 +201,7 @@ pub fn read_dense<R: Read>(reader: R, fmt: &DenseFormat) -> Result<DataMatrix, P
     }
 
     let cols = width.ok_or(ParseError::Empty)?;
-    let mut m = DataMatrix::from_options(rows, cols, data);
+    let mut m = DataMatrix::builder(rows, cols).from_options(data);
     if fmt.row_labels {
         m.set_row_labels(row_labels);
     }
@@ -325,7 +325,7 @@ pub fn read_triples_with<R: Read>(
     if triples.is_empty() {
         return Err(ParseError::Empty);
     }
-    let mut matrix = DataMatrix::new(row_ids.len(), col_ids.len());
+    let mut matrix = DataMatrix::builder(row_ids.len(), col_ids.len()).build();
     for (r, c, v) in triples {
         // Non-finite under AsMissing: the cell stays unspecified.
         if v.is_finite() {
@@ -352,11 +352,14 @@ mod tests {
 
     #[test]
     fn dense_roundtrip_with_missing() {
-        let m = DataMatrix::from_options(
-            2,
-            3,
-            vec![Some(1.0), None, Some(3.5), Some(-2.0), Some(0.0), None],
-        );
+        let m = DataMatrix::builder(2, 3).from_options(vec![
+            Some(1.0),
+            None,
+            Some(3.5),
+            Some(-2.0),
+            Some(0.0),
+            None,
+        ]);
         let fmt = DenseFormat::default();
         let mut out = Vec::new();
         write_dense(&m, &mut out, &fmt).unwrap();
@@ -366,7 +369,7 @@ mod tests {
 
     #[test]
     fn dense_with_labels_roundtrip() {
-        let mut m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         m.set_row_labels(vec!["g1".into(), "g2".into()]);
         m.set_col_labels(vec!["c1".into(), "c2".into()]);
         let fmt = DenseFormat {

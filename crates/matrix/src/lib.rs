@@ -22,14 +22,19 @@
 //!   insufficient for subspace coherence.
 //! * [`io`] — dense delimited text and sparse triples (MovieLens `u.data`)
 //!   readers/writers.
+//! * [`storage`] — pluggable value backends (resident memory or file-backed
+//!   pages) and the [`MatrixBuilder`] construction API.
+//! * [`framing`] — the CRC-framed binary envelope shared by every on-disk
+//!   artifact (paged blocks here, `.dcm`/`.dck` in `dc-serve`).
+//! * [`atomic`] — crash-safe write-fsync-rename file replacement.
 //!
 //! ## Example
 //!
 //! ```
-//! use dc_matrix::DataMatrix;
+//! use dc_matrix::MatrixBuilder;
 //!
 //! // Figure 1 of the paper: three mutually shifted vectors.
-//! let m = DataMatrix::from_rows(3, 5, vec![
+//! let m = MatrixBuilder::dense(3, 5).from_rows(vec![
 //!     1.0,   5.0,   23.0,  12.0,  20.0,
 //!     11.0,  15.0,  33.0,  22.0,  30.0,
 //!     111.0, 115.0, 133.0, 122.0, 130.0,
@@ -41,17 +46,26 @@
 //! }
 //! ```
 
+pub mod atomic;
 pub mod bitset;
 pub mod categorical;
 pub mod dense;
+pub mod framing;
 pub mod io;
 mod kernels;
 pub mod pearson;
 pub mod stats;
+pub mod storage;
 pub mod transform;
 pub mod view;
 
+pub use atomic::{atomic_write, atomic_write_with, temp_sibling};
 pub use bitset::BitSet;
-pub use dense::{DataMatrix, SpecifiedEntries, StorageError, ValueStorage, ValuesSlice};
+pub use dense::{DataMatrix, RowRef, SpecifiedEntries, StorageError, ValueStorage, ValuesSlice};
+pub use framing::FrameError;
 pub use io::{IoError, NonFinitePolicy, ParseError};
 pub use stats::{validate, Summary, ValidationReport};
+pub use storage::{
+    BackendKind, IoStats, MatrixBuilder, PagedAppender, PagedError, PagedMatrixBuilder,
+    PagedOptions, Storage, DEFAULT_CHUNK_ROWS,
+};

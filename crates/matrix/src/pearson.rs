@@ -99,11 +99,9 @@ mod tests {
     fn movie_example_global_r_is_weak_but_subsets_are_perfect() {
         // §3: viewer 1 ranks (8,7,9,2,2,3), viewer 2 ranks (2,1,3,8,8,9).
         // Globally anti-correlated; on each genre subset perfectly correlated.
-        let m = DataMatrix::from_rows(
-            2,
-            6,
-            vec![8.0, 7.0, 9.0, 2.0, 2.0, 3.0, 2.0, 1.0, 3.0, 8.0, 8.0, 9.0],
-        );
+        let m = DataMatrix::builder(2, 6).from_rows(vec![
+            8.0, 7.0, 9.0, 2.0, 2.0, 3.0, 2.0, 1.0, 3.0, 8.0, 8.0, 9.0,
+        ]);
         let global = row_pearson(&m, 0, 1).unwrap();
         assert!(global < 0.0, "global Pearson is negative: {global}");
         let action = row_pearson_on(&m, 0, 1, &[0, 1, 2]).unwrap();
@@ -114,20 +112,16 @@ mod tests {
 
     #[test]
     fn row_pearson_uses_only_commonly_specified() {
-        let m = DataMatrix::from_options(
-            2,
-            4,
-            vec![
-                Some(1.0),
-                Some(2.0),
-                Some(3.0),
-                None,
-                Some(2.0),
-                Some(3.0),
-                None,
-                Some(9.0),
-            ],
-        );
+        let m = DataMatrix::builder(2, 4).from_options(vec![
+            Some(1.0),
+            Some(2.0),
+            Some(3.0),
+            None,
+            Some(2.0),
+            Some(3.0),
+            None,
+            Some(9.0),
+        ]);
         // Common columns: 0, 1 → perfect correlation.
         let r = row_pearson(&m, 0, 1).unwrap();
         assert!((r - 1.0).abs() < 1e-12);
@@ -135,7 +129,7 @@ mod tests {
 
     #[test]
     fn too_few_common_entries_is_none() {
-        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), None, Some(2.0), Some(5.0)]);
+        let m = DataMatrix::builder(2, 2).from_options(vec![Some(1.0), None, Some(2.0), Some(5.0)]);
         assert_eq!(row_pearson(&m, 0, 1), None);
     }
 

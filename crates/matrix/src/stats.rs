@@ -254,11 +254,14 @@ mod tests {
 
     #[test]
     fn row_and_col_means_skip_missing() {
-        let m = DataMatrix::from_options(
-            2,
-            3,
-            vec![Some(1.0), Some(3.0), None, None, Some(4.0), Some(5.0)],
-        );
+        let m = DataMatrix::builder(2, 3).from_options(vec![
+            Some(1.0),
+            Some(3.0),
+            None,
+            None,
+            Some(4.0),
+            Some(5.0),
+        ]);
         assert_eq!(row_mean(&m, 0), Some(2.0));
         assert_eq!(row_mean(&m, 1), Some(4.5));
         assert_eq!(col_mean(&m, 0), Some(1.0));
@@ -268,14 +271,14 @@ mod tests {
 
     #[test]
     fn means_of_all_missing_are_none() {
-        let m = DataMatrix::new(2, 2);
+        let m = DataMatrix::builder(2, 2).build();
         assert_eq!(row_mean(&m, 0), None);
         assert_eq!(col_mean(&m, 1), None);
     }
 
     #[test]
     fn matrix_summary_covers_all_specified() {
-        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), None, Some(3.0), None]);
+        let m = DataMatrix::builder(2, 2).from_options(vec![Some(1.0), None, Some(3.0), None]);
         let s = matrix_summary(&m);
         assert_eq!(s.count, 2);
         assert_eq!(s.mean, 2.0);
@@ -284,7 +287,7 @@ mod tests {
     #[test]
     fn validation_report_counts_occupancy_against_alpha() {
         // Row 1 is half-specified; column 1 is half-specified.
-        let m = DataMatrix::from_options(2, 2, vec![Some(1.0), Some(2.0), Some(3.0), None]);
+        let m = DataMatrix::builder(2, 2).from_options(vec![Some(1.0), Some(2.0), Some(3.0), None]);
         let rep = validate(&m, 0.8);
         assert_eq!(rep.rows, 2);
         assert_eq!(rep.cols, 2);
@@ -305,7 +308,7 @@ mod tests {
 
     #[test]
     fn validation_report_handles_fully_missing_matrix() {
-        let m = DataMatrix::new(3, 2);
+        let m = DataMatrix::builder(3, 2).build();
         let rep = validate(&m, 0.5);
         assert_eq!(rep.specified, 0);
         assert_eq!(rep.missing_rate, 1.0);
@@ -316,7 +319,7 @@ mod tests {
 
     #[test]
     fn per_dimension_summaries_align_with_indices() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
         let rows = row_summaries(&m);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].mean, 1.5);

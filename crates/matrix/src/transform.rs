@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn log_turns_amplification_into_shifting() {
         // Row 2 is 10x row 1 (amplification coherence).
-        let m = DataMatrix::from_rows(2, 3, vec![1.0, 2.0, 4.0, 10.0, 20.0, 40.0]);
+        let m = DataMatrix::builder(2, 3).from_rows(vec![1.0, 2.0, 4.0, 10.0, 20.0, 40.0]);
         let t = log_transform(&m).unwrap();
         // After log, row 2 - row 1 is a constant shift of ln(10).
         let shift = t.get(1, 0).unwrap() - t.get(0, 0).unwrap();
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn log_rejects_non_positive() {
-        let m = DataMatrix::from_rows(1, 2, vec![1.0, 0.0]);
+        let m = DataMatrix::builder(1, 2).from_rows(vec![1.0, 0.0]);
         let err = log_transform(&m).unwrap_err();
         assert_eq!(
             err,
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn log_exp_roundtrip() {
-        let m = DataMatrix::from_options(2, 2, vec![Some(1.5), None, Some(2.5), Some(0.5)]);
+        let m = DataMatrix::builder(2, 2).from_options(vec![Some(1.5), None, Some(2.5), Some(0.5)]);
         let back = exp_transform(&log_transform(&m).unwrap());
         for (r, c, v) in m.entries() {
             assert!((back.get(r, c).unwrap() - v).abs() < 1e-12);
@@ -149,7 +149,7 @@ mod tests {
 
     #[test]
     fn center_rows_zeroes_row_means() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 3.0, 10.0, 20.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 3.0, 10.0, 20.0]);
         let c = center_rows(&m);
         assert_eq!(stats::row_mean(&c, 0), Some(0.0));
         assert_eq!(stats::row_mean(&c, 1), Some(0.0));
@@ -159,7 +159,7 @@ mod tests {
 
     #[test]
     fn center_cols_zeroes_col_means() {
-        let m = DataMatrix::from_rows(2, 2, vec![1.0, 3.0, 3.0, 7.0]);
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 3.0, 3.0, 7.0]);
         let c = center_cols(&m);
         assert_eq!(stats::col_mean(&c, 0), Some(0.0));
         assert_eq!(stats::col_mean(&c, 1), Some(0.0));
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn centering_skips_all_missing_rows() {
-        let mut m = DataMatrix::new(2, 2);
+        let mut m = DataMatrix::builder(2, 2).build();
         m.set(0, 0, 4.0);
         m.set(0, 1, 6.0);
         let c = center_rows(&m);
@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn rescale_maps_to_target_interval() {
-        let m = DataMatrix::from_rows(1, 3, vec![0.0, 5.0, 10.0]);
+        let m = DataMatrix::builder(1, 3).from_rows(vec![0.0, 5.0, 10.0]);
         let r = rescale(&m, 1.0, 3.0);
         assert_eq!(r.get(0, 0), Some(1.0));
         assert_eq!(r.get(0, 1), Some(2.0));
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn rescale_constant_matrix_maps_to_lo() {
-        let m = DataMatrix::from_rows(1, 2, vec![4.0, 4.0]);
+        let m = DataMatrix::builder(1, 2).from_rows(vec![4.0, 4.0]);
         let r = rescale(&m, 0.0, 1.0);
         assert_eq!(r.get(0, 0), Some(0.0));
         assert_eq!(r.get(0, 1), Some(0.0));
@@ -195,7 +195,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lo < hi")]
     fn rescale_invalid_interval_panics() {
-        let m = DataMatrix::new(1, 1);
+        let m = DataMatrix::builder(1, 1).build();
         let _ = rescale(&m, 2.0, 1.0);
     }
 }

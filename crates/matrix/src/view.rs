@@ -92,7 +92,7 @@ mod tests {
     use super::*;
 
     fn parent() -> DataMatrix {
-        let mut m = DataMatrix::from_rows(4, 4, (0..16).map(|x| x as f64).collect());
+        let mut m = DataMatrix::builder(4, 4).from_rows((0..16).map(|x| x as f64).collect());
         m.unset(1, 1);
         m
     }

@@ -11,7 +11,7 @@ fn arb_matrix() -> impl Strategy<Value = DataMatrix> {
             proptest::option::weighted(0.8, -1000.0..1000.0f64),
             rows * cols,
         )
-        .prop_map(move |data| DataMatrix::from_options(rows, cols, data))
+        .prop_map(move |data| DataMatrix::builder(rows, cols).from_options(data))
     })
 }
 

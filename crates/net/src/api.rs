@@ -308,7 +308,7 @@ mod tests {
     use dc_serve::ServeModel;
 
     fn model_4x4() -> ServeModel {
-        let mut m = DataMatrix::new(4, 4);
+        let mut m = DataMatrix::builder(4, 4).build();
         for r in 0..3 {
             for c in 0..3 {
                 m.set(r, c, (r + 2 * c) as f64);

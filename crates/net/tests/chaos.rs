@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn tiny_model() -> ServeModel {
-    let mut m = dc_matrix::DataMatrix::new(6, 6);
+    let mut m = dc_matrix::DataMatrix::builder(6, 6).build();
     for r in 0..6 {
         for c in 0..6 {
             m.set(r, c, (r * 2 + c) as f64);

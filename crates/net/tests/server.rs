@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 fn model_8x8() -> ServeModel {
-    let mut m = dc_matrix::DataMatrix::new(8, 8);
+    let mut m = dc_matrix::DataMatrix::builder(8, 8).build();
     for r in 0..6 {
         for c in 0..6 {
             m.set(r, c, (3 * r + c) as f64);

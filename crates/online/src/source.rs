@@ -43,7 +43,7 @@ impl SourceSpec {
 
     /// An empty matrix of this universe's shape.
     pub fn empty_matrix(&self) -> DataMatrix {
-        DataMatrix::new(self.stream.users, self.stream.movies)
+        DataMatrix::builder(self.stream.users, self.stream.movies).build()
     }
 }
 

@@ -1,11 +1,11 @@
 //! The `.dcm` model artifact: a versioned, checksummed binary snapshot of a
 //! trained δ-clustering, plus a JSON fallback for interoperability.
 //!
-//! ## Binary layout (version 2, all integers little-endian)
+//! ## Binary layout (version 3, all integers little-endian)
 //!
 //! ```text
 //! offset 0   magic  b"DCM1"
-//!        4   u16    format version (currently 2)
+//!        4   u16    format version (currently 3)
 //!        6   u16    reserved flags (must be 0)
 //!        8   payload (below)
 //!        end-4  u32 CRC-32 (IEEE) of every preceding byte
@@ -13,14 +13,25 @@
 //!
 //! Payload sections, in order:
 //!
-//! 1. **Matrix** — `u64 rows`, `u64 cols`, *(version ≥ 2)* a `u8` value
-//!    storage tag (`0` = f64, `1` = f32), a row-major specification bitmap
-//!    (`ceil(rows·cols / 8)` bytes), `u64 n_specified`, then `n_specified`
-//!    values for the specified cells in row-major order — `f64` each under
-//!    tag 0, `f32` each under tag 1 (half the bytes; lossless because an
-//!    f32-storage matrix only ever holds f32-representable values).
-//!    Version-1 files have no tag byte and always carry `f64` values; they
-//!    load as f64-storage matrices, unchanged.
+//! 1. **Matrix** — `u64 rows`, `u64 cols`, *(version ≥ 3)* a `u8`
+//!    representation discriminator:
+//!    * `0` — **inline**: *(version ≥ 2)* a `u8` value storage tag (`0` =
+//!      f64, `1` = f32), a row-major specification bitmap
+//!      (`ceil(rows·cols / 8)` bytes), `u64 n_specified`, then `n_specified`
+//!      values for the specified cells in row-major order — `f64` each under
+//!      tag 0, `f32` each under tag 1 (half the bytes; lossless because an
+//!      f32-storage matrix only ever holds f32-representable values).
+//!      Version-1 files have no tag byte and always carry `f64` values; they
+//!      load as f64-storage matrices, unchanged.
+//!    * `1` — **paged-ref** *(version ≥ 3 only)*: a `len`-prefixed UTF-8
+//!      path to a paged-matrix directory ([`dc_matrix::storage`]) plus the
+//!      `u64` content fingerprint of the matrix at save time. The values
+//!      stay in their block files; loading opens the directory (a relative
+//!      path resolves against the artifact's own directory) and fails with
+//!      a typed error if the pages are missing, corrupt, the wrong shape,
+//!      or their content no longer matches the fingerprint. This keeps the
+//!      artifact O(model) instead of O(data) for out-of-core matrices and
+//!      lets the serving registry cold-start straight from pages.
 //! 2. **Labels** — `u8` flags (bit 0: row labels present, bit 1: column
 //!    labels); each present label list is `len`-prefixed UTF-8 strings.
 //! 3. **Clusters** — `u64 k`, then per cluster the ascending row indices
@@ -47,11 +58,40 @@ pub use crate::framing::{crc32, ArtifactError};
 /// File magic: "delta-cluster model", format generation 1.
 pub const MAGIC: [u8; 4] = *b"DCM1";
 /// Current binary format version. Version 2 added the matrix value-storage
-/// tag (f64 vs f32); version-1 files still load.
-pub const VERSION: u16 = 2;
+/// tag (f64 vs f32); version 3 added the matrix representation discriminator
+/// (inline vs paged-ref). Version-1 and -2 files still load.
+pub const VERSION: u16 = 3;
 
-/// Serializes a model to the current binary artifact bytes.
+/// Matrix representation discriminator (version ≥ 3).
+const REPR_INLINE: u8 = 0;
+const REPR_PAGED_REF: u8 = 1;
+
+/// Serializes a model to the current binary artifact bytes with the matrix
+/// values inline, regardless of the matrix's backend. Always succeeds; a
+/// paged-backed matrix is materialized into the artifact (O(data) bytes).
 pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
+    encode(model, None)
+}
+
+/// Serializes a model whose matrix is paged-backed as a **paged-ref**
+/// artifact: the `.dcm` carries the directory path and a content
+/// fingerprint instead of the values, so the artifact stays O(model) and
+/// the block files remain the single copy of the data.
+///
+/// Fails with [`ArtifactError::Malformed`] if the matrix is memory-backed —
+/// use [`to_bytes`] for those.
+pub fn to_bytes_paged_ref(model: &ServeModel) -> Result<Vec<u8>, ArtifactError> {
+    let dir = model.matrix().paged_dir().ok_or_else(|| {
+        ArtifactError::Malformed(
+            "paged-ref artifacts need a paged-backed matrix; this model's matrix is in memory"
+                .into(),
+        )
+    })?;
+    let dir = dir.to_string_lossy().into_owned();
+    Ok(encode(model, Some(&dir)))
+}
+
+fn encode(model: &ServeModel, paged_ref: Option<&str>) -> Vec<u8> {
     let matrix = model.matrix();
     let (rows, cols) = (matrix.rows(), matrix.cols());
     let mut w = Writer::begin(MAGIC, VERSION);
@@ -59,30 +99,37 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
     // Matrix.
     w.u64(rows as u64);
     w.u64(cols as u64);
-    let storage = matrix.storage();
-    w.u8(match storage {
-        ValueStorage::F64 => 0,
-        ValueStorage::F32 => 1,
-    });
-    let mut bitmap = vec![0u8; rows.saturating_mul(cols).div_ceil(8)];
-    let mut values = Vec::with_capacity(matrix.specified_count());
-    for r in 0..rows {
-        for c in 0..cols {
-            if let Some(v) = matrix.get(r, c) {
-                let cell = r * cols + c;
-                bitmap[cell / 8] |= 1 << (cell % 8);
-                values.push(v);
+    if let Some(dir) = paged_ref {
+        w.u8(REPR_PAGED_REF);
+        w.str(dir);
+        w.u64(matrix.fingerprint());
+    } else {
+        w.u8(REPR_INLINE);
+        let storage = matrix.storage();
+        w.u8(match storage {
+            ValueStorage::F64 => 0,
+            ValueStorage::F32 => 1,
+        });
+        let mut bitmap = vec![0u8; rows.saturating_mul(cols).div_ceil(8)];
+        let mut values = Vec::with_capacity(matrix.specified_count());
+        for r in 0..rows {
+            for c in 0..cols {
+                if let Some(v) = matrix.get(r, c) {
+                    let cell = r * cols + c;
+                    bitmap[cell / 8] |= 1 << (cell % 8);
+                    values.push(v);
+                }
             }
         }
-    }
-    w.buf.extend_from_slice(&bitmap);
-    w.u64(values.len() as u64);
-    for v in values {
-        match storage {
-            ValueStorage::F64 => w.f64(v),
-            // Exact: an f32-storage matrix widens each value from f32, so
-            // narrowing it back reproduces the stored bits.
-            ValueStorage::F32 => w.f32(v as f32),
+        w.bytes(&bitmap);
+        w.u64(values.len() as u64);
+        for v in values {
+            match storage {
+                ValueStorage::F64 => w.f64(v),
+                // Exact: an f32-storage matrix widens each value from f32,
+                // so narrowing it back reproduces the stored bits.
+                ValueStorage::F32 => w.f32(v as f32),
+            }
         }
     }
 
@@ -135,51 +182,101 @@ pub fn to_bytes(model: &ServeModel) -> Vec<u8> {
 
 /// Deserializes a binary artifact (any version up to [`VERSION`]). Checks
 /// magic, version, and checksum before touching the payload.
+///
+/// A paged-ref artifact with a *relative* directory path resolves it
+/// against the process working directory; prefer [`load`], which resolves
+/// against the artifact's own directory.
 pub fn from_bytes(bytes: &[u8]) -> Result<ServeModel, ArtifactError> {
+    from_bytes_at(bytes, None)
+}
+
+fn from_bytes_at(bytes: &[u8], base: Option<&Path>) -> Result<ServeModel, ArtifactError> {
     let mut r = Reader::open(bytes, MAGIC, VERSION)?;
     let body_len = bytes.len() - 4;
 
     // Matrix. The bitmap must fit in the file, which bounds rows·cols.
     let rows = r.count("row", u32::MAX as usize)?;
     let cols = r.count("column", u32::MAX as usize)?;
-    // Version 1 predates the storage tag: no byte, always f64 values.
-    let storage = match if r.version() >= 2 { r.u8()? } else { 0 } {
-        0 => ValueStorage::F64,
-        1 => ValueStorage::F32,
-        tag => {
-            return Err(ArtifactError::Malformed(format!(
-                "unknown value storage tag {tag}"
-            )))
-        }
+    // Versions 1–2 predate the representation discriminator: always inline.
+    let repr = if r.version() >= 3 {
+        r.u8()?
+    } else {
+        REPR_INLINE
     };
     let cells = rows
         .checked_mul(cols)
-        .filter(|&n| n.div_ceil(8) <= body_len)
+        .filter(|&n| n.div_ceil(8) <= body_len || repr == REPR_PAGED_REF)
         .ok_or_else(|| ArtifactError::Malformed("matrix shape overflows the file".into()))?;
-    let bitmap = r.take(cells.div_ceil(8))?;
-    let n_specified = r.count("specified entry", cells)?;
-    let popcount: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
-    if popcount != n_specified {
-        return Err(ArtifactError::Malformed(format!(
-            "bitmap population {popcount} disagrees with stored count {n_specified}"
-        )));
-    }
-    let mut data = vec![None; cells];
-    for (cell, slot) in data.iter_mut().enumerate() {
-        if bitmap[cell / 8] & (1 << (cell % 8)) != 0 {
-            *slot = Some(match storage {
-                ValueStorage::F64 => r.f64()?,
-                ValueStorage::F32 => f64::from(r.f32()?),
-            });
+    let mut matrix = match repr {
+        REPR_INLINE => {
+            // Version 1 predates the storage tag: no byte, always f64.
+            let storage = match if r.version() >= 2 { r.u8()? } else { 0 } {
+                0 => ValueStorage::F64,
+                1 => ValueStorage::F32,
+                tag => {
+                    return Err(ArtifactError::Malformed(format!(
+                        "unknown value storage tag {tag}"
+                    )))
+                }
+            };
+            let bitmap = r.take(cells.div_ceil(8))?;
+            let n_specified = r.count("specified entry", cells)?;
+            let popcount: usize = bitmap.iter().map(|b| b.count_ones() as usize).sum();
+            if popcount != n_specified {
+                return Err(ArtifactError::Malformed(format!(
+                    "bitmap population {popcount} disagrees with stored count {n_specified}"
+                )));
+            }
+            let mut data = vec![None; cells];
+            for (cell, slot) in data.iter_mut().enumerate() {
+                if bitmap[cell / 8] & (1 << (cell % 8)) != 0 {
+                    *slot = Some(match storage {
+                        ValueStorage::F64 => r.f64()?,
+                        ValueStorage::F32 => f64::from(r.f32()?),
+                    });
+                }
+            }
+            let mut matrix = DataMatrix::builder(rows, cols).from_options(data);
+            if storage == ValueStorage::F32 {
+                // Exact: every value was just widened from an f32 on the wire.
+                matrix = matrix
+                    .with_storage(ValueStorage::F32)
+                    .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
+            }
+            matrix
         }
-    }
-    let mut matrix = DataMatrix::from_options(rows, cols, data);
-    if storage == ValueStorage::F32 {
-        // Exact: every value was just widened from an f32 on the wire.
-        matrix = matrix
-            .with_storage(ValueStorage::F32)
-            .map_err(|e| ArtifactError::Malformed(e.to_string()))?;
-    }
+        REPR_PAGED_REF => {
+            let dir_text = r.str()?;
+            let fingerprint = r.u64()?;
+            let dir = Path::new(&dir_text);
+            let dir = match base {
+                Some(base) if dir.is_relative() => base.join(dir),
+                _ => dir.to_path_buf(),
+            };
+            let matrix = DataMatrix::open_paged(&dir)?;
+            if matrix.rows() != rows || matrix.cols() != cols {
+                return Err(ArtifactError::Malformed(format!(
+                    "paged matrix at {} is {}×{}, artifact says {rows}×{cols}",
+                    dir.display(),
+                    matrix.rows(),
+                    matrix.cols(),
+                )));
+            }
+            if matrix.fingerprint() != fingerprint {
+                return Err(ArtifactError::Malformed(format!(
+                    "paged matrix at {} no longer matches the artifact \
+                     (content fingerprint changed since save)",
+                    dir.display(),
+                )));
+            }
+            matrix
+        }
+        other => {
+            return Err(ArtifactError::Malformed(format!(
+                "unknown matrix representation {other}"
+            )))
+        }
+    };
 
     // Labels.
     let flags = r.u8()?;
@@ -301,7 +398,8 @@ fn is_json_path(path: &Path) -> bool {
 }
 
 /// Saves `model` to `path` — binary `.dcm` by default, JSON when the
-/// extension is `.json`.
+/// extension is `.json`. Matrix values are written inline even for a
+/// paged-backed matrix; use [`save_paged_ref`] to keep them in their pages.
 pub fn save(model: &ServeModel, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
     let path = path.as_ref();
     // Write-temp-fsync-rename: a crash mid-save can never corrupt or
@@ -314,13 +412,30 @@ pub fn save(model: &ServeModel, path: impl AsRef<Path>) -> Result<(), ArtifactEr
     Ok(())
 }
 
+/// Saves a paged-backed model as a binary paged-ref artifact: the `.dcm`
+/// points at the matrix's block directory instead of inlining the values.
+/// Fails if the matrix is memory-backed or the path selects JSON.
+pub fn save_paged_ref(model: &ServeModel, path: impl AsRef<Path>) -> Result<(), ArtifactError> {
+    let path = path.as_ref();
+    if is_json_path(path) {
+        return Err(ArtifactError::Malformed(
+            "paged-ref artifacts are binary-only; use a .dcm path".into(),
+        ));
+    }
+    crate::atomic::atomic_write(path, &to_bytes_paged_ref(model)?)?;
+    Ok(())
+}
+
 /// Loads a model from `path`, dispatching on the extension like [`save`].
+/// A paged-ref artifact with a relative block-directory path resolves it
+/// against `path`'s parent directory, so an artifact and its pages can be
+/// moved together.
 pub fn load(path: impl AsRef<Path>) -> Result<ServeModel, ArtifactError> {
     let path = path.as_ref();
     if is_json_path(path) {
         from_json(&std::fs::read_to_string(path)?)
     } else {
-        from_bytes(&std::fs::read(path)?)
+        from_bytes_at(&std::fs::read(path)?, path.parent())
     }
 }
 
@@ -329,7 +444,7 @@ mod tests {
     use super::*;
 
     fn sample_model(with_labels: bool) -> ServeModel {
-        let mut m = DataMatrix::new(4, 3);
+        let mut m = DataMatrix::builder(4, 3).build();
         for r in 0..4 {
             for c in 0..3 {
                 if (r + c) % 5 != 4 {
@@ -413,7 +528,7 @@ mod tests {
                 }
             }
         }
-        w.buf.extend_from_slice(&bitmap);
+        w.bytes(&bitmap);
         w.u64(values.len() as u64);
         for v in values {
             w.f64(v);
@@ -453,19 +568,136 @@ mod tests {
         assert_eq!(to_bytes(&loaded)[4], VERSION as u8);
     }
 
-    #[test]
-    fn unknown_storage_tag_is_rejected() {
-        let mut bytes = to_bytes(&sample_model(false));
-        // rows (8) + cols (8) after the 8-byte envelope header.
-        bytes[24] = 7;
+    /// Rewrites one payload byte and recomputes the checksum, so the
+    /// decoder sees a structurally valid frame with a hostile value.
+    fn poke(bytes: &mut [u8], offset: usize, value: u8) {
+        bytes[offset] = value;
         let body_len = bytes.len() - 4;
         let crc = crc32(&bytes[..body_len]).to_le_bytes();
         bytes[body_len..].copy_from_slice(&crc);
+    }
+
+    #[test]
+    fn unknown_storage_tag_is_rejected() {
+        let mut bytes = to_bytes(&sample_model(false));
+        // rows (8) + cols (8) + repr (1) after the 8-byte envelope header.
+        poke(&mut bytes, 25, 7);
         match from_bytes(&bytes) {
             Err(ArtifactError::Malformed(why)) => assert!(why.contains("storage tag 7"), "{why}"),
             Err(other) => panic!("expected Malformed, got {other}"),
             Ok(_) => panic!("expected Malformed, got a model"),
         }
+    }
+
+    #[test]
+    fn unknown_matrix_representation_is_rejected() {
+        let mut bytes = to_bytes(&sample_model(false));
+        // The repr discriminator sits right after rows (8) + cols (8).
+        poke(&mut bytes, 24, 9);
+        match from_bytes(&bytes) {
+            Err(ArtifactError::Malformed(why)) => {
+                assert!(why.contains("representation 9"), "{why}")
+            }
+            Err(other) => panic!("expected Malformed, got {other}"),
+            Ok(_) => panic!("expected Malformed, got a model"),
+        }
+    }
+
+    #[test]
+    fn version_2_artifacts_still_load() {
+        // A version-2 file is the current inline layout minus the repr
+        // discriminator. Splice the discriminator byte out of a v3 artifact
+        // and stamp version 2 — the decoder must accept it unchanged.
+        let model = sample_model(true);
+        let v3 = to_bytes(&model);
+        let mut v2: Vec<u8> = Vec::with_capacity(v3.len() - 1);
+        v2.extend_from_slice(&v3[..24]);
+        v2.extend_from_slice(&v3[25..v3.len() - 4]);
+        v2[4..6].copy_from_slice(&2u16.to_le_bytes());
+        let crc = crc32(&v2).to_le_bytes();
+        v2.extend_from_slice(&crc);
+
+        let loaded = from_bytes(&v2).unwrap();
+        assert!(loaded == model);
+        // Saving it again upgrades the envelope to the current version.
+        assert_eq!(to_bytes(&loaded)[4], VERSION as u8);
+    }
+
+    #[test]
+    fn paged_ref_roundtrip_keeps_values_in_pages() {
+        let dir = std::env::temp_dir().join("dc-serve-artifact-paged-ref");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("matrix");
+
+        // Rebuild the sample model on a paged twin of its matrix.
+        let inline = sample_model(true);
+        let data: Vec<Option<f64>> = (0..4 * 3)
+            .map(|cell| inline.matrix().get(cell / 3, cell % 3))
+            .collect();
+        let mut paged = DataMatrix::builder(4, 3)
+            .paged(&pages)
+            .chunk_rows(2)
+            .from_options(data)
+            .unwrap();
+        paged.set_row_labels((0..4).map(|r| format!("row{r}")).collect());
+        paged.set_col_labels((0..3).map(|c| format!("col{c}")).collect());
+        paged.flush().unwrap();
+        let model = ServeModel::new(
+            paged,
+            inline.clusters().to_vec(),
+            inline.residues().to_vec(),
+            inline.avg_residue(),
+        )
+        .unwrap();
+
+        let artifact = dir.join("model.dcm");
+        save_paged_ref(&model, &artifact).unwrap();
+        // O(model), not O(data): far smaller than the inline encoding.
+        let bytes = std::fs::read(&artifact).unwrap();
+        assert!(bytes.len() < to_bytes(&model).len());
+
+        let loaded = load(&artifact).unwrap();
+        assert_eq!(loaded.matrix().backend(), dc_matrix::BackendKind::Paged);
+        assert!(loaded == model);
+        assert!(loaded == inline, "paged-ref load equals the inline twin");
+
+        // A model whose pages drifted since save must be refused: find the
+        // stored fingerprint (right after the length-prefixed dir path),
+        // flip it, and recompute the CRC.
+        let mut stale = bytes.clone();
+        let dir_text = pages.to_string_lossy().into_owned();
+        let needle = (dir_text.len() as u64).to_le_bytes();
+        let at = (0..stale.len() - needle.len())
+            .find(|&i| stale[i..i + 8] == needle && stale[i + 8..].starts_with(dir_text.as_bytes()))
+            .expect("paged-ref path is embedded in the artifact");
+        let fp_offset = at + 8 + dir_text.len();
+        stale[fp_offset] ^= 0xFF;
+        let body_len = stale.len() - 4;
+        let crc = crc32(&stale[..body_len]).to_le_bytes();
+        stale[body_len..].copy_from_slice(&crc);
+        std::fs::write(&artifact, &stale).unwrap();
+        match load(&artifact) {
+            Err(ArtifactError::Malformed(why)) => assert!(why.contains("fingerprint"), "{why}"),
+            Err(other) => panic!("expected a fingerprint mismatch, got {other}"),
+            Ok(_) => panic!("expected a fingerprint mismatch, got a model"),
+        }
+
+        // Missing pages are a typed error, not a panic.
+        std::fs::write(&artifact, &bytes).unwrap();
+        std::fs::remove_dir_all(&pages).unwrap();
+        assert!(matches!(load(&artifact), Err(ArtifactError::Paged(_))));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn paged_ref_refuses_memory_backed_models() {
+        let model = sample_model(false);
+        assert!(matches!(
+            to_bytes_paged_ref(&model),
+            Err(ArtifactError::Malformed(_))
+        ));
     }
 
     #[test]

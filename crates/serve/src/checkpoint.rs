@@ -245,7 +245,7 @@ mod tests {
 
     fn mined_checkpoints(seed: u64) -> (DataMatrix, FlocConfig, Vec<FlocCheckpoint>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(20, 10);
+        let mut m = DataMatrix::builder(20, 10).build();
         for r in 0..20 {
             for c in 0..10 {
                 if rng.gen_bool(0.9) {
@@ -327,7 +327,9 @@ mod tests {
         // because the fingerprint is computed over widened f64 bits — an
         // f32 matrix and its widened f64 twin are interchangeable.
         let mut rng = StdRng::seed_from_u64(21);
-        let mut m = DataMatrix::with_capacity_storage(20, 10, dc_matrix::ValueStorage::F32);
+        let mut m = DataMatrix::builder(20, 10)
+            .storage(dc_matrix::ValueStorage::F32)
+            .build();
         for r in 0..20 {
             for c in 0..10 {
                 if rng.gen_bool(0.9) {

@@ -198,7 +198,7 @@ mod tests {
     }
 
     fn engine_with(obs: Obs) -> QueryEngine {
-        let mut m = DataMatrix::new(6, 6);
+        let mut m = DataMatrix::builder(6, 6).build();
         for r in 0..4 {
             for c in 0..4 {
                 m.set(r, c, (r + 2 * c) as f64);

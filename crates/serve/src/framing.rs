@@ -1,9 +1,11 @@
-//! Shared binary artifact framing: magic + version envelope, CRC-32
-//! checksum trailer, and little-endian primitive encoding.
+//! Shared binary artifact framing — now hosted in [`dc_matrix::framing`]
+//! and re-exported here unchanged.
 //!
 //! Both on-disk artifact formats — the `.dcm` model ([`crate::artifact`])
 //! and the `.dck` mining checkpoint ([`crate::checkpoint`]) — use the same
-//! envelope:
+//! envelope, and since the paged matrix backend stores its block files in
+//! it too, the codec lives in `dc-matrix` (the bottom of the dependency
+//! stack):
 //!
 //! ```text
 //! offset 0   magic  4 bytes (format-specific)
@@ -13,11 +15,18 @@
 //!        end-4  u32 CRC-32 (IEEE) of every preceding byte
 //! ```
 //!
-//! A flipped byte anywhere surfaces as [`ArtifactError::ChecksumMismatch`]
-//! before any parsing happens, and every read is bounds-checked — corrupt
-//! or truncated files produce typed errors, never panics.
+//! A flipped byte anywhere surfaces as a checksum mismatch before any
+//! parsing happens, and every read is bounds-checked — corrupt or truncated
+//! files produce typed errors, never panics.
+//!
+//! This module keeps [`ArtifactError`], the serve-layer error type: the
+//! codec's [`FrameError`] converts into it losslessly (`?` does it
+//! implicitly), and the serve layer adds the model/JSON failure modes the
+//! codec knows nothing about.
 
 use crate::model::ModelError;
+
+pub use dc_matrix::framing::{crc32, FrameError, Reader, Writer};
 
 /// Everything that can go wrong encoding or decoding a framed artifact.
 #[derive(Debug)]
@@ -40,6 +49,9 @@ pub enum ArtifactError {
     Model(ModelError),
     /// JSON parse error (fallback format or embedded JSON section).
     Json(String),
+    /// A `.dcm` paged-matrix reference pointed at a directory that failed
+    /// to open or validate.
+    Paged(dc_matrix::PagedError),
 }
 
 impl std::fmt::Display for ArtifactError {
@@ -58,6 +70,7 @@ impl std::fmt::Display for ArtifactError {
             ArtifactError::Malformed(why) => write!(f, "malformed artifact: {why}"),
             ArtifactError::Model(e) => write!(f, "inconsistent model: {e}"),
             ArtifactError::Json(e) => write!(f, "json parse error: {e}"),
+            ArtifactError::Paged(e) => write!(f, "paged matrix reference: {e}"),
         }
     }
 }
@@ -76,213 +89,24 @@ impl From<ModelError> for ArtifactError {
     }
 }
 
-// ---- CRC-32 (IEEE 802.3, reflected) --------------------------------------
+impl From<dc_matrix::PagedError> for ArtifactError {
+    fn from(e: dc_matrix::PagedError) -> Self {
+        ArtifactError::Paged(e)
+    }
+}
 
-fn crc32_table() -> &'static [u32; 256] {
-    use std::sync::OnceLock;
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
-            let mut crc = i as u32;
-            for _ in 0..8 {
-                crc = if crc & 1 != 0 {
-                    (crc >> 1) ^ 0xEDB8_8320
-                } else {
-                    crc >> 1
-                };
+impl From<FrameError> for ArtifactError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ArtifactError::Io(e),
+            FrameError::BadMagic => ArtifactError::BadMagic,
+            FrameError::UnsupportedVersion(v) => ArtifactError::UnsupportedVersion(v),
+            FrameError::ChecksumMismatch { stored, computed } => {
+                ArtifactError::ChecksumMismatch { stored, computed }
             }
-            *slot = crc;
+            FrameError::Truncated => ArtifactError::Truncated,
+            FrameError::Malformed(why) => ArtifactError::Malformed(why),
         }
-        table
-    })
-}
-
-/// CRC-32 (IEEE) of `bytes`.
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let table = crc32_table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-// ---- encoding ------------------------------------------------------------
-
-/// Little-endian section encoder. Start with [`Writer::begin`], append
-/// sections, and [`Writer::finish`] to seal the checksum trailer.
-pub struct Writer {
-    pub(crate) buf: Vec<u8>,
-}
-
-impl Writer {
-    /// Opens an envelope with `magic` and `version` (reserved flags 0).
-    pub fn begin(magic: [u8; 4], version: u16) -> Self {
-        let mut w = Writer { buf: Vec::new() };
-        w.buf.extend_from_slice(&magic);
-        w.u16(version);
-        w.u16(0); // reserved flags
-        w
-    }
-
-    /// Appends the CRC-32 trailer and returns the complete artifact bytes.
-    pub fn finish(mut self) -> Vec<u8> {
-        let crc = crc32(&self.buf);
-        self.u32(crc);
-        self.buf
-    }
-
-    pub fn u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-    pub fn u16(&mut self, v: u16) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    pub fn u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    pub fn u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    pub fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    pub fn f32(&mut self, v: f32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-    /// Length-prefixed UTF-8 string.
-    pub fn str(&mut self, s: &str) {
-        self.u64(s.len() as u64);
-        self.buf.extend_from_slice(s.as_bytes());
-    }
-    /// Length-prefixed ascending index list.
-    pub fn indices(&mut self, ix: &[usize]) {
-        self.u64(ix.len() as u64);
-        for &i in ix {
-            self.u64(i as u64);
-        }
-    }
-}
-
-// ---- decoding ------------------------------------------------------------
-
-/// Bounds-checked little-endian section decoder over a validated envelope
-/// body (checksum trailer excluded).
-pub struct Reader<'a> {
-    pub(crate) bytes: &'a [u8],
-    pub(crate) pos: usize,
-    version: u16,
-}
-
-impl<'a> Reader<'a> {
-    /// Validates the envelope of `bytes` — magic, version (`1..=version`),
-    /// CRC-32 trailer — and returns a reader positioned at the payload.
-    ///
-    /// # Errors
-    /// [`ArtifactError::BadMagic`], [`ArtifactError::UnsupportedVersion`],
-    /// [`ArtifactError::ChecksumMismatch`], or [`ArtifactError::Truncated`]
-    /// when the file is too short to hold an envelope at all.
-    pub fn open(bytes: &'a [u8], magic: [u8; 4], version: u16) -> Result<Self, ArtifactError> {
-        if bytes.len() < magic.len() + 4 + 4 {
-            return Err(ArtifactError::Truncated);
-        }
-        if bytes[..4] != magic {
-            return Err(ArtifactError::BadMagic);
-        }
-        let file_version = u16::from_le_bytes(bytes[4..6].try_into().unwrap());
-        if file_version == 0 || file_version > version {
-            return Err(ArtifactError::UnsupportedVersion(file_version));
-        }
-        let body = &bytes[..bytes.len() - 4];
-        let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
-        let computed = crc32(body);
-        if stored != computed {
-            return Err(ArtifactError::ChecksumMismatch { stored, computed });
-        }
-        Ok(Reader {
-            bytes: body,
-            pos: 8,
-            version: file_version,
-        })
-    }
-
-    /// The format version stamped in the file's envelope — at most the
-    /// `version` passed to [`Reader::open`]. Decoders branch on this to
-    /// skip sections that older writers did not emit.
-    pub fn version(&self) -> u16 {
-        self.version
-    }
-
-    /// Fails with [`ArtifactError::Malformed`] unless the payload was
-    /// consumed exactly.
-    pub fn expect_end(&self) -> Result<(), ArtifactError> {
-        if self.pos != self.bytes.len() {
-            return Err(ArtifactError::Malformed(format!(
-                "{} trailing bytes after payload",
-                self.bytes.len() - self.pos
-            )));
-        }
-        Ok(())
-    }
-
-    pub fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
-        let end = self.pos.checked_add(n).ok_or(ArtifactError::Truncated)?;
-        if end > self.bytes.len() {
-            return Err(ArtifactError::Truncated);
-        }
-        let s = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(s)
-    }
-    pub fn u8(&mut self) -> Result<u8, ArtifactError> {
-        Ok(self.take(1)?[0])
-    }
-    pub fn u64(&mut self) -> Result<u64, ArtifactError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    pub fn f64(&mut self) -> Result<f64, ArtifactError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
-    }
-    pub fn f32(&mut self) -> Result<f32, ArtifactError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
-    }
-    /// A `u64` count that must also be a sane in-memory size.
-    pub fn count(&mut self, what: &str, limit: usize) -> Result<usize, ArtifactError> {
-        let n = self.u64()?;
-        if n > limit as u64 {
-            return Err(ArtifactError::Malformed(format!(
-                "{what} count {n} exceeds limit {limit}"
-            )));
-        }
-        Ok(n as usize)
-    }
-    pub fn str(&mut self) -> Result<String, ArtifactError> {
-        let len = self.count("string length", self.bytes.len())?;
-        String::from_utf8(self.take(len)?.to_vec())
-            .map_err(|_| ArtifactError::Malformed("string is not UTF-8".into()))
-    }
-    /// A strictly ascending index list bounded by `bound`.
-    pub fn indices(&mut self, bound: usize, what: &str) -> Result<Vec<usize>, ArtifactError> {
-        let n = self.count(what, bound)?;
-        let mut out = Vec::with_capacity(n);
-        let mut prev: Option<usize> = None;
-        for _ in 0..n {
-            let i = self.u64()? as usize;
-            if i >= bound {
-                return Err(ArtifactError::Malformed(format!(
-                    "{what} index {i} out of range 0..{bound}"
-                )));
-            }
-            if prev.is_some_and(|p| p >= i) {
-                return Err(ArtifactError::Malformed(format!(
-                    "{what} indices not strictly ascending"
-                )));
-            }
-            prev = Some(i);
-            out.push(i);
-        }
-        Ok(out)
     }
 }
 
@@ -293,81 +117,35 @@ mod tests {
     const MAGIC: [u8; 4] = *b"TST1";
 
     #[test]
-    fn crc32_matches_known_vector() {
-        // The standard IEEE test vector.
-        assert_eq!(crc32(b"123456789"), 0xCBF43926);
-        assert_eq!(crc32(b""), 0);
-    }
+    fn frame_errors_convert_variant_for_variant() {
+        let mut w = Writer::begin(MAGIC, 9);
+        w.u64(1);
+        let newer = w.finish();
+        let err: ArtifactError = Reader::open(&newer, MAGIC, 1).unwrap_err().into();
+        assert!(matches!(err, ArtifactError::UnsupportedVersion(9)));
 
-    #[test]
-    fn envelope_roundtrip() {
-        let mut w = Writer::begin(MAGIC, 1);
-        w.u64(7);
-        w.str("hello");
-        w.indices(&[1, 4, 9]);
-        let bytes = w.finish();
-        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
-        assert_eq!(r.u64().unwrap(), 7);
-        assert_eq!(r.str().unwrap(), "hello");
-        assert_eq!(r.indices(10, "test").unwrap(), vec![1, 4, 9]);
-        r.expect_end().unwrap();
-    }
-
-    #[test]
-    fn reader_reports_the_file_version_not_the_ceiling() {
-        let mut w = Writer::begin(MAGIC, 1);
-        w.f32(1.5);
-        w.f32(f32::MIN_POSITIVE);
-        let bytes = w.finish();
-        // Opened with a newer ceiling, the reader still reports what the
-        // file was written as — decoders gate new sections on this.
-        let mut r = Reader::open(&bytes, MAGIC, 3).unwrap();
-        assert_eq!(r.version(), 1);
-        assert_eq!(r.f32().unwrap(), 1.5);
-        assert_eq!(r.f32().unwrap().to_bits(), f32::MIN_POSITIVE.to_bits());
-        r.expect_end().unwrap();
-    }
-
-    #[test]
-    fn envelope_rejects_wrong_magic_version_and_corruption() {
         let mut w = Writer::begin(MAGIC, 1);
         w.u64(1);
-        let bytes = w.finish();
-
-        assert!(matches!(
-            Reader::open(&bytes, *b"OTHR", 1),
-            Err(ArtifactError::BadMagic)
-        ));
-
-        let mut newer = Writer::begin(MAGIC, 9);
-        newer.u64(1);
-        let newer = newer.finish();
-        assert!(matches!(
-            Reader::open(&newer, MAGIC, 1),
-            Err(ArtifactError::UnsupportedVersion(9))
-        ));
-
-        let mut corrupt = bytes.clone();
+        let mut corrupt = w.finish();
         corrupt[9] ^= 1;
-        assert!(matches!(
-            Reader::open(&corrupt, MAGIC, 1),
-            Err(ArtifactError::ChecksumMismatch { .. })
-        ));
+        let err: ArtifactError = Reader::open(&corrupt, MAGIC, 1).unwrap_err().into();
+        assert!(matches!(err, ArtifactError::ChecksumMismatch { .. }));
 
-        assert!(matches!(
-            Reader::open(&bytes[..6], MAGIC, 1),
-            Err(ArtifactError::Truncated)
-        ));
+        let err: ArtifactError = Reader::open(b"OTHR", MAGIC, 1).unwrap_err().into();
+        assert!(matches!(err, ArtifactError::Truncated));
     }
 
     #[test]
-    fn trailing_bytes_are_detected() {
+    fn question_mark_converts_inside_artifact_functions() {
+        fn decode(bytes: &[u8]) -> Result<u64, ArtifactError> {
+            let mut r = Reader::open(bytes, MAGIC, 1)?;
+            let v = r.u64()?;
+            r.expect_end()?;
+            Ok(v)
+        }
         let mut w = Writer::begin(MAGIC, 1);
-        w.u64(1);
-        w.u64(2);
-        let bytes = w.finish();
-        let mut r = Reader::open(&bytes, MAGIC, 1).unwrap();
-        let _ = r.u64().unwrap();
-        assert!(matches!(r.expect_end(), Err(ArtifactError::Malformed(_))));
+        w.u64(42);
+        assert_eq!(decode(&w.finish()).unwrap(), 42);
+        assert!(matches!(decode(b""), Err(ArtifactError::Truncated)));
     }
 }

@@ -27,7 +27,7 @@
 //! use dc_matrix::DataMatrix;
 //! use dc_serve::{QueryEngine, ServeModel};
 //!
-//! let mut m = DataMatrix::new(3, 3);
+//! let mut m = DataMatrix::builder(3, 3).build();
 //! for r in 0..3 {
 //!     for c in 0..3 {
 //!         if (r, c) != (2, 2) {

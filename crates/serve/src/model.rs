@@ -280,7 +280,7 @@ mod tests {
 
     /// Perfectly coherent 3×4 viewers matrix plus noise row/col outside.
     fn model() -> ServeModel {
-        let mut m = DataMatrix::new(4, 5);
+        let mut m = DataMatrix::builder(4, 5).build();
         for (r, base) in [1.0, 2.0, 3.0].iter().enumerate() {
             for (c, off) in [0.0, 1.0, 2.0, 4.0].iter().enumerate() {
                 m.set(r, c, base + off);
@@ -325,7 +325,7 @@ mod tests {
 
     #[test]
     fn top_n_ranks_unseen_columns() {
-        let mut m = DataMatrix::new(3, 4);
+        let mut m = DataMatrix::builder(3, 4).build();
         // Coherent block with col effects 0,1,2; column 3 unrated by row 0.
         for r in 0..3 {
             for c in 0..3 {
@@ -350,7 +350,7 @@ mod tests {
 
     #[test]
     fn misaligned_parts_are_rejected() {
-        let m = DataMatrix::new(2, 2);
+        let m = DataMatrix::builder(2, 2).build();
         let c = DeltaCluster::from_indices(2, 2, [0], [0]);
         assert!(matches!(
             ServeModel::new(m.clone(), vec![c.clone()], vec![], 0.0),

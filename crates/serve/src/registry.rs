@@ -314,7 +314,7 @@ mod tests {
     use dc_obs::MemorySink;
 
     fn model(fill: f64) -> ServeModel {
-        let mut m = DataMatrix::new(4, 4);
+        let mut m = DataMatrix::builder(4, 4).build();
         for r in 0..4 {
             for c in 0..4 {
                 m.set(r, c, fill * (r + c) as f64);

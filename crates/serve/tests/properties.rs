@@ -17,7 +17,7 @@ use proptest::prelude::*;
 /// `d_ij = base + row_effect_i + col_effect_j`, covered by one δ-cluster.
 fn perfect_model(base: f64, row_effects: &[f64], col_effects: &[f64]) -> ServeModel {
     let (m, n) = (row_effects.len(), col_effects.len());
-    let mut matrix = DataMatrix::new(m, n);
+    let mut matrix = DataMatrix::builder(m, n).build();
     for (r, re) in row_effects.iter().enumerate() {
         for (c, ce) in col_effects.iter().enumerate() {
             matrix.set(r, c, base + re + ce);
@@ -103,7 +103,7 @@ use rand::{Rng, SeedableRng};
 /// Mines a small random matrix and returns every checkpoint it emitted.
 fn mined_snapshots(seed: u64, rows: usize, cols: usize) -> Vec<FlocCheckpoint> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut m = DataMatrix::new(rows, cols);
+    let mut m = DataMatrix::builder(rows, cols).build();
     for r in 0..rows {
         for c in 0..cols {
             if rng.gen_bool(0.9) {

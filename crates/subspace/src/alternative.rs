@@ -140,7 +140,7 @@ mod tests {
     #[allow(clippy::needless_range_loop)] // index drives both the block test and the pattern lookup
     fn planted(rows: usize, cols: usize, br: usize, bc: usize, seed: u64) -> DataMatrix {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut m = DataMatrix::new(rows, cols);
+        let mut m = DataMatrix::builder(rows, cols).build();
         let pattern: Vec<f64> = (0..bc).map(|_| rng.gen_range(0.0..30.0)).collect();
         for r in 0..rows {
             let bias: f64 = rng.gen_range(0.0..40.0);
@@ -207,7 +207,8 @@ mod tests {
     #[test]
     fn pure_noise_yields_few_or_no_clusters() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(40, 6, (0..240).map(|_| rng.gen_range(0.0..200.0)).collect());
+        let m = DataMatrix::builder(40, 6)
+            .from_rows((0..240).map(|_| rng.gen_range(0.0..200.0)).collect());
         let result = alternative(&m, &config());
         // Any surviving candidates must not look strongly coherent.
         for &r in &result.residues {

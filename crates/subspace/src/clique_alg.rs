@@ -73,7 +73,7 @@ mod tests {
             data.push(rng.gen_range(0.0..10.0));
             data.push(rng.gen_range(0.0..10.0));
         }
-        DataMatrix::from_rows(60, 3, data)
+        DataMatrix::builder(60, 3).from_rows(data)
     }
 
     #[test]
@@ -119,7 +119,8 @@ mod tests {
     #[test]
     fn empty_result_when_nothing_is_dense() {
         let mut rng = StdRng::seed_from_u64(3);
-        let m = DataMatrix::from_rows(50, 2, (0..100).map(|_| rng.gen_range(0.0..100.0)).collect());
+        let m = DataMatrix::builder(50, 2)
+            .from_rows((0..100).map(|_| rng.gen_range(0.0..100.0)).collect());
         let clusters = clique(
             &m,
             &CliqueConfig {

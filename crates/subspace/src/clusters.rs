@@ -137,7 +137,7 @@ mod tests {
         for i in 0..5 {
             data.push(9.0 + 0.2 * i as f64);
         }
-        let m = DataMatrix::from_rows(10, 1, data);
+        let m = DataMatrix::builder(10, 1).from_rows(data);
         let g = Grid::new(&m, 5); // bins of width 2
         let levels = dense_units(&g, 0.2, 1);
         let clusters = merge_level(&g, &levels[0]);
@@ -153,7 +153,7 @@ mod tests {
         for i in 0..10 {
             data.push(i as f64); // values 0..9, ξ=2 → bins [0,4.5), [4.5,9]
         }
-        let m = DataMatrix::from_rows(10, 1, data);
+        let m = DataMatrix::builder(10, 1).from_rows(data);
         let g = Grid::new(&m, 2);
         let levels = dense_units(&g, 0.2, 1);
         let clusters = merge_level(&g, &levels[0]);
@@ -173,7 +173,7 @@ mod tests {
         }
         data.extend_from_slice(&[0.0, 10.0, 100.0]);
         data.extend_from_slice(&[10.0, 0.0, -50.0]);
-        let m = DataMatrix::from_rows(8, 3, data);
+        let m = DataMatrix::builder(8, 3).from_rows(data);
         let g = Grid::new(&m, 4);
         let levels = dense_units(&g, 0.5, 2);
         // Dims 0 and 1 concentrate in one bin → a 2-d dense unit on (0, 1).

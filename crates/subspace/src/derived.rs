@@ -38,7 +38,7 @@ pub fn derive(matrix: &DataMatrix) -> DerivedMatrix {
     let pairs: Vec<(usize, usize)> = (0..n)
         .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
         .collect();
-    let mut out = DataMatrix::new(matrix.rows(), pairs.len());
+    let mut out = DataMatrix::builder(matrix.rows(), pairs.len()).build();
     for r in 0..matrix.rows() {
         for (d, &(a, b)) in pairs.iter().enumerate() {
             if let (Some(x), Some(y)) = (matrix.get(r, a), matrix.get(r, b)) {
@@ -55,7 +55,7 @@ mod tests {
 
     #[test]
     fn derived_dimension_count_is_quadratic() {
-        let m = DataMatrix::from_rows(1, 5, vec![0.0; 5]);
+        let m = DataMatrix::builder(1, 5).from_rows(vec![0.0; 5]);
         let d = derive(&m);
         assert_eq!(d.matrix.cols(), 10); // 5·4/2
         assert_eq!(d.pairs.len(), 10);
@@ -63,7 +63,7 @@ mod tests {
 
     #[test]
     fn derived_values_are_differences() {
-        let m = DataMatrix::from_rows(2, 3, vec![5.0, 3.0, 1.0, 10.0, 6.0, 2.0]);
+        let m = DataMatrix::builder(2, 3).from_rows(vec![5.0, 3.0, 1.0, 10.0, 6.0, 2.0]);
         let d = derive(&m);
         // pairs: (0,1), (0,2), (1,2)
         assert_eq!(d.pairs, vec![(0, 1), (0, 2), (1, 2)]);
@@ -76,15 +76,11 @@ mod tests {
     #[test]
     fn coherent_rows_agree_on_derived_attributes() {
         // Rows shifted by constants: derived values identical across rows.
-        let m = DataMatrix::from_rows(
-            3,
-            4,
-            vec![
-                1.0, 5.0, 2.0, 7.0, //
-                11.0, 15.0, 12.0, 17.0, //
-                4.0, 8.0, 5.0, 10.0,
-            ],
-        );
+        let m = DataMatrix::builder(3, 4).from_rows(vec![
+            1.0, 5.0, 2.0, 7.0, //
+            11.0, 15.0, 12.0, 17.0, //
+            4.0, 8.0, 5.0, 10.0,
+        ]);
         let d = derive(&m);
         for col in 0..d.matrix.cols() {
             let v0 = d.matrix.get(0, col).unwrap();
@@ -96,7 +92,7 @@ mod tests {
 
     #[test]
     fn missing_propagates_to_derived() {
-        let m = DataMatrix::from_options(1, 3, vec![Some(1.0), None, Some(4.0)]);
+        let m = DataMatrix::builder(1, 3).from_options(vec![Some(1.0), None, Some(4.0)]);
         let d = derive(&m);
         assert_eq!(d.matrix.get(0, 0), None); // (0,1): 1 missing
         assert_eq!(d.matrix.get(0, 1), Some(-3.0)); // (0,2)
@@ -105,7 +101,7 @@ mod tests {
 
     #[test]
     fn column_of_maps_both_orders() {
-        let m = DataMatrix::from_rows(1, 4, vec![0.0; 4]);
+        let m = DataMatrix::builder(1, 4).from_rows(vec![0.0; 4]);
         let d = derive(&m);
         assert_eq!(d.column_of(1, 3), d.column_of(3, 1));
         assert_eq!(d.pairs[d.column_of(1, 3).unwrap()], (1, 3));
@@ -118,7 +114,7 @@ mod tests {
         // The paper derives attributes from the Figure 4(a) yeast excerpt;
         // spot-check VPS8: CH1I=401, CH1B=281, CH1D=120 → 1I1B = 120,
         // 1B1D = 161, 1I1D = 281.
-        let m = DataMatrix::from_rows(1, 3, vec![401.0, 281.0, 120.0]);
+        let m = DataMatrix::builder(1, 3).from_rows(vec![401.0, 281.0, 120.0]);
         let d = derive(&m);
         assert_eq!(d.matrix.get(0, d.column_of(0, 1).unwrap()), Some(120.0));
         assert_eq!(d.matrix.get(0, d.column_of(1, 2).unwrap()), Some(161.0));

@@ -87,7 +87,7 @@ mod tests {
 
     #[test]
     fn bins_partition_the_range() {
-        let m = DataMatrix::from_rows(5, 1, vec![0.0, 2.5, 5.0, 7.5, 10.0]);
+        let m = DataMatrix::builder(5, 1).from_rows(vec![0.0, 2.5, 5.0, 7.5, 10.0]);
         let g = Grid::new(&m, 4);
         assert_eq!(g.bin(0, 0), Some(0));
         assert_eq!(g.bin(0, 1), Some(1));
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn interval_reconstruction() {
-        let m = DataMatrix::from_rows(3, 1, vec![0.0, 5.0, 10.0]);
+        let m = DataMatrix::builder(3, 1).from_rows(vec![0.0, 5.0, 10.0]);
         let g = Grid::new(&m, 2);
         assert_eq!(g.interval(0, 0), (0.0, 5.0));
         assert_eq!(g.interval(0, 1), (5.0, 10.0));
@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn constant_dimension_goes_to_bin_zero() {
-        let m = DataMatrix::from_rows(3, 1, vec![4.0, 4.0, 4.0]);
+        let m = DataMatrix::builder(3, 1).from_rows(vec![4.0, 4.0, 4.0]);
         let g = Grid::new(&m, 5);
         for p in 0..3 {
             assert_eq!(g.bin(0, p), Some(0));
@@ -116,7 +116,7 @@ mod tests {
 
     #[test]
     fn missing_values_have_no_bin() {
-        let m = DataMatrix::from_options(2, 1, vec![Some(1.0), None]);
+        let m = DataMatrix::builder(2, 1).from_options(vec![Some(1.0), None]);
         let g = Grid::new(&m, 3);
         assert_eq!(g.bin(0, 0), Some(0));
         assert_eq!(g.bin(0, 1), None);
@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn dims_and_points() {
-        let m = DataMatrix::from_rows(4, 3, (0..12).map(|x| x as f64).collect());
+        let m = DataMatrix::builder(4, 3).from_rows((0..12).map(|x| x as f64).collect());
         let g = Grid::new(&m, 2);
         assert_eq!(g.dims(), 3);
         assert_eq!(g.points(), 4);
@@ -133,7 +133,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_panics() {
-        let m = DataMatrix::from_rows(1, 1, vec![1.0]);
+        let m = DataMatrix::builder(1, 1).from_rows(vec![1.0]);
         let _ = Grid::new(&m, 0);
     }
 }

@@ -24,7 +24,7 @@
 //! }
 //! data.push(10.0);
 //! data.push(5.0);
-//! let m = DataMatrix::from_rows(11, 2, data);
+//! let m = DataMatrix::builder(11, 2).from_rows(data);
 //! let clusters = clique(&m, &CliqueConfig { bins: 5, tau: 0.5, max_level: 2 });
 //! assert!(clusters.iter().any(|c| c.dims == vec![0]));
 //! ```

@@ -16,7 +16,7 @@ use delta_clusters::prelude::*;
 
 fn planted_matrix() -> DataMatrix {
     // Two coherent genre blocks, as in the crate-level quick example.
-    let mut m = DataMatrix::new(8, 10);
+    let mut m = DataMatrix::builder(8, 10).build();
     for r in 0..8 {
         for c in 0..10 {
             let base = if (r < 4) == (c < 5) { 10.0 } else { 2.0 };

@@ -21,15 +21,11 @@ fn main() {
 /// Figure 1: d1, d2, d3 are shifted copies of one pattern.
 fn figure1() {
     println!("== Figure 1: coherent objects despite large distances ==");
-    let m = DataMatrix::from_rows(
-        3,
-        5,
-        vec![
-            1.0, 5.0, 23.0, 12.0, 20.0, //
-            11.0, 15.0, 33.0, 22.0, 30.0, //
-            111.0, 115.0, 133.0, 122.0, 130.0,
-        ],
-    );
+    let m = DataMatrix::builder(3, 5).from_rows(vec![
+        1.0, 5.0, 23.0, 12.0, 20.0, //
+        11.0, 15.0, 33.0, 22.0, 30.0, //
+        111.0, 115.0, 133.0, 122.0, 130.0,
+    ]);
     let cluster = DeltaCluster::from_indices(3, 5, 0..3, 0..5);
     let residue = cluster_residue(&m, &cluster, ResidueMean::Arithmetic);
     let diam = eval::diameter(&m, &cluster);
@@ -45,7 +41,7 @@ fn figure1() {
 /// viewer say?
 fn rating_prediction() {
     println!("== §1 e-commerce: predicting a missing rating ==");
-    let mut m = DataMatrix::new(3, 5);
+    let mut m = DataMatrix::builder(3, 5).build();
     let ratings = [
         [1.0, 2.0, 3.0, 5.0],
         [2.0, 3.0, 4.0, 6.0],
@@ -72,16 +68,12 @@ fn rating_prediction() {
 /// perfect δ-cluster — and FLOC finds both.
 fn genre_clusters() {
     println!("== §3: subspace coherence that Pearson R misses ==");
-    let m = DataMatrix::from_rows(
-        4,
-        6,
-        vec![
-            8.0, 7.0, 9.0, 2.0, 2.0, 3.0, //
-            9.0, 8.0, 10.0, 3.0, 3.0, 4.0, //
-            2.0, 1.0, 3.0, 8.0, 8.0, 9.0, //
-            3.0, 2.0, 4.0, 9.0, 9.0, 10.0,
-        ],
-    );
+    let m = DataMatrix::builder(4, 6).from_rows(vec![
+        8.0, 7.0, 9.0, 2.0, 2.0, 3.0, //
+        9.0, 8.0, 10.0, 3.0, 3.0, 4.0, //
+        2.0, 1.0, 3.0, 8.0, 8.0, 9.0, //
+        3.0, 2.0, 4.0, 9.0, 9.0, 10.0,
+    ]);
     let global = matrix::pearson::row_pearson(&m, 0, 2).unwrap();
     println!("  global Pearson R between viewer 1 and viewer 3: {global:.2} (misleading)");
     assert!(global < 0.0);

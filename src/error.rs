@@ -5,7 +5,7 @@
 //! ([`PredictError`]), file formats ([`ParseError`], [`ArtifactError`]),
 //! and so on. Code that composes several layers (load a matrix, mine it,
 //! snapshot the model, serve predictions) previously had to map each of
-//! them by hand. [`Error`] wraps all twelve with `From` impls, so such
+//! them by hand. [`Error`] wraps each of them with `From` impls, so such
 //! code can use the [`Result`] alias and `?` throughout:
 //!
 //! ```no_run
@@ -28,7 +28,7 @@ use dc_cli::commands::CmdError;
 use dc_floc::{AmplificationError, FlocError, PredictError, ResumeError, SeedError};
 use dc_matrix::categorical::EncodeError;
 use dc_matrix::transform::TransformError;
-use dc_matrix::ParseError;
+use dc_matrix::{PagedError, ParseError};
 use dc_online::OnlineError;
 use dc_serve::{ArtifactError, ModelError};
 
@@ -44,6 +44,7 @@ use dc_serve::{ArtifactError, ModelError};
 /// | [`Error::Parse`] | `dc-matrix` | delimited/triple matrix parsing |
 /// | [`Error::Transform`] | `dc-matrix` | matrix normalisation transforms |
 /// | [`Error::Encode`] | `dc-matrix` | categorical encoding |
+/// | [`Error::Paged`] | `dc-matrix` | paged storage backend I/O |
 /// | [`Error::Artifact`] | `dc-serve` | `.dcm`/`.dck` (de)serialisation |
 /// | [`Error::Model`] | `dc-serve` | serve-model construction |
 /// | [`Error::Arg`] | `dc-cli` | command-line flag parsing |
@@ -68,6 +69,8 @@ pub enum Error {
     Transform(TransformError),
     /// Categorical encoding failed.
     Encode(EncodeError),
+    /// The paged storage backend hit an I/O, framing, or validation error.
+    Paged(PagedError),
     /// A model/checkpoint artifact was malformed or corrupt.
     Artifact(ArtifactError),
     /// A serve model could not be built.
@@ -98,6 +101,7 @@ impl std::fmt::Display for Error {
             Error::Parse(e) => write!(f, "matrix parse failed: {e}"),
             Error::Transform(e) => write!(f, "transform failed: {e}"),
             Error::Encode(e) => write!(f, "encoding failed: {e}"),
+            Error::Paged(e) => write!(f, "paged storage failed: {e}"),
             Error::Artifact(e) => write!(f, "artifact error: {e}"),
             Error::Model(e) => write!(f, "model error: {e}"),
             Error::Arg(e) => write!(f, "argument error: {e}"),
@@ -118,6 +122,7 @@ impl std::error::Error for Error {
             Error::Parse(e) => Some(e),
             Error::Transform(e) => Some(e),
             Error::Encode(e) => Some(e),
+            Error::Paged(e) => Some(e),
             Error::Artifact(e) => Some(e),
             Error::Model(e) => Some(e),
             Error::Arg(e) => Some(e),
@@ -146,6 +151,7 @@ impl_from! {
     ParseError => Parse,
     TransformError => Transform,
     EncodeError => Encode,
+    PagedError => Paged,
     ArtifactError => Artifact,
     ModelError => Model,
     ArgError => Arg,

@@ -25,7 +25,7 @@
 //!
 //! // Figure 1 of the paper: three mutually shifted vectors form a perfect
 //! // δ-cluster even though they are far apart in Euclidean space.
-//! let m = DataMatrix::from_rows(3, 5, vec![
+//! let m = DataMatrix::builder(3, 5).from_rows(vec![
 //!     1.0,   5.0,   23.0,  12.0,  20.0,
 //!     11.0,  15.0,  33.0,  22.0,  30.0,
 //!     111.0, 115.0, 133.0, 122.0, 130.0,
@@ -70,13 +70,15 @@ pub mod prelude {
     pub use dc_datagen::{EmbedConfig, MicroarrayConfig, MovieLensConfig};
     pub use dc_eval::{diameter, match_clusters, quality};
     #[allow(deprecated)]
-    pub use dc_floc::floc_restarts;
     pub use dc_floc::{
         cluster_residue, floc, floc_observed, floc_parallel, floc_resume, floc_resume_with,
         floc_with, Constraint, DeltaCluster, FlocCheckpoint, FlocConfig, FlocResult, InterruptFlag,
         Ordering, Parallelism, ResidueMean, Seeding, StopReason,
     };
-    pub use dc_matrix::{validate, BitSet, DataMatrix, ValidationReport};
+    pub use dc_matrix::{
+        validate, BackendKind, BitSet, DataMatrix, MatrixBuilder, PagedError, PagedOptions,
+        Storage, ValidationReport,
+    };
     pub use dc_net::{serve as serve_http, AppState, HttpClient, ServerConfig, ServerHandle};
     pub use dc_obs::{JsonSink, MemorySink, MetricsSink, NullSink, Obs, Sink, TextSink};
     pub use dc_online::{spawn_miner, Miner, MinerConfig, OnlineError, SourceSpec};
