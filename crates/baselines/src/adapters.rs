@@ -1,0 +1,274 @@
+//! Adapters exposing the repo's pre-existing algorithms — FLOC itself,
+//! Cheng–Church biclustering, and the §4.4 CLIQUE "alternative" — through
+//! the [`SubspaceAlgorithm`] interface, so the head-to-head harness runs
+//! one loop over every contender.
+//!
+//! FLOC maps losslessly (its config already carries threads, budget, and
+//! interrupt wiring). Cheng–Church and the CLIQUE alternative are
+//! single-shot algorithms without cooperative cancellation points; their
+//! adapters honor an *already-raised* interrupt before starting and
+//! otherwise run to completion — best-effort, documented here rather than
+//! papered over.
+
+use crate::error::BaselineError;
+use crate::traits::{FitContext, FitStop, SubspaceAlgorithm, SubspaceClustering};
+use dc_bicluster::{cheng_church, ChengChurchConfig};
+use dc_floc::{floc_with, DeltaCluster, FlocConfig, InterruptFlag, StopReason};
+use dc_matrix::DataMatrix;
+use dc_subspace::alternative;
+use std::time::Instant;
+
+// Re-exported so downstream users (the CLI, the benchmark harness) can
+// configure every adapter from this one crate.
+pub use dc_subspace::{AlternativeConfig, CliqueConfig};
+
+/// FLOC behind the baseline interface.
+#[derive(Debug, Clone)]
+pub struct FlocBaseline {
+    /// The full FLOC search configuration; runtime plumbing (threads,
+    /// budget, interrupt) is overridden from the [`FitContext`] per fit.
+    pub config: FlocConfig,
+}
+
+impl FlocBaseline {
+    /// Convenience constructor.
+    pub fn new(config: FlocConfig) -> Self {
+        FlocBaseline { config }
+    }
+}
+
+impl SubspaceAlgorithm for FlocBaseline {
+    fn name(&self) -> &'static str {
+        "floc"
+    }
+
+    fn fit(
+        &self,
+        matrix: &DataMatrix,
+        ctx: &FitContext,
+    ) -> Result<SubspaceClustering, BaselineError> {
+        let mut config = self.config.clone();
+        config.parallelism.threads = ctx.effective_threads();
+        if ctx.time_budget.is_some() {
+            config.time_budget = ctx.time_budget;
+        }
+        if let Some(handle) = &ctx.interrupt {
+            config.interrupt = InterruptFlag::new(handle.clone());
+        }
+        let result = floc_with(matrix, &config, &ctx.obs).map_err(|e| match e {
+            dc_floc::FlocError::EmptyMatrix => BaselineError::EmptyMatrix,
+            other => BaselineError::Algorithm(other.to_string()),
+        })?;
+        let stop = match result.stop_reason {
+            StopReason::Converged => FitStop::Converged,
+            StopReason::MaxIterations => FitStop::Capped,
+            StopReason::Budget => FitStop::Budget,
+            StopReason::Interrupted => FitStop::Interrupted,
+        };
+        Ok(SubspaceClustering::from_clusters(
+            self.name(),
+            matrix,
+            result.clusters,
+            result.elapsed,
+            stop,
+        ))
+    }
+}
+
+/// Cheng–Church biclustering behind the baseline interface.
+#[derive(Debug, Clone)]
+pub struct ChengChurchBaseline {
+    /// Cheng–Church parameters (`k`, `δ`, deletion thresholds, seed).
+    pub config: ChengChurchConfig,
+}
+
+impl ChengChurchBaseline {
+    /// Convenience constructor.
+    pub fn new(config: ChengChurchConfig) -> Self {
+        ChengChurchBaseline { config }
+    }
+}
+
+impl SubspaceAlgorithm for ChengChurchBaseline {
+    fn name(&self) -> &'static str {
+        "cheng-church"
+    }
+
+    fn fit(
+        &self,
+        matrix: &DataMatrix,
+        ctx: &FitContext,
+    ) -> Result<SubspaceClustering, BaselineError> {
+        if matrix.rows() == 0 || matrix.cols() == 0 || matrix.specified_count() == 0 {
+            return Err(BaselineError::EmptyMatrix);
+        }
+        if let Some(stop) = ctx.deadline().check() {
+            return Ok(SubspaceClustering::from_clusters(
+                self.name(),
+                matrix,
+                Vec::new(),
+                std::time::Duration::ZERO,
+                stop,
+            ));
+        }
+        let span = ctx.obs.span("cheng_church.fit");
+        let started = Instant::now();
+        let result = cheng_church(matrix, &self.config);
+        let clusters: Vec<DeltaCluster> = result
+            .biclusters
+            .iter()
+            .map(|b| {
+                DeltaCluster::from_indices(
+                    matrix.rows(),
+                    matrix.cols(),
+                    b.rows.iter(),
+                    b.cols.iter(),
+                )
+            })
+            .collect();
+        span.finish(&[]);
+        Ok(SubspaceClustering::from_clusters(
+            self.name(),
+            matrix,
+            clusters,
+            started.elapsed(),
+            FitStop::Converged,
+        ))
+    }
+}
+
+/// The δ-cluster paper's own §4.4 alternative (derived attributes +
+/// CLIQUE + clique extraction) behind the baseline interface.
+#[derive(Debug, Clone)]
+pub struct CliqueBaseline {
+    /// Alternative-algorithm parameters (CLIQUE grid, clique caps, `k`).
+    pub config: AlternativeConfig,
+}
+
+impl CliqueBaseline {
+    /// Convenience constructor.
+    pub fn new(config: AlternativeConfig) -> Self {
+        CliqueBaseline { config }
+    }
+}
+
+impl SubspaceAlgorithm for CliqueBaseline {
+    fn name(&self) -> &'static str {
+        "clique"
+    }
+
+    fn fit(
+        &self,
+        matrix: &DataMatrix,
+        ctx: &FitContext,
+    ) -> Result<SubspaceClustering, BaselineError> {
+        if matrix.rows() == 0 || matrix.cols() == 0 || matrix.specified_count() == 0 {
+            return Err(BaselineError::EmptyMatrix);
+        }
+        if let Some(stop) = ctx.deadline().check() {
+            return Ok(SubspaceClustering::from_clusters(
+                self.name(),
+                matrix,
+                Vec::new(),
+                std::time::Duration::ZERO,
+                stop,
+            ));
+        }
+        let span = ctx.obs.span("clique_alternative.fit");
+        let result = alternative(matrix, &self.config);
+        span.finish(&[]);
+        Ok(SubspaceClustering::from_clusters(
+            self.name(),
+            matrix,
+            result.clusters,
+            result.elapsed,
+            FitStop::Converged,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// A matrix with an additive block on rows 0..6 × cols 0..4.
+    fn planted() -> DataMatrix {
+        let mut m = DataMatrix::builder(12, 6).build();
+        for r in 0..12 {
+            for c in 0..6 {
+                let v = if r < 6 && c < 4 {
+                    (r as f64) * 2.0 + (c as f64) * 3.0
+                } else {
+                    ((r * 31 + c * 17) % 97) as f64
+                };
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn floc_adapter_round_trips_the_result() {
+        let m = planted();
+        let algo = FlocBaseline::new(FlocConfig::builder(2).seed(3).build());
+        let out = algo.fit(&m, &FitContext::serial()).unwrap();
+        assert_eq!(out.algorithm, "floc");
+        assert!(!out.clusters.is_empty());
+        assert_eq!(out.clusters.len(), out.residues.len());
+    }
+
+    #[test]
+    fn cheng_church_adapter_maps_biclusters_to_delta_clusters() {
+        let m = planted();
+        let algo = ChengChurchBaseline::new(ChengChurchConfig::new(2, 1.0));
+        let out = algo.fit(&m, &FitContext::serial()).unwrap();
+        assert_eq!(out.algorithm, "cheng-church");
+        assert!(!out.clusters.is_empty());
+        assert_eq!(out.stop, FitStop::Converged);
+    }
+
+    #[test]
+    fn clique_adapter_runs_the_alternative_algorithm() {
+        let m = planted();
+        let algo = CliqueBaseline::new(AlternativeConfig {
+            min_cols: 3,
+            ..AlternativeConfig::default()
+        });
+        let out = algo.fit(&m, &FitContext::serial()).unwrap();
+        assert_eq!(out.algorithm, "clique");
+        // The alternative may or may not recover something on a tiny
+        // matrix; the contract here is a defined, well-formed result.
+        assert_eq!(out.clusters.len(), out.residues.len());
+    }
+
+    #[test]
+    fn single_shot_adapters_honor_a_pre_raised_interrupt() {
+        let m = planted();
+        let flag = Arc::new(AtomicBool::new(true));
+        let ctx = FitContext::serial().with_interrupt(flag);
+        let cc = ChengChurchBaseline::new(ChengChurchConfig::new(2, 1.0));
+        assert_eq!(cc.fit(&m, &ctx).unwrap().stop, FitStop::Interrupted);
+        let cl = CliqueBaseline::new(AlternativeConfig::default());
+        assert_eq!(cl.fit(&m, &ctx).unwrap().stop, FitStop::Interrupted);
+    }
+
+    #[test]
+    fn adapters_reject_an_empty_matrix() {
+        let empty = DataMatrix::builder(3, 3).build();
+        let ctx = FitContext::serial();
+        assert!(matches!(
+            ChengChurchBaseline::new(ChengChurchConfig::new(1, 1.0)).fit(&empty, &ctx),
+            Err(BaselineError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            CliqueBaseline::new(AlternativeConfig::default()).fit(&empty, &ctx),
+            Err(BaselineError::EmptyMatrix)
+        ));
+        assert!(matches!(
+            FlocBaseline::new(FlocConfig::builder(1).build()).fit(&empty, &ctx),
+            Err(BaselineError::EmptyMatrix)
+        ));
+    }
+}

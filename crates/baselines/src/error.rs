@@ -1,0 +1,48 @@
+//! Typed errors for baseline algorithm runs.
+
+/// Why a baseline algorithm could not produce a clustering.
+///
+/// Cooperative stops (interrupt, time budget) are *not* errors — they
+/// surface as [`crate::FitStop`] on a successful result carrying the best
+/// clustering found so far, mirroring FLOC's `StopReason` contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The matrix has no specified entries to cluster.
+    EmptyMatrix,
+    /// A configuration parameter is out of range for this input
+    /// (e.g. more medoids than rows, `avg_dims` above the column count).
+    InvalidConfig(String),
+    /// The wrapped algorithm itself failed.
+    Algorithm(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::EmptyMatrix => f.write_str("matrix has no specified entries"),
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BaselineError::Algorithm(msg) => write!(f, "algorithm error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            BaselineError::EmptyMatrix.to_string(),
+            "matrix has no specified entries"
+        );
+        assert!(BaselineError::InvalidConfig("k > rows".into())
+            .to_string()
+            .contains("k > rows"));
+        assert!(BaselineError::Algorithm("seed failed".into())
+            .to_string()
+            .contains("seed failed"));
+    }
+}

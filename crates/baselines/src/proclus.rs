@@ -1,0 +1,749 @@
+//! PROCLUS — medoid-based projected clustering (Aggarwal, Wolf, Yu,
+//! Procopiuc, Park: *Fast Algorithms for Projected Clustering*, SIGMOD
+//! 1999).
+//!
+//! Three phases, faithful to the paper's structure:
+//!
+//! 1. **Initialization** — draw a random sample of `sample_factor · k`
+//!    points, then greedily (farthest-first) keep `candidate_factor · k`
+//!    well-separated medoid candidates.
+//! 2. **Iteration** — hill-climb over k-subsets of the candidates: for the
+//!    current medoids, select each medoid's dimensions from the locality
+//!    of points inside its nearest-medoid radius (smallest standardized
+//!    per-dimension mean distance, ≥ 2 per medoid, `k · avg_dims` total),
+//!    assign every point to the nearest medoid under Manhattan *segmental*
+//!    distance on that medoid's dimensions, score the clustering, and
+//!    replace the bad medoids of the best solution with random candidates.
+//! 3. **Refinement** — redo dimension selection once from the actual best
+//!    clusters (not localities), reassign, and discard outliers farther
+//!    from every medoid than that medoid's sphere of influence.
+//!
+//! Deviation from the paper: cluster dispersion is measured to the medoid
+//! rather than the centroid (one less pass, no behavioral difference on
+//! the synthetic grids we evaluate), and missing entries — which the
+//! original algorithm does not model — are skipped pairwise by the
+//! segmental distance.
+//!
+//! Determinism: all randomness flows from one seeded [`StdRng`]; threads
+//! only parallelize independent per-point distance evaluations, reduced in
+//! index order.
+
+use crate::error::BaselineError;
+use crate::par::map_indexed;
+use crate::traits::{FitContext, FitStop, SubspaceAlgorithm, SubspaceClustering};
+use dc_floc::DeltaCluster;
+use dc_matrix::DataMatrix;
+use dc_obs::Field;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// PROCLUS parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProclusConfig {
+    /// Number of clusters (medoids) to search for.
+    pub k: usize,
+    /// Average projected dimensionality `l`: `k · l` dimensions are
+    /// distributed over the medoids (each gets at least 2).
+    pub avg_dims: usize,
+    /// Sample size as a multiple of `k` (the paper's `A = a · k`).
+    pub sample_factor: usize,
+    /// Medoid-candidate set size as a multiple of `k` (the paper's
+    /// `B = b · k`); candidates are drawn greedily from the sample.
+    pub candidate_factor: usize,
+    /// Hard cap on hill-climbing iterations.
+    pub max_iterations: usize,
+    /// Consecutive non-improving iterations before declaring convergence.
+    pub stale_limit: usize,
+    /// A cluster holding fewer than `min_deviation · n / k` points marks
+    /// its medoid as bad.
+    pub min_deviation: f64,
+    /// RNG seed; equal seeds yield bit-identical clusterings.
+    pub seed: u64,
+}
+
+impl Default for ProclusConfig {
+    fn default() -> Self {
+        ProclusConfig {
+            k: 5,
+            avg_dims: 4,
+            sample_factor: 10,
+            candidate_factor: 3,
+            max_iterations: 30,
+            stale_limit: 5,
+            min_deviation: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+/// The PROCLUS algorithm behind the [`SubspaceAlgorithm`] interface.
+#[derive(Debug, Clone, Default)]
+pub struct Proclus {
+    /// Algorithm parameters.
+    pub config: ProclusConfig,
+}
+
+impl Proclus {
+    /// Convenience constructor.
+    pub fn new(config: ProclusConfig) -> Self {
+        Proclus { config }
+    }
+}
+
+/// Manhattan segmental distance between rows `a` and `b` over `dims`:
+/// the *average* per-dimension absolute difference, over the dimensions
+/// specified in both rows. No shared dimension ⇒ `∞`.
+fn segmental(matrix: &DataMatrix, a: usize, b: usize, dims: &[usize]) -> f64 {
+    let mut sum = 0.0;
+    let mut used = 0usize;
+    for &d in dims {
+        if let (Some(x), Some(y)) = (matrix.get(a, d), matrix.get(b, d)) {
+            sum += (x - y).abs();
+            used += 1;
+        }
+    }
+    if used == 0 {
+        f64::INFINITY
+    } else {
+        sum / used as f64
+    }
+}
+
+/// One candidate solution: medoids plus their selected dimensions.
+struct Solution {
+    medoids: Vec<usize>,
+    /// `dims[i]` — ascending dimension list of medoid `i`.
+    dims: Vec<Vec<usize>>,
+    /// `assign[p]` — medoid index, or `usize::MAX` for unassignable points.
+    assign: Vec<usize>,
+    objective: f64,
+}
+
+impl SubspaceAlgorithm for Proclus {
+    fn name(&self) -> &'static str {
+        "proclus"
+    }
+
+    fn fit(
+        &self,
+        matrix: &DataMatrix,
+        ctx: &FitContext,
+    ) -> Result<SubspaceClustering, BaselineError> {
+        let cfg = &self.config;
+        let n = matrix.rows();
+        let d = matrix.cols();
+        if n == 0 || d == 0 || matrix.specified_count() == 0 {
+            return Err(BaselineError::EmptyMatrix);
+        }
+        if cfg.k == 0 {
+            return Err(BaselineError::InvalidConfig("k must be at least 1".into()));
+        }
+        if cfg.k > n {
+            return Err(BaselineError::InvalidConfig(format!(
+                "k = {} exceeds the {} rows",
+                cfg.k, n
+            )));
+        }
+        if cfg.avg_dims < 2 {
+            return Err(BaselineError::InvalidConfig(
+                "avg_dims must be at least 2 (each medoid needs 2 dimensions)".into(),
+            ));
+        }
+        if cfg.avg_dims > d {
+            return Err(BaselineError::InvalidConfig(format!(
+                "avg_dims = {} exceeds the {} columns",
+                cfg.avg_dims, d
+            )));
+        }
+
+        let started = Instant::now();
+        let deadline = ctx.deadline();
+        let threads = ctx.effective_threads();
+        let span = ctx.obs.span("proclus.fit");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let all_dims: Vec<usize> = (0..d).collect();
+
+        // Phase 1: sample, then greedy farthest-first candidates.
+        let sample = sample_rows(n, cfg.sample_factor.max(1) * cfg.k, &mut rng);
+        let b = (cfg.candidate_factor.max(1) * cfg.k).clamp(cfg.k, sample.len());
+        let candidates = greedy_candidates(matrix, &sample, b, &all_dims);
+
+        // Phase 2: hill-climb over medoid subsets.
+        let mut current: Vec<usize> = candidates[..cfg.k].to_vec();
+        let mut best: Option<Solution> = None;
+        let mut stale = 0usize;
+        let mut stop = FitStop::Capped;
+        for iteration in 0..cfg.max_iterations {
+            if let Some(s) = deadline.check() {
+                stop = s;
+                break;
+            }
+            let sol = evaluate_medoids(matrix, &current, cfg, &all_dims, threads);
+            let improved = match &best {
+                Some(b) => sol.objective < b.objective,
+                None => true,
+            };
+            if ctx.obs.enabled() {
+                ctx.obs.emit(
+                    "proclus.iteration",
+                    &[
+                        Field::new("iteration", iteration as u64),
+                        Field::new("objective", sol.objective),
+                        Field::new("improved", improved),
+                    ],
+                );
+            }
+            if improved {
+                best = Some(sol);
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= cfg.stale_limit {
+                    stop = FitStop::Converged;
+                    break;
+                }
+            }
+            let incumbent = best.as_ref().expect("best set after first iteration");
+            match replace_bad_medoids(incumbent, cfg, n, &candidates, &mut rng) {
+                Some(next) => current = next,
+                None => {
+                    // Candidate pool exhausted: nothing left to try.
+                    stop = FitStop::Converged;
+                    break;
+                }
+            }
+        }
+        let Some(best) = best else {
+            // Stopped (or capped at zero iterations) before any medoid set
+            // was evaluated: report an empty best-so-far clustering.
+            span.finish(&[Field::new("clusters", 0u64)]);
+            return Ok(SubspaceClustering::from_clusters(
+                self.name(),
+                matrix,
+                Vec::new(),
+                started.elapsed(),
+                stop,
+            ));
+        };
+
+        // Phase 3: refinement from the actual clusters, then outliers.
+        let refined = refine(matrix, &best, cfg, threads);
+        let clusters = collect_clusters(matrix, &refined);
+        span.finish(&[
+            Field::new("clusters", clusters.len() as u64),
+            Field::new("objective", refined.objective),
+        ]);
+        Ok(SubspaceClustering::from_clusters(
+            self.name(),
+            matrix,
+            clusters,
+            started.elapsed(),
+            stop,
+        ))
+    }
+}
+
+/// Draws `want` distinct row indices uniformly (all rows when `want ≥ n`).
+fn sample_rows(n: usize, want: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let want = want.min(n);
+    // Fisher–Yates prefix: after the loop, idx[..want] is a uniform sample.
+    for i in 0..want {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(want);
+    idx
+}
+
+/// Farthest-first traversal over the sample: candidates end up mutually
+/// well-separated, so a k-prefix pierces k distinct natural clusters with
+/// good probability (the paper's Lemma 3.1 argument).
+fn greedy_candidates(
+    matrix: &DataMatrix,
+    sample: &[usize],
+    want: usize,
+    all_dims: &[usize],
+) -> Vec<usize> {
+    let mut chosen = vec![sample[0]];
+    let mut dist: Vec<f64> = sample
+        .iter()
+        .map(|&p| finite_or_max(segmental(matrix, p, sample[0], all_dims)))
+        .collect();
+    while chosen.len() < want {
+        let mut far = 0usize;
+        for i in 1..sample.len() {
+            if dist[i] > dist[far] {
+                far = i;
+            }
+        }
+        let next = sample[far];
+        chosen.push(next);
+        for (i, &p) in sample.iter().enumerate() {
+            let d = finite_or_max(segmental(matrix, p, next, all_dims));
+            if d < dist[i] {
+                dist[i] = d;
+            }
+        }
+    }
+    chosen
+}
+
+/// Maps `∞` (no shared specified dimension) to `f64::MAX` so farthest-first
+/// comparisons stay total without drowning real distances.
+fn finite_or_max(d: f64) -> f64 {
+    if d.is_finite() {
+        d
+    } else {
+        f64::MAX
+    }
+}
+
+/// Dimension selection + assignment + scoring for one medoid set.
+fn evaluate_medoids(
+    matrix: &DataMatrix,
+    medoids: &[usize],
+    cfg: &ProclusConfig,
+    all_dims: &[usize],
+    threads: usize,
+) -> Solution {
+    let n = matrix.rows();
+    let k = medoids.len();
+
+    // Full-dimensional distance from every point to every medoid (the
+    // locality test and the radius both need it).
+    let point_dist: Vec<Vec<f64>> = map_indexed(n, threads, |p| {
+        medoids
+            .iter()
+            .map(|&m| segmental(matrix, p, m, all_dims))
+            .collect()
+    });
+
+    // δ_i — distance to the nearest other medoid; with k = 1 every point
+    // is local.
+    let localities: Vec<Vec<usize>> = (0..k)
+        .map(|i| {
+            let delta = (0..k)
+                .filter(|&j| j != i)
+                .map(|j| finite_or_max(point_dist[medoids[j]][i]))
+                .fold(f64::MAX, f64::min);
+            (0..n).filter(|&p| point_dist[p][i] <= delta).collect()
+        })
+        .collect();
+
+    let dims = select_dimensions(matrix, medoids, &localities, cfg.avg_dims);
+    let (assign, objective) = assign_and_score(matrix, medoids, &dims, threads);
+    Solution {
+        medoids: medoids.to_vec(),
+        dims,
+        assign,
+        objective,
+    }
+}
+
+/// The paper's dimension-selection step: per-medoid per-dimension mean
+/// absolute deviation over a point set, standardized within the medoid,
+/// then a greedy global pick of `k · avg_dims` dimensions with ≥ 2 per
+/// medoid (smallest standardized deviation first).
+fn select_dimensions(
+    matrix: &DataMatrix,
+    medoids: &[usize],
+    point_sets: &[Vec<usize>],
+    avg_dims: usize,
+) -> Vec<Vec<usize>> {
+    let d = matrix.cols();
+    let k = medoids.len();
+
+    // X[i][j]: mean |p_j − m_j| over the medoid's point set (∞ when no
+    // pair of specified values exists).
+    let x: Vec<Vec<f64>> = (0..k)
+        .map(|i| {
+            let m = medoids[i];
+            let mut sums = vec![0.0f64; d];
+            let mut counts = vec![0usize; d];
+            for &p in &point_sets[i] {
+                for j in 0..d {
+                    if let (Some(a), Some(b)) = (matrix.get(p, j), matrix.get(m, j)) {
+                        sums[j] += (a - b).abs();
+                        counts[j] += 1;
+                    }
+                }
+            }
+            (0..d)
+                .map(|j| {
+                    if counts[j] == 0 {
+                        f64::INFINITY
+                    } else {
+                        sums[j] / counts[j] as f64
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    // Standardize within each medoid over its finite dimensions.
+    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(k * d);
+    for (i, row) in x.iter().enumerate() {
+        let finite: Vec<f64> = row.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            continue;
+        }
+        let mean = finite.iter().sum::<f64>() / finite.len() as f64;
+        let var = if finite.len() > 1 {
+            finite.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (finite.len() - 1) as f64
+        } else {
+            0.0
+        };
+        let sd = var.sqrt();
+        for (j, &v) in row.iter().enumerate() {
+            if v.is_finite() {
+                let z = if sd > 0.0 { (v - mean) / sd } else { 0.0 };
+                scored.push((z, i, j));
+            }
+        }
+    }
+    scored.sort_by(|a, b| {
+        a.0.total_cmp(&b.0)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+
+    let total = k * avg_dims;
+    let mut dims: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut picked = 0usize;
+    // First pass: guarantee two dimensions per medoid.
+    for &(_, i, j) in &scored {
+        if dims[i].len() < 2 {
+            dims[i].push(j);
+            picked += 1;
+        }
+    }
+    // Second pass: spend the rest of the budget globally.
+    for &(_, i, j) in &scored {
+        if picked >= total {
+            break;
+        }
+        if !dims[i].contains(&j) {
+            dims[i].push(j);
+            picked += 1;
+        }
+    }
+    for dl in &mut dims {
+        dl.sort_unstable();
+    }
+    dims
+}
+
+/// Nearest-medoid assignment under each medoid's own dimensions, plus the
+/// dispersion objective (mean segmental distance to the assigned medoid).
+fn assign_and_score(
+    matrix: &DataMatrix,
+    medoids: &[usize],
+    dims: &[Vec<usize>],
+    threads: usize,
+) -> (Vec<usize>, f64) {
+    let n = matrix.rows();
+    let assign_dist: Vec<(usize, f64)> = map_indexed(n, threads, |p| {
+        let mut which = usize::MAX;
+        let mut best = f64::INFINITY;
+        for (i, m) in medoids.iter().enumerate() {
+            if dims[i].is_empty() {
+                continue;
+            }
+            let dist = segmental(matrix, p, *m, &dims[i]);
+            if dist < best {
+                best = dist;
+                which = i;
+            }
+        }
+        (which, best)
+    });
+    let mut sum = 0.0;
+    let mut assigned = 0usize;
+    let mut assign = Vec::with_capacity(n);
+    for &(which, dist) in &assign_dist {
+        assign.push(which);
+        if which != usize::MAX {
+            sum += dist;
+            assigned += 1;
+        }
+    }
+    let objective = if assigned == 0 {
+        f64::INFINITY
+    } else {
+        sum / assigned as f64
+    };
+    (assign, objective)
+}
+
+/// Swaps the bad medoids of the best solution (smallest cluster plus any
+/// below the deviation floor) for random unused candidates. `None` when
+/// the candidate pool cannot cover the swap.
+fn replace_bad_medoids(
+    best: &Solution,
+    cfg: &ProclusConfig,
+    n: usize,
+    candidates: &[usize],
+    rng: &mut StdRng,
+) -> Option<Vec<usize>> {
+    let k = best.medoids.len();
+    let mut sizes = vec![0usize; k];
+    for &a in &best.assign {
+        if a != usize::MAX {
+            sizes[a] += 1;
+        }
+    }
+    let floor = (cfg.min_deviation * n as f64 / k as f64) as usize;
+    let smallest = (0..k).min_by_key(|&i| (sizes[i], i)).expect("k >= 1");
+    let mut bad: Vec<usize> = (0..k)
+        .filter(|&i| i == smallest || sizes[i] < floor)
+        .collect();
+    if bad.is_empty() {
+        bad.push(smallest);
+    }
+    let mut next = best.medoids.clone();
+    let mut pool: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|c| !next.contains(c))
+        .collect();
+    for &i in &bad {
+        if pool.is_empty() {
+            return None;
+        }
+        let pick = rng.gen_range(0..pool.len());
+        next[i] = pool.swap_remove(pick);
+    }
+    Some(next)
+}
+
+/// The refinement pass: dimensions recomputed from the actual clusters,
+/// one final reassignment, and the paper's outlier test (a point beyond
+/// every medoid's sphere of influence is discarded).
+fn refine(matrix: &DataMatrix, best: &Solution, cfg: &ProclusConfig, threads: usize) -> Solution {
+    let k = best.medoids.len();
+    let clusters: Vec<Vec<usize>> = {
+        let mut cs: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (p, &a) in best.assign.iter().enumerate() {
+            if a != usize::MAX {
+                cs[a].push(p);
+            }
+        }
+        cs
+    };
+    // Empty clusters fall back to the medoid itself so selection stays
+    // defined.
+    let sets: Vec<Vec<usize>> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.is_empty() {
+                vec![best.medoids[i]]
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    let dims = select_dimensions(matrix, &best.medoids, &sets, cfg.avg_dims);
+    let (mut assign, objective) = assign_and_score(matrix, &best.medoids, &dims, threads);
+
+    // Sphere of influence Δ_i: distance from medoid i to its nearest other
+    // medoid, measured in medoid i's own subspace. Points farther than Δ
+    // from every medoid are outliers.
+    if k > 1 {
+        let delta: Vec<f64> = (0..k)
+            .map(|i| {
+                (0..k)
+                    .filter(|&j| j != i)
+                    .map(|j| {
+                        finite_or_max(segmental(
+                            matrix,
+                            best.medoids[i],
+                            best.medoids[j],
+                            &dims[i],
+                        ))
+                    })
+                    .fold(f64::MAX, f64::min)
+            })
+            .collect();
+        let outlier: Vec<bool> = map_indexed(matrix.rows(), threads, |p| {
+            (0..k).all(|i| {
+                dims[i].is_empty() || segmental(matrix, p, best.medoids[i], &dims[i]) > delta[i]
+            })
+        });
+        for (p, is_out) in outlier.iter().enumerate() {
+            if *is_out {
+                assign[p] = usize::MAX;
+            }
+        }
+    }
+    Solution {
+        medoids: best.medoids.clone(),
+        dims,
+        assign,
+        objective,
+    }
+}
+
+/// Materializes the solution as δ-clusters (rows = members, cols = the
+/// medoid's selected dimensions). Medoids always belong to their own
+/// cluster.
+fn collect_clusters(matrix: &DataMatrix, sol: &Solution) -> Vec<DeltaCluster> {
+    let k = sol.medoids.len();
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (p, &a) in sol.assign.iter().enumerate() {
+        if a != usize::MAX {
+            members[a].push(p);
+        }
+    }
+    for (i, m) in members.iter_mut().enumerate() {
+        let medoid = sol.medoids[i];
+        if !m.contains(&medoid) {
+            m.push(medoid);
+            m.sort_unstable();
+        }
+    }
+    (0..k)
+        .map(|i| {
+            DeltaCluster::from_indices(
+                matrix.rows(),
+                matrix.cols(),
+                members[i].iter().copied(),
+                sol.dims[i].iter().copied(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two projected clusters: rows 0..20 coherent on dims 0..3, rows
+    /// 20..40 coherent on dims 3..6, noise elsewhere.
+    fn planted(seed: u64) -> DataMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = DataMatrix::builder(50, 8).build();
+        for r in 0..50 {
+            for c in 0..8 {
+                let v = if r < 20 && c < 3 {
+                    10.0 + c as f64 + rng.gen_range(-0.1..0.1)
+                } else if (20..40).contains(&r) && (3..6).contains(&c) {
+                    60.0 + c as f64 + rng.gen_range(-0.1..0.1)
+                } else {
+                    rng.gen_range(0.0..200.0)
+                };
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    fn config() -> ProclusConfig {
+        ProclusConfig {
+            k: 2,
+            avg_dims: 3,
+            seed: 7,
+            ..ProclusConfig::default()
+        }
+    }
+
+    #[test]
+    fn recovers_the_planted_projected_clusters() {
+        let m = planted(1);
+        let out = Proclus::new(config())
+            .fit(&m, &FitContext::serial())
+            .unwrap();
+        assert_eq!(out.clusters.len(), 2);
+        // Each planted group should dominate one cluster.
+        let mut found_first = false;
+        let mut found_second = false;
+        for c in &out.clusters {
+            let lo = c.rows.iter().filter(|&r| r < 20).count();
+            let hi = c.rows.iter().filter(|&r| (20..40).contains(&r)).count();
+            if lo > c.row_count() / 2 {
+                found_first = true;
+            }
+            if hi > c.row_count() / 2 {
+                found_second = true;
+            }
+        }
+        assert!(found_first && found_second, "{out:?}");
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let m = planted(2);
+        let ctx = FitContext::serial();
+        let p = Proclus::new(config());
+        let a = p.fit(&m, &ctx).unwrap();
+        let b = p.fit(&m, &ctx).unwrap();
+        assert_eq!(a.clusters, b.clusters);
+        assert_eq!(a.residues, b.residues);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_clustering() {
+        let m = planted(3);
+        let p = Proclus::new(config());
+        let serial = p.fit(&m, &FitContext::serial()).unwrap();
+        for threads in [2, 4] {
+            let par = p
+                .fit(&m, &FitContext::serial().with_threads(threads))
+                .unwrap();
+            assert_eq!(serial.clusters, par.clusters, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_cluster_gets_at_least_two_dimensions() {
+        let m = planted(4);
+        let out = Proclus::new(config())
+            .fit(&m, &FitContext::serial())
+            .unwrap();
+        for c in &out.clusters {
+            assert!(c.col_count() >= 2, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_with_typed_errors() {
+        let m = planted(5);
+        let ctx = FitContext::serial();
+        let bad_k = Proclus::new(ProclusConfig { k: 0, ..config() });
+        assert!(matches!(
+            bad_k.fit(&m, &ctx),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+        let k_too_big = Proclus::new(ProclusConfig { k: 51, ..config() });
+        assert!(matches!(
+            k_too_big.fit(&m, &ctx),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+        let thin_dims = Proclus::new(ProclusConfig {
+            avg_dims: 1,
+            ..config()
+        });
+        assert!(matches!(
+            thin_dims.fit(&m, &ctx),
+            Err(BaselineError::InvalidConfig(_))
+        ));
+        let empty = DataMatrix::builder(3, 3).build();
+        assert!(matches!(
+            Proclus::new(config()).fit(&empty, &ctx),
+            Err(BaselineError::EmptyMatrix)
+        ));
+    }
+
+    #[test]
+    fn raised_interrupt_stops_with_best_so_far() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let m = planted(6);
+        let flag = Arc::new(AtomicBool::new(true)); // raised before the run
+        let ctx = FitContext::serial().with_interrupt(flag);
+        let out = Proclus::new(config()).fit(&m, &ctx).unwrap();
+        assert_eq!(out.stop, FitStop::Interrupted);
+    }
+}

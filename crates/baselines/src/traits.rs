@@ -1,0 +1,290 @@
+//! The unified algorithm interface every baseline implements.
+//!
+//! `dc-eval` and the experiment harness consume clusterings as
+//! `Vec<DeltaCluster>`; this module fixes that as the common currency so
+//! FLOC, PROCLUS, SUBCLU, Cheng–Church, and the CLIQUE alternative can be
+//! compared head-to-head by one loop. Algorithm-specific parameters live
+//! on the implementing struct; the runtime plumbing every run shares —
+//! observability, cooperative interruption, a wall-clock budget, a thread
+//! budget — travels in a [`FitContext`].
+
+use crate::error::BaselineError;
+use dc_floc::{cluster_residue, DeltaCluster, ResidueMean};
+use dc_matrix::DataMatrix;
+use dc_obs::Obs;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared runtime context for a [`SubspaceAlgorithm::fit`] call.
+///
+/// This is deliberately *not* part of any algorithm's identity: two runs
+/// with the same algorithm parameters and seed produce bit-identical
+/// clusterings regardless of the context — threads only parallelize
+/// independent per-point computations, observation never changes results,
+/// and budget/interrupt merely truncate the search at a safe boundary.
+#[derive(Clone, Default)]
+pub struct FitContext {
+    /// Structured-event destination ([`Obs::null`] = disabled).
+    pub obs: Obs,
+    /// Cooperative cancellation handle polled at safe boundaries.
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock budget; exceeded ⇒ stop with [`FitStop::Budget`].
+    pub time_budget: Option<Duration>,
+    /// Worker-thread budget (0 or 1 = serial).
+    pub threads: usize,
+}
+
+impl FitContext {
+    /// Serial, unobserved, uninterruptible: the default for tests.
+    pub fn serial() -> Self {
+        FitContext::default()
+    }
+
+    /// Sets the thread budget.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the observability handle.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Wires a cancellation flag.
+    pub fn with_interrupt(mut self, handle: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(handle);
+        self
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Effective worker count (≥ 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+
+    /// Starts the budget/interrupt clock for one fit.
+    pub(crate) fn deadline(&self) -> Deadline {
+        Deadline {
+            interrupt: self.interrupt.clone(),
+            started: Instant::now(),
+            budget: self.time_budget,
+        }
+    }
+}
+
+impl std::fmt::Debug for FitContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FitContext")
+            .field("obs", &self.obs.enabled())
+            .field("interrupt", &self.interrupt.is_some())
+            .field("time_budget", &self.time_budget)
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+/// Tracks the cooperative-stop conditions during one fit.
+pub(crate) struct Deadline {
+    interrupt: Option<Arc<AtomicBool>>,
+    started: Instant,
+    budget: Option<Duration>,
+}
+
+impl Deadline {
+    /// `Some(stop)` when the run should end now (interrupt wins over
+    /// budget, matching FLOC's precedence).
+    pub(crate) fn check(&self) -> Option<FitStop> {
+        if self
+            .interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
+        {
+            return Some(FitStop::Interrupted);
+        }
+        if self.budget.is_some_and(|b| self.started.elapsed() >= b) {
+            return Some(FitStop::Budget);
+        }
+        None
+    }
+}
+
+/// Why a fit ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FitStop {
+    /// The algorithm ran to its natural completion.
+    Converged,
+    /// The iteration cap was exhausted first.
+    Capped,
+    /// The wall-clock budget elapsed; the result is best-so-far.
+    Budget,
+    /// The interrupt flag was raised; the result is best-so-far.
+    Interrupted,
+}
+
+impl std::fmt::Display for FitStop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FitStop::Converged => "converged",
+            FitStop::Capped => "iteration cap",
+            FitStop::Budget => "time budget exhausted",
+            FitStop::Interrupted => "interrupted",
+        })
+    }
+}
+
+/// The uniform outcome of any baseline run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubspaceClustering {
+    /// Which algorithm produced this (e.g. `"proclus"`).
+    pub algorithm: String,
+    /// Discovered clusters in the δ-cluster representation.
+    pub clusters: Vec<DeltaCluster>,
+    /// Arithmetic residue of each cluster, index-aligned with `clusters`.
+    pub residues: Vec<f64>,
+    /// Wall-clock duration of the fit.
+    pub elapsed: Duration,
+    /// Why the fit ended.
+    pub stop: FitStop,
+}
+
+impl SubspaceClustering {
+    /// Assembles a result: drops degenerate (empty-row or empty-column)
+    /// clusters and scores the rest with the δ-cluster residue so every
+    /// algorithm is graded on the paper's own objective.
+    pub fn from_clusters(
+        algorithm: &str,
+        matrix: &DataMatrix,
+        clusters: Vec<DeltaCluster>,
+        elapsed: Duration,
+        stop: FitStop,
+    ) -> Self {
+        let clusters: Vec<DeltaCluster> = clusters
+            .into_iter()
+            .filter(|c| c.row_count() > 0 && c.col_count() > 0)
+            .collect();
+        let residues = clusters
+            .iter()
+            .map(|c| cluster_residue(matrix, c, ResidueMean::Arithmetic))
+            .collect();
+        SubspaceClustering {
+            algorithm: algorithm.to_string(),
+            clusters,
+            residues,
+            elapsed,
+            stop,
+        }
+    }
+
+    /// Mean residue across clusters (0.0 when empty — defined, not NaN).
+    pub fn avg_residue(&self) -> f64 {
+        if self.residues.is_empty() {
+            0.0
+        } else {
+            self.residues.iter().sum::<f64>() / self.residues.len() as f64
+        }
+    }
+
+    /// One human-readable line per run, used by the CLI and smoke tests.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} cluster(s), avg residue {:.4}, {:.3}s ({})",
+            self.algorithm,
+            self.clusters.len(),
+            self.avg_residue(),
+            self.elapsed.as_secs_f64(),
+            self.stop,
+        )
+    }
+}
+
+/// A subspace/projected clustering algorithm comparable to FLOC.
+///
+/// Contract:
+/// - **Deterministic**: same parameters + seed ⇒ bit-identical clusters,
+///   independent of `ctx.threads`, observation, and storage backend.
+/// - **Cooperative**: polls `ctx.interrupt`/`ctx.time_budget` at safe
+///   boundaries; on a stop, returns `Ok` with best-so-far clusters and the
+///   corresponding [`FitStop`], never an error.
+/// - **Observable**: emits dc-obs spans/points under its own name prefix.
+pub trait SubspaceAlgorithm {
+    /// Stable identifier (`"proclus"`, `"subclu"`, …) used by the CLI's
+    /// `--algorithm` flag and benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the algorithm over `matrix` under the shared runtime context.
+    fn fit(
+        &self,
+        matrix: &DataMatrix,
+        ctx: &FitContext,
+    ) -> Result<SubspaceClustering, BaselineError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_clusters_drops_degenerate_and_scores_the_rest() {
+        let m = DataMatrix::builder(3, 3).from_rows(vec![
+            1.0, 2.0, 3.0, //
+            2.0, 3.0, 4.0, //
+            9.0, 1.0, 7.0,
+        ]);
+        let good = DeltaCluster::from_indices(3, 3, [0, 1], [0, 1, 2]);
+        let no_rows = DeltaCluster::empty(3, 3);
+        let out = SubspaceClustering::from_clusters(
+            "test",
+            &m,
+            vec![good, no_rows],
+            Duration::from_millis(5),
+            FitStop::Converged,
+        );
+        assert_eq!(out.clusters.len(), 1);
+        assert_eq!(out.residues.len(), 1);
+        assert!(out.residues[0] < 1e-9, "additive block residue ~0");
+        assert!(out.summary().contains("test"));
+    }
+
+    #[test]
+    fn avg_residue_of_empty_clustering_is_defined() {
+        let m = DataMatrix::builder(2, 2).from_rows(vec![1.0, 2.0, 3.0, 4.0]);
+        let out = SubspaceClustering::from_clusters(
+            "empty",
+            &m,
+            vec![],
+            Duration::ZERO,
+            FitStop::Converged,
+        );
+        assert_eq!(out.avg_residue(), 0.0);
+        assert!(!out.avg_residue().is_nan());
+    }
+
+    #[test]
+    fn deadline_honours_interrupt_over_budget() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx = FitContext::serial()
+            .with_interrupt(flag.clone())
+            .with_time_budget(Duration::ZERO);
+        let deadline = ctx.deadline();
+        // Zero budget is already exhausted…
+        assert_eq!(deadline.check(), Some(FitStop::Budget));
+        // …but a raised interrupt takes precedence.
+        flag.store(true, Ordering::Relaxed);
+        assert_eq!(deadline.check(), Some(FitStop::Interrupted));
+    }
+
+    #[test]
+    fn unwired_context_never_stops() {
+        let deadline = FitContext::serial().deadline();
+        assert_eq!(deadline.check(), None);
+    }
+}

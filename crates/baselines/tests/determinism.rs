@@ -1,0 +1,141 @@
+//! The determinism contract of the new baselines, pinned by property
+//! tests: same seed ⇒ bit-identical clusterings, independent of thread
+//! count (`threads ∈ {1, 2, 4}`) and storage backend (memory ≡ paged).
+
+use dc_baselines::{FitContext, Proclus, ProclusConfig, Subclu, SubcluConfig, SubspaceAlgorithm};
+use dc_matrix::DataMatrix;
+use proptest::prelude::*;
+
+/// A small matrix with a planted coherent block in deterministic noise —
+/// enough structure that the algorithms usually find something, so the
+/// equality assertions compare non-trivial results.
+fn arb_matrix() -> impl Strategy<Value = DataMatrix> {
+    (12usize..40, 4usize..8, 0u64..1_000).prop_map(|(rows, cols, seed)| {
+        let mut m = DataMatrix::builder(rows, cols).build();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let block_rows = rows / 2;
+        let block_cols = cols / 2;
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = if r < block_rows && c < block_cols {
+                    30.0 + c as f64 + next()
+                } else {
+                    next() * 300.0
+                };
+                // A sprinkle of missing entries outside the block.
+                if r >= block_rows && next() < 0.05 {
+                    continue;
+                }
+                m.set(r, c, v);
+            }
+        }
+        m
+    })
+}
+
+/// The paged twin of an in-memory matrix, in a unique scratch directory.
+fn paged_twin(m: &DataMatrix, tag: &str) -> DataMatrix {
+    let dir = std::env::temp_dir().join(format!(
+        "dc-baselines-prop-{tag}-{}-{}x{}",
+        std::process::id(),
+        m.rows(),
+        m.cols()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let data: Vec<Option<f64>> = (0..m.rows() * m.cols())
+        .map(|cell| m.get(cell / m.cols(), cell % m.cols()))
+        .collect();
+    DataMatrix::builder(m.rows(), m.cols())
+        .paged(dir)
+        .chunk_rows(7)
+        .from_options(data)
+        .expect("paged twin")
+}
+
+fn proclus_for(m: &DataMatrix, seed: u64) -> Proclus {
+    Proclus::new(ProclusConfig {
+        k: 2,
+        avg_dims: (m.cols() / 2).max(2),
+        max_iterations: 8,
+        seed,
+        ..ProclusConfig::default()
+    })
+}
+
+fn subclu_for(_m: &DataMatrix) -> Subclu {
+    Subclu::new(SubcluConfig {
+        eps: 3.0,
+        min_pts: 4,
+        max_dims: 3,
+        max_candidates: 64,
+        ..SubcluConfig::default()
+    })
+}
+
+proptest! {
+    /// PROCLUS: seed-deterministic, thread-invariant, backend-agnostic.
+    #[test]
+    fn proclus_is_deterministic_everywhere(m in arb_matrix(), seed in 0u64..1_000) {
+        let algo = proclus_for(&m, seed);
+        let baseline = algo.fit(&m, &FitContext::serial()).unwrap();
+
+        // Re-run, same seed: bit-identical.
+        let rerun = algo.fit(&m, &FitContext::serial()).unwrap();
+        prop_assert_eq!(&baseline.clusters, &rerun.clusters);
+        prop_assert_eq!(&baseline.residues, &rerun.residues);
+
+        // Thread ladder: bit-identical.
+        for threads in [2usize, 4] {
+            let t = algo.fit(&m, &FitContext::serial().with_threads(threads)).unwrap();
+            prop_assert_eq!(&baseline.clusters, &t.clusters, "threads={}", threads);
+        }
+
+        // Paged backend: bit-identical.
+        let paged = paged_twin(&m, "proclus");
+        let p = algo.fit(&paged, &FitContext::serial()).unwrap();
+        prop_assert_eq!(&baseline.clusters, &p.clusters);
+        prop_assert_eq!(&baseline.residues, &p.residues);
+    }
+
+    /// SUBCLU: deterministic (it has no RNG), thread-invariant,
+    /// backend-agnostic.
+    #[test]
+    fn subclu_is_deterministic_everywhere(m in arb_matrix()) {
+        let algo = subclu_for(&m);
+        let baseline = algo.fit(&m, &FitContext::serial()).unwrap();
+
+        let rerun = algo.fit(&m, &FitContext::serial()).unwrap();
+        prop_assert_eq!(&baseline.clusters, &rerun.clusters);
+        prop_assert_eq!(&baseline.residues, &rerun.residues);
+
+        for threads in [2usize, 4] {
+            let t = algo.fit(&m, &FitContext::serial().with_threads(threads)).unwrap();
+            prop_assert_eq!(&baseline.clusters, &t.clusters, "threads={}", threads);
+        }
+
+        let paged = paged_twin(&m, "subclu");
+        let p = algo.fit(&paged, &FitContext::serial()).unwrap();
+        prop_assert_eq!(&baseline.clusters, &p.clusters);
+        prop_assert_eq!(&baseline.residues, &p.residues);
+    }
+
+    /// Different seeds are allowed to differ, but must stay well-formed:
+    /// aligned residues, non-degenerate clusters, ≥ 2 dims per PROCLUS
+    /// cluster.
+    #[test]
+    fn proclus_results_are_well_formed(m in arb_matrix(), seed in 0u64..1_000) {
+        let out = proclus_for(&m, seed).fit(&m, &FitContext::serial()).unwrap();
+        prop_assert_eq!(out.clusters.len(), out.residues.len());
+        for (c, r) in out.clusters.iter().zip(&out.residues) {
+            prop_assert!(c.row_count() > 0 && c.col_count() >= 2);
+            prop_assert!(r.is_finite() && *r >= 0.0);
+        }
+        prop_assert!(!out.avg_residue().is_nan());
+    }
+}

@@ -16,6 +16,7 @@ fn main() {
         ("fig10", dc_bench::experiments::fig10::run),
         ("yeast", dc_bench::experiments::yeast::run),
         ("ablations", dc_bench::experiments::ablations::run),
+        ("baselines", dc_bench::experiments::baselines::run),
         ("floc_perf", dc_bench::experiments::floc_perf::run),
     ];
     let mut report = String::new();

@@ -1,0 +1,14 @@
+//! Head-to-head baseline comparison: every algorithm behind the
+//! `SubspaceAlgorithm` trait (FLOC, PROCLUS, SUBCLU, Cheng–Church, the
+//! CLIQUE alternative) over the embedded workloads. Writes
+//! BENCH_baselines.json under --out (default target/experiments) and
+//! publishes it to the repo root. Knobs: --full, --threads N.
+fn main() {
+    let opts = dc_bench::Opts::from_args();
+    println!("{}", dc_bench::experiments::baselines::run(&opts));
+    let artifact = "BENCH_baselines.json";
+    match dc_bench::publish::publish_to_repo_root(&opts.out_dir.join(artifact)) {
+        Ok(dest) => eprintln!("published {}", dest.display()),
+        Err(e) => eprintln!("warning: could not publish {artifact}: {e}"),
+    }
+}

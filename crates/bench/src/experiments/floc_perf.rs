@@ -136,10 +136,44 @@ pub struct ObsOverhead {
     pub null_sink_overhead: f64,
 }
 
+/// Environment metadata stamped into the report so readers can judge what
+/// the numbers mean — in particular whether the thread-scaling curves were
+/// measured with real parallelism available.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReportMeta {
+    /// Logical cores visible to the harness when it ran.
+    pub detected_cores: usize,
+    /// Interpretation caveats (single-core scaling, etc.).
+    pub notes: Vec<String>,
+}
+
+/// Captures the current machine's metadata, including the single-core
+/// caveat when the runner cannot actually exercise the thread sweep.
+pub fn report_meta() -> ReportMeta {
+    let detected_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut notes = Vec::new();
+    if detected_cores <= 1 {
+        notes.push(
+            "runner reports 1 logical core: the threads>1 scaling records measure \
+             oversubscription overhead, not parallel speedup; re-run --scaling-full \
+             on a multi-core host to record real scaling curves"
+                .to_string(),
+        );
+    }
+    ReportMeta {
+        detected_cores,
+        notes,
+    }
+}
+
 /// Everything `BENCH_floc.json` holds: the engine grid, the harness phase
 /// breakdown, and the instrumentation-overhead probe.
 #[derive(Debug, Serialize)]
 pub struct Report {
+    /// Where and how the numbers were measured.
+    pub meta: ReportMeta,
     /// One record per engine × grid point.
     pub records: Vec<Record>,
     /// One record per thread count × scaling grid point.
@@ -528,6 +562,7 @@ pub fn run(opts: &Opts) -> String {
     }
     let scaling_table = st.render();
     let report = Report {
+        meta: report_meta(),
         records,
         scaling,
         storage,

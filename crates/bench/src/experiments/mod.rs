@@ -3,6 +3,7 @@
 //! and persisted as JSON by the module itself).
 
 pub mod ablations;
+pub mod baselines;
 pub mod cluster;
 pub mod fig10;
 pub mod fig8;

@@ -21,7 +21,7 @@ pub mod residue_stats;
 
 pub use diameter::{diameter, diameter_l1};
 pub use entryset::{entry_set, entry_union};
-pub use matching::{match_clusters, recovery_rate, ClusterMatch};
+pub use matching::{match_clusters, match_summary, recovery_rate, ClusterMatch, MatchSummary};
 pub use metrics::{quality, Quality};
 pub use report::Table;
 pub use residue_stats::{clustering_distribution, summarize_residues, ResidueDistribution};

@@ -89,6 +89,66 @@ pub fn recovery_rate(matches: &[ClusterMatch], threshold: f64) -> f64 {
     matches.iter().filter(|m| m.jaccard >= threshold).count() as f64 / matches.len() as f64
 }
 
+/// Cluster-level aggregate of a greedy matching, safe on degenerate runs.
+///
+/// Every ratio is a *defined* number for every input: a clustering with
+/// zero found clusters (a baseline that bailed out) or zero reference
+/// clusters scores 0.0, never NaN from a 0/0 division. This is the
+/// cluster-counting complement to the entry-level [`crate::quality`]
+/// conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchSummary {
+    /// Ground-truth clusters considered.
+    pub truth_clusters: usize,
+    /// Discovered clusters considered.
+    pub found_clusters: usize,
+    /// Pairs matched with Jaccard at least the requested threshold.
+    pub matched: usize,
+    /// `matched / truth_clusters` — 0.0 when there is no truth.
+    pub cluster_recall: f64,
+    /// `matched / found_clusters` — 0.0 when nothing was found.
+    pub cluster_precision: f64,
+    /// Mean Jaccard over all truth clusters (unmatched count as 0) —
+    /// 0.0 when there is no truth.
+    pub mean_jaccard: f64,
+}
+
+/// Summarizes a [`match_clusters`] result into defined, NaN-free ratios.
+///
+/// `found_clusters` is the size of the discovered clustering the matches
+/// were computed against (it cannot be recovered from `matches`, which is
+/// indexed by truth).
+pub fn match_summary(
+    matches: &[ClusterMatch],
+    found_clusters: usize,
+    threshold: f64,
+) -> MatchSummary {
+    let matched = matches
+        .iter()
+        .filter(|m| m.found_index.is_some() && m.jaccard >= threshold)
+        .count();
+    let ratio = |num: usize, denom: usize| {
+        if denom == 0 {
+            0.0
+        } else {
+            num as f64 / denom as f64
+        }
+    };
+    let mean_jaccard = if matches.is_empty() {
+        0.0
+    } else {
+        matches.iter().map(|m| m.jaccard).sum::<f64>() / matches.len() as f64
+    };
+    MatchSummary {
+        truth_clusters: matches.len(),
+        found_clusters,
+        matched,
+        cluster_recall: ratio(matched, matches.len()),
+        cluster_precision: ratio(matched, found_clusters),
+        mean_jaccard,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,5 +234,78 @@ mod tests {
         assert_eq!(recovery_rate(&matches, 0.5), 0.5);
         assert_eq!(recovery_rate(&matches, 0.2), 1.0);
         assert_eq!(recovery_rate(&[], 0.5), 1.0);
+    }
+
+    /// Every field of a summary must be a plain finite number.
+    fn assert_defined(s: &MatchSummary) {
+        for (name, v) in [
+            ("cluster_recall", s.cluster_recall),
+            ("cluster_precision", s.cluster_precision),
+            ("mean_jaccard", s.mean_jaccard),
+        ] {
+            assert!(v.is_finite(), "{name} must be finite, got {v}");
+        }
+    }
+
+    #[test]
+    fn empty_found_clustering_summarizes_to_zero_not_nan() {
+        let m = matrix();
+        let truth = vec![DeltaCluster::from_indices(6, 6, [0, 1], [0, 1])];
+        let matches = match_clusters(&m, &truth, &[]);
+        let s = match_summary(&matches, 0, 0.5);
+        assert_defined(&s);
+        assert_eq!(s.found_clusters, 0);
+        assert_eq!(s.matched, 0);
+        assert_eq!(s.cluster_recall, 0.0);
+        assert_eq!(s.cluster_precision, 0.0, "0/0 must be 0.0, not NaN");
+        assert_eq!(s.mean_jaccard, 0.0);
+    }
+
+    #[test]
+    fn empty_truth_clustering_summarizes_to_zero_not_nan() {
+        let m = matrix();
+        let found = vec![DeltaCluster::from_indices(6, 6, [0, 1], [0, 1])];
+        let matches = match_clusters(&m, &[], &found);
+        let s = match_summary(&matches, found.len(), 0.5);
+        assert_defined(&s);
+        assert_eq!(s.truth_clusters, 0);
+        assert_eq!(s.cluster_recall, 0.0, "0/0 must be 0.0, not NaN");
+        assert_eq!(s.cluster_precision, 0.0);
+        assert_eq!(s.mean_jaccard, 0.0);
+    }
+
+    #[test]
+    fn both_sides_empty_summarize_to_zero_not_nan() {
+        let m = matrix();
+        let matches = match_clusters(&m, &[], &[]);
+        let s = match_summary(&matches, 0, 0.5);
+        assert_defined(&s);
+        assert_eq!(
+            (s.cluster_recall, s.cluster_precision, s.mean_jaccard),
+            (0.0, 0.0, 0.0)
+        );
+    }
+
+    #[test]
+    fn match_summary_counts_threshold_survivors() {
+        let m = matrix();
+        let truth = vec![
+            DeltaCluster::from_indices(6, 6, [0, 1], [0, 1]),
+            DeltaCluster::from_indices(6, 6, [3, 4], [3, 4]),
+        ];
+        let found = vec![
+            DeltaCluster::from_indices(6, 6, [0, 1], [0, 1]), // jaccard 1.0
+            DeltaCluster::from_indices(6, 6, [3], [3]),       // jaccard 0.25
+            DeltaCluster::from_indices(6, 6, [5], [5]),       // unmatched
+        ];
+        let matches = match_clusters(&m, &truth, &found);
+        let s = match_summary(&matches, found.len(), 0.5);
+        assert_defined(&s);
+        assert_eq!(s.truth_clusters, 2);
+        assert_eq!(s.found_clusters, 3);
+        assert_eq!(s.matched, 1);
+        assert_eq!(s.cluster_recall, 0.5);
+        assert!((s.cluster_precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_jaccard - (1.0 + 0.25) / 2.0).abs() < 1e-12);
     }
 }

@@ -546,33 +546,6 @@ impl DataMatrix {
         crate::storage::MatrixBuilder::dense(rows, cols)
     }
 
-    /// Creates a matrix with every entry missing (default `f64` storage).
-    #[deprecated(note = "use DataMatrix::builder(rows, cols).build()")]
-    pub fn new(rows: usize, cols: usize) -> Self {
-        DataMatrix::memory_empty(rows, cols, ValueStorage::F64)
-    }
-
-    /// Creates an all-missing matrix with the given [`ValueStorage`].
-    #[deprecated(note = "use DataMatrix::builder(rows, cols).storage(storage).build()")]
-    pub fn with_capacity_storage(rows: usize, cols: usize, storage: ValueStorage) -> Self {
-        DataMatrix::memory_empty(rows, cols, storage)
-    }
-
-    /// Creates a fully-specified matrix from row-major data.
-    ///
-    /// # Panics
-    /// Panics if `data.len() != rows * cols`.
-    #[deprecated(note = "use DataMatrix::builder(rows, cols).from_rows(data)")]
-    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        DataMatrix::memory_from_rows(rows, cols, data, ValueStorage::F64)
-    }
-
-    /// Creates a matrix from row-major optional data (`None` = missing).
-    #[deprecated(note = "use DataMatrix::builder(rows, cols).from_options(data)")]
-    pub fn from_options(rows: usize, cols: usize, data: Vec<Option<f64>>) -> Self {
-        DataMatrix::memory_from_options(rows, cols, data, ValueStorage::F64)
-    }
-
     /// Assembles a matrix from pre-validated parts — the single funnel every
     /// builder finisher and open path goes through.
     pub(crate) fn assemble(

@@ -14,6 +14,7 @@
 //! | [`floc`] | `dc-floc` | the δ-cluster model, residue, and the FLOC algorithm |
 //! | [`bicluster`] | `dc-bicluster` | the Cheng & Church baseline (ISMB 2000) |
 //! | [`subspace`] | `dc-subspace` | CLIQUE and the §4.4 "alternative algorithm" |
+//! | [`baselines`] | `dc-baselines` | PROCLUS, SUBCLU, and every baseline behind one `SubspaceAlgorithm` trait |
 //! | [`datagen`] | `dc-datagen` | synthetic workloads: embedded clusters, MovieLens-like, microarray-like |
 //! | [`eval`] | `dc-eval` | recall/precision, diameter, matching, reports |
 //! | [`serve`] | `dc-serve` | model snapshots (binary + JSON), indexed prediction, concurrent query engine |
@@ -46,6 +47,7 @@
 //! expression, constraint handling) and `crates/bench` for the experiment
 //! harness.
 
+pub use dc_baselines as baselines;
 pub use dc_bicluster as bicluster;
 pub use dc_cli as cli;
 pub use dc_datagen as datagen;
@@ -66,6 +68,10 @@ pub use error::{Error, Result};
 /// The names most programs need, importable with one `use`.
 pub mod prelude {
     pub use crate::error::{Error, Result};
+    pub use dc_baselines::{
+        FitContext, FitStop, Proclus, ProclusConfig, Subclu, SubcluConfig, SubspaceAlgorithm,
+        SubspaceClustering,
+    };
     pub use dc_bicluster::{cheng_church, Bicluster, ChengChurchConfig};
     pub use dc_datagen::{EmbedConfig, MicroarrayConfig, MovieLensConfig};
     pub use dc_eval::{diameter, match_clusters, quality};
